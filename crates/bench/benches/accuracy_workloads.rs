@@ -1,0 +1,77 @@
+//! Timing of the full accuracy-experiment workloads (Figures 4/9): dataset
+//! generation plus one evaluation of each method family at the default
+//! m = n = 100, k = 3 setting. These bound the cost of a Figure 4 sweep
+//! point and document the relative expense of the GRM estimator
+//! (Figure 5's "orders of magnitude slower" claim at small scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hnd_core::{AbilityRanker, HitsNDiffs};
+use hnd_irt::{generate, GeneratorConfig, GrmEstimator, ModelKind};
+use hnd_models::{Investment, PooledInvestment, TruthFinder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn default_dataset(seed: u64) -> hnd_irt::SyntheticDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(
+        &GeneratorConfig {
+            model: ModelKind::Samejima,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for model in [ModelKind::Grm, ModelKind::Bock, ModelKind::Samejima] {
+        group.bench_function(model.name(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                generate(
+                    &GeneratorConfig {
+                        model,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let ds = default_dataset(9);
+    let mut group = c.benchmark_group("fig4_point_methods");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("HnD", |b| {
+        let r = HitsNDiffs::default();
+        b.iter(|| r.rank(&ds.responses).expect("runs"));
+    });
+    group.bench_function("TruthFinder", |b| {
+        let r = TruthFinder::default();
+        b.iter(|| r.rank(&ds.responses).expect("runs"));
+    });
+    group.bench_function("Invest", |b| {
+        let r = Investment::default();
+        b.iter(|| r.rank(&ds.responses).expect("runs"));
+    });
+    group.bench_function("PooledInv", |b| {
+        let r = PooledInvestment::default();
+        b.iter(|| r.rank(&ds.responses).expect("runs"));
+    });
+    group.bench_function("GRM-estimator", |b| {
+        let r = GrmEstimator::default();
+        b.iter(|| r.rank(&ds.responses).expect("runs"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! C1P reconstruction cost (Figure 4h workload / Section III-F complexity
+//! table): Booth–Lueker PQ-tree vs the spectral methods on ideal inputs.
+//!
+//! The paper: "BL is the fastest method when it works" — but returns
+//! nothing off the ideal case. This group quantifies the BL advantage on
+//! pre-P inputs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnd_c1p::pre_p_ordering;
+use hnd_core::{AbilityRanker, HitsNDiffs};
+use hnd_irt::generate_c1p;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_c1p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c1p_recovery");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &m in &[50usize, 100, 200, 400] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let ds = generate_c1p(m, 100, 3, &mut rng);
+        let c_bin = ds.responses.to_binary_csr();
+        group.bench_with_input(BenchmarkId::new("BL-pqtree", m), &c_bin, |b, c_bin| {
+            b.iter(|| pre_p_ordering(c_bin).expect("pre-P input"));
+        });
+        group.bench_with_input(BenchmarkId::new("HnD-power", m), &ds, |b, ds| {
+            let ranker = HitsNDiffs::default();
+            b.iter(|| ranker.rank(&ds.responses).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_c1p);
+criterion_main!(benches);

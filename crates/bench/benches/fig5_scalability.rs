@@ -1,0 +1,73 @@
+//! Figure 5 (Section IV-C): wall-clock scalability of the spectral
+//! implementations in the number of users (`fig5a`) and items (`fig5b`).
+//!
+//! The paper's claim to verify: HND-power scales linearly on both axes,
+//! while ABH is quadratic in the user count. Absolute times differ from
+//! the paper's Xeon testbed; the *slopes* are what matters. For full
+//! paper-scale sweeps (to 10⁵), use the experiments binary:
+//! `cargo run --release -p hnd-experiments -- --full fig5a`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnd_c1p::{AbhDirect, AbhPower};
+use hnd_core::{AbilityRanker, HitsNDiffs, HndDeflation, HndDirect};
+use hnd_irt::{generate, GeneratorConfig, ModelKind, SyntheticDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(m: usize, n: usize, seed: u64) -> SyntheticDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(
+        &GeneratorConfig {
+            n_users: m,
+            n_items: n,
+            model: ModelKind::Samejima,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+}
+
+fn rankers() -> Vec<(&'static str, Box<dyn AbilityRanker>)> {
+    vec![
+        ("HnD-power", Box::new(HitsNDiffs::default())),
+        ("HnD-deflation", Box::new(HndDeflation::default())),
+        ("HnD-direct", Box::new(HndDirect::default())),
+        ("ABH-power", Box::new(AbhPower::default())),
+        ("ABH-direct", Box::new(AbhDirect::default())),
+    ]
+}
+
+fn bench_users(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_users");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &m in &[100usize, 400, 1600] {
+        let ds = dataset(m, 100, 51 + m as u64);
+        for (name, ranker) in rankers() {
+            group.bench_with_input(BenchmarkId::new(name, m), &ds, |b, ds| {
+                b.iter(|| ranker.rank(&ds.responses).expect("ranker runs"));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_items(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_items");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[100usize, 400, 1600] {
+        let ds = dataset(100, n, 52 + n as u64);
+        for (name, ranker) in rankers() {
+            group.bench_with_input(BenchmarkId::new(name, n), &ds, |b, ds| {
+                b.iter(|| ranker.rank(&ds.responses).expect("ranker runs"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_users, bench_items);
+criterion_main!(benches);

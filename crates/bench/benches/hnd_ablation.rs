@@ -1,0 +1,47 @@
+//! Ablation (Section III-F): Algorithm 1's re-association trick vs the
+//! naive materialize-`Udiff` implementation.
+//!
+//! `HND-power` runs matrix-vector passes only (`O(mnt)`); `HND-naive`
+//! first densifies the `(m−1)²` difference-update matrix (`O(m²n)`).
+//! The gap should widen quadratically with the user count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnd_core::{AbilityRanker, HitsNDiffs, HndNaive};
+use hnd_irt::{generate, GeneratorConfig, ModelKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hnd_ablation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &m in &[50usize, 100, 200, 400] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let ds = generate(
+            &GeneratorConfig {
+                n_users: m,
+                n_items: 100,
+                model: ModelKind::Samejima,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        group.bench_with_input(BenchmarkId::new("HnD-power", m), &ds, |b, ds| {
+            let ranker = HitsNDiffs::default();
+            b.iter(|| ranker.rank(&ds.responses).expect("runs"));
+        });
+        // The naive path is the ablation baseline; skip the largest size
+        // to keep `cargo bench` reasonable.
+        if m <= 200 {
+            group.bench_with_input(BenchmarkId::new("HnD-naive", m), &ds, |b, ds| {
+                let ranker = HndNaive::default();
+                b.iter(|| ranker.rank(&ds.responses).expect("runs"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

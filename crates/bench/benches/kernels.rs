@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the numerical kernels every iteration rests on:
+//! one `U`/`Udiff` application (the paper's `O(mn)`-per-iteration claim),
+//! sparse matvecs, and the two eigensolver families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnd_core::operators::{SymmetrizedUOp, UDiffOp};
+use hnd_irt::{generate, GeneratorConfig, ModelKind};
+use hnd_linalg::op::LinearOp;
+use hnd_linalg::{lanczos_extreme, LanczosOptions, Which};
+use hnd_response::ResponseOps;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ops_for(m: usize, n: usize) -> ResponseOps {
+    let mut rng = StdRng::seed_from_u64((m * 31 + n) as u64);
+    let ds = generate(
+        &GeneratorConfig {
+            n_users: m,
+            n_items: n,
+            model: ModelKind::Samejima,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    ResponseOps::new(&ds.responses)
+}
+
+fn bench_operator_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operator_apply");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &m in &[100usize, 1000, 10_000] {
+        let ops = ops_for(m, 100);
+        let udiff = UDiffOp::new(&ops);
+        let x = hnd_linalg::power::deterministic_start(m - 1);
+        let mut y = vec![0.0; m - 1];
+        group.bench_with_input(BenchmarkId::new("udiff_apply", m), &m, |b, _| {
+            b.iter(|| udiff.apply(&x, &mut y));
+        });
+        let sym = SymmetrizedUOp::new(&ops);
+        let xs = hnd_linalg::power::deterministic_start(m);
+        let mut ys = vec![0.0; m];
+        group.bench_with_input(BenchmarkId::new("symmetrized_u_apply", m), &m, |b, _| {
+            b.iter(|| sym.apply(&xs, &mut ys));
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigensolvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigensolvers");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &m in &[100usize, 1000] {
+        let ops = ops_for(m, 100);
+        let sym = SymmetrizedUOp::new(&ops);
+        let x0 = hnd_linalg::power::deterministic_start(m);
+        group.bench_with_input(BenchmarkId::new("lanczos_top2", m), &m, |b, _| {
+            b.iter(|| {
+                lanczos_extreme(&sym, 2, Which::Largest, &x0, &LanczosOptions::default())
+                    .expect("converges")
+            });
+        });
+        let udiff = UDiffOp::new(&ops);
+        let xd = hnd_linalg::power::deterministic_start(m - 1);
+        group.bench_with_input(BenchmarkId::new("power_on_udiff", m), &m, |b, _| {
+            b.iter(|| {
+                hnd_linalg::power_iteration(
+                    &udiff,
+                    &xd,
+                    &hnd_linalg::PowerOptions::default(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operator_apply, bench_eigensolvers);
+criterion_main!(benches);

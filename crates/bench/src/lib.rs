@@ -1,0 +1,5 @@
+//! # hnd-bench
+//!
+//! Criterion benchmark crate for the HITSnDIFFS reproduction. All content
+//! lives in `benches/` (one group per paper figure/table — see DESIGN.md
+//! §5); this library target exists only so Cargo accepts the package.

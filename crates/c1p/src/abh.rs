@@ -1,0 +1,402 @@
+//! ABH spectral seriation (Atkins, Boman, Hendrickson \[4\]).
+//!
+//! ABH ranks users by the *Fiedler vector* — the eigenvector of the second
+//! smallest eigenvalue of the Laplacian `L = D − CCᵀ` of the user
+//! co-answering graph. On pre-P inputs sorting by the Fiedler vector
+//! recovers the C1P ordering; away from the ideal case it degrades (and, as
+//! Section III-E/IV-D of the paper shows, degrades faster than HND).
+//!
+//! Two implementations, matching the paper's Section IV-A:
+//! * [`AbhDirect`] — Lanczos on the (deflated) Laplacian, the analogue of
+//!   the paper's SciPy-based "ABH-direct";
+//! * [`AbhPower`] — the paper's novel Algorithm 2: power iteration on
+//!   `βI_{m−1} − M` with `M = S L T`, entirely matrix-free.
+
+use hnd_linalg::op::LinearOp;
+use hnd_linalg::power::{power_iteration, PowerOptions};
+use hnd_linalg::{lanczos_extreme, vector, LanczosOptions, Which};
+use hnd_response::{
+    orient_by_decile_entropy, AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps,
+};
+
+/// How `β` is chosen for the spectral shift `βI − M` of [`AbhPower`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BetaStrategy {
+    /// The paper's practical choice: the largest entry of the diagonal
+    /// matrix `D` of `CCᵀ` (Appendix E-B).
+    MaxDegree,
+    /// `coefficient × MaxDegree` — used by the Figure 14a sweep showing the
+    /// iteration count growing linearly with `β`.
+    Coefficient(f64),
+}
+
+impl BetaStrategy {
+    fn resolve(&self, d: &[f64]) -> f64 {
+        let base = d.iter().fold(0.0f64, |a, &b| a.max(b)).max(1.0);
+        match self {
+            BetaStrategy::MaxDegree => base,
+            BetaStrategy::Coefficient(c) => c * base,
+        }
+    }
+}
+
+/// `ABH-power`: Algorithm 2 of the paper.
+#[derive(Debug, Clone)]
+pub struct AbhPower {
+    /// Power-iteration options (tolerance 1e-5 per the paper).
+    pub power: PowerOptions,
+    /// Shift strategy (default: the paper's max-degree rule).
+    pub beta: BetaStrategy,
+    /// Apply decile-entropy symmetry breaking (Section III-D).
+    pub orient: bool,
+}
+
+impl Default for AbhPower {
+    fn default() -> Self {
+        AbhPower {
+            power: PowerOptions::default(),
+            beta: BetaStrategy::MaxDegree,
+            orient: true,
+        }
+    }
+}
+
+/// The `(βI − M)` operator with `M = S L T`, applied to `sdiff ∈ R^{m−1}`
+/// without materializing anything: `s = T·sdiff` (cumulative sums),
+/// `Ls = D s − C Cᵀ s`, `M sdiff = S (L s)` (adjacent differences).
+struct ShiftedMOp<'a> {
+    ops: &'a ResponseOps,
+    d: &'a [f64],
+    beta: f64,
+}
+
+impl LinearOp for ShiftedMOp<'_> {
+    fn dim(&self) -> usize {
+        self.ops.n_users() - 1
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let m = self.ops.n_users();
+        let mut s = Vec::with_capacity(m);
+        vector::cumsum_from_diffs(x, &mut s);
+        let mut w = vec![0.0; self.ops.n_option_columns()];
+        let mut ls = vec![0.0; m];
+        self.ops.laplacian_apply(self.d, &s, &mut w, &mut ls);
+        for i in 0..m - 1 {
+            y[i] = self.beta * x[i] - (ls[i + 1] - ls[i]);
+        }
+    }
+}
+
+impl AbhPower {
+    /// Returns the dominant eigenvector of `βI − M` (the user-difference
+    /// vector) plus the iteration count — exposed for the stability study
+    /// (Figure 6a) and the iteration-count analysis (Figure 14).
+    pub fn diff_eigenvector(&self, matrix: &ResponseMatrix) -> Result<(Vec<f64>, usize), RankError> {
+        let m = matrix.n_users();
+        if m < 2 {
+            return Err(RankError::InvalidInput(
+                "ABH-power needs at least 2 users".into(),
+            ));
+        }
+        let ops = ResponseOps::new(matrix);
+        let d = ops.cct_row_sums();
+        let beta = self.beta.resolve(&d);
+        let op = ShiftedMOp {
+            ops: &ops,
+            d: &d,
+            beta,
+        };
+        let x0 = hnd_linalg::power::deterministic_start(m - 1);
+        let out = power_iteration(&op, &x0, &self.power);
+        Ok((out.vector, out.iterations))
+    }
+}
+
+impl AbilityRanker for AbhPower {
+    fn name(&self) -> &'static str {
+        "ABH-power"
+    }
+
+    fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        let m = matrix.n_users();
+        if m == 1 {
+            return Ok(Ranking::from_scores(vec![0.0]));
+        }
+        let (sdiff, iterations) = self.diff_eigenvector(matrix)?;
+        let mut scores = Vec::with_capacity(m);
+        vector::cumsum_from_diffs(&sdiff, &mut scores);
+        let mut ranking = Ranking {
+            scores,
+            iterations,
+            converged: true,
+        };
+        if self.orient {
+            orient_by_decile_entropy(matrix, &mut ranking);
+        }
+        Ok(ranking)
+    }
+}
+
+/// `ABH-direct`: Fiedler vector via Lanczos on the deflated Laplacian.
+#[derive(Debug, Clone)]
+pub struct AbhDirect {
+    /// Lanczos options.
+    pub lanczos: LanczosOptions,
+    /// Apply decile-entropy symmetry breaking.
+    pub orient: bool,
+}
+
+impl Default for AbhDirect {
+    fn default() -> Self {
+        AbhDirect {
+            lanczos: LanczosOptions::default(),
+            orient: true,
+        }
+    }
+}
+
+struct LaplacianOp<'a> {
+    ops: &'a ResponseOps,
+    d: &'a [f64],
+}
+
+impl LinearOp for LaplacianOp<'_> {
+    fn dim(&self) -> usize {
+        self.ops.n_users()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let mut w = vec![0.0; self.ops.n_option_columns()];
+        self.ops.laplacian_apply(self.d, x, &mut w, y);
+    }
+}
+
+impl AbhDirect {
+    /// Computes the Fiedler vector of `L = D − CCᵀ`.
+    pub fn fiedler_vector(&self, matrix: &ResponseMatrix) -> Result<(Vec<f64>, usize), RankError> {
+        let m = matrix.n_users();
+        if m < 2 {
+            return Err(RankError::InvalidInput(
+                "ABH-direct needs at least 2 users".into(),
+            ));
+        }
+        let ops = ResponseOps::new(matrix);
+        let d = ops.cct_row_sums();
+        let lap = LaplacianOp { ops: &ops, d: &d };
+        // Work on the spectrally shifted βI − L with the all-ones kernel of
+        // L deflated: on e⊥ its largest eigenpair is (β − λ₂, Fiedler),
+        // while the deflated kernel direction sits at 0 — far from the top,
+        // so floating-point leakage into span(e) cannot attract the
+        // iteration (hunting the *smallest* pair of the deflated L would:
+        // the kernel's 0 undercuts λ₂). β = 2·max(D) is Gershgorin-safe.
+        let beta = 2.0 * d.iter().fold(0.0f64, |a, &b| a.max(b)).max(1.0);
+        let shifted = hnd_linalg::ShiftedOp::new(&lap, beta);
+        let ones = vec![1.0; m];
+        let deflated = hnd_linalg::DeflatedOp::new(&shifted, vec![ones]);
+        let mut x0 = hnd_linalg::power::deterministic_start(m);
+        let mean = vector::mean(&x0);
+        for v in &mut x0 {
+            *v -= mean;
+        }
+        let pairs = lanczos_extreme(&deflated, 1, Which::Largest, &x0, &self.lanczos)
+            .map_err(|e| RankError::Numerical(e.to_string()))?;
+        let pair = pairs.into_iter().next().expect("k=1 requested");
+        Ok((pair.vector, 0))
+    }
+}
+
+impl AbilityRanker for AbhDirect {
+    fn name(&self) -> &'static str {
+        "ABH"
+    }
+
+    fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        let m = matrix.n_users();
+        if m == 1 {
+            return Ok(Ranking::from_scores(vec![0.0]));
+        }
+        let (fiedler, _) = self.fiedler_vector(matrix)?;
+        let mut ranking = Ranking {
+            scores: fiedler,
+            iterations: 0,
+            converged: true,
+        };
+        if self.orient {
+            orient_by_decile_entropy(matrix, &mut ranking);
+        }
+        Ok(ranking)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::is_p_matrix;
+
+    /// The all-cuts staircase: `m` users, `m−1` binary items; item `i`
+    /// splits users at position `i` (users `0..=i` pick option 0, the rest
+    /// option 1). Every adjacent user pair is separated by some item, so the
+    /// C1P ordering is *unique* up to reversal — exactly the hypothesis of
+    /// Theorems 1–2. Constant row sums hold by construction.
+    fn staircase(m: usize) -> ResponseMatrix {
+        let n = m - 1;
+        let rows: Vec<Vec<Option<u16>>> = (0..m)
+            .map(|j| (0..n).map(|i| Some(if j <= i { 0 } else { 1 })).collect())
+            .collect();
+        let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+        ResponseMatrix::from_choices(n, &vec![2u16; n], &refs).unwrap()
+    }
+
+    fn order_is_identity_or_reverse(order: &[usize]) -> bool {
+        let m = order.len();
+        order.iter().enumerate().all(|(i, &u)| u == i)
+            || order.iter().enumerate().all(|(i, &u)| u == m - 1 - i)
+    }
+
+    #[test]
+    fn staircase_is_pre_p() {
+        let r = staircase(12);
+        assert!(is_p_matrix(&r.to_binary_csr()));
+    }
+
+    #[test]
+    fn abh_power_recovers_c1p_order() {
+        let r = staircase(12);
+        // Shuffle users, then expect recovery up to reversal.
+        let perm: Vec<usize> = vec![5, 2, 9, 0, 11, 3, 7, 1, 10, 4, 8, 6];
+        let shuffled = r.permute_users(&perm);
+        let ranker = AbhPower {
+            orient: false,
+            ..Default::default()
+        };
+        let ranking = ranker.rank(&shuffled).unwrap();
+        let order = ranking.order_best_to_worst();
+        // order[i] = index in `shuffled`; map back to original user ids.
+        let recovered: Vec<usize> = order.iter().map(|&i| perm[i]).collect();
+        assert!(
+            order_is_identity_or_reverse(&recovered),
+            "recovered {recovered:?}"
+        );
+    }
+
+    #[test]
+    fn abh_direct_recovers_c1p_order() {
+        let r = staircase(12);
+        let perm: Vec<usize> = vec![5, 2, 9, 0, 11, 3, 7, 1, 10, 4, 8, 6];
+        let shuffled = r.permute_users(&perm);
+        let ranker = AbhDirect {
+            orient: false,
+            ..Default::default()
+        };
+        let ranking = ranker.rank(&shuffled).unwrap();
+        let recovered: Vec<usize> = ranking
+            .order_best_to_worst()
+            .iter()
+            .map(|&i| perm[i])
+            .collect();
+        assert!(
+            order_is_identity_or_reverse(&recovered),
+            "recovered {recovered:?}"
+        );
+    }
+
+    #[test]
+    fn power_and_direct_agree_on_ordering() {
+        let r = staircase(16);
+        let p = AbhPower {
+            orient: true,
+            ..Default::default()
+        }
+        .rank(&r)
+        .unwrap();
+        let d = AbhDirect {
+            orient: true,
+            ..Default::default()
+        }
+        .rank(&r)
+        .unwrap();
+        let po = p.order_best_to_worst();
+        let dor = d.order_best_to_worst();
+        let rev: Vec<usize> = dor.iter().rev().copied().collect();
+        assert!(po == dor || po == rev, "{po:?} vs {dor:?}");
+    }
+
+    #[test]
+    fn beta_strategy_scales() {
+        assert_eq!(BetaStrategy::MaxDegree.resolve(&[3.0, 7.0]), 7.0);
+        assert_eq!(BetaStrategy::Coefficient(2.0).resolve(&[3.0, 7.0]), 14.0);
+        // Guard against all-zero degrees.
+        assert_eq!(BetaStrategy::MaxDegree.resolve(&[0.0]), 1.0);
+    }
+
+    #[test]
+    fn larger_beta_needs_more_iterations_fig14a() {
+        let r = staircase(30);
+        let base = AbhPower {
+            beta: BetaStrategy::MaxDegree,
+            orient: false,
+            ..Default::default()
+        };
+        let big = AbhPower {
+            beta: BetaStrategy::Coefficient(8.0),
+            orient: false,
+            ..Default::default()
+        };
+        let (_, it_base) = base.diff_eigenvector(&r).unwrap();
+        let (_, it_big) = big.diff_eigenvector(&r).unwrap();
+        assert!(
+            it_big > it_base,
+            "β×8 should need more iterations ({it_big} vs {it_base})"
+        );
+    }
+
+    #[test]
+    fn single_user_is_trivial() {
+        let r = ResponseMatrix::from_choices(1, &[2], &[&[Some(0)]]).unwrap();
+        let ranking = AbhPower::default().rank(&r).unwrap();
+        assert_eq!(ranking.scores.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod fiedler_regression {
+    use super::*;
+    use hnd_linalg::jacobi::symmetric_eig;
+    use hnd_linalg::DenseMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Regression for a real bug: hunting the *smallest* eigenpair of the
+    /// deflated Laplacian lets floating-point leakage into the deflated
+    /// kernel (eigenvalue 0 < λ₂) capture the iteration, returning a vector
+    /// orthogonal to the true Fiedler vector. The shifted-largest
+    /// formulation must match a dense reference eigendecomposition.
+    #[test]
+    fn fiedler_matches_dense_reference_on_noisy_binary_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let items = hnd_irt::presets::american_experience_items();
+        let abilities = hnd_irt::presets::standard_normal_abilities(60, &mut rng);
+        let ds = hnd_irt::generate_binary(&items, &abilities, &mut rng);
+
+        // Dense L = D − CCᵀ and its exact Fiedler vector.
+        let ops = ResponseOps::new(&ds.responses);
+        let c = ops.binary().to_dense();
+        let cct = c.matmul(&c.transpose()).unwrap();
+        let d = ops.cct_row_sums();
+        let m = ds.responses.n_users();
+        let mut l = DenseMatrix::zeros(m, m);
+        for i in 0..m {
+            for j in 0..m {
+                let v = if i == j { d[i] - cct.get(i, j) } else { -cct.get(i, j) };
+                l.set(i, j, v);
+            }
+        }
+        let eig = symmetric_eig(&l).unwrap();
+        let fiedler_exact = &eig.vectors[m - 2]; // ascending from the back
+
+        let (ours, _) = AbhDirect::default().fiedler_vector(&ds.responses).unwrap();
+        let cos = hnd_linalg::vector::dot(&ours, fiedler_exact).abs();
+        assert!(cos > 1.0 - 1e-6, "Fiedler mismatch: cos = {cos}");
+    }
+}

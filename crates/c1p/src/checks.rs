@@ -1,0 +1,223 @@
+//! C1P predicates and oracles (Definitions 3–4 of the paper).
+//!
+//! * [`is_p_matrix`] — every column's ones are consecutive.
+//! * [`pre_p_ordering`] — PQ-tree-based row ordering (the BL algorithm).
+//! * [`brute_force_pre_p`] — exhaustive oracle for small matrices, used by
+//!   the property tests to validate the PQ-tree.
+
+use crate::pq_tree::PqTree;
+use hnd_linalg::CsrMatrix;
+use hnd_response::ResponseMatrix;
+
+/// For each column of a binary matrix, the set of rows holding a 1.
+pub fn column_row_sets(c: &CsrMatrix) -> Vec<Vec<usize>> {
+    let mut sets = vec![Vec::new(); c.cols()];
+    for row in 0..c.rows() {
+        for (col, v) in c.row_iter(row) {
+            if v != 0.0 {
+                sets[col].push(row);
+            }
+        }
+    }
+    sets
+}
+
+/// `true` if the binary matrix is a *P-matrix*: in each column all ones are
+/// consecutive (Definition 3).
+pub fn is_p_matrix(c: &CsrMatrix) -> bool {
+    for set in column_row_sets(c) {
+        if set.len() <= 1 {
+            continue;
+        }
+        // Row indices are produced in increasing order.
+        let (min, max) = (set[0], *set.last().expect("non-empty"));
+        if max - min + 1 != set.len() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Finds a row permutation turning the matrix into a P-matrix using the
+/// PQ-tree (Booth–Lueker), or `None` if the matrix is not pre-P.
+///
+/// Returned `perm` is "new position → old row": applying
+/// [`CsrMatrix::permute_rows`] with it yields a P-matrix.
+pub fn pre_p_ordering(c: &CsrMatrix) -> Option<Vec<usize>> {
+    if c.rows() == 0 {
+        return Some(Vec::new());
+    }
+    let mut tree = PqTree::new(c.rows());
+    let mut sets = column_row_sets(c);
+    // Reducing larger sets first tends to fail fast on non-pre-P inputs.
+    sets.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    for set in &sets {
+        if set.len() >= 2 && tree.reduce(set).is_err() {
+            return None;
+        }
+    }
+    let order = tree.frontier();
+    debug_assert!(is_p_matrix(&c.permute_rows(&order)));
+    Some(order)
+}
+
+/// Number of distinct C1P row orderings of a pre-P matrix (including
+/// reversals), or `None` if the matrix is not pre-P. A *unique* ordering in
+/// the sense of Theorems 1–2 of the paper corresponds to a count of 2
+/// (an ordering and its reversal).
+pub fn count_pre_p_orderings(c: &CsrMatrix) -> Option<f64> {
+    if c.rows() == 0 {
+        return Some(1.0);
+    }
+    let mut tree = PqTree::new(c.rows());
+    for set in column_row_sets(c) {
+        if set.len() >= 2 && tree.reduce(&set).is_err() {
+            return None;
+        }
+    }
+    Some(tree.count_orderings())
+}
+
+/// Exhaustive pre-P oracle: tries every row permutation. Only for tests.
+///
+/// # Panics
+/// Panics for matrices with more than 10 rows (10! ≈ 3.6M permutations).
+pub fn brute_force_pre_p(c: &CsrMatrix) -> Option<Vec<usize>> {
+    let m = c.rows();
+    assert!(m <= 10, "brute force limited to 10 rows");
+    let mut perm: Vec<usize> = (0..m).collect();
+    // Heap's algorithm, iterative.
+    if is_p_matrix(&c.permute_rows(&perm)) {
+        return Some(perm);
+    }
+    let mut counters = vec![0usize; m];
+    let mut i = 0;
+    while i < m {
+        if counters[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(counters[i], i);
+            }
+            if is_p_matrix(&c.permute_rows(&perm)) {
+                return Some(perm);
+            }
+            counters[i] += 1;
+            i = 0;
+        } else {
+            counters[i] = 0;
+            i += 1;
+        }
+    }
+    None
+}
+
+/// Tests whether a response matrix is *consistent* (Definition 2): by
+/// Observation 1 this holds iff its one-hot binary matrix is pre-P. Returns
+/// a witnessing user ordering (best-to-worst or worst-to-best — C1P cannot
+/// distinguish the two) or `None`.
+pub fn consistent_user_ordering(matrix: &ResponseMatrix) -> Option<Vec<usize>> {
+    pre_p_ordering(&matrix.to_binary_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr(rows: &[&[u8]]) -> CsrMatrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        CsrMatrix::from_triplets(
+            r,
+            c,
+            rows.iter().enumerate().flat_map(|(i, row)| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0)
+                    .map(move |(j, _)| (i, j, 1.0))
+            }),
+        )
+    }
+
+    #[test]
+    fn p_matrix_detection() {
+        // Figure 1b's C is a P-matrix in the shown row order.
+        let p = csr(&[
+            &[1, 0, 0, 1, 0, 0, 1, 0, 0],
+            &[1, 0, 0, 1, 0, 0, 0, 0, 1],
+            &[1, 0, 0, 0, 1, 0, 0, 0, 1],
+            &[0, 1, 0, 0, 0, 1, 0, 0, 1],
+        ]);
+        assert!(is_p_matrix(&p));
+        let not_p = csr(&[&[1, 0], &[0, 1], &[1, 0]]);
+        assert!(!is_p_matrix(&not_p));
+    }
+
+    #[test]
+    fn pre_p_ordering_recovers_permuted_p_matrix() {
+        let p = csr(&[
+            &[1, 1, 0, 0],
+            &[0, 1, 1, 0],
+            &[0, 0, 1, 1],
+            &[0, 0, 0, 1],
+        ]);
+        // Shuffle rows, then recover.
+        let shuffled = p.permute_rows(&[2, 0, 3, 1]);
+        assert!(!is_p_matrix(&shuffled));
+        let order = pre_p_ordering(&shuffled).expect("matrix is pre-P");
+        assert!(is_p_matrix(&shuffled.permute_rows(&order)));
+    }
+
+    #[test]
+    fn non_pre_p_rejected_by_both() {
+        // Tucker's forbidden configuration M_I(1): the vertex-edge incidence
+        // of a triangle is not pre-P.
+        let t = csr(&[&[1, 1, 0], &[1, 0, 1], &[0, 1, 1]]);
+        assert!(pre_p_ordering(&t).is_none());
+        assert!(brute_force_pre_p(&t).is_none());
+    }
+
+    #[test]
+    fn brute_force_agrees_on_small_examples() {
+        let yes = csr(&[&[1, 0], &[1, 1], &[0, 1]]);
+        assert!(brute_force_pre_p(&yes).is_some());
+        assert!(pre_p_ordering(&yes).is_some());
+    }
+
+    #[test]
+    fn unique_ordering_counted_as_two() {
+        // Staircase: unique C1P order up to reversal.
+        let p = csr(&[
+            &[1, 1, 0, 0],
+            &[0, 1, 1, 0],
+            &[0, 0, 1, 1],
+        ]);
+        assert_eq!(count_pre_p_orderings(&p), Some(2.0));
+        let t = csr(&[&[1, 1, 0], &[1, 0, 1], &[0, 1, 1]]);
+        assert_eq!(count_pre_p_orderings(&t), None);
+    }
+
+    #[test]
+    fn consistent_responses_detected() {
+        // Figure 1's responses are consistent: users already sorted.
+        let r = ResponseMatrix::from_choices(
+            3,
+            &[3, 3, 3],
+            &[
+                &[Some(0), Some(0), Some(0)],
+                &[Some(0), Some(0), Some(2)],
+                &[Some(0), Some(1), Some(2)],
+                &[Some(1), Some(2), Some(2)],
+            ],
+        )
+        .unwrap();
+        let order = consistent_user_ordering(&r).expect("Figure 1 is consistent");
+        assert!(order == vec![0, 1, 2, 3] || order == vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_matrix_ordering() {
+        let c = CsrMatrix::from_triplets(0, 0, std::iter::empty());
+        assert_eq!(pre_p_ordering(&c), Some(vec![]));
+    }
+}

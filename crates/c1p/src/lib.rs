@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-coupled numerics mirror the published algorithms
+
+//! # hnd-c1p
+//!
+//! Consecutive-ones machinery for the HITSnDIFFS reproduction:
+//!
+//! * [`pq_tree`] — PQ-trees after Booth & Lueker, the paper's "BL"
+//!   combinatorial baseline: exact C1P testing plus a witnessing row order
+//!   in (near-)linear time, but no answer at all for non-ideal inputs.
+//! * [`abh`] — the spectral seriation of Atkins, Boman & Hendrickson, the
+//!   only prior C1P reconstruction method that also works on non-ideal
+//!   inputs; implemented both "direct" (Lanczos Fiedler vector) and as the
+//!   paper's matrix-free Algorithm 2 power iteration.
+//! * [`checks`] — P-matrix/pre-P predicates and a brute-force oracle.
+
+pub mod abh;
+pub mod checks;
+pub mod pq_tree;
+
+pub use abh::{AbhDirect, AbhPower, BetaStrategy};
+pub use checks::{
+    brute_force_pre_p, consistent_user_ordering, count_pre_p_orderings, is_p_matrix,
+    pre_p_ordering,
+};
+pub use pq_tree::{c1p_ordering, NotReducible, PqTree};

@@ -1,0 +1,797 @@
+//! PQ-trees after Booth & Lueker (1976) — the paper's "BL" baseline.
+//!
+//! A PQ-tree over a ground set `{0, …, m−1}` compactly represents a family
+//! of permutations. [`PqTree::reduce`] restricts the family to permutations
+//! in which a given subset appears consecutively; reducing once per matrix
+//! column therefore decides the consecutive-ones property and produces a
+//! valid row ordering (the *frontier*).
+//!
+//! This implementation applies the full Booth–Lueker template set
+//! (L1, P1–P6, Q1–Q3) on an arena of nodes. Unlike the original paper we
+//! keep parent pointers on *all* children (Booth–Lueker drop them for
+//! interior Q-children to reach their amortized linear bound); this keeps
+//! the code simple and verifiable at the cost of the strict `O(m+n+f)`
+//! guarantee. As the paper notes (Section III-F), BL is the fastest method
+//! *when it applies* but cannot handle non-ideal inputs at all — the
+//! spectral methods are the scalable general-purpose path, so asymptotic
+//! heroics here buy nothing for the reproduction.
+
+/// Error returned when a reduction is impossible: the represented family of
+/// permutations contains none in which the requested set is consecutive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotReducible;
+
+impl std::fmt::Display for NotReducible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "set cannot be made consecutive: matrix is not pre-P")
+    }
+}
+
+impl std::error::Error for NotReducible {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Kind {
+    /// Leaf holding ground-set element.
+    Leaf(usize),
+    /// Children may be permuted arbitrarily.
+    P,
+    /// Children order is fixed up to reversal.
+    Q,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: Kind,
+    children: Vec<usize>,
+    parent: Option<usize>,
+    /// Dissolved nodes stay in the arena but are never referenced again.
+    dead: bool,
+}
+
+/// Label assigned to pertinent nodes during a reduction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Label {
+    Empty,
+    Full,
+    /// A Q-node whose children are ordered empty→full.
+    Partial,
+}
+
+/// A PQ-tree over the ground set `{0, …, n_elements−1}`.
+#[derive(Debug, Clone)]
+pub struct PqTree {
+    nodes: Vec<Node>,
+    root: usize,
+    leaf_node: Vec<usize>,
+    n_elements: usize,
+    poisoned: bool,
+}
+
+impl PqTree {
+    /// The universal tree: all `n_elements!` permutations.
+    ///
+    /// # Panics
+    /// Panics for an empty ground set.
+    pub fn new(n_elements: usize) -> Self {
+        assert!(n_elements > 0, "PqTree requires a non-empty ground set");
+        let mut nodes = Vec::with_capacity(n_elements + 1);
+        let mut leaf_node = Vec::with_capacity(n_elements);
+        for e in 0..n_elements {
+            leaf_node.push(nodes.len());
+            nodes.push(Node {
+                kind: Kind::Leaf(e),
+                children: Vec::new(),
+                parent: None,
+                dead: false,
+            });
+        }
+        let root = if n_elements == 1 {
+            0
+        } else {
+            let root = nodes.len();
+            nodes.push(Node {
+                kind: Kind::P,
+                children: (0..n_elements).collect(),
+                parent: None,
+                dead: false,
+            });
+            for e in 0..n_elements {
+                nodes[e].parent = Some(root);
+            }
+            root
+        };
+        PqTree {
+            nodes,
+            root,
+            leaf_node,
+            n_elements,
+            poisoned: false,
+        }
+    }
+
+    /// Size of the ground set.
+    pub fn n_elements(&self) -> usize {
+        self.n_elements
+    }
+
+    /// `true` after a failed reduction; the tree is unusable then.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Restricts the tree to permutations where `set` is consecutive.
+    ///
+    /// # Errors
+    /// [`NotReducible`] if no represented permutation keeps `set`
+    /// consecutive. The tree is *poisoned* afterwards and every later call
+    /// also fails.
+    ///
+    /// # Panics
+    /// Panics if `set` contains out-of-range elements.
+    pub fn reduce(&mut self, set: &[usize]) -> Result<(), NotReducible> {
+        if self.poisoned {
+            return Err(NotReducible);
+        }
+        let mut in_set = vec![false; self.n_elements];
+        let mut s_len = 0usize;
+        for &e in set {
+            assert!(e < self.n_elements, "element {e} out of range");
+            if !in_set[e] {
+                in_set[e] = true;
+                s_len += 1;
+            }
+        }
+        if s_len <= 1 || s_len == self.n_elements {
+            return Ok(()); // trivially consecutive
+        }
+        match self.reduce_inner(&in_set, s_len) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn reduce_inner(&mut self, in_set: &[bool], s_len: usize) -> Result<(), NotReducible> {
+        // --- Phase 1: pertinent-leaf counts along every leaf→root path.
+        let mut pert = vec![0usize; self.nodes.len()];
+        for (e, &is_in) in in_set.iter().enumerate() {
+            if !is_in {
+                continue;
+            }
+            let mut x = self.leaf_node[e];
+            loop {
+                pert[x] += 1;
+                match self.nodes[x].parent {
+                    Some(p) => x = p,
+                    None => break,
+                }
+            }
+        }
+        // Pertinent root: deepest node covering all of S (walk up from any
+        // full leaf until the count reaches |S|).
+        let mut pertinent_root = self.leaf_node[in_set.iter().position(|&b| b).expect("s_len >= 2")];
+        while pert[pertinent_root] < s_len {
+            pertinent_root = self.nodes[pertinent_root]
+                .parent
+                .expect("root covers all leaves");
+        }
+
+        // --- Phase 2: bottom-up template application.
+        // `remaining[x]` = pertinent children of x not yet processed.
+        let mut remaining = vec![0usize; self.nodes.len()];
+        for x in 0..self.nodes.len() {
+            if self.nodes[x].dead || pert[x] == 0 {
+                continue;
+            }
+            if let Some(p) = self.nodes[x].parent {
+                if pert[p] > 0 {
+                    remaining[p] += 1;
+                }
+            }
+        }
+        let mut labels = vec![Label::Empty; self.nodes.len()];
+        let mut queue: Vec<usize> = in_set
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(e, _)| self.leaf_node[e])
+            .collect();
+
+        while let Some(x) = queue.pop() {
+            let is_root = x == pertinent_root;
+            self.apply_template(x, is_root, &mut labels)?;
+            if is_root {
+                return Ok(());
+            }
+            let p = self.nodes[x].parent.expect("non-root has a parent");
+            remaining[p] -= 1;
+            if remaining[p] == 0 {
+                queue.push(p);
+            }
+        }
+        // Queue drained without reaching the pertinent root: tree corrupt.
+        Err(NotReducible)
+    }
+
+    // ----- template machinery ------------------------------------------
+
+    fn new_node(&mut self, kind: Kind, children: Vec<usize>, labels: &mut Vec<Label>, label: Label) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            kind,
+            children,
+            parent: None,
+            dead: false,
+        });
+        labels.push(label);
+        let kids = self.nodes[idx].children.clone();
+        for c in kids {
+            self.nodes[c].parent = Some(idx);
+        }
+        idx
+    }
+
+    /// Wraps `children` into a single node: returns the lone child if there
+    /// is exactly one, a fresh P-node otherwise, `None` when empty.
+    fn wrap_part(&mut self, children: Vec<usize>, labels: &mut Vec<Label>, label: Label) -> Option<usize> {
+        match children.len() {
+            0 => None,
+            1 => Some(children[0]),
+            _ => Some(self.new_node(Kind::P, children, labels, label)),
+        }
+    }
+
+    fn set_children(&mut self, x: usize, children: Vec<usize>) {
+        for &c in &children {
+            self.nodes[c].parent = Some(x);
+        }
+        self.nodes[x].children = children;
+    }
+
+    /// Splices the children of `child` into `x` at `pos`, dissolving `child`.
+    fn splice_into(&mut self, x: usize, pos: usize, child: usize) {
+        let grandchildren = std::mem::take(&mut self.nodes[child].children);
+        self.nodes[child].dead = true;
+        for &g in &grandchildren {
+            self.nodes[g].parent = Some(x);
+        }
+        self.nodes[x].children.splice(pos..=pos, grandchildren);
+    }
+
+    /// If `x` ended up with a single child, replace `x` by that child.
+    fn normalize_single_child(&mut self, x: usize) {
+        if matches!(self.nodes[x].kind, Kind::Leaf(_)) || self.nodes[x].children.len() != 1 {
+            return;
+        }
+        let child = self.nodes[x].children[0];
+        // Move the child's payload into x so parents keep their pointers.
+        let child_node = std::mem::replace(
+            &mut self.nodes[child],
+            Node {
+                kind: Kind::P,
+                children: Vec::new(),
+                parent: None,
+                dead: true,
+            },
+        );
+        self.nodes[x].kind = child_node.kind;
+        self.nodes[x].children = child_node.children;
+        if let Kind::Leaf(e) = self.nodes[x].kind {
+            self.leaf_node[e] = x;
+        }
+        let kids = self.nodes[x].children.clone();
+        for c in kids {
+            self.nodes[c].parent = Some(x);
+        }
+    }
+
+    fn apply_template(
+        &mut self,
+        x: usize,
+        is_root: bool,
+        labels: &mut Vec<Label>,
+    ) -> Result<(), NotReducible> {
+        debug_assert!(!self.nodes[x].dead, "processing dead node");
+        // L1: leaves in the pertinent set.
+        if matches!(self.nodes[x].kind, Kind::Leaf(_)) {
+            labels[x] = Label::Full;
+            return Ok(());
+        }
+
+        let children = self.nodes[x].children.clone();
+        let mut empty = Vec::new();
+        let mut full = Vec::new();
+        let mut partial = Vec::new();
+        for &c in &children {
+            match labels[c] {
+                Label::Empty => empty.push(c),
+                Label::Full => full.push(c),
+                Label::Partial => partial.push(c),
+            }
+        }
+
+        // P1 / Q1: everything full.
+        if partial.is_empty() && empty.is_empty() {
+            labels[x] = Label::Full;
+            // For the pertinent root nothing else is needed.
+            return Ok(());
+        }
+
+        match self.nodes[x].kind.clone() {
+            Kind::Leaf(_) => unreachable!("handled above"),
+            Kind::P => {
+                if is_root {
+                    self.template_p_root(x, empty, full, partial, labels)
+                } else {
+                    self.template_p_nonroot(x, empty, full, partial, labels)
+                }
+            }
+            Kind::Q => {
+                if is_root {
+                    self.template_q_root(x, labels)
+                } else {
+                    self.template_q_nonroot(x, labels)
+                }
+            }
+        }
+    }
+
+    /// Templates P2 / P4 / P6 (P-node as pertinent root).
+    fn template_p_root(
+        &mut self,
+        x: usize,
+        empty: Vec<usize>,
+        full: Vec<usize>,
+        partial: Vec<usize>,
+        labels: &mut Vec<Label>,
+    ) -> Result<(), NotReducible> {
+        match partial.len() {
+            0 => {
+                // P2: group ≥2 full children under a fresh full P child.
+                if full.len() >= 2 {
+                    let full_p = self.new_node(Kind::P, full.clone(), labels, Label::Full);
+                    let mut kids = empty;
+                    kids.push(full_p);
+                    self.set_children(x, kids);
+                }
+                Ok(())
+            }
+            1 => {
+                // P4: hang the full children off the full end of the partial.
+                let q = partial[0];
+                if let Some(full_part) = self.wrap_part(full, labels, Label::Full) {
+                    self.nodes[q].children.push(full_part);
+                    self.nodes[full_part].parent = Some(q);
+                }
+                let mut kids = empty;
+                kids.push(q);
+                self.set_children(x, kids);
+                self.normalize_single_child(x);
+                Ok(())
+            }
+            2 => {
+                // P6: merge both partials (and fulls between them) into one Q.
+                let (q1, q2) = (partial[0], partial[1]);
+                let mut merged = std::mem::take(&mut self.nodes[q1].children);
+                if let Some(full_part) = self.wrap_part(full, labels, Label::Full) {
+                    merged.push(full_part);
+                }
+                let mut right = std::mem::take(&mut self.nodes[q2].children);
+                self.nodes[q2].dead = true;
+                right.reverse(); // full→empty so fulls stay adjacent
+                merged.extend(right);
+                self.set_children(q1, merged);
+                let mut kids = empty;
+                kids.push(q1);
+                self.set_children(x, kids);
+                self.normalize_single_child(x);
+                Ok(())
+            }
+            _ => Err(NotReducible),
+        }
+    }
+
+    /// Templates P3 / P5 (P-node below the pertinent root).
+    fn template_p_nonroot(
+        &mut self,
+        x: usize,
+        empty: Vec<usize>,
+        full: Vec<usize>,
+        partial: Vec<usize>,
+        labels: &mut Vec<Label>,
+    ) -> Result<(), NotReducible> {
+        match partial.len() {
+            0 => {
+                // P3: become a partial Q-node [empty_part, full_part].
+                let mut kids = Vec::with_capacity(2);
+                if let Some(e) = self.wrap_part(empty, labels, Label::Empty) {
+                    kids.push(e);
+                }
+                if let Some(f) = self.wrap_part(full, labels, Label::Full) {
+                    kids.push(f);
+                }
+                debug_assert_eq!(kids.len(), 2, "P3 needs both sides");
+                self.nodes[x].kind = Kind::Q;
+                self.set_children(x, kids);
+                labels[x] = Label::Partial;
+                Ok(())
+            }
+            1 => {
+                // P5: become a partial Q absorbing the partial child.
+                let q = partial[0];
+                let mut kids = Vec::new();
+                if let Some(e) = self.wrap_part(empty, labels, Label::Empty) {
+                    kids.push(e);
+                }
+                kids.extend(std::mem::take(&mut self.nodes[q].children));
+                self.nodes[q].dead = true;
+                if let Some(f) = self.wrap_part(full, labels, Label::Full) {
+                    kids.push(f);
+                }
+                self.nodes[x].kind = Kind::Q;
+                self.set_children(x, kids);
+                labels[x] = Label::Partial;
+                Ok(())
+            }
+            _ => Err(NotReducible),
+        }
+    }
+
+    /// Template Q2 (Q-node below the pertinent root): children must read
+    /// `E* [partial]? F*` in one of the two orientations.
+    fn template_q_nonroot(&mut self, x: usize, labels: &mut [Label]) -> Result<(), NotReducible> {
+        let seq: Vec<Label> = self.nodes[x].children.iter().map(|&c| labels[c]).collect();
+        let forward = Self::matches_singly_partial(&seq);
+        let backward = {
+            let mut rev = seq.clone();
+            rev.reverse();
+            Self::matches_singly_partial(&rev)
+        };
+        if !forward && !backward {
+            return Err(NotReducible);
+        }
+        if !forward {
+            self.nodes[x].children.reverse();
+        }
+        // Absorb the partial child (children already ordered empty→full).
+        if let Some(pos) = self.nodes[x]
+            .children
+            .iter()
+            .position(|&c| labels[c] == Label::Partial)
+        {
+            let q = self.nodes[x].children[pos];
+            self.splice_into(x, pos, q);
+        }
+        labels[x] = Label::Partial;
+        Ok(())
+    }
+
+    /// Template Q3 (Q-node as pertinent root): children must read
+    /// `E* [partial]? F* [partial]? E*`.
+    fn template_q_root(&mut self, x: usize, labels: &mut [Label]) -> Result<(), NotReducible> {
+        let seq: Vec<Label> = self.nodes[x].children.iter().map(|&c| labels[c]).collect();
+        if !Self::matches_doubly_partial(&seq) {
+            return Err(NotReducible);
+        }
+        // Absorb up to two partial children. The left one is already
+        // oriented empty→full; the right one must be reversed (full→empty).
+        let partial_positions: Vec<usize> = (0..seq.len())
+            .filter(|&i| seq[i] == Label::Partial)
+            .collect();
+        match partial_positions.len() {
+            0 => {}
+            1 => {
+                let pos = partial_positions[0];
+                let q = self.nodes[x].children[pos];
+                // Orient: the full side must face the F-block. If everything
+                // to the left of `pos` is empty and something to the right is
+                // full (or nothing either side), empty→full is correct;
+                // if fulls lie to the LEFT, reverse the partial's children.
+                let fulls_left = seq[..pos].contains(&Label::Full);
+                if fulls_left {
+                    self.nodes[q].children.reverse();
+                }
+                self.splice_into(x, pos, q);
+            }
+            2 => {
+                // Right partial first so the left position stays valid.
+                let (lpos, rpos) = (partial_positions[0], partial_positions[1]);
+                let rq = self.nodes[x].children[rpos];
+                self.nodes[rq].children.reverse();
+                self.splice_into(x, rpos, rq);
+                let lq = self.nodes[x].children[lpos];
+                self.splice_into(x, lpos, lq);
+            }
+            _ => return Err(NotReducible),
+        }
+        labels[x] = Label::Full; // root-level bookkeeping only
+        Ok(())
+    }
+
+    /// `E* P? F*`
+    fn matches_singly_partial(seq: &[Label]) -> bool {
+        let mut i = 0;
+        while i < seq.len() && seq[i] == Label::Empty {
+            i += 1;
+        }
+        if i < seq.len() && seq[i] == Label::Partial {
+            i += 1;
+        }
+        while i < seq.len() && seq[i] == Label::Full {
+            i += 1;
+        }
+        i == seq.len()
+    }
+
+    /// `E* P? F* P? E*`
+    fn matches_doubly_partial(seq: &[Label]) -> bool {
+        let mut i = 0;
+        while i < seq.len() && seq[i] == Label::Empty {
+            i += 1;
+        }
+        if i < seq.len() && seq[i] == Label::Partial {
+            i += 1;
+        }
+        while i < seq.len() && seq[i] == Label::Full {
+            i += 1;
+        }
+        if i < seq.len() && seq[i] == Label::Partial {
+            i += 1;
+        }
+        while i < seq.len() && seq[i] == Label::Empty {
+            i += 1;
+        }
+        i == seq.len()
+    }
+
+    // ----- queries -------------------------------------------------------
+
+    /// One permutation consistent with all reductions so far (left-to-right
+    /// leaves of the tree).
+    pub fn frontier(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.n_elements);
+        let mut stack = vec![self.root];
+        while let Some(x) = stack.pop() {
+            match &self.nodes[x].kind {
+                Kind::Leaf(e) => out.push(*e),
+                _ => {
+                    for &c in self.nodes[x].children.iter().rev() {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of permutations the tree still represents, as `f64` (factorials
+    /// overflow integers quickly). P-nodes contribute `c!`, Q-nodes with
+    /// `≥ 2` children contribute `2`.
+    pub fn count_orderings(&self) -> f64 {
+        fn fact(n: usize) -> f64 {
+            (2..=n).map(|i| i as f64).product()
+        }
+        let mut total = 1.0;
+        let mut stack = vec![self.root];
+        while let Some(x) = stack.pop() {
+            match &self.nodes[x].kind {
+                Kind::Leaf(_) => {}
+                Kind::P => {
+                    total *= fact(self.nodes[x].children.len());
+                    stack.extend(&self.nodes[x].children);
+                }
+                Kind::Q => {
+                    if self.nodes[x].children.len() >= 2 {
+                        total *= 2.0;
+                    }
+                    stack.extend(&self.nodes[x].children);
+                }
+            }
+        }
+        total
+    }
+
+    /// Internal consistency check used by tests: parent pointers match the
+    /// child lists, every live non-leaf has ≥2 children, every element
+    /// appears exactly once in the frontier.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut seen = vec![false; self.n_elements];
+        let mut stack = vec![self.root];
+        while let Some(x) = stack.pop() {
+            let node = &self.nodes[x];
+            assert!(!node.dead, "dead node {x} reachable");
+            match &node.kind {
+                Kind::Leaf(e) => {
+                    assert!(!seen[*e], "element {e} appears twice");
+                    seen[*e] = true;
+                    assert!(node.children.is_empty());
+                }
+                _ => {
+                    assert!(
+                        node.children.len() >= 2,
+                        "internal node {x} has {} children",
+                        node.children.len()
+                    );
+                    for &c in &node.children {
+                        assert_eq!(self.nodes[c].parent, Some(x), "parent pointer broken");
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "frontier misses elements");
+    }
+}
+
+/// Convenience: computes a row ordering under which all `sets` become
+/// consecutive, or `None` if impossible. This is the Booth–Lueker C1P test.
+pub fn c1p_ordering(n_elements: usize, sets: &[Vec<usize>]) -> Option<Vec<usize>> {
+    if n_elements == 0 {
+        return Some(Vec::new());
+    }
+    let mut tree = PqTree::new(n_elements);
+    for set in sets {
+        if tree.reduce(set).is_err() {
+            return None;
+        }
+    }
+    Some(tree.frontier())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consecutive_in(order: &[usize], set: &[usize]) -> bool {
+        if set.len() <= 1 {
+            return true;
+        }
+        let pos: Vec<usize> = set
+            .iter()
+            .map(|e| order.iter().position(|x| x == e).unwrap())
+            .collect();
+        let (min, max) = (
+            *pos.iter().min().unwrap(),
+            *pos.iter().max().unwrap(),
+        );
+        max - min + 1 == set.len()
+    }
+
+    #[test]
+    fn universal_tree_counts_factorial() {
+        let t = PqTree::new(4);
+        assert_eq!(t.count_orderings(), 24.0);
+        assert_eq!(t.frontier().len(), 4);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn single_element_tree() {
+        let t = PqTree::new(1);
+        assert_eq!(t.frontier(), vec![0]);
+        assert_eq!(t.count_orderings(), 1.0);
+    }
+
+    #[test]
+    fn single_reduction_p3() {
+        let mut t = PqTree::new(5);
+        t.reduce(&[1, 3]).unwrap();
+        t.check_invariants();
+        let f = t.frontier();
+        assert!(consecutive_in(&f, &[1, 3]));
+    }
+
+    #[test]
+    fn chain_of_overlapping_pairs_forces_path() {
+        // {0,1},{1,2},{2,3} force the order 0,1,2,3 (or reverse).
+        let mut t = PqTree::new(4);
+        for s in [[0, 1], [1, 2], [2, 3]] {
+            t.reduce(&s).unwrap();
+            t.check_invariants();
+        }
+        let f = t.frontier();
+        assert!(f == vec![0, 1, 2, 3] || f == vec![3, 2, 1, 0]);
+        assert_eq!(t.count_orderings(), 2.0);
+    }
+
+    #[test]
+    fn incompatible_sets_rejected() {
+        // {0,1}, {2,3} and {0,2} cannot all be consecutive with {1,3} apart:
+        // the classic K4 witness: pairs {0,1},{1,2},{2,3},{3,0} cannot all be
+        // consecutive in a linear order of 4 distinct elements.
+        let mut t = PqTree::new(4);
+        t.reduce(&[0, 1]).unwrap();
+        t.reduce(&[1, 2]).unwrap();
+        t.reduce(&[2, 3]).unwrap();
+        assert_eq!(t.reduce(&[3, 0]), Err(NotReducible));
+        assert!(t.is_poisoned());
+        assert_eq!(t.reduce(&[0, 1]), Err(NotReducible));
+    }
+
+    #[test]
+    fn nested_sets_allowed() {
+        let mut t = PqTree::new(6);
+        t.reduce(&[0, 1, 2, 3]).unwrap();
+        t.reduce(&[1, 2]).unwrap();
+        t.reduce(&[0, 1, 2]).unwrap();
+        t.check_invariants();
+        let f = t.frontier();
+        for s in [vec![0, 1, 2, 3], vec![1, 2], vec![0, 1, 2]] {
+            assert!(consecutive_in(&f, &s), "set {s:?} not consecutive in {f:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_sets_q_node_path() {
+        let mut t = PqTree::new(5);
+        t.reduce(&[0, 1, 2]).unwrap();
+        t.reduce(&[1, 2, 3]).unwrap();
+        t.check_invariants();
+        let f = t.frontier();
+        assert!(consecutive_in(&f, &[0, 1, 2]));
+        assert!(consecutive_in(&f, &[1, 2, 3]));
+        // Further compatible reduction through the Q-node.
+        t.reduce(&[2, 3, 4]).unwrap();
+        t.check_invariants();
+        let f = t.frontier();
+        assert!(f == vec![0, 1, 2, 3, 4] || f == vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn full_set_and_singletons_are_noops() {
+        let mut t = PqTree::new(3);
+        t.reduce(&[0, 1, 2]).unwrap();
+        t.reduce(&[1]).unwrap();
+        t.reduce(&[]).unwrap();
+        assert_eq!(t.count_orderings(), 6.0);
+    }
+
+    #[test]
+    fn duplicate_elements_deduped() {
+        let mut t = PqTree::new(4);
+        t.reduce(&[1, 1, 2, 2]).unwrap();
+        let f = t.frontier();
+        assert!(consecutive_in(&f, &[1, 2]));
+    }
+
+    #[test]
+    fn interval_matrix_counts() {
+        // Sets {0,1} and {2,3} over 4 elements: each pair may be internally
+        // swapped (2·2) and the two blocks + nothing else... the tree is a
+        // root P over two P pairs: 2! · 2! · 2! = 8 orderings.
+        let mut t = PqTree::new(4);
+        t.reduce(&[0, 1]).unwrap();
+        t.reduce(&[2, 3]).unwrap();
+        t.check_invariants();
+        assert_eq!(t.count_orderings(), 8.0);
+    }
+
+    #[test]
+    fn c1p_ordering_convenience() {
+        let order = c1p_ordering(4, &[vec![0, 1], vec![1, 2], vec![2, 3]]).unwrap();
+        assert!(order == vec![0, 1, 2, 3] || order == vec![3, 2, 1, 0]);
+        assert!(c1p_ordering(4, &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]]).is_none());
+    }
+
+    #[test]
+    fn q3_with_two_partials() {
+        // Build a Q-node 0..4 via chained pairs, then reduce a set that is
+        // partial on both ends of an inner block.
+        let mut t = PqTree::new(6);
+        t.reduce(&[0, 1, 2]).unwrap();
+        t.reduce(&[2, 3]).unwrap();
+        t.reduce(&[3, 4]).unwrap();
+        t.reduce(&[4, 5]).unwrap();
+        t.check_invariants();
+        // This set spans the middle of the forced chain.
+        t.reduce(&[1, 2, 3, 4]).unwrap();
+        t.check_invariants();
+        let f = t.frontier();
+        for s in [vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![1, 2, 3, 4]] {
+            assert!(consecutive_in(&f, &s), "set {s:?} not consecutive in {f:?}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests: the PQ-tree must agree with the exhaustive oracle on
+//! small random binary matrices, and its frontier must witness C1P.
+
+use hnd_linalg::CsrMatrix;
+use hnd_c1p::{brute_force_pre_p, is_p_matrix, pre_p_ordering, PqTree};
+use proptest::prelude::*;
+
+/// Random binary matrix as row bitmaps: `rows × cols` with each cell 1 with
+/// probability ~1/2.
+fn binary_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (2usize..=6, 1usize..=6).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(proptest::bool::ANY, rows * cols).prop_map(move |bits| {
+            CsrMatrix::from_triplets(
+                rows,
+                cols,
+                bits.iter().enumerate().filter(|(_, &b)| b).map(|(idx, _)| {
+                    (idx / cols, idx % cols, 1.0)
+                }),
+            )
+        })
+    })
+}
+
+/// A random pre-P matrix: random interval columns over `rows` elements,
+/// then rows shuffled by a random permutation.
+fn shuffled_interval_matrix() -> impl Strategy<Value = (CsrMatrix, Vec<usize>)> {
+    (3usize..=8, 1usize..=8).prop_flat_map(|(rows, cols)| {
+        let intervals = proptest::collection::vec((0..rows, 0..rows), cols);
+        let perm = Just(()).prop_perturb(move |_, mut rng| {
+            let mut p: Vec<usize> = (0..rows).collect();
+            for i in (1..rows).rev() {
+                let j = (rng.next_u64() as usize) % (i + 1);
+                p.swap(i, j);
+            }
+            p
+        });
+        (intervals, perm).prop_map(move |(ivs, perm)| {
+            let mut triplets = Vec::new();
+            for (col, (a, b)) in ivs.iter().enumerate() {
+                let (lo, hi) = (*a.min(b), *a.max(b));
+                for row in lo..=hi {
+                    triplets.push((row, col, 1.0));
+                }
+            }
+            let base = CsrMatrix::from_triplets(rows, cols, triplets);
+            (base.permute_rows(&perm), perm)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pq_tree_agrees_with_brute_force(m in binary_matrix()) {
+        let pq = pre_p_ordering(&m);
+        let brute = brute_force_pre_p(&m);
+        prop_assert_eq!(pq.is_some(), brute.is_some(),
+            "PQ-tree and oracle disagree on pre-P status");
+        if let Some(order) = pq {
+            prop_assert!(is_p_matrix(&m.permute_rows(&order)),
+                "PQ-tree frontier does not witness C1P");
+        }
+    }
+
+    #[test]
+    fn shuffled_interval_matrices_are_always_recovered((m, _perm) in shuffled_interval_matrix()) {
+        let order = pre_p_ordering(&m);
+        prop_assert!(order.is_some(), "interval matrix must be pre-P");
+        let order = order.unwrap();
+        prop_assert!(is_p_matrix(&m.permute_rows(&order)));
+    }
+
+    #[test]
+    fn reduce_keeps_invariants(sets in proptest::collection::vec(
+        proptest::collection::vec(0usize..6, 0..6), 0..8)
+    ) {
+        let mut tree = PqTree::new(6);
+        for set in &sets {
+            if tree.reduce(set).is_err() {
+                break;
+            }
+            tree.check_invariants();
+            // Frontier always contains each element exactly once.
+            let mut f = tree.frontier();
+            f.sort_unstable();
+            prop_assert_eq!(f, (0..6).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn count_orderings_never_increases(sets in proptest::collection::vec(
+        proptest::collection::vec(0usize..5, 2..5), 1..6)
+    ) {
+        let mut tree = PqTree::new(5);
+        let mut last = tree.count_orderings();
+        for set in &sets {
+            if tree.reduce(set).is_err() {
+                break;
+            }
+            let now = tree.count_orderings();
+            prop_assert!(now <= last + 1e-9, "reduce increased orderings: {last} -> {now}");
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Plain AvgHITS (Section III-B) — kept as an executable demonstration.
+//!
+//! The iteration `s ← Crow (Ccol)ᵀ s` converges to the all-ones direction
+//! (Lemma 4), which carries **no ranking information**: this is precisely
+//! the observation that motivates HITSnDIFFS' switch to the second
+//! eigenvector. `AvgHits::iterate` exists so that tests (and curious users)
+//! can watch the collapse happen.
+
+use hnd_response::{RankError, ResponseMatrix, ResponseOps};
+
+/// The AvgHITS iteration.
+#[derive(Debug, Clone)]
+pub struct AvgHits {
+    /// Convergence tolerance on the normalized score change.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+}
+
+impl Default for AvgHits {
+    fn default() -> Self {
+        AvgHits {
+            tol: 1e-10,
+            max_iter: 10_000,
+        }
+    }
+}
+
+/// Outcome of the AvgHITS fixed point iteration.
+#[derive(Debug, Clone)]
+pub struct AvgHitsOutcome {
+    /// Converged (unit-normalized) user scores.
+    pub scores: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance fired.
+    pub converged: bool,
+}
+
+impl AvgHits {
+    /// Runs the iteration from the given start vector.
+    ///
+    /// # Errors
+    /// Rejects empty matrices.
+    pub fn iterate(
+        &self,
+        matrix: &ResponseMatrix,
+        start: &[f64],
+    ) -> Result<AvgHitsOutcome, RankError> {
+        let m = matrix.n_users();
+        if start.len() != m {
+            return Err(RankError::InvalidInput(format!(
+                "start vector has length {}, expected {m}",
+                start.len()
+            )));
+        }
+        let ops = ResponseOps::new(matrix);
+        let mut s = start.to_vec();
+        hnd_linalg::vector::normalize(&mut s);
+        let mut w = vec![0.0; ops.n_option_columns()];
+        let mut next = vec![0.0; m];
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < self.max_iter {
+            ops.u_apply(&s, &mut w, &mut next);
+            iterations += 1;
+            if hnd_linalg::vector::normalize(&mut next) == 0.0 {
+                break;
+            }
+            let delta = hnd_linalg::vector::sign_invariant_distance(&s, &next);
+            std::mem::swap(&mut s, &mut next);
+            if delta <= self.tol {
+                converged = true;
+                break;
+            }
+        }
+        Ok(AvgHitsOutcome {
+            scores: s,
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_ones_direction_lemma4() {
+        // Connected matrix → the fixed point is e/‖e‖ regardless of start.
+        let m = ResponseMatrix::from_choices(
+            2,
+            &[2, 2],
+            &[
+                &[Some(0), Some(0)],
+                &[Some(0), Some(1)],
+                &[Some(1), Some(1)],
+            ],
+        )
+        .unwrap();
+        let out = AvgHits::default()
+            .iterate(&m, &[0.9, 0.05, 0.05])
+            .unwrap();
+        assert!(out.converged);
+        let expected = 1.0 / 3.0f64.sqrt();
+        for s in &out.scores {
+            assert!(
+                (s.abs() - expected).abs() < 1e-6,
+                "scores collapse to e: {:?}",
+                out.scores
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_start_length() {
+        let m = ResponseMatrix::from_choices(1, &[2], &[&[Some(0)]]).unwrap();
+        assert!(AvgHits::default().iterate(&m, &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Spectral diagnostics: how trustworthy is a HITSnDIFFS ranking?
+//!
+//! Section III-E ties ranking robustness to the spectrum of the update
+//! matrix: sign changes in `sdiff` entries scramble the ranking, and their
+//! likelihood grows as the spectral gap between `λ₂` and `λ₃` of `U`
+//! shrinks (perturbation theory \[61\]). [`SpectralDiagnostics`] surfaces
+//! that information so callers can decide whether to trust a ranking —
+//! a practical addition the paper's analysis directly motivates.
+
+use crate::operators::SymmetrizedUOp;
+use hnd_linalg::{lanczos_extreme, LanczosOptions, Which};
+use hnd_response::{RankError, ResponseMatrix, ResponseOps};
+
+/// Spectral summary of the AvgHITS update matrix for a response matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralDiagnostics {
+    /// Largest eigenvalue of `U` (1.0 for connected inputs, Lemma 4).
+    pub lambda1: f64,
+    /// Second largest eigenvalue — the one HND ranks by.
+    pub lambda2: f64,
+    /// Third largest eigenvalue.
+    pub lambda3: f64,
+    /// Relative gap `(λ₂ − λ₃) / λ₂`; small values mean the ranking
+    /// direction is poorly separated from the next spectral mode and small
+    /// perturbations of the data can reorder users.
+    pub relative_gap: f64,
+    /// Number of connected components of the response graph (rankings are
+    /// only comparable within one component).
+    pub components: usize,
+}
+
+impl SpectralDiagnostics {
+    /// Computes the diagnostics via the symmetrized Lanczos route.
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures; requires ≥ 3 users (below that the
+    /// spectrum has no third mode to compare against).
+    pub fn compute(matrix: &ResponseMatrix) -> Result<Self, RankError> {
+        if matrix.n_users() < 3 {
+            return Err(RankError::InvalidInput(
+                "spectral diagnostics need at least 3 users".into(),
+            ));
+        }
+        let ops = ResponseOps::new(matrix);
+        let sym = SymmetrizedUOp::new(&ops);
+        let x0 = hnd_linalg::power::deterministic_start(matrix.n_users());
+        let pairs = lanczos_extreme(&sym, 3, Which::Largest, &x0, &LanczosOptions::default())
+            .map_err(|e| RankError::Numerical(e.to_string()))?;
+        let lambda1 = pairs[0].value;
+        let lambda2 = pairs[1].value;
+        let lambda3 = pairs[2].value;
+        let relative_gap = if lambda2.abs() > 1e-12 {
+            (lambda2 - lambda3) / lambda2.abs()
+        } else {
+            0.0
+        };
+        Ok(SpectralDiagnostics {
+            lambda1,
+            lambda2,
+            lambda3,
+            relative_gap,
+            components: matrix.connectivity().components,
+        })
+    }
+
+    /// A coarse confidence verdict: `true` when the input is connected and
+    /// the ranking mode is well separated.
+    pub fn ranking_is_well_separated(&self) -> bool {
+        self.components == 1 && self.relative_gap > 0.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staircase(m: usize) -> ResponseMatrix {
+        let n = m - 1;
+        let rows: Vec<Vec<Option<u16>>> = (0..m)
+            .map(|j| (0..n).map(|i| Some(u16::from(j > i))).collect())
+            .collect();
+        let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+        ResponseMatrix::from_choices(n, &vec![2u16; n], &refs).unwrap()
+    }
+
+    #[test]
+    fn ideal_data_has_unit_lambda1_and_clear_gap() {
+        let d = SpectralDiagnostics::compute(&staircase(20)).unwrap();
+        assert!((d.lambda1 - 1.0).abs() < 1e-9, "λ1 = {}", d.lambda1);
+        assert!(d.lambda2 < 1.0);
+        assert!(d.lambda2 > d.lambda3);
+        assert_eq!(d.components, 1);
+    }
+
+    #[test]
+    fn random_noise_has_smaller_gap_than_structure() {
+        // Strong C1P structure vs near-random answers: the structured input
+        // must show the larger relative gap.
+        let structured = SpectralDiagnostics::compute(&staircase(24)).unwrap();
+        let rows: Vec<Vec<Option<u16>>> = (0..24)
+            .map(|j| {
+                (0..23)
+                    .map(|i| Some((((j * 7 + i * 13) % 5) % 2) as u16))
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+        let noisy = ResponseMatrix::from_choices(23, &[2u16; 23], &refs).unwrap();
+        let random = SpectralDiagnostics::compute(&noisy).unwrap();
+        assert!(
+            structured.relative_gap > random.relative_gap,
+            "structured {} vs random {}",
+            structured.relative_gap,
+            random.relative_gap
+        );
+    }
+
+    #[test]
+    fn too_few_users_rejected() {
+        let m = ResponseMatrix::from_choices(1, &[2], &[&[Some(0)], &[Some(1)]]).unwrap();
+        assert!(SpectralDiagnostics::compute(&m).is_err());
+    }
+}

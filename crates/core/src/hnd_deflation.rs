@@ -1,0 +1,155 @@
+//! `HND-deflation`: the second eigenvector of `U` via Hotelling's matrix
+//! deflation (Section III-F).
+//!
+//! Hotelling deflation needs both the right and the left dominant
+//! eigenvectors of `U`. The right one is known analytically (`e`, Lemma 4);
+//! the left one costs one extra round of power iteration on `Uᵀ` — which is
+//! exactly why the paper measures this variant ~20% slower than
+//! `HND-power`.
+
+use crate::operators::{UOp, UTransposeOp};
+use hnd_linalg::deflation::HotellingDeflatedOp;
+use hnd_linalg::power::{power_iteration, PowerOptions};
+use hnd_response::{
+    orient_by_decile_entropy, AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps,
+};
+
+/// The deflation-based HND implementation.
+#[derive(Debug, Clone)]
+pub struct HndDeflation {
+    /// Power-iteration options shared by both rounds.
+    pub power: PowerOptions,
+    /// Apply decile-entropy symmetry breaking.
+    pub orient: bool,
+}
+
+impl Default for HndDeflation {
+    fn default() -> Self {
+        HndDeflation {
+            power: PowerOptions::default(),
+            orient: true,
+        }
+    }
+}
+
+impl HndDeflation {
+    /// Returns the second-largest eigenvector of `U` and the total
+    /// iteration count across both power-iteration rounds.
+    pub fn second_eigenvector(
+        &self,
+        matrix: &ResponseMatrix,
+    ) -> Result<(Vec<f64>, usize), RankError> {
+        let m = matrix.n_users();
+        if m < 2 {
+            return Err(RankError::InvalidInput(
+                "HND-deflation needs at least 2 users".into(),
+            ));
+        }
+        let ops = ResponseOps::new(matrix);
+        // Round 1: dominant LEFT eigenvector of U (power iteration on Uᵀ).
+        let ut = UTransposeOp::new(&ops);
+        let left_out = power_iteration(
+            &ut,
+            &hnd_linalg::power::deterministic_start(m),
+            &self.power,
+        );
+        // Round 2: power iteration on the deflated operator.
+        let u = UOp::new(&ops);
+        let ones = vec![1.0; m];
+        let deflated = HotellingDeflatedOp::new(&u, 1.0, ones, left_out.vector);
+        let main_out = power_iteration(
+            &deflated,
+            &hnd_linalg::power::deterministic_start(m),
+            &self.power,
+        );
+        Ok((main_out.vector, left_out.iterations + main_out.iterations))
+    }
+}
+
+impl AbilityRanker for HndDeflation {
+    fn name(&self) -> &'static str {
+        "HnD-deflation"
+    }
+
+    fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        if matrix.n_users() == 1 {
+            return Ok(Ranking::from_scores(vec![0.0]));
+        }
+        let (v2, iterations) = self.second_eigenvector(matrix)?;
+        let mut ranking = Ranking {
+            scores: v2,
+            iterations,
+            converged: true,
+        };
+        if self.orient {
+            orient_by_decile_entropy(matrix, &mut ranking);
+        }
+        Ok(ranking)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staircase(m: usize) -> ResponseMatrix {
+        let n = m - 1;
+        let rows: Vec<Vec<Option<u16>>> = (0..m)
+            .map(|j| (0..n).map(|i| Some(u16::from(j > i))).collect())
+            .collect();
+        let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+        ResponseMatrix::from_choices(n, &vec![2u16; n], &refs).unwrap()
+    }
+
+    #[test]
+    fn recovers_c1p_ordering() {
+        let r = staircase(12);
+        let perm: Vec<usize> = vec![5, 2, 9, 0, 11, 3, 7, 1, 10, 4, 8, 6];
+        let shuffled = r.permute_users(&perm);
+        let ranker = HndDeflation {
+            orient: false,
+            ..Default::default()
+        };
+        let ranking = ranker.rank(&shuffled).unwrap();
+        let recovered: Vec<usize> = ranking
+            .order_best_to_worst()
+            .iter()
+            .map(|&i| perm[i])
+            .collect();
+        let m = recovered.len();
+        let ok = recovered.iter().enumerate().all(|(i, &u)| u == i)
+            || recovered.iter().enumerate().all(|(i, &u)| u == m - 1 - i);
+        assert!(ok, "got {recovered:?}");
+    }
+
+    #[test]
+    fn eigenvector_is_actually_of_u() {
+        // The deflated fixed point must be an eigenvector of U itself with
+        // eigenvalue < 1.
+        let r = staircase(10);
+        let (v2, _) = HndDeflation::default().second_eigenvector(&r).unwrap();
+        let ops = ResponseOps::new(&r);
+        let u = UOp::new(&ops);
+        let uv = hnd_linalg::op::LinearOp::apply_vec(&u, &v2);
+        let lambda = hnd_linalg::vector::dot(&v2, &uv);
+        assert!(lambda < 1.0 - 1e-6, "λ₂ = {lambda} must be below 1");
+        let mut res = uv;
+        hnd_linalg::vector::axpy(-lambda, &v2, &mut res);
+        assert!(
+            hnd_linalg::vector::norm2(&res) < 1e-3,
+            "residual {}",
+            hnd_linalg::vector::norm2(&res)
+        );
+    }
+
+    #[test]
+    fn agrees_with_hnd_power() {
+        let r = staircase(14);
+        let a = crate::HitsNDiffs::default().rank(&r).unwrap();
+        let b = HndDeflation::default().rank(&r).unwrap();
+        let oa = a.order_best_to_worst();
+        let ob = b.order_best_to_worst();
+        let rev: Vec<usize> = ob.iter().rev().copied().collect();
+        assert!(oa == ob || oa == rev, "{oa:?} vs {ob:?}");
+    }
+}

@@ -1,0 +1,140 @@
+//! `HND-direct`: the second eigenvector of `U` via a Krylov eigensolver.
+//!
+//! The paper's Python implementation calls SciPy's Arnoldi (`eigs`) on the
+//! asymmetric `U`. We exploit a structural fact instead: with
+//! `Dr = diag(answers per user)` and `Dc = diag(picks per option)`,
+//! `U = Dr⁻¹ C Dc⁻¹ Cᵀ` is *similar* to the symmetric
+//! `Ũ = Dr^{-1/2} C Dc⁻¹ Cᵀ Dr^{-1/2}`, so Lanczos on `Ũ` retrieves the
+//! same eigenvalues with better numerics; eigenvectors map back through
+//! `Dr^{-1/2}` (see [`crate::operators::SymmetrizedUOp`]).
+
+use crate::operators::SymmetrizedUOp;
+use hnd_linalg::{lanczos_extreme, LanczosOptions, Which};
+use hnd_response::{
+    orient_by_decile_entropy, AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps,
+};
+
+/// The Lanczos-based HND implementation.
+#[derive(Debug, Clone)]
+pub struct HndDirect {
+    /// Lanczos options.
+    pub lanczos: LanczosOptions,
+    /// Apply decile-entropy symmetry breaking.
+    pub orient: bool,
+}
+
+impl Default for HndDirect {
+    fn default() -> Self {
+        HndDirect {
+            lanczos: LanczosOptions::default(),
+            orient: true,
+        }
+    }
+}
+
+impl HndDirect {
+    /// Returns the second-largest eigenvector of `U` (mapped back from the
+    /// symmetrized operator).
+    pub fn second_eigenvector(&self, matrix: &ResponseMatrix) -> Result<Vec<f64>, RankError> {
+        let m = matrix.n_users();
+        if m < 2 {
+            return Err(RankError::InvalidInput(
+                "HND-direct needs at least 2 users".into(),
+            ));
+        }
+        let ops = ResponseOps::new(matrix);
+        let sym = SymmetrizedUOp::new(&ops);
+        let x0 = hnd_linalg::power::deterministic_start(m);
+        let pairs = lanczos_extreme(&sym, 2, Which::Largest, &x0, &self.lanczos)
+            .map_err(|e| RankError::Numerical(e.to_string()))?;
+        let second = pairs
+            .into_iter()
+            .nth(1)
+            .expect("requested two Ritz pairs");
+        Ok(sym.to_u_eigenvector(&second.vector))
+    }
+}
+
+impl AbilityRanker for HndDirect {
+    fn name(&self) -> &'static str {
+        "HnD-direct"
+    }
+
+    fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        if matrix.n_users() == 1 {
+            return Ok(Ranking::from_scores(vec![0.0]));
+        }
+        let v2 = self.second_eigenvector(matrix)?;
+        let mut ranking = Ranking {
+            scores: v2,
+            iterations: 0,
+            converged: true,
+        };
+        if self.orient {
+            orient_by_decile_entropy(matrix, &mut ranking);
+        }
+        Ok(ranking)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staircase(m: usize) -> ResponseMatrix {
+        let n = m - 1;
+        let rows: Vec<Vec<Option<u16>>> = (0..m)
+            .map(|j| (0..n).map(|i| Some(u16::from(j > i))).collect())
+            .collect();
+        let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+        ResponseMatrix::from_choices(n, &vec![2u16; n], &refs).unwrap()
+    }
+
+    #[test]
+    fn recovers_c1p_ordering() {
+        let r = staircase(12);
+        let perm: Vec<usize> = vec![5, 2, 9, 0, 11, 3, 7, 1, 10, 4, 8, 6];
+        let shuffled = r.permute_users(&perm);
+        let ranker = HndDirect {
+            orient: false,
+            ..Default::default()
+        };
+        let ranking = ranker.rank(&shuffled).unwrap();
+        let recovered: Vec<usize> = ranking
+            .order_best_to_worst()
+            .iter()
+            .map(|&i| perm[i])
+            .collect();
+        let m = recovered.len();
+        let ok = recovered.iter().enumerate().all(|(i, &u)| u == i)
+            || recovered.iter().enumerate().all(|(i, &u)| u == m - 1 - i);
+        assert!(ok, "got {recovered:?}");
+    }
+
+    #[test]
+    fn all_three_hnd_variants_agree() {
+        let r = staircase(16);
+        let power = crate::HitsNDiffs::default().rank(&r).unwrap();
+        let deflation = crate::HndDeflation::default().rank(&r).unwrap();
+        let direct = HndDirect::default().rank(&r).unwrap();
+        let op = power.order_best_to_worst();
+        for other in [deflation.order_best_to_worst(), direct.order_best_to_worst()] {
+            let rev: Vec<usize> = other.iter().rev().copied().collect();
+            assert!(op == other || op == rev, "{op:?} vs {other:?}");
+        }
+    }
+
+    #[test]
+    fn eigenvector_satisfies_u_eigen_equation() {
+        let r = staircase(10);
+        let v2 = HndDirect::default().second_eigenvector(&r).unwrap();
+        let ops = ResponseOps::new(&r);
+        let u = crate::operators::UOp::new(&ops);
+        let uv = hnd_linalg::op::LinearOp::apply_vec(&u, &v2);
+        let lambda = hnd_linalg::vector::dot(&v2, &uv);
+        let mut res = uv;
+        hnd_linalg::vector::axpy(-lambda, &v2, &mut res);
+        assert!(hnd_linalg::vector::norm2(&res) < 1e-6);
+        assert!(lambda < 1.0 - 1e-9 && lambda > 0.0);
+    }
+}

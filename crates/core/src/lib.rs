@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-coupled numerics mirror the published algorithms
+
+//! # hnd-core
+//!
+//! The paper's primary contribution: the **HITSnDIFFS** family of spectral
+//! ability-discovery algorithms (Section III).
+//!
+//! The chain of ideas, mirrored by this crate's modules:
+//!
+//! 1. [`operators`] — AvgHITS averages instead of sums: `U = Crow (Ccol)ᵀ`.
+//!    Its dominant eigenvector is the useless all-ones vector (Lemma 4);
+//!    the *second* eigenvector carries the user ordering (Theorem 1).
+//! 2. [`avghits`] — the plain AvgHITS iteration, kept as an executable
+//!    demonstration of Lemmas 3–4.
+//! 3. [`hnd`] — HND-power (Algorithm 1): iterate the *difference update*
+//!    matrix `Udiff = S U T` on adjacent score differences; its dominant
+//!    eigenvector is the difference of `U`'s second eigenvector (Lemma 1),
+//!    recovered in `O(mn)` per iteration.
+//! 4. [`hnd_deflation`] / [`hnd_direct`] — the two alternative
+//!    implementations benchmarked in Section IV-C (Hotelling deflation and
+//!    a Lanczos "direct" solver).
+//! 5. [`naive`] — the `O(m²n)` materialize-`Udiff` implementation, kept as
+//!    an ablation baseline for the complexity claims of Section III-F.
+//! 6. Symmetry breaking — reversing a C1P order yields another C1P order;
+//!    the decile-entropy rule of Section III-D picks the direction (it
+//!    lives in [`hnd_response::orientation`] and is re-exported here).
+
+pub mod avghits;
+pub mod diagnostics;
+pub mod hnd;
+pub mod hnd_arnoldi;
+pub mod hnd_deflation;
+pub mod hnd_direct;
+pub mod naive;
+pub mod operators;
+
+pub use avghits::AvgHits;
+pub use diagnostics::SpectralDiagnostics;
+pub use hnd::HitsNDiffs;
+pub use hnd_arnoldi::HndArnoldi;
+pub use hnd_deflation::HndDeflation;
+pub use hnd_direct::HndDirect;
+pub use naive::HndNaive;
+pub use operators::{SymmetrizedUOp, UDiffOp, UOp, UTransposeOp};
+
+// Re-export the shared abstractions so `hnd_core` is a one-stop dependency
+// for downstream users of the facade crate.
+pub use hnd_response::{
+    orient_by_decile_entropy, AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps,
+};

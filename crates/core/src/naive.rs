@@ -1,0 +1,87 @@
+//! The naive `O(m²n)` HND implementation (Section III-F's strawman).
+//!
+//! It materializes the dense `(m−1) × (m−1)` matrix `Udiff` with `m−1`
+//! operator applications (each `O(mn)`) and only then runs the power
+//! method. Algorithm 1 avoids exactly this: by re-associating the product
+//! chain it replaces the matrix–matrix work with matrix–vector passes. The
+//! ablation benchmark `hnd_ablation` in `hnd-bench` quantifies the gap.
+
+use crate::operators::UDiffOp;
+use hnd_linalg::op::{DenseOp, LinearOp};
+use hnd_linalg::power::{power_iteration, PowerOptions};
+use hnd_linalg::vector;
+use hnd_response::{
+    orient_by_decile_entropy, AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps,
+};
+
+/// Materialize-then-iterate HND (for ablation only — do not use in
+/// production, its construction cost is `O(m²n)`).
+#[derive(Debug, Clone)]
+pub struct HndNaive {
+    /// Power-iteration options.
+    pub power: PowerOptions,
+    /// Apply decile-entropy symmetry breaking.
+    pub orient: bool,
+}
+
+impl Default for HndNaive {
+    fn default() -> Self {
+        HndNaive {
+            power: PowerOptions::default(),
+            orient: true,
+        }
+    }
+}
+
+impl AbilityRanker for HndNaive {
+    fn name(&self) -> &'static str {
+        "HnD-naive"
+    }
+
+    fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        let m = matrix.n_users();
+        if m == 1 {
+            return Ok(Ranking::from_scores(vec![0.0]));
+        }
+        let ops = ResponseOps::new(matrix);
+        // O(m²n): densify Udiff column by column.
+        let dense = UDiffOp::new(&ops).to_dense();
+        let op = DenseOp::new(&dense);
+        let out = power_iteration(
+            &op,
+            &hnd_linalg::power::deterministic_start(m - 1),
+            &self.power,
+        );
+        let mut scores = Vec::with_capacity(m);
+        vector::cumsum_from_diffs(&out.vector, &mut scores);
+        let mut ranking = Ranking {
+            scores,
+            iterations: out.iterations,
+            converged: out.converged,
+        };
+        if self.orient {
+            orient_by_decile_entropy(matrix, &mut ranking);
+        }
+        Ok(ranking)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hnd_power_exactly_in_ordering() {
+        let rows: Vec<Vec<Option<u16>>> = (0..10)
+            .map(|j| (0..9).map(|i| Some(u16::from(j > i))).collect())
+            .collect();
+        let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = ResponseMatrix::from_choices(9, &[2u16; 9], &refs).unwrap();
+        let naive = HndNaive::default().rank(&m).unwrap();
+        let fast = crate::HitsNDiffs::default().rank(&m).unwrap();
+        let on = naive.order_best_to_worst();
+        let of = fast.order_best_to_worst();
+        let rev: Vec<usize> = of.iter().rev().copied().collect();
+        assert!(on == of || on == rev, "{on:?} vs {of:?}");
+    }
+}

@@ -1,0 +1,259 @@
+//! Matrix-free AvgHITS operators: `U`, `Uᵀ`, `Udiff = S U T`, and the
+//! symmetrized `Ũ` (Section III-B/C).
+
+use hnd_linalg::op::LinearOp;
+use hnd_linalg::vector;
+use hnd_response::ResponseOps;
+
+/// The AvgHITS update matrix `U = Crow (Ccol)ᵀ` as a matrix-free operator.
+///
+/// Row-stochastic when every user answered at least one item (Lemma 3);
+/// its dominant eigenpair is `(1, e)` for connected inputs (Lemma 4).
+pub struct UOp<'a> {
+    ops: &'a ResponseOps,
+}
+
+impl<'a> UOp<'a> {
+    /// Wraps precomputed response operators.
+    pub fn new(ops: &'a ResponseOps) -> Self {
+        UOp { ops }
+    }
+}
+
+impl LinearOp for UOp<'_> {
+    fn dim(&self) -> usize {
+        self.ops.n_users()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let mut w = vec![0.0; self.ops.n_option_columns()];
+        self.ops.u_apply(x, &mut w, y);
+    }
+}
+
+/// `Uᵀ = Ccol (Crow)ᵀ` — needed for the dominant *left* eigenvector of `U`
+/// in Hotelling deflation (Section III-F).
+pub struct UTransposeOp<'a> {
+    ops: &'a ResponseOps,
+}
+
+impl<'a> UTransposeOp<'a> {
+    /// Wraps precomputed response operators.
+    pub fn new(ops: &'a ResponseOps) -> Self {
+        UTransposeOp { ops }
+    }
+}
+
+impl LinearOp for UTransposeOp<'_> {
+    fn dim(&self) -> usize {
+        self.ops.n_users()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let mut w = vec![0.0; self.ops.n_option_columns()];
+        self.ops.ut_apply(x, &mut w, y);
+    }
+}
+
+/// The difference update matrix `Udiff = S U T` applied to user-score
+/// difference vectors (`sdiff ∈ R^{m−1}`), computed right-to-left so each
+/// application is `O(mn)`:
+///
+/// `T` = cumulative sum (anchoring `s₁ = 0`), then one AvgHITS step, then
+/// `S` = adjacent differences — exactly Algorithm 1's inner loop.
+pub struct UDiffOp<'a> {
+    ops: &'a ResponseOps,
+}
+
+impl<'a> UDiffOp<'a> {
+    /// Wraps precomputed response operators.
+    ///
+    /// # Panics
+    /// Panics for single-user matrices (`Udiff` would be 0-dimensional).
+    pub fn new(ops: &'a ResponseOps) -> Self {
+        assert!(ops.n_users() >= 2, "Udiff needs at least 2 users");
+        UDiffOp { ops }
+    }
+}
+
+impl LinearOp for UDiffOp<'_> {
+    fn dim(&self) -> usize {
+        self.ops.n_users() - 1
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let m = self.ops.n_users();
+        let mut s = Vec::with_capacity(m);
+        vector::cumsum_from_diffs(x, &mut s);
+        let mut w = vec![0.0; self.ops.n_option_columns()];
+        let mut us = vec![0.0; m];
+        self.ops.u_apply(&s, &mut w, &mut us);
+        for i in 0..m - 1 {
+            y[i] = us[i + 1] - us[i];
+        }
+    }
+}
+
+/// The symmetrized update matrix `Ũ = Dr^{1/2} U Dr^{-1/2}
+/// = Dr^{-1/2} C Dc^{-1} Cᵀ Dr^{-1/2}`.
+///
+/// `U` is similar to this symmetric matrix, so all eigenvalues of `U` are
+/// real and `HND-direct` can use Lanczos instead of a general asymmetric
+/// eigensolver: if `Ũṽ = λṽ` then `U(Dr^{-1/2}ṽ) = λ(Dr^{-1/2}ṽ)`.
+pub struct SymmetrizedUOp<'a> {
+    ops: &'a ResponseOps,
+    /// `Dr^{-1/2}` diagonal (0 for users with no answers).
+    inv_sqrt_rows: Vec<f64>,
+}
+
+impl<'a> SymmetrizedUOp<'a> {
+    /// Wraps precomputed response operators.
+    pub fn new(ops: &'a ResponseOps) -> Self {
+        let inv_sqrt_rows = ops
+            .row_counts()
+            .iter()
+            .map(|&c| if c > 0.0 { 1.0 / c.sqrt() } else { 0.0 })
+            .collect();
+        SymmetrizedUOp { ops, inv_sqrt_rows }
+    }
+
+    /// Maps an eigenvector of `Ũ` back to the corresponding eigenvector of
+    /// `U` (`v = Dr^{-1/2} ṽ`, then unit-normalized).
+    pub fn to_u_eigenvector(&self, v_tilde: &[f64]) -> Vec<f64> {
+        let mut v: Vec<f64> = v_tilde
+            .iter()
+            .zip(&self.inv_sqrt_rows)
+            .map(|(x, s)| x * s)
+            .collect();
+        vector::normalize(&mut v);
+        v
+    }
+}
+
+impl LinearOp for SymmetrizedUOp<'_> {
+    fn dim(&self) -> usize {
+        self.ops.n_users()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let m = self.ops.n_users();
+        // y = Dr^{-1/2} C Dc^{-1} Cᵀ Dr^{-1/2} x
+        let scaled: Vec<f64> = x
+            .iter()
+            .zip(&self.inv_sqrt_rows)
+            .map(|(v, s)| v * s)
+            .collect();
+        let mut w = vec![0.0; self.ops.n_option_columns()];
+        self.ops.ccol_t_apply(&scaled, &mut w);
+        self.ops.c_apply(&w, y);
+        for i in 0..m {
+            y[i] *= self.inv_sqrt_rows[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnd_response::ResponseMatrix;
+
+    fn figure1() -> ResponseMatrix {
+        ResponseMatrix::from_choices(
+            3,
+            &[3, 3, 3],
+            &[
+                &[Some(0), Some(0), Some(0)],
+                &[Some(0), Some(0), Some(2)],
+                &[Some(0), Some(1), Some(2)],
+                &[Some(1), Some(2), Some(2)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn u_fixes_the_ones_vector_lemma4() {
+        let ops = ResponseOps::new(&figure1());
+        let u = UOp::new(&ops);
+        let e = vec![1.0; 4];
+        let ue = u.apply_vec(&e);
+        for v in ue {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn udiff_annihilates_nothing_spurious() {
+        // Core algebraic identity behind Lemma 1: Udiff·(Sx) = S·(Ux) for
+        // every x (uses SUe = 0 and TS = I − e·e₁ᵀ).
+        let ops = ResponseOps::new(&figure1());
+        let u = UOp::new(&ops);
+        let udiff = UDiffOp::new(&ops);
+        let xs = [
+            vec![0.3, -1.0, 0.5, 2.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![0.0, 0.0, 0.0, 1.0],
+        ];
+        for x in xs {
+            let ux = u.apply_vec(&x);
+            let mut s_ux = Vec::new();
+            vector::adjacent_diffs(&ux, &mut s_ux);
+            let mut sx = Vec::new();
+            vector::adjacent_diffs(&x, &mut sx);
+            let udiff_sx = udiff.apply_vec(&sx);
+            for (a, b) in udiff_sx.iter().zip(&s_ux) {
+                assert!((a - b).abs() < 1e-12, "identity violated: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ut_is_transpose_of_u() {
+        let ops = ResponseOps::new(&figure1());
+        let u = UOp::new(&ops).to_dense().transpose();
+        let ut = UTransposeOp::new(&ops).to_dense();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (u.get(i, j) - ut.get(i, j)).abs() < 1e-12,
+                    "Uᵀ mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrized_u_is_symmetric_and_similar() {
+        let ops = ResponseOps::new(&figure1());
+        let sym = SymmetrizedUOp::new(&ops);
+        let dense = sym.to_dense();
+        assert!(dense.is_symmetric(1e-12));
+        // Similarity: Ũ = Dr^{1/2} U Dr^{-1/2}. Since every user answered
+        // n=3 items, Dr = 3I and Ũ must equal U exactly here.
+        let u = UOp::new(&ops).to_dense();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((dense.get(i, j) - u.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrized_eigvec_maps_back() {
+        // For the constant-row-count case v = ṽ up to scaling.
+        let ops = ResponseOps::new(&figure1());
+        let sym = SymmetrizedUOp::new(&ops);
+        let v = sym.to_u_eigenvector(&[2.0, 2.0, 2.0, 2.0]);
+        for x in v {
+            assert!((x - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 users")]
+    fn udiff_rejects_single_user() {
+        let m = ResponseMatrix::from_choices(1, &[2], &[&[Some(0)]]).unwrap();
+        let ops = ResponseOps::new(&m);
+        let _ = UDiffOp::new(&ops);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests across the HND variants and the paper's lemmas.
+
+use hnd_core::operators::{UDiffOp, UOp};
+use hnd_core::{AbilityRanker, HitsNDiffs, HndDeflation, HndDirect, ResponseOps};
+use hnd_linalg::op::LinearOp;
+use hnd_linalg::vector;
+use hnd_response::ResponseMatrix;
+use proptest::prelude::*;
+
+/// Random complete response matrix: m users × n items, k options, arbitrary
+/// choices — connected or not, consistent or not.
+fn random_responses() -> impl Strategy<Value = ResponseMatrix> {
+    (2usize..=10, 2usize..=8, 2u16..=4).prop_flat_map(|(m, n, k)| {
+        proptest::collection::vec(0u16..k, m * n).prop_map(move |choices| {
+            let rows: Vec<Vec<Option<u16>>> = (0..m)
+                .map(|j| (0..n).map(|i| Some(choices[j * n + i])).collect())
+                .collect();
+            let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+            ResponseMatrix::from_choices(n, &vec![k; n], &refs).unwrap()
+        })
+    })
+}
+
+/// A shuffled all-cuts staircase (unique C1P ordering) of random size.
+fn shuffled_staircase() -> impl Strategy<Value = (ResponseMatrix, Vec<usize>)> {
+    (4usize..=14).prop_flat_map(|m| {
+        Just(()).prop_perturb(move |_, mut rng| {
+            let n = m - 1;
+            let rows: Vec<Vec<Option<u16>>> = (0..m)
+                .map(|j| (0..n).map(|i| Some(u16::from(j > i))).collect())
+                .collect();
+            let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+            let base = ResponseMatrix::from_choices(n, &vec![2u16; n], &refs).unwrap();
+            let mut perm: Vec<usize> = (0..m).collect();
+            for i in (1..m).rev() {
+                let j = (rng.next_u64() as usize) % (i + 1);
+                perm.swap(i, j);
+            }
+            (base.permute_users(&perm), perm)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lemma3_u_rows_sum_to_one(matrix in random_responses()) {
+        let ops = ResponseOps::new(&matrix);
+        let u = UOp::new(&ops).to_dense();
+        for i in 0..u.rows() {
+            let sum: f64 = (0..u.cols()).map(|j| u.get(i, j)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn lemma1_identity_udiff_sx_equals_s_ux(matrix in random_responses()) {
+        let ops = ResponseOps::new(&matrix);
+        let u = UOp::new(&ops);
+        let udiff = UDiffOp::new(&ops);
+        let m = matrix.n_users();
+        let x: Vec<f64> = (0..m).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let ux = u.apply_vec(&x);
+        let mut s_ux = Vec::new();
+        vector::adjacent_diffs(&ux, &mut s_ux);
+        let mut sx = Vec::new();
+        vector::adjacent_diffs(&x, &mut sx);
+        let udiff_sx = udiff.apply_vec(&sx);
+        for (a, b) in udiff_sx.iter().zip(&s_ux) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn theorem2_all_variants_recover_c1p((matrix, perm) in shuffled_staircase()) {
+        let m = matrix.n_users();
+        let check = |order: Vec<usize>| {
+            let recovered: Vec<usize> = order.iter().map(|&i| perm[i]).collect();
+            recovered.iter().enumerate().all(|(i, &u)| u == i)
+                || recovered.iter().enumerate().all(|(i, &u)| u == m - 1 - i)
+        };
+        let power = HitsNDiffs { orient: false, ..Default::default() }
+            .rank(&matrix).unwrap();
+        prop_assert!(check(power.order_best_to_worst()), "HND-power failed");
+        let deflation = HndDeflation { orient: false, ..Default::default() }
+            .rank(&matrix).unwrap();
+        prop_assert!(check(deflation.order_best_to_worst()), "HND-deflation failed");
+        let direct = HndDirect { orient: false, ..Default::default() }
+            .rank(&matrix).unwrap();
+        prop_assert!(check(direct.order_best_to_worst()), "HND-direct failed");
+    }
+
+    #[test]
+    fn ranking_is_permutation_equivariant((matrix, _perm) in shuffled_staircase()) {
+        // Relabeling users must relabel the ranking identically (up to the
+        // C1P reversal symmetry).
+        let ranking = HitsNDiffs { orient: false, ..Default::default() }
+            .rank(&matrix).unwrap();
+        let m = matrix.n_users();
+        let rotate: Vec<usize> = (0..m).map(|i| (i + 1) % m).collect();
+        let rotated = matrix.permute_users(&rotate);
+        let ranking_rot = HitsNDiffs { orient: false, ..Default::default() }
+            .rank(&rotated).unwrap();
+        // order on rotated matrix, mapped back to original user ids:
+        let mapped: Vec<usize> = ranking_rot
+            .order_best_to_worst()
+            .iter()
+            .map(|&i| rotate[i])
+            .collect();
+        let original = ranking.order_best_to_worst();
+        let reversed: Vec<usize> = original.iter().rev().copied().collect();
+        prop_assert!(mapped == original || mapped == reversed,
+            "equivariance violated: {mapped:?} vs {original:?}");
+    }
+
+    #[test]
+    fn scores_are_finite_on_arbitrary_inputs(matrix in random_responses()) {
+        let ranking = HitsNDiffs::default().rank(&matrix).unwrap();
+        prop_assert!(ranking.scores.iter().all(|s| s.is_finite()));
+        prop_assert_eq!(ranking.scores.len(), matrix.n_users());
+    }
+}

@@ -1,0 +1,190 @@
+//! `hnd-datagen`: generate ability-discovery datasets as JSON files.
+//!
+//! ```text
+//! hnd-datagen --model samejima --users 100 --items 100 --options 3 \
+//!             --seed 7 --out data.json
+//! hnd-datagen --model c1p --users 50 --items 40 --out ideal.json
+//! hnd-datagen --real-world --out-dir data/
+//! ```
+
+use hnd_datasets::{real_world_datasets, DatasetFile};
+use hnd_irt::{generate, generate_c1p, GeneratorConfig, ModelKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+Usage: hnd-datagen [OPTIONS]
+
+Generates synthetic ability-discovery datasets (JSON format readable by
+hnd_datasets::DatasetFile).
+
+Options:
+  --model M        grm | bock | samejima | c1p   (default samejima)
+  --users N        number of users               (default 100)
+  --items N        number of items               (default 100)
+  --options K      options per item              (default 3)
+  --amax A         max discrimination            (default 10)
+  --answer-prob P  probability of answering      (default 1.0)
+  --seed S         RNG seed                      (default 42)
+  --out FILE       output path                   (default dataset.json)
+  --real-world     instead: write the six Figure 10 stand-ins
+  --out-dir DIR    directory for --real-world    (default .)
+  -h, --help       show this help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut model = "samejima".to_string();
+    let mut users = 100usize;
+    let mut items = 100usize;
+    let mut options = 3u16;
+    let mut amax = 10.0f64;
+    let mut answer_prob = 1.0f64;
+    let mut seed = 42u64;
+    let mut out = "dataset.json".to_string();
+    let mut real_world = false;
+    let mut out_dir = ".".to_string();
+
+    let mut i = 0;
+    macro_rules! next_arg {
+        ($name:expr) => {{
+            i += 1;
+            match args.get(i) {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("error: {} needs a value", $name);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }};
+    }
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" => model = next_arg!("--model"),
+            "--users" => {
+                users = match next_arg!("--users").parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage_error("--users"),
+                }
+            }
+            "--items" => {
+                items = match next_arg!("--items").parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage_error("--items"),
+                }
+            }
+            "--options" => {
+                options = match next_arg!("--options").parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage_error("--options"),
+                }
+            }
+            "--amax" => {
+                amax = match next_arg!("--amax").parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage_error("--amax"),
+                }
+            }
+            "--answer-prob" => {
+                answer_prob = match next_arg!("--answer-prob").parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage_error("--answer-prob"),
+                }
+            }
+            "--seed" => {
+                seed = match next_arg!("--seed").parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage_error("--seed"),
+                }
+            }
+            "--out" => out = next_arg!("--out"),
+            "--out-dir" => out_dir = next_arg!("--out-dir"),
+            "--real-world" => real_world = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown option {other}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    if real_world {
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("error: cannot create {out_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for ds in real_world_datasets(seed) {
+            let path = format!("{out_dir}/{}.json", ds.spec.name.to_lowercase());
+            let file = DatasetFile::from_matrix(
+                ds.spec.name,
+                &ds.data.responses,
+                Some(ds.data.abilities.clone()),
+                Some(ds.data.correct_options.clone()),
+            );
+            if let Err(e) = file.save(&path) {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path} ({} users x {} items)", ds.spec.users, ds.spec.questions);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ds = match model.as_str() {
+        "c1p" => generate_c1p(users, items, options, &mut rng),
+        name => {
+            let kind = match name {
+                "grm" => ModelKind::Grm,
+                "bock" => ModelKind::Bock,
+                "samejima" => ModelKind::Samejima,
+                other => {
+                    eprintln!("error: unknown model {other} (grm|bock|samejima|c1p)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            generate(
+                &GeneratorConfig {
+                    n_users: users,
+                    n_items: items,
+                    n_options: options,
+                    model: kind,
+                    max_discrimination: amax,
+                    answer_probability: answer_prob,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+        }
+    };
+    let file = DatasetFile::from_matrix(
+        format!("{model}-{users}x{items}"),
+        &ds.responses,
+        Some(ds.abilities.clone()),
+        Some(ds.correct_options.clone()),
+    );
+    match file.save(&out) {
+        Ok(()) => {
+            println!(
+                "wrote {out}: {users} users x {items} items, k = {options}, \
+                 mean accuracy {:.2}",
+                ds.mean_user_accuracy
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(flag: &str) -> ExitCode {
+    eprintln!("error: invalid value for {flag}\n\n{USAGE}");
+    ExitCode::FAILURE
+}

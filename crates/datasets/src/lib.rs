@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! # hnd-datasets
+//!
+//! Dataset management for the reproduction:
+//!
+//! * [`real_world`] — simulated stand-ins for the six MCQ datasets of
+//!   Figure 10 (Chinese, English, IT, Medicine, Pokemon, Science). The
+//!   originals come from Li et al. \[35\] and are not redistributable; we
+//!   generate Samejima-model data with the **exact shapes** of Figure 10
+//!   and evaluate — as the paper does (Section IV-E) — against the
+//!   True-Answer ranking as pseudo ground truth. See DESIGN.md §4.
+//! * [`storage`] — a versioned JSON on-disk format for response matrices
+//!   with optional ground truth, so experiments are replayable.
+
+pub mod real_world;
+pub mod storage;
+
+pub use real_world::{real_world_datasets, DatasetSpec, RealWorldDataset, REAL_WORLD_SPECS};
+pub use storage::DatasetFile;

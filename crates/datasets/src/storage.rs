@@ -1,0 +1,211 @@
+//! Versioned JSON storage for response matrices.
+//!
+//! A [`DatasetFile`] captures everything an experiment needs to replay:
+//! the responses, optional ground-truth abilities, and optional correct
+//! options (for the cheating baselines).
+
+use hnd_response::{ResponseMatrix, ResponseMatrixBuilder};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Serializable dataset container.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DatasetFile {
+    /// Format version (always [`FORMAT_VERSION`] when written by this
+    /// crate).
+    pub version: u32,
+    /// Human-readable dataset name.
+    pub name: String,
+    /// Options per item.
+    pub options_per_item: Vec<u16>,
+    /// Row-major user choices (`None` = unanswered).
+    pub choices: Vec<Vec<Option<u16>>>,
+    /// Ground-truth abilities, if known.
+    pub abilities: Option<Vec<f64>>,
+    /// Correct option per item, if known.
+    pub correct_options: Option<Vec<u16>>,
+}
+
+/// Errors for dataset (de)serialization.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// The file's format version is unsupported.
+    UnsupportedVersion(u32),
+    /// The stored matrix is structurally invalid.
+    Invalid(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::Json(e) => write!(f, "json error: {e}"),
+            StorageError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            StorageError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StorageError {
+    fn from(e: serde_json::Error) -> Self {
+        StorageError::Json(e)
+    }
+}
+
+impl DatasetFile {
+    /// Wraps a response matrix (plus optional ground truth) for storage.
+    pub fn from_matrix(
+        name: impl Into<String>,
+        matrix: &ResponseMatrix,
+        abilities: Option<Vec<f64>>,
+        correct_options: Option<Vec<u16>>,
+    ) -> Self {
+        let options_per_item: Vec<u16> = (0..matrix.n_items())
+            .map(|i| matrix.options_of(i))
+            .collect();
+        let choices = (0..matrix.n_users())
+            .map(|u| matrix.user_row(u).to_vec())
+            .collect();
+        DatasetFile {
+            version: FORMAT_VERSION,
+            name: name.into(),
+            options_per_item,
+            choices,
+            abilities,
+            correct_options,
+        }
+    }
+
+    /// Reconstructs the response matrix.
+    ///
+    /// # Errors
+    /// Fails when the stored data violates the response-matrix invariants
+    /// or the version is unknown.
+    pub fn to_matrix(&self) -> Result<ResponseMatrix, StorageError> {
+        if self.version != FORMAT_VERSION {
+            return Err(StorageError::UnsupportedVersion(self.version));
+        }
+        let n_items = self.options_per_item.len();
+        let mut builder = ResponseMatrixBuilder::new(self.choices.len(), n_items, &self.options_per_item)
+            .map_err(|e| StorageError::Invalid(e.to_string()))?;
+        for (user, row) in self.choices.iter().enumerate() {
+            if row.len() != n_items {
+                return Err(StorageError::Invalid(format!(
+                    "user {user} has {} entries, expected {n_items}",
+                    row.len()
+                )));
+            }
+            for (item, &choice) in row.iter().enumerate() {
+                builder
+                    .set(user, item, choice)
+                    .map_err(|e| StorageError::Invalid(e.to_string()))?;
+            }
+        }
+        Ok(builder.build())
+    }
+
+    /// Writes pretty-printed JSON to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StorageError> {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let json = serde_json::to_string_pretty(self)?;
+        file.write_all(json.as_bytes())?;
+        file.flush()?;
+        Ok(())
+    }
+
+    /// Loads a dataset from a JSON file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut buf = String::new();
+        file.read_to_string(&mut buf)?;
+        let ds: DatasetFile = serde_json::from_str(&buf)?;
+        if ds.version != FORMAT_VERSION {
+            return Err(StorageError::UnsupportedVersion(ds.version));
+        }
+        Ok(ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> ResponseMatrix {
+        ResponseMatrix::from_choices(
+            2,
+            &[3, 2],
+            &[
+                &[Some(2), Some(0)],
+                &[Some(0), None],
+                &[None, Some(1)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = sample_matrix();
+        let file = DatasetFile::from_matrix("sample", &m, Some(vec![0.9, 0.5, 0.1]), Some(vec![2, 0]));
+        let back = file.to_matrix().unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = sample_matrix();
+        let file = DatasetFile::from_matrix("sample", &m, None, None);
+        let json = serde_json::to_string(&file).unwrap();
+        let parsed: DatasetFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, file);
+        assert_eq!(parsed.to_matrix().unwrap(), m);
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let dir = std::env::temp_dir().join("hnd_datasets_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.json");
+        let m = sample_matrix();
+        let file = DatasetFile::from_matrix("sample", &m, Some(vec![1.0, 2.0, 3.0]), None);
+        file.save(&path).unwrap();
+        let loaded = DatasetFile::load(&path).unwrap();
+        assert_eq!(loaded, file);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_check() {
+        let m = sample_matrix();
+        let mut file = DatasetFile::from_matrix("sample", &m, None, None);
+        file.version = 99;
+        assert!(matches!(
+            file.to_matrix(),
+            Err(StorageError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn corrupted_rows_rejected() {
+        let m = sample_matrix();
+        let mut file = DatasetFile::from_matrix("sample", &m, None, None);
+        file.choices[1].pop();
+        assert!(matches!(file.to_matrix(), Err(StorageError::Invalid(_))));
+    }
+}

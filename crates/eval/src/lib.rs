@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! # hnd-eval
+//!
+//! Ranking evaluation metrics for ability discovery.
+//!
+//! The paper measures *accuracy of a user ranking* as Spearman's rank
+//! correlation between the produced scores and the ground-truth abilities
+//! (Section IV-B; preferred over Kendall when ties occur \[49\]). Kendall's
+//! τ-b, Pearson correlation and the normalized user displacement of the
+//! stability study (Figure 6b) are provided as well.
+
+mod metrics;
+mod stats;
+mod topk;
+
+pub use metrics::{average_ranks, kendall_tau_b, normalized_displacement, pearson, spearman};
+pub use stats::{mean, std_dev, Summary};
+pub use topk::{ndcg_at_k, pairwise_accuracy, precision_at_k};

@@ -1,0 +1,218 @@
+//! Rank correlation and displacement metrics.
+
+/// Fractional (average) ranks of the values, 1-based: ties receive the mean
+/// of the positions they span — the standard treatment behind Spearman's ρ
+/// with ties.
+pub fn average_ranks(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("NaN in ranks"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && x[idx[j + 1]] == x[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average 1-based rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Pearson correlation coefficient; `0.0` when either side is constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Spearman's rank correlation ρ — the paper's accuracy measure
+/// (Section IV-B): the Pearson correlation of the fractional ranks.
+/// Ranges over `[−1, 1]`; negative values mean an anti-correlated ranking.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman: length mismatch");
+    pearson(&average_ranks(a), &average_ranks(b))
+}
+
+/// Kendall's τ-b (tie-corrected), computed in `O(n²)` — fine for the
+/// experiment sizes of the paper.
+pub fn kendall_tau_b(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "kendall: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 && db == 0.0 {
+                // tie in both — contributes to neither
+            } else if da == 0.0 {
+                ties_a += 1;
+            } else if db == 0.0 {
+                ties_b += 1;
+            } else if (da > 0.0) == (db > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as f64;
+    let denom = ((n0 - ties_a as f64) * (n0 - ties_b as f64)).sqrt();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// Normalized mean displacement between two rankings of the same users
+/// (Figure 6b): the average absolute difference of each user's rank
+/// position, divided by the number of users. `0` = identical rankings,
+/// values near `0.33` = unrelated rankings.
+///
+/// Because a ranking and its reverse are equivalent for C1P methods, the
+/// minimum of the displacement against `b` and against reversed `b` is
+/// returned.
+pub fn normalized_displacement(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "displacement: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    let fwd: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - y).abs()).sum();
+    let rev: f64 = ra
+        .iter()
+        .zip(&rb)
+        .map(|(x, y)| (x - (n as f64 + 1.0 - y)).abs())
+        .sum();
+    fwd.min(rev) / (n * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_without_ties() {
+        assert_eq!(average_ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_with_ties_are_averaged() {
+        // 5,5 occupy positions 2 and 3 → both get 2.5.
+        assert_eq!(average_ranks(&[1.0, 5.0, 5.0, 9.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_perfect_and_reversed() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_is_rank_invariant() {
+        // Monotone transformations don't change ρ.
+        let a = [0.1f64, 0.4, 0.2, 0.9];
+        let b: Vec<f64> = a.iter().map(|&x| x.exp() * 100.0).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_known_value() {
+        // Classic example: ranks (1,2,3,4,5) vs (3,1,4,2,5) → ρ = 0.5.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [3.0, 1.0, 4.0, 2.0, 5.0];
+        assert!((spearman(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_constant_input_is_zero() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [1.0, 0.0, 1.0];
+        assert!(pearson(&a, &c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_perfect_and_reversed() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 3.0, 7.0, 9.0];
+        assert!((kendall_tau_b(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [9.0, 7.0, 3.0, 1.0];
+        assert!((kendall_tau_b(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_with_ties() {
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let tau = kendall_tau_b(&a, &b);
+        assert!(tau > 0.8 && tau < 1.0, "τ-b = {tau}");
+    }
+
+    #[test]
+    fn displacement_identical_and_reverse_are_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(normalized_displacement(&a, &a), 0.0);
+        let rev = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(normalized_displacement(&a, &rev), 0.0);
+    }
+
+    #[test]
+    fn displacement_detects_disagreement() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [2.0, 1.0, 4.0, 3.0, 6.0, 5.0];
+        let d = normalized_displacement(&a, &b);
+        assert!(d > 0.0 && d < 0.2, "mild disagreement: {d}");
+    }
+
+    #[test]
+    fn spearman_vs_kendall_agree_in_sign() {
+        let a = [0.3, 0.1, 0.5, 0.9, 0.2];
+        let b = [0.2, 0.15, 0.6, 0.7, 0.25];
+        assert_eq!(
+            spearman(&a, &b) > 0.0,
+            kendall_tau_b(&a, &b) > 0.0
+        );
+    }
+}

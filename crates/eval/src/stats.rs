@@ -1,0 +1,80 @@
+//! Small aggregation helpers for repeated experiment runs.
+
+/// Arithmetic mean; `0.0` for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator); `0.0` for fewer than two
+/// samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Mean ± standard deviation over repeated runs — the aggregation used by
+/// the Figure 12/13 experiments ("average and standard deviation over 10
+/// runs").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Mean over runs.
+    pub mean: f64,
+    /// Sample standard deviation over runs.
+    pub std_dev: f64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+impl Summary {
+    /// Aggregates a slice of per-run measurements.
+    pub fn of(xs: &[f64]) -> Self {
+        Summary {
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            runs: xs.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4} (n={})", self.mean, self.std_dev, self.runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic set is ~2.138.
+        assert!((std_dev(&xs) - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_formats() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.runs, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        let text = format!("{s}");
+        assert!(text.contains("2.0000"));
+        assert!(text.contains("n=3"));
+    }
+}

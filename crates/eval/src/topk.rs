@@ -1,0 +1,143 @@
+//! Top-k selection metrics.
+//!
+//! Ability discovery is often consumed as a *selection* problem ("hire the
+//! best 10% of workers", Example 2 of the paper). These metrics score the
+//! head of a ranking instead of the whole permutation.
+
+/// Indices of the `k` largest entries of `scores` (ties break by index).
+fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("NaN score")
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Precision@k: the fraction of the true top-`k` (by `truth`) present in
+/// the predicted top-`k` (by `predicted`).
+///
+/// # Panics
+/// Panics when the slices disagree in length or `k` exceeds it.
+pub fn precision_at_k(predicted: &[f64], truth: &[f64], k: usize) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "precision_at_k: length mismatch");
+    assert!(k > 0 && k <= truth.len(), "precision_at_k: invalid k");
+    let pred: std::collections::HashSet<usize> =
+        top_k_indices(predicted, k).into_iter().collect();
+    let hits = top_k_indices(truth, k)
+        .into_iter()
+        .filter(|u| pred.contains(u))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// NDCG@k with the true scores as graded relevance (shifted to be
+/// non-negative). `1.0` means the predicted head ordering is ideal.
+///
+/// # Panics
+/// Panics when the slices disagree in length or `k` exceeds it.
+pub fn ndcg_at_k(predicted: &[f64], truth: &[f64], k: usize) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "ndcg_at_k: length mismatch");
+    assert!(k > 0 && k <= truth.len(), "ndcg_at_k: invalid k");
+    let min = truth.iter().cloned().fold(f64::INFINITY, f64::min);
+    let rel: Vec<f64> = truth.iter().map(|t| t - min).collect();
+    let dcg = |order: &[usize]| -> f64 {
+        order
+            .iter()
+            .enumerate()
+            .map(|(pos, &u)| rel[u] / ((pos + 2) as f64).log2())
+            .sum()
+    };
+    let got = dcg(&top_k_indices(predicted, k));
+    let ideal = dcg(&top_k_indices(&rel, k));
+    if ideal <= 0.0 {
+        1.0 // all relevances equal: any head is ideal
+    } else {
+        got / ideal
+    }
+}
+
+/// Pairwise ranking accuracy: fraction of user pairs ordered the same way
+/// by `predicted` and `truth` (ties in either are skipped). This is the
+/// `(τ + 1)/2` view of Kendall's correlation, often easier to communicate.
+pub fn pairwise_accuracy(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "pairwise_accuracy: length mismatch");
+    let n = predicted.len();
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dp = predicted[i] - predicted[j];
+            let dt = truth[i] - truth[j];
+            if dp == 0.0 || dt == 0.0 {
+                continue;
+            }
+            total += 1;
+            if (dp > 0.0) == (dt > 0.0) {
+                agree += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.5
+    } else {
+        agree as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let truth = [0.9, 0.5, 0.7, 0.1];
+        assert_eq!(precision_at_k(&truth, &truth, 2), 1.0);
+        assert!((ndcg_at_k(&truth, &truth, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(pairwise_accuracy(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn reversed_prediction_scores_zero() {
+        let truth = [4.0, 3.0, 2.0, 1.0];
+        let reversed = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(precision_at_k(&reversed, &truth, 2), 0.0);
+        assert_eq!(pairwise_accuracy(&reversed, &truth), 0.0);
+    }
+
+    #[test]
+    fn precision_counts_overlap() {
+        let truth = [10.0, 9.0, 8.0, 1.0];
+        let pred = [10.0, 1.0, 9.0, 2.0]; // top-2 = {0, 2}; true top-2 = {0, 1}
+        assert!((precision_at_k(&pred, &truth, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_penalizes_head_errors_more() {
+        let truth = [3.0, 2.0, 1.0, 0.0];
+        // Swap at the head vs swap at the tail.
+        let head_swap = [2.0, 3.0, 1.0, 0.0];
+        let tail_swap = [3.0, 2.0, 0.0, 1.0];
+        let nh = ndcg_at_k(&head_swap, &truth, 4);
+        let nt = ndcg_at_k(&tail_swap, &truth, 4);
+        assert!(nh < nt, "head swap {nh} should hurt more than tail swap {nt}");
+    }
+
+    #[test]
+    fn constant_relevance_is_ideal() {
+        let truth = [1.0, 1.0, 1.0];
+        assert_eq!(ndcg_at_k(&[0.3, 0.2, 0.1], &truth, 2), 1.0);
+    }
+
+    #[test]
+    fn pairwise_skips_ties_and_handles_all_tied() {
+        assert_eq!(pairwise_accuracy(&[1.0, 1.0], &[1.0, 2.0]), 0.5);
+        let truth = [1.0, 2.0, 2.0, 3.0];
+        let pred = [1.0, 2.0, 3.0, 4.0];
+        // Comparable pairs: (0,1),(0,2),(0,3),(1,3),(2,3) — all agree.
+        assert_eq!(pairwise_accuracy(&pred, &truth), 1.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! ABH-power analysis (Figure 14, Appendix E-B).
+//!
+//! * `fig14a` — the power-method iteration count of ABH-power grows
+//!   linearly with the spectral shift β (the reason the paper's β choice
+//!   matters): sweep the β coefficient over 2..=10 and report the iteration
+//!   ratio against the smallest count.
+//! * `fig14b` — iteration counts vs question count for ABH-power,
+//!   HND-deflation and HND-power.
+
+use crate::config::RunConfig;
+use crate::report::{save_json, Table};
+use hnd_c1p::abh::{AbhPower, BetaStrategy};
+use hnd_core::{HitsNDiffs, HndDeflation};
+use hnd_irt::{GeneratorConfig, ModelKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn default_dataset(m: usize, n: usize, seed: u64) -> hnd_irt::SyntheticDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    hnd_irt::generate(
+        &GeneratorConfig {
+            n_users: m,
+            n_items: n,
+            model: ModelKind::Samejima,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+}
+
+/// Figure 14a: iteration count vs β coefficient.
+pub fn run_beta_sweep(cfg: &RunConfig) {
+    let coefficients: Vec<f64> = (2..=10).map(|c| c as f64).collect();
+    let reps = cfg.effective_reps();
+    // Hold the datasets fixed across the β sweep so the iteration counts
+    // isolate the effect of the shift (one dataset per repetition).
+    let datasets: Vec<_> = (0..reps)
+        .map(|r| default_dataset(100, 100, cfg.seed_for(0, r)))
+        .collect();
+    let mut mean_iters = Vec::new();
+    for &coeff in &coefficients {
+        let mut iters = Vec::new();
+        for ds in &datasets {
+            let abh = AbhPower {
+                beta: BetaStrategy::Coefficient(coeff),
+                ..Default::default()
+            };
+            let (_, it) = abh.diff_eigenvector(&ds.responses).expect("ABH-power runs");
+            iters.push(it as f64);
+        }
+        mean_iters.push(hnd_eval::mean(&iters));
+    }
+    let min = mean_iters
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        .max(1.0);
+    let mut table = Table::new(
+        "Figure 14a — ABH-power iterations vs β coefficient (ratio to smallest)",
+        vec!["β coeff".into(), "iterations".into(), "ratio".into()],
+    );
+    let mut json_points = Vec::new();
+    for (c, iters) in coefficients.iter().zip(&mean_iters) {
+        table.push_row(vec![
+            format!("{c}"),
+            format!("{iters:.1}"),
+            format!("{:.2}", iters / min),
+        ]);
+        json_points.push(serde_json::json!({
+            "coefficient": c,
+            "iterations": iters,
+            "ratio": iters / min,
+        }));
+    }
+    table.print();
+    save_json(
+        cfg,
+        "fig14a",
+        &serde_json::json!({ "id": "fig14a", "points": json_points }),
+    );
+}
+
+/// Figure 14b: iteration counts vs question count.
+pub fn run_iteration_counts(cfg: &RunConfig) {
+    let ns: Vec<usize> = if cfg.quick {
+        vec![10, 100, 1000]
+    } else {
+        vec![10, 100, 1000, 10_000]
+    };
+    let reps = cfg.effective_reps();
+    let mut table = Table::new(
+        "Figure 14b — iteration counts vs number of questions (m = 100)",
+        vec![
+            "n".into(),
+            "ABH-power".into(),
+            "HnD-deflation".into(),
+            "HnD-power".into(),
+        ],
+    );
+    let mut json_points = Vec::new();
+    for (p, &n) in ns.iter().enumerate() {
+        let mut abh_iters = Vec::new();
+        let mut defl_iters = Vec::new();
+        let mut hnd_iters = Vec::new();
+        for r in 0..reps {
+            let ds = default_dataset(100, n, cfg.seed_for(p, r));
+            let (_, it) = AbhPower::default()
+                .diff_eigenvector(&ds.responses)
+                .expect("ABH-power runs");
+            abh_iters.push(it as f64);
+            let (_, it) = HndDeflation::default()
+                .second_eigenvector(&ds.responses)
+                .expect("HnD-deflation runs");
+            defl_iters.push(it as f64);
+            let (_, it) = HitsNDiffs::default()
+                .diff_eigenvector(&ds.responses)
+                .expect("HnD-power runs");
+            hnd_iters.push(it as f64);
+        }
+        table.push_row(vec![
+            n.to_string(),
+            format!("{:.1}", hnd_eval::mean(&abh_iters)),
+            format!("{:.1}", hnd_eval::mean(&defl_iters)),
+            format!("{:.1}", hnd_eval::mean(&hnd_iters)),
+        ]);
+        json_points.push(serde_json::json!({
+            "n": n,
+            "abh_power": hnd_eval::mean(&abh_iters),
+            "hnd_deflation": hnd_eval::mean(&defl_iters),
+            "hnd_power": hnd_eval::mean(&hnd_iters),
+        }));
+    }
+    table.print();
+    save_json(
+        cfg,
+        "fig14b",
+        &serde_json::json!({ "id": "fig14b", "points": json_points }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_iterations_grow_with_coefficient() {
+        let ds = default_dataset(60, 60, 5);
+        let small = AbhPower {
+            beta: BetaStrategy::Coefficient(2.0),
+            ..Default::default()
+        };
+        let large = AbhPower {
+            beta: BetaStrategy::Coefficient(10.0),
+            ..Default::default()
+        };
+        let (_, it_small) = small.diff_eigenvector(&ds.responses).unwrap();
+        let (_, it_large) = large.diff_eigenvector(&ds.responses).unwrap();
+        assert!(
+            it_large > it_small,
+            "β×10 needs more iterations: {it_large} vs {it_small}"
+        );
+    }
+}

@@ -1,0 +1,517 @@
+//! Accuracy experiments: Figure 4 (Section IV-B) and Figure 9
+//! (Appendix D-A).
+//!
+//! Every experiment is a sweep over one knob; each sweep point generates
+//! `reps` datasets (parallelized with scoped threads) and reports the mean
+//! Spearman accuracy per method.
+
+use crate::config::RunConfig;
+use crate::rankers::Method;
+use crate::report::{save_json, Table};
+use hnd_irt::{GeneratorConfig, ModelKind, SyntheticDataset};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One sweep point: a label for the x-axis plus a dataset factory.
+pub struct SweepPoint {
+    /// X-axis label (e.g. `"400"` for n = 400).
+    pub label: String,
+    /// Builds the dataset for one repetition.
+    pub make: Box<dyn Fn(u64) -> SyntheticDataset + Sync>,
+    /// Methods excluded at this point (e.g. the GRM estimator at sizes the
+    /// paper's footnote 12 flags as infeasible).
+    pub skip: Vec<Method>,
+}
+
+/// Mean accuracy per method per sweep point, plus the observed mean user
+/// accuracy (x-axis of the difficulty experiments).
+pub struct SweepResult {
+    /// Sweep point labels.
+    pub labels: Vec<String>,
+    /// `values[p][m]` = mean Spearman accuracy of method `m` at point `p`
+    /// (`None` when skipped/failed).
+    pub values: Vec<Vec<Option<f64>>>,
+    /// Mean fraction of correct answers at each point.
+    pub mean_user_accuracy: Vec<f64>,
+}
+
+/// Runs a sweep: `reps` datasets per point, methods evaluated on each,
+/// repetitions parallelized across threads.
+pub fn run_sweep(points: &[SweepPoint], methods: &[Method], cfg: &RunConfig) -> SweepResult {
+    let reps = cfg.effective_reps();
+    let mut values = Vec::with_capacity(points.len());
+    let mut mean_acc = Vec::with_capacity(points.len());
+    for (p, point) in points.iter().enumerate() {
+        // accs[m][r] — per-method, per-rep accuracy.
+        let accs: Mutex<Vec<Vec<Option<f64>>>> =
+            Mutex::new(vec![vec![None; reps]; methods.len()]);
+        let user_acc = Mutex::new(vec![0.0f64; reps]);
+        crossbeam::thread::scope(|scope| {
+            for r in 0..reps {
+                let accs = &accs;
+                let user_acc = &user_acc;
+                let seed = cfg.seed_for(p, r);
+                scope.spawn(move |_| {
+                    let ds = (point.make)(seed);
+                    user_acc.lock()[r] = ds.mean_user_accuracy;
+                    for (mi, method) in methods.iter().enumerate() {
+                        if point.skip.contains(method) {
+                            continue;
+                        }
+                        let acc = method.accuracy(&ds);
+                        accs.lock()[mi][r] = acc;
+                    }
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+        let accs = accs.into_inner();
+        let per_method: Vec<Option<f64>> = accs
+            .into_iter()
+            .map(|reps_for_method| {
+                let got: Vec<f64> = reps_for_method.into_iter().flatten().collect();
+                if got.is_empty() {
+                    None
+                } else {
+                    Some(hnd_eval::mean(&got))
+                }
+            })
+            .collect();
+        values.push(per_method);
+        mean_acc.push(hnd_eval::mean(&user_acc.into_inner()));
+    }
+    SweepResult {
+        labels: points.iter().map(|p| p.label.clone()).collect(),
+        values,
+        mean_user_accuracy: mean_acc,
+    }
+}
+
+/// Prints a sweep result and saves its JSON.
+pub fn report_sweep(
+    id: &str,
+    title: &str,
+    x_name: &str,
+    methods: &[Method],
+    result: &SweepResult,
+    cfg: &RunConfig,
+) {
+    let mut headers = vec![x_name.to_string()];
+    headers.extend(methods.iter().map(|m| m.name().to_string()));
+    let mut table = Table::new(title, headers);
+    for (p, label) in result.labels.iter().enumerate() {
+        let mut row = vec![label.clone()];
+        for m in 0..methods.len() {
+            row.push(match result.values[p][m] {
+                Some(v) => format!("{v:.3}"),
+                None => "—".to_string(),
+            });
+        }
+        table.push_row(row);
+    }
+    table.print();
+    let json = serde_json::json!({
+        "id": id,
+        "title": title,
+        "x": result.labels,
+        "mean_user_accuracy": result.mean_user_accuracy,
+        "methods": methods.iter().map(|m| m.name()).collect::<Vec<_>>(),
+        "accuracy": result.values,
+        "reps": cfg.effective_reps(),
+    });
+    save_json(cfg, id, &json);
+}
+
+fn n_sweep(cfg: &RunConfig) -> Vec<usize> {
+    if cfg.quick {
+        vec![25, 100, 400]
+    } else {
+        vec![25, 50, 100, 200, 400, 800, 1600]
+    }
+}
+
+/// The paper's footnote 12: the GRM estimator becomes impractical for
+/// large question counts — skip it there (our EM works but is orders of
+/// magnitude slower, exactly as Figure 5 shows).
+fn grm_skip(n_items: usize, n_users: usize) -> Vec<Method> {
+    if n_items > 400 || n_users > 800 {
+        vec![Method::GrmEstimator]
+    } else {
+        Vec::new()
+    }
+}
+
+fn model_points(
+    model: ModelKind,
+    sweep: &[usize],
+    vary_users: bool,
+    cfg: &RunConfig,
+) -> Vec<SweepPoint> {
+    let _ = cfg;
+    sweep
+        .iter()
+        .map(|&x| {
+            let (m, n) = if vary_users { (x, 100) } else { (100, x) };
+            SweepPoint {
+                label: x.to_string(),
+                make: Box::new(move |seed| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    hnd_irt::generate(
+                        &GeneratorConfig {
+                            n_users: m,
+                            n_items: n,
+                            model,
+                            ..Default::default()
+                        },
+                        &mut rng,
+                    )
+                }),
+                skip: grm_skip(n, m),
+            }
+        })
+        .collect()
+}
+
+/// Figure 4 dispatcher.
+pub fn run_fig4(id: &str, cfg: &RunConfig) {
+    let methods = Method::accuracy_set();
+    match id {
+        "fig4a" | "fig4b" | "fig4c" => {
+            let model = match id {
+                "fig4a" => ModelKind::Grm,
+                "fig4b" => ModelKind::Bock,
+                _ => ModelKind::Samejima,
+            };
+            let points = model_points(model, &n_sweep(cfg), false, cfg);
+            let result = run_sweep(&points, &methods, cfg);
+            report_sweep(
+                id,
+                &format!("Figure 4 — accuracy vs number of questions ({})", model.name()),
+                "n",
+                &methods,
+                &result,
+                cfg,
+            );
+        }
+        "fig4d" => {
+            let points = model_points(ModelKind::Samejima, &n_sweep(cfg), true, cfg);
+            let result = run_sweep(&points, &methods, cfg);
+            report_sweep(
+                id,
+                "Figure 4d — accuracy vs number of users (Samejima)",
+                "m",
+                &methods,
+                &result,
+                cfg,
+            );
+        }
+        "fig4e" => {
+            let ks: Vec<u16> = vec![2, 3, 4, 5, 6];
+            let points: Vec<SweepPoint> = ks
+                .iter()
+                .map(|&k| SweepPoint {
+                    label: k.to_string(),
+                    make: Box::new(move |seed| {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        hnd_irt::generate(
+                            &GeneratorConfig {
+                                n_options: k,
+                                model: ModelKind::Samejima,
+                                ..Default::default()
+                            },
+                            &mut rng,
+                        )
+                    }),
+                    skip: Vec::new(),
+                })
+                .collect();
+            let result = run_sweep(&points, &methods, cfg);
+            report_sweep(
+                id,
+                "Figure 4e — accuracy vs number of options (Samejima)",
+                "k",
+                &methods,
+                &result,
+                cfg,
+            );
+        }
+        "fig4f" => {
+            run_difficulty_sweep(id, ModelKind::Samejima, cfg, &methods);
+        }
+        "fig4g" => {
+            run_probability_sweep(id, ModelKind::Samejima, cfg, &methods);
+        }
+        "fig4h" => {
+            let points: Vec<SweepPoint> = n_sweep(cfg)
+                .iter()
+                .map(|&n| SweepPoint {
+                    label: n.to_string(),
+                    make: Box::new(move |seed| {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        hnd_irt::generate_c1p(100, n, 3, &mut rng)
+                    }),
+                    skip: grm_skip(n, 100),
+                })
+                .collect();
+            let result = run_sweep(&points, &methods, cfg);
+            report_sweep(
+                id,
+                "Figure 4h — accuracy vs number of questions (ideal C1P data)",
+                "n",
+                &methods,
+                &result,
+                cfg,
+            );
+        }
+        _ => unreachable!("dispatcher guarantees a fig4 id"),
+    }
+}
+
+/// The seven shifted difficulty ranges of Figure 4f.
+const DIFFICULTY_RANGES: [(f64, f64); 7] = [
+    (-1.0, 0.0),
+    (-0.75, 0.25),
+    (-0.5, 0.5),
+    (-0.25, 0.75),
+    (0.0, 1.0),
+    (0.25, 1.25),
+    (0.5, 1.5),
+];
+
+fn run_difficulty_sweep(id: &str, model: ModelKind, cfg: &RunConfig, methods: &[Method]) {
+    let points: Vec<SweepPoint> = DIFFICULTY_RANGES
+        .iter()
+        .map(|&(lo, hi)| SweepPoint {
+            label: format!("[{lo},{hi}]"),
+            make: Box::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                hnd_irt::generate(
+                    &GeneratorConfig {
+                        model,
+                        difficulty_range: (lo, hi),
+                        ..Default::default()
+                    },
+                    &mut rng,
+                )
+            }),
+            skip: Vec::new(),
+        })
+        .collect();
+    let result = run_sweep(&points, methods, cfg);
+    // The paper plots mean user accuracy on the x-axis; add it as a column.
+    let mut headers = vec!["b range".to_string(), "user acc %".to_string()];
+    headers.extend(methods.iter().map(|m| m.name().to_string()));
+    let mut table = Table::new(
+        format!("{id} — accuracy vs question difficulty ({})", model.name()),
+        headers,
+    );
+    for (p, label) in result.labels.iter().enumerate() {
+        let mut row = vec![
+            label.clone(),
+            format!("{:.1}", 100.0 * result.mean_user_accuracy[p]),
+        ];
+        for m in 0..methods.len() {
+            row.push(match result.values[p][m] {
+                Some(v) => format!("{v:.3}"),
+                None => "—".to_string(),
+            });
+        }
+        table.push_row(row);
+    }
+    table.print();
+    let json = serde_json::json!({
+        "id": id,
+        "x_ranges": result.labels,
+        "mean_user_accuracy": result.mean_user_accuracy,
+        "methods": methods.iter().map(|m| m.name()).collect::<Vec<_>>(),
+        "accuracy": result.values,
+    });
+    save_json(cfg, id, &json);
+}
+
+fn run_probability_sweep(id: &str, model: ModelKind, cfg: &RunConfig, methods: &[Method]) {
+    let ps = [0.6, 0.7, 0.8, 0.9, 1.0];
+    let points: Vec<SweepPoint> = ps
+        .iter()
+        .map(|&p| SweepPoint {
+            label: format!("{p:.1}"),
+            make: Box::new(move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                hnd_irt::generate(
+                    &GeneratorConfig {
+                        model,
+                        answer_probability: p,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                )
+            }),
+            skip: Vec::new(),
+        })
+        .collect();
+    let result = run_sweep(&points, methods, cfg);
+    report_sweep(
+        id,
+        &format!("{id} — accuracy vs answer probability ({})", model.name()),
+        "p",
+        methods,
+        &result,
+        cfg,
+    );
+}
+
+/// Figure 9 dispatcher (supplementary sweeps on GRM and Bock, plus the
+/// discrimination sweeps 9i–9k).
+pub fn run_fig9(id: &str, cfg: &RunConfig) {
+    let methods = Method::accuracy_set();
+    match id {
+        "fig9a" | "fig9e" => {
+            let model = if id == "fig9a" { ModelKind::Grm } else { ModelKind::Bock };
+            let points = model_points(model, &n_sweep(cfg), true, cfg);
+            let result = run_sweep(&points, &methods, cfg);
+            report_sweep(
+                id,
+                &format!("{id} — accuracy vs number of users ({})", model.name()),
+                "m",
+                &methods,
+                &result,
+                cfg,
+            );
+        }
+        "fig9b" | "fig9f" => {
+            let model = if id == "fig9b" { ModelKind::Grm } else { ModelKind::Bock };
+            // GRM data generation needs k ≥ 3 (footnote 11).
+            let ks: Vec<u16> = if model == ModelKind::Grm {
+                vec![3, 4, 5, 6, 7]
+            } else {
+                vec![2, 3, 4, 5, 6]
+            };
+            let points: Vec<SweepPoint> = ks
+                .iter()
+                .map(|&k| SweepPoint {
+                    label: k.to_string(),
+                    make: Box::new(move |seed| {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        hnd_irt::generate(
+                            &GeneratorConfig {
+                                n_options: k,
+                                model,
+                                ..Default::default()
+                            },
+                            &mut rng,
+                        )
+                    }),
+                    skip: Vec::new(),
+                })
+                .collect();
+            let result = run_sweep(&points, &methods, cfg);
+            report_sweep(
+                id,
+                &format!("{id} — accuracy vs number of options ({})", model.name()),
+                "k",
+                &methods,
+                &result,
+                cfg,
+            );
+        }
+        "fig9c" | "fig9g" => {
+            let model = if id == "fig9c" { ModelKind::Grm } else { ModelKind::Bock };
+            run_difficulty_sweep(id, model, cfg, &methods);
+        }
+        "fig9d" | "fig9h" => {
+            let model = if id == "fig9d" { ModelKind::Grm } else { ModelKind::Bock };
+            run_probability_sweep(id, model, cfg, &methods);
+        }
+        "fig9i" | "fig9j" | "fig9k" => {
+            let model = match id {
+                "fig9i" => ModelKind::Grm,
+                "fig9j" => ModelKind::Bock,
+                _ => ModelKind::Samejima,
+            };
+            let amaxes = [2.5, 5.0, 10.0, 20.0, 40.0];
+            let points: Vec<SweepPoint> = amaxes
+                .iter()
+                .map(|&a| SweepPoint {
+                    label: format!("{a}"),
+                    make: Box::new(move |seed| {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        hnd_irt::generate(
+                            &GeneratorConfig {
+                                model,
+                                max_discrimination: a,
+                                ..Default::default()
+                            },
+                            &mut rng,
+                        )
+                    }),
+                    skip: Vec::new(),
+                })
+                .collect();
+            let result = run_sweep(&points, &methods, cfg);
+            report_sweep(
+                id,
+                &format!("{id} — accuracy vs question discrimination ({})", model.name()),
+                "a_max",
+                &methods,
+                &result,
+                cfg,
+            );
+        }
+        _ => unreachable!("dispatcher guarantees a fig9 id"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> RunConfig {
+        RunConfig {
+            reps: 1,
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sweep_machinery_produces_means() {
+        let points: Vec<SweepPoint> = vec![SweepPoint {
+            label: "30".into(),
+            make: Box::new(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                hnd_irt::generate(
+                    &GeneratorConfig {
+                        n_users: 30,
+                        n_items: 20,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                )
+            }),
+            skip: vec![Method::GrmEstimator],
+        }];
+        let methods = vec![Method::Hnd, Method::TrueAnswer, Method::GrmEstimator];
+        let result = run_sweep(&points, &methods, &quick_cfg());
+        assert_eq!(result.labels, vec!["30"]);
+        assert!(result.values[0][0].is_some(), "HnD ran");
+        assert!(result.values[0][2].is_none(), "GRM estimator skipped");
+        assert!((0.0..=1.0).contains(&result.mean_user_accuracy[0]));
+    }
+
+    #[test]
+    fn c1p_point_gives_hnd_perfect_accuracy() {
+        let points: Vec<SweepPoint> = vec![SweepPoint {
+            label: "c1p".into(),
+            make: Box::new(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                hnd_irt::generate_c1p(50, 60, 3, &mut rng)
+            }),
+            skip: Vec::new(),
+        }];
+        let methods = vec![Method::Hnd, Method::Abh];
+        let result = run_sweep(&points, &methods, &quick_cfg());
+        let hnd = result.values[0][0].unwrap();
+        assert!(hnd > 0.99, "HnD on ideal C1P data: {hnd}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Run configuration shared by all experiments.
+
+use std::path::PathBuf;
+
+/// Global experiment options (see the binary's `--help`).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Repetitions per data point (the paper averages over several seeds;
+    /// Figures 12/13 use 10).
+    pub reps: usize,
+    /// Shrink sweeps for smoke runs (CI / integration tests).
+    pub quick: bool,
+    /// Extend scalability sweeps toward paper-scale sizes.
+    pub full: bool,
+    /// Base RNG seed; rep `r` of sweep point `x` uses a seed derived from
+    /// `(base_seed, x, r)` so runs are reproducible point-by-point.
+    pub base_seed: u64,
+    /// Where JSON results are written (`None` = stdout only).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            reps: 5,
+            quick: false,
+            full: false,
+            base_seed: 20240401,
+            out_dir: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Deterministic per-(point, rep) seed.
+    pub fn seed_for(&self, point: usize, rep: usize) -> u64 {
+        self.base_seed
+            .wrapping_mul(1_000_003)
+            .wrapping_add(point as u64 * 7919)
+            .wrapping_add(rep as u64)
+    }
+
+    /// Repetition count after applying `--quick`.
+    pub fn effective_reps(&self) -> usize {
+        if self.quick {
+            2.min(self.reps).max(1)
+        } else {
+            self.reps
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_distinct_and_deterministic() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.seed_for(1, 2), cfg.seed_for(1, 2));
+        assert_ne!(cfg.seed_for(1, 2), cfg.seed_for(2, 1));
+        assert_ne!(cfg.seed_for(0, 0), cfg.seed_for(0, 1));
+    }
+
+    #[test]
+    fn quick_mode_caps_reps() {
+        let cfg = RunConfig {
+            reps: 10,
+            quick: true,
+            ..Default::default()
+        };
+        assert_eq!(cfg.effective_reps(), 2);
+    }
+}

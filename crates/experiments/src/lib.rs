@@ -1,0 +1,97 @@
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-coupled numerics mirror the published algorithms
+
+//! # hnd-experiments
+//!
+//! The harness that regenerates **every table and figure** of the paper's
+//! evaluation (Section IV plus Appendices D and E). Each experiment prints
+//! the paper's rows/series as an aligned text table and (optionally) writes
+//! machine-readable JSON under `--out DIR`.
+//!
+//! Run `cargo run --release -p hnd-experiments -- all` or pick individual
+//! artifacts (`fig4a`, `fig5b`, `fig6`, `fig12`, …). `--quick` shrinks the
+//! sweeps for smoke testing; `--full` extends the scalability sweeps to
+//! paper-scale sizes.
+//!
+//! | id | paper artifact |
+//! |----|----------------|
+//! | `fig4a`–`fig4h` | accuracy sweeps (Section IV-B) |
+//! | `fig5a`, `fig5b` | scalability (Section IV-C) |
+//! | `fig6` | stability: eigenvector variance, displacement, accuracy (IV-D) |
+//! | `fig7`, `fig10`, `fig11` | real-world stand-ins (IV-E) |
+//! | `fig9a`–`fig9k` | supplementary accuracy (Appendix D-A) |
+//! | `fig12` | simulated American Experience test (Appendix D-C) |
+//! | `fig13` | simulated half-moon data (Appendix D-C) |
+//! | `fig14a`, `fig14b` | ABH-power β/iteration analysis (Appendix E-B) |
+
+pub mod abh_beta;
+pub mod accuracy;
+pub mod config;
+pub mod rankers;
+pub mod realworld;
+pub mod report;
+pub mod scalability;
+pub mod simulated;
+pub mod stability;
+
+pub use config::RunConfig;
+pub use report::Table;
+
+/// All experiment identifiers, in presentation order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig4g", "fig4h",
+    "fig5a", "fig5b", "fig6", "fig7", "fig10", "fig11",
+    "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "fig9g", "fig9h",
+    "fig9i", "fig9j", "fig9k", "fig12", "fig13", "fig14a", "fig14b",
+];
+
+/// Dispatches one experiment by id.
+///
+/// # Errors
+/// Returns an error string for unknown ids.
+pub fn run_experiment(id: &str, cfg: &RunConfig) -> Result<(), String> {
+    match id {
+        "fig4a" | "fig4b" | "fig4c" | "fig4d" | "fig4e" | "fig4f" | "fig4g" | "fig4h" => {
+            accuracy::run_fig4(id, cfg);
+            Ok(())
+        }
+        "fig9a" | "fig9b" | "fig9c" | "fig9d" | "fig9e" | "fig9f" | "fig9g" | "fig9h"
+        | "fig9i" | "fig9j" | "fig9k" => {
+            accuracy::run_fig9(id, cfg);
+            Ok(())
+        }
+        "fig5a" => {
+            scalability::run(cfg, scalability::Axis::Users);
+            Ok(())
+        }
+        "fig5b" => {
+            scalability::run(cfg, scalability::Axis::Items);
+            Ok(())
+        }
+        "fig6" => {
+            stability::run(cfg);
+            Ok(())
+        }
+        "fig7" | "fig10" | "fig11" => {
+            realworld::run(id, cfg);
+            Ok(())
+        }
+        "fig12" => {
+            simulated::run_american_experience(cfg);
+            Ok(())
+        }
+        "fig13" => {
+            simulated::run_half_moon(cfg);
+            Ok(())
+        }
+        "fig14a" => {
+            abh_beta::run_beta_sweep(cfg);
+            Ok(())
+        }
+        "fig14b" => {
+            abh_beta::run_iteration_counts(cfg);
+            Ok(())
+        }
+        other => Err(format!("unknown experiment id: {other}")),
+    }
+}

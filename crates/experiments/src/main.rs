@@ -1,0 +1,101 @@
+//! Command-line entry point: regenerate the paper's figures and tables.
+//!
+//! ```text
+//! hnd-experiments [--reps N] [--quick] [--full] [--seed S] [--out DIR] <ids...|all>
+//! ```
+
+use hnd_experiments::{run_experiment, RunConfig, ALL_EXPERIMENTS};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+Usage: hnd-experiments [OPTIONS] <experiment ids...|all>
+
+Regenerates the figures/tables of the HITSnDIFFS paper (ICDE 2024).
+
+Options:
+  --reps N     repetitions per sweep point (default 5)
+  --quick      shrink sweeps for a fast smoke run
+  --full       extend scalability sweeps to paper-scale sizes (10^5 users)
+  --seed S     base RNG seed (default 20240401)
+  --out DIR    also write JSON results to DIR
+  --list       list experiment ids and exit
+  -h, --help   show this help
+
+Experiment ids: fig4a-h, fig5a, fig5b, fig6, fig7, fig9a-k, fig10,
+fig11, fig12, fig13, fig14a, fig14b, or `all`.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = RunConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => cfg.reps = n,
+                    _ => {
+                        eprintln!("error: --reps needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(s) => cfg.base_seed = s,
+                    None => {
+                        eprintln!("error: --seed needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => cfg.out_dir = Some(dir.into()),
+                    None => {
+                        eprintln!("error: --out needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--quick" => cfg.quick = true,
+            "--full" => cfg.full = true,
+            "--list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option {other}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        let started = std::time::Instant::now();
+        if let Err(e) = run_experiment(id, &cfg) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[{id} finished in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

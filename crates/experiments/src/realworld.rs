@@ -1,0 +1,148 @@
+//! Real-world dataset experiments (Figures 7, 10, 11 — Section IV-E).
+//!
+//! The original six MCQ datasets are not available (see DESIGN.md §4);
+//! simulated stand-ins with identical shapes are evaluated with the paper's
+//! protocol: the True-Answer ranking serves as pseudo gold standard, and —
+//! following the paper's footnote 16 — a negatively correlated ABH result
+//! is reported by absolute value.
+
+use crate::config::RunConfig;
+use crate::rankers::Method;
+use crate::report::{save_json, Table};
+use hnd_datasets::{real_world_datasets, REAL_WORLD_SPECS};
+use hnd_models::TrueAnswer;
+use hnd_response::AbilityRanker;
+
+/// Per-dataset accuracy of each method against the True-Answer ranking,
+/// as percentages.
+fn evaluate_all() -> (Vec<String>, Vec<Method>, Vec<Vec<f64>>) {
+    let methods = Method::real_world_set();
+    let datasets = real_world_datasets(0);
+    let mut names = Vec::new();
+    let mut rows = Vec::new();
+    for ds in &datasets {
+        names.push(ds.spec.name.to_string());
+        let reference = TrueAnswer::new(ds.data.correct_options.clone())
+            .rank(&ds.data.responses)
+            .expect("True-Answer runs");
+        let mut row = Vec::new();
+        for method in &methods {
+            let acc = match method.run(&ds.data) {
+                Ok(ranking) => hnd_eval::spearman(&ranking.scores, &reference.scores),
+                Err(_) => 0.0,
+            };
+            // Footnote 16: ABH's correlation can come out negative; the
+            // paper reports |ρ| for presentation.
+            let acc = if *method == Method::Abh { acc.abs() } else { acc };
+            row.push(100.0 * acc);
+        }
+        rows.push(row);
+    }
+    (names, methods, rows)
+}
+
+/// Runs `fig7` (average), `fig10` (dataset table) or `fig11` (per-dataset).
+pub fn run(id: &str, cfg: &RunConfig) {
+    match id {
+        "fig10" => {
+            let mut table = Table::new(
+                "Figure 10 — summary of (simulated) real datasets",
+                vec!["Dataset".into(), "#users".into(), "#questions".into(), "#options".into()],
+            );
+            for spec in REAL_WORLD_SPECS {
+                table.push_row(vec![
+                    spec.name.to_string(),
+                    spec.users.to_string(),
+                    spec.questions.to_string(),
+                    spec.options.to_string(),
+                ]);
+            }
+            table.print();
+            let json = serde_json::json!({
+                "id": "fig10",
+                "datasets": REAL_WORLD_SPECS.iter().map(|s| serde_json::json!({
+                    "name": s.name, "users": s.users,
+                    "questions": s.questions, "options": s.options,
+                })).collect::<Vec<_>>(),
+            });
+            save_json(cfg, id, &json);
+        }
+        "fig7" => {
+            let (_names, methods, rows) = evaluate_all();
+            let mut table = Table::new(
+                "Figure 7 — mean accuracy vs True-Answer over 6 datasets (%)",
+                vec!["Method".into(), "accuracy %".into()],
+            );
+            let mut json_rows = Vec::new();
+            for (mi, method) in methods.iter().enumerate() {
+                let vals: Vec<f64> = rows.iter().map(|r| r[mi]).collect();
+                let mean = hnd_eval::mean(&vals);
+                table.push_row(vec![method.name().to_string(), format!("{mean:.2}")]);
+                json_rows.push(serde_json::json!({
+                    "method": method.name(),
+                    "mean_accuracy_pct": mean,
+                }));
+            }
+            table.print();
+            save_json(cfg, id, &serde_json::json!({ "id": "fig7", "methods": json_rows }));
+        }
+        "fig11" => {
+            let (names, methods, rows) = evaluate_all();
+            let mut headers = vec!["Dataset".to_string()];
+            headers.extend(methods.iter().map(|m| m.name().to_string()));
+            let mut table = Table::new(
+                "Figure 11 — per-dataset accuracy vs True-Answer (%)",
+                headers,
+            );
+            for (d, name) in names.iter().enumerate() {
+                let mut row = vec![name.clone()];
+                row.extend(rows[d].iter().map(|v| format!("{v:.2}")));
+                table.push_row(row);
+            }
+            table.print();
+            let json = serde_json::json!({
+                "id": "fig11",
+                "datasets": names,
+                "methods": methods.iter().map(|m| m.name()).collect::<Vec<_>>(),
+                "accuracy_pct": rows,
+            });
+            save_json(cfg, id, &json);
+        }
+        _ => unreachable!("dispatcher guarantees a real-world id"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_covers_all_datasets_and_methods() {
+        let (names, methods, rows) = evaluate_all();
+        assert_eq!(names.len(), 6);
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].len(), methods.len());
+        for row in &rows {
+            for &v in row {
+                assert!((-100.0..=100.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn hnd_is_competitive_on_stand_ins() {
+        // The paper's own real-data result (Figure 7) has no consistent
+        // winner and HnD slightly below HITS/PooledInv; we require HnD to be
+        // clearly positive and the overall ordering (PooledInv/HITS strong)
+        // to hold.
+        let (_, methods, rows) = evaluate_all();
+        let mean_of = |m: Method| {
+            let idx = methods.iter().position(|x| *x == m).unwrap();
+            rows.iter().map(|r| r[idx]).sum::<f64>() / rows.len() as f64
+        };
+        let hnd = mean_of(Method::Hnd);
+        assert!(hnd > 30.0, "HnD mean accuracy vs True-Answer: {hnd}");
+        assert!(mean_of(Method::Hits) > 50.0, "HITS should be strong");
+        assert!(mean_of(Method::PooledInvestment) > 50.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Aligned table printing and JSON export.
+
+use crate::config::RunConfig;
+
+/// A simple aligned text table mirroring one paper figure/table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (e.g. `"Figure 4a — accuracy vs number of questions (GRM)"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells, already formatted.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the cell count must match the headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Renders with column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for c in 0..ncols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cells[c], width = widths[c]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Writes a JSON result under `out_dir/<id>.json` when an output directory
+/// is configured. Errors are reported to stderr but never abort an
+/// experiment (results are already on stdout).
+pub fn save_json(cfg: &RunConfig, id: &str, value: &serde_json::Value) {
+    let Some(dir) = &cfg.out_dir else {
+        return;
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{id}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {id}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", vec!["x".into(), "method".into()]);
+        t.push_row(vec!["1".into(), "HnD".into()]);
+        t.push_row(vec!["1000".into(), "ABH-direct".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("1000"));
+        // Both data rows end aligned on the right edge of their columns
+        // (render starts with a blank line, then title/header/rule/rows).
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[4].len(), lines[5].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn save_json_without_out_dir_is_noop() {
+        let cfg = RunConfig::default();
+        save_json(&cfg, "x", &serde_json::json!({"a": 1}));
+    }
+}

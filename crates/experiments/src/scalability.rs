@@ -1,0 +1,136 @@
+//! Scalability experiments (Figure 5, Section IV-C).
+//!
+//! Median wall-clock time of each implementation over `reps` runs, sweeping
+//! either the number of users (`fig5a`) or questions (`fig5b`). The paper's
+//! headline: `HND-power` is linear in both, ABH is unavoidably quadratic in
+//! the user count, the GRM estimator is orders of magnitude slower.
+//!
+//! Default sweeps stop at 10⁴ (a laptop-friendly bound); `--full` extends
+//! to 10⁵ like the paper. Methods whose projected cost explodes are skipped
+//! at the largest sizes, mirroring the paper's 1000 s timeout.
+
+use crate::config::RunConfig;
+use crate::rankers::Method;
+use crate::report::{save_json, Table};
+use hnd_irt::{GeneratorConfig, ModelKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Which dimension the sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Figure 5a: vary `m`, fix `n = 100`.
+    Users,
+    /// Figure 5b: vary `n`, fix `m = 100`.
+    Items,
+}
+
+fn sizes(cfg: &RunConfig) -> Vec<usize> {
+    if cfg.quick {
+        vec![10, 100, 1000]
+    } else if cfg.full {
+        vec![10, 100, 1000, 10_000, 100_000]
+    } else {
+        vec![10, 100, 1000, 10_000]
+    }
+}
+
+/// Skip rules standing in for the paper's 1000 s timeout: quadratic-in-m
+/// methods stop at 10⁴ users, the EM estimator at 10³.
+fn skip(method: Method, m: usize, n: usize) -> bool {
+    match method {
+        Method::GrmEstimator => m > 1000 || n > 1000,
+        Method::Abh | Method::AbhPower => m > 10_000,
+        Method::HndDeflation | Method::HndDirect | Method::Hnd => false,
+        _ => false,
+    }
+}
+
+/// Runs the Figure 5 sweep on the given axis.
+pub fn run(cfg: &RunConfig, axis: Axis) {
+    let methods = Method::scalability_set();
+    let (id, title, x_name) = match axis {
+        Axis::Users => ("fig5a", "Figure 5a — execution time vs number of users (n = 100)", "m"),
+        Axis::Items => ("fig5b", "Figure 5b — execution time vs number of questions (m = 100)", "n"),
+    };
+    let mut headers = vec![x_name.to_string()];
+    headers.extend(methods.iter().map(|m| format!("{} [s]", m.name())));
+    let mut table = Table::new(title, headers);
+    let mut json_rows = Vec::new();
+
+    let reps = cfg.effective_reps().clamp(1, 5);
+    for (p, &size) in sizes(cfg).iter().enumerate() {
+        let (m, n) = match axis {
+            Axis::Users => (size, 100),
+            Axis::Items => (100, size),
+        };
+        let mut row = vec![size.to_string()];
+        let mut json_cells = Vec::new();
+        for method in &methods {
+            if skip(*method, m, n) {
+                row.push("skip".to_string());
+                json_cells.push(serde_json::Value::Null);
+                continue;
+            }
+            let mut times = Vec::with_capacity(reps);
+            for r in 0..reps {
+                let mut rng = StdRng::seed_from_u64(cfg.seed_for(p, r));
+                let ds = hnd_irt::generate(
+                    &GeneratorConfig {
+                        n_users: m,
+                        n_items: n,
+                        model: ModelKind::Samejima,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                );
+                let start = Instant::now();
+                let outcome = method.run(&ds);
+                let elapsed = start.elapsed().as_secs_f64();
+                assert!(outcome.is_ok(), "{} failed at {m}x{n}", method.name());
+                times.push(elapsed);
+            }
+            times.sort_by(|a, b| a.partial_cmp(b).expect("NaN time"));
+            let median = times[times.len() / 2];
+            row.push(format!("{median:.4}"));
+            json_cells.push(serde_json::json!(median));
+        }
+        table.push_row(row);
+        json_rows.push(serde_json::json!({
+            "size": size,
+            "median_seconds": json_cells,
+        }));
+        // Print incrementally so long sweeps show progress.
+    }
+    table.print();
+    let json = serde_json::json!({
+        "id": id,
+        "axis": x_name,
+        "methods": methods.iter().map(|m| m.name()).collect::<Vec<_>>(),
+        "points": json_rows,
+        "reps": reps,
+    });
+    save_json(cfg, id, &json);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_rules_match_paper_budget() {
+        assert!(skip(Method::GrmEstimator, 10_000, 100));
+        assert!(skip(Method::Abh, 100_000, 100));
+        assert!(!skip(Method::Hnd, 100_000, 100));
+        assert!(!skip(Method::Abh, 100, 100_000), "ABH is fine in n");
+    }
+
+    #[test]
+    fn sizes_scale_with_flags() {
+        let quick = RunConfig { quick: true, ..Default::default() };
+        assert_eq!(sizes(&quick).last(), Some(&1000));
+        let full = RunConfig { full: true, ..Default::default() };
+        assert_eq!(sizes(&full).last(), Some(&100_000));
+    }
+}

@@ -1,0 +1,183 @@
+//! Realistically simulated data (Figures 12 and 13, Appendix D-C).
+//!
+//! * Figure 12 — the "American Experience" test: 40 frozen binary 3PL items
+//!   (see `hnd_irt::presets`), `θ ∼ N(0,1)`, at class scale (100 students)
+//!   and original scale (2692 students); mean ± std over 10 runs.
+//! * Figure 13 — the half-moon discrimination/difficulty crescent of Vania
+//!   et al.: (a) the item scatter, (b) method accuracies.
+
+use crate::config::RunConfig;
+use crate::rankers::Method;
+use crate::report::{save_json, Table};
+use hnd_eval::Summary;
+use hnd_irt::presets::{american_experience_items, half_moon_items, standard_normal_abilities};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn method_set() -> Vec<Method> {
+    vec![
+        Method::Hnd,
+        Method::Abh,
+        Method::Hits,
+        Method::TruthFinder,
+        Method::Investment,
+        Method::PooledInvestment,
+        Method::GrmEstimator,
+        Method::ThreePlEstimator,
+        Method::TrueAnswer,
+    ]
+}
+
+/// Shared runner: repeated binary-3PL experiments with N(0,1) abilities.
+fn run_binary_panel(
+    title: &str,
+    id: &str,
+    n_students: usize,
+    items_factory: impl Fn(&mut StdRng) -> Vec<hnd_irt::ThreePl>,
+    cfg: &RunConfig,
+    runs: usize,
+    methods_filter: impl Fn(Method) -> bool,
+) -> Vec<(String, Summary)> {
+    let methods: Vec<Method> = method_set().into_iter().filter(|m| methods_filter(*m)).collect();
+    let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+    for r in 0..runs {
+        let mut rng = StdRng::seed_from_u64(cfg.seed_for(0, r));
+        let items = items_factory(&mut rng);
+        let abilities = standard_normal_abilities(n_students, &mut rng);
+        let ds = hnd_irt::generate_binary(&items, &abilities, &mut rng);
+        for (mi, method) in methods.iter().enumerate() {
+            if let Some(acc) = method.accuracy(&ds) {
+                // Like Figure 12/13, report percentages; ABH can come out
+                // negatively correlated (footnote 16) → absolute value.
+                let acc = if *method == Method::Abh { acc.abs() } else { acc };
+                per_method[mi].push(100.0 * acc);
+            }
+        }
+    }
+    let mut table = Table::new(
+        title,
+        vec!["Method".into(), "accuracy % (mean ± std)".into()],
+    );
+    let mut out = Vec::new();
+    for (mi, method) in methods.iter().enumerate() {
+        let summary = Summary::of(&per_method[mi]);
+        table.push_row(vec![
+            method.name().to_string(),
+            format!("{:.2} ± {:.2}", summary.mean, summary.std_dev),
+        ]);
+        out.push((method.name().to_string(), summary));
+    }
+    table.print();
+    let json = serde_json::json!({
+        "id": id,
+        "students": n_students,
+        "runs": runs,
+        "methods": out.iter().map(|(name, s)| serde_json::json!({
+            "method": name, "mean_pct": s.mean, "std_pct": s.std_dev,
+        })).collect::<Vec<_>>(),
+    });
+    save_json(cfg, id, &json);
+    out
+}
+
+/// Figure 12: both class-scale and original-scale panels.
+pub fn run_american_experience(cfg: &RunConfig) {
+    let runs = if cfg.quick { 3 } else { 10 };
+    run_binary_panel(
+        "Figure 12a — American Experience, 100 students (40 3PL items)",
+        "fig12a",
+        100,
+        |_| american_experience_items(),
+        cfg,
+        runs,
+        |_| true,
+    );
+    let big_students = if cfg.quick { 500 } else { 2692 };
+    run_binary_panel(
+        &format!("Figure 12b — American Experience, {big_students} students"),
+        "fig12b",
+        big_students,
+        |_| american_experience_items(),
+        cfg,
+        runs,
+        // The paper's Figure 12b omits TruthFinder at this scale.
+        |m| m != Method::TruthFinder,
+    );
+}
+
+/// Figure 13: the half-moon scatter plus the accuracy panel.
+pub fn run_half_moon(cfg: &RunConfig) {
+    // Panel (a): the item parameter scatter.
+    let mut rng = StdRng::seed_from_u64(cfg.base_seed);
+    let items = half_moon_items(100, &mut rng);
+    let mut table = Table::new(
+        "Figure 13a — half-moon item scatter (first 10 of 100 items)",
+        vec!["item".into(), "log a".into(), "b".into(), "c".into()],
+    );
+    for (i, it) in items.iter().take(10).enumerate() {
+        table.push_row(vec![
+            i.to_string(),
+            format!("{:.3}", it.discrimination.ln()),
+            format!("{:.3}", it.difficulty),
+            format!("{:.3}", it.guessing),
+        ]);
+    }
+    table.print();
+    let scatter: Vec<serde_json::Value> = items
+        .iter()
+        .map(|it| {
+            serde_json::json!({
+                "log_a": it.discrimination.ln(),
+                "b": it.difficulty,
+                "c": it.guessing,
+            })
+        })
+        .collect();
+    save_json(
+        cfg,
+        "fig13a",
+        &serde_json::json!({ "id": "fig13a", "items": scatter }),
+    );
+
+    // Panel (b): accuracies on 100 users × 100 half-moon items, 10 runs.
+    let runs = if cfg.quick { 3 } else { 10 };
+    run_binary_panel(
+        "Figure 13b — accuracy on half-moon data (100 users × 100 items)",
+        "fig13b",
+        100,
+        |rng| half_moon_items(100, rng),
+        cfg,
+        runs,
+        |_| true,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_panel_produces_summaries() {
+        let cfg = RunConfig {
+            quick: true,
+            ..Default::default()
+        };
+        let out = run_binary_panel(
+            "test panel",
+            "test",
+            60,
+            |_| american_experience_items(),
+            &cfg,
+            2,
+            |m| matches!(m, Method::Hnd | Method::TrueAnswer),
+        );
+        assert_eq!(out.len(), 2);
+        for (name, summary) in &out {
+            assert_eq!(summary.runs, 2, "{name}");
+            assert!(summary.mean.abs() <= 100.0);
+        }
+        // True-Answer on 3PL data with N(0,1) abilities is strong.
+        let ta = out.iter().find(|(n, _)| n == "True-Answer").unwrap();
+        assert!(ta.1.mean > 70.0, "True-Answer: {}", ta.1.mean);
+    }
+}

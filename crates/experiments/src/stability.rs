@@ -1,0 +1,157 @@
+//! Stability experiments (Figure 6, Section IV-D).
+//!
+//! Setup per the paper: m = n = 100, k = 3, abilities equally spaced in
+//! `[0, 1]`, item difficulties equally spaced in `[−0.5, 0.5]` with all
+//! options of an item sharing its difficulty, and per-option slopes equally
+//! spaced (`α_h = h·a`, the GRM↔Bock correspondence). Sweeping the
+//! discrimination `a ∈ {1, 2, 4, 8, 16}`:
+//!
+//! * (a) the variance of the eigenvector each method ranks by
+//!   (`Udiff`'s dominant one for HND, `βI − M`'s for ABH),
+//! * (b) the normalized user displacement across resampled matrices,
+//! * (c) the Spearman accuracy of both methods.
+//!
+//! The paper's prediction (Section III-E): HND's eigenvector has smaller
+//! variance, hence smaller displacement and better accuracy off the ideal
+//! case.
+
+use crate::config::RunConfig;
+use crate::report::{save_json, Table};
+use hnd_c1p::abh::AbhPower;
+use hnd_core::{AbilityRanker, HitsNDiffs};
+use hnd_irt::poly::BockItem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const M: usize = 100;
+const N: usize = 100;
+const K: usize = 3;
+
+fn stability_dataset(a: f64, seed: u64) -> hnd_irt::SyntheticDataset {
+    let abilities: Vec<f64> = (0..M).map(|j| j as f64 / (M - 1) as f64).collect();
+    let items: Vec<BockItem> = (0..N)
+        .map(|i| {
+            let b = -0.5 + i as f64 / (N - 1) as f64;
+            let slopes: Vec<f64> = (0..K).map(|h| h as f64 * a).collect();
+            let intercepts: Vec<f64> = slopes.iter().map(|&s| -s * b).collect();
+            BockItem::new(slopes, intercepts)
+        })
+        .collect();
+    let correct = vec![(K - 1) as u16; N];
+    let mut rng = StdRng::seed_from_u64(seed);
+    hnd_irt::generate_from_items(&items, &correct, &abilities, &mut rng)
+}
+
+/// Runs the full Figure 6 study (three panels at once).
+pub fn run(cfg: &RunConfig) {
+    let discriminations = [1.0, 2.0, 4.0, 8.0, 16.0];
+    let reps = cfg.effective_reps().max(2); // displacement needs ≥ 2 runs
+    let mut table = Table::new(
+        "Figure 6 — stability study (HnD vs ABH)",
+        vec![
+            "a".into(),
+            "var(HnD eigvec)".into(),
+            "var(ABH eigvec)".into(),
+            "displ HnD".into(),
+            "displ ABH".into(),
+            "acc HnD".into(),
+            "acc ABH".into(),
+        ],
+    );
+    let mut json_points = Vec::new();
+    for (p, &a) in discriminations.iter().enumerate() {
+        let mut var_hnd = Vec::new();
+        let mut var_abh = Vec::new();
+        let mut acc_hnd = Vec::new();
+        let mut acc_abh = Vec::new();
+        let mut scores_hnd: Vec<Vec<f64>> = Vec::new();
+        let mut scores_abh: Vec<Vec<f64>> = Vec::new();
+        for r in 0..reps {
+            let ds = stability_dataset(a, cfg.seed_for(p, r));
+            // Panel (a): variance of the ranking eigenvectors.
+            let hnd = HitsNDiffs::default();
+            let (sdiff, _) = hnd.diff_eigenvector(&ds.responses).expect("m >= 2");
+            var_hnd.push(hnd_linalg::vector::variance(&sdiff));
+            let abh = AbhPower::default();
+            let (mdiff, _) = abh.diff_eigenvector(&ds.responses).expect("m >= 2");
+            var_abh.push(hnd_linalg::vector::variance(&mdiff));
+            // Panels (b)/(c): oriented rankings.
+            let rh = hnd.rank(&ds.responses).expect("HnD ranks");
+            let ra = abh.rank(&ds.responses).expect("ABH ranks");
+            acc_hnd.push(hnd_eval::spearman(&rh.scores, &ds.abilities));
+            acc_abh.push(hnd_eval::spearman(&ra.scores, &ds.abilities));
+            scores_hnd.push(rh.scores);
+            scores_abh.push(ra.scores);
+        }
+        // Displacement: mean pairwise across runs.
+        let displacement = |runs: &[Vec<f64>]| -> f64 {
+            let mut total = 0.0;
+            let mut pairs = 0usize;
+            for i in 0..runs.len() {
+                for j in (i + 1)..runs.len() {
+                    total += hnd_eval::normalized_displacement(&runs[i], &runs[j]);
+                    pairs += 1;
+                }
+            }
+            if pairs == 0 {
+                0.0
+            } else {
+                total / pairs as f64
+            }
+        };
+        let d_hnd = displacement(&scores_hnd);
+        let d_abh = displacement(&scores_abh);
+        table.push_row(vec![
+            format!("{a}"),
+            format!("{:.5}", hnd_eval::mean(&var_hnd)),
+            format!("{:.5}", hnd_eval::mean(&var_abh)),
+            format!("{d_hnd:.4}"),
+            format!("{d_abh:.4}"),
+            format!("{:.3}", hnd_eval::mean(&acc_hnd)),
+            format!("{:.3}", hnd_eval::mean(&acc_abh)),
+        ]);
+        json_points.push(serde_json::json!({
+            "discrimination": a,
+            "variance_hnd": hnd_eval::mean(&var_hnd),
+            "variance_abh": hnd_eval::mean(&var_abh),
+            "displacement_hnd": d_hnd,
+            "displacement_abh": d_abh,
+            "accuracy_hnd": hnd_eval::mean(&acc_hnd),
+            "accuracy_abh": hnd_eval::mean(&acc_abh),
+        }));
+    }
+    table.print();
+    save_json(
+        cfg,
+        "fig6",
+        &serde_json::json!({ "id": "fig6", "points": json_points, "reps": reps }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stability_dataset_shape() {
+        let ds = stability_dataset(4.0, 1);
+        assert_eq!(ds.responses.n_users(), 100);
+        assert_eq!(ds.responses.n_items(), 100);
+        assert_eq!(ds.responses.max_options(), 3);
+        // Equally spaced abilities.
+        assert_eq!(ds.abilities[0], 0.0);
+        assert_eq!(*ds.abilities.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn high_discrimination_is_more_accurate_for_hnd() {
+        let low = stability_dataset(1.0, 2);
+        let high = stability_dataset(16.0, 2);
+        let hnd = HitsNDiffs::default();
+        let acc = |ds: &hnd_irt::SyntheticDataset| {
+            let r = hnd.rank(&ds.responses).unwrap();
+            hnd_eval::spearman(&r.scores, &ds.abilities)
+        };
+        assert!(acc(&high) > acc(&low), "discrimination helps HnD");
+    }
+}

@@ -1,0 +1,95 @@
+//! Smoke tests: every experiment family must run end-to-end in quick mode.
+//! (The full suite is exercised by `hnd-experiments -- all`; here we keep
+//! runtimes test-friendly.)
+
+use hnd_experiments::{run_experiment, RunConfig, ALL_EXPERIMENTS};
+
+fn quick() -> RunConfig {
+    RunConfig {
+        reps: 1,
+        quick: true,
+        out_dir: None,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn unknown_ids_are_rejected() {
+    assert!(run_experiment("fig99", &quick()).is_err());
+    assert!(run_experiment("", &quick()).is_err());
+}
+
+#[test]
+fn id_table_is_complete_and_unique() {
+    assert_eq!(ALL_EXPERIMENTS.len(), 29);
+    let mut sorted: Vec<&str> = ALL_EXPERIMENTS.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 29, "duplicate experiment ids");
+}
+
+#[test]
+fn real_world_family_runs() {
+    for id in ["fig10", "fig7", "fig11"] {
+        run_experiment(id, &quick()).unwrap_or_else(|e| panic!("{id}: {e}"));
+    }
+}
+
+#[test]
+fn stability_study_runs() {
+    run_experiment("fig6", &quick()).expect("fig6 runs");
+}
+
+#[test]
+fn beta_analysis_runs() {
+    run_experiment("fig14a", &quick()).expect("fig14a runs");
+}
+
+#[test]
+fn one_accuracy_panel_runs_and_writes_json() {
+    let dir = std::env::temp_dir().join("hnd_smoke_results");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = RunConfig {
+        reps: 1,
+        quick: true,
+        out_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    run_experiment("fig4e", &cfg).expect("fig4e runs");
+    let json_path = dir.join("fig4e.json");
+    let body = std::fs::read_to_string(&json_path).expect("JSON written");
+    let value: serde_json::Value = serde_json::from_str(&body).expect("valid JSON");
+    assert_eq!(value["id"], "fig4e");
+    assert!(value["accuracy"].is_array());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn results_are_seed_reproducible() {
+    use hnd_experiments::accuracy::{run_sweep, SweepPoint};
+    use hnd_experiments::rankers::Method;
+    let point = || {
+        vec![SweepPoint {
+            label: "x".into(),
+            make: Box::new(|seed| {
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+                hnd_irt::generate(
+                    &hnd_irt::GeneratorConfig {
+                        n_users: 25,
+                        n_items: 15,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                )
+            }),
+            skip: Vec::new(),
+        }]
+    };
+    let cfg = RunConfig {
+        reps: 2,
+        ..Default::default()
+    };
+    let a = run_sweep(&point(), &[Method::Hnd], &cfg);
+    let b = run_sweep(&point(), &[Method::Hnd], &cfg);
+    assert_eq!(a.values, b.values, "same seeds must give identical results");
+}

@@ -1,0 +1,199 @@
+//! Dichotomous IRT models (Appendix C-A of the paper).
+//!
+//! All four are variations of the logistic response function: the
+//! probability of answering item `i` correctly as a function of latent
+//! ability `θ`. Figure 2 of the paper shows how they specialize into each
+//! other; the unit tests below verify exactly those arrows.
+
+/// The standard logistic function `σ(x) = 1 / (1 + e^{−x})`.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        // Numerically stable branch for large negative x.
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A binary item model: probability of a correct response given ability.
+pub trait BinaryModel {
+    /// `P(correct | θ)`.
+    fn prob_correct(&self, theta: f64) -> f64;
+}
+
+/// 1PL / Rasch model: `P(θ) = σ(θ − b)` — difficulty only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnePl {
+    /// Item difficulty `b`.
+    pub difficulty: f64,
+}
+
+impl BinaryModel for OnePl {
+    fn prob_correct(&self, theta: f64) -> f64 {
+        sigmoid(theta - self.difficulty)
+    }
+}
+
+/// 2PL model: `P(θ) = σ(a (θ − b))` — adds discrimination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPl {
+    /// Discrimination `a` (how sharply the item separates abilities).
+    pub discrimination: f64,
+    /// Difficulty `b`.
+    pub difficulty: f64,
+}
+
+impl BinaryModel for TwoPl {
+    fn prob_correct(&self, theta: f64) -> f64 {
+        sigmoid(self.discrimination * (theta - self.difficulty))
+    }
+}
+
+impl From<OnePl> for TwoPl {
+    /// 1PL is 2PL with all discriminations tied to 1 (Figure 2).
+    fn from(m: OnePl) -> Self {
+        TwoPl {
+            discrimination: 1.0,
+            difficulty: m.difficulty,
+        }
+    }
+}
+
+/// GLAD (Whitehill et al.): `P(θ) = σ(a·θ)` — a 2PL with `b = 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Glad {
+    /// Discrimination `a` (the GLAD paper's `β` item-difficulty inverse).
+    pub discrimination: f64,
+}
+
+impl BinaryModel for Glad {
+    fn prob_correct(&self, theta: f64) -> f64 {
+        sigmoid(self.discrimination * theta)
+    }
+}
+
+impl From<Glad> for TwoPl {
+    /// GLAD is 2PL with all difficulties tied to 0 (Figure 2).
+    fn from(m: Glad) -> Self {
+        TwoPl {
+            discrimination: m.discrimination,
+            difficulty: 0.0,
+        }
+    }
+}
+
+/// 3PL model: `P(θ) = c + (1 − c)·σ(a (θ − b))` — adds random guessing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreePl {
+    /// Discrimination `a`.
+    pub discrimination: f64,
+    /// Difficulty `b`.
+    pub difficulty: f64,
+    /// Pseudo-guessing floor `c` (a reasonable value is `1/k`).
+    pub guessing: f64,
+}
+
+impl BinaryModel for ThreePl {
+    fn prob_correct(&self, theta: f64) -> f64 {
+        self.guessing
+            + (1.0 - self.guessing) * sigmoid(self.discrimination * (theta - self.difficulty))
+    }
+}
+
+impl From<TwoPl> for ThreePl {
+    /// 2PL is 3PL with guessing tied to 0 (Figure 2).
+    fn from(m: TwoPl) -> Self {
+        ThreePl {
+            discrimination: m.discrimination,
+            difficulty: m.difficulty,
+            guessing: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const THETAS: [f64; 7] = [-3.0, -1.0, -0.5, 0.0, 0.5, 1.0, 3.0];
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(50.0) > 1.0 - 1e-12);
+        assert!(sigmoid(-50.0) < 1e-12);
+        // σ(x) + σ(−x) = 1.
+        for x in [-4.0, -0.3, 0.0, 2.2] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_pl_monotone_in_ability_and_difficulty() {
+        let easy = OnePl { difficulty: -1.0 };
+        let hard = OnePl { difficulty: 1.0 };
+        for w in THETAS.windows(2) {
+            assert!(easy.prob_correct(w[0]) < easy.prob_correct(w[1]));
+        }
+        for t in THETAS {
+            assert!(easy.prob_correct(t) > hard.prob_correct(t));
+        }
+    }
+
+    #[test]
+    fn figure2_arrow_2pl_specializes_to_1pl() {
+        let one = OnePl { difficulty: 0.3 };
+        let two = TwoPl::from(one);
+        for t in THETAS {
+            assert!((one.prob_correct(t) - two.prob_correct(t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure2_arrow_2pl_specializes_to_glad() {
+        let glad = Glad { discrimination: 2.5 };
+        let two = TwoPl::from(glad);
+        for t in THETAS {
+            assert!((glad.prob_correct(t) - two.prob_correct(t)).abs() < 1e-12);
+        }
+        // GLAD property: a user of ability 0 is at exactly 50%.
+        assert!((glad.prob_correct(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure2_arrow_3pl_specializes_to_2pl() {
+        let two = TwoPl {
+            discrimination: 1.7,
+            difficulty: -0.2,
+        };
+        let three = ThreePl::from(two);
+        for t in THETAS {
+            assert!((two.prob_correct(t) - three.prob_correct(t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn three_pl_guessing_floor() {
+        let m = ThreePl {
+            discrimination: 2.0,
+            difficulty: 0.0,
+            guessing: 0.25,
+        };
+        assert!(m.prob_correct(-50.0) >= 0.25 - 1e-12);
+        assert!(m.prob_correct(50.0) <= 1.0 + 1e-12);
+        // Midpoint: c + (1-c)/2.
+        assert!((m.prob_correct(0.0) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_discrimination_approaches_step_function() {
+        let m = TwoPl {
+            discrimination: 1e4,
+            difficulty: 0.5,
+        };
+        assert!(m.prob_correct(0.49) < 1e-10);
+        assert!(m.prob_correct(0.51) > 1.0 - 1e-10);
+    }
+}

@@ -1,0 +1,507 @@
+//! Synthetic ability-discovery workload generators (Section IV-A/B).
+//!
+//! Parameter conventions follow the paper's defaults: abilities
+//! `θ ∼ U[0,1]`, option difficulties `b ∼ U[−0.5, 0.5]`, discriminations
+//! `a ∼ U[0, 10]`, `m = n = 100`, `k = 3`. The GRM discrimination is scaled
+//! by `2/(k+1)` relative to Bock's per-option slopes so the two models have
+//! comparable average discrimination (Appendix D-D).
+
+use crate::binary::{BinaryModel, ThreePl};
+use crate::poly::{BockItem, GrmItem, PolytomousModel, SamejimaItem};
+use hnd_response::{ResponseMatrix, ResponseMatrixBuilder};
+use rand::Rng;
+
+/// Which polytomous model generates the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Graded Response Model — ordered categories, no guessing.
+    Grm,
+    /// Bock nominal categories — no guessing (crowdsourcing scenario).
+    Bock,
+    /// Samejima MCQ model — random guessing (educational scenario); the
+    /// paper's most general generator.
+    Samejima,
+}
+
+impl ModelKind {
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Grm => "GRM",
+            ModelKind::Bock => "Bock",
+            ModelKind::Samejima => "Samejima",
+        }
+    }
+}
+
+/// Configuration of the synthetic generator. Defaults match Section IV-A.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of users `m`.
+    pub n_users: usize,
+    /// Number of items `n`.
+    pub n_items: usize,
+    /// Options per item `k` (all items share `k`, as in Section IV).
+    pub n_options: u16,
+    /// Generating model.
+    pub model: ModelKind,
+    /// Ability distribution `θ ∼ U[lo, hi]`.
+    pub ability_range: (f64, f64),
+    /// Difficulty distribution `b ∼ U[lo, hi]`.
+    pub difficulty_range: (f64, f64),
+    /// Max discrimination: Bock/Samejima slopes `∼ U[0, amax]`; GRM uses
+    /// `a ∼ U[0, 2·amax/(k+1)]` for comparability.
+    pub max_discrimination: f64,
+    /// Probability that a given user answers a given item (Figure 4g).
+    pub answer_probability: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            n_users: 100,
+            n_items: 100,
+            n_options: 3,
+            model: ModelKind::Samejima,
+            ability_range: (0.0, 1.0),
+            difficulty_range: (-0.5, 0.5),
+            max_discrimination: 10.0,
+            answer_probability: 1.0,
+        }
+    }
+}
+
+/// A generated workload with its ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The observable input of the ability-discovery problem.
+    pub responses: ResponseMatrix,
+    /// Latent ground-truth abilities (never shown to the rankers).
+    pub abilities: Vec<f64>,
+    /// Best option per item — consumed only by the cheating baselines.
+    pub correct_options: Vec<u16>,
+    /// Fraction of answered items where the correct option was chosen
+    /// (the x-axis of Figures 4f / 9c / 9g).
+    pub mean_user_accuracy: f64,
+}
+
+/// Samples one option index from a categorical distribution.
+fn sample_option(probs: &[f64], rng: &mut impl Rng) -> u16 {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (h, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return h as u16;
+        }
+    }
+    (probs.len() - 1) as u16
+}
+
+fn uniform_in(range: (f64, f64), rng: &mut impl Rng) -> f64 {
+    range.0 + (range.1 - range.0) * rng.gen::<f64>()
+}
+
+enum AnyItem {
+    Grm(GrmItem),
+    Bock(BockItem),
+    Samejima(SamejimaItem),
+}
+
+impl AnyItem {
+    fn option_probs(&self, theta: f64, out: &mut [f64]) {
+        match self {
+            AnyItem::Grm(i) => i.option_probs(theta, out),
+            AnyItem::Bock(i) => i.option_probs(theta, out),
+            AnyItem::Samejima(i) => i.option_probs(theta, out),
+        }
+    }
+}
+
+fn sample_item(config: &GeneratorConfig, rng: &mut impl Rng) -> AnyItem {
+    let k = config.n_options as usize;
+    match config.model {
+        ModelKind::Grm => {
+            let a_max = 2.0 * config.max_discrimination / (k as f64 + 1.0);
+            let a = rng.gen::<f64>() * a_max;
+            let thresholds: Vec<f64> = (0..k - 1)
+                .map(|_| uniform_in(config.difficulty_range, rng))
+                .collect();
+            AnyItem::Grm(GrmItem::new(a.max(1e-6), thresholds))
+        }
+        ModelKind::Bock | ModelKind::Samejima => {
+            // Per-option slopes, sorted ascending so option index = quality
+            // (the rankers are index-blind; the cheating baselines rely on
+            // the convention).
+            let mut slopes: Vec<f64> = (0..k)
+                .map(|_| rng.gen::<f64>() * config.max_discrimination)
+                .collect();
+            slopes.sort_by(|a, b| a.partial_cmp(b).expect("NaN slope"));
+            let intercepts: Vec<f64> = slopes
+                .iter()
+                .map(|&a| -a * uniform_in(config.difficulty_range, rng))
+                .collect();
+            if config.model == ModelKind::Bock {
+                AnyItem::Bock(BockItem::new(slopes, intercepts))
+            } else {
+                AnyItem::Samejima(SamejimaItem::new(slopes, intercepts))
+            }
+        }
+    }
+}
+
+/// Generates a synthetic dataset according to `config`.
+///
+/// # Panics
+/// Panics on degenerate configurations (zero users/items, `k < 2`,
+/// `answer_probability ∉ [0, 1]`).
+pub fn generate(config: &GeneratorConfig, rng: &mut impl Rng) -> SyntheticDataset {
+    assert!(config.n_users > 0 && config.n_items > 0, "empty problem");
+    assert!(config.n_options >= 2, "need at least 2 options");
+    assert!(
+        (0.0..=1.0).contains(&config.answer_probability),
+        "answer probability must be in [0,1]"
+    );
+    let k = config.n_options as usize;
+    let abilities: Vec<f64> = (0..config.n_users)
+        .map(|_| uniform_in(config.ability_range, rng))
+        .collect();
+    let items: Vec<AnyItem> = (0..config.n_items)
+        .map(|_| sample_item(config, rng))
+        .collect();
+    // With the ascending-slope convention the best option is always k−1.
+    let correct_options = vec![(k - 1) as u16; config.n_items];
+
+    let mut builder =
+        ResponseMatrixBuilder::homogeneous(config.n_users, config.n_items, config.n_options)
+            .expect("validated above");
+    let mut probs = vec![0.0; k];
+    let mut correct = 0usize;
+    let mut answered = 0usize;
+    for (j, &theta) in abilities.iter().enumerate() {
+        for (i, item) in items.iter().enumerate() {
+            if config.answer_probability < 1.0 && rng.gen::<f64>() >= config.answer_probability {
+                continue;
+            }
+            item.option_probs(theta, &mut probs);
+            let choice = sample_option(&probs, rng);
+            builder.set(j, i, Some(choice)).expect("choice within k");
+            answered += 1;
+            if choice == correct_options[i] {
+                correct += 1;
+            }
+        }
+    }
+    SyntheticDataset {
+        responses: builder.build(),
+        abilities,
+        correct_options,
+        mean_user_accuracy: if answered == 0 {
+            0.0
+        } else {
+            correct as f64 / answered as f64
+        },
+    }
+}
+
+/// Generates an *ideal* consistent (C1P) dataset: the `a → ∞` GRM limit
+/// where each user deterministically picks the option whose threshold
+/// interval contains their ability (Section IV-B item 6).
+///
+/// Following Appendix D-D, abilities are drawn asymmetrically (10% in
+/// `[0, 0.5]`, 90% in `[0.5, 1]`) so the response matrix is not mirror
+/// symmetric and entropy-based orientation has signal to work with;
+/// thresholds are uniform in `[0, 1]`.
+pub fn generate_c1p(
+    n_users: usize,
+    n_items: usize,
+    n_options: u16,
+    rng: &mut impl Rng,
+) -> SyntheticDataset {
+    assert!(n_users > 0 && n_items > 0 && n_options >= 2);
+    let k = n_options as usize;
+    let abilities: Vec<f64> = (0..n_users)
+        .map(|_| {
+            if rng.gen::<f64>() < 0.1 {
+                0.5 * rng.gen::<f64>()
+            } else {
+                0.5 + 0.5 * rng.gen::<f64>()
+            }
+        })
+        .collect();
+    let mut builder = ResponseMatrixBuilder::homogeneous(n_users, n_items, n_options)
+        .expect("validated above");
+    let mut correct = 0usize;
+    for i in 0..n_items {
+        let mut thresholds: Vec<f64> = (0..k - 1).map(|_| rng.gen::<f64>()).collect();
+        thresholds.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        for (j, &theta) in abilities.iter().enumerate() {
+            let opt = thresholds.iter().filter(|&&b| theta >= b).count() as u16;
+            builder.set(j, i, Some(opt)).expect("opt < k");
+            if opt == n_options - 1 {
+                correct += 1;
+            }
+        }
+    }
+    SyntheticDataset {
+        responses: builder.build(),
+        abilities,
+        correct_options: vec![n_options - 1; n_items],
+        mean_user_accuracy: correct as f64 / (n_users * n_items) as f64,
+    }
+}
+
+/// Generates responses from explicitly constructed polytomous items — used
+/// by the Figure 6 stability study, which needs full control over slopes
+/// and difficulties. `correct_options[i]` must identify the best option of
+/// item `i` (the generators cannot infer it for arbitrary models).
+///
+/// # Panics
+/// Panics on empty inputs or mismatched `correct_options` length.
+pub fn generate_from_items<M: PolytomousModel>(
+    items: &[M],
+    correct_options: &[u16],
+    abilities: &[f64],
+    rng: &mut impl Rng,
+) -> SyntheticDataset {
+    assert!(!items.is_empty() && !abilities.is_empty());
+    assert_eq!(items.len(), correct_options.len(), "correct_options length");
+    let options: Vec<u16> = items.iter().map(|i| i.n_options() as u16).collect();
+    let mut builder = ResponseMatrixBuilder::new(abilities.len(), items.len(), &options)
+        .expect("validated above");
+    let mut correct = 0usize;
+    for (j, &theta) in abilities.iter().enumerate() {
+        for (i, item) in items.iter().enumerate() {
+            let mut probs = vec![0.0; item.n_options()];
+            item.option_probs(theta, &mut probs);
+            let choice = sample_option(&probs, rng);
+            builder.set(j, i, Some(choice)).expect("choice within k");
+            if choice == correct_options[i] {
+                correct += 1;
+            }
+        }
+    }
+    SyntheticDataset {
+        responses: builder.build(),
+        abilities: abilities.to_vec(),
+        correct_options: correct_options.to_vec(),
+        mean_user_accuracy: correct as f64 / (items.len() * abilities.len()) as f64,
+    }
+}
+
+/// Generates binary (k = 2) responses from explicit 3PL items — the
+/// simulated-realistic workloads of Figures 12 and 13. Option 1 is correct,
+/// option 0 wrong.
+pub fn generate_binary(
+    items: &[ThreePl],
+    abilities: &[f64],
+    rng: &mut impl Rng,
+) -> SyntheticDataset {
+    assert!(!items.is_empty() && !abilities.is_empty());
+    let mut builder = ResponseMatrixBuilder::homogeneous(abilities.len(), items.len(), 2)
+        .expect("validated above");
+    let mut correct = 0usize;
+    for (j, &theta) in abilities.iter().enumerate() {
+        for (i, item) in items.iter().enumerate() {
+            let p = item.prob_correct(theta);
+            let choice = u16::from(rng.gen::<f64>() < p);
+            builder.set(j, i, Some(choice)).expect("binary choice");
+            correct += choice as usize;
+        }
+    }
+    SyntheticDataset {
+        responses: builder.build(),
+        abilities: abilities.to_vec(),
+        correct_options: vec![1; items.len()],
+        mean_user_accuracy: correct as f64 / (items.len() * abilities.len()) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Local C1P oracle: sort users by true ability and check that every
+    /// one-hot column is consecutive.
+    fn is_consistent_when_sorted(ds: &SyntheticDataset) -> bool {
+        let mut order: Vec<usize> = (0..ds.abilities.len()).collect();
+        order.sort_by(|&a, &b| ds.abilities[a].partial_cmp(&ds.abilities[b]).unwrap());
+        let sorted = ds.responses.permute_users(&order);
+        let c = sorted.to_binary_csr();
+        for col in 0..c.cols() {
+            let rows: Vec<usize> = (0..c.rows())
+                .filter(|&r| c.row_iter(r).any(|(cc, _)| cc == col))
+                .collect();
+            if rows.len() >= 2 && rows[rows.len() - 1] - rows[0] + 1 != rows.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = generate(
+            &GeneratorConfig {
+                n_users: 30,
+                n_items: 20,
+                n_options: 4,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(ds.responses.n_users(), 30);
+        assert_eq!(ds.responses.n_items(), 20);
+        assert_eq!(ds.responses.max_options(), 4);
+        assert_eq!(ds.abilities.len(), 30);
+        assert!(ds.abilities.iter().all(|&t| (0.0..=1.0).contains(&t)));
+        assert!((0.0..=1.0).contains(&ds.mean_user_accuracy));
+        assert_eq!(ds.responses.density(), 1.0);
+    }
+
+    #[test]
+    fn all_models_generate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for model in [ModelKind::Grm, ModelKind::Bock, ModelKind::Samejima] {
+            let ds = generate(
+                &GeneratorConfig {
+                    n_users: 20,
+                    n_items: 15,
+                    model,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            assert_eq!(ds.responses.n_users(), 20, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn answer_probability_thins_responses() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = generate(
+            &GeneratorConfig {
+                n_users: 100,
+                n_items: 100,
+                answer_probability: 0.7,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let d = ds.responses.density();
+        assert!((d - 0.7).abs() < 0.03, "density {d} should be ≈ 0.7");
+    }
+
+    #[test]
+    fn better_users_answer_better_statistically() {
+        // Spearman-free sanity check: top-quartile users by ability must hit
+        // the correct option more often than bottom-quartile users.
+        let mut rng = StdRng::seed_from_u64(4);
+        let ds = generate(
+            &GeneratorConfig {
+                n_users: 200,
+                n_items: 50,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let mut idx: Vec<usize> = (0..200).collect();
+        idx.sort_by(|&a, &b| ds.abilities[a].partial_cmp(&ds.abilities[b]).unwrap());
+        let acc = |users: &[usize]| -> f64 {
+            let mut c = 0;
+            let mut t = 0;
+            for &u in users {
+                for i in 0..50 {
+                    if let Some(o) = ds.responses.choice(u, i) {
+                        t += 1;
+                        if o == ds.correct_options[i] {
+                            c += 1;
+                        }
+                    }
+                }
+            }
+            c as f64 / t as f64
+        };
+        let low = acc(&idx[..50]);
+        let high = acc(&idx[150..]);
+        assert!(
+            high > low + 0.1,
+            "high-ability accuracy {high} must clearly beat {low}"
+        );
+    }
+
+    #[test]
+    fn grm_empirical_frequencies_match_model() {
+        // Statistical test of the sampler itself.
+        let item = GrmItem::new(2.0, vec![-0.3, 0.4]);
+        let theta = 0.2;
+        let expect = item.option_probs_vec(theta);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        const N: usize = 20_000;
+        for _ in 0..N {
+            counts[sample_option(&expect, &mut rng) as usize] += 1;
+        }
+        for h in 0..3 {
+            let freq = counts[h] as f64 / N as f64;
+            assert!(
+                (freq - expect[h]).abs() < 0.015,
+                "option {h}: {freq} vs {}",
+                expect[h]
+            );
+        }
+    }
+
+    #[test]
+    fn c1p_generator_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ds = generate_c1p(40, 30, 3, &mut rng);
+        assert!(is_consistent_when_sorted(&ds), "C1P data must be pre-P");
+        assert_eq!(ds.responses.density(), 1.0);
+    }
+
+    #[test]
+    fn c1p_abilities_are_asymmetric() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ds = generate_c1p(1000, 5, 3, &mut rng);
+        let above = ds.abilities.iter().filter(|&&t| t >= 0.5).count();
+        assert!(
+            (850..=950).contains(&above),
+            "≈90% of abilities should be in [0.5,1], got {above}/1000"
+        );
+    }
+
+    #[test]
+    fn high_discrimination_grm_approaches_consistency() {
+        // Section II-D: IRT → C1P as a → ∞.
+        let mut rng = StdRng::seed_from_u64(8);
+        let ds = generate(
+            &GeneratorConfig {
+                n_users: 30,
+                n_items: 20,
+                model: ModelKind::Grm,
+                max_discrimination: 1e7,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(is_consistent_when_sorted(&ds));
+    }
+
+    #[test]
+    fn binary_generator_uses_3pl() {
+        let items = vec![
+            ThreePl { discrimination: 2.0, difficulty: 0.0, guessing: 0.25 };
+            30
+        ];
+        let mut rng = StdRng::seed_from_u64(9);
+        let abilities: Vec<f64> = (0..100).map(|i| (i as f64) / 50.0 - 1.0).collect();
+        let ds = generate_binary(&items, &abilities, &mut rng);
+        assert_eq!(ds.responses.max_options(), 2);
+        // Guessing floor: even the weakest users score ≥ ~25%.
+        assert!(ds.mean_user_accuracy > 0.3);
+    }
+}

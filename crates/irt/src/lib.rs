@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-coupled numerics mirror the published algorithms
+
+//! # hnd-irt
+//!
+//! Item Response Theory (Sections II-D and Appendix C of the paper): the
+//! mathematically principled models behind standardized testing, used here
+//! both to *generate* realistic synthetic ability-discovery workloads and to
+//! *estimate* abilities (the paper's "cheating" GRM-estimator baseline).
+//!
+//! * [`binary`] — dichotomous models: 1PL (Rasch), 2PL, 3PL, GLAD.
+//! * [`poly`] — polytomous models: Graded Response (GRM), Bock's nominal
+//!   categories, Samejima's MCQ model with random guessing.
+//! * [`generate`](crate::generate()) — synthetic dataset generators for every experimental
+//!   setup of Section IV (including the ideal C1P limit `a → ∞`).
+//! * [`presets`] — frozen item-parameter tables standing in for external
+//!   resources (DeMars' American Experience test, the half-moon
+//!   distribution of Vania et al.) — see DESIGN.md §4 for the substitution
+//!   rationale.
+//! * [`estimate`] — a marginal-maximum-likelihood EM estimator for the GRM
+//!   with EAP ability scoring (the GIRTH-package substitute).
+//!
+//! Option-quality convention: in every polytomous model of this crate a
+//! *larger option index means a better option*; the correct option of an
+//! item is the one with the highest index (GRM) or the highest slope
+//! (Bock/Samejima). Spectral rankers never see this convention (one-hot
+//! columns are unordered); only the cheating baselines consume it.
+
+pub mod binary;
+pub mod estimate;
+pub mod estimate_binary;
+pub mod generate;
+pub mod poly;
+pub mod presets;
+
+pub use binary::{sigmoid, BinaryModel, Glad, OnePl, ThreePl, TwoPl};
+pub use estimate::{GrmEstimator, GrmFit};
+pub use estimate_binary::{ThreePlEstimator, ThreePlFit};
+pub use generate::{
+    generate, generate_binary, generate_c1p, generate_from_items, GeneratorConfig, ModelKind,
+    SyntheticDataset,
+};
+pub use poly::{BockItem, GrmItem, PolytomousModel, SamejimaItem};

@@ -1,0 +1,366 @@
+//! Polytomous IRT models (Appendix C-B of the paper).
+//!
+//! These model the probability of choosing each *option* of a
+//! multiple-choice item. Convention: option index `k−1` is the best
+//! (chosen by high-ability users), option `0` the worst — i.e. option
+//! quality increases with index.
+
+use crate::binary::sigmoid;
+
+/// A polytomous item model: a categorical distribution over options as a
+/// function of ability.
+pub trait PolytomousModel {
+    /// Number of options `k` of this item.
+    fn n_options(&self) -> usize;
+
+    /// Fills `out` (length `k`) with `P(option h | θ)`; the entries sum
+    /// to 1.
+    fn option_probs(&self, theta: f64, out: &mut [f64]);
+
+    /// Convenience: allocates the probability vector.
+    fn option_probs_vec(&self, theta: f64) -> Vec<f64> {
+        let mut v = vec![0.0; self.n_options()];
+        self.option_probs(theta, &mut v);
+        v
+    }
+}
+
+/// Samejima's Graded Response Model (GRM).
+///
+/// One discrimination `a` per item, `k−1` ordered thresholds
+/// `b_1 < … < b_{k−1}`. The cumulative probability of reaching at least
+/// option `h` is `P*_h(θ) = σ(a(θ − b_h))`; the option probability is the
+/// difference of adjacent cumulatives. In the `a → ∞` limit the response
+/// function becomes the pair of Heaviside steps of Section II-D — the ideal
+/// C1P case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrmItem {
+    /// Item discrimination `a` (> 0).
+    pub discrimination: f64,
+    /// Ordered thresholds `b_1 < … < b_{k−1}`.
+    pub thresholds: Vec<f64>,
+}
+
+impl GrmItem {
+    /// Creates a GRM item; thresholds are sorted defensively.
+    ///
+    /// # Panics
+    /// Panics if no thresholds are given (an item needs ≥ 2 options).
+    pub fn new(discrimination: f64, mut thresholds: Vec<f64>) -> Self {
+        assert!(
+            !thresholds.is_empty(),
+            "GRM item needs at least one threshold (two options)"
+        );
+        thresholds.sort_by(|a, b| a.partial_cmp(b).expect("NaN threshold"));
+        GrmItem {
+            discrimination,
+            thresholds,
+        }
+    }
+
+    /// Cumulative probability `P*_h(θ)` of choosing option `≥ h`
+    /// (`P*_0 = 1`, `P*_k = 0`).
+    pub fn cumulative(&self, theta: f64, h: usize) -> f64 {
+        let k = self.n_options();
+        if h == 0 {
+            1.0
+        } else if h >= k {
+            0.0
+        } else {
+            sigmoid(self.discrimination * (theta - self.thresholds[h - 1]))
+        }
+    }
+}
+
+impl PolytomousModel for GrmItem {
+    fn n_options(&self) -> usize {
+        self.thresholds.len() + 1
+    }
+
+    fn option_probs(&self, theta: f64, out: &mut [f64]) {
+        let k = self.n_options();
+        debug_assert_eq!(out.len(), k);
+        for (h, o) in out.iter_mut().enumerate() {
+            *o = (self.cumulative(theta, h) - self.cumulative(theta, h + 1)).max(0.0);
+        }
+    }
+}
+
+/// Bock's nominal category model — multinomial logistic regression in
+/// slope/intercept parameterization: `P_h(θ) ∝ exp(α_h θ + β_h)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BockItem {
+    /// Per-option slopes `α_h`; the option with the largest slope is the
+    /// correct one (chosen almost surely as `θ → ∞`).
+    pub slopes: Vec<f64>,
+    /// Per-option intercepts `β_h`.
+    pub intercepts: Vec<f64>,
+}
+
+impl BockItem {
+    /// Creates a Bock item.
+    ///
+    /// # Panics
+    /// Panics if slopes/intercepts lengths differ or fewer than 2 options.
+    pub fn new(slopes: Vec<f64>, intercepts: Vec<f64>) -> Self {
+        assert_eq!(slopes.len(), intercepts.len(), "slope/intercept mismatch");
+        assert!(slopes.len() >= 2, "Bock item needs at least 2 options");
+        BockItem { slopes, intercepts }
+    }
+
+    /// The paper's GRM↔Bock correspondence (Figure 2, Appendix D-D):
+    /// a GRM with discrimination `a` behaves approximately like a Bock item
+    /// with slopes `α_h = h·a` (h = 0..k−1). Intercepts are derived from
+    /// the GRM thresholds: `β_h = −a·Σ_{l≤h} b_l`.
+    pub fn from_grm_approximation(grm: &GrmItem) -> Self {
+        let k = grm.n_options();
+        let a = grm.discrimination;
+        let mut slopes = Vec::with_capacity(k);
+        let mut intercepts = Vec::with_capacity(k);
+        let mut cum_b = 0.0;
+        for h in 0..k {
+            slopes.push(h as f64 * a);
+            if h > 0 {
+                cum_b += grm.thresholds[h - 1];
+            }
+            intercepts.push(-a * cum_b);
+        }
+        BockItem { slopes, intercepts }
+    }
+}
+
+impl PolytomousModel for BockItem {
+    fn n_options(&self) -> usize {
+        self.slopes.len()
+    }
+
+    fn option_probs(&self, theta: f64, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.slopes.len());
+        // Log-sum-exp for numerical stability at large |α·θ|.
+        let mut max_logit = f64::NEG_INFINITY;
+        for (h, o) in out.iter_mut().enumerate() {
+            *o = self.slopes[h] * theta + self.intercepts[h];
+            max_logit = max_logit.max(*o);
+        }
+        let mut z = 0.0;
+        for o in out.iter_mut() {
+            *o = (*o - max_logit).exp();
+            z += *o;
+        }
+        for o in out.iter_mut() {
+            *o /= z;
+        }
+    }
+}
+
+/// Samejima's multiple-choice model with random guessing: Bock plus a
+/// latent "don't know" option 0 whose probability mass is redistributed
+/// uniformly over the `k` real options.
+///
+/// `P_h(θ) = (exp(α_h θ + β_h) + exp(α_0 θ + β_0)/k) / Σ_{l=0}^{k} exp(α_l θ + β_l)`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamejimaItem {
+    /// Per-option slopes (real options only).
+    pub slopes: Vec<f64>,
+    /// Per-option intercepts (real options only).
+    pub intercepts: Vec<f64>,
+    /// Slope of the latent "don't know" option (usually 0).
+    pub dont_know_slope: f64,
+    /// Intercept of the latent "don't know" option (β₀ → −∞ recovers Bock).
+    pub dont_know_intercept: f64,
+}
+
+impl SamejimaItem {
+    /// Creates a Samejima item with the conventional `α₀ = 0, β₀ = 0`
+    /// "don't know" anchor.
+    ///
+    /// # Panics
+    /// Panics if slopes/intercepts lengths differ or fewer than 2 options.
+    pub fn new(slopes: Vec<f64>, intercepts: Vec<f64>) -> Self {
+        assert_eq!(slopes.len(), intercepts.len(), "slope/intercept mismatch");
+        assert!(slopes.len() >= 2, "Samejima item needs at least 2 options");
+        SamejimaItem {
+            slopes,
+            intercepts,
+            dont_know_slope: 0.0,
+            dont_know_intercept: 0.0,
+        }
+    }
+}
+
+impl PolytomousModel for SamejimaItem {
+    fn n_options(&self) -> usize {
+        self.slopes.len()
+    }
+
+    fn option_probs(&self, theta: f64, out: &mut [f64]) {
+        let k = self.slopes.len();
+        debug_assert_eq!(out.len(), k);
+        let dk_logit = self.dont_know_slope * theta + self.dont_know_intercept;
+        let mut max_logit = dk_logit;
+        for (h, o) in out.iter_mut().enumerate() {
+            *o = self.slopes[h] * theta + self.intercepts[h];
+            max_logit = max_logit.max(*o);
+        }
+        let dk = (dk_logit - max_logit).exp();
+        let mut z = dk;
+        for o in out.iter_mut() {
+            *o = (*o - max_logit).exp();
+            z += *o;
+        }
+        for o in out.iter_mut() {
+            *o = (*o + dk / k as f64) / z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::{BinaryModel, TwoPl};
+
+    fn assert_distribution(probs: &[f64]) {
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "probs sum to {sum}");
+        assert!(probs.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+    }
+
+    #[test]
+    fn grm_probabilities_form_distribution() {
+        let item = GrmItem::new(2.0, vec![-0.5, 0.0, 0.5]);
+        for theta in [-3.0, -0.4, 0.0, 0.7, 2.5] {
+            assert_distribution(&item.option_probs_vec(theta));
+        }
+    }
+
+    #[test]
+    fn grm_best_option_dominates_at_high_ability() {
+        let item = GrmItem::new(3.0, vec![-0.5, 0.5]);
+        let p = item.option_probs_vec(5.0);
+        assert!(p[2] > 0.99, "high ability must pick the best option");
+        let p = item.option_probs_vec(-5.0);
+        assert!(p[0] > 0.99, "low ability must pick the worst option");
+    }
+
+    #[test]
+    fn grm_with_two_options_is_2pl() {
+        // Figure 2: GRM specializes to 2PL for k = 2.
+        let grm = GrmItem::new(1.8, vec![0.3]);
+        let two = TwoPl {
+            discrimination: 1.8,
+            difficulty: 0.3,
+        };
+        for theta in [-2.0, 0.0, 0.3, 1.5] {
+            let p = grm.option_probs_vec(theta);
+            assert!((p[1] - two.prob_correct(theta)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grm_infinite_discrimination_is_heaviside() {
+        // Section II-D: the a→∞ GRM is the pair of step functions — the
+        // consistent-responses / C1P ideal case.
+        let item = GrmItem::new(1e6, vec![-0.5, 0.5]);
+        let cases = [(-1.0, 0usize), (0.0, 1), (1.0, 2)];
+        for (theta, expect) in cases {
+            let p = item.option_probs_vec(theta);
+            assert!(p[expect] > 1.0 - 1e-6, "θ={theta} should pick {expect}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn grm_thresholds_sorted_defensively() {
+        let item = GrmItem::new(1.0, vec![0.5, -0.5]);
+        assert_eq!(item.thresholds, vec![-0.5, 0.5]);
+    }
+
+    #[test]
+    fn bock_probabilities_form_distribution() {
+        let item = BockItem::new(vec![0.0, 1.0, 3.0], vec![0.5, 0.0, -1.0]);
+        for theta in [-3.0, 0.0, 0.5, 4.0] {
+            assert_distribution(&item.option_probs_vec(theta));
+        }
+    }
+
+    #[test]
+    fn bock_largest_slope_wins_eventually() {
+        let item = BockItem::new(vec![0.0, 1.0, 3.0], vec![0.5, 0.0, -1.0]);
+        let p = item.option_probs_vec(10.0);
+        assert!(p[2] > 0.99);
+        let p = item.option_probs_vec(-10.0);
+        assert!(p[0] > 0.99, "smallest slope dominates at low ability: {p:?}");
+    }
+
+    #[test]
+    fn bock_is_stable_at_extreme_logits() {
+        let item = BockItem::new(vec![0.0, 50.0], vec![0.0, 0.0]);
+        let p = item.option_probs_vec(100.0);
+        assert_distribution(&p);
+        assert!(p[1] > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn bock_approximates_grm_figure8() {
+        // Figure 8a: GRM(a=8, b=(−0.2,0.2)) ≈ Bock(α=(0,8,16), β derived).
+        let grm = GrmItem::new(8.0, vec![-0.2, 0.2]);
+        let bock = BockItem::from_grm_approximation(&grm);
+        assert_eq!(bock.slopes, vec![0.0, 8.0, 16.0]);
+        // The correspondence is approximate; probabilities should agree to
+        // within a few percentage points over the ability range.
+        for theta in [-0.6, -0.2, 0.0, 0.2, 0.6] {
+            let pg = grm.option_probs_vec(theta);
+            let pb = bock.option_probs_vec(theta);
+            for h in 0..3 {
+                assert!(
+                    (pg[h] - pb[h]).abs() < 0.15,
+                    "θ={theta}, option {h}: GRM {} vs Bock {}",
+                    pg[h],
+                    pb[h]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn samejima_probabilities_form_distribution() {
+        let item = SamejimaItem::new(vec![1.0, 2.0, 4.0], vec![0.0, 0.2, -0.5]);
+        for theta in [-3.0, 0.0, 2.0] {
+            assert_distribution(&item.option_probs_vec(theta));
+        }
+    }
+
+    #[test]
+    fn samejima_low_ability_guesses_uniformly() {
+        // With α₀ = 0 and all real slopes positive, θ → −∞ leaves only the
+        // "don't know" mass, split uniformly: each option tends to 1/k.
+        let item = SamejimaItem::new(vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0]);
+        let p = item.option_probs_vec(-30.0);
+        for &pi in &p {
+            assert!((pi - 1.0 / 3.0).abs() < 1e-6, "expected uniform, got {p:?}");
+        }
+    }
+
+    #[test]
+    fn samejima_recovers_bock_when_dont_know_vanishes() {
+        // Figure 2 dashed arrow: β₀ → −∞ turns Samejima into Bock.
+        let slopes = vec![0.5, 1.5];
+        let intercepts = vec![0.1, -0.1];
+        let mut s = SamejimaItem::new(slopes.clone(), intercepts.clone());
+        s.dont_know_intercept = -1e9;
+        let b = BockItem::new(slopes, intercepts);
+        for theta in [-1.0, 0.0, 1.0] {
+            let ps = s.option_probs_vec(theta);
+            let pb = b.option_probs_vec(theta);
+            for h in 0..2 {
+                assert!((ps[h] - pb[h]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn samejima_high_ability_picks_best() {
+        let item = SamejimaItem::new(vec![1.0, 2.0, 4.0], vec![0.0, 0.0, 0.0]);
+        let p = item.option_probs_vec(20.0);
+        assert!(p[2] > 0.99);
+    }
+}

@@ -1,0 +1,331 @@
+//! Row-major dense matrices.
+//!
+//! Dense matrices only appear in this project for small problems — the
+//! Jacobi reference eigensolver, the naive `O(m²n)` HND implementation used
+//! as an ablation baseline, and tests. The production paths are matrix-free
+//! (see [`crate::op::LinearOp`]).
+
+use crate::LinalgError;
+
+/// A row-major dense `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices. All rows must have equal length.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: c,
+                    got: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(DenseMatrix { rows: r, cols: c, data })
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: buffer size mismatch");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Flat row-major view of the underlying buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = crate::vector::dot(self.row(i), x);
+        }
+    }
+
+    /// `y = Aᵀ x`.
+    pub fn matvec_t(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_t: x length mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t: y length mismatch");
+        y.fill(0.0);
+        for (i, xi) in x.iter().enumerate() {
+            if *xi != 0.0 {
+                crate::vector::axpy(*xi, self.row(i), y);
+            }
+        }
+    }
+
+    /// Dense matrix product `A · B`.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                got: other.rows,
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// `true` if `|a_ij − a_ji| ≤ tol` for all pairs.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Checks the *R-matrix* property of Atkins et al. (Definition 4 of the
+    /// paper): symmetric, and within each row the entries are non-increasing
+    /// as one moves away from the diagonal in either direction.
+    ///
+    /// Lemma 6 of the paper proves that `U` is an R-matrix whenever the
+    /// response matrix is a P-matrix with constant row sums; the test suites
+    /// of `hnd-core` rely on this predicate.
+    pub fn is_r_matrix(&self, tol: f64) -> bool {
+        if !self.is_symmetric(tol) {
+            return false;
+        }
+        let n = self.rows;
+        for j in 0..n {
+            // Right of the diagonal entries must be non-increasing
+            // (A_ji >= A_jh for j < i < h), which for adjacent pairs reads:
+            for i in (j + 1)..n.saturating_sub(1) {
+                if self.get(j, i) + tol < self.get(j, i + 1) {
+                    return false;
+                }
+            }
+            // Left of the diagonal entries must be non-decreasing towards it
+            // (A_ji <= A_jh for i < h < j):
+            for i in 0..j.saturating_sub(1) {
+                if self.get(j, i) > self.get(j, i + 1) + tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Display for DenseMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:8.4}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(2, 1), 6.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = DenseMatrix::from_rows(&[&[1.0], &[1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = sample();
+        let mut y = vec![0.0; 3];
+        m.matvec(&[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose_matvec() {
+        let m = sample();
+        let mt = m.transpose();
+        let x = [1.0, 2.0, 3.0];
+        let mut y1 = vec![0.0; 2];
+        let mut y2 = vec![0.0; 2];
+        m.matvec_t(&x, &mut y1);
+        mt.matvec(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = sample();
+        let id = DenseMatrix::identity(2);
+        let p = m.matmul(&id).unwrap();
+        assert_eq!(p, m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let p = a.matmul(&b).unwrap();
+        assert_eq!(p, DenseMatrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_dim_mismatch() {
+        let a = sample();
+        assert!(a.matmul(&sample()).is_err());
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 5.0]]).unwrap();
+        assert!(s.is_symmetric(0.0));
+        assert!(!sample().is_symmetric(0.0));
+    }
+
+    #[test]
+    fn r_matrix_accepts_falling_off_diagonal() {
+        // Classic R-matrix: values decay away from the diagonal.
+        let m = DenseMatrix::from_rows(&[
+            &[3.0, 2.0, 1.0],
+            &[2.0, 3.0, 2.0],
+            &[1.0, 2.0, 3.0],
+        ])
+        .unwrap();
+        assert!(m.is_r_matrix(1e-12));
+    }
+
+    #[test]
+    fn r_matrix_rejects_bump() {
+        let m = DenseMatrix::from_rows(&[
+            &[3.0, 1.0, 2.0],
+            &[1.0, 3.0, 1.0],
+            &[2.0, 1.0, 3.0],
+        ])
+        .unwrap();
+        assert!(!m.is_r_matrix(1e-12));
+    }
+
+    #[test]
+    fn frobenius() {
+        let m = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+}

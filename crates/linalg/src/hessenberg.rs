@@ -1,0 +1,477 @@
+//! Dense Hessenberg eigenvalue machinery: the Francis double-shift QR
+//! algorithm plus inverse iteration for eigenvectors.
+//!
+//! Used by [`crate::arnoldi`] to diagonalize the small projected matrices
+//! of the Arnoldi process. Dimensions here are Krylov-subspace sized (tens
+//! to a few hundred), so dense `O(k³)` algorithms are appropriate.
+
+use crate::dense::DenseMatrix;
+use crate::LinalgError;
+
+/// An eigenvalue of a real matrix (possibly one of a conjugate pair).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eigenvalue {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part (`0.0` for real eigenvalues).
+    pub im: f64,
+}
+
+impl Eigenvalue {
+    /// Magnitude `|λ|`.
+    pub fn magnitude(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// `true` when the imaginary part is negligible relative to `scale`.
+    pub fn is_real(&self, scale: f64) -> bool {
+        self.im.abs() <= 1e-9 * scale.max(1.0)
+    }
+}
+
+/// Reduces a dense square matrix to upper Hessenberg form in place using
+/// stabilized elementary transformations (Numerical Recipes `elmhes`).
+/// Only the Hessenberg part of the output is meaningful.
+pub fn to_hessenberg(a: &mut DenseMatrix) {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "to_hessenberg requires a square matrix");
+    for m in 1..n.saturating_sub(1) {
+        // Find the pivot in column m-1 below the diagonal.
+        let mut x = 0.0f64;
+        let mut i_pivot = m;
+        for i in m..n {
+            if a.get(i, m - 1).abs() > x.abs() {
+                x = a.get(i, m - 1);
+                i_pivot = i;
+            }
+        }
+        if i_pivot != m {
+            for j in (m - 1)..n {
+                let tmp = a.get(i_pivot, j);
+                a.set(i_pivot, j, a.get(m, j));
+                a.set(m, j, tmp);
+            }
+            for i in 0..n {
+                let tmp = a.get(i, i_pivot);
+                a.set(i, i_pivot, a.get(i, m));
+                a.set(i, m, tmp);
+            }
+        }
+        if x != 0.0 {
+            for i in (m + 1)..n {
+                let mut y = a.get(i, m - 1);
+                if y != 0.0 {
+                    y /= x;
+                    a.set(i, m - 1, y);
+                    for j in m..n {
+                        let v = a.get(i, j) - y * a.get(m, j);
+                        a.set(i, j, v);
+                    }
+                    for k in 0..n {
+                        let v = a.get(k, m) + y * a.get(k, i);
+                        a.set(k, m, v);
+                    }
+                }
+            }
+        }
+    }
+    // Zero the sub-Hessenberg entries (they hold multipliers).
+    for i in 2..n {
+        for j in 0..(i - 1) {
+            a.set(i, j, 0.0);
+        }
+    }
+}
+
+/// Computes all eigenvalues of an upper Hessenberg matrix with the Francis
+/// QR algorithm (Numerical Recipes `hqr`). The input is destroyed.
+///
+/// # Errors
+/// [`LinalgError::NoConvergence`] if an eigenvalue fails to deflate within
+/// 30 sweeps (practically unreachable).
+pub fn hessenberg_eigenvalues(a: &mut DenseMatrix) -> Result<Vec<Eigenvalue>, LinalgError> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "hessenberg_eigenvalues requires a square matrix");
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut anorm = 0.0f64;
+    for i in 0..n {
+        for j in i.saturating_sub(1)..n {
+            anorm += a.get(i, j).abs();
+        }
+    }
+    let mut nn = n as isize - 1;
+    let mut t = 0.0f64;
+    while nn >= 0 {
+        let mut its = 0;
+        loop {
+            // Look for a small subdiagonal element.
+            let mut l = nn;
+            while l >= 1 {
+                let s = a.get(l as usize - 1, l as usize - 1).abs()
+                    + a.get(l as usize, l as usize).abs();
+                let s = if s == 0.0 { anorm } else { s };
+                if a.get(l as usize, l as usize - 1).abs() <= f64::EPSILON * s {
+                    a.set(l as usize, l as usize - 1, 0.0);
+                    break;
+                }
+                l -= 1;
+            }
+            let x = a.get(nn as usize, nn as usize);
+            if l == nn {
+                // One root found.
+                out.push(Eigenvalue { re: x + t, im: 0.0 });
+                nn -= 1;
+                break;
+            }
+            let y = a.get(nn as usize - 1, nn as usize - 1);
+            let w = a.get(nn as usize, nn as usize - 1) * a.get(nn as usize - 1, nn as usize);
+            if l == nn - 1 {
+                // Two roots found.
+                let p = 0.5 * (y - x);
+                let q = p * p + w;
+                let z = q.abs().sqrt();
+                let x_t = x + t;
+                if q >= 0.0 {
+                    let z = p + if p >= 0.0 { z } else { -z };
+                    out.push(Eigenvalue { re: x_t + z, im: 0.0 });
+                    out.push(Eigenvalue {
+                        re: if z != 0.0 { x_t - w / z } else { x_t + z },
+                        im: 0.0,
+                    });
+                } else {
+                    out.push(Eigenvalue { re: x_t + p, im: z });
+                    out.push(Eigenvalue { re: x_t + p, im: -z });
+                }
+                nn -= 2;
+                break;
+            }
+            // No roots yet; do a QR sweep.
+            if its == 30 {
+                return Err(LinalgError::NoConvergence { iterations: 30 });
+            }
+            let (mut x, mut y, mut w) = (x, y, w);
+            if its == 10 || its == 20 {
+                // Exceptional shift.
+                t += x;
+                for i in 0..=(nn as usize) {
+                    let v = a.get(i, i) - x;
+                    a.set(i, i, v);
+                }
+                let s = a.get(nn as usize, nn as usize - 1).abs()
+                    + a.get(nn as usize - 1, nn as usize - 2).abs();
+                y = 0.75 * s;
+                x = y;
+                w = -0.4375 * s * s;
+            }
+            its += 1;
+            // Form the shift and look for two consecutive small
+            // subdiagonal elements.
+            let mut m = nn - 2;
+            let (mut p, mut q, mut r) = (0.0, 0.0, 0.0);
+            while m >= l {
+                let z = a.get(m as usize, m as usize);
+                let rr = x - z;
+                let ss = y - z;
+                p = (rr * ss - w) / a.get(m as usize + 1, m as usize)
+                    + a.get(m as usize, m as usize + 1);
+                q = a.get(m as usize + 1, m as usize + 1) - z - rr - ss;
+                r = a.get(m as usize + 2, m as usize + 1);
+                let s = p.abs() + q.abs() + r.abs();
+                p /= s;
+                q /= s;
+                r /= s;
+                if m == l {
+                    break;
+                }
+                let u = a.get(m as usize, m as usize - 1).abs() * (q.abs() + r.abs());
+                let v = p.abs()
+                    * (a.get(m as usize - 1, m as usize - 1).abs()
+                        + a.get(m as usize, m as usize).abs()
+                        + a.get(m as usize + 1, m as usize + 1).abs());
+                if u <= f64::EPSILON * v {
+                    break;
+                }
+                m -= 1;
+            }
+            for i in (m + 2)..=nn {
+                a.set(i as usize, i as usize - 2, 0.0);
+                if i != m + 2 {
+                    a.set(i as usize, i as usize - 3, 0.0);
+                }
+            }
+            // Double QR step on rows l..=nn and columns m..=nn.
+            let mut k = m;
+            while k < nn {
+                if k != m {
+                    p = a.get(k as usize, k as usize - 1);
+                    q = a.get(k as usize + 1, k as usize - 1);
+                    r = if k != nn - 1 {
+                        a.get(k as usize + 2, k as usize - 1)
+                    } else {
+                        0.0
+                    };
+                    x = p.abs() + q.abs() + r.abs();
+                    if x != 0.0 {
+                        p /= x;
+                        q /= x;
+                        r /= x;
+                    }
+                }
+                let s_raw = (p * p + q * q + r * r).sqrt();
+                let s = if p >= 0.0 { s_raw } else { -s_raw };
+                if s != 0.0 {
+                    if k == m {
+                        if l != m {
+                            let v = -a.get(k as usize, k as usize - 1);
+                            a.set(k as usize, k as usize - 1, v);
+                        }
+                    } else {
+                        a.set(k as usize, k as usize - 1, -s * x);
+                    }
+                    p += s;
+                    x = p / s;
+                    y = q / s;
+                    let z = r / s;
+                    q /= p;
+                    r /= p;
+                    // Row modification.
+                    for j in (k as usize)..=(nn as usize) {
+                        let mut pp = a.get(k as usize, j) + q * a.get(k as usize + 1, j);
+                        if k != nn - 1 {
+                            pp += r * a.get(k as usize + 2, j);
+                            let v = a.get(k as usize + 2, j) - pp * z;
+                            a.set(k as usize + 2, j, v);
+                        }
+                        let v1 = a.get(k as usize + 1, j) - pp * y;
+                        a.set(k as usize + 1, j, v1);
+                        let v0 = a.get(k as usize, j) - pp * x;
+                        a.set(k as usize, j, v0);
+                    }
+                    // Column modification.
+                    let mmin = if nn < k + 3 { nn } else { k + 3 };
+                    for i in (l as usize)..=(mmin as usize) {
+                        let mut pp = x * a.get(i, k as usize) + y * a.get(i, k as usize + 1);
+                        if k != nn - 1 {
+                            pp += z * a.get(i, k as usize + 2);
+                            let v = a.get(i, k as usize + 2) - pp * r;
+                            a.set(i, k as usize + 2, v);
+                        }
+                        let v1 = a.get(i, k as usize + 1) - pp * q;
+                        a.set(i, k as usize + 1, v1);
+                        let v0 = a.get(i, k as usize) - pp;
+                        a.set(i, k as usize, v0);
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes an eigenvector of a (small, dense) matrix for a known *real*
+/// eigenvalue via inverse iteration with partial-pivoting LU.
+///
+/// # Errors
+/// [`LinalgError::Degenerate`] when the shifted system is numerically
+/// singular in a way that prevents even one iteration.
+pub fn eigenvector_for(
+    a: &DenseMatrix,
+    lambda: f64,
+    iterations: usize,
+) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "eigenvector_for requires a square matrix");
+    // Shift slightly off the eigenvalue so LU stays invertible.
+    let scale = a.frobenius_norm().max(1.0);
+    let shift = lambda + 1e-10 * scale;
+    let mut lu = a.clone();
+    for i in 0..n {
+        lu.set(i, i, lu.get(i, i) - shift);
+    }
+    let factors = lu_decompose(&mut lu)?;
+    let mut v = crate::power::deterministic_start(n);
+    crate::vector::normalize(&mut v);
+    for _ in 0..iterations.max(1) {
+        lu_solve(&lu, &factors, &mut v);
+        if crate::vector::normalize(&mut v) == 0.0 {
+            return Err(LinalgError::Degenerate("inverse iteration collapsed"));
+        }
+    }
+    Ok(v)
+}
+
+/// In-place LU with partial pivoting; returns the permutation.
+fn lu_decompose(a: &mut DenseMatrix) -> Result<Vec<usize>, LinalgError> {
+    let n = a.rows();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        let mut max = a.get(col, col).abs();
+        for row in (col + 1)..n {
+            if a.get(row, col).abs() > max {
+                max = a.get(row, col).abs();
+                pivot = row;
+            }
+        }
+        if max < 1e-300 {
+            // Singular to machine precision: regularize the diagonal.
+            a.set(col, col, 1e-300);
+        } else if pivot != col {
+            for j in 0..n {
+                let tmp = a.get(pivot, j);
+                a.set(pivot, j, a.get(col, j));
+                a.set(col, j, tmp);
+            }
+            perm.swap(pivot, col);
+        }
+        let d = a.get(col, col);
+        for row in (col + 1)..n {
+            let f = a.get(row, col) / d;
+            a.set(row, col, f);
+            for j in (col + 1)..n {
+                let v = a.get(row, j) - f * a.get(col, j);
+                a.set(row, j, v);
+            }
+        }
+    }
+    Ok(perm)
+}
+
+/// Solves `LU x = P b` in place (b is overwritten with x).
+fn lu_solve(lu: &DenseMatrix, perm: &[usize], b: &mut [f64]) {
+    let n = lu.rows();
+    // Apply the permutation.
+    let mut x: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+    // Forward substitution (L has unit diagonal).
+    for i in 1..n {
+        for j in 0..i {
+            x[i] -= lu.get(i, j) * x[j];
+        }
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        for j in (i + 1)..n {
+            x[i] -= lu.get(i, j) * x[j];
+        }
+        x[i] /= lu.get(i, i);
+    }
+    b.copy_from_slice(&x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real_parts(eigs: &[Eigenvalue]) -> Vec<f64> {
+        let mut v: Vec<f64> = eigs.iter().map(|e| e.re).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn triangular_matrix_eigenvalues_on_diagonal() {
+        let mut a = DenseMatrix::from_rows(&[
+            &[3.0, 1.0, 2.0],
+            &[0.0, -1.0, 4.0],
+            &[0.0, 0.0, 5.0],
+        ])
+        .unwrap();
+        let eigs = hessenberg_eigenvalues(&mut a).unwrap();
+        let got = sorted_real_parts(&eigs);
+        assert!((got[0] + 1.0).abs() < 1e-9);
+        assert!((got[1] - 3.0).abs() < 1e-9);
+        assert!((got[2] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_matrix_gives_complex_pair() {
+        // 90° rotation: eigenvalues ±i.
+        let mut a = DenseMatrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]).unwrap();
+        let eigs = hessenberg_eigenvalues(&mut a).unwrap();
+        assert_eq!(eigs.len(), 2);
+        for e in &eigs {
+            assert!(e.re.abs() < 1e-9);
+            assert!((e.im.abs() - 1.0).abs() < 1e-9);
+            assert!(!e.is_real(1.0));
+        }
+    }
+
+    #[test]
+    fn full_pipeline_matches_jacobi_on_symmetric() {
+        let sym = DenseMatrix::from_rows(&[
+            &[4.0, 1.0, 0.5, 0.0],
+            &[1.0, 3.0, 0.25, 0.1],
+            &[0.5, 0.25, 2.0, 0.3],
+            &[0.0, 0.1, 0.3, 1.0],
+        ])
+        .unwrap();
+        let reference = crate::jacobi::symmetric_eig(&sym).unwrap();
+        let mut h = sym.clone();
+        to_hessenberg(&mut h);
+        let eigs = hessenberg_eigenvalues(&mut h).unwrap();
+        let mut got = sorted_real_parts(&eigs);
+        got.reverse();
+        for (g, r) in got.iter().zip(&reference.values) {
+            assert!((g - r).abs() < 1e-8, "{g} vs {r}");
+        }
+    }
+
+    #[test]
+    fn companion_matrix_roots() {
+        // Companion of x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3).
+        let mut a = DenseMatrix::from_rows(&[
+            &[6.0, -11.0, 6.0],
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let eigs = hessenberg_eigenvalues(&mut a).unwrap();
+        let got = sorted_real_parts(&eigs);
+        for (g, expect) in got.iter().zip(&[1.0, 2.0, 3.0]) {
+            assert!((g - expect).abs() < 1e-8, "{g} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn eigenvector_by_inverse_iteration() {
+        let a = DenseMatrix::from_rows(&[
+            &[2.0, 1.0, 0.0],
+            &[1.0, 3.0, 1.0],
+            &[0.0, 1.0, 4.0],
+        ])
+        .unwrap();
+        let reference = crate::jacobi::symmetric_eig(&a).unwrap();
+        for (lam, vec) in reference.values.iter().zip(&reference.vectors) {
+            let v = eigenvector_for(&a, *lam, 3).unwrap();
+            let cos = crate::vector::dot(&v, vec).abs();
+            assert!(cos > 1.0 - 1e-8, "λ={lam}: cos={cos}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_stochastic_matrix() {
+        // Row-stochastic: dominant eigenvalue exactly 1.
+        let mut a = DenseMatrix::from_rows(&[
+            &[0.6, 0.3, 0.1],
+            &[0.2, 0.5, 0.3],
+            &[0.1, 0.2, 0.7],
+        ])
+        .unwrap();
+        let base = a.clone();
+        to_hessenberg(&mut a);
+        let eigs = hessenberg_eigenvalues(&mut a).unwrap();
+        let max = eigs.iter().map(|e| e.magnitude()).fold(0.0f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-9);
+        // The eigenvector for λ=1 is e.
+        let v = eigenvector_for(&base, 1.0, 4).unwrap();
+        let norm = 1.0 / 3.0f64.sqrt();
+        for x in &v {
+            assert!((x.abs() - norm).abs() < 1e-6, "{v:?}");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Cyclic Jacobi eigensolver for dense symmetric matrices.
+//!
+//! Slow (`O(n³)` per sweep) but extremely robust; it is the reference
+//! implementation that the Lanczos and power-iteration test suites compare
+//! against, and it diagonalizes the small information matrices inside the
+//! GRM estimator.
+
+use crate::dense::DenseMatrix;
+use crate::LinalgError;
+
+/// Eigendecomposition of a dense symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEig {
+    /// Eigenvalues in *descending* order.
+    pub values: Vec<f64>,
+    /// `vectors[k]` is the unit eigenvector for `values[k]`.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Computes the full eigendecomposition of a symmetric matrix with the
+/// cyclic Jacobi rotation method.
+///
+/// # Errors
+/// * [`LinalgError::Degenerate`] if the matrix is empty or not symmetric.
+/// * [`LinalgError::NoConvergence`] if 100 sweeps do not reduce the
+///   off-diagonal mass below `1e-12 · ‖A‖F` (unreachable in practice).
+pub fn symmetric_eig(a: &DenseMatrix) -> Result<SymmetricEig, LinalgError> {
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::Degenerate("empty matrix"));
+    }
+    if !a.is_symmetric(1e-9 * (1.0 + a.frobenius_norm())) {
+        return Err(LinalgError::Degenerate("matrix is not symmetric"));
+    }
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    let tol = 1e-12 * (1.0 + a.frobenius_norm());
+
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m.get(i, j) * m.get(i, j);
+            }
+        }
+        if off.sqrt() <= tol {
+            let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+                .map(|k| {
+                    let col: Vec<f64> = (0..n).map(|i| v.get(i, k)).collect();
+                    (m.get(k, k), col)
+                })
+                .collect();
+            pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN eigenvalue"));
+            return Ok(SymmetricEig {
+                values: pairs.iter().map(|p| p.0).collect(),
+                vectors: pairs.into_iter().map(|p| p.1).collect(),
+            });
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply rotation G(p, q, θ) on both sides of m.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence { iterations: 100 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual_ok(a: &DenseMatrix, eig: &SymmetricEig) {
+        let n = a.rows();
+        for (lam, vec) in eig.values.iter().zip(&eig.vectors) {
+            let mut av = vec![0.0; n];
+            a.matvec(vec, &mut av);
+            for i in 0..n {
+                assert!((av[i] - lam * vec[i]).abs() < 1e-8, "residual too large");
+            }
+        }
+    }
+
+    #[test]
+    fn two_by_two() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let eig = symmetric_eig(&a).unwrap();
+        assert!((eig.values[0] - 3.0).abs() < 1e-10);
+        assert!((eig.values[1] - 1.0).abs() < 1e-10);
+        residual_ok(&a, &eig);
+    }
+
+    #[test]
+    fn already_diagonal() {
+        let a = DenseMatrix::from_rows(&[&[5.0, 0.0, 0.0], &[0.0, -2.0, 0.0], &[0.0, 0.0, 1.0]])
+            .unwrap();
+        let eig = symmetric_eig(&a).unwrap();
+        assert_eq!(eig.values, vec![5.0, 1.0, -2.0]);
+    }
+
+    #[test]
+    fn descending_order_and_orthonormal() {
+        let a = DenseMatrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, 0.25],
+            &[0.5, 0.25, 2.0],
+        ])
+        .unwrap();
+        let eig = symmetric_eig(&a).unwrap();
+        assert!(eig.values.windows(2).all(|w| w[0] >= w[1]));
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = crate::vector::dot(&eig.vectors[i], &eig.vectors[j]);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-9);
+            }
+        }
+        residual_ok(&a, &eig);
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(symmetric_eig(&a).is_err());
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 0.3, 0.2, 0.1],
+            &[0.3, 2.0, 0.4, 0.0],
+            &[0.2, 0.4, 3.0, 0.5],
+            &[0.1, 0.0, 0.5, 4.0],
+        ])
+        .unwrap();
+        let eig = symmetric_eig(&a).unwrap();
+        let sum: f64 = eig.values.iter().sum();
+        assert!((sum - 10.0).abs() < 1e-9);
+        residual_ok(&a, &eig);
+    }
+}

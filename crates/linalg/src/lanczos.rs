@@ -1,0 +1,284 @@
+//! Lanczos iteration for extreme eigenpairs of symmetric operators.
+//!
+//! Used by `ABH-direct` (Fiedler vector of the Laplacian, cf. the Lanczos
+//! references \[32\], \[46\] of the paper) and by `HND-direct` (the paper used
+//! SciPy's Arnoldi on the asymmetric `U`; we instead exploit that `U` is
+//! similar to a symmetric matrix — see `hnd-core::hnd_direct` — and run
+//! Lanczos on the symmetrized operator).
+//!
+//! Full reorthogonalization is used: the Krylov subspaces here are small
+//! (tens to a few hundred vectors) while the operators can have dimension
+//! 10⁵, so the `O(n·j²)` reorthogonalization cost is dwarfed by matvecs.
+
+use crate::op::LinearOp;
+use crate::tridiag::symmetric_tridiagonal_eig;
+use crate::vector;
+use crate::LinalgError;
+
+/// Which end of the spectrum to target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Which {
+    /// Algebraically largest eigenvalues.
+    Largest,
+    /// Algebraically smallest eigenvalues.
+    Smallest,
+}
+
+/// Options for [`lanczos_extreme`].
+#[derive(Debug, Clone, Copy)]
+pub struct LanczosOptions {
+    /// Maximum Krylov subspace dimension before giving up.
+    pub max_subspace: usize,
+    /// Relative residual tolerance for Ritz-pair convergence.
+    pub tol: f64,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        LanczosOptions {
+            max_subspace: 300,
+            tol: 1e-8,
+        }
+    }
+}
+
+/// A converged (eigenvalue, eigenvector) estimate.
+#[derive(Debug, Clone)]
+pub struct RitzPair {
+    /// Ritz value (eigenvalue estimate).
+    pub value: f64,
+    /// Unit-norm Ritz vector (eigenvector estimate).
+    pub vector: Vec<f64>,
+}
+
+/// Computes the `k` extreme eigenpairs of a *symmetric* operator.
+///
+/// The caller promises `op` is symmetric; no check is performed (the
+/// operator is matrix-free). Pairs are returned sorted: descending for
+/// [`Which::Largest`], ascending for [`Which::Smallest`].
+///
+/// # Errors
+/// * [`LinalgError::Degenerate`] for `k == 0` or `k > dim`.
+/// * [`LinalgError::NoConvergence`] if the subspace budget is exhausted
+///   before the requested pairs converge.
+pub fn lanczos_extreme(
+    op: &dyn LinearOp,
+    k: usize,
+    which: Which,
+    x0: &[f64],
+    opts: &LanczosOptions,
+) -> Result<Vec<RitzPair>, LinalgError> {
+    let n = op.dim();
+    if k == 0 || k > n {
+        return Err(LinalgError::Degenerate("invalid number of requested eigenpairs"));
+    }
+    let max_j = opts.max_subspace.min(n);
+
+    // Krylov basis (unit, mutually orthogonal), tridiagonal coefficients.
+    let mut basis: Vec<Vec<f64>> = Vec::new();
+    let mut alphas: Vec<f64> = Vec::new();
+    let mut betas: Vec<f64> = Vec::new();
+
+    let mut v = x0.to_vec();
+    assert_eq!(v.len(), n, "lanczos_extreme: x0 length mismatch");
+    if vector::normalize(&mut v) == 0.0 {
+        v = crate::power::deterministic_start(n);
+        vector::normalize(&mut v);
+    }
+    basis.push(v);
+
+    let mut w = vec![0.0; n];
+    loop {
+        let j = basis.len() - 1;
+        op.apply(&basis[j], &mut w);
+        let alpha = vector::dot(&basis[j], &w);
+        alphas.push(alpha);
+        // w ← w − α vⱼ − β vⱼ₋₁, then full reorthogonalization (twice).
+        vector::axpy(-alpha, &basis[j], &mut w);
+        if j > 0 {
+            vector::axpy(-betas[j - 1], &basis[j - 1], &mut w);
+        }
+        for _ in 0..2 {
+            for b in &basis {
+                vector::project_out(b, &mut w);
+            }
+        }
+        let beta = vector::norm2(&w);
+
+        // Check convergence of the k requested Ritz pairs.
+        if basis.len() >= k {
+            let eig = symmetric_tridiagonal_eig(&alphas, &betas)?;
+            let jdim = alphas.len();
+            let targets: Vec<usize> = match which {
+                Which::Largest => (0..k).map(|i| jdim - 1 - i).collect(),
+                Which::Smallest => (0..k).collect(),
+            };
+            let scale = eig
+                .values
+                .iter()
+                .fold(0.0f64, |acc, v| acc.max(v.abs()))
+                .max(1e-30);
+            let all_converged = targets.iter().all(|&t| {
+                let s_last = eig.vectors[(jdim - 1) * jdim + t];
+                (beta * s_last).abs() <= opts.tol * scale
+            });
+            if all_converged || basis.len() == max_j || beta <= 1e-13 * scale {
+                if !all_converged && basis.len() == max_j {
+                    return Err(LinalgError::NoConvergence { iterations: max_j });
+                }
+                // Assemble Ritz vectors: x_t = Σⱼ s[j][t] · vⱼ.
+                let mut out = Vec::with_capacity(k);
+                for &t in &targets {
+                    let mut x = vec![0.0; n];
+                    for (jj, b) in basis.iter().enumerate() {
+                        vector::axpy(eig.vectors[jj * jdim + t], b, &mut x);
+                    }
+                    vector::normalize(&mut x);
+                    out.push(RitzPair {
+                        value: eig.values[t],
+                        vector: x,
+                    });
+                }
+                return Ok(out);
+            }
+        } else if beta <= 1e-300 {
+            // Invariant subspace found before k directions exist: restart
+            // with a fresh orthogonal direction.
+            w = crate::power::deterministic_start(n);
+            for b in &basis {
+                vector::project_out(b, &mut w);
+            }
+            if vector::normalize(&mut w) == 0.0 {
+                return Err(LinalgError::Degenerate("operator dimension exhausted"));
+            }
+            betas.push(0.0);
+            basis.push(std::mem::replace(&mut w, vec![0.0; n]));
+            continue;
+        }
+
+        if basis.len() == max_j {
+            return Err(LinalgError::NoConvergence { iterations: max_j });
+        }
+        betas.push(beta);
+        let mut next = std::mem::replace(&mut w, vec![0.0; n]);
+        vector::scale(1.0 / beta.max(1e-300), &mut next);
+        basis.push(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+    use crate::jacobi::symmetric_eig;
+    use crate::op::DenseOp;
+
+    fn random_symmetric(n: usize, seed: u64) -> DenseMatrix {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn largest_of_diagonal() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 5.0, 0.0],
+            &[0.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let op = DenseOp::new(&a);
+        let x0 = vec![1.0, 1.0, 1.0];
+        let pairs = lanczos_extreme(&op, 1, Which::Largest, &x0, &LanczosOptions::default()).unwrap();
+        assert!((pairs[0].value - 5.0).abs() < 1e-8);
+        assert!(pairs[0].vector[1].abs() > 0.999);
+    }
+
+    #[test]
+    fn smallest_of_diagonal() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 5.0, 0.0],
+            &[0.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let op = DenseOp::new(&a);
+        let x0 = vec![1.0, 1.0, 1.0];
+        let pairs =
+            lanczos_extreme(&op, 1, Which::Smallest, &x0, &LanczosOptions::default()).unwrap();
+        assert!((pairs[0].value - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn top2_match_jacobi_reference() {
+        let a = random_symmetric(20, 42);
+        let op = DenseOp::new(&a);
+        let x0 = crate::power::deterministic_start(20);
+        let pairs = lanczos_extreme(&op, 2, Which::Largest, &x0, &LanczosOptions::default()).unwrap();
+        let reference = symmetric_eig(&a).unwrap();
+        assert!((pairs[0].value - reference.values[0]).abs() < 1e-7);
+        assert!((pairs[1].value - reference.values[1]).abs() < 1e-7);
+        // Eigenvector agreement up to sign.
+        let cos = crate::vector::dot(&pairs[1].vector, &reference.vectors[1]).abs();
+        assert!(cos > 1.0 - 1e-6, "cosine similarity {cos}");
+    }
+
+    #[test]
+    fn bottom2_match_jacobi_reference() {
+        let a = random_symmetric(15, 7);
+        let op = DenseOp::new(&a);
+        let x0 = crate::power::deterministic_start(15);
+        let pairs =
+            lanczos_extreme(&op, 2, Which::Smallest, &x0, &LanczosOptions::default()).unwrap();
+        let reference = symmetric_eig(&a).unwrap();
+        let rv: Vec<f64> = reference.values.iter().rev().copied().collect();
+        assert!((pairs[0].value - rv[0]).abs() < 1e-7);
+        assert!((pairs[1].value - rv[1]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn residuals_are_small() {
+        let a = random_symmetric(25, 3);
+        let op = DenseOp::new(&a);
+        let x0 = crate::power::deterministic_start(25);
+        let pairs = lanczos_extreme(&op, 2, Which::Largest, &x0, &LanczosOptions::default()).unwrap();
+        for p in &pairs {
+            let av = op.apply_vec(&p.vector);
+            let mut res = av.clone();
+            crate::vector::axpy(-p.value, &p.vector, &mut res);
+            assert!(crate::vector::norm2(&res) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let a = random_symmetric(4, 1);
+        let op = DenseOp::new(&a);
+        let x0 = vec![1.0; 4];
+        assert!(lanczos_extreme(&op, 0, Which::Largest, &x0, &LanczosOptions::default()).is_err());
+        assert!(lanczos_extreme(&op, 5, Which::Largest, &x0, &LanczosOptions::default()).is_err());
+    }
+
+    #[test]
+    fn identity_invariant_subspace_restart() {
+        // Identity: every vector is an eigenvector; β underflows immediately
+        // and k=2 requires a restart with a fresh direction.
+        let a = DenseMatrix::identity(6);
+        let op = DenseOp::new(&a);
+        let x0 = vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let pairs = lanczos_extreme(&op, 2, Which::Largest, &x0, &LanczosOptions::default()).unwrap();
+        assert!((pairs[0].value - 1.0).abs() < 1e-9);
+        assert!((pairs[1].value - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-coupled numerics mirror the published algorithms
+
+//! # hnd-linalg
+//!
+//! Self-contained numerical linear algebra for the HITSnDIFFS reproduction.
+//!
+//! The paper's algorithms need exactly four numerical capabilities, all of
+//! which are implemented here from scratch (no BLAS, no `ndarray`):
+//!
+//! * dense and sparse (CSR) matrices with matrix–vector products
+//!   ([`dense`], [`sparse`]),
+//! * power iteration with sign-aware convergence ([`power`]) — the engine
+//!   behind `HND-power` and `ABH-power`,
+//! * Hotelling deflation for second-eigenvector extraction on asymmetric
+//!   matrices ([`deflation`]) — the engine behind `HND-deflation`,
+//! * Lanczos tridiagonalization plus a symmetric tridiagonal QL eigensolver
+//!   ([`lanczos`], [`tridiag`]) — the engine behind `ABH-direct` and
+//!   `HND-direct`.
+//!
+//! A dense Jacobi eigensolver ([`jacobi`]) serves as the slow-but-trusted
+//! reference implementation used by the test suites of the other solvers.
+//!
+//! All operators are expressed through the matrix-free [`LinearOp`] trait so
+//! that the spectral methods of the paper run in `O(nnz)` per iteration
+//! without ever materializing `U`, `Udiff`, `L` or `M` (Section III-F of the
+//! paper).
+
+pub mod arnoldi;
+pub mod dense;
+pub mod hessenberg;
+pub mod jacobi;
+pub mod lanczos;
+pub mod op;
+pub mod power;
+pub mod sparse;
+pub mod tridiag;
+pub mod vector;
+
+pub mod deflation;
+
+pub use arnoldi::{arnoldi_largest, ArnoldiOptions, ArnoldiPair};
+pub use dense::DenseMatrix;
+pub use lanczos::{lanczos_extreme, LanczosOptions, RitzPair, Which};
+pub use op::{DeflatedOp, DenseOp, LinearOp, ScaledOp, ShiftedOp};
+pub use power::{power_iteration, PowerOptions, PowerOutcome};
+pub use sparse::CsrMatrix;
+
+/// Error type for the (few) fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix/vector dimensions do not agree for the requested operation.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually provided.
+        got: usize,
+    },
+    /// An iterative solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input matrix is empty or otherwise degenerate.
+    Degenerate(&'static str),
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            LinalgError::Degenerate(msg) => write!(f, "degenerate input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,230 @@
+//! Matrix-free linear operators.
+//!
+//! The spectral methods of the paper (`HND-power`, `HND-deflation`,
+//! `ABH-power`, `ABH-direct`, `HND-direct`) never materialize their update
+//! matrices: each iteration is a chain of sparse matrix–vector products.
+//! [`LinearOp`] is the common abstraction those solvers iterate on, and the
+//! combinators in this module ([`ShiftedOp`], [`DeflatedOp`], [`ScaledOp`])
+//! express the spectral transformations used in Sections III-E/III-F.
+
+use crate::dense::DenseMatrix;
+
+/// A square linear operator `y = A x` applied matrix-free.
+pub trait LinearOp {
+    /// Dimension `n` of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Computes `y = A x`. Implementations must not read `y`'s prior value.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Convenience: applies the operator into a fresh vector.
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.dim()];
+        self.apply(x, &mut y);
+        y
+    }
+
+    /// Materializes the operator column by column (test/debug use only —
+    /// costs `n` operator applications).
+    fn to_dense(&self) -> DenseMatrix {
+        let n = self.dim();
+        let mut out = DenseMatrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        let mut col = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            self.apply(&e, &mut col);
+            e[j] = 0.0;
+            for i in 0..n {
+                out.set(i, j, col[i]);
+            }
+        }
+        out
+    }
+}
+
+/// A dense matrix viewed as a [`LinearOp`].
+pub struct DenseOp<'a> {
+    matrix: &'a DenseMatrix,
+}
+
+impl<'a> DenseOp<'a> {
+    /// Wraps a square dense matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn new(matrix: &'a DenseMatrix) -> Self {
+        assert_eq!(matrix.rows(), matrix.cols(), "DenseOp requires a square matrix");
+        DenseOp { matrix }
+    }
+}
+
+impl LinearOp for DenseOp<'_> {
+    fn dim(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matrix.matvec(x, y);
+    }
+}
+
+/// Spectral shift `βI − A`.
+///
+/// Section III-E: the smallest eigenvector of `M` equals the largest
+/// eigenvector of `βI − M` for β exceeding all entries and eigenvalues of
+/// `M` — this is how `ABH-power` turns a smallest-eigenvector problem into
+/// a power iteration.
+pub struct ShiftedOp<'a, A: LinearOp + ?Sized> {
+    inner: &'a A,
+    beta: f64,
+}
+
+impl<'a, A: LinearOp + ?Sized> ShiftedOp<'a, A> {
+    /// Creates `βI − inner`.
+    pub fn new(inner: &'a A, beta: f64) -> Self {
+        ShiftedOp { inner, beta }
+    }
+}
+
+impl<A: LinearOp + ?Sized> LinearOp for ShiftedOp<'_, A> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.apply(x, y);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = self.beta * xi - *yi;
+        }
+    }
+}
+
+/// `A` restricted to the orthogonal complement of a set of unit vectors:
+/// `y = P A P x` with `P = I − Σ uᵢuᵢᵀ`.
+///
+/// Used to deflate known eigenvectors — e.g. the all-ones kernel of the
+/// graph Laplacian when extracting the Fiedler vector (`ABH-direct`), or
+/// the dominant eigenvector `e` of `U` (`HND-direct`).
+pub struct DeflatedOp<'a, A: LinearOp + ?Sized> {
+    inner: &'a A,
+    /// Unit-norm vectors spanning the deflated subspace.
+    basis: Vec<Vec<f64>>,
+}
+
+impl<'a, A: LinearOp + ?Sized> DeflatedOp<'a, A> {
+    /// Creates the deflated operator. Each vector in `basis` is normalized;
+    /// callers should pass mutually orthogonal vectors.
+    ///
+    /// # Panics
+    /// Panics if a basis vector has the wrong length or zero norm.
+    pub fn new(inner: &'a A, basis: Vec<Vec<f64>>) -> Self {
+        let mut normed = Vec::with_capacity(basis.len());
+        for mut u in basis {
+            assert_eq!(u.len(), inner.dim(), "DeflatedOp: basis length mismatch");
+            let n = crate::vector::normalize(&mut u);
+            assert!(n > 0.0, "DeflatedOp: zero basis vector");
+            normed.push(u);
+        }
+        DeflatedOp { inner, basis: normed }
+    }
+
+    fn project(&self, x: &mut [f64]) {
+        for u in &self.basis {
+            crate::vector::project_out(u, x);
+        }
+    }
+}
+
+impl<A: LinearOp + ?Sized> LinearOp for DeflatedOp<'_, A> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let mut px = x.to_vec();
+        self.project(&mut px);
+        self.inner.apply(&px, y);
+        self.project(y);
+    }
+}
+
+/// `αA` — scalar-scaled operator (used by tests and the β-sweep of
+/// Figure 14a).
+pub struct ScaledOp<'a, A: LinearOp + ?Sized> {
+    inner: &'a A,
+    alpha: f64,
+}
+
+impl<'a, A: LinearOp + ?Sized> ScaledOp<'a, A> {
+    /// Creates `alpha * inner`.
+    pub fn new(inner: &'a A, alpha: f64) -> Self {
+        ScaledOp { inner, alpha }
+    }
+}
+
+impl<A: LinearOp + ?Sized> LinearOp for ScaledOp<'_, A> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.apply(x, y);
+        crate::vector::scale(self.alpha, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    fn symmetric() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap()
+    }
+
+    #[test]
+    fn dense_op_applies() {
+        let m = symmetric();
+        let op = DenseOp::new(&m);
+        assert_eq!(op.apply_vec(&[1.0, 0.0]), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn shifted_op_is_beta_i_minus_a() {
+        let m = symmetric();
+        let op = DenseOp::new(&m);
+        let shifted = ShiftedOp::new(&op, 5.0);
+        // (5I - A)[1,1]ᵀ = [5-3, 5-4]ᵀ = [2, 1]ᵀ
+        assert_eq!(shifted.apply_vec(&[1.0, 1.0]), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn deflated_op_kills_basis_direction() {
+        let m = symmetric();
+        let op = DenseOp::new(&m);
+        let u = vec![1.0, 0.0];
+        let defl = DeflatedOp::new(&op, vec![u.clone()]);
+        // Output must be orthogonal to u regardless of input.
+        let y = defl.apply_vec(&[0.7, -0.3]);
+        assert!(crate::vector::dot(&u, &y).abs() < 1e-12);
+        // And applying to u itself gives the zero vector projected through.
+        let y = defl.apply_vec(&[1.0, 0.0]);
+        assert!(y[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_op_scales() {
+        let m = symmetric();
+        let op = DenseOp::new(&m);
+        let s = ScaledOp::new(&op, -2.0);
+        assert_eq!(s.apply_vec(&[1.0, 0.0]), vec![-4.0, -2.0]);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let m = symmetric();
+        let op = DenseOp::new(&m);
+        assert_eq!(op.to_dense(), m);
+    }
+}

@@ -1,0 +1,264 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The paper's (m × kn) binary response matrix `C` has only `mn` nonzeros
+//! (each user picks at most one option per item), so every production code
+//! path in this workspace stores `C` in CSR and works matrix-free.
+
+use crate::dense::DenseMatrix;
+
+/// A CSR matrix of `f64`.
+///
+/// Invariants: `indptr.len() == rows + 1`, `indptr` is non-decreasing,
+/// `indices[indptr[i]..indptr[i+1]]` are the column indices of row `i`
+/// (strictly increasing within a row), `values` is parallel to `indices`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from (row, col, value) triplets. Duplicate
+    /// coordinates are summed; explicit zeros are kept (callers in this
+    /// workspace never produce them).
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Self {
+        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        for (r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet out of bounds: ({r},{c})");
+            per_row[r].push((c, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut last_col = usize::MAX;
+            for &(c, v) in row.iter() {
+                if c == last_col {
+                    // merge duplicate
+                    let lv = values.last_mut().expect("duplicate implies prior entry");
+                    *lv += v;
+                } else {
+                    indices.push(c);
+                    values.push(v);
+                    last_col = c;
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Iterator over the `(column, value)` pairs of row `i`.
+    #[inline]
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// `y = A x`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (c, v) in self.row_iter(i) {
+                acc += v * x[c];
+            }
+            *yi = acc;
+        }
+    }
+
+    /// `y = Aᵀ x` without materializing the transpose.
+    pub fn matvec_t(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_t: x length mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t: y length mismatch");
+        y.fill(0.0);
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row_iter(i) {
+                y[c] += v * xi;
+            }
+        }
+    }
+
+    /// Per-row sums (`A · 1`).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| self.row_iter(i).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Per-column sums (`Aᵀ · 1`).
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (c, v) in self.row_iter(i) {
+                out[c] += v;
+            }
+        }
+        out
+    }
+
+    /// Densifies (test/debug use only).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (c, v) in self.row_iter(i) {
+                m.set(i, c, v);
+            }
+        }
+        m
+    }
+
+    /// Returns a copy with the rows permuted: row `i` of the result is row
+    /// `perm[i]` of `self`. Used to apply candidate C1P orderings.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..rows`.
+    pub fn permute_rows(&self, perm: &[usize]) -> CsrMatrix {
+        assert_eq!(perm.len(), self.rows, "permute_rows: length mismatch");
+        let mut seen = vec![false; self.rows];
+        for &p in perm {
+            assert!(p < self.rows && !seen[p], "permute_rows: not a permutation");
+            seen[p] = true;
+        }
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        indptr.push(0);
+        for &src in perm {
+            for (c, v) in self.row_iter(src) {
+                indices.push(c);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        CsrMatrix::from_triplets(3, 3, [(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn construction_sorted_rows() {
+        let m = CsrMatrix::from_triplets(2, 3, [(0, 2, 5.0), (0, 0, 1.0)]);
+        let row: Vec<_> = m.row_iter(0).collect();
+        assert_eq!(row, vec![(0, 1.0), (2, 5.0)]);
+        assert_eq!(m.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 2, [(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        let row: Vec<_> = m.row_iter(0).collect();
+        assert_eq!(row, vec![(1, 3.5)]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        let x = [1.0, -1.0, 0.5];
+        let mut ys = vec![0.0; 3];
+        let mut yd = vec![0.0; 3];
+        m.matvec(&x, &mut ys);
+        d.matvec(&x, &mut yd);
+        assert_eq!(ys, yd);
+    }
+
+    #[test]
+    fn matvec_t_matches_dense_transpose() {
+        let m = sample();
+        let dt = m.to_dense().transpose();
+        let x = [2.0, 0.0, -1.0];
+        let mut ys = vec![0.0; 3];
+        let mut yd = vec![0.0; 3];
+        m.matvec_t(&x, &mut ys);
+        dt.matvec(&x, &mut yd);
+        assert_eq!(ys, yd);
+    }
+
+    #[test]
+    fn sums() {
+        let m = sample();
+        assert_eq!(m.row_sums(), vec![3.0, 0.0, 7.0]);
+        assert_eq!(m.col_sums(), vec![4.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn permute_rows_reorders() {
+        let m = sample();
+        let p = m.permute_rows(&[2, 0, 1]);
+        assert_eq!(p.row_iter(0).collect::<Vec<_>>(), vec![(0, 3.0), (1, 4.0)]);
+        assert_eq!(p.row_iter(1).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(p.row_nnz(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_rows_rejects_duplicates() {
+        sample().permute_rows(&[0, 0, 1]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Symmetric tridiagonal eigensolver (implicit QL with Wilkinson shifts).
+//!
+//! This is the classic `tql2`/`tqli` routine, used to diagonalize the small
+//! tridiagonal matrices produced by the Lanczos process ([`crate::lanczos`]).
+
+use crate::LinalgError;
+
+/// Eigendecomposition of a symmetric tridiagonal matrix.
+#[derive(Debug, Clone)]
+pub struct TridiagEig {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Row-major `n × n` matrix whose *column* `k` is the unit eigenvector
+    /// for `values[k]`.
+    pub vectors: Vec<f64>,
+}
+
+impl TridiagEig {
+    /// Returns eigenvector `k` as an owned vector.
+    pub fn vector(&self, k: usize) -> Vec<f64> {
+        let n = self.values.len();
+        (0..n).map(|i| self.vectors[i * n + k]).collect()
+    }
+}
+
+/// Fortran-style `SIGN(a, b)`: `|a|` with the sign of `b`.
+#[inline]
+fn sign(a: f64, b: f64) -> f64 {
+    if b >= 0.0 {
+        a.abs()
+    } else {
+        -a.abs()
+    }
+}
+
+/// Computes all eigenvalues and eigenvectors of the symmetric tridiagonal
+/// matrix with diagonal `diag` (length `n`) and off-diagonal `offdiag`
+/// (length `n − 1`, `offdiag[i]` couples rows `i` and `i+1`).
+///
+/// Implements the implicit QL algorithm with Wilkinson shifts (EISPACK
+/// `tql2`). Eigenvalues are returned in ascending order with matching
+/// eigenvector columns.
+///
+/// # Errors
+/// Returns [`LinalgError::NoConvergence`] if any eigenvalue needs more than
+/// 100 QL sweeps (practically unreachable for well-formed input) and
+/// [`LinalgError::DimensionMismatch`] if `offdiag.len() + 1 != diag.len()`.
+pub fn symmetric_tridiagonal_eig(diag: &[f64], offdiag: &[f64]) -> Result<TridiagEig, LinalgError> {
+    let n = diag.len();
+    if n == 0 {
+        return Err(LinalgError::Degenerate("empty tridiagonal matrix"));
+    }
+    if offdiag.len() + 1 != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n - 1,
+            got: offdiag.len(),
+        });
+    }
+    let mut d = diag.to_vec();
+    // e[i] couples i and i+1; e[n-1] is a zero sentinel.
+    let mut e = vec![0.0; n];
+    e[..n - 1].copy_from_slice(offdiag);
+    let mut z = vec![0.0; n * n];
+    for i in 0..n {
+        z[i * n + i] = 1.0;
+    }
+
+    const EPS: f64 = f64::EPSILON;
+    for l in 0..n {
+        let mut iter = 0usize;
+        'outer: loop {
+            // Find the first small subdiagonal element at or after l.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= EPS * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break 'outer;
+            }
+            iter += 1;
+            if iter > 100 {
+                return Err(LinalgError::NoConvergence { iterations: iter });
+            }
+            // Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + sign(r, g));
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            let mut i = m;
+            while i > l {
+                i -= 1;
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Deflate: the rotation chain underflowed.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    continue 'outer;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    f = z[k * n + i + 1];
+                    z[k * n + i + 1] = s * z[k * n + i] + c * f;
+                    z[k * n + i] = c * z[k * n + i] - s * f;
+                }
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // Sort ascending, permuting eigenvector columns alongside.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&k| d[k]).collect();
+    let mut vectors = vec![0.0; n * n];
+    for (new_k, &old_k) in order.iter().enumerate() {
+        for i in 0..n {
+            vectors[i * n + new_k] = z[i * n + old_k];
+        }
+    }
+    Ok(TridiagEig { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_residual(diag: &[f64], off: &[f64], eig: &TridiagEig) {
+        let n = diag.len();
+        for k in 0..n {
+            let v = eig.vector(k);
+            let lambda = eig.values[k];
+            // residual = T v - lambda v
+            for i in 0..n {
+                let mut tv = diag[i] * v[i];
+                if i > 0 {
+                    tv += off[i - 1] * v[i - 1];
+                }
+                if i + 1 < n {
+                    tv += off[i] * v[i + 1];
+                }
+                assert!(
+                    (tv - lambda * v[i]).abs() < 1e-9,
+                    "residual too large at ({k},{i})"
+                );
+            }
+            // unit norm
+            let nrm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((nrm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let eig = symmetric_tridiagonal_eig(&[3.0, 1.0, 2.0], &[0.0, 0.0]).unwrap();
+        assert_eq!(eig.values, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let eig = symmetric_tridiagonal_eig(&[2.0, 2.0], &[1.0]).unwrap();
+        assert!((eig.values[0] - 1.0).abs() < 1e-12);
+        assert!((eig.values[1] - 3.0).abs() < 1e-12);
+        check_residual(&[2.0, 2.0], &[1.0], &eig);
+    }
+
+    #[test]
+    fn path_graph_laplacian_spectrum() {
+        // Laplacian of the path P4: diag [1,2,2,1], off [-1,-1,-1].
+        // Eigenvalues are 2 - 2cos(kπ/4), k = 0..3.
+        let diag = [1.0, 2.0, 2.0, 1.0];
+        let off = [-1.0, -1.0, -1.0];
+        let eig = symmetric_tridiagonal_eig(&diag, &off).unwrap();
+        for (k, lam) in eig.values.iter().enumerate() {
+            let expected = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / 4.0).cos();
+            assert!((lam - expected).abs() < 1e-9, "k={k}: {lam} vs {expected}");
+        }
+        check_residual(&diag, &off, &eig);
+    }
+
+    #[test]
+    fn random_tridiagonal_residuals() {
+        // Fixed pseudo-random coefficients; checks T v = λ v for all pairs.
+        let n = 12;
+        let diag: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 17) as f64 / 3.0).collect();
+        let off: Vec<f64> = (0..n - 1).map(|i| ((i * 53 + 7) % 13) as f64 / 5.0 - 1.0).collect();
+        let eig = symmetric_tridiagonal_eig(&diag, &off).unwrap();
+        check_residual(&diag, &off, &eig);
+        // Trace preservation.
+        let trace: f64 = diag.iter().sum();
+        let sum: f64 = eig.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn singleton() {
+        let eig = symmetric_tridiagonal_eig(&[5.0], &[]).unwrap();
+        assert_eq!(eig.values, vec![5.0]);
+        assert_eq!(eig.vectors, vec![1.0]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        assert!(symmetric_tridiagonal_eig(&[1.0, 2.0], &[]).is_err());
+        assert!(symmetric_tridiagonal_eig(&[], &[]).is_err());
+    }
+}

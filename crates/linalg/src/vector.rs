@@ -1,0 +1,235 @@
+//! Free-standing vector kernels shared by every solver in the crate.
+//!
+//! All functions operate on plain `&[f64]` slices; the callers own the
+//! buffers so hot loops can reuse workhorse allocations (see the Rust
+//! Performance Book's guidance on reusing collections).
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics if the slices have different lengths (programming error).
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `y ← y + alpha * x` (classic axpy).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha * x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Normalizes `x` to unit Euclidean norm in place and returns the original
+/// norm. A zero vector is left untouched and `0.0` is returned.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Sign-aware distance `min(‖x − y‖, ‖x + y‖)`.
+///
+/// Power iteration on a matrix whose dominant eigenvalue is negative flips
+/// the sign of the iterate every step; convergence must therefore be tested
+/// up to sign (paper Section III-C uses a 1e-5 L2 criterion).
+pub fn sign_invariant_distance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "sign_invariant_distance: length mismatch");
+    let mut minus = 0.0;
+    let mut plus = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        minus += (a - b) * (a - b);
+        plus += (a + b) * (a + b);
+    }
+    minus.min(plus).sqrt()
+}
+
+/// Cumulative sum with a leading zero: implements the paper's `T` matrix
+/// (`s = T s_diff`, Figure 3) without materializing the `m × (m−1)` lower
+/// triangular matrix. Output has length `diff.len() + 1` and `out[0] = 0`.
+pub fn cumsum_from_diffs(diff: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(diff.len() + 1);
+    out.push(0.0);
+    let mut acc = 0.0;
+    for d in diff {
+        acc += d;
+        out.push(acc);
+    }
+}
+
+/// Adjacent differences: implements the paper's `S` matrix
+/// (`s_diff = S s`, Figure 3). Output has length `x.len() − 1`
+/// (empty for a 0/1-length input).
+pub fn adjacent_diffs(x: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    if x.len() < 2 {
+        return;
+    }
+    out.reserve(x.len() - 1);
+    for w in x.windows(2) {
+        out.push(w[1] - w[0]);
+    }
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Population variance; `0.0` for slices shorter than 2.
+///
+/// Used by the Figure 6a stability experiment (variance of the eigenvector
+/// used for ranking).
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Projects `x` onto the orthogonal complement of the unit vector `u`
+/// (`x ← x − (uᵀx) u`). Used to deflate known eigenvectors (e.g. the
+/// all-ones kernel of the Laplacian in ABH-direct).
+pub fn project_out(u: &[f64], x: &mut [f64]) {
+    let c = dot(u, x);
+    axpy(-c, u, x);
+}
+
+/// Returns `true` if the entries of `x` are monotone (non-decreasing or
+/// non-increasing). Theorem 1 of the paper states the second eigenvector of
+/// `U` is monotone when rows are sorted in the C1P order.
+pub fn is_monotone(x: &[f64]) -> bool {
+    x.windows(2).all(|w| w[1] >= w[0]) || x.windows(2).all(|w| w[1] <= w[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        let x = [3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert!((n - 5.0).abs() < 1e-12);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_noop() {
+        let mut x = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut x), 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sign_invariant_distance_handles_flips() {
+        let x = [1.0, -2.0, 3.0];
+        let y = [-1.0, 2.0, -3.0];
+        assert!(sign_invariant_distance(&x, &y) < 1e-12);
+        assert!(sign_invariant_distance(&x, &x) < 1e-12);
+    }
+
+    #[test]
+    fn cumsum_matches_t_matrix() {
+        // T from Figure 3 maps diffs (d1,d2,d3) to scores (0, d1, d1+d2, d1+d2+d3).
+        let mut out = Vec::new();
+        cumsum_from_diffs(&[1.0, 2.0, 3.0], &mut out);
+        assert_eq!(out, vec![0.0, 1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn diffs_match_s_matrix() {
+        let mut out = Vec::new();
+        adjacent_diffs(&[0.0, 1.0, 3.0, 6.0], &mut out);
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn diffs_of_short_inputs_are_empty() {
+        let mut out = vec![99.0];
+        adjacent_diffs(&[5.0], &mut out);
+        assert!(out.is_empty());
+        adjacent_diffs(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn s_and_t_are_inverse_on_zero_anchored_vectors() {
+        let s = vec![0.0, 0.5, -0.25, 2.0];
+        let mut d = Vec::new();
+        adjacent_diffs(&s, &mut d);
+        let mut back = Vec::new();
+        cumsum_from_diffs(&d, &mut back);
+        for (a, b) in s.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[2.0, 2.0, 2.0]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // Population variance of {1,2,3,4} is 1.25.
+        assert!((variance(&[1.0, 2.0, 3.0, 4.0]) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_out_removes_component() {
+        let u = [1.0 / 2f64.sqrt(), 1.0 / 2f64.sqrt()];
+        let mut x = vec![3.0, 1.0];
+        project_out(&u, &mut x);
+        assert!(dot(&u, &x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_detection() {
+        assert!(is_monotone(&[1.0, 2.0, 2.0, 5.0]));
+        assert!(is_monotone(&[5.0, 2.0, 2.0, 1.0]));
+        assert!(is_monotone(&[1.0]));
+        assert!(!is_monotone(&[1.0, 3.0, 2.0]));
+    }
+}

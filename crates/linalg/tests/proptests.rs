@@ -1,0 +1,144 @@
+//! Property-based tests for the numerical substrate.
+
+use hnd_linalg::jacobi::symmetric_eig;
+use hnd_linalg::op::{DenseOp, LinearOp};
+use hnd_linalg::power::{power_iteration, PowerOptions};
+use hnd_linalg::vector;
+use hnd_linalg::{lanczos_extreme, DenseMatrix, LanczosOptions, Which};
+use proptest::prelude::*;
+
+/// Strategy: random symmetric matrix of dimension 2..=8 with entries in
+/// [-1, 1] and a diagonal boost to spread the spectrum.
+fn symmetric_matrix() -> impl Strategy<Value = DenseMatrix> {
+    (2usize..=8).prop_flat_map(|n| {
+        proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+            let mut m = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in i..n {
+                    let v = vals[i * n + j];
+                    m.set(i, j, v);
+                    m.set(j, i, v);
+                }
+                m.set(i, i, m.get(i, i) + 1.5 * i as f64);
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn power_iteration_matches_jacobi_on_dominant_magnitude(m in symmetric_matrix()) {
+        let reference = symmetric_eig(&m).unwrap();
+        let dominant_mag = reference
+            .values
+            .iter()
+            .fold(0.0f64, |acc, v| acc.max(v.abs()));
+        // Skip near-degenerate dominant pairs where power iteration stalls.
+        let sorted_mags = {
+            let mut v: Vec<f64> = reference.values.iter().map(|x| x.abs()).collect();
+            v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            v
+        };
+        prop_assume!(sorted_mags.len() < 2 || sorted_mags[0] - sorted_mags[1] > 1e-3);
+
+        let op = DenseOp::new(&m);
+        let out = power_iteration(
+            &op,
+            &hnd_linalg::power::deterministic_start(m.rows()),
+            &PowerOptions { tol: 1e-10, max_iter: 200_000 },
+        );
+        prop_assert!(out.converged);
+        prop_assert!((out.eigenvalue.abs() - dominant_mag).abs() < 1e-5,
+            "power {} vs jacobi {}", out.eigenvalue, dominant_mag);
+    }
+
+    #[test]
+    fn lanczos_top2_matches_jacobi(m in symmetric_matrix()) {
+        let reference = symmetric_eig(&m).unwrap();
+        let op = DenseOp::new(&m);
+        let pairs = lanczos_extreme(
+            &op,
+            2.min(m.rows()),
+            Which::Largest,
+            &hnd_linalg::power::deterministic_start(m.rows()),
+            &LanczosOptions::default(),
+        );
+        prop_assume!(pairs.is_ok());
+        let pairs = pairs.unwrap();
+        prop_assert!((pairs[0].value - reference.values[0]).abs() < 1e-6);
+        if pairs.len() > 1 {
+            prop_assert!((pairs[1].value - reference.values[1]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lanczos_ritz_pairs_are_eigenpairs(m in symmetric_matrix()) {
+        let op = DenseOp::new(&m);
+        let pairs = lanczos_extreme(
+            &op,
+            1,
+            Which::Smallest,
+            &hnd_linalg::power::deterministic_start(m.rows()),
+            &LanczosOptions::default(),
+        );
+        prop_assume!(pairs.is_ok());
+        for p in pairs.unwrap() {
+            let av = op.apply_vec(&p.vector);
+            let mut res = av;
+            vector::axpy(-p.value, &p.vector, &mut res);
+            prop_assert!(vector::norm2(&res) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cumsum_and_diff_roundtrip(diffs in proptest::collection::vec(-10.0f64..10.0, 0..50)) {
+        let mut scores = Vec::new();
+        vector::cumsum_from_diffs(&diffs, &mut scores);
+        prop_assert_eq!(scores.len(), diffs.len() + 1);
+        prop_assert_eq!(scores[0], 0.0);
+        let mut back = Vec::new();
+        vector::adjacent_diffs(&scores, &mut back);
+        for (a, b) in diffs.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense(
+        (rows, cols, entries) in (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+            let entry = (0..r, 0..c, -5.0f64..5.0);
+            (Just(r), Just(c), proptest::collection::vec(entry, 0..20))
+        })
+    ) {
+        let csr = hnd_linalg::CsrMatrix::from_triplets(rows, cols, entries);
+        let dense = csr.to_dense();
+        let x: Vec<f64> = (0..cols).map(|i| (i as f64) - 1.5).collect();
+        let mut y1 = vec![0.0; rows];
+        let mut y2 = vec![0.0; rows];
+        csr.matvec(&x, &mut y1);
+        dense.matvec(&x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        let xt: Vec<f64> = (0..rows).map(|i| 0.5 * i as f64 - 1.0).collect();
+        let mut t1 = vec![0.0; cols];
+        let mut t2 = vec![0.0; cols];
+        csr.matvec_t(&xt, &mut t1);
+        dense.transpose().matvec(&xt, &mut t2);
+        for (a, b) in t1.iter().zip(&t2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalize_produces_unit_vectors(v in proptest::collection::vec(-100.0f64..100.0, 1..40)) {
+        let mut x = v.clone();
+        let n = vector::normalize(&mut x);
+        if n > 0.0 {
+            prop_assert!((vector::norm2(&x) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Dawid–Skene confusion-matrix EM (Appendix E-A of the paper).
+//!
+//! DS assumes *homogeneous* items: every item shares the same `k` global
+//! label classes, and each user has one `k × k` stochastic confusion matrix
+//! (`π_j[t][l]` = probability user `j` answers `l` when the truth is `t`).
+//! The paper discusses DS as the main alternative modeling tradition to IRT
+//! but excludes it from the experiments because it cannot express
+//! per-question heterogeneity; it is implemented here to complete the
+//! discussion and for use on homogeneous subsets.
+
+use hnd_response::{AbilityRanker, RankError, Ranking, ResponseMatrix};
+
+/// Dawid–Skene EM with additive smoothing.
+#[derive(Debug, Clone)]
+pub struct DawidSkene {
+    /// EM iteration budget.
+    pub max_iter: usize,
+    /// Convergence tolerance on label-posterior change.
+    pub tol: f64,
+    /// Additive (Laplace) smoothing for confusion-matrix estimates.
+    pub smoothing: f64,
+}
+
+impl Default for DawidSkene {
+    fn default() -> Self {
+        DawidSkene {
+            max_iter: 100,
+            tol: 1e-6,
+            smoothing: 0.01,
+        }
+    }
+}
+
+/// A fitted DS model.
+#[derive(Debug, Clone)]
+pub struct DawidSkeneFit {
+    /// Per-item posterior over the `k` classes.
+    pub label_posteriors: Vec<Vec<f64>>,
+    /// Per-user `k × k` confusion matrices (row = true class).
+    pub confusion: Vec<Vec<Vec<f64>>>,
+    /// Class priors.
+    pub priors: Vec<f64>,
+    /// EM iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+impl DawidSkene {
+    /// Runs EM.
+    ///
+    /// # Errors
+    /// Rejects heterogeneous matrices (items must share one option count).
+    pub fn fit(&self, matrix: &ResponseMatrix) -> Result<DawidSkeneFit, RankError> {
+        let k = matrix.max_options() as usize;
+        for item in 0..matrix.n_items() {
+            if matrix.options_of(item) as usize != k {
+                return Err(RankError::InvalidInput(
+                    "Dawid-Skene requires homogeneous items (equal k)".into(),
+                ));
+            }
+        }
+        let m = matrix.n_users();
+        let n = matrix.n_items();
+
+        // Initialize posteriors from per-item vote shares.
+        let mut posteriors: Vec<Vec<f64>> = (0..n)
+            .map(|item| {
+                let mut counts = vec![self.smoothing; k];
+                for user in 0..m {
+                    if let Some(opt) = matrix.choice(user, item) {
+                        counts[opt as usize] += 1.0;
+                    }
+                }
+                let z: f64 = counts.iter().sum();
+                counts.iter().map(|c| c / z).collect()
+            })
+            .collect();
+
+        let mut confusion = vec![vec![vec![0.0; k]; k]; m];
+        let mut priors = vec![1.0 / k as f64; k];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        while iterations < self.max_iter {
+            iterations += 1;
+            // M-step: priors and confusion matrices from posteriors.
+            for p in priors.iter_mut() {
+                *p = 0.0;
+            }
+            for post in &posteriors {
+                for (t, &p) in post.iter().enumerate() {
+                    priors[t] += p;
+                }
+            }
+            let zp: f64 = priors.iter().sum();
+            for p in priors.iter_mut() {
+                *p /= zp;
+            }
+            for (user, conf) in confusion.iter_mut().enumerate() {
+                for row in conf.iter_mut() {
+                    for v in row.iter_mut() {
+                        *v = self.smoothing;
+                    }
+                }
+                for (item, post) in posteriors.iter().enumerate() {
+                    if let Some(l) = matrix.choice(user, item) {
+                        for (t, &p) in post.iter().enumerate() {
+                            conf[t][l as usize] += p;
+                        }
+                    }
+                }
+                for row in conf.iter_mut() {
+                    let z: f64 = row.iter().sum();
+                    for v in row.iter_mut() {
+                        *v /= z;
+                    }
+                }
+            }
+            // E-step: label posteriors from confusion matrices.
+            let mut max_change = 0.0f64;
+            for (item, post) in posteriors.iter_mut().enumerate() {
+                let mut log_p: Vec<f64> = priors.iter().map(|p| p.max(1e-300).ln()).collect();
+                for (user, conf) in confusion.iter().enumerate() {
+                    if let Some(l) = matrix.choice(user, item) {
+                        for (t, lp) in log_p.iter_mut().enumerate() {
+                            *lp += conf[t][l as usize].max(1e-300).ln();
+                        }
+                    }
+                }
+                let max_lp = log_p.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut z = 0.0;
+                let mut new_post = vec![0.0; k];
+                for t in 0..k {
+                    new_post[t] = (log_p[t] - max_lp).exp();
+                    z += new_post[t];
+                }
+                for (t, np) in new_post.iter_mut().enumerate() {
+                    *np /= z;
+                    max_change = max_change.max((*np - post[t]).abs());
+                }
+                *post = new_post;
+            }
+            if max_change < self.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        Ok(DawidSkeneFit {
+            label_posteriors: posteriors,
+            confusion,
+            priors,
+            iterations,
+            converged,
+        })
+    }
+}
+
+impl AbilityRanker for DawidSkene {
+    fn name(&self) -> &'static str {
+        "Dawid-Skene"
+    }
+
+    /// Users are scored by their prior-weighted diagonal confusion mass —
+    /// the model's estimate of their probability of answering correctly.
+    fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        let fit = self.fit(matrix)?;
+        let scores = fit
+            .confusion
+            .iter()
+            .map(|conf| {
+                fit.priors
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &p)| p * conf[t][t])
+                    .sum()
+            })
+            .collect();
+        Ok(Ranking {
+            scores,
+            iterations: fit.iterations,
+            converged: fit.converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 5 users × 8 binary items: users 0–2 always report class of the item
+    /// (labels alternate), user 3 is random-ish, user 4 always flips.
+    fn homogeneous_matrix() -> ResponseMatrix {
+        let truth: Vec<u16> = (0..8).map(|i| (i % 2) as u16).collect();
+        let rows: Vec<Vec<Option<u16>>> = (0..5)
+            .map(|u| {
+                truth
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| {
+                        Some(match u {
+                            0..=2 => t,
+                            3 => {
+                                if i % 3 == 0 {
+                                    1 - t
+                                } else {
+                                    t
+                                }
+                            }
+                            _ => 1 - t,
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+        ResponseMatrix::from_choices(8, &[2; 8], &refs).unwrap()
+    }
+
+    #[test]
+    fn recovers_truth_and_ranks_users() {
+        let m = homogeneous_matrix();
+        let fit = DawidSkene::default().fit(&m).unwrap();
+        assert!(fit.converged);
+        // Majority (3 honest users) wins every item.
+        for (i, post) in fit.label_posteriors.iter().enumerate() {
+            let t = i % 2;
+            assert!(post[t] > 0.9, "item {i}: posterior {post:?}");
+        }
+        let r = DawidSkene::default().rank(&m).unwrap();
+        let order = r.order_best_to_worst();
+        assert!(order[4] == 4, "the flipper ranks last: {order:?}");
+        assert!(order[..3].iter().all(|&u| u <= 2), "honest users on top");
+    }
+
+    #[test]
+    fn rejects_heterogeneous_items() {
+        let m = ResponseMatrix::from_choices(
+            2,
+            &[2, 3],
+            &[&[Some(0), Some(2)]],
+        )
+        .unwrap();
+        assert!(DawidSkene::default().fit(&m).is_err());
+    }
+
+    #[test]
+    fn posteriors_are_distributions() {
+        let fit = DawidSkene::default().fit(&homogeneous_matrix()).unwrap();
+        for post in &fit.label_posteriors {
+            let s: f64 = post.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        for conf in &fit.confusion {
+            for row in conf {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Investment and PooledInvestment (Pasternack & Roth [47]).
+//!
+//! Users "invest" their trust uniformly across their claims; claim beliefs
+//! grow non-linearly (`G(x) = x^g`) and pay back proportionally to the
+//! invested stake. Neither variant converges, so the paper runs a fixed 10
+//! iterations — we default to the same.
+
+use hnd_response::{AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps};
+
+/// Shared fixed-iteration schedule.
+fn run_investment(
+    matrix: &ResponseMatrix,
+    iterations: usize,
+    g: f64,
+    pooled: bool,
+) -> Result<Ranking, RankError> {
+    let ops = ResponseOps::new(matrix);
+    let m = ops.n_users();
+    let kcols = ops.n_option_columns();
+    let row_counts = ops.row_counts();
+
+    let mut trust = vec![1.0; m];
+    let mut belief = vec![0.0; kcols];
+    let mut invested = vec![0.0; kcols];
+
+    for _ in 0..iterations {
+        // Stake each user puts on each of their claims: T(s)/|C_s|.
+        let stakes: Vec<f64> = trust
+            .iter()
+            .zip(row_counts)
+            .map(|(t, &c)| if c > 0.0 { t / c } else { 0.0 })
+            .collect();
+        // invested[c] = Σ_{s∈S_c} T(s)/|C_s|  (the claim's collected stake).
+        ops.ct_apply(&stakes, &mut invested);
+
+        if pooled {
+            // PooledInvestment: beliefs are normalized within each item's
+            // mutually exclusive option set:
+            // B(c) = H(c) · G(H(c)) / Σ_{c'∈item} G(H(c')).
+            for (c, b) in belief.iter_mut().enumerate() {
+                *b = invested[c];
+            }
+            let mut col = 0usize;
+            for item in 0..matrix.n_items() {
+                let k = matrix.options_of(item) as usize;
+                let denom: f64 = (col..col + k).map(|c| invested[c].powf(g)).sum();
+                for c in col..col + k {
+                    belief[c] = if denom > 0.0 {
+                        invested[c] * invested[c].powf(g) / denom
+                    } else {
+                        0.0
+                    };
+                }
+                col += k;
+            }
+        } else {
+            // Investment: B(c) = G(invested stake).
+            for (b, &iv) in belief.iter_mut().zip(&invested) {
+                *b = iv.powf(g);
+            }
+        }
+
+        // Pay back: T(s) = Σ_{c∈C_s} B(c) · stake(s)/invested(c).
+        let mut new_trust = vec![0.0; m];
+        let c_bin = ops.binary();
+        for (user, nt) in new_trust.iter_mut().enumerate() {
+            let stake = stakes[user];
+            if stake == 0.0 {
+                continue;
+            }
+            let mut acc = 0.0;
+            for (c, _) in c_bin.row_iter(user) {
+                if invested[c] > 0.0 {
+                    acc += belief[c] * stake / invested[c];
+                }
+            }
+            *nt = acc;
+        }
+        // Normalize by the max to keep the non-converging sequence bounded.
+        let max = new_trust.iter().cloned().fold(0.0f64, f64::max);
+        if max > 0.0 {
+            for t in new_trust.iter_mut() {
+                *t /= max;
+            }
+        }
+        trust = new_trust;
+    }
+
+    Ok(Ranking {
+        scores: trust,
+        iterations,
+        converged: false, // by construction: fixed-iteration scheme
+    })
+}
+
+/// Investment with `G(x) = x^{1.2}` (the original paper's setting).
+#[derive(Debug, Clone)]
+pub struct Investment {
+    /// Fixed iteration count (the paper uses 10).
+    pub iterations: usize,
+    /// Non-linearity exponent `g`.
+    pub g: f64,
+}
+
+impl Default for Investment {
+    fn default() -> Self {
+        Investment {
+            iterations: 10,
+            g: 1.2,
+        }
+    }
+}
+
+impl AbilityRanker for Investment {
+    fn name(&self) -> &'static str {
+        "Invest"
+    }
+
+    fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        run_investment(matrix, self.iterations, self.g, false)
+    }
+}
+
+/// PooledInvestment with `G(x) = x^{1.4}` (the original paper's setting).
+#[derive(Debug, Clone)]
+pub struct PooledInvestment {
+    /// Fixed iteration count (the paper uses 10).
+    pub iterations: usize,
+    /// Non-linearity exponent `g`.
+    pub g: f64,
+}
+
+impl Default for PooledInvestment {
+    fn default() -> Self {
+        PooledInvestment {
+            iterations: 10,
+            g: 1.4,
+        }
+    }
+}
+
+impl AbilityRanker for PooledInvestment {
+    fn name(&self) -> &'static str {
+        "PooledInv"
+    }
+
+    fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        run_investment(matrix, self.iterations, self.g, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consensus_matrix() -> ResponseMatrix {
+        ResponseMatrix::from_choices(
+            4,
+            &[3, 3, 3, 3],
+            &[
+                &[Some(0), Some(0), Some(0), Some(0)],
+                &[Some(0), Some(0), Some(0), Some(0)],
+                &[Some(0), Some(0), Some(1), Some(1)],
+                &[Some(2), Some(2), Some(2), Some(2)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn investment_rewards_consensus() {
+        let r = Investment::default().rank(&consensus_matrix()).unwrap();
+        assert!(r.scores[0] > r.scores[3], "{:?}", r.scores);
+        assert!(r.scores[0] > r.scores[2], "{:?}", r.scores);
+        assert_eq!(r.iterations, 10);
+    }
+
+    #[test]
+    fn pooled_investment_rewards_consensus() {
+        let r = PooledInvestment::default().rank(&consensus_matrix()).unwrap();
+        assert!(r.scores[0] > r.scores[3], "{:?}", r.scores);
+    }
+
+    #[test]
+    fn scores_bounded_after_normalization() {
+        let r = Investment::default().rank(&consensus_matrix()).unwrap();
+        assert!(r.scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        let best = r.scores.iter().cloned().fold(0.0f64, f64::max);
+        assert!((best - 1.0).abs() < 1e-12, "max-normalized");
+    }
+
+    #[test]
+    fn empty_user_scores_zero() {
+        let m = ResponseMatrix::from_choices(
+            2,
+            &[2, 2],
+            &[&[Some(0), Some(0)], &[None, None]],
+        )
+        .unwrap();
+        for ranking in [
+            Investment::default().rank(&m).unwrap(),
+            PooledInvestment::default().rank(&m).unwrap(),
+        ] {
+            assert_eq!(ranking.scores[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn results_depend_on_iteration_count() {
+        // Documented non-convergence: more iterations change the scores.
+        let m = consensus_matrix();
+        let a = Investment {
+            iterations: 2,
+            ..Default::default()
+        }
+        .rank(&m)
+        .unwrap();
+        let b = Investment {
+            iterations: 10,
+            ..Default::default()
+        }
+        .rank(&m)
+        .unwrap();
+        assert_ne!(a.scores, b.scores);
+    }
+}

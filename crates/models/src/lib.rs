@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # hnd-models
+//!
+//! The truth-discovery baselines the paper compares HITSnDIFFS against
+//! (Sections III-A and IV-A):
+//!
+//! * [`Hits`] — Kleinberg's Hubs & Authorities on the user–option graph;
+//! * [`TruthFinder`] — Yin et al.'s probabilistic HITS variant;
+//! * [`Investment`] / [`PooledInvestment`] — Pasternack & Roth's
+//!   non-linear credit-assignment schemes (10 fixed iterations, as they do
+//!   not converge);
+//! * [`MajorityVote`] — agreement with the per-item plurality answer;
+//! * [`TrueAnswer`] — the cheating baseline that knows the correct options
+//!   and counts correct answers;
+//! * [`DawidSkene`] — confusion-matrix EM for *homogeneous* items
+//!   (Appendix E-A; not part of the paper's experiments but implemented for
+//!   completeness of the discussion).
+//!
+//! All of them implement [`AbilityRanker`](hnd_response::AbilityRanker), so
+//! the experiment harness treats them interchangeably with HND and ABH.
+
+mod dawid_skene;
+mod hits;
+mod investment;
+mod majority;
+mod true_answer;
+mod truthfinder;
+
+pub use dawid_skene::DawidSkene;
+pub use hits::Hits;
+pub use investment::{Investment, PooledInvestment};
+pub use majority::MajorityVote;
+pub use true_answer::TrueAnswer;
+pub use truthfinder::TruthFinder;

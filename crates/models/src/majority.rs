@@ -1,0 +1,121 @@
+//! Majority-vote baseline: score users by agreement with the per-item
+//! plurality option. The simplest non-cheating baseline; the paper's public
+//! repository includes it alongside the methods of Section IV-A.
+
+use hnd_response::{AbilityRanker, RankError, Ranking, ResponseMatrix};
+
+/// Ranks users by the fraction of their answers that match the per-item
+/// plurality choice (ties broken toward the lowest option index).
+#[derive(Debug, Clone, Default)]
+pub struct MajorityVote;
+
+impl MajorityVote {
+    /// The plurality option of each item (`None` for items nobody answered).
+    pub fn plurality_options(matrix: &ResponseMatrix) -> Vec<Option<u16>> {
+        let mut out = Vec::with_capacity(matrix.n_items());
+        let mut counts: Vec<usize> = Vec::new();
+        for item in 0..matrix.n_items() {
+            let k = matrix.options_of(item) as usize;
+            counts.clear();
+            counts.resize(k, 0);
+            let mut answered = false;
+            for user in 0..matrix.n_users() {
+                if let Some(opt) = matrix.choice(user, item) {
+                    counts[opt as usize] += 1;
+                    answered = true;
+                }
+            }
+            if answered {
+                let best = counts
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                    .map(|(h, _)| h as u16);
+                out.push(best);
+            } else {
+                out.push(None);
+            }
+        }
+        out
+    }
+}
+
+impl AbilityRanker for MajorityVote {
+    fn name(&self) -> &'static str {
+        "MajorityVote"
+    }
+
+    fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        let plurality = Self::plurality_options(matrix);
+        let mut scores = Vec::with_capacity(matrix.n_users());
+        for user in 0..matrix.n_users() {
+            let mut agree = 0usize;
+            let mut answered = 0usize;
+            for (item, &maj) in plurality.iter().enumerate() {
+                if let (Some(choice), Some(maj)) = (matrix.choice(user, item), maj) {
+                    answered += 1;
+                    if choice == maj {
+                        agree += 1;
+                    }
+                }
+            }
+            scores.push(if answered == 0 {
+                0.0
+            } else {
+                agree as f64 / answered as f64
+            });
+        }
+        Ok(Ranking::from_scores(scores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurality_and_agreement() {
+        let m = ResponseMatrix::from_choices(
+            2,
+            &[3, 3],
+            &[
+                &[Some(0), Some(1)],
+                &[Some(0), Some(1)],
+                &[Some(0), Some(2)],
+                &[Some(1), Some(2)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            MajorityVote::plurality_options(&m),
+            vec![Some(0), Some(1)]
+        );
+        let r = MajorityVote.rank(&m).unwrap();
+        assert_eq!(r.scores, vec![1.0, 1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn unanswered_item_excluded() {
+        let m = ResponseMatrix::from_choices(
+            2,
+            &[2, 2],
+            &[&[Some(0), None], &[Some(0), None]],
+        )
+        .unwrap();
+        assert_eq!(MajorityVote::plurality_options(&m)[1], None);
+        let r = MajorityVote.rank(&m).unwrap();
+        assert_eq!(r.scores, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn silent_user_scores_zero() {
+        let m = ResponseMatrix::from_choices(
+            1,
+            &[2],
+            &[&[Some(0)], &[None]],
+        )
+        .unwrap();
+        let r = MajorityVote.rank(&m).unwrap();
+        assert_eq!(r.scores[1], 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! The "True-answer" cheating baseline (Section IV-A).
+//!
+//! It is handed the ground-truth correct option of every item — information
+//! a real ability-discovery system never has — and ranks users by their
+//! number of correct answers. The paper uses it both as an upper-bound
+//! competitor and as the pseudo gold standard for the real-world datasets
+//! (Section IV-E).
+
+use hnd_response::{AbilityRanker, RankError, Ranking, ResponseMatrix};
+
+/// Counts correct answers per user given the true options.
+#[derive(Debug, Clone)]
+pub struct TrueAnswer {
+    /// The correct option index per item.
+    pub correct_options: Vec<u16>,
+}
+
+impl TrueAnswer {
+    /// Creates the baseline from the per-item correct options.
+    pub fn new(correct_options: Vec<u16>) -> Self {
+        TrueAnswer { correct_options }
+    }
+}
+
+impl AbilityRanker for TrueAnswer {
+    fn name(&self) -> &'static str {
+        "True-Answer"
+    }
+
+    fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        if self.correct_options.len() != matrix.n_items() {
+            return Err(RankError::InvalidInput(format!(
+                "got {} correct options for {} items",
+                self.correct_options.len(),
+                matrix.n_items()
+            )));
+        }
+        for (item, &opt) in self.correct_options.iter().enumerate() {
+            if opt >= matrix.options_of(item) {
+                return Err(RankError::InvalidInput(format!(
+                    "correct option {opt} out of range for item {item}"
+                )));
+            }
+        }
+        let scores = (0..matrix.n_users())
+            .map(|user| {
+                self.correct_options
+                    .iter()
+                    .enumerate()
+                    .filter(|&(item, &correct)| matrix.choice(user, item) == Some(correct))
+                    .count() as f64
+            })
+            .collect();
+        Ok(Ranking::from_scores(scores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_correct_answers() {
+        let m = ResponseMatrix::from_choices(
+            3,
+            &[2, 2, 2],
+            &[
+                &[Some(1), Some(1), Some(1)],
+                &[Some(1), Some(1), Some(0)],
+                &[Some(0), None, Some(0)],
+            ],
+        )
+        .unwrap();
+        let r = TrueAnswer::new(vec![1, 1, 1]).rank(&m).unwrap();
+        assert_eq!(r.scores, vec![3.0, 2.0, 0.0]);
+        assert_eq!(r.order_best_to_worst(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn validates_input() {
+        let m = ResponseMatrix::from_choices(2, &[2, 2], &[&[Some(0), Some(0)]]).unwrap();
+        assert!(TrueAnswer::new(vec![1]).rank(&m).is_err());
+        assert!(TrueAnswer::new(vec![1, 5]).rank(&m).is_err());
+        assert!(TrueAnswer::new(vec![1, 0]).rank(&m).is_ok());
+    }
+}

@@ -1,0 +1,142 @@
+//! TruthFinder (Yin, Han, Yu [73]) in the paper's matrix formulation.
+//!
+//! User scores are probabilities of being right; an option's confidence is
+//! the probability that at least one of its (independent) pickers is right:
+//!
+//! `s ← Crow·w`,  `w ← 1 − exp(Cᵀ · log(1 − s))`  (Section III-A).
+
+use hnd_response::{AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps};
+
+/// TruthFinder with clamped probabilities for numerical safety.
+#[derive(Debug, Clone)]
+pub struct TruthFinder {
+    /// Initial per-user trust (the original paper uses 0.9).
+    pub initial_trust: f64,
+    /// Convergence tolerance on the user-score change.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+}
+
+impl Default for TruthFinder {
+    fn default() -> Self {
+        TruthFinder {
+            initial_trust: 0.9,
+            tol: 1e-5,
+            max_iter: 1_000,
+        }
+    }
+}
+
+impl AbilityRanker for TruthFinder {
+    fn name(&self) -> &'static str {
+        "TruthFinder"
+    }
+
+    fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        if !(0.0..1.0).contains(&self.initial_trust) {
+            return Err(RankError::InvalidInput(
+                "initial trust must be in [0, 1)".into(),
+            ));
+        }
+        let ops = ResponseOps::new(matrix);
+        let m = ops.n_users();
+        let kcols = ops.n_option_columns();
+        let mut s = vec![self.initial_trust; m];
+        let mut log_one_minus = vec![0.0; m];
+        let mut w = vec![0.0; kcols];
+        let mut next = vec![0.0; m];
+        let mut iterations = 0;
+        let mut converged = false;
+        const CLAMP: f64 = 1e-9;
+        while iterations < self.max_iter {
+            // w = 1 − exp(Cᵀ log(1 − s))
+            for (l, &si) in log_one_minus.iter_mut().zip(&s) {
+                *l = (1.0 - si.clamp(CLAMP, 1.0 - CLAMP)).ln();
+            }
+            ops.ct_apply(&log_one_minus, &mut w);
+            for wi in w.iter_mut() {
+                *wi = 1.0 - wi.exp();
+            }
+            // s = Crow w
+            ops.crow_apply(&w, &mut next);
+            iterations += 1;
+            let delta = hnd_linalg::vector::sign_invariant_distance(&s, &next);
+            std::mem::swap(&mut s, &mut next);
+            if delta <= self.tol {
+                converged = true;
+                break;
+            }
+        }
+        Ok(Ranking {
+            scores: s,
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consensus_users_gain_trust() {
+        // Three users agree; the fourth contradicts them everywhere.
+        let m = ResponseMatrix::from_choices(
+            4,
+            &[2, 2, 2, 2],
+            &[
+                &[Some(0), Some(0), Some(0), Some(0)],
+                &[Some(0), Some(0), Some(0), Some(0)],
+                &[Some(0), Some(0), Some(0), Some(1)],
+                &[Some(1), Some(1), Some(1), Some(1)],
+            ],
+        )
+        .unwrap();
+        let r = TruthFinder::default().rank(&m).unwrap();
+        assert!(r.converged);
+        assert!(r.scores[0] > r.scores[3], "consensus beats dissent");
+        assert!(r.scores[0] > r.scores[2], "full agreement beats partial");
+    }
+
+    #[test]
+    fn scores_stay_probabilities() {
+        let m = ResponseMatrix::from_choices(
+            2,
+            &[3, 3],
+            &[
+                &[Some(0), Some(1)],
+                &[Some(0), Some(1)],
+                &[Some(2), Some(0)],
+            ],
+        )
+        .unwrap();
+        let r = TruthFinder::default().rank(&m).unwrap();
+        for &p in &r.scores {
+            assert!((0.0..=1.0).contains(&p), "score {p} outside [0,1]");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_initial_trust() {
+        let m = ResponseMatrix::from_choices(1, &[2], &[&[Some(0)], &[Some(1)]]).unwrap();
+        let tf = TruthFinder {
+            initial_trust: 1.0,
+            ..Default::default()
+        };
+        assert!(tf.rank(&m).is_err());
+    }
+
+    #[test]
+    fn unanswering_user_scores_zero() {
+        let m = ResponseMatrix::from_choices(
+            2,
+            &[2, 2],
+            &[&[Some(0), Some(0)], &[None, None]],
+        )
+        .unwrap();
+        let r = TruthFinder::default().rank(&m).unwrap();
+        assert_eq!(r.scores[1], 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the truth-discovery baselines: relabeling users must
+//! relabel scores identically (permutation equivariance), and probability-
+//! like scores must stay in range.
+
+use hnd_models::{Hits, Investment, MajorityVote, PooledInvestment, TruthFinder};
+use hnd_response::{AbilityRanker, ResponseMatrix};
+use proptest::prelude::*;
+
+fn random_matrix() -> impl Strategy<Value = ResponseMatrix> {
+    (2usize..=8, 2usize..=6, 2u16..=4).prop_flat_map(|(m, n, k)| {
+        proptest::collection::vec(proptest::option::weighted(0.85, 0u16..k), m * n).prop_map(
+            move |choices| {
+                let rows: Vec<Vec<Option<u16>>> = (0..m)
+                    .map(|j| (0..n).map(|i| choices[j * n + i]).collect())
+                    .collect();
+                let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+                ResponseMatrix::from_choices(n, &vec![k; n], &refs).unwrap()
+            },
+        )
+    })
+}
+
+fn rotate_perm(m: usize) -> Vec<usize> {
+    (0..m).map(|i| (i + 1) % m).collect()
+}
+
+fn check_equivariance(name: &str, ranker: &dyn AbilityRanker, matrix: &ResponseMatrix) {
+    let base = ranker.rank(matrix).expect("base rank");
+    let perm = rotate_perm(matrix.n_users());
+    let rotated = matrix.permute_users(&perm);
+    let rot = ranker.rank(&rotated).expect("rotated rank");
+    // User `perm[j]` of the original is user `j` of the rotated matrix.
+    for (j, &src) in perm.iter().enumerate() {
+        let a = base.scores[src];
+        let b = rot.scores[j];
+        assert!(
+            (a - b).abs() <= 1e-6 * (1.0 + a.abs()),
+            "{name}: user {src} score changed under relabeling: {a} vs {b}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn baselines_are_permutation_equivariant(matrix in random_matrix()) {
+        check_equivariance("HITS", &Hits::default(), &matrix);
+        check_equivariance("TruthFinder", &TruthFinder::default(), &matrix);
+        check_equivariance("Investment", &Investment::default(), &matrix);
+        check_equivariance("PooledInvestment", &PooledInvestment::default(), &matrix);
+        check_equivariance("MajorityVote", &MajorityVote, &matrix);
+    }
+
+    #[test]
+    fn probability_scores_stay_in_unit_interval(matrix in random_matrix()) {
+        for (name, ranking) in [
+            ("TruthFinder", TruthFinder::default().rank(&matrix).unwrap()),
+            ("Investment", Investment::default().rank(&matrix).unwrap()),
+            ("PooledInvestment", PooledInvestment::default().rank(&matrix).unwrap()),
+            ("MajorityVote", MajorityVote.rank(&matrix).unwrap()),
+        ] {
+            for &s in &ranking.scores {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "{name}: score {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn hits_scores_are_unit_norm_and_sign_consistent(matrix in random_matrix()) {
+        let r = Hits::default().rank(&matrix).unwrap();
+        let norm: f64 = r.scores.iter().map(|s| s * s).sum::<f64>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-6, "HITS scores must be unit norm");
+        // Perron-Frobenius: the dominant singular vector can be chosen
+        // non-negative; our iteration starts positive and must stay so.
+        prop_assert!(r.scores.iter().all(|&s| s >= -1e-9), "{:?}", r.scores);
+    }
+}

@@ -1,0 +1,134 @@
+//! Incremental construction of [`ResponseMatrix`] values.
+
+use crate::{ResponseError, ResponseMatrix};
+
+/// Builder for [`ResponseMatrix`] when choices arrive one at a time (e.g.
+/// from a dataset file or a generator loop).
+///
+/// ```
+/// use hnd_response::ResponseMatrixBuilder;
+///
+/// let mut b = ResponseMatrixBuilder::new(2, 3, &[3, 2, 4]).unwrap();
+/// b.set(0, 0, Some(2)).unwrap();
+/// b.set(1, 2, Some(3)).unwrap();
+/// let m = b.build();
+/// assert_eq!(m.choice(0, 0), Some(2));
+/// assert_eq!(m.choice(1, 1), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResponseMatrixBuilder {
+    n_users: usize,
+    n_items: usize,
+    options_per_item: Vec<u16>,
+    choices: Vec<Option<u16>>,
+}
+
+impl ResponseMatrixBuilder {
+    /// Creates a builder with all cells unanswered.
+    ///
+    /// # Errors
+    /// Rejects empty user/item sets and zero-option items.
+    pub fn new(
+        n_users: usize,
+        n_items: usize,
+        options_per_item: &[u16],
+    ) -> Result<Self, ResponseError> {
+        if n_items == 0 {
+            return Err(ResponseError::NoItems);
+        }
+        if n_users == 0 {
+            return Err(ResponseError::NoUsers);
+        }
+        if options_per_item.len() != n_items {
+            return Err(ResponseError::OptionsLengthMismatch {
+                expected: n_items,
+                got: options_per_item.len(),
+            });
+        }
+        if let Some(item) = options_per_item.iter().position(|&k| k == 0) {
+            return Err(ResponseError::EmptyItem { item });
+        }
+        Ok(ResponseMatrixBuilder {
+            n_users,
+            n_items,
+            options_per_item: options_per_item.to_vec(),
+            choices: vec![None; n_users * n_items],
+        })
+    }
+
+    /// Convenience constructor for the homogeneous case where every item has
+    /// the same number of options `k`.
+    pub fn homogeneous(n_users: usize, n_items: usize, k: u16) -> Result<Self, ResponseError> {
+        let opts = vec![k; n_items];
+        Self::new(n_users, n_items, &opts)
+    }
+
+    /// Records (or clears, with `None`) the choice of `user` on `item`.
+    ///
+    /// # Errors
+    /// Rejects out-of-range option indices.
+    ///
+    /// # Panics
+    /// Panics if `user` or `item` are out of bounds (programming error).
+    pub fn set(&mut self, user: usize, item: usize, choice: Option<u16>) -> Result<(), ResponseError> {
+        assert!(user < self.n_users, "user index out of bounds");
+        assert!(item < self.n_items, "item index out of bounds");
+        if let Some(opt) = choice {
+            if opt >= self.options_per_item[item] {
+                return Err(ResponseError::OptionOutOfRange {
+                    user,
+                    item,
+                    option: opt,
+                    num_options: self.options_per_item[item],
+                });
+            }
+        }
+        self.choices[user * self.n_items + item] = choice;
+        Ok(())
+    }
+
+    /// Finalizes the matrix.
+    pub fn build(self) -> ResponseMatrix {
+        ResponseMatrix::from_parts(self.n_items, self.options_per_item, self.choices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_overwrite() {
+        let mut b = ResponseMatrixBuilder::homogeneous(2, 2, 3).unwrap();
+        b.set(0, 0, Some(1)).unwrap();
+        b.set(0, 0, Some(2)).unwrap(); // overwrite
+        b.set(1, 1, Some(0)).unwrap();
+        b.set(1, 1, None).unwrap(); // clear
+        let m = b.build();
+        assert_eq!(m.choice(0, 0), Some(2));
+        assert_eq!(m.choice(1, 1), None);
+        assert_eq!(m.n_users(), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = ResponseMatrixBuilder::new(1, 1, &[2]).unwrap();
+        assert!(b.set(0, 0, Some(2)).is_err());
+        assert!(b.set(0, 0, Some(1)).is_ok());
+    }
+
+    #[test]
+    fn rejects_degenerate_shapes() {
+        assert!(ResponseMatrixBuilder::new(0, 1, &[2]).is_err());
+        assert!(ResponseMatrixBuilder::new(1, 0, &[]).is_err());
+        assert!(ResponseMatrixBuilder::new(1, 1, &[0]).is_err());
+        assert!(ResponseMatrixBuilder::new(1, 2, &[2]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "user index")]
+    fn panics_on_bad_user() {
+        let mut b = ResponseMatrixBuilder::homogeneous(1, 1, 2).unwrap();
+        let _ = b.set(5, 0, Some(0));
+    }
+}

@@ -1,0 +1,172 @@
+//! Connectivity analysis of the user–option bipartite graph.
+//!
+//! All spectral ranking methods in the paper (Section III-B) assume the
+//! bipartite response graph is connected: users in different components
+//! cannot be compared. This module detects violations with a union–find
+//! over `m + Σkᵢ` nodes.
+
+use crate::ResponseMatrix;
+
+/// Result of [`ResponseMatrix::connectivity`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectivityReport {
+    /// Number of connected components among users *with at least one
+    /// answer* and the options they picked.
+    pub components: usize,
+    /// Users who answered nothing (they belong to no component and will
+    /// receive arbitrary rank from spectral methods).
+    pub isolated_users: Vec<usize>,
+    /// For each user, the component id (`usize::MAX` for isolated users).
+    pub user_component: Vec<usize>,
+}
+
+impl ConnectivityReport {
+    /// `true` when a single component covers every user — the setting under
+    /// which the paper's guarantees hold.
+    pub fn is_fully_connected(&self) -> bool {
+        self.components <= 1 && self.isolated_users.is_empty()
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+/// Computes the [`ConnectivityReport`] for a response matrix.
+pub(crate) fn analyze(matrix: &ResponseMatrix) -> ConnectivityReport {
+    let m = matrix.n_users();
+    let total = matrix.total_options();
+    let mut uf = UnionFind::new(m + total);
+    for (user, item, opt) in matrix.iter_choices() {
+        let col = matrix.one_hot_column(item, opt);
+        uf.union(user, m + col);
+    }
+    let mut component_of_root = std::collections::HashMap::new();
+    let mut user_component = vec![usize::MAX; m];
+    let mut isolated_users = Vec::new();
+    for user in 0..m {
+        if matrix.answers_of_user(user) == 0 {
+            isolated_users.push(user);
+            continue;
+        }
+        let root = uf.find(user);
+        let next_id = component_of_root.len();
+        let id = *component_of_root.entry(root).or_insert(next_id);
+        user_component[user] = id;
+    }
+    ConnectivityReport {
+        components: component_of_root.len(),
+        isolated_users,
+        user_component,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ResponseMatrix;
+
+    #[test]
+    fn fully_connected_single_component() {
+        let r = ResponseMatrix::from_choices(
+            2,
+            &[2, 2],
+            &[
+                &[Some(0), Some(0)],
+                &[Some(0), Some(1)],
+            ],
+        )
+        .unwrap();
+        let rep = r.connectivity();
+        assert!(rep.is_fully_connected());
+        assert_eq!(rep.components, 1);
+        assert_eq!(rep.user_component, vec![0, 0]);
+    }
+
+    #[test]
+    fn two_components_detected() {
+        // Users 0 and 1 share nothing: user 0 answers item 0 option 0,
+        // user 1 answers item 1 option 1 — disjoint option sets.
+        let r = ResponseMatrix::from_choices(
+            2,
+            &[2, 2],
+            &[
+                &[Some(0), None],
+                &[None, Some(1)],
+            ],
+        )
+        .unwrap();
+        let rep = r.connectivity();
+        assert_eq!(rep.components, 2);
+        assert!(!rep.is_fully_connected());
+        assert_ne!(rep.user_component[0], rep.user_component[1]);
+    }
+
+    #[test]
+    fn isolated_user_reported() {
+        let r = ResponseMatrix::from_choices(
+            1,
+            &[2],
+            &[
+                &[Some(0)],
+                &[None],
+            ],
+        )
+        .unwrap();
+        let rep = r.connectivity();
+        assert_eq!(rep.isolated_users, vec![1]);
+        assert_eq!(rep.components, 1);
+        assert!(!rep.is_fully_connected());
+        assert_eq!(rep.user_component[1], usize::MAX);
+    }
+
+    #[test]
+    fn shared_option_merges_components() {
+        // Three users chained through common options.
+        let r = ResponseMatrix::from_choices(
+            2,
+            &[3, 3],
+            &[
+                &[Some(0), None],
+                &[Some(0), Some(1)],
+                &[None, Some(1)],
+            ],
+        )
+        .unwrap();
+        let rep = r.connectivity();
+        assert_eq!(rep.components, 1);
+        assert!(rep.is_fully_connected());
+    }
+}

@@ -1,0 +1,100 @@
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-coupled numerics mirror the published algorithms
+
+//! # hnd-response
+//!
+//! The response-matrix domain model of the ability-discovery problem
+//! (Section II-A of the paper).
+//!
+//! `m` users each choose at most one of `kᵢ` options for each of `n`
+//! heterogeneous items. The canonical representation is [`ResponseMatrix`];
+//! its one-hot *binary response matrix* `C` (an `m × Σkᵢ` 0/1 matrix with at
+//! most `n` ones per row) is exposed as a CSR matrix via
+//! [`ResponseMatrix::to_binary_csr`], and the row/column counts needed for
+//! the `Crow`/`Ccol` normalizations of AvgHITS are precomputed.
+
+mod builder;
+mod connectivity;
+mod matrix;
+pub mod ops;
+pub mod orientation;
+mod ranking;
+
+pub use builder::ResponseMatrixBuilder;
+pub use connectivity::ConnectivityReport;
+pub use matrix::ResponseMatrix;
+pub use ops::ResponseOps;
+pub use orientation::{group_choice_entropy, orient_by_decile_entropy};
+pub use ranking::{AbilityRanker, RankError, Ranking};
+
+/// Errors raised while constructing or validating response matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseError {
+    /// A user row does not have exactly `n_items` entries.
+    WrongRowLength {
+        /// Index of the offending user.
+        user: usize,
+        /// Expected number of entries (`n_items`).
+        expected: usize,
+        /// Number of entries provided.
+        got: usize,
+    },
+    /// A chosen option index is `≥ kᵢ` for its item.
+    OptionOutOfRange {
+        /// User making the choice.
+        user: usize,
+        /// Item being answered.
+        item: usize,
+        /// The out-of-range option index.
+        option: u16,
+        /// Number of options the item actually has.
+        num_options: u16,
+    },
+    /// The matrix has no items.
+    NoItems,
+    /// The matrix has no users.
+    NoUsers,
+    /// An item was declared with zero options.
+    EmptyItem {
+        /// The offending item index.
+        item: usize,
+    },
+    /// `options_per_item` length does not match `n_items`.
+    OptionsLengthMismatch {
+        /// Expected length (`n_items`).
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ResponseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResponseError::WrongRowLength { user, expected, got } => write!(
+                f,
+                "user {user}: row has {got} entries, expected {expected}"
+            ),
+            ResponseError::OptionOutOfRange {
+                user,
+                item,
+                option,
+                num_options,
+            } => write!(
+                f,
+                "user {user}, item {item}: option {option} out of range (item has {num_options} options)"
+            ),
+            ResponseError::NoItems => write!(f, "response matrix has no items"),
+            ResponseError::NoUsers => write!(f, "response matrix has no users"),
+            ResponseError::EmptyItem { item } => {
+                write!(f, "item {item} declared with zero options")
+            }
+            ResponseError::OptionsLengthMismatch { expected, got } => write!(
+                f,
+                "options_per_item has length {got}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResponseError {}

@@ -1,0 +1,274 @@
+//! Matrix-free kernels on the binary response matrix `C`.
+//!
+//! Every spectral method of the paper is a loop over four products:
+//! `w = Cᵀs`, `s = Cw`, and their row/column-normalized versions
+//! `w = (Ccol)ᵀs`, `s = Crow·w` (Section III-B). [`ResponseOps`] bundles the
+//! CSR form of `C` with the row/column counts so each product costs
+//! `O(nnz) = O(mn)` and nothing larger than `C` is ever materialized.
+
+use crate::ResponseMatrix;
+use hnd_linalg::CsrMatrix;
+
+/// Precomputed operator context for a response matrix.
+#[derive(Debug, Clone)]
+pub struct ResponseOps {
+    /// The one-hot binary response matrix `C` (`m × Σkᵢ`).
+    c: CsrMatrix,
+    /// `Dr` diagonal: answers per user (row sums of `C`).
+    row_counts: Vec<f64>,
+    /// `Dc` diagonal: picks per option (column sums of `C`).
+    col_counts: Vec<f64>,
+}
+
+impl ResponseOps {
+    /// Builds the operator context.
+    pub fn new(matrix: &ResponseMatrix) -> Self {
+        let c = matrix.to_binary_csr();
+        let row_counts = c.row_sums();
+        let col_counts = c.col_sums();
+        ResponseOps {
+            c,
+            row_counts,
+            col_counts,
+        }
+    }
+
+    /// Number of users `m`.
+    pub fn n_users(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// Number of one-hot option columns.
+    pub fn n_option_columns(&self) -> usize {
+        self.c.cols()
+    }
+
+    /// The binary response matrix.
+    pub fn binary(&self) -> &CsrMatrix {
+        &self.c
+    }
+
+    /// Answers per user (`Dr` diagonal).
+    pub fn row_counts(&self) -> &[f64] {
+        &self.row_counts
+    }
+
+    /// Picks per option (`Dc` diagonal).
+    pub fn col_counts(&self) -> &[f64] {
+        &self.col_counts
+    }
+
+    /// `w = Cᵀ s` (unnormalized).
+    pub fn ct_apply(&self, s: &[f64], w: &mut [f64]) {
+        self.c.matvec_t(s, w);
+    }
+
+    /// `s = C w` (unnormalized).
+    pub fn c_apply(&self, w: &[f64], s: &mut [f64]) {
+        self.c.matvec(w, s);
+    }
+
+    /// `w = (Ccol)ᵀ s`: option weight = *average* score of its pickers.
+    /// Options nobody picked get weight 0 (the paper drops such columns
+    /// WLOG; zeroing them is equivalent).
+    pub fn ccol_t_apply(&self, s: &[f64], w: &mut [f64]) {
+        self.c.matvec_t(s, w);
+        for (wi, &cnt) in w.iter_mut().zip(&self.col_counts) {
+            if cnt > 0.0 {
+                *wi /= cnt;
+            } else {
+                *wi = 0.0;
+            }
+        }
+    }
+
+    /// `s = Crow w`: user score = *average* weight of their chosen options.
+    /// Users who answered nothing get score 0 and are reported by
+    /// [`ResponseMatrix::connectivity`](crate::ResponseMatrix::connectivity).
+    pub fn crow_apply(&self, w: &[f64], s: &mut [f64]) {
+        self.c.matvec(w, s);
+        for (si, &cnt) in s.iter_mut().zip(&self.row_counts) {
+            if cnt > 0.0 {
+                *si /= cnt;
+            } else {
+                *si = 0.0;
+            }
+        }
+    }
+
+    /// One AvgHITS step `s ← U s` with `U = Crow (Ccol)ᵀ`, using `w` as the
+    /// option-sized scratch buffer.
+    pub fn u_apply(&self, s_in: &[f64], w_scratch: &mut [f64], s_out: &mut [f64]) {
+        self.ccol_t_apply(s_in, w_scratch);
+        self.crow_apply(w_scratch, s_out);
+    }
+
+    /// One transposed AvgHITS step `s ← Uᵀ s` (needed for the dominant
+    /// *left* eigenvector in Hotelling deflation):
+    /// `Uᵀ = Ccol (Crow)ᵀ`, i.e. scale by rows first, then average columns.
+    pub fn ut_apply(&self, s_in: &[f64], w_scratch: &mut [f64], s_out: &mut [f64]) {
+        // (Crow)ᵀ s: divide s by row counts, then Cᵀ.
+        let scaled: Vec<f64> = s_in
+            .iter()
+            .zip(&self.row_counts)
+            .map(|(v, &c)| if c > 0.0 { v / c } else { 0.0 })
+            .collect();
+        self.c.matvec_t(&scaled, w_scratch);
+        // Ccol w: divide w by column counts, then C.
+        for (wi, &cnt) in w_scratch.iter_mut().zip(&self.col_counts) {
+            if cnt > 0.0 {
+                *wi /= cnt;
+            } else {
+                *wi = 0.0;
+            }
+        }
+        self.c.matvec(w_scratch, s_out);
+    }
+
+    /// Row sums of `CCᵀ` — the `D` diagonal of the ABH Laplacian
+    /// `L = D − CCᵀ`. `d_j = Σ_{options c picked by j} colcount(c)`.
+    pub fn cct_row_sums(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.n_users()];
+        for j in 0..self.n_users() {
+            let mut acc = 0.0;
+            for (col, v) in self.c.row_iter(j) {
+                acc += v * self.col_counts[col];
+            }
+            d[j] = acc;
+        }
+        d
+    }
+
+    /// `y = L x` with `L = D − CCᵀ` (ABH Laplacian), using `w` as scratch.
+    pub fn laplacian_apply(&self, d: &[f64], x: &[f64], w_scratch: &mut [f64], y: &mut [f64]) {
+        self.ct_apply(x, w_scratch);
+        self.c_apply(w_scratch, y);
+        for i in 0..y.len() {
+            y[i] = d[i] * x[i] - y[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ResponseMatrix;
+    use hnd_linalg::DenseMatrix;
+
+    fn figure1() -> ResponseMatrix {
+        ResponseMatrix::from_choices(
+            3,
+            &[3, 3, 3],
+            &[
+                &[Some(0), Some(0), Some(0)],
+                &[Some(0), Some(0), Some(2)],
+                &[Some(0), Some(1), Some(2)],
+                &[Some(1), Some(2), Some(2)],
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Dense U = Crow (Ccol)^T for cross-checking.
+    fn dense_u(ops: &ResponseOps) -> DenseMatrix {
+        let m = ops.n_users();
+        let mut u = DenseMatrix::zeros(m, m);
+        let mut e = vec![0.0; m];
+        let mut w = vec![0.0; ops.n_option_columns()];
+        let mut col = vec![0.0; m];
+        for j in 0..m {
+            e[j] = 1.0;
+            ops.u_apply(&e, &mut w, &mut col);
+            e[j] = 0.0;
+            for i in 0..m {
+                u.set(i, j, col[i]);
+            }
+        }
+        u
+    }
+
+    #[test]
+    fn u_is_row_stochastic_lemma3() {
+        // Lemma 3 of the paper: every row of U sums to 1.
+        let ops = ResponseOps::new(&figure1());
+        let u = dense_u(&ops);
+        for i in 0..4 {
+            let sum: f64 = (0..4).map(|j| u.get(i, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn u_times_ones_is_ones() {
+        let ops = ResponseOps::new(&figure1());
+        let e = vec![1.0; 4];
+        let mut w = vec![0.0; 9];
+        let mut s = vec![0.0; 4];
+        ops.u_apply(&e, &mut w, &mut s);
+        for v in s {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ut_apply_matches_dense_transpose() {
+        let ops = ResponseOps::new(&figure1());
+        let u = dense_u(&ops);
+        let ut = u.transpose();
+        let x = [0.3, -0.1, 0.7, 0.2];
+        let mut w = vec![0.0; 9];
+        let mut got = vec![0.0; 4];
+        ops.ut_apply(&x, &mut w, &mut got);
+        let mut expect = vec![0.0; 4];
+        ut.matvec(&x, &mut expect);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn laplacian_matches_definition() {
+        let ops = ResponseOps::new(&figure1());
+        let d = ops.cct_row_sums();
+        // Dense CC^T.
+        let c = ops.binary().to_dense();
+        let cct = c.matmul(&c.transpose()).unwrap();
+        let x = [1.0, 2.0, -1.0, 0.5];
+        let mut w = vec![0.0; 9];
+        let mut got = vec![0.0; 4];
+        ops.laplacian_apply(&d, &x, &mut w, &mut got);
+        for i in 0..4 {
+            let mut li = d[i] * x[i];
+            for j in 0..4 {
+                li -= cct.get(i, j) * x[j];
+            }
+            assert!((got[i] - li).abs() < 1e-12);
+        }
+        // L annihilates the ones vector.
+        let ones = [1.0; 4];
+        ops.laplacian_apply(&d, &ones, &mut w, &mut got);
+        for v in got {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_rows_and_columns_are_safe() {
+        let m = ResponseMatrix::from_choices(
+            2,
+            &[2, 2],
+            &[
+                &[Some(0), Some(0)],
+                &[None, None],
+            ],
+        )
+        .unwrap();
+        let ops = ResponseOps::new(&m);
+        let s = [1.0, 1.0];
+        let mut w = vec![0.0; 4];
+        let mut out = vec![0.0; 2];
+        ops.u_apply(&s, &mut w, &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert_eq!(out[1], 0.0, "user with no answers scores 0");
+    }
+}

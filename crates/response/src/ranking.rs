@@ -1,0 +1,126 @@
+//! Rankings and the [`AbilityRanker`] trait shared by every method.
+//!
+//! Ability discovery (Definition 1 of the paper) asks for a *ranking* of
+//! users, not labels. Every method in this workspace — HITSnDIFFS, ABH, the
+//! truth-discovery baselines, and the cheating estimators — implements
+//! [`AbilityRanker`], so experiments can treat them uniformly.
+
+use crate::ResponseMatrix;
+
+/// Errors produced by ranking methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankError {
+    /// The underlying eigensolver failed (no convergence / degenerate input).
+    Numerical(String),
+    /// The response matrix violates a precondition of the method.
+    InvalidInput(String),
+}
+
+impl std::fmt::Display for RankError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            RankError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RankError {}
+
+/// A ranking of users by (estimated) ability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranking {
+    /// Per-user score; higher means more able. Length = number of users.
+    pub scores: Vec<f64>,
+    /// Iterations used by the producing method (`0` for closed-form ones).
+    pub iterations: usize,
+    /// Whether the producing method's convergence criterion fired.
+    pub converged: bool,
+}
+
+impl Ranking {
+    /// Creates a ranking from raw scores (iterations 0, converged).
+    pub fn from_scores(scores: Vec<f64>) -> Self {
+        Ranking {
+            scores,
+            iterations: 0,
+            converged: true,
+        }
+    }
+
+    /// Number of ranked users.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// `true` when the ranking covers no users.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// User indices sorted from best (highest score) to worst. Ties break by
+    /// user index, so results are deterministic.
+    pub fn order_best_to_worst(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.scores[b]
+                .partial_cmp(&self.scores[a])
+                .expect("NaN score")
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Position of each user in the best-to-worst order (0 = best).
+    pub fn rank_positions(&self) -> Vec<usize> {
+        let order = self.order_best_to_worst();
+        let mut pos = vec![0usize; order.len()];
+        for (rank, &user) in order.iter().enumerate() {
+            pos[user] = rank;
+        }
+        pos
+    }
+
+    /// Reverses the ranking in place (used by symmetry breaking).
+    pub fn reverse(&mut self) {
+        for s in &mut self.scores {
+            *s = -*s;
+        }
+    }
+}
+
+/// A method that ranks users by ability from their responses alone
+/// (possibly plus side information captured at construction time, as with
+/// the "cheating" baselines).
+pub trait AbilityRanker {
+    /// Short display name used in experiment tables (e.g. `"HnD"`).
+    fn name(&self) -> &'static str;
+
+    /// Ranks the users of `responses`.
+    fn rank(&self, responses: &ResponseMatrix) -> Result<Ranking, RankError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_and_positions() {
+        let r = Ranking::from_scores(vec![0.1, 0.9, 0.5]);
+        assert_eq!(r.order_best_to_worst(), vec![1, 2, 0]);
+        assert_eq!(r.rank_positions(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let r = Ranking::from_scores(vec![0.5, 0.5, 0.5]);
+        assert_eq!(r.order_best_to_worst(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reverse_flips_order() {
+        let mut r = Ranking::from_scores(vec![0.1, 0.9, 0.5]);
+        r.reverse();
+        assert_eq!(r.order_best_to_worst(), vec![0, 2, 1]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Example 1 of the paper: ranking students from forum MCQs.
+//!
+//! Kiyana's class answers student-authored multiple-choice questions on a
+//! forum. No answer key exists, question difficulties vary wildly, and some
+//! students skip questions — yet the instructor wants a principled
+//! "participation/mastery" ranking. We simulate the classroom with the
+//! Samejima IRT model (students guess when they don't know) and compare
+//! HITSnDIFFS against naive grading schemes.
+//!
+//! Run with: `cargo run --release --example classroom`
+
+use hitsndiffs::eval::spearman;
+use hitsndiffs::irt::{generate, GeneratorConfig, ModelKind};
+use hitsndiffs::models::{MajorityVote, TrueAnswer};
+use hitsndiffs::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    // 40 students, 60 forum questions with 4 choices; students answer 85%
+    // of the questions they see.
+    let class = generate(
+        &GeneratorConfig {
+            n_users: 40,
+            n_items: 60,
+            n_options: 4,
+            model: ModelKind::Samejima,
+            answer_probability: 0.85,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    println!(
+        "classroom: {} students x {} questions, {:.0}% answered, {:.0}% correct on average\n",
+        class.responses.n_users(),
+        class.responses.n_items(),
+        100.0 * class.responses.density(),
+        100.0 * class.mean_user_accuracy,
+    );
+
+    // Grading scheme 1 (naive): count answers — rewards random guessing.
+    let answer_counts: Vec<f64> = (0..class.responses.n_users())
+        .map(|u| class.responses.answers_of_user(u) as f64)
+        .collect();
+
+    // Grading scheme 2: agree-with-majority.
+    let majority = MajorityVote.rank(&class.responses).expect("majority runs");
+
+    // Grading scheme 3 (needs the answer key the instructor doesn't have):
+    let with_key = TrueAnswer::new(class.correct_options.clone())
+        .rank(&class.responses)
+        .expect("true-answer runs");
+
+    // HITSnDIFFS: no key, no majority assumption — just the spectrum.
+    let hnd = HitsNDiffs::default().rank(&class.responses).expect("HnD runs");
+
+    println!("Spearman correlation with the (latent) true ability ranking:");
+    println!("  answer count (participation): {:+.3}", spearman(&answer_counts, &class.abilities));
+    println!("  majority-vote agreement:      {:+.3}", spearman(&majority.scores, &class.abilities));
+    println!("  true-answer key (cheating):   {:+.3}", spearman(&with_key.scores, &class.abilities));
+    println!("  HITSnDIFFS (no key needed):   {:+.3}", spearman(&hnd.scores, &class.abilities));
+
+    let order = hnd.order_best_to_worst();
+    println!("\ntop 5 students by HITSnDIFFS: {:?}", &order[..5]);
+    println!("bottom 5 students:            {:?}", &order[order.len() - 5..]);
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # hitsndiffs — facade crate
+//!
+//! A production-quality Rust reproduction of *"HITSnDIFFs: From Truth
+//! Discovery to Ability Discovery by Recovering Matrices with the
+//! Consecutive Ones Property"* (Chen, Mitra, Ravi, Gatterbauer — ICDE 2024).
+//!
+//! This crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`core`] — the HITSnDIFFS family (`HND-power`, `HND-deflation`,
+//!   `HND-direct`, AvgHITS) and the decile-entropy symmetry breaker,
+//! * [`c1p`] — PQ-trees (Booth–Lueker), ABH spectral seriation, C1P checks,
+//! * [`irt`] — Item Response Theory models, generators and the GRM
+//!   MML-EM estimator,
+//! * [`models`] — truth-discovery baselines (HITS, TruthFinder, Investment,
+//!   PooledInvestment, majority vote, true-answer),
+//! * [`response`] — the response-matrix domain model,
+//! * [`eval`] — ranking metrics (Spearman, Kendall, displacement),
+//! * [`datasets`] — simulated stand-ins for the paper's real-world datasets,
+//! * [`linalg`] — the from-scratch numerical substrate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hitsndiffs::prelude::*;
+//!
+//! // Figure 1 of the paper: 4 users answer 3 items with 3 options each.
+//! // Options are encoded 0 = A, 1 = B, 2 = C.
+//! let responses = ResponseMatrix::from_choices(
+//!     3,                                  // items
+//!     &[3, 3, 3],                         // options per item
+//!     &[
+//!         &[Some(0), Some(0), Some(0)],   // user 1: A A A
+//!         &[Some(0), Some(0), Some(2)],   // user 2: A A C
+//!         &[Some(0), Some(1), Some(2)],   // user 3: A B C
+//!         &[Some(1), Some(2), Some(2)],   // user 4: B C C
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! let ranking = HitsNDiffs::default().rank(&responses).unwrap();
+//! // The recovered order is 1,2,3,4 or its reverse (C1P symmetry).
+//! let order = ranking.order_best_to_worst();
+//! assert!(order == vec![0, 1, 2, 3] || order == vec![3, 2, 1, 0]);
+//! ```
+
+pub use hnd_c1p as c1p;
+pub use hnd_core as core;
+pub use hnd_datasets as datasets;
+pub use hnd_eval as eval;
+pub use hnd_irt as irt;
+pub use hnd_linalg as linalg;
+pub use hnd_models as models;
+pub use hnd_response as response;
+
+/// Convenience prelude with the types most programs need.
+pub mod prelude {
+    pub use hnd_core::{AbilityRanker, HitsNDiffs, Ranking};
+    pub use hnd_eval::spearman;
+    pub use hnd_response::ResponseMatrix;
+}

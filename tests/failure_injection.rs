@@ -1,0 +1,152 @@
+//! Failure injection: adversarial and degenerate inputs must produce
+//! errors or finite, well-defined results — never panics or NaNs.
+
+use hitsndiffs::c1p::{AbhDirect, AbhPower};
+use hitsndiffs::core::{HndArnoldi, HndDeflation, HndDirect, SpectralDiagnostics};
+use hitsndiffs::models::{Hits, Investment, MajorityVote, PooledInvestment, TruthFinder};
+use hitsndiffs::prelude::*;
+use hitsndiffs::response::{AbilityRanker, ResponseMatrixBuilder};
+
+fn all_rankers() -> Vec<Box<dyn AbilityRanker>> {
+    vec![
+        Box::new(HitsNDiffs::default()),
+        Box::new(HndDeflation::default()),
+        Box::new(HndDirect::default()),
+        Box::new(HndArnoldi::default()),
+        Box::new(AbhDirect::default()),
+        Box::new(AbhPower::default()),
+        Box::new(Hits::default()),
+        Box::new(TruthFinder::default()),
+        Box::new(Investment::default()),
+        Box::new(PooledInvestment::default()),
+        Box::new(MajorityVote),
+    ]
+}
+
+fn assert_finite(name: &str, ranking: &Ranking, m: usize) {
+    assert_eq!(ranking.scores.len(), m, "{name}: wrong score count");
+    assert!(
+        ranking.scores.iter().all(|s| s.is_finite()),
+        "{name}: non-finite scores {:?}",
+        ranking.scores
+    );
+}
+
+#[test]
+fn unanimous_answers_do_not_crash() {
+    // Everyone picks option 0 everywhere: zero signal, total ties.
+    let mut b = ResponseMatrixBuilder::homogeneous(8, 6, 3).unwrap();
+    for u in 0..8 {
+        for i in 0..6 {
+            b.set(u, i, Some(0)).unwrap();
+        }
+    }
+    let m = b.build();
+    for ranker in all_rankers() {
+        match ranker.rank(&m) {
+            Ok(r) => assert_finite(ranker.name(), &r, 8),
+            Err(e) => panic!("{}: {e}", ranker.name()),
+        }
+    }
+}
+
+#[test]
+fn single_item_matrix() {
+    let m = ResponseMatrix::from_choices(
+        1,
+        &[4],
+        &[&[Some(0)], &[Some(1)], &[Some(2)], &[Some(1)]],
+    )
+    .unwrap();
+    for ranker in all_rankers() {
+        if let Ok(r) = ranker.rank(&m) {
+            assert_finite(ranker.name(), &r, 4);
+        }
+    }
+}
+
+#[test]
+fn two_users_disagreeing_everywhere() {
+    let m = ResponseMatrix::from_choices(
+        5,
+        &[2; 5],
+        &[
+            &[Some(0), Some(0), Some(0), Some(0), Some(0)],
+            &[Some(1), Some(1), Some(1), Some(1), Some(1)],
+        ],
+    )
+    .unwrap();
+    for ranker in all_rankers() {
+        if let Ok(r) = ranker.rank(&m) {
+            assert_finite(ranker.name(), &r, 2);
+        }
+    }
+}
+
+#[test]
+fn mostly_empty_matrix() {
+    // 10 users, 10 items, only three answers total.
+    let mut b = ResponseMatrixBuilder::homogeneous(10, 10, 3).unwrap();
+    b.set(0, 0, Some(1)).unwrap();
+    b.set(1, 0, Some(1)).unwrap();
+    b.set(2, 5, Some(2)).unwrap();
+    let m = b.build();
+    assert!(!m.connectivity().is_fully_connected());
+    for ranker in all_rankers() {
+        if let Ok(r) = ranker.rank(&m) {
+            assert_finite(ranker.name(), &r, 10);
+        }
+    }
+}
+
+#[test]
+fn adversarial_block_structure() {
+    // Two internally consistent factions answering in strict opposition —
+    // the classic case where "consensus" heuristics pick a side.
+    let rows: Vec<Vec<Option<u16>>> = (0..12)
+        .map(|u| {
+            (0..9)
+                .map(|_| Some(if u < 6 { 0u16 } else { 1 }))
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+    let m = ResponseMatrix::from_choices(9, &[2; 9], &refs).unwrap();
+    for ranker in all_rankers() {
+        if let Ok(r) = ranker.rank(&m) {
+            assert_finite(ranker.name(), &r, 12);
+        }
+    }
+    // Diagnostics must flag the tight spectral structure rather than panic.
+    let diag = SpectralDiagnostics::compute(&m).expect("diagnostics run");
+    assert!(diag.lambda1 <= 1.0 + 1e-9);
+}
+
+#[test]
+fn duplicate_users_get_equal_scores() {
+    // Users 1 and 2 are byte-identical; symmetric methods must give them
+    // (numerically) indistinguishable scores.
+    let m = ResponseMatrix::from_choices(
+        4,
+        &[3; 4],
+        &[
+            &[Some(0), Some(0), Some(0), Some(1)],
+            &[Some(0), Some(1), Some(2), Some(1)],
+            &[Some(0), Some(1), Some(2), Some(1)],
+            &[Some(2), Some(2), Some(1), Some(0)],
+        ],
+    )
+    .unwrap();
+    let r = HitsNDiffs::default().rank(&m).unwrap();
+    assert!(
+        (r.scores[1] - r.scores[2]).abs() < 1e-6,
+        "identical users diverged: {:?}",
+        r.scores
+    );
+}
+
+#[test]
+fn k_equals_one_items_are_rejected_at_construction() {
+    assert!(ResponseMatrix::from_choices(1, &[0], &[&[None]]).is_err());
+    assert!(ResponseMatrixBuilder::new(2, 2, &[2, 0]).is_err());
+}

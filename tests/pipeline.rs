@@ -1,0 +1,106 @@
+//! Cross-crate pipeline tests: generate → persist → reload → rank →
+//! evaluate, exercising the public API the way a downstream user would.
+
+use hitsndiffs::datasets::DatasetFile;
+use hitsndiffs::irt::{generate, GeneratorConfig, ModelKind};
+use hitsndiffs::models::TrueAnswer;
+use hitsndiffs::prelude::*;
+use hitsndiffs::response::AbilityRanker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn storage_roundtrip_preserves_rankings() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let ds = generate(
+        &GeneratorConfig {
+            n_users: 40,
+            n_items: 30,
+            model: ModelKind::Grm,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let before = HitsNDiffs::default().rank(&ds.responses).unwrap();
+
+    let dir = std::env::temp_dir().join("hnd_pipeline_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.json");
+    DatasetFile::from_matrix(
+        "roundtrip",
+        &ds.responses,
+        Some(ds.abilities.clone()),
+        Some(ds.correct_options.clone()),
+    )
+    .save(&path)
+    .unwrap();
+
+    let loaded = DatasetFile::load(&path).unwrap();
+    let matrix = loaded.to_matrix().unwrap();
+    assert_eq!(matrix, ds.responses);
+    let after = HitsNDiffs::default().rank(&matrix).unwrap();
+    assert_eq!(before.order_best_to_worst(), after.order_best_to_worst());
+
+    // Ground truth survives the roundtrip and still drives the baselines.
+    let abilities = loaded.abilities.expect("stored abilities");
+    let correct = loaded.correct_options.expect("stored answers");
+    let ta = TrueAnswer::new(correct).rank(&matrix).unwrap();
+    assert!(spearman(&ta.scores, &abilities) > 0.5);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn facade_prelude_covers_the_basic_workflow() {
+    // The README snippet, minus the doc-test: build → rank → metric.
+    let responses = ResponseMatrix::from_choices(
+        2,
+        &[2, 2],
+        &[
+            &[Some(1), Some(1)],
+            &[Some(1), Some(0)],
+            &[Some(0), Some(0)],
+        ],
+    )
+    .unwrap();
+    let ranking = HitsNDiffs::default().rank(&responses).unwrap();
+    assert_eq!(ranking.len(), 3);
+    let rho = spearman(&ranking.scores, &[2.0, 1.0, 0.0]);
+    assert!(rho.abs() > 0.99, "3-user staircase is unambiguous: {rho}");
+}
+
+#[test]
+fn disconnected_inputs_are_detected_not_crashed() {
+    // Two user groups with disjoint options: methods still return scores,
+    // and the connectivity report explains why the ranking is unreliable.
+    let responses = ResponseMatrix::from_choices(
+        2,
+        &[2, 2],
+        &[
+            &[Some(0), None],
+            &[Some(0), None],
+            &[None, Some(1)],
+            &[None, Some(1)],
+        ],
+    )
+    .unwrap();
+    let report = responses.connectivity();
+    assert_eq!(report.components, 2);
+    assert!(!report.is_fully_connected());
+    let ranking = HitsNDiffs::default().rank(&responses).unwrap();
+    assert_eq!(ranking.len(), 4);
+    assert!(ranking.scores.iter().all(|s| s.is_finite()));
+}
+
+#[test]
+fn real_world_stand_ins_integrate_with_all_rankers() {
+    use hitsndiffs::datasets::real_world_datasets;
+    let datasets = real_world_datasets(0);
+    assert_eq!(datasets.len(), 6);
+    let ds = &datasets[2]; // IT: the smallest
+    let hnd = HitsNDiffs::default().rank(&ds.data.responses).unwrap();
+    let ta = TrueAnswer::new(ds.data.correct_options.clone())
+        .rank(&ds.data.responses)
+        .unwrap();
+    assert_eq!(hnd.len(), ds.spec.users);
+    assert_eq!(ta.len(), ds.spec.users);
+}
