@@ -1,19 +1,26 @@
 //! Micro-benchmarks of the numerical kernels every iteration rests on:
 //! one `U`/`Udiff` application (the paper's `O(mn)`-per-iteration claim),
 //! sparse matvecs, and the two eigensolver families.
+//!
+//! The `udiff_engine` group measures the kernel engine against a faithful
+//! replica of the seed implementation (valued `CsrMatrix`, serial scatter
+//! `Cᵀ`, per-call scratch allocations) on the same matrices, up to
+//! m = 50 000 users — the before/after evidence for the engine rework.
+//! Set `HND_BENCH_QUICK=1` to restrict to the smallest size (CI smoke);
+//! set `BENCH_JSON=path.json` to emit machine-readable results.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hnd_core::operators::{SymmetrizedUOp, UDiffOp};
 use hnd_irt::{generate, GeneratorConfig, ModelKind};
 use hnd_linalg::op::LinearOp;
-use hnd_linalg::{lanczos_extreme, LanczosOptions, Which};
-use hnd_response::ResponseOps;
+use hnd_linalg::{lanczos_extreme, vector, CsrMatrix, LanczosOptions, Which};
+use hnd_response::{ResponseMatrix, ResponseOps};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn ops_for(m: usize, n: usize) -> ResponseOps {
+fn dataset_for(m: usize, n: usize) -> ResponseMatrix {
     let mut rng = StdRng::seed_from_u64((m * 31 + n) as u64);
-    let ds = generate(
+    generate(
         &GeneratorConfig {
             n_users: m,
             n_items: n,
@@ -21,8 +28,89 @@ fn ops_for(m: usize, n: usize) -> ResponseOps {
             ..Default::default()
         },
         &mut rng,
-    );
-    ResponseOps::new(&ds.responses)
+    )
+    .responses
+}
+
+fn ops_for(m: usize, n: usize) -> ResponseOps {
+    ResponseOps::new(&dataset_for(m, n))
+}
+
+fn quick() -> bool {
+    std::env::var("HND_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Faithful replica of the seed's `Udiff` application: valued CSR matrix,
+/// serial scatter transpose, separate normalization passes, and the three
+/// per-call scratch allocations (`s`, `w`, `us`).
+struct SeedUDiff {
+    c: CsrMatrix,
+    row_counts: Vec<f64>,
+    col_counts: Vec<f64>,
+}
+
+impl SeedUDiff {
+    fn new(matrix: &ResponseMatrix) -> Self {
+        let c = matrix.to_binary_csr();
+        let row_counts = c.row_sums();
+        let col_counts = c.col_sums();
+        SeedUDiff {
+            c,
+            row_counts,
+            col_counts,
+        }
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let m = self.c.rows();
+        let mut s = Vec::with_capacity(m);
+        vector::cumsum_from_diffs(x, &mut s);
+        let mut w = vec![0.0; self.c.cols()];
+        self.c.matvec_t(&s, &mut w);
+        for (wi, &cnt) in w.iter_mut().zip(&self.col_counts) {
+            *wi = if cnt > 0.0 { *wi / cnt } else { 0.0 };
+        }
+        let mut us = vec![0.0; m];
+        self.c.matvec(&w, &mut us);
+        for (ui, &cnt) in us.iter_mut().zip(&self.row_counts) {
+            *ui = if cnt > 0.0 { *ui / cnt } else { 0.0 };
+        }
+        for i in 0..m - 1 {
+            y[i] = us[i + 1] - us[i];
+        }
+    }
+}
+
+fn bench_udiff_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("udiff_engine");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let sizes: &[usize] = if quick() {
+        &[1000]
+    } else {
+        &[1000, 10_000, 50_000]
+    };
+    for &m in sizes {
+        let matrix = dataset_for(m, 100);
+        let x = hnd_linalg::power::deterministic_start(m - 1);
+        let mut y = vec![0.0; m - 1];
+
+        let seed = SeedUDiff::new(&matrix);
+        group.bench_with_input(BenchmarkId::new("seed_csr", m), &m, |b, _| {
+            b.iter(|| seed.apply(&x, &mut y));
+        });
+
+        let ops = ResponseOps::new(&matrix);
+        let engine = UDiffOp::new(&ops);
+        group.bench_with_input(BenchmarkId::new("engine_serial", m), &m, |b, _| {
+            hnd_linalg::parallel::with_threads(1, || b.iter(|| engine.apply(&x, &mut y)));
+        });
+        group.bench_with_input(BenchmarkId::new("engine_parallel", m), &m, |b, _| {
+            b.iter(|| engine.apply(&x, &mut y));
+        });
+    }
+    group.finish();
 }
 
 fn bench_operator_apply(c: &mut Criterion) {
@@ -67,16 +155,17 @@ fn bench_eigensolvers(c: &mut Criterion) {
         let xd = hnd_linalg::power::deterministic_start(m - 1);
         group.bench_with_input(BenchmarkId::new("power_on_udiff", m), &m, |b, _| {
             b.iter(|| {
-                hnd_linalg::power_iteration(
-                    &udiff,
-                    &xd,
-                    &hnd_linalg::PowerOptions::default(),
-                )
+                hnd_linalg::power_iteration(&udiff, &xd, &hnd_linalg::PowerOptions::default())
             });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_operator_apply, bench_eigensolvers);
+criterion_group!(
+    benches,
+    bench_udiff_engine,
+    bench_operator_apply,
+    bench_eigensolvers
+);
 criterion_main!(benches);

@@ -16,8 +16,10 @@ use hnd_linalg::op::LinearOp;
 use hnd_linalg::power::{power_iteration, PowerOptions};
 use hnd_linalg::{lanczos_extreme, vector, LanczosOptions, Which};
 use hnd_response::{
-    orient_by_decile_entropy, AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps,
+    orient_by_decile_entropy, AbilityRanker, KernelWorkspace, RankError, Ranking, ResponseMatrix,
+    ResponseOps,
 };
+use std::cell::RefCell;
 
 /// How `β` is chosen for the spectral shift `βI − M` of [`AbhPower`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +70,18 @@ struct ShiftedMOp<'a> {
     ops: &'a ResponseOps,
     d: &'a [f64],
     beta: f64,
+    scratch: RefCell<KernelWorkspace>,
+}
+
+impl<'a> ShiftedMOp<'a> {
+    fn new(ops: &'a ResponseOps, d: &'a [f64], beta: f64) -> Self {
+        ShiftedMOp {
+            ops,
+            d,
+            beta,
+            scratch: RefCell::new(KernelWorkspace::for_ops(ops)),
+        }
+    }
 }
 
 impl LinearOp for ShiftedMOp<'_> {
@@ -77,13 +91,12 @@ impl LinearOp for ShiftedMOp<'_> {
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         let m = self.ops.n_users();
-        let mut s = Vec::with_capacity(m);
-        vector::cumsum_from_diffs(x, &mut s);
-        let mut w = vec![0.0; self.ops.n_option_columns()];
-        let mut ls = vec![0.0; m];
-        self.ops.laplacian_apply(self.d, &s, &mut w, &mut ls);
+        let ws = &mut *self.scratch.borrow_mut();
+        vector::cumsum_from_diffs(x, &mut ws.s);
+        self.ops
+            .laplacian_apply(self.d, &ws.s, &mut ws.w, &mut ws.s2);
         for i in 0..m - 1 {
-            y[i] = self.beta * x[i] - (ls[i + 1] - ls[i]);
+            y[i] = self.beta * x[i] - (ws.s2[i + 1] - ws.s2[i]);
         }
     }
 }
@@ -92,7 +105,10 @@ impl AbhPower {
     /// Returns the dominant eigenvector of `βI − M` (the user-difference
     /// vector) plus the iteration count — exposed for the stability study
     /// (Figure 6a) and the iteration-count analysis (Figure 14).
-    pub fn diff_eigenvector(&self, matrix: &ResponseMatrix) -> Result<(Vec<f64>, usize), RankError> {
+    pub fn diff_eigenvector(
+        &self,
+        matrix: &ResponseMatrix,
+    ) -> Result<(Vec<f64>, usize), RankError> {
         let m = matrix.n_users();
         if m < 2 {
             return Err(RankError::InvalidInput(
@@ -102,11 +118,7 @@ impl AbhPower {
         let ops = ResponseOps::new(matrix);
         let d = ops.cct_row_sums();
         let beta = self.beta.resolve(&d);
-        let op = ShiftedMOp {
-            ops: &ops,
-            d: &d,
-            beta,
-        };
+        let op = ShiftedMOp::new(&ops, &d, beta);
         let x0 = hnd_linalg::power::deterministic_start(m - 1);
         let out = power_iteration(&op, &x0, &self.power);
         Ok((out.vector, out.iterations))
@@ -159,6 +171,17 @@ impl Default for AbhDirect {
 struct LaplacianOp<'a> {
     ops: &'a ResponseOps,
     d: &'a [f64],
+    scratch: RefCell<KernelWorkspace>,
+}
+
+impl<'a> LaplacianOp<'a> {
+    fn new(ops: &'a ResponseOps, d: &'a [f64]) -> Self {
+        LaplacianOp {
+            ops,
+            d,
+            scratch: RefCell::new(KernelWorkspace::for_ops(ops)),
+        }
+    }
 }
 
 impl LinearOp for LaplacianOp<'_> {
@@ -167,8 +190,8 @@ impl LinearOp for LaplacianOp<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let mut w = vec![0.0; self.ops.n_option_columns()];
-        self.ops.laplacian_apply(self.d, x, &mut w, y);
+        let ws = &mut *self.scratch.borrow_mut();
+        self.ops.laplacian_apply(self.d, x, &mut ws.w, y);
     }
 }
 
@@ -183,7 +206,7 @@ impl AbhDirect {
         }
         let ops = ResponseOps::new(matrix);
         let d = ops.cct_row_sums();
-        let lap = LaplacianOp { ops: &ops, d: &d };
+        let lap = LaplacianOp::new(&ops, &d);
         // Work on the spectrally shifted βI − L with the all-ones kernel of
         // L deflated: on e⊥ its largest eigenpair is (β − λ₂, Fiedler),
         // while the deflated kernel direction sits at 0 — far from the top,
@@ -388,7 +411,11 @@ mod fiedler_regression {
         let mut l = DenseMatrix::zeros(m, m);
         for i in 0..m {
             for j in 0..m {
-                let v = if i == j { d[i] - cct.get(i, j) } else { -cct.get(i, j) };
+                let v = if i == j {
+                    d[i] - cct.get(i, j)
+                } else {
+                    -cct.get(i, j)
+                };
                 l.set(i, j, v);
             }
         }

@@ -155,12 +155,7 @@ mod tests {
 
     #[test]
     fn pre_p_ordering_recovers_permuted_p_matrix() {
-        let p = csr(&[
-            &[1, 1, 0, 0],
-            &[0, 1, 1, 0],
-            &[0, 0, 1, 1],
-            &[0, 0, 0, 1],
-        ]);
+        let p = csr(&[&[1, 1, 0, 0], &[0, 1, 1, 0], &[0, 0, 1, 1], &[0, 0, 0, 1]]);
         // Shuffle rows, then recover.
         let shuffled = p.permute_rows(&[2, 0, 3, 1]);
         assert!(!is_p_matrix(&shuffled));
@@ -187,11 +182,7 @@ mod tests {
     #[test]
     fn unique_ordering_counted_as_two() {
         // Staircase: unique C1P order up to reversal.
-        let p = csr(&[
-            &[1, 1, 0, 0],
-            &[0, 1, 1, 0],
-            &[0, 0, 1, 1],
-        ]);
+        let p = csr(&[&[1, 1, 0, 0], &[0, 1, 1, 0], &[0, 0, 1, 1]]);
         assert_eq!(count_pre_p_orderings(&p), Some(2.0));
         let t = csr(&[&[1, 1, 0], &[1, 0, 1], &[0, 1, 1]]);
         assert_eq!(count_pre_p_orderings(&t), None);

@@ -20,7 +20,6 @@ pub mod pq_tree;
 
 pub use abh::{AbhDirect, AbhPower, BetaStrategy};
 pub use checks::{
-    brute_force_pre_p, consistent_user_ordering, count_pre_p_orderings, is_p_matrix,
-    pre_p_ordering,
+    brute_force_pre_p, consistent_user_ordering, count_pre_p_orderings, is_p_matrix, pre_p_ordering,
 };
 pub use pq_tree::{c1p_ordering, NotReducible, PqTree};

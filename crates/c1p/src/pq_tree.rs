@@ -171,7 +171,8 @@ impl PqTree {
         }
         // Pertinent root: deepest node covering all of S (walk up from any
         // full leaf until the count reaches |S|).
-        let mut pertinent_root = self.leaf_node[in_set.iter().position(|&b| b).expect("s_len >= 2")];
+        let mut pertinent_root =
+            self.leaf_node[in_set.iter().position(|&b| b).expect("s_len >= 2")];
         while pert[pertinent_root] < s_len {
             pertinent_root = self.nodes[pertinent_root]
                 .parent
@@ -217,7 +218,13 @@ impl PqTree {
 
     // ----- template machinery ------------------------------------------
 
-    fn new_node(&mut self, kind: Kind, children: Vec<usize>, labels: &mut Vec<Label>, label: Label) -> usize {
+    fn new_node(
+        &mut self,
+        kind: Kind,
+        children: Vec<usize>,
+        labels: &mut Vec<Label>,
+        label: Label,
+    ) -> usize {
         let idx = self.nodes.len();
         self.nodes.push(Node {
             kind,
@@ -235,7 +242,12 @@ impl PqTree {
 
     /// Wraps `children` into a single node: returns the lone child if there
     /// is exactly one, a fresh P-node otherwise, `None` when empty.
-    fn wrap_part(&mut self, children: Vec<usize>, labels: &mut Vec<Label>, label: Label) -> Option<usize> {
+    fn wrap_part(
+        &mut self,
+        children: Vec<usize>,
+        labels: &mut Vec<Label>,
+        label: Label,
+    ) -> Option<usize> {
         match children.len() {
             0 => None,
             1 => Some(children[0]),
@@ -653,10 +665,7 @@ mod tests {
             .iter()
             .map(|e| order.iter().position(|x| x == e).unwrap())
             .collect();
-        let (min, max) = (
-            *pos.iter().min().unwrap(),
-            *pos.iter().max().unwrap(),
-        );
+        let (min, max) = (*pos.iter().min().unwrap(), *pos.iter().max().unwrap());
         max - min + 1 == set.len()
     }
 
@@ -790,7 +799,13 @@ mod tests {
         t.reduce(&[1, 2, 3, 4]).unwrap();
         t.check_invariants();
         let f = t.frontier();
-        for s in [vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![1, 2, 3, 4]] {
+        for s in [
+            vec![0, 1, 2],
+            vec![2, 3],
+            vec![3, 4],
+            vec![4, 5],
+            vec![1, 2, 3, 4],
+        ] {
             assert!(consecutive_in(&f, &s), "set {s:?} not consecutive in {f:?}");
         }
     }

@@ -1,8 +1,8 @@
 //! Property tests: the PQ-tree must agree with the exhaustive oracle on
 //! small random binary matrices, and its frontier must witness C1P.
 
-use hnd_linalg::CsrMatrix;
 use hnd_c1p::{brute_force_pre_p, is_p_matrix, pre_p_ordering, PqTree};
+use hnd_linalg::CsrMatrix;
 use proptest::prelude::*;
 
 /// Random binary matrix as row bitmaps: `rows × cols` with each cell 1 with
@@ -13,9 +13,10 @@ fn binary_matrix() -> impl Strategy<Value = CsrMatrix> {
             CsrMatrix::from_triplets(
                 rows,
                 cols,
-                bits.iter().enumerate().filter(|(_, &b)| b).map(|(idx, _)| {
-                    (idx / cols, idx % cols, 1.0)
-                }),
+                bits.iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b)
+                    .map(|(idx, _)| (idx / cols, idx % cols, 1.0)),
             )
         })
     })

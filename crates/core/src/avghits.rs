@@ -99,9 +99,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let out = AvgHits::default()
-            .iterate(&m, &[0.9, 0.05, 0.05])
-            .unwrap();
+        let out = AvgHits::default().iterate(&m, &[0.9, 0.05, 0.05]).unwrap();
         assert!(out.converged);
         let expected = 1.0 / 3.0f64.sqrt();
         for s in &out.scores {

@@ -58,9 +58,7 @@ impl HitsNDiffs {
     ) -> Result<(Vec<f64>, usize), RankError> {
         let m = matrix.n_users();
         if m < 2 {
-            return Err(RankError::InvalidInput(
-                "HND needs at least 2 users".into(),
-            ));
+            return Err(RankError::InvalidInput("HND needs at least 2 users".into()));
         }
         if let Some(ws) = warm_start {
             if ws.len() != m - 1 {
@@ -237,7 +235,10 @@ mod tests {
             let rb = rank_vec(&ds.abilities);
             pearson_local(&ra, &rb)
         };
-        assert!(rho > 0.9, "oriented ranking must correlate positively: {rho}");
+        assert!(
+            rho > 0.9,
+            "oriented ranking must correlate positively: {rho}"
+        );
     }
 
     #[test]
@@ -281,26 +282,44 @@ mod tests {
             ..Default::default()
         };
         let (sdiff, cold_iters) = ranker.diff_eigenvector(&ds.responses).unwrap();
-        // Perturb the data slightly: regenerate with one extra item.
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(15);
-        let ds2 = hnd_irt::generate(
-            &hnd_irt::GeneratorConfig {
-                n_users: 60,
-                n_items: 41,
-                ..Default::default()
-            },
-            &mut rng,
-        );
+        // Restarting from the converged vector must converge (near-)
+        // immediately — the property incremental serving relies on.
         let (_, warm_iters) = ranker
-            .diff_eigenvector_from(&ds2.responses, Some(&sdiff))
+            .diff_eigenvector_from(&ds.responses, Some(&sdiff))
             .unwrap();
         assert!(
             warm_iters < cold_iters,
             "warm start ({warm_iters}) should beat cold start ({cold_iters})"
         );
+        // Truly incremental data: the SAME matrix with one extra answered
+        // item appended (the live-classroom case). The previous solution
+        // must remain a better-than-cold starting point.
+        let extended = {
+            let base = &ds.responses;
+            let n = base.n_items();
+            let rows: Vec<Vec<Option<u16>>> = (0..base.n_users())
+                .map(|u| {
+                    let mut row = base.user_row(u).to_vec();
+                    row.push(Some((u % 2) as u16));
+                    row
+                })
+                .collect();
+            let mut options: Vec<u16> = (0..n).map(|i| base.options_of(i)).collect();
+            options.push(2);
+            let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+            ResponseMatrix::from_choices(n + 1, &options, &refs).unwrap()
+        };
+        let (_, cold2) = ranker.diff_eigenvector(&extended).unwrap();
+        let (_, warm2) = ranker
+            .diff_eigenvector_from(&extended, Some(&sdiff))
+            .unwrap();
+        assert!(
+            warm2 <= cold2,
+            "warm start on incremental data ({warm2}) should not lose to cold ({cold2})"
+        );
         // And rank_warm agrees with rank in ordering.
-        let warm = ranker.rank_warm(&ds2.responses, &sdiff).unwrap();
-        let cold = ranker.rank(&ds2.responses).unwrap();
+        let warm = ranker.rank_warm(&extended, &sdiff).unwrap();
+        let cold = ranker.rank(&extended).unwrap();
         let wo = warm.order_best_to_worst();
         let co = cold.order_best_to_worst();
         let rev: Vec<usize> = co.iter().rev().copied().collect();
@@ -316,12 +335,9 @@ mod tests {
 
     #[test]
     fn two_users_rankable() {
-        let m = ResponseMatrix::from_choices(
-            2,
-            &[2, 2],
-            &[&[Some(0), Some(0)], &[Some(1), Some(1)]],
-        )
-        .unwrap();
+        let m =
+            ResponseMatrix::from_choices(2, &[2, 2], &[&[Some(0), Some(0)], &[Some(1), Some(1)]])
+                .unwrap();
         let r = HitsNDiffs::default().rank(&m).unwrap();
         assert_eq!(r.scores.len(), 2);
         assert_ne!(r.scores[0], r.scores[1]);

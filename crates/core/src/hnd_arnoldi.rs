@@ -34,10 +34,7 @@ impl Default for HndArnoldi {
 
 impl HndArnoldi {
     /// Returns the second-largest (real) eigenpair of `U`.
-    pub fn second_eigenpair(
-        &self,
-        matrix: &ResponseMatrix,
-    ) -> Result<(f64, Vec<f64>), RankError> {
+    pub fn second_eigenpair(&self, matrix: &ResponseMatrix) -> Result<(f64, Vec<f64>), RankError> {
         let m = matrix.n_users();
         if m < 2 {
             return Err(RankError::InvalidInput(

@@ -48,11 +48,8 @@ impl HndDeflation {
         let ops = ResponseOps::new(matrix);
         // Round 1: dominant LEFT eigenvector of U (power iteration on Uᵀ).
         let ut = UTransposeOp::new(&ops);
-        let left_out = power_iteration(
-            &ut,
-            &hnd_linalg::power::deterministic_start(m),
-            &self.power,
-        );
+        let left_out =
+            power_iteration(&ut, &hnd_linalg::power::deterministic_start(m), &self.power);
         // Round 2: power iteration on the deflated operator.
         let u = UOp::new(&ops);
         let ones = vec![1.0; m];

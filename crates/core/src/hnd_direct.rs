@@ -47,10 +47,7 @@ impl HndDirect {
         let x0 = hnd_linalg::power::deterministic_start(m);
         let pairs = lanczos_extreme(&sym, 2, Which::Largest, &x0, &self.lanczos)
             .map_err(|e| RankError::Numerical(e.to_string()))?;
-        let second = pairs
-            .into_iter()
-            .nth(1)
-            .expect("requested two Ritz pairs");
+        let second = pairs.into_iter().nth(1).expect("requested two Ritz pairs");
         Ok(sym.to_u_eigenvector(&second.vector))
     }
 }
@@ -118,7 +115,10 @@ mod tests {
         let deflation = crate::HndDeflation::default().rank(&r).unwrap();
         let direct = HndDirect::default().rank(&r).unwrap();
         let op = power.order_best_to_worst();
-        for other in [deflation.order_best_to_worst(), direct.order_best_to_worst()] {
+        for other in [
+            deflation.order_best_to_worst(),
+            direct.order_best_to_worst(),
+        ] {
             let rev: Vec<usize> = other.iter().rev().copied().collect();
             assert!(op == other || op == rev, "{op:?} vs {other:?}");
         }

@@ -25,6 +25,30 @@
 //! 6. Symmetry breaking — reversing a C1P order yields another C1P order;
 //!    the decile-entropy rule of Section III-D picks the direction (it
 //!    lives in [`hnd_response::orientation`] and is re-exported here).
+//!
+//! ## Kernel-engine architecture
+//!
+//! Every variant above is a loop over products with the one-hot response
+//! matrix `C`, so this crate's operators are thin compositions over the
+//! shared kernel engine (see the `hnd-linalg` crate docs for the full
+//! picture):
+//!
+//! * `C` lives as a structure-only pattern matrix
+//!   (`hnd_linalg::BinaryCsr`: u32 indices, no values array, precomputed
+//!   CSC mirror), so both `C·w` and `Cᵀ·s` are parallel gather loops and
+//!   the `Crow`/`Ccol`/`Dr^{-1/2}` diagonal scalings fuse into the same
+//!   pass (`hnd_response::ResponseOps`).
+//! * Each operator ([`UOp`], [`UTransposeOp`], [`UDiffOp`],
+//!   [`SymmetrizedUOp`]) owns a reusable
+//!   [`hnd_response::KernelWorkspace`], allocated once at construction:
+//!   applying an operator inside power iteration, Hotelling deflation or
+//!   Lanczos performs **zero heap allocations** (`tests/zero_alloc.rs`
+//!   enforces this with a counting global allocator).
+//! * Parallelism switches: gathers split their output across scoped
+//!   threads, governed by `HND_THREADS` /
+//!   `hnd_linalg::parallel::with_threads`; batches of matrices parallelize
+//!   across rankings via [`hnd_response::rank_many`]. Serial and parallel
+//!   results are bitwise identical.
 
 pub mod avghits;
 pub mod diagnostics;

@@ -1,9 +1,17 @@
 //! Matrix-free AvgHITS operators: `U`, `Uᵀ`, `Udiff = S U T`, and the
 //! symmetrized `Ũ` (Section III-B/C).
+//!
+//! Each operator owns a [`KernelWorkspace`] behind a `RefCell`, allocated
+//! once at construction: applying an operator inside a power/Lanczos loop
+//! performs *zero* heap allocations (pinned down by `tests/zero_alloc.rs`).
+//! Operators are therefore `Send` but not `Sync` — parallel callers (e.g.
+//! [`hnd_response::rank_many`]) construct one operator per thread, which is
+//! the natural sharding anyway since each ranking has its own matrix.
 
 use hnd_linalg::op::LinearOp;
 use hnd_linalg::vector;
-use hnd_response::ResponseOps;
+use hnd_response::{KernelWorkspace, ResponseOps};
+use std::cell::RefCell;
 
 /// The AvgHITS update matrix `U = Crow (Ccol)ᵀ` as a matrix-free operator.
 ///
@@ -11,12 +19,16 @@ use hnd_response::ResponseOps;
 /// its dominant eigenpair is `(1, e)` for connected inputs (Lemma 4).
 pub struct UOp<'a> {
     ops: &'a ResponseOps,
+    scratch: RefCell<KernelWorkspace>,
 }
 
 impl<'a> UOp<'a> {
     /// Wraps precomputed response operators.
     pub fn new(ops: &'a ResponseOps) -> Self {
-        UOp { ops }
+        UOp {
+            ops,
+            scratch: RefCell::new(KernelWorkspace::for_ops(ops)),
+        }
     }
 }
 
@@ -26,8 +38,8 @@ impl LinearOp for UOp<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let mut w = vec![0.0; self.ops.n_option_columns()];
-        self.ops.u_apply(x, &mut w, y);
+        let ws = &mut *self.scratch.borrow_mut();
+        self.ops.u_apply(x, &mut ws.w, y);
     }
 }
 
@@ -35,12 +47,16 @@ impl LinearOp for UOp<'_> {
 /// in Hotelling deflation (Section III-F).
 pub struct UTransposeOp<'a> {
     ops: &'a ResponseOps,
+    scratch: RefCell<KernelWorkspace>,
 }
 
 impl<'a> UTransposeOp<'a> {
     /// Wraps precomputed response operators.
     pub fn new(ops: &'a ResponseOps) -> Self {
-        UTransposeOp { ops }
+        UTransposeOp {
+            ops,
+            scratch: RefCell::new(KernelWorkspace::for_ops(ops)),
+        }
     }
 }
 
@@ -50,8 +66,8 @@ impl LinearOp for UTransposeOp<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let mut w = vec![0.0; self.ops.n_option_columns()];
-        self.ops.ut_apply(x, &mut w, y);
+        let ws = &mut *self.scratch.borrow_mut();
+        self.ops.ut_apply(x, &mut ws.w, y);
     }
 }
 
@@ -63,6 +79,7 @@ impl LinearOp for UTransposeOp<'_> {
 /// `S` = adjacent differences — exactly Algorithm 1's inner loop.
 pub struct UDiffOp<'a> {
     ops: &'a ResponseOps,
+    scratch: RefCell<KernelWorkspace>,
 }
 
 impl<'a> UDiffOp<'a> {
@@ -72,7 +89,10 @@ impl<'a> UDiffOp<'a> {
     /// Panics for single-user matrices (`Udiff` would be 0-dimensional).
     pub fn new(ops: &'a ResponseOps) -> Self {
         assert!(ops.n_users() >= 2, "Udiff needs at least 2 users");
-        UDiffOp { ops }
+        UDiffOp {
+            ops,
+            scratch: RefCell::new(KernelWorkspace::for_ops(ops)),
+        }
     }
 }
 
@@ -83,13 +103,11 @@ impl LinearOp for UDiffOp<'_> {
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         let m = self.ops.n_users();
-        let mut s = Vec::with_capacity(m);
-        vector::cumsum_from_diffs(x, &mut s);
-        let mut w = vec![0.0; self.ops.n_option_columns()];
-        let mut us = vec![0.0; m];
-        self.ops.u_apply(&s, &mut w, &mut us);
+        let ws = &mut *self.scratch.borrow_mut();
+        vector::cumsum_from_diffs(x, &mut ws.s);
+        self.ops.u_apply(&ws.s, &mut ws.w, &mut ws.s2);
         for i in 0..m - 1 {
-            y[i] = us[i + 1] - us[i];
+            y[i] = ws.s2[i + 1] - ws.s2[i];
         }
     }
 }
@@ -100,10 +118,15 @@ impl LinearOp for UDiffOp<'_> {
 /// `U` is similar to this symmetric matrix, so all eigenvalues of `U` are
 /// real and `HND-direct` can use Lanczos instead of a general asymmetric
 /// eigensolver: if `Ũṽ = λṽ` then `U(Dr^{-1/2}ṽ) = λ(Dr^{-1/2}ṽ)`.
+///
+/// Both `Dr^{-1/2}` scalings are fused into the kernel's gather passes
+/// ([`ResponseOps::symmetrized_u_apply`]); the seed implementation's
+/// per-call `scaled` temporary is gone.
 pub struct SymmetrizedUOp<'a> {
     ops: &'a ResponseOps,
     /// `Dr^{-1/2}` diagonal (0 for users with no answers).
     inv_sqrt_rows: Vec<f64>,
+    scratch: RefCell<KernelWorkspace>,
 }
 
 impl<'a> SymmetrizedUOp<'a> {
@@ -114,7 +137,11 @@ impl<'a> SymmetrizedUOp<'a> {
             .iter()
             .map(|&c| if c > 0.0 { 1.0 / c.sqrt() } else { 0.0 })
             .collect();
-        SymmetrizedUOp { ops, inv_sqrt_rows }
+        SymmetrizedUOp {
+            ops,
+            inv_sqrt_rows,
+            scratch: RefCell::new(KernelWorkspace::for_ops(ops)),
+        }
     }
 
     /// Maps an eigenvector of `Ũ` back to the corresponding eigenvector of
@@ -136,19 +163,9 @@ impl LinearOp for SymmetrizedUOp<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let m = self.ops.n_users();
-        // y = Dr^{-1/2} C Dc^{-1} Cᵀ Dr^{-1/2} x
-        let scaled: Vec<f64> = x
-            .iter()
-            .zip(&self.inv_sqrt_rows)
-            .map(|(v, s)| v * s)
-            .collect();
-        let mut w = vec![0.0; self.ops.n_option_columns()];
-        self.ops.ccol_t_apply(&scaled, &mut w);
-        self.ops.c_apply(&w, y);
-        for i in 0..m {
-            y[i] *= self.inv_sqrt_rows[i];
-        }
+        let ws = &mut *self.scratch.borrow_mut();
+        self.ops
+            .symmetrized_u_apply(x, &self.inv_sqrt_rows, &mut ws.w, y);
     }
 }
 
@@ -246,6 +263,20 @@ mod tests {
         let v = sym.to_u_eigenvector(&[2.0, 2.0, 2.0, 2.0]);
         for x in v {
             assert!((x - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn repeated_application_reuses_scratch() {
+        // The workspace is allocated once; a long sequence of applications
+        // must keep producing identical results (no state leaks between
+        // calls).
+        let ops = ResponseOps::new(&figure1());
+        let udiff = UDiffOp::new(&ops);
+        let x = [0.3, -0.2, 0.9];
+        let first = udiff.apply_vec(&x);
+        for _ in 0..100 {
+            assert_eq!(udiff.apply_vec(&x), first);
         }
     }
 

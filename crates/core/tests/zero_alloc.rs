@@ -1,0 +1,141 @@
+//! Verifies the kernel engine's zero-allocation contract: once an operator
+//! is constructed, applying it — the body of every power/Lanczos iteration —
+//! performs no heap allocation. A counting global allocator wraps the
+//! system allocator; the count must not move across applications.
+//!
+//! The parallel path spawns threads (which allocate), so the hot loop runs
+//! under `with_threads(1)` — exactly the configuration of a per-matrix
+//! worker inside `rank_many`, where parallelism lives *across* matrices.
+
+use hnd_core::operators::{SymmetrizedUOp, UDiffOp, UOp, UTransposeOp};
+use hnd_linalg::op::LinearOp;
+use hnd_linalg::parallel::with_threads;
+use hnd_response::{ResponseMatrix, ResponseOps};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A mid-sized random-ish response matrix (120 users × 40 items × 3
+/// options, ~10% skips) built without RNG dependencies.
+fn test_matrix() -> ResponseMatrix {
+    let m = 120usize;
+    let n = 40usize;
+    let rows: Vec<Vec<Option<u16>>> = (0..m)
+        .map(|j| {
+            (0..n)
+                .map(|i| {
+                    let h = j.wrapping_mul(31).wrapping_add(i.wrapping_mul(17)) % 30;
+                    if h < 3 {
+                        None
+                    } else {
+                        Some((h % 3) as u16)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+    ResponseMatrix::from_choices(n, &vec![3u16; n], &refs).unwrap()
+}
+
+fn assert_alloc_free(label: &str, mut apply: impl FnMut()) {
+    // Warm-up: lets lazily-grown scratch (e.g. the cumsum buffer) reach
+    // its final capacity.
+    apply();
+    apply();
+    let before = allocations();
+    for _ in 0..50 {
+        apply();
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: {} allocations across 50 applications",
+        after - before
+    );
+}
+
+#[test]
+fn operator_applications_do_not_allocate() {
+    let matrix = test_matrix();
+    let ops = ResponseOps::new(&matrix);
+    let m = ops.n_users();
+
+    with_threads(1, || {
+        let udiff = UDiffOp::new(&ops);
+        let x = hnd_linalg::power::deterministic_start(m - 1);
+        let mut y = vec![0.0; m - 1];
+        assert_alloc_free("UDiffOp::apply", || udiff.apply(&x, &mut y));
+
+        let u = UOp::new(&ops);
+        let xs = hnd_linalg::power::deterministic_start(m);
+        let mut ys = vec![0.0; m];
+        assert_alloc_free("UOp::apply", || u.apply(&xs, &mut ys));
+
+        let ut = UTransposeOp::new(&ops);
+        assert_alloc_free("UTransposeOp::apply", || ut.apply(&xs, &mut ys));
+
+        let sym = SymmetrizedUOp::new(&ops);
+        assert_alloc_free("SymmetrizedUOp::apply", || sym.apply(&xs, &mut ys));
+
+        let d = ops.cct_row_sums();
+        let mut w = vec![0.0; ops.n_option_columns()];
+        assert_alloc_free("laplacian_apply", || {
+            ops.laplacian_apply(&d, &xs, &mut w, &mut ys)
+        });
+    });
+}
+
+#[test]
+fn deflated_op_does_not_allocate_per_apply() {
+    let matrix = test_matrix();
+    let ops = ResponseOps::new(&matrix);
+    let m = ops.n_users();
+    with_threads(1, || {
+        let u = UOp::new(&ops);
+        let ones = vec![1.0; m];
+        let deflated = hnd_linalg::DeflatedOp::new(&u, vec![ones]);
+        let x = hnd_linalg::power::deterministic_start(m);
+        let mut y = vec![0.0; m];
+        assert_alloc_free("DeflatedOp::apply", || deflated.apply(&x, &mut y));
+    });
+}
+
+#[test]
+fn counting_allocator_actually_counts() {
+    // Sanity-check the harness itself: an allocation must move the counter.
+    let before = allocations();
+    let v: Vec<u8> = Vec::with_capacity(4096);
+    std::hint::black_box(&v);
+    assert!(
+        allocations() > before,
+        "allocator wrapper must observe allocs"
+    );
+}

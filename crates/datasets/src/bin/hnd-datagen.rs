@@ -130,7 +130,10 @@ fn main() -> ExitCode {
                 eprintln!("error: {path}: {e}");
                 return ExitCode::FAILURE;
             }
-            println!("wrote {path} ({} users x {} items)", ds.spec.users, ds.spec.questions);
+            println!(
+                "wrote {path} ({} users x {} items)",
+                ds.spec.users, ds.spec.questions
+            );
         }
         return ExitCode::SUCCESS;
     }

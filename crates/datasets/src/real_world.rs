@@ -26,12 +26,42 @@ pub struct DatasetSpec {
 
 /// The six datasets of Figure 10, shapes verbatim.
 pub const REAL_WORLD_SPECS: [DatasetSpec; 6] = [
-    DatasetSpec { name: "Chinese", users: 50, questions: 24, options: 5 },
-    DatasetSpec { name: "English", users: 63, questions: 30, options: 5 },
-    DatasetSpec { name: "IT", users: 36, questions: 25, options: 4 },
-    DatasetSpec { name: "Medicine", users: 45, questions: 36, options: 4 },
-    DatasetSpec { name: "Pokemon", users: 55, questions: 20, options: 6 },
-    DatasetSpec { name: "Science", users: 111, questions: 20, options: 5 },
+    DatasetSpec {
+        name: "Chinese",
+        users: 50,
+        questions: 24,
+        options: 5,
+    },
+    DatasetSpec {
+        name: "English",
+        users: 63,
+        questions: 30,
+        options: 5,
+    },
+    DatasetSpec {
+        name: "IT",
+        users: 36,
+        questions: 25,
+        options: 4,
+    },
+    DatasetSpec {
+        name: "Medicine",
+        users: 45,
+        questions: 36,
+        options: 4,
+    },
+    DatasetSpec {
+        name: "Pokemon",
+        users: 55,
+        questions: 20,
+        options: 6,
+    },
+    DatasetSpec {
+        name: "Science",
+        users: 111,
+        questions: 20,
+        options: 5,
+    },
 ];
 
 /// A generated stand-in dataset.
@@ -77,10 +107,22 @@ mod tests {
     #[test]
     fn specs_match_figure10() {
         assert_eq!(REAL_WORLD_SPECS.len(), 6);
-        let science = REAL_WORLD_SPECS.iter().find(|s| s.name == "Science").unwrap();
-        assert_eq!((science.users, science.questions, science.options), (111, 20, 5));
-        let pokemon = REAL_WORLD_SPECS.iter().find(|s| s.name == "Pokemon").unwrap();
-        assert_eq!((pokemon.users, pokemon.questions, pokemon.options), (55, 20, 6));
+        let science = REAL_WORLD_SPECS
+            .iter()
+            .find(|s| s.name == "Science")
+            .unwrap();
+        assert_eq!(
+            (science.users, science.questions, science.options),
+            (111, 20, 5)
+        );
+        let pokemon = REAL_WORLD_SPECS
+            .iter()
+            .find(|s| s.name == "Pokemon")
+            .unwrap();
+        assert_eq!(
+            (pokemon.users, pokemon.questions, pokemon.options),
+            (55, 20, 6)
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! options (for the cheating baselines).
 
 use hnd_response::{ResponseMatrix, ResponseMatrixBuilder};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::io::{Read, Write};
 use std::path::Path;
 
@@ -13,7 +13,7 @@ use std::path::Path;
 pub const FORMAT_VERSION: u32 = 1;
 
 /// Serializable dataset container.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetFile {
     /// Format version (always [`FORMAT_VERSION`] when written by this
     /// crate).
@@ -28,6 +28,40 @@ pub struct DatasetFile {
     pub abilities: Option<Vec<f64>>,
     /// Correct option per item, if known.
     pub correct_options: Option<Vec<u16>>,
+}
+
+// The vendored offline `serde` stand-in has no derive macro, so the field
+// mapping is spelled out. Field names are the on-disk JSON keys.
+impl Serialize for DatasetFile {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("version".into(), self.version.to_value()),
+            ("name".into(), self.name.to_value()),
+            ("options_per_item".into(), self.options_per_item.to_value()),
+            ("choices".into(), self.choices.to_value()),
+            ("abilities".into(), self.abilities.to_value()),
+            ("correct_options".into(), self.correct_options.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DatasetFile {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        fn field<T: Deserialize>(value: &Value, key: &str) -> Result<T, DeError> {
+            let v = value
+                .get(key)
+                .ok_or_else(|| DeError::new(format!("missing field `{key}`")))?;
+            T::from_value(v).map_err(|e| DeError::new(format!("field `{key}`: {e}")))
+        }
+        Ok(DatasetFile {
+            version: field(value, "version")?,
+            name: field(value, "name")?,
+            options_per_item: field(value, "options_per_item")?,
+            choices: field(value, "choices")?,
+            abilities: field(value, "abilities")?,
+            correct_options: field(value, "correct_options")?,
+        })
+    }
 }
 
 /// Errors for dataset (de)serialization.
@@ -102,8 +136,9 @@ impl DatasetFile {
             return Err(StorageError::UnsupportedVersion(self.version));
         }
         let n_items = self.options_per_item.len();
-        let mut builder = ResponseMatrixBuilder::new(self.choices.len(), n_items, &self.options_per_item)
-            .map_err(|e| StorageError::Invalid(e.to_string()))?;
+        let mut builder =
+            ResponseMatrixBuilder::new(self.choices.len(), n_items, &self.options_per_item)
+                .map_err(|e| StorageError::Invalid(e.to_string()))?;
         for (user, row) in self.choices.iter().enumerate() {
             if row.len() != n_items {
                 return Err(StorageError::Invalid(format!(
@@ -150,11 +185,7 @@ mod tests {
         ResponseMatrix::from_choices(
             2,
             &[3, 2],
-            &[
-                &[Some(2), Some(0)],
-                &[Some(0), None],
-                &[None, Some(1)],
-            ],
+            &[&[Some(2), Some(0)], &[Some(0), None], &[None, Some(1)]],
         )
         .unwrap()
     }
@@ -162,7 +193,8 @@ mod tests {
     #[test]
     fn matrix_roundtrip() {
         let m = sample_matrix();
-        let file = DatasetFile::from_matrix("sample", &m, Some(vec![0.9, 0.5, 0.1]), Some(vec![2, 0]));
+        let file =
+            DatasetFile::from_matrix("sample", &m, Some(vec![0.9, 0.5, 0.1]), Some(vec![2, 0]));
         let back = file.to_matrix().unwrap();
         assert_eq!(back, m);
     }

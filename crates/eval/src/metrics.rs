@@ -131,7 +131,10 @@ mod tests {
     #[test]
     fn ranks_with_ties_are_averaged() {
         // 5,5 occupy positions 2 and 3 → both get 2.5.
-        assert_eq!(average_ranks(&[1.0, 5.0, 5.0, 9.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(
+            average_ranks(&[1.0, 5.0, 5.0, 9.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
     }
 
     #[test]
@@ -210,9 +213,6 @@ mod tests {
     fn spearman_vs_kendall_agree_in_sign() {
         let a = [0.3, 0.1, 0.5, 0.9, 0.2];
         let b = [0.2, 0.15, 0.6, 0.7, 0.25];
-        assert_eq!(
-            spearman(&a, &b) > 0.0,
-            kendall_tau_b(&a, &b) > 0.0
-        );
+        assert_eq!(spearman(&a, &b) > 0.0, kendall_tau_b(&a, &b) > 0.0);
     }
 }

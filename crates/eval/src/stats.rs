@@ -45,7 +45,11 @@ impl Summary {
 
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.4} ± {:.4} (n={})", self.mean, self.std_dev, self.runs)
+        write!(
+            f,
+            "{:.4} ± {:.4} (n={})",
+            self.mean, self.std_dev, self.runs
+        )
     }
 }
 

@@ -23,10 +23,13 @@ fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
 /// # Panics
 /// Panics when the slices disagree in length or `k` exceeds it.
 pub fn precision_at_k(predicted: &[f64], truth: &[f64], k: usize) -> f64 {
-    assert_eq!(predicted.len(), truth.len(), "precision_at_k: length mismatch");
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "precision_at_k: length mismatch"
+    );
     assert!(k > 0 && k <= truth.len(), "precision_at_k: invalid k");
-    let pred: std::collections::HashSet<usize> =
-        top_k_indices(predicted, k).into_iter().collect();
+    let pred: std::collections::HashSet<usize> = top_k_indices(predicted, k).into_iter().collect();
     let hits = top_k_indices(truth, k)
         .into_iter()
         .filter(|u| pred.contains(u))
@@ -64,7 +67,11 @@ pub fn ndcg_at_k(predicted: &[f64], truth: &[f64], k: usize) -> f64 {
 /// by `predicted` and `truth` (ties in either are skipped). This is the
 /// `(τ + 1)/2` view of Kendall's correlation, often easier to communicate.
 pub fn pairwise_accuracy(predicted: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(predicted.len(), truth.len(), "pairwise_accuracy: length mismatch");
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "pairwise_accuracy: length mismatch"
+    );
     let n = predicted.len();
     let mut agree = 0usize;
     let mut total = 0usize;
@@ -123,7 +130,10 @@ mod tests {
         let tail_swap = [3.0, 2.0, 0.0, 1.0];
         let nh = ndcg_at_k(&head_swap, &truth, 4);
         let nt = ndcg_at_k(&tail_swap, &truth, 4);
-        assert!(nh < nt, "head swap {nh} should hurt more than tail swap {nt}");
+        assert!(
+            nh < nt,
+            "head swap {nh} should hurt more than tail swap {nt}"
+        );
     }
 
     #[test]

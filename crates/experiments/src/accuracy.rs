@@ -2,14 +2,16 @@
 //! (Appendix D-A).
 //!
 //! Every experiment is a sweep over one knob; each sweep point generates
-//! `reps` datasets (parallelized with scoped threads) and reports the mean
-//! Spearman accuracy per method.
+//! `reps` datasets and reports the mean Spearman accuracy per method.
+//! Dataset generation is parallelized with [`hnd_linalg::parallel::par_map`]
+//! and method evaluation goes through [`Method::accuracy_many`], which
+//! batches over the repetition datasets via `hnd_response::rank_many`.
 
 use crate::config::RunConfig;
 use crate::rankers::Method;
 use crate::report::{save_json, Table};
 use hnd_irt::{GeneratorConfig, ModelKind, SyntheticDataset};
-use parking_lot::Mutex;
+use hnd_linalg::parallel::par_map;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,41 +38,29 @@ pub struct SweepResult {
     pub mean_user_accuracy: Vec<f64>,
 }
 
-/// Runs a sweep: `reps` datasets per point, methods evaluated on each,
-/// repetitions parallelized across threads.
+/// Runs a sweep: `reps` datasets per point, methods evaluated on each.
+/// Dataset generation runs in parallel across repetitions; each method is
+/// then evaluated over the whole repetition batch at once (parallel across
+/// matrices via `rank_many`).
 pub fn run_sweep(points: &[SweepPoint], methods: &[Method], cfg: &RunConfig) -> SweepResult {
     let reps = cfg.effective_reps();
     let mut values = Vec::with_capacity(points.len());
     let mut mean_acc = Vec::with_capacity(points.len());
     for (p, point) in points.iter().enumerate() {
-        // accs[m][r] — per-method, per-rep accuracy.
-        let accs: Mutex<Vec<Vec<Option<f64>>>> =
-            Mutex::new(vec![vec![None; reps]; methods.len()]);
-        let user_acc = Mutex::new(vec![0.0f64; reps]);
-        crossbeam::thread::scope(|scope| {
-            for r in 0..reps {
-                let accs = &accs;
-                let user_acc = &user_acc;
-                let seed = cfg.seed_for(p, r);
-                scope.spawn(move |_| {
-                    let ds = (point.make)(seed);
-                    user_acc.lock()[r] = ds.mean_user_accuracy;
-                    for (mi, method) in methods.iter().enumerate() {
-                        if point.skip.contains(method) {
-                            continue;
-                        }
-                        let acc = method.accuracy(&ds);
-                        accs.lock()[mi][r] = acc;
-                    }
-                });
-            }
-        })
-        .expect("sweep worker panicked");
-        let accs = accs.into_inner();
-        let per_method: Vec<Option<f64>> = accs
-            .into_iter()
-            .map(|reps_for_method| {
-                let got: Vec<f64> = reps_for_method.into_iter().flatten().collect();
+        let seeds: Vec<u64> = (0..reps).map(|r| cfg.seed_for(p, r)).collect();
+        let datasets: Vec<SyntheticDataset> = par_map(&seeds, |&seed| (point.make)(seed));
+        let user_acc: Vec<f64> = datasets.iter().map(|ds| ds.mean_user_accuracy).collect();
+        let per_method: Vec<Option<f64>> = methods
+            .iter()
+            .map(|method| {
+                if point.skip.contains(method) {
+                    return None;
+                }
+                let got: Vec<f64> = method
+                    .accuracy_many(&datasets)
+                    .into_iter()
+                    .flatten()
+                    .collect();
                 if got.is_empty() {
                     None
                 } else {
@@ -79,7 +69,7 @@ pub fn run_sweep(points: &[SweepPoint], methods: &[Method], cfg: &RunConfig) -> 
             })
             .collect();
         values.push(per_method);
-        mean_acc.push(hnd_eval::mean(&user_acc.into_inner()));
+        mean_acc.push(hnd_eval::mean(&user_acc));
     }
     SweepResult {
         labels: points.iter().map(|p| p.label.clone()).collect(),
@@ -187,7 +177,10 @@ pub fn run_fig4(id: &str, cfg: &RunConfig) {
             let result = run_sweep(&points, &methods, cfg);
             report_sweep(
                 id,
-                &format!("Figure 4 — accuracy vs number of questions ({})", model.name()),
+                &format!(
+                    "Figure 4 — accuracy vs number of questions ({})",
+                    model.name()
+                ),
                 "n",
                 &methods,
                 &result,
@@ -367,7 +360,11 @@ pub fn run_fig9(id: &str, cfg: &RunConfig) {
     let methods = Method::accuracy_set();
     match id {
         "fig9a" | "fig9e" => {
-            let model = if id == "fig9a" { ModelKind::Grm } else { ModelKind::Bock };
+            let model = if id == "fig9a" {
+                ModelKind::Grm
+            } else {
+                ModelKind::Bock
+            };
             let points = model_points(model, &n_sweep(cfg), true, cfg);
             let result = run_sweep(&points, &methods, cfg);
             report_sweep(
@@ -380,7 +377,11 @@ pub fn run_fig9(id: &str, cfg: &RunConfig) {
             );
         }
         "fig9b" | "fig9f" => {
-            let model = if id == "fig9b" { ModelKind::Grm } else { ModelKind::Bock };
+            let model = if id == "fig9b" {
+                ModelKind::Grm
+            } else {
+                ModelKind::Bock
+            };
             // GRM data generation needs k ≥ 3 (footnote 11).
             let ks: Vec<u16> = if model == ModelKind::Grm {
                 vec![3, 4, 5, 6, 7]
@@ -416,11 +417,19 @@ pub fn run_fig9(id: &str, cfg: &RunConfig) {
             );
         }
         "fig9c" | "fig9g" => {
-            let model = if id == "fig9c" { ModelKind::Grm } else { ModelKind::Bock };
+            let model = if id == "fig9c" {
+                ModelKind::Grm
+            } else {
+                ModelKind::Bock
+            };
             run_difficulty_sweep(id, model, cfg, &methods);
         }
         "fig9d" | "fig9h" => {
-            let model = if id == "fig9d" { ModelKind::Grm } else { ModelKind::Bock };
+            let model = if id == "fig9d" {
+                ModelKind::Grm
+            } else {
+                ModelKind::Bock
+            };
             run_probability_sweep(id, model, cfg, &methods);
         }
         "fig9i" | "fig9j" | "fig9k" => {
@@ -451,7 +460,10 @@ pub fn run_fig9(id: &str, cfg: &RunConfig) {
             let result = run_sweep(&points, &methods, cfg);
             report_sweep(
                 id,
-                &format!("{id} — accuracy vs question discrimination ({})", model.name()),
+                &format!(
+                    "{id} — accuracy vs question discrimination ({})",
+                    model.name()
+                ),
                 "a_max",
                 &methods,
                 &result,

@@ -39,10 +39,9 @@ pub use report::Table;
 
 /// All experiment identifiers, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig4g", "fig4h",
-    "fig5a", "fig5b", "fig6", "fig7", "fig10", "fig11",
-    "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "fig9g", "fig9h",
-    "fig9i", "fig9j", "fig9k", "fig12", "fig13", "fig14a", "fig14b",
+    "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig4g", "fig4h", "fig5a", "fig5b",
+    "fig6", "fig7", "fig10", "fig11", "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
+    "fig9g", "fig9h", "fig9i", "fig9j", "fig9k", "fig12", "fig13", "fig14a", "fig14b",
 ];
 
 /// Dispatches one experiment by id.
@@ -55,8 +54,8 @@ pub fn run_experiment(id: &str, cfg: &RunConfig) -> Result<(), String> {
             accuracy::run_fig4(id, cfg);
             Ok(())
         }
-        "fig9a" | "fig9b" | "fig9c" | "fig9d" | "fig9e" | "fig9f" | "fig9g" | "fig9h"
-        | "fig9i" | "fig9j" | "fig9k" => {
+        "fig9a" | "fig9b" | "fig9c" | "fig9d" | "fig9e" | "fig9f" | "fig9g" | "fig9h" | "fig9i"
+        | "fig9j" | "fig9k" => {
             accuracy::run_fig9(id, cfg);
             Ok(())
         }

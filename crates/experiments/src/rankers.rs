@@ -5,6 +5,7 @@ use hnd_c1p::{AbhDirect, AbhPower};
 use hnd_core::{AbilityRanker, HitsNDiffs, HndDeflation, HndDirect, RankError, Ranking};
 use hnd_irt::{GrmEstimator, SyntheticDataset};
 use hnd_models::{Hits, Investment, MajorityVote, PooledInvestment, TrueAnswer, TruthFinder};
+use hnd_response::{rank_many, ResponseMatrix};
 
 /// Every ranking method of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,25 +101,12 @@ impl Method {
     }
 
     /// Runs the method on a dataset (ground truth is consumed only by the
-    /// cheating baselines).
+    /// cheating baselines). Built on [`Self::shared_ranker`] so the batched
+    /// and per-dataset paths always use identically configured rankers.
     pub fn run(&self, ds: &SyntheticDataset) -> Result<Ranking, RankError> {
-        let matrix = &ds.responses;
-        match self {
-            Method::Hnd => HitsNDiffs::default().rank(matrix),
-            Method::HndDeflation => HndDeflation::default().rank(matrix),
-            Method::HndDirect => HndDirect::default().rank(matrix),
-            Method::Abh => AbhDirect::default().rank(matrix),
-            Method::AbhPower => AbhPower::default().rank(matrix),
-            Method::Hits => Hits::default().rank(matrix),
-            Method::TruthFinder => TruthFinder::default().rank(matrix),
-            Method::Investment => Investment::default().rank(matrix),
-            Method::PooledInvestment => PooledInvestment::default().rank(matrix),
-            Method::MajorityVote => MajorityVote.rank(matrix),
-            Method::TrueAnswer => TrueAnswer::new(ds.correct_options.clone()).rank(matrix),
-            Method::GrmEstimator => GrmEstimator::default().rank(matrix),
-            Method::ThreePlEstimator => {
-                hnd_irt::ThreePlEstimator::default().rank(matrix)
-            }
+        match self.shared_ranker() {
+            Some(ranker) => ranker.rank(&ds.responses),
+            None => TrueAnswer::new(ds.correct_options.clone()).rank(&ds.responses),
         }
     }
 
@@ -127,6 +115,50 @@ impl Method {
     pub fn accuracy(&self, ds: &SyntheticDataset) -> Option<f64> {
         let ranking = self.run(ds).ok()?;
         Some(hnd_eval::spearman(&ranking.scores, &ds.abilities))
+    }
+
+    /// A dataset-independent ranker instance, when the method has one.
+    /// `TrueAnswer` is the exception: it is parameterized by each dataset's
+    /// correct options.
+    fn shared_ranker(&self) -> Option<Box<dyn AbilityRanker + Sync>> {
+        match self {
+            Method::Hnd => Some(Box::new(HitsNDiffs::default())),
+            Method::HndDeflation => Some(Box::new(HndDeflation::default())),
+            Method::HndDirect => Some(Box::new(HndDirect::default())),
+            Method::Abh => Some(Box::new(AbhDirect::default())),
+            Method::AbhPower => Some(Box::new(AbhPower::default())),
+            Method::Hits => Some(Box::new(Hits::default())),
+            Method::TruthFinder => Some(Box::new(TruthFinder::default())),
+            Method::Investment => Some(Box::new(Investment::default())),
+            Method::PooledInvestment => Some(Box::new(PooledInvestment::default())),
+            Method::MajorityVote => Some(Box::new(MajorityVote)),
+            Method::GrmEstimator => Some(Box::new(GrmEstimator::default())),
+            Method::ThreePlEstimator => Some(Box::new(hnd_irt::ThreePlEstimator::default())),
+            Method::TrueAnswer => None,
+        }
+    }
+
+    /// Batched [`Self::accuracy`] over many datasets, parallel across
+    /// matrices: stateless methods go through `hnd_response::rank_many`
+    /// with a single shared ranker; per-dataset methods fall back to a
+    /// parallel map. Result order matches `datasets`.
+    pub fn accuracy_many(&self, datasets: &[SyntheticDataset]) -> Vec<Option<f64>> {
+        match self.shared_ranker() {
+            Some(ranker) => {
+                let matrices: Vec<&ResponseMatrix> =
+                    datasets.iter().map(|ds| &ds.responses).collect();
+                rank_many(ranker.as_ref(), &matrices)
+                    .into_iter()
+                    .zip(datasets)
+                    .map(|(result, ds)| {
+                        result
+                            .ok()
+                            .map(|r| hnd_eval::spearman(&r.scores, &ds.abilities))
+                    })
+                    .collect()
+            }
+            None => hnd_linalg::parallel::par_map(datasets, |ds| self.accuracy(ds)),
+        }
     }
 }
 

@@ -33,7 +33,11 @@ fn evaluate_all() -> (Vec<String>, Vec<Method>, Vec<Vec<f64>>) {
             };
             // Footnote 16: ABH's correlation can come out negative; the
             // paper reports |ρ| for presentation.
-            let acc = if *method == Method::Abh { acc.abs() } else { acc };
+            let acc = if *method == Method::Abh {
+                acc.abs()
+            } else {
+                acc
+            };
             row.push(100.0 * acc);
         }
         rows.push(row);
@@ -47,7 +51,12 @@ pub fn run(id: &str, cfg: &RunConfig) {
         "fig10" => {
             let mut table = Table::new(
                 "Figure 10 — summary of (simulated) real datasets",
-                vec!["Dataset".into(), "#users".into(), "#questions".into(), "#options".into()],
+                vec![
+                    "Dataset".into(),
+                    "#users".into(),
+                    "#questions".into(),
+                    "#options".into(),
+                ],
             );
             for spec in REAL_WORLD_SPECS {
                 table.push_row(vec![
@@ -84,7 +93,11 @@ pub fn run(id: &str, cfg: &RunConfig) {
                 }));
             }
             table.print();
-            save_json(cfg, id, &serde_json::json!({ "id": "fig7", "methods": json_rows }));
+            save_json(
+                cfg,
+                id,
+                &serde_json::json!({ "id": "fig7", "methods": json_rows }),
+            );
         }
         "fig11" => {
             let (names, methods, rows) = evaluate_all();

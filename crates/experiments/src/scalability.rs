@@ -51,8 +51,16 @@ fn skip(method: Method, m: usize, n: usize) -> bool {
 pub fn run(cfg: &RunConfig, axis: Axis) {
     let methods = Method::scalability_set();
     let (id, title, x_name) = match axis {
-        Axis::Users => ("fig5a", "Figure 5a — execution time vs number of users (n = 100)", "m"),
-        Axis::Items => ("fig5b", "Figure 5b — execution time vs number of questions (m = 100)", "n"),
+        Axis::Users => (
+            "fig5a",
+            "Figure 5a — execution time vs number of users (n = 100)",
+            "m",
+        ),
+        Axis::Items => (
+            "fig5b",
+            "Figure 5b — execution time vs number of questions (m = 100)",
+            "n",
+        ),
     };
     let mut headers = vec![x_name.to_string()];
     headers.extend(methods.iter().map(|m| format!("{} [s]", m.name())));
@@ -65,32 +73,44 @@ pub fn run(cfg: &RunConfig, axis: Axis) {
             Axis::Users => (size, 100),
             Axis::Items => (100, size),
         };
+        // One dataset per repetition, generated once and shared by every
+        // method (the seeds were method-independent before, too), but held
+        // only for the duration of its repetition — at --full sizes a
+        // dataset is tens of MB, so keeping all reps alive would multiply
+        // peak memory and distort the timings. Timing stays strictly
+        // serial so methods don't contend.
+        let mut times_per_method: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); methods.len()];
+        for r in 0..reps {
+            let mut rng = StdRng::seed_from_u64(cfg.seed_for(p, r));
+            let ds = hnd_irt::generate(
+                &GeneratorConfig {
+                    n_users: m,
+                    n_items: n,
+                    model: ModelKind::Samejima,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            for (mi, method) in methods.iter().enumerate() {
+                if skip(*method, m, n) {
+                    continue;
+                }
+                let start = Instant::now();
+                let outcome = method.run(&ds);
+                let elapsed = start.elapsed().as_secs_f64();
+                assert!(outcome.is_ok(), "{} failed at {m}x{n}", method.name());
+                times_per_method[mi].push(elapsed);
+            }
+        }
         let mut row = vec![size.to_string()];
         let mut json_cells = Vec::new();
-        for method in &methods {
+        for (mi, method) in methods.iter().enumerate() {
             if skip(*method, m, n) {
                 row.push("skip".to_string());
                 json_cells.push(serde_json::Value::Null);
                 continue;
             }
-            let mut times = Vec::with_capacity(reps);
-            for r in 0..reps {
-                let mut rng = StdRng::seed_from_u64(cfg.seed_for(p, r));
-                let ds = hnd_irt::generate(
-                    &GeneratorConfig {
-                        n_users: m,
-                        n_items: n,
-                        model: ModelKind::Samejima,
-                        ..Default::default()
-                    },
-                    &mut rng,
-                );
-                let start = Instant::now();
-                let outcome = method.run(&ds);
-                let elapsed = start.elapsed().as_secs_f64();
-                assert!(outcome.is_ok(), "{} failed at {m}x{n}", method.name());
-                times.push(elapsed);
-            }
+            let mut times = std::mem::take(&mut times_per_method[mi]);
             times.sort_by(|a, b| a.partial_cmp(b).expect("NaN time"));
             let median = times[times.len() / 2];
             row.push(format!("{median:.4}"));
@@ -128,9 +148,15 @@ mod tests {
 
     #[test]
     fn sizes_scale_with_flags() {
-        let quick = RunConfig { quick: true, ..Default::default() };
+        let quick = RunConfig {
+            quick: true,
+            ..Default::default()
+        };
         assert_eq!(sizes(&quick).last(), Some(&1000));
-        let full = RunConfig { full: true, ..Default::default() };
+        let full = RunConfig {
+            full: true,
+            ..Default::default()
+        };
         assert_eq!(sizes(&full).last(), Some(&100_000));
     }
 }

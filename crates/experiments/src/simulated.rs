@@ -38,7 +38,10 @@ fn run_binary_panel(
     runs: usize,
     methods_filter: impl Fn(Method) -> bool,
 ) -> Vec<(String, Summary)> {
-    let methods: Vec<Method> = method_set().into_iter().filter(|m| methods_filter(*m)).collect();
+    let methods: Vec<Method> = method_set()
+        .into_iter()
+        .filter(|m| methods_filter(*m))
+        .collect();
     let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
     for r in 0..runs {
         let mut rng = StdRng::seed_from_u64(cfg.seed_for(0, r));
@@ -49,7 +52,11 @@ fn run_binary_panel(
             if let Some(acc) = method.accuracy(&ds) {
                 // Like Figure 12/13, report percentages; ABH can come out
                 // negatively correlated (footnote 16) → absolute value.
-                let acc = if *method == Method::Abh { acc.abs() } else { acc };
+                let acc = if *method == Method::Abh {
+                    acc.abs()
+                } else {
+                    acc
+                };
                 per_method[mi].push(100.0 * acc);
             }
         }

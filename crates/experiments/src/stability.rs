@@ -60,28 +60,45 @@ pub fn run(cfg: &RunConfig) {
     );
     let mut json_points = Vec::new();
     for (p, &a) in discriminations.iter().enumerate() {
-        let mut var_hnd = Vec::new();
-        let mut var_abh = Vec::new();
-        let mut acc_hnd = Vec::new();
-        let mut acc_abh = Vec::new();
-        let mut scores_hnd: Vec<Vec<f64>> = Vec::new();
-        let mut scores_abh: Vec<Vec<f64>> = Vec::new();
-        for r in 0..reps {
-            let ds = stability_dataset(a, cfg.seed_for(p, r));
+        // Repetitions are independent (dataset → eigenvectors → rankings),
+        // so the whole per-rep pipeline runs as one parallel map.
+        let seeds: Vec<u64> = (0..reps).map(|r| cfg.seed_for(p, r)).collect();
+        struct RepOutcome {
+            var_hnd: f64,
+            var_abh: f64,
+            acc_hnd: f64,
+            acc_abh: f64,
+            scores_hnd: Vec<f64>,
+            scores_abh: Vec<f64>,
+        }
+        let outcomes = hnd_linalg::parallel::par_map(&seeds, |&seed| {
+            let ds = stability_dataset(a, seed);
             // Panel (a): variance of the ranking eigenvectors.
             let hnd = HitsNDiffs::default();
             let (sdiff, _) = hnd.diff_eigenvector(&ds.responses).expect("m >= 2");
-            var_hnd.push(hnd_linalg::vector::variance(&sdiff));
             let abh = AbhPower::default();
             let (mdiff, _) = abh.diff_eigenvector(&ds.responses).expect("m >= 2");
-            var_abh.push(hnd_linalg::vector::variance(&mdiff));
             // Panels (b)/(c): oriented rankings.
             let rh = hnd.rank(&ds.responses).expect("HnD ranks");
             let ra = abh.rank(&ds.responses).expect("ABH ranks");
-            acc_hnd.push(hnd_eval::spearman(&rh.scores, &ds.abilities));
-            acc_abh.push(hnd_eval::spearman(&ra.scores, &ds.abilities));
-            scores_hnd.push(rh.scores);
-            scores_abh.push(ra.scores);
+            RepOutcome {
+                var_hnd: hnd_linalg::vector::variance(&sdiff),
+                var_abh: hnd_linalg::vector::variance(&mdiff),
+                acc_hnd: hnd_eval::spearman(&rh.scores, &ds.abilities),
+                acc_abh: hnd_eval::spearman(&ra.scores, &ds.abilities),
+                scores_hnd: rh.scores,
+                scores_abh: ra.scores,
+            }
+        });
+        let var_hnd: Vec<f64> = outcomes.iter().map(|o| o.var_hnd).collect();
+        let var_abh: Vec<f64> = outcomes.iter().map(|o| o.var_abh).collect();
+        let acc_hnd: Vec<f64> = outcomes.iter().map(|o| o.acc_hnd).collect();
+        let acc_abh: Vec<f64> = outcomes.iter().map(|o| o.acc_abh).collect();
+        let mut scores_hnd: Vec<Vec<f64>> = Vec::with_capacity(outcomes.len());
+        let mut scores_abh: Vec<Vec<f64>> = Vec::with_capacity(outcomes.len());
+        for o in outcomes {
+            scores_hnd.push(o.scores_hnd);
+            scores_abh.push(o.scores_abh);
         }
         // Displacement: mean pairwise across runs.
         let displacement = |runs: &[Vec<f64>]| -> f64 {

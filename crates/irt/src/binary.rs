@@ -153,7 +153,9 @@ mod tests {
 
     #[test]
     fn figure2_arrow_2pl_specializes_to_glad() {
-        let glad = Glad { discrimination: 2.5 };
+        let glad = Glad {
+            discrimination: 2.5,
+        };
         let two = TwoPl::from(glad);
         for t in THETAS {
             assert!((glad.prob_correct(t) - two.prob_correct(t)).abs() < 1e-12);

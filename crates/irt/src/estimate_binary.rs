@@ -306,10 +306,7 @@ mod tests {
         }
         let (ra, rb) = (ranks(a), ranks(b));
         let n = a.len() as f64;
-        let (ma, mb) = (
-            ra.iter().sum::<f64>() / n,
-            rb.iter().sum::<f64>() / n,
-        );
+        let (ma, mb) = (ra.iter().sum::<f64>() / n, rb.iter().sum::<f64>() / n);
         let mut cov = 0.0;
         let mut va = 0.0;
         let mut vb = 0.0;

@@ -229,8 +229,8 @@ pub fn generate_c1p(
             }
         })
         .collect();
-    let mut builder = ResponseMatrixBuilder::homogeneous(n_users, n_items, n_options)
-        .expect("validated above");
+    let mut builder =
+        ResponseMatrixBuilder::homogeneous(n_users, n_items, n_options).expect("validated above");
     let mut correct = 0usize;
     for i in 0..n_items {
         let mut thresholds: Vec<f64> = (0..k - 1).map(|_| rng.gen::<f64>()).collect();
@@ -494,7 +494,11 @@ mod tests {
     #[test]
     fn binary_generator_uses_3pl() {
         let items = vec![
-            ThreePl { discrimination: 2.0, difficulty: 0.0, guessing: 0.25 };
+            ThreePl {
+                discrimination: 2.0,
+                difficulty: 0.0,
+                guessing: 0.25
+            };
             30
         ];
         let mut rng = StdRng::seed_from_u64(9);

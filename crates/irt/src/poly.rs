@@ -264,7 +264,10 @@ mod tests {
         let cases = [(-1.0, 0usize), (0.0, 1), (1.0, 2)];
         for (theta, expect) in cases {
             let p = item.option_probs_vec(theta);
-            assert!(p[expect] > 1.0 - 1e-6, "θ={theta} should pick {expect}: {p:?}");
+            assert!(
+                p[expect] > 1.0 - 1e-6,
+                "θ={theta} should pick {expect}: {p:?}"
+            );
         }
     }
 
@@ -288,7 +291,10 @@ mod tests {
         let p = item.option_probs_vec(10.0);
         assert!(p[2] > 0.99);
         let p = item.option_probs_vec(-10.0);
-        assert!(p[0] > 0.99, "smallest slope dominates at low ability: {p:?}");
+        assert!(
+            p[0] > 0.99,
+            "smallest slope dominates at low ability: {p:?}"
+        );
     }
 
     #[test]

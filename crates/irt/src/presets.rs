@@ -23,19 +23,45 @@ use rand_distr::{Distribution, Normal};
 /// Triples are `(discrimination a, difficulty b, guessing c)`.
 pub fn american_experience_items() -> Vec<ThreePl> {
     const PARAMS: [(f64, f64, f64); 40] = [
-        (1.12, -1.73, 0.19), (0.74, -0.96, 0.12), (1.45, -0.53, 0.24),
-        (0.58, 0.21, 0.17), (1.88, 0.44, 0.21), (0.93, -1.18, 0.09),
-        (1.27, 0.87, 0.28), (0.66, 1.42, 0.14), (2.05, -0.31, 0.22),
-        (0.81, -2.04, 0.11), (1.53, 1.07, 0.31), (0.47, -0.62, 0.08),
-        (1.19, 0.02, 0.18), (1.71, -1.35, 0.26), (0.88, 0.63, 0.13),
-        (1.34, 1.78, 0.23), (0.55, -0.18, 0.16), (1.96, 0.29, 0.27),
-        (0.72, -1.51, 0.10), (1.08, 0.95, 0.20), (1.62, -0.74, 0.25),
-        (0.91, 1.23, 0.15), (1.41, -0.09, 0.29), (0.63, 0.51, 0.07),
-        (2.18, -1.02, 0.33), (0.78, 1.61, 0.12), (1.25, -0.41, 0.19),
-        (1.57, 0.73, 0.24), (0.84, -1.87, 0.17), (1.02, 0.14, 0.21),
-        (1.79, 1.33, 0.30), (0.52, -0.85, 0.06), (1.37, 0.38, 0.22),
-        (0.96, -0.24, 0.14), (1.66, -1.12, 0.28), (0.69, 0.82, 0.11),
-        (1.14, 1.94, 0.25), (1.49, -0.58, 0.18), (0.76, 0.07, 0.09),
+        (1.12, -1.73, 0.19),
+        (0.74, -0.96, 0.12),
+        (1.45, -0.53, 0.24),
+        (0.58, 0.21, 0.17),
+        (1.88, 0.44, 0.21),
+        (0.93, -1.18, 0.09),
+        (1.27, 0.87, 0.28),
+        (0.66, 1.42, 0.14),
+        (2.05, -0.31, 0.22),
+        (0.81, -2.04, 0.11),
+        (1.53, 1.07, 0.31),
+        (0.47, -0.62, 0.08),
+        (1.19, 0.02, 0.18),
+        (1.71, -1.35, 0.26),
+        (0.88, 0.63, 0.13),
+        (1.34, 1.78, 0.23),
+        (0.55, -0.18, 0.16),
+        (1.96, 0.29, 0.27),
+        (0.72, -1.51, 0.10),
+        (1.08, 0.95, 0.20),
+        (1.62, -0.74, 0.25),
+        (0.91, 1.23, 0.15),
+        (1.41, -0.09, 0.29),
+        (0.63, 0.51, 0.07),
+        (2.18, -1.02, 0.33),
+        (0.78, 1.61, 0.12),
+        (1.25, -0.41, 0.19),
+        (1.57, 0.73, 0.24),
+        (0.84, -1.87, 0.17),
+        (1.02, 0.14, 0.21),
+        (1.79, 1.33, 0.30),
+        (0.52, -0.85, 0.06),
+        (1.37, 0.38, 0.22),
+        (0.96, -0.24, 0.14),
+        (1.66, -1.12, 0.28),
+        (0.69, 0.82, 0.11),
+        (1.14, 1.94, 0.25),
+        (1.49, -0.58, 0.18),
+        (0.76, 0.07, 0.09),
         (1.91, -0.37, 0.32),
     ];
     PARAMS

@@ -62,7 +62,9 @@ pub fn arnoldi_largest(
 ) -> Result<Vec<ArnoldiPair>, LinalgError> {
     let n = op.dim();
     if k == 0 || k > n {
-        return Err(LinalgError::Degenerate("invalid number of requested eigenpairs"));
+        return Err(LinalgError::Degenerate(
+            "invalid number of requested eigenpairs",
+        ));
     }
     let max_j = opts.max_subspace.min(n);
     let mut basis: Vec<Vec<f64>> = Vec::new();
@@ -181,12 +183,8 @@ mod tests {
     #[test]
     fn asymmetric_top_eigenpair() {
         // Upper triangular: eigenvalues 5, 2, 1; top eigenvector is e1-ish.
-        let a = DenseMatrix::from_rows(&[
-            &[5.0, 1.0, 0.0],
-            &[0.0, 2.0, 1.0],
-            &[0.0, 0.0, 1.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[5.0, 1.0, 0.0], &[0.0, 2.0, 1.0], &[0.0, 0.0, 1.0]])
+            .unwrap();
         let op = DenseOp::new(&a);
         let x0 = crate::power::deterministic_start(3);
         let pairs = arnoldi_largest(&op, 1, &x0, &ArnoldiOptions::default()).unwrap();
@@ -201,12 +199,8 @@ mod tests {
     #[test]
     fn row_stochastic_top_two() {
         // Mimics U: dominant pair (1, e); the second pair is what HND uses.
-        let a = DenseMatrix::from_rows(&[
-            &[0.7, 0.2, 0.1],
-            &[0.25, 0.5, 0.25],
-            &[0.1, 0.2, 0.7],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[0.7, 0.2, 0.1], &[0.25, 0.5, 0.25], &[0.1, 0.2, 0.7]])
+            .unwrap();
         let op = DenseOp::new(&a);
         let x0 = crate::power::deterministic_start(3);
         let pairs = arnoldi_largest(&op, 2, &x0, &ArnoldiOptions::default()).unwrap();
@@ -217,7 +211,11 @@ mod tests {
         let av = op.apply_vec(v2);
         let mut res = av;
         vector::axpy(-pairs[1].value.re, v2, &mut res);
-        assert!(vector::norm2(&res) < 1e-6, "residual {}", vector::norm2(&res));
+        assert!(
+            vector::norm2(&res) < 1e-6,
+            "residual {}",
+            vector::norm2(&res)
+        );
     }
 
     #[test]
@@ -254,12 +252,8 @@ mod tests {
     #[test]
     fn complex_spectrum_reported() {
         // Block-diagonal: rotation (eigenvalues ±i·0.5) plus a real 2.
-        let a = DenseMatrix::from_rows(&[
-            &[0.0, -0.5, 0.0],
-            &[0.5, 0.0, 0.0],
-            &[0.0, 0.0, 2.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[0.0, -0.5, 0.0], &[0.5, 0.0, 0.0], &[0.0, 0.0, 2.0]])
+            .unwrap();
         let op = DenseOp::new(&a);
         let x0 = vec![0.5, 0.5, 0.5];
         let pairs = arnoldi_largest(&op, 3, &x0, &ArnoldiOptions::default()).unwrap();

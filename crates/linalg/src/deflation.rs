@@ -34,8 +34,16 @@ impl<'a, A: LinearOp + ?Sized> HotellingDeflatedOp<'a, A> {
     /// same simple eigenvalue).
     pub fn new(inner: &'a A, lambda: f64, right: Vec<f64>, left: Vec<f64>) -> Self {
         let n = inner.dim();
-        assert_eq!(right.len(), n, "HotellingDeflatedOp: right eigenvector length");
-        assert_eq!(left.len(), n, "HotellingDeflatedOp: left eigenvector length");
+        assert_eq!(
+            right.len(),
+            n,
+            "HotellingDeflatedOp: right eigenvector length"
+        );
+        assert_eq!(
+            left.len(),
+            n,
+            "HotellingDeflatedOp: left eigenvector length"
+        );
         let denom = vector::dot(&left, &right);
         assert!(
             denom.abs() > 1e-300,
@@ -74,12 +82,7 @@ mod tests {
     /// A small row-stochastic matrix mimicking `U`: dominant right
     /// eigenvector e with eigenvalue 1.
     fn row_stochastic() -> DenseMatrix {
-        DenseMatrix::from_rows(&[
-            &[0.6, 0.3, 0.1],
-            &[0.2, 0.5, 0.3],
-            &[0.1, 0.2, 0.7],
-        ])
-        .unwrap()
+        DenseMatrix::from_rows(&[&[0.6, 0.3, 0.1], &[0.2, 0.5, 0.3], &[0.1, 0.2, 0.7]]).unwrap()
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl DenseMatrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(DenseMatrix { rows: r, cols: c, data })
+        Ok(DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Builds from a flat row-major buffer.
@@ -284,7 +288,10 @@ mod tests {
         let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
         let p = a.matmul(&b).unwrap();
-        assert_eq!(p, DenseMatrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]).unwrap());
+        assert_eq!(
+            p,
+            DenseMatrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]).unwrap()
+        );
     }
 
     #[test]
@@ -303,23 +310,15 @@ mod tests {
     #[test]
     fn r_matrix_accepts_falling_off_diagonal() {
         // Classic R-matrix: values decay away from the diagonal.
-        let m = DenseMatrix::from_rows(&[
-            &[3.0, 2.0, 1.0],
-            &[2.0, 3.0, 2.0],
-            &[1.0, 2.0, 3.0],
-        ])
-        .unwrap();
+        let m = DenseMatrix::from_rows(&[&[3.0, 2.0, 1.0], &[2.0, 3.0, 2.0], &[1.0, 2.0, 3.0]])
+            .unwrap();
         assert!(m.is_r_matrix(1e-12));
     }
 
     #[test]
     fn r_matrix_rejects_bump() {
-        let m = DenseMatrix::from_rows(&[
-            &[3.0, 1.0, 2.0],
-            &[1.0, 3.0, 1.0],
-            &[2.0, 1.0, 3.0],
-        ])
-        .unwrap();
+        let m = DenseMatrix::from_rows(&[&[3.0, 1.0, 2.0], &[1.0, 3.0, 1.0], &[2.0, 1.0, 3.0]])
+            .unwrap();
         assert!(!m.is_r_matrix(1e-12));
     }
 

@@ -91,7 +91,11 @@ pub fn to_hessenberg(a: &mut DenseMatrix) {
 /// 30 sweeps (practically unreachable).
 pub fn hessenberg_eigenvalues(a: &mut DenseMatrix) -> Result<Vec<Eigenvalue>, LinalgError> {
     let n = a.rows();
-    assert_eq!(n, a.cols(), "hessenberg_eigenvalues requires a square matrix");
+    assert_eq!(
+        n,
+        a.cols(),
+        "hessenberg_eigenvalues requires a square matrix"
+    );
     if n == 0 {
         return Ok(Vec::new());
     }
@@ -136,14 +140,20 @@ pub fn hessenberg_eigenvalues(a: &mut DenseMatrix) -> Result<Vec<Eigenvalue>, Li
                 let x_t = x + t;
                 if q >= 0.0 {
                     let z = p + if p >= 0.0 { z } else { -z };
-                    out.push(Eigenvalue { re: x_t + z, im: 0.0 });
+                    out.push(Eigenvalue {
+                        re: x_t + z,
+                        im: 0.0,
+                    });
                     out.push(Eigenvalue {
                         re: if z != 0.0 { x_t - w / z } else { x_t + z },
                         im: 0.0,
                     });
                 } else {
                     out.push(Eigenvalue { re: x_t + p, im: z });
-                    out.push(Eigenvalue { re: x_t + p, im: -z });
+                    out.push(Eigenvalue {
+                        re: x_t + p,
+                        im: -z,
+                    });
                 }
                 nn -= 2;
                 break;
@@ -375,12 +385,9 @@ mod tests {
 
     #[test]
     fn triangular_matrix_eigenvalues_on_diagonal() {
-        let mut a = DenseMatrix::from_rows(&[
-            &[3.0, 1.0, 2.0],
-            &[0.0, -1.0, 4.0],
-            &[0.0, 0.0, 5.0],
-        ])
-        .unwrap();
+        let mut a =
+            DenseMatrix::from_rows(&[&[3.0, 1.0, 2.0], &[0.0, -1.0, 4.0], &[0.0, 0.0, 5.0]])
+                .unwrap();
         let eigs = hessenberg_eigenvalues(&mut a).unwrap();
         let got = sorted_real_parts(&eigs);
         assert!((got[0] + 1.0).abs() < 1e-9);
@@ -424,12 +431,9 @@ mod tests {
     #[test]
     fn companion_matrix_roots() {
         // Companion of x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3).
-        let mut a = DenseMatrix::from_rows(&[
-            &[6.0, -11.0, 6.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-        ])
-        .unwrap();
+        let mut a =
+            DenseMatrix::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]])
+                .unwrap();
         let eigs = hessenberg_eigenvalues(&mut a).unwrap();
         let got = sorted_real_parts(&eigs);
         for (g, expect) in got.iter().zip(&[1.0, 2.0, 3.0]) {
@@ -439,12 +443,8 @@ mod tests {
 
     #[test]
     fn eigenvector_by_inverse_iteration() {
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, 1.0, 0.0],
-            &[1.0, 3.0, 1.0],
-            &[0.0, 1.0, 4.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]])
+            .unwrap();
         let reference = crate::jacobi::symmetric_eig(&a).unwrap();
         for (lam, vec) in reference.values.iter().zip(&reference.vectors) {
             let v = eigenvector_for(&a, *lam, 3).unwrap();
@@ -456,12 +456,8 @@ mod tests {
     #[test]
     fn asymmetric_stochastic_matrix() {
         // Row-stochastic: dominant eigenvalue exactly 1.
-        let mut a = DenseMatrix::from_rows(&[
-            &[0.6, 0.3, 0.1],
-            &[0.2, 0.5, 0.3],
-            &[0.1, 0.2, 0.7],
-        ])
-        .unwrap();
+        let mut a = DenseMatrix::from_rows(&[&[0.6, 0.3, 0.1], &[0.2, 0.5, 0.3], &[0.1, 0.2, 0.7]])
+            .unwrap();
         let base = a.clone();
         to_hessenberg(&mut a);
         let eigs = hessenberg_eigenvalues(&mut a).unwrap();

@@ -131,12 +131,8 @@ mod tests {
 
     #[test]
     fn descending_order_and_orthonormal() {
-        let a = DenseMatrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.25],
-            &[0.5, 0.25, 2.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.25], &[0.5, 0.25, 2.0]])
+            .unwrap();
         let eig = symmetric_eig(&a).unwrap();
         assert!(eig.values.windows(2).all(|w| w[0] >= w[1]));
         for i in 0..3 {

@@ -70,7 +70,9 @@ pub fn lanczos_extreme(
 ) -> Result<Vec<RitzPair>, LinalgError> {
     let n = op.dim();
     if k == 0 || k > n {
-        return Err(LinalgError::Degenerate("invalid number of requested eigenpairs"));
+        return Err(LinalgError::Degenerate(
+            "invalid number of requested eigenpairs",
+        ));
     }
     let max_j = opts.max_subspace.min(n);
 
@@ -176,7 +178,9 @@ mod tests {
     fn random_symmetric(n: usize, seed: u64) -> DenseMatrix {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         let mut m = DenseMatrix::zeros(n, n);
@@ -192,27 +196,20 @@ mod tests {
 
     #[test]
     fn largest_of_diagonal() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 5.0, 0.0],
-            &[0.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 5.0, 0.0], &[0.0, 0.0, 3.0]])
+            .unwrap();
         let op = DenseOp::new(&a);
         let x0 = vec![1.0, 1.0, 1.0];
-        let pairs = lanczos_extreme(&op, 1, Which::Largest, &x0, &LanczosOptions::default()).unwrap();
+        let pairs =
+            lanczos_extreme(&op, 1, Which::Largest, &x0, &LanczosOptions::default()).unwrap();
         assert!((pairs[0].value - 5.0).abs() < 1e-8);
         assert!(pairs[0].vector[1].abs() > 0.999);
     }
 
     #[test]
     fn smallest_of_diagonal() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 5.0, 0.0],
-            &[0.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 5.0, 0.0], &[0.0, 0.0, 3.0]])
+            .unwrap();
         let op = DenseOp::new(&a);
         let x0 = vec![1.0, 1.0, 1.0];
         let pairs =
@@ -225,7 +222,8 @@ mod tests {
         let a = random_symmetric(20, 42);
         let op = DenseOp::new(&a);
         let x0 = crate::power::deterministic_start(20);
-        let pairs = lanczos_extreme(&op, 2, Which::Largest, &x0, &LanczosOptions::default()).unwrap();
+        let pairs =
+            lanczos_extreme(&op, 2, Which::Largest, &x0, &LanczosOptions::default()).unwrap();
         let reference = symmetric_eig(&a).unwrap();
         assert!((pairs[0].value - reference.values[0]).abs() < 1e-7);
         assert!((pairs[1].value - reference.values[1]).abs() < 1e-7);
@@ -252,7 +250,8 @@ mod tests {
         let a = random_symmetric(25, 3);
         let op = DenseOp::new(&a);
         let x0 = crate::power::deterministic_start(25);
-        let pairs = lanczos_extreme(&op, 2, Which::Largest, &x0, &LanczosOptions::default()).unwrap();
+        let pairs =
+            lanczos_extreme(&op, 2, Which::Largest, &x0, &LanczosOptions::default()).unwrap();
         for p in &pairs {
             let av = op.apply_vec(&p.vector);
             let mut res = av.clone();
@@ -277,7 +276,8 @@ mod tests {
         let a = DenseMatrix::identity(6);
         let op = DenseOp::new(&a);
         let x0 = vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
-        let pairs = lanczos_extreme(&op, 2, Which::Largest, &x0, &LanczosOptions::default()).unwrap();
+        let pairs =
+            lanczos_extreme(&op, 2, Which::Largest, &x0, &LanczosOptions::default()).unwrap();
         assert!((pairs[0].value - 1.0).abs() < 1e-9);
         assert!((pairs[1].value - 1.0).abs() < 1e-9);
     }

@@ -25,6 +25,34 @@
 //! that the spectral methods of the paper run in `O(nnz)` per iteration
 //! without ever materializing `U`, `Udiff`, `L` or `M` (Section III-F of the
 //! paper).
+//!
+//! ## The kernel engine
+//!
+//! Since every spectral method reduces to repeated products with the binary
+//! response matrix `C`, kernel throughput is system throughput. Three layers
+//! make those products run at memory speed:
+//!
+//! * **Pattern matrix** ([`pattern::BinaryCsr`]): `C` is 0/1, so it is
+//!   stored as a structure-only CSR with `u32` indices — no values array,
+//!   halving index traffic and removing a pointless 8-byte load + multiply
+//!   per entry. A precomputed CSC mirror turns `Cᵀ·s` from a serial scatter
+//!   into a row-/column-parallel *gather*, mirroring `C·w`.
+//! * **Fused scaled gathers**: [`pattern::BinaryCsr::rows_gather`] /
+//!   [`pattern::BinaryCsr::cols_gather`] take the whole per-row/column
+//!   reduction as a closure, so the `Crow`/`Ccol` diagonal normalizations
+//!   (and the `Dr^{-1/2}` symmetrization) fold into the same pass instead
+//!   of costing separate sweeps and `scaled` temporaries.
+//! * **Parallelism** ([`parallel`]): gathers split the output slice across
+//!   scoped threads (`HND_THREADS`/[`parallel::with_threads`] control the
+//!   worker count; small outputs stay serial). Chunks are contiguous and
+//!   each element is written once, so parallel results are bitwise equal to
+//!   serial ones.
+//!
+//! Iteration drivers ([`power`], [`lanczos`], [`deflation`], the operator
+//! combinators in [`op`]) keep all scratch buffers caller- or
+//! operator-owned: after warm-up, no heap allocation happens inside an
+//! iteration loop (verified by the counting-allocator test in
+//! `hnd-core/tests/zero_alloc.rs`).
 
 pub mod arnoldi;
 pub mod dense;
@@ -32,6 +60,8 @@ pub mod hessenberg;
 pub mod jacobi;
 pub mod lanczos;
 pub mod op;
+pub mod parallel;
+pub mod pattern;
 pub mod power;
 pub mod sparse;
 pub mod tridiag;
@@ -43,6 +73,7 @@ pub use arnoldi::{arnoldi_largest, ArnoldiOptions, ArnoldiPair};
 pub use dense::DenseMatrix;
 pub use lanczos::{lanczos_extreme, LanczosOptions, RitzPair, Which};
 pub use op::{DeflatedOp, DenseOp, LinearOp, ScaledOp, ShiftedOp};
+pub use pattern::BinaryCsr;
 pub use power::{power_iteration, PowerOptions, PowerOutcome};
 pub use sparse::CsrMatrix;
 

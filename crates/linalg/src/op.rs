@@ -54,7 +54,11 @@ impl<'a> DenseOp<'a> {
     /// # Panics
     /// Panics if the matrix is not square.
     pub fn new(matrix: &'a DenseMatrix) -> Self {
-        assert_eq!(matrix.rows(), matrix.cols(), "DenseOp requires a square matrix");
+        assert_eq!(
+            matrix.rows(),
+            matrix.cols(),
+            "DenseOp requires a square matrix"
+        );
         DenseOp { matrix }
     }
 }
@@ -110,6 +114,9 @@ pub struct DeflatedOp<'a, A: LinearOp + ?Sized> {
     inner: &'a A,
     /// Unit-norm vectors spanning the deflated subspace.
     basis: Vec<Vec<f64>>,
+    /// Reused input-projection buffer; `apply` must not allocate per call
+    /// (it sits inside power/Lanczos iteration loops).
+    projected: std::cell::RefCell<Vec<f64>>,
 }
 
 impl<'a, A: LinearOp + ?Sized> DeflatedOp<'a, A> {
@@ -126,7 +133,12 @@ impl<'a, A: LinearOp + ?Sized> DeflatedOp<'a, A> {
             assert!(n > 0.0, "DeflatedOp: zero basis vector");
             normed.push(u);
         }
-        DeflatedOp { inner, basis: normed }
+        let dim = inner.dim();
+        DeflatedOp {
+            inner,
+            basis: normed,
+            projected: std::cell::RefCell::new(vec![0.0; dim]),
+        }
     }
 
     fn project(&self, x: &mut [f64]) {
@@ -142,7 +154,8 @@ impl<A: LinearOp + ?Sized> LinearOp for DeflatedOp<'_, A> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let mut px = x.to_vec();
+        let mut px = self.projected.borrow_mut();
+        px.copy_from_slice(x);
         self.project(&mut px);
         self.inner.apply(&px, y);
         self.project(y);

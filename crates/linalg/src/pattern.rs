@@ -1,0 +1,390 @@
+//! The binary pattern matrix [`BinaryCsr`]: a sparsity structure with no
+//! values array.
+//!
+//! The paper's one-hot response matrix `C` is *purely* a pattern — every
+//! stored entry is 1.0. Storing it as a general [`CsrMatrix`](crate::CsrMatrix)
+//! wastes memory traffic twice over: an 8-byte value load per entry that
+//! always yields 1.0, and 8-byte `usize` column indices where `u32` suffice
+//! (the paper's scales are ≤ 10⁵ users × 10⁵·k option columns ≪ 2³²).
+//! [`BinaryCsr`] stores u32 indices only and keeps a precomputed CSC
+//! mirror, so both `C·w` (row gather) and `Cᵀ·s` (column gather) run as
+//! cache-friendly, embarrassingly parallel gather loops — the seed's
+//! `matvec_t` was a serial scatter that cannot be parallelized without
+//! atomics.
+//!
+//! The gather kernels are exposed in closure form ([`BinaryCsr::rows_gather`],
+//! [`BinaryCsr::cols_gather`]) so callers can fuse diagonal scalings into
+//! the same memory pass; `hnd-response` builds all of the paper's
+//! normalized products (`Crow·w`, `(Ccol)ᵀ·s`, `Uᵀ`, `Ũ`, the ABH
+//! Laplacian) on top of these two primitives with zero temporaries.
+
+use crate::dense::DenseMatrix;
+use crate::parallel;
+use crate::sparse::CsrMatrix;
+
+/// A binary (0/1) sparse matrix stored as a u32-index CSR pattern plus a
+/// CSC mirror of the same pattern.
+///
+/// Invariants: `row_ptr.len() == rows + 1`, `col_ptr.len() == cols + 1`,
+/// both monotone; column indices strictly increase within a row, row
+/// indices strictly increase within a column; CSR and CSC describe the same
+/// entry set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryCsr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    col_ptr: Vec<u32>,
+    row_idx: Vec<u32>,
+}
+
+impl BinaryCsr {
+    /// Builds a pattern from `(row, col)` pairs. Duplicates collapse to a
+    /// single entry (the matrix is 0/1 by definition).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds coordinates or dimensions exceeding `u32`.
+    pub fn from_pairs(
+        rows: usize,
+        cols: usize,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Self {
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "BinaryCsr: dimensions exceed u32"
+        );
+        // Two-pass counting sort into CSR, then mirror.
+        let mut entries: Vec<(u32, u32)> = pairs
+            .into_iter()
+            .map(|(r, c)| {
+                assert!(
+                    r < rows && c < cols,
+                    "pattern entry out of bounds: ({r},{c})"
+                );
+                (r as u32, c as u32)
+            })
+            .collect();
+        entries.sort_unstable();
+        entries.dedup();
+        assert!(
+            entries.len() <= u32::MAX as usize,
+            "BinaryCsr: entry count exceeds u32 ({} entries)",
+            entries.len()
+        );
+
+        let mut row_ptr = vec![0u32; rows + 1];
+        for &(r, _) in &entries {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx: Vec<u32> = entries.iter().map(|&(_, c)| c).collect();
+
+        let (col_ptr, row_idx) = Self::mirror(rows, cols, &row_ptr, &col_idx);
+        BinaryCsr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            col_ptr,
+            row_idx,
+        }
+    }
+
+    /// Extracts the sparsity pattern of a general CSR matrix (stored values
+    /// are ignored; every stored entry becomes a 1).
+    pub fn from_csr(matrix: &CsrMatrix) -> Self {
+        Self::from_pairs(
+            matrix.rows(),
+            matrix.cols(),
+            (0..matrix.rows()).flat_map(|i| matrix.row_iter(i).map(move |(c, _)| (i, c))),
+        )
+    }
+
+    fn mirror(rows: usize, cols: usize, row_ptr: &[u32], col_idx: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let mut col_ptr = vec![0u32; cols + 1];
+        for &c in col_idx {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..cols {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        let mut cursor = col_ptr[..cols].to_vec();
+        let mut row_idx = vec![0u32; col_idx.len()];
+        for r in 0..rows {
+            for k in row_ptr[r] as usize..row_ptr[r + 1] as usize {
+                let c = col_idx[k] as usize;
+                row_idx[cursor[c] as usize] = r as u32;
+                cursor[c] += 1;
+            }
+        }
+        // Row order within each column is ascending because rows were
+        // visited in order.
+        (col_ptr, row_idx)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (1-valued) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Column indices of row `i`, ascending.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize]
+    }
+
+    /// Row indices of column `c`, ascending (the CSC mirror).
+    #[inline]
+    pub fn col(&self, c: usize) -> &[u32] {
+        &self.row_idx[self.col_ptr[c] as usize..self.col_ptr[c + 1] as usize]
+    }
+
+    /// Iterator over the column indices of row `i`.
+    #[inline]
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(i).iter().map(|&c| c as usize)
+    }
+
+    /// Number of entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        (self.row_ptr[i + 1] - self.row_ptr[i]) as usize
+    }
+
+    /// Number of entries in column `c`.
+    #[inline]
+    pub fn col_nnz(&self, c: usize) -> usize {
+        (self.col_ptr[c + 1] - self.col_ptr[c]) as usize
+    }
+
+    /// Per-row entry counts as `f64` (`C · 1`).
+    pub fn row_counts(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| self.row_nnz(i) as f64).collect()
+    }
+
+    /// Per-column entry counts as `f64` (`Cᵀ · 1`).
+    pub fn col_counts(&self) -> Vec<f64> {
+        (0..self.cols).map(|c| self.col_nnz(c) as f64).collect()
+    }
+
+    /// Row-parallel gather: `y[i] = f(i, columns of row i)`.
+    ///
+    /// This is the fusion point for every `C`-sided product: the closure
+    /// owns the full row reduction, so diagonal scalings fold into the same
+    /// pass over the index array.
+    #[inline]
+    pub fn rows_gather(&self, y: &mut [f64], f: impl Fn(usize, &[u32]) -> f64 + Sync) {
+        assert_eq!(y.len(), self.rows, "rows_gather: output length mismatch");
+        parallel::par_fill(y, |offset, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let i = offset + k;
+                *slot = f(i, self.row(i));
+            }
+        });
+    }
+
+    /// Column-parallel gather: `y[c] = f(c, rows of column c)`.
+    ///
+    /// The CSC mirror turns `Cᵀ`-sided products from a serial scatter into
+    /// an embarrassingly parallel gather.
+    #[inline]
+    pub fn cols_gather(&self, y: &mut [f64], f: impl Fn(usize, &[u32]) -> f64 + Sync) {
+        assert_eq!(y.len(), self.cols, "cols_gather: output length mismatch");
+        parallel::par_fill(y, |offset, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let c = offset + k;
+                *slot = f(c, self.col(c));
+            }
+        });
+    }
+
+    /// `y = C x`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length mismatch");
+        self.rows_gather(y, |_, cols| gather_sum(cols, x));
+    }
+
+    /// `y = Cᵀ x` via the CSC mirror (gather, not scatter).
+    pub fn matvec_t(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_t: x length mismatch");
+        self.cols_gather(y, |_, rows| gather_sum(rows, x));
+    }
+
+    /// Sums `x` at the given indices: the reduction at the heart of every
+    /// pattern product. Four independent accumulators break the
+    /// floating-point add dependency chain, which otherwise pins the whole
+    /// kernel engine to FP-add *latency* (≈4 cycles per entry) instead of
+    /// throughput — the single biggest serial win over the seed kernels.
+    #[inline]
+    pub fn gather_sum(idx: &[u32], x: &[f64]) -> f64 {
+        gather_sum(idx, x)
+    }
+
+    /// Like [`Self::gather_sum`], but each gathered element is multiplied
+    /// by its per-index scale first: `Σ x[i]·scale[i]`. Used to fuse
+    /// `Dr⁻¹`/`Dr^{-1/2}` input scalings into the same pass.
+    #[inline]
+    pub fn gather_sum_scaled(idx: &[u32], x: &[f64], scale: &[f64]) -> f64 {
+        gather_sum_scaled(idx, x, scale)
+    }
+
+    /// Converts back to a general CSR matrix with all values 1.0
+    /// (round-trip/testing use).
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            self.rows,
+            self.cols,
+            (0..self.rows).flat_map(|i| self.row_iter(i).map(move |c| (i, c, 1.0))),
+        )
+    }
+
+    /// Densifies (test/debug use only).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for c in self.row_iter(i) {
+                m.set(i, c, 1.0);
+            }
+        }
+        m
+    }
+}
+
+#[inline]
+fn gather_sum(idx: &[u32], x: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let chunks = idx.chunks_exact(4);
+    let rem = chunks.remainder();
+    for ch in chunks {
+        acc[0] += x[ch[0] as usize];
+        acc[1] += x[ch[1] as usize];
+        acc[2] += x[ch[2] as usize];
+        acc[3] += x[ch[3] as usize];
+    }
+    let mut tail = 0.0;
+    for &i in rem {
+        tail += x[i as usize];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+#[inline]
+fn gather_sum_scaled(idx: &[u32], x: &[f64], scale: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let chunks = idx.chunks_exact(4);
+    let rem = chunks.remainder();
+    for ch in chunks {
+        acc[0] += x[ch[0] as usize] * scale[ch[0] as usize];
+        acc[1] += x[ch[1] as usize] * scale[ch[1] as usize];
+        acc[2] += x[ch[2] as usize] * scale[ch[2] as usize];
+        acc[3] += x[ch[3] as usize] * scale[ch[3] as usize];
+    }
+    let mut tail = 0.0;
+    for &i in rem {
+        tail += x[i as usize] * scale[i as usize];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BinaryCsr {
+        // [1 0 1]
+        // [0 0 0]
+        // [1 1 0]
+        BinaryCsr::from_pairs(3, 3, [(0, 0), (0, 2), (2, 0), (2, 1)])
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row(0), &[0, 2]);
+        assert_eq!(m.row(1), &[] as &[u32]);
+        assert_eq!(m.row(2), &[0, 1]);
+        assert_eq!(m.col(0), &[0, 2]);
+        assert_eq!(m.col(1), &[2]);
+        assert_eq!(m.col(2), &[0]);
+        assert_eq!(m.row_counts(), vec![2.0, 0.0, 2.0]);
+        assert_eq!(m.col_counts(), vec![2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let m = BinaryCsr::from_pairs(2, 2, [(0, 1), (0, 1), (1, 0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row(0), &[1]);
+    }
+
+    #[test]
+    fn matvec_pair_matches_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        let x = [1.0, -2.0, 0.5];
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        m.matvec(&x, &mut y1);
+        d.matvec(&x, &mut y2);
+        assert_eq!(y1, y2);
+        let xt = [2.0, 3.0, -1.0];
+        let mut t1 = vec![0.0; 3];
+        let mut t2 = vec![0.0; 3];
+        m.matvec_t(&xt, &mut t1);
+        d.transpose().matvec(&xt, &mut t2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_pattern() {
+        let csr =
+            CsrMatrix::from_triplets(3, 4, [(0, 1, 5.0), (1, 0, -2.0), (1, 3, 1.0), (2, 2, 7.0)]);
+        let pattern = BinaryCsr::from_csr(&csr);
+        let back = pattern.to_csr();
+        assert_eq!(back.rows(), csr.rows());
+        assert_eq!(back.cols(), csr.cols());
+        for i in 0..csr.rows() {
+            let want: Vec<usize> = csr.row_iter(i).map(|(c, _)| c).collect();
+            let got: Vec<usize> = pattern.row_iter(i).collect();
+            assert_eq!(got, want, "row {i}");
+            // All values are 1 after the round trip.
+            assert!(back.row_iter(i).all(|(_, v)| v == 1.0));
+        }
+    }
+
+    #[test]
+    fn gathers_fuse_scalings() {
+        let m = sample();
+        let x = [1.0, 1.0, 1.0];
+        let scale = [0.5, 10.0, 2.0];
+        let mut y = vec![0.0; 3];
+        // y[i] = scale[i] * rowsum
+        m.rows_gather(&mut y, |i, cols| {
+            scale[i] * cols.iter().map(|&c| x[c as usize]).sum::<f64>()
+        });
+        assert_eq!(y, vec![1.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds() {
+        BinaryCsr::from_pairs(2, 2, [(2, 0)]);
+    }
+}

@@ -75,8 +75,10 @@ pub fn power_iteration(op: &dyn LinearOp, x0: &[f64], opts: &PowerOptions) -> Po
             break;
         }
     }
-    let ax = op.apply_vec(&x);
-    let eigenvalue = vector::dot(&x, &ax);
+    // Rayleigh quotient from the existing scratch vector — the driver
+    // performs no allocation after its two up-front buffers.
+    op.apply(&x, &mut y);
+    let eigenvalue = vector::dot(&x, &y);
     PowerOutcome {
         vector: x,
         eigenvalue,
@@ -92,7 +94,9 @@ pub fn deterministic_start(n: usize) -> Vec<f64> {
     let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // map to (0, 1], then shift to avoid the all-positive constant vector
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         })

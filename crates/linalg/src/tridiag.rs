@@ -201,7 +201,9 @@ mod tests {
         // Fixed pseudo-random coefficients; checks T v = λ v for all pairs.
         let n = 12;
         let diag: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 17) as f64 / 3.0).collect();
-        let off: Vec<f64> = (0..n - 1).map(|i| ((i * 53 + 7) % 13) as f64 / 5.0 - 1.0).collect();
+        let off: Vec<f64> = (0..n - 1)
+            .map(|i| ((i * 53 + 7) % 13) as f64 / 5.0 - 1.0)
+            .collect();
         let eig = symmetric_tridiagonal_eig(&diag, &off).unwrap();
         check_residual(&diag, &off, &eig);
         // Trace preservation.

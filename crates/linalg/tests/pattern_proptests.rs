@@ -1,0 +1,138 @@
+//! Property tests for the pattern-matrix kernel engine: `BinaryCsr` must
+//! agree with the general `CsrMatrix` on every product, round-trip its
+//! pattern exactly, and produce identical results serially and in
+//! parallel — including degenerate shapes (empty rows, empty columns).
+
+use hnd_linalg::parallel::with_threads;
+use hnd_linalg::BinaryCsr;
+use proptest::prelude::*;
+
+/// Random sparsity pattern with deliberate empty rows/columns: dimensions
+/// up to 24×24, each candidate entry kept with probability ~1/3, and the
+/// last row/column left empty half of the time by bounding indices.
+fn random_pattern() -> impl Strategy<Value = BinaryCsr> {
+    (1usize..=24, 1usize..=24).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec((0..rows, 0..cols, proptest::bool::ANY), 0..160).prop_map(
+            move |entries| {
+                BinaryCsr::from_pairs(
+                    rows,
+                    cols,
+                    entries
+                        .into_iter()
+                        .filter(|&(_, _, keep)| keep)
+                        .map(|(r, c, _)| (r, c)),
+                )
+            },
+        )
+    })
+}
+
+fn dense_vec(n: usize, scale: f64) -> Vec<f64> {
+    (0..n).map(|i| scale * (i as f64 * 0.7 - 1.3)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pattern_matches_general_csr(p in random_pattern()) {
+        // The same products through the valued CSR path must agree.
+        let csr = p.to_csr();
+        let x = dense_vec(p.cols(), 1.0);
+        let mut y_pat = vec![0.0; p.rows()];
+        let mut y_csr = vec![0.0; p.rows()];
+        p.matvec(&x, &mut y_pat);
+        csr.matvec(&x, &mut y_csr);
+        for (a, b) in y_pat.iter().zip(&y_csr) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+        let xt = dense_vec(p.rows(), 0.9);
+        let mut t_pat = vec![0.0; p.cols()];
+        let mut t_csr = vec![0.0; p.cols()];
+        p.matvec_t(&xt, &mut t_pat);
+        csr.matvec_t(&xt, &mut t_csr);
+        for (a, b) in t_pat.iter().zip(&t_csr) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+        // Count vectors agree with the CSR sums (values are all 1).
+        prop_assert_eq!(p.row_counts(), csr.row_sums());
+        prop_assert_eq!(p.col_counts(), csr.col_sums());
+    }
+
+    #[test]
+    fn csr_roundtrip_is_exact(p in random_pattern()) {
+        let back = BinaryCsr::from_csr(&p.to_csr());
+        prop_assert_eq!(&back, &p);
+    }
+
+    #[test]
+    fn serial_and_parallel_kernels_agree(p in random_pattern()) {
+        let x = dense_vec(p.cols(), 1.1);
+        let xt = dense_vec(p.rows(), -0.4);
+
+        let (y_ser, t_ser) = with_threads(1, || {
+            let mut y = vec![0.0; p.rows()];
+            let mut t = vec![0.0; p.cols()];
+            p.matvec(&x, &mut y);
+            p.matvec_t(&xt, &mut t);
+            (y, t)
+        });
+        for threads in [2usize, 5] {
+            let (y_par, t_par) = with_threads(threads, || {
+                let mut y = vec![0.0; p.rows()];
+                let mut t = vec![0.0; p.cols()];
+                p.matvec(&x, &mut y);
+                p.matvec_t(&xt, &mut t);
+                (y, t)
+            });
+            for (a, b) in y_ser.iter().zip(&y_par) {
+                prop_assert!((a - b).abs() < 1e-12, "matvec diverges at {threads} threads");
+            }
+            for (a, b) in t_ser.iter().zip(&t_par) {
+                prop_assert!((a - b).abs() < 1e-12, "matvec_t diverges at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_is_consistent(p in random_pattern()) {
+        // Every CSR entry appears in the CSC mirror and vice versa.
+        let mut from_rows: Vec<(usize, usize)> = (0..p.rows())
+            .flat_map(|r| p.row_iter(r).map(move |c| (r, c)))
+            .collect();
+        let mut from_cols: Vec<(usize, usize)> = (0..p.cols())
+            .flat_map(|c| p.col(c).iter().map(move |&r| (r as usize, c)))
+            .collect();
+        from_rows.sort_unstable();
+        from_cols.sort_unstable();
+        prop_assert_eq!(from_rows, from_cols);
+    }
+}
+
+/// The parallel path must also engage for genuinely large outputs (above
+/// the serial cut-off) and agree with the serial result there.
+#[test]
+fn large_vector_parallel_agreement() {
+    let rows = 40_000usize;
+    let cols = 64usize;
+    let p = BinaryCsr::from_pairs(
+        rows,
+        cols,
+        (0..rows).flat_map(|r| (0..4).map(move |k| (r, (r * 7 + k * 13) % 64))),
+    );
+    let x = dense_vec(cols, 0.3);
+    let serial = with_threads(1, || {
+        let mut y = vec![0.0; rows];
+        p.matvec(&x, &mut y);
+        y
+    });
+    let parallel = with_threads(8, || {
+        let mut y = vec![0.0; rows];
+        p.matvec(&x, &mut y);
+        y
+    });
+    assert_eq!(
+        serial, parallel,
+        "contiguous chunking must be bitwise exact"
+    );
+}

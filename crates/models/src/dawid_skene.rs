@@ -236,12 +236,7 @@ mod tests {
 
     #[test]
     fn rejects_heterogeneous_items() {
-        let m = ResponseMatrix::from_choices(
-            2,
-            &[2, 3],
-            &[&[Some(0), Some(2)]],
-        )
-        .unwrap();
+        let m = ResponseMatrix::from_choices(2, &[2, 3], &[&[Some(0), Some(2)]]).unwrap();
         assert!(DawidSkene::default().fit(&m).is_err());
     }
 

@@ -69,7 +69,7 @@ fn run_investment(
                 continue;
             }
             let mut acc = 0.0;
-            for (c, _) in c_bin.row_iter(user) {
+            for c in c_bin.row_iter(user) {
                 if invested[c] > 0.0 {
                     acc += belief[c] * stake / invested[c];
                 }
@@ -177,7 +177,9 @@ mod tests {
 
     #[test]
     fn pooled_investment_rewards_consensus() {
-        let r = PooledInvestment::default().rank(&consensus_matrix()).unwrap();
+        let r = PooledInvestment::default()
+            .rank(&consensus_matrix())
+            .unwrap();
         assert!(r.scores[0] > r.scores[3], "{:?}", r.scores);
     }
 
@@ -191,12 +193,8 @@ mod tests {
 
     #[test]
     fn empty_user_scores_zero() {
-        let m = ResponseMatrix::from_choices(
-            2,
-            &[2, 2],
-            &[&[Some(0), Some(0)], &[None, None]],
-        )
-        .unwrap();
+        let m = ResponseMatrix::from_choices(2, &[2, 2], &[&[Some(0), Some(0)], &[None, None]])
+            .unwrap();
         for ranking in [
             Investment::default().rank(&m).unwrap(),
             PooledInvestment::default().rank(&m).unwrap(),

@@ -86,22 +86,15 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(
-            MajorityVote::plurality_options(&m),
-            vec![Some(0), Some(1)]
-        );
+        assert_eq!(MajorityVote::plurality_options(&m), vec![Some(0), Some(1)]);
         let r = MajorityVote.rank(&m).unwrap();
         assert_eq!(r.scores, vec![1.0, 1.0, 0.5, 0.0]);
     }
 
     #[test]
     fn unanswered_item_excluded() {
-        let m = ResponseMatrix::from_choices(
-            2,
-            &[2, 2],
-            &[&[Some(0), None], &[Some(0), None]],
-        )
-        .unwrap();
+        let m = ResponseMatrix::from_choices(2, &[2, 2], &[&[Some(0), None], &[Some(0), None]])
+            .unwrap();
         assert_eq!(MajorityVote::plurality_options(&m)[1], None);
         let r = MajorityVote.rank(&m).unwrap();
         assert_eq!(r.scores, vec![1.0, 1.0]);
@@ -109,12 +102,7 @@ mod tests {
 
     #[test]
     fn silent_user_scores_zero() {
-        let m = ResponseMatrix::from_choices(
-            1,
-            &[2],
-            &[&[Some(0)], &[None]],
-        )
-        .unwrap();
+        let m = ResponseMatrix::from_choices(1, &[2], &[&[Some(0)], &[None]]).unwrap();
         let r = MajorityVote.rank(&m).unwrap();
         assert_eq!(r.scores[1], 0.0);
     }

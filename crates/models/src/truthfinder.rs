@@ -130,12 +130,8 @@ mod tests {
 
     #[test]
     fn unanswering_user_scores_zero() {
-        let m = ResponseMatrix::from_choices(
-            2,
-            &[2, 2],
-            &[&[Some(0), Some(0)], &[None, None]],
-        )
-        .unwrap();
+        let m = ResponseMatrix::from_choices(2, &[2, 2], &[&[Some(0), Some(0)], &[None, None]])
+            .unwrap();
         let r = TruthFinder::default().rank(&m).unwrap();
         assert_eq!(r.scores[1], 0.0);
     }

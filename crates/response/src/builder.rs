@@ -70,7 +70,12 @@ impl ResponseMatrixBuilder {
     ///
     /// # Panics
     /// Panics if `user` or `item` are out of bounds (programming error).
-    pub fn set(&mut self, user: usize, item: usize, choice: Option<u16>) -> Result<(), ResponseError> {
+    pub fn set(
+        &mut self,
+        user: usize,
+        item: usize,
+        choice: Option<u16>,
+    ) -> Result<(), ResponseError> {
         assert!(user < self.n_users, "user index out of bounds");
         assert!(item < self.n_items, "item index out of bounds");
         if let Some(opt) = choice {

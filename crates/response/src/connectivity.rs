@@ -100,15 +100,9 @@ mod tests {
 
     #[test]
     fn fully_connected_single_component() {
-        let r = ResponseMatrix::from_choices(
-            2,
-            &[2, 2],
-            &[
-                &[Some(0), Some(0)],
-                &[Some(0), Some(1)],
-            ],
-        )
-        .unwrap();
+        let r =
+            ResponseMatrix::from_choices(2, &[2, 2], &[&[Some(0), Some(0)], &[Some(0), Some(1)]])
+                .unwrap();
         let rep = r.connectivity();
         assert!(rep.is_fully_connected());
         assert_eq!(rep.components, 1);
@@ -119,15 +113,8 @@ mod tests {
     fn two_components_detected() {
         // Users 0 and 1 share nothing: user 0 answers item 0 option 0,
         // user 1 answers item 1 option 1 — disjoint option sets.
-        let r = ResponseMatrix::from_choices(
-            2,
-            &[2, 2],
-            &[
-                &[Some(0), None],
-                &[None, Some(1)],
-            ],
-        )
-        .unwrap();
+        let r = ResponseMatrix::from_choices(2, &[2, 2], &[&[Some(0), None], &[None, Some(1)]])
+            .unwrap();
         let rep = r.connectivity();
         assert_eq!(rep.components, 2);
         assert!(!rep.is_fully_connected());
@@ -136,15 +123,7 @@ mod tests {
 
     #[test]
     fn isolated_user_reported() {
-        let r = ResponseMatrix::from_choices(
-            1,
-            &[2],
-            &[
-                &[Some(0)],
-                &[None],
-            ],
-        )
-        .unwrap();
+        let r = ResponseMatrix::from_choices(1, &[2], &[&[Some(0)], &[None]]).unwrap();
         let rep = r.connectivity();
         assert_eq!(rep.isolated_users, vec![1]);
         assert_eq!(rep.components, 1);
@@ -158,11 +137,7 @@ mod tests {
         let r = ResponseMatrix::from_choices(
             2,
             &[3, 3],
-            &[
-                &[Some(0), None],
-                &[Some(0), Some(1)],
-                &[None, Some(1)],
-            ],
+            &[&[Some(0), None], &[Some(0), Some(1)], &[None, Some(1)]],
         )
         .unwrap();
         let rep = r.connectivity();

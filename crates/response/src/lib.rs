@@ -23,9 +23,9 @@ mod ranking;
 pub use builder::ResponseMatrixBuilder;
 pub use connectivity::ConnectivityReport;
 pub use matrix::ResponseMatrix;
-pub use ops::ResponseOps;
+pub use ops::{KernelWorkspace, ResponseOps};
 pub use orientation::{group_choice_entropy, orient_by_decile_entropy};
-pub use ranking::{AbilityRanker, RankError, Ranking};
+pub use ranking::{rank_many, AbilityRanker, RankError, Ranking};
 
 /// Errors raised while constructing or validating response matrices.
 #[derive(Debug, Clone, PartialEq, Eq)]

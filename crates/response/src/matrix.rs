@@ -1,7 +1,7 @@
 //! The [`ResponseMatrix`] type.
 
 use crate::{ConnectivityReport, ResponseError};
-use hnd_linalg::CsrMatrix;
+use hnd_linalg::{BinaryCsr, CsrMatrix};
 
 /// Responses of `m` users to `n` heterogeneous multiple-choice items
 /// (Definition 1 of the paper).
@@ -74,7 +74,11 @@ impl ResponseMatrix {
                 choices.push(choice);
             }
         }
-        Ok(Self::from_parts(n_items, options_per_item.to_vec(), choices))
+        Ok(Self::from_parts(
+            n_items,
+            options_per_item.to_vec(),
+            choices,
+        ))
     }
 
     /// Internal constructor from validated parts (used by the builder).
@@ -194,13 +198,27 @@ impl ResponseMatrix {
     }
 
     /// The one-hot binary response matrix `C` (`m × Σkᵢ`, entries 0/1) in
-    /// CSR form — Figure 1b of the paper.
+    /// CSR form — Figure 1b of the paper. Prefer [`Self::to_binary_pattern`]
+    /// for compute kernels; this general form remains for code that mixes
+    /// `C` with valued matrices (e.g. the C1P checks).
     pub fn to_binary_csr(&self) -> CsrMatrix {
         CsrMatrix::from_triplets(
             self.n_users,
             self.total_options(),
             self.iter_choices()
                 .map(|(u, i, o)| (u, self.one_hot_column(i, o), 1.0)),
+        )
+    }
+
+    /// The binary response matrix as a structure-only pattern (u32 indices,
+    /// no values array, CSC mirror precomputed) — the representation the
+    /// spectral kernel engine runs on.
+    pub fn to_binary_pattern(&self) -> BinaryCsr {
+        BinaryCsr::from_pairs(
+            self.n_users,
+            self.total_options(),
+            self.iter_choices()
+                .map(|(u, i, o)| (u, self.one_hot_column(i, o))),
         )
     }
 
@@ -268,12 +286,7 @@ mod tests {
         // Figure 1b shows C with rows (one-hot over columns 1A 1B 1C 2A 2B 2C 3A 3B 3C):
         // u1: 100 100 100 ; u2: 100 100 001 ; u3: 100 010 001 ; u4: 010 001 001
         let c = figure1().to_binary_csr();
-        let expected = [
-            vec![0, 3, 6],
-            vec![0, 3, 8],
-            vec![0, 4, 8],
-            vec![1, 5, 8],
-        ];
+        let expected = [vec![0, 3, 6], vec![0, 3, 8], vec![0, 4, 8], vec![1, 5, 8]];
         for (u, cols) in expected.iter().enumerate() {
             let got: Vec<usize> = c.row_iter(u).map(|(c, _)| c).collect();
             assert_eq!(&got, cols, "user {u}");
@@ -282,12 +295,8 @@ mod tests {
 
     #[test]
     fn column_mapping_roundtrip() {
-        let r = ResponseMatrix::from_choices(
-            3,
-            &[2, 4, 3],
-            &[&[Some(0), Some(3), Some(2)]],
-        )
-        .unwrap();
+        let r =
+            ResponseMatrix::from_choices(3, &[2, 4, 3], &[&[Some(0), Some(3), Some(2)]]).unwrap();
         for item in 0..3 {
             for opt in 0..r.options_of(item) {
                 let col = r.one_hot_column(item, opt);
@@ -302,11 +311,7 @@ mod tests {
         let r = ResponseMatrix::from_choices(
             2,
             &[2, 2],
-            &[
-                &[Some(0), None],
-                &[Some(0), Some(1)],
-                &[None, None],
-            ],
+            &[&[Some(0), None], &[Some(0), Some(1)], &[None, None]],
         )
         .unwrap();
         assert_eq!(r.row_counts(), vec![1, 2, 0]);
@@ -340,7 +345,10 @@ mod tests {
         );
         assert_eq!(
             ResponseMatrix::from_choices(2, &[2], &[&[None, None]]),
-            Err(ResponseError::OptionsLengthMismatch { expected: 2, got: 1 })
+            Err(ResponseError::OptionsLengthMismatch {
+                expected: 2,
+                got: 1
+            })
         );
         assert!(matches!(
             ResponseMatrix::from_choices(1, &[2], &[&[Some(5)]]),

@@ -3,33 +3,93 @@
 //! Every spectral method of the paper is a loop over four products:
 //! `w = Cᵀs`, `s = Cw`, and their row/column-normalized versions
 //! `w = (Ccol)ᵀs`, `s = Crow·w` (Section III-B). [`ResponseOps`] bundles the
-//! CSR form of `C` with the row/column counts so each product costs
-//! `O(nnz) = O(mn)` and nothing larger than `C` is ever materialized.
+//! structure-only pattern form of `C` ([`BinaryCsr`]) with the row/column
+//! counts so each product costs `O(nnz) = O(mn)` and nothing larger than
+//! `C` is ever materialized.
+//!
+//! ## Kernel engine
+//!
+//! All products are built on the two gather primitives of [`BinaryCsr`]
+//! (row gather over CSR, column gather over the CSC mirror), which
+//! parallelize over the output and fuse the diagonal normalizations into
+//! the same memory pass:
+//!
+//! * the `Dr⁻¹`/`Dc⁻¹` divisions of `Crow`/`Ccol` are precomputed once as
+//!   reciprocal vectors ([`ResponseOps::inv_row_counts`],
+//!   [`ResponseOps::inv_col_counts`], zero for empty rows/columns — which
+//!   reproduces the paper's drop-unpicked-options convention for free), and
+//! * composite operators (`Uᵀ`, the symmetrized `Ũ`, the ABH Laplacian)
+//!   fold their input-side scalings into the gather closure, eliminating
+//!   the `scaled` temporaries the seed implementation allocated per call.
+//!
+//! Every kernel writes into caller-owned buffers; none allocates. The
+//! [`KernelWorkspace`] bundle gives operator implementations a reusable
+//! set of scratch vectors so whole power/Lanczos iterations run
+//! allocation-free.
 
 use crate::ResponseMatrix;
-use hnd_linalg::CsrMatrix;
+use hnd_linalg::BinaryCsr;
 
 /// Precomputed operator context for a response matrix.
 #[derive(Debug, Clone)]
 pub struct ResponseOps {
-    /// The one-hot binary response matrix `C` (`m × Σkᵢ`).
-    c: CsrMatrix,
+    /// The one-hot binary response matrix `C` (`m × Σkᵢ`) as a pattern.
+    c: BinaryCsr,
     /// `Dr` diagonal: answers per user (row sums of `C`).
     row_counts: Vec<f64>,
     /// `Dc` diagonal: picks per option (column sums of `C`).
     col_counts: Vec<f64>,
+    /// `Dr⁻¹` diagonal; `0` for users who answered nothing.
+    inv_row: Vec<f64>,
+    /// `Dc⁻¹` diagonal; `0` for options nobody picked.
+    inv_col: Vec<f64>,
+}
+
+/// Reusable scratch buffers sized for one [`ResponseOps`]: one
+/// option-length vector and two user-length vectors. Operators hold one of
+/// these (behind a `RefCell`) so repeated applications inside an iteration
+/// loop allocate nothing.
+#[derive(Debug, Clone)]
+pub struct KernelWorkspace {
+    /// Option-sized scratch (`Σkᵢ`).
+    pub w: Vec<f64>,
+    /// User-sized scratch.
+    pub s: Vec<f64>,
+    /// Second user-sized scratch.
+    pub s2: Vec<f64>,
+}
+
+impl KernelWorkspace {
+    /// Allocates a workspace matching `ops`' dimensions.
+    pub fn for_ops(ops: &ResponseOps) -> Self {
+        KernelWorkspace {
+            w: vec![0.0; ops.n_option_columns()],
+            s: vec![0.0; ops.n_users()],
+            s2: vec![0.0; ops.n_users()],
+        }
+    }
 }
 
 impl ResponseOps {
     /// Builds the operator context.
     pub fn new(matrix: &ResponseMatrix) -> Self {
-        let c = matrix.to_binary_csr();
-        let row_counts = c.row_sums();
-        let col_counts = c.col_sums();
+        let c = matrix.to_binary_pattern();
+        let row_counts = c.row_counts();
+        let col_counts = c.col_counts();
+        let inv_row = row_counts
+            .iter()
+            .map(|&n| if n > 0.0 { 1.0 / n } else { 0.0 })
+            .collect();
+        let inv_col = col_counts
+            .iter()
+            .map(|&n| if n > 0.0 { 1.0 / n } else { 0.0 })
+            .collect();
         ResponseOps {
             c,
             row_counts,
             col_counts,
+            inv_row,
+            inv_col,
         }
     }
 
@@ -43,8 +103,8 @@ impl ResponseOps {
         self.c.cols()
     }
 
-    /// The binary response matrix.
-    pub fn binary(&self) -> &CsrMatrix {
+    /// The binary response matrix pattern.
+    pub fn binary(&self) -> &BinaryCsr {
         &self.c
     }
 
@@ -56,6 +116,16 @@ impl ResponseOps {
     /// Picks per option (`Dc` diagonal).
     pub fn col_counts(&self) -> &[f64] {
         &self.col_counts
+    }
+
+    /// `Dr⁻¹` diagonal (0 for users with no answers).
+    pub fn inv_row_counts(&self) -> &[f64] {
+        &self.inv_row
+    }
+
+    /// `Dc⁻¹` diagonal (0 for options nobody picked).
+    pub fn inv_col_counts(&self) -> &[f64] {
+        &self.inv_col
     }
 
     /// `w = Cᵀ s` (unnormalized).
@@ -72,28 +142,18 @@ impl ResponseOps {
     /// Options nobody picked get weight 0 (the paper drops such columns
     /// WLOG; zeroing them is equivalent).
     pub fn ccol_t_apply(&self, s: &[f64], w: &mut [f64]) {
-        self.c.matvec_t(s, w);
-        for (wi, &cnt) in w.iter_mut().zip(&self.col_counts) {
-            if cnt > 0.0 {
-                *wi /= cnt;
-            } else {
-                *wi = 0.0;
-            }
-        }
+        let inv_col = &self.inv_col;
+        self.c
+            .cols_gather(w, |c, rows| inv_col[c] * BinaryCsr::gather_sum(rows, s));
     }
 
     /// `s = Crow w`: user score = *average* weight of their chosen options.
     /// Users who answered nothing get score 0 and are reported by
     /// [`ResponseMatrix::connectivity`](crate::ResponseMatrix::connectivity).
     pub fn crow_apply(&self, w: &[f64], s: &mut [f64]) {
-        self.c.matvec(w, s);
-        for (si, &cnt) in s.iter_mut().zip(&self.row_counts) {
-            if cnt > 0.0 {
-                *si /= cnt;
-            } else {
-                *si = 0.0;
-            }
-        }
+        let inv_row = &self.inv_row;
+        self.c
+            .rows_gather(s, |r, cols| inv_row[r] * BinaryCsr::gather_sum(cols, w));
     }
 
     /// One AvgHITS step `s ← U s` with `U = Crow (Ccol)ᵀ`, using `w` as the
@@ -105,47 +165,56 @@ impl ResponseOps {
 
     /// One transposed AvgHITS step `s ← Uᵀ s` (needed for the dominant
     /// *left* eigenvector in Hotelling deflation):
-    /// `Uᵀ = Ccol (Crow)ᵀ`, i.e. scale by rows first, then average columns.
+    /// `Uᵀ = Ccol (Crow)ᵀ = C Dc⁻¹ Cᵀ Dr⁻¹`. The `Dr⁻¹` input scaling is
+    /// fused into the column gather, so no scaled copy of `s_in` is made.
     pub fn ut_apply(&self, s_in: &[f64], w_scratch: &mut [f64], s_out: &mut [f64]) {
-        // (Crow)ᵀ s: divide s by row counts, then Cᵀ.
-        let scaled: Vec<f64> = s_in
-            .iter()
-            .zip(&self.row_counts)
-            .map(|(v, &c)| if c > 0.0 { v / c } else { 0.0 })
-            .collect();
-        self.c.matvec_t(&scaled, w_scratch);
-        // Ccol w: divide w by column counts, then C.
-        for (wi, &cnt) in w_scratch.iter_mut().zip(&self.col_counts) {
-            if cnt > 0.0 {
-                *wi /= cnt;
-            } else {
-                *wi = 0.0;
-            }
-        }
+        let inv_row = &self.inv_row;
+        let inv_col = &self.inv_col;
+        self.c.cols_gather(w_scratch, |c, rows| {
+            inv_col[c] * BinaryCsr::gather_sum_scaled(rows, s_in, inv_row)
+        });
         self.c.matvec(w_scratch, s_out);
+    }
+
+    /// One symmetrized AvgHITS step `s ← Ũ s` with
+    /// `Ũ = Dr^{-1/2} C Dc⁻¹ Cᵀ Dr^{-1/2}` (see
+    /// `hnd_core::operators::SymmetrizedUOp`). The caller supplies the
+    /// `Dr^{-1/2}` diagonal; both of its applications are fused into the
+    /// gathers, so the kernel makes exactly two passes over `C` and
+    /// allocates nothing.
+    pub fn symmetrized_u_apply(
+        &self,
+        s_in: &[f64],
+        inv_sqrt_rows: &[f64],
+        w_scratch: &mut [f64],
+        s_out: &mut [f64],
+    ) {
+        let inv_col = &self.inv_col;
+        self.c.cols_gather(w_scratch, |c, rows| {
+            inv_col[c] * BinaryCsr::gather_sum_scaled(rows, s_in, inv_sqrt_rows)
+        });
+        self.c.rows_gather(s_out, |r, cols| {
+            inv_sqrt_rows[r] * BinaryCsr::gather_sum(cols, w_scratch)
+        });
     }
 
     /// Row sums of `CCᵀ` — the `D` diagonal of the ABH Laplacian
     /// `L = D − CCᵀ`. `d_j = Σ_{options c picked by j} colcount(c)`.
     pub fn cct_row_sums(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.n_users()];
-        for j in 0..self.n_users() {
-            let mut acc = 0.0;
-            for (col, v) in self.c.row_iter(j) {
-                acc += v * self.col_counts[col];
-            }
-            d[j] = acc;
-        }
+        let col_counts = &self.col_counts;
+        self.c
+            .rows_gather(&mut d, |_, cols| BinaryCsr::gather_sum(cols, col_counts));
         d
     }
 
     /// `y = L x` with `L = D − CCᵀ` (ABH Laplacian), using `w` as scratch.
+    /// The `D x − ·` combination is fused into the second gather.
     pub fn laplacian_apply(&self, d: &[f64], x: &[f64], w_scratch: &mut [f64], y: &mut [f64]) {
         self.ct_apply(x, w_scratch);
-        self.c_apply(w_scratch, y);
-        for i in 0..y.len() {
-            y[i] = d[i] * x[i] - y[i];
-        }
+        self.c.rows_gather(y, |r, cols| {
+            d[r] * x[r] - BinaryCsr::gather_sum(cols, w_scratch)
+        });
     }
 }
 
@@ -227,6 +296,40 @@ mod tests {
     }
 
     #[test]
+    fn symmetrized_apply_matches_scaled_composition() {
+        // Ũ x must equal Dr^{-1/2} C Dc^{-1} Cᵀ Dr^{-1/2} x computed the
+        // long way with explicit temporaries.
+        let m = ResponseMatrix::from_choices(
+            2,
+            &[2, 3],
+            &[&[Some(0), Some(2)], &[Some(0), None], &[None, None]],
+        )
+        .unwrap();
+        let ops = ResponseOps::new(&m);
+        let inv_sqrt: Vec<f64> = ops
+            .row_counts()
+            .iter()
+            .map(|&c| if c > 0.0 { 1.0 / c.sqrt() } else { 0.0 })
+            .collect();
+        let x = [0.4, -1.0, 2.0];
+        let mut w = vec![0.0; ops.n_option_columns()];
+        let mut got = vec![0.0; 3];
+        ops.symmetrized_u_apply(&x, &inv_sqrt, &mut w, &mut got);
+
+        let scaled: Vec<f64> = x.iter().zip(&inv_sqrt).map(|(v, s)| v * s).collect();
+        let mut w2 = vec![0.0; ops.n_option_columns()];
+        ops.ccol_t_apply(&scaled, &mut w2);
+        let mut expect = vec![0.0; 3];
+        ops.c_apply(&w2, &mut expect);
+        for (e, s) in expect.iter_mut().zip(&inv_sqrt) {
+            *e *= s;
+        }
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-12, "{got:?} vs {expect:?}");
+        }
+    }
+
+    #[test]
     fn laplacian_matches_definition() {
         let ops = ResponseOps::new(&figure1());
         let d = ops.cct_row_sums();
@@ -254,15 +357,8 @@ mod tests {
 
     #[test]
     fn empty_rows_and_columns_are_safe() {
-        let m = ResponseMatrix::from_choices(
-            2,
-            &[2, 2],
-            &[
-                &[Some(0), Some(0)],
-                &[None, None],
-            ],
-        )
-        .unwrap();
+        let m = ResponseMatrix::from_choices(2, &[2, 2], &[&[Some(0), Some(0)], &[None, None]])
+            .unwrap();
         let ops = ResponseOps::new(&m);
         let s = [1.0, 1.0];
         let mut w = vec![0.0; 4];
@@ -270,5 +366,14 @@ mod tests {
         ops.u_apply(&s, &mut w, &mut out);
         assert!((out[0] - 1.0).abs() < 1e-12);
         assert_eq!(out[1], 0.0, "user with no answers scores 0");
+    }
+
+    #[test]
+    fn workspace_matches_dimensions() {
+        let ops = ResponseOps::new(&figure1());
+        let ws = KernelWorkspace::for_ops(&ops);
+        assert_eq!(ws.w.len(), ops.n_option_columns());
+        assert_eq!(ws.s2.len(), ops.n_users());
+        assert_eq!(ws.s.len(), ops.n_users());
     }
 }

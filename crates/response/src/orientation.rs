@@ -135,12 +135,9 @@ mod tests {
 
     #[test]
     fn unanswered_items_are_skipped() {
-        let m = crate::ResponseMatrix::from_choices(
-            2,
-            &[2, 2],
-            &[&[Some(0), None], &[Some(0), None]],
-        )
-        .unwrap();
+        let m =
+            crate::ResponseMatrix::from_choices(2, &[2, 2], &[&[Some(0), None], &[Some(0), None]])
+                .unwrap();
         assert_eq!(group_choice_entropy(&m, &[0, 1]), 0.0);
     }
 }

@@ -100,6 +100,49 @@ pub trait AbilityRanker {
     fn rank(&self, responses: &ResponseMatrix) -> Result<Ranking, RankError>;
 }
 
+impl<T: AbilityRanker + ?Sized> AbilityRanker for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn rank(&self, responses: &ResponseMatrix) -> Result<Ranking, RankError> {
+        (**self).rank(responses)
+    }
+}
+
+impl<T: AbilityRanker + ?Sized> AbilityRanker for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn rank(&self, responses: &ResponseMatrix) -> Result<Ranking, RankError> {
+        (**self).rank(responses)
+    }
+}
+
+/// Ranks a batch of response matrices with one ranker, in parallel across
+/// matrices (order-preserving; each matrix is ranked on its own thread via
+/// `hnd_linalg::parallel`). This is the throughput entry point for
+/// experiment sweeps and batched serving: per-matrix results are bitwise
+/// identical to calling [`AbilityRanker::rank`] serially.
+///
+/// Parallelism lives at the batch level, so each worker runs its kernels
+/// serially (`with_threads(1)`) — without this, every operator application
+/// inside every worker would spawn its own gather threads, oversubscribing
+/// the machine quadratically. A batch of one keeps within-matrix kernel
+/// parallelism instead.
+pub fn rank_many(
+    ranker: &(dyn AbilityRanker + Sync),
+    matrices: &[&ResponseMatrix],
+) -> Vec<Result<Ranking, RankError>> {
+    if matrices.len() <= 1 {
+        return matrices.iter().map(|matrix| ranker.rank(matrix)).collect();
+    }
+    hnd_linalg::parallel::par_map(matrices, |matrix| {
+        hnd_linalg::parallel::with_threads(1, || ranker.rank(matrix))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

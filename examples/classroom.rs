@@ -53,15 +53,32 @@ fn main() {
         .expect("true-answer runs");
 
     // HITSnDIFFS: no key, no majority assumption — just the spectrum.
-    let hnd = HitsNDiffs::default().rank(&class.responses).expect("HnD runs");
+    let hnd = HitsNDiffs::default()
+        .rank(&class.responses)
+        .expect("HnD runs");
 
     println!("Spearman correlation with the (latent) true ability ranking:");
-    println!("  answer count (participation): {:+.3}", spearman(&answer_counts, &class.abilities));
-    println!("  majority-vote agreement:      {:+.3}", spearman(&majority.scores, &class.abilities));
-    println!("  true-answer key (cheating):   {:+.3}", spearman(&with_key.scores, &class.abilities));
-    println!("  HITSnDIFFS (no key needed):   {:+.3}", spearman(&hnd.scores, &class.abilities));
+    println!(
+        "  answer count (participation): {:+.3}",
+        spearman(&answer_counts, &class.abilities)
+    );
+    println!(
+        "  majority-vote agreement:      {:+.3}",
+        spearman(&majority.scores, &class.abilities)
+    );
+    println!(
+        "  true-answer key (cheating):   {:+.3}",
+        spearman(&with_key.scores, &class.abilities)
+    );
+    println!(
+        "  HITSnDIFFS (no key needed):   {:+.3}",
+        spearman(&hnd.scores, &class.abilities)
+    );
 
     let order = hnd.order_best_to_worst();
     println!("\ntop 5 students by HITSnDIFFS: {:?}", &order[..5]);
-    println!("bottom 5 students:            {:?}", &order[order.len() - 5..]);
+    println!(
+        "bottom 5 students:            {:?}",
+        &order[order.len() - 5..]
+    );
 }

@@ -41,10 +41,22 @@ fn main() {
 
     let k = 12; // hire the top 10%
     let methods: Vec<(&str, Ranking)> = vec![
-        ("HITSnDIFFS", HitsNDiffs::default().rank(&crowd.responses).expect("HnD")),
-        ("ABH", AbhDirect::default().rank(&crowd.responses).expect("ABH")),
-        ("HITS", Hits::default().rank(&crowd.responses).expect("HITS")),
-        ("TruthFinder", TruthFinder::default().rank(&crowd.responses).expect("TF")),
+        (
+            "HITSnDIFFS",
+            HitsNDiffs::default().rank(&crowd.responses).expect("HnD"),
+        ),
+        (
+            "ABH",
+            AbhDirect::default().rank(&crowd.responses).expect("ABH"),
+        ),
+        (
+            "HITS",
+            Hits::default().rank(&crowd.responses).expect("HITS"),
+        ),
+        (
+            "TruthFinder",
+            TruthFinder::default().rank(&crowd.responses).expect("TF"),
+        ),
     ];
     println!("worker-selection quality (precision of the chosen top-{k}):");
     for (name, ranking) in &methods {

@@ -21,7 +21,10 @@ use rand::SeedableRng;
 fn main() {
     // Confidence: sweep discrimination and watch the gap.
     println!("spectral gap as a confidence signal (m = n = 100, k = 3):\n");
-    println!("{:>6}  {:>8}  {:>8}  {:>12}  {:>9}  {:>9}", "a_max", "λ2", "λ3", "relative gap", "separated", "accuracy");
+    println!(
+        "{:>6}  {:>8}  {:>8}  {:>12}  {:>9}  {:>9}",
+        "a_max", "λ2", "λ3", "relative gap", "separated", "accuracy"
+    );
     for amax in [1.0, 2.5, 5.0, 10.0, 20.0] {
         let mut rng = StdRng::seed_from_u64(33);
         let ds = generate(

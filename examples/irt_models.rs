@@ -33,9 +33,18 @@ fn curve(label: &str, f: impl Fn(f64) -> f64) {
 fn main() {
     println!("binary models, P(correct | θ) over θ ∈ [{LO}, {HI}] (darker = higher):\n");
     let one = OnePl { difficulty: 0.0 };
-    let two = TwoPl { discrimination: 3.0, difficulty: 0.0 };
-    let three = ThreePl { discrimination: 3.0, difficulty: 0.0, guessing: 0.25 };
-    let glad = Glad { discrimination: 1.0 };
+    let two = TwoPl {
+        discrimination: 3.0,
+        difficulty: 0.0,
+    };
+    let three = ThreePl {
+        discrimination: 3.0,
+        difficulty: 0.0,
+        guessing: 0.25,
+    };
+    let glad = Glad {
+        discrimination: 1.0,
+    };
     curve("1PL (Rasch, b=0)", |t| one.prob_correct(t));
     curve("2PL (a=3, b=0)", |t| two.prob_correct(t));
     curve("3PL (a=3, b=0, c=.25)", |t| three.prob_correct(t));
@@ -54,13 +63,17 @@ fn main() {
     println!("Samejima adds random guessing — low-θ users pick uniformly (1/k):\n");
     let same = SamejimaItem::new(vec![2.0, 4.0, 8.0], vec![0.0, 0.0, 0.0]);
     for h in 0..3 {
-        curve(&format!("Samejima option {h}"), |t| same.option_probs_vec(t)[h]);
+        curve(&format!("Samejima option {h}"), |t| {
+            same.option_probs_vec(t)[h]
+        });
     }
 
     println!("\nthe C1P limit (Section II-D): GRM with a → ∞ becomes step functions:\n");
     for a in [2.0, 8.0, 1000.0] {
         let item = GrmItem::new(a, vec![-1.0, 1.0]);
-        curve(&format!("a = {a}, option 1"), |t| item.option_probs_vec(t)[1]);
+        curve(&format!("a = {a}, option 1"), |t| {
+            item.option_probs_vec(t)[1]
+        });
     }
     println!("\nwith a = 1000 the middle option is picked exactly for θ ∈ (−1, 1):");
     println!("consistent responses ⇒ the response matrix is pre-P (Observation 1).");

@@ -29,11 +29,17 @@ fn main() {
     )
     .expect("valid response matrix");
 
-    println!("m = {} users, n = {} items,", responses.n_users(), responses.n_items());
-    println!("binary response matrix C is {} x {} with {} nonzeros\n",
+    println!(
+        "m = {} users, n = {} items,",
+        responses.n_users(),
+        responses.n_items()
+    );
+    println!(
+        "binary response matrix C is {} x {} with {} nonzeros\n",
         responses.n_users(),
         responses.total_options(),
-        responses.to_binary_csr().nnz());
+        responses.to_binary_csr().nnz()
+    );
 
     // The responses are consistent: a C1P ordering exists (Observation 1).
     let c1p = consistent_user_ordering(&responses).expect("Figure 1 is consistent");

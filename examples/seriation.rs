@@ -45,7 +45,10 @@ fn main() {
     let n_sites = 30;
     let n_styles = 40;
     let ideal = stratigraphy(n_sites, n_styles, &mut rng);
-    assert!(is_p_matrix(&ideal.to_binary_csr()), "chronological order is C1P");
+    assert!(
+        is_p_matrix(&ideal.to_binary_csr()),
+        "chronological order is C1P"
+    );
 
     // Shuffle the sites (the excavator's box order, not time order).
     let mut perm: Vec<usize> = (0..n_sites).collect();
@@ -55,7 +58,10 @@ fn main() {
     }
     let shuffled = ideal.permute_users(&perm);
     let c = shuffled.to_binary_csr();
-    println!("sites shuffled; is the incidence matrix P right now? {}", is_p_matrix(&c));
+    println!(
+        "sites shuffled; is the incidence matrix P right now? {}",
+        is_p_matrix(&c)
+    );
 
     // 1. Booth–Lueker: exact, and counts all valid chronologies.
     let bl = pre_p_ordering(&c).expect("interval data is pre-P");
@@ -65,12 +71,31 @@ fn main() {
 
     // 2/3. The spectral methods get the same answer...
     for (name, ranking) in [
-        ("ABH", AbhDirect { orient: false, ..Default::default() }.rank(&shuffled).unwrap()),
-        ("HnD", HitsNDiffs { orient: false, ..Default::default() }.rank(&shuffled).unwrap()),
+        (
+            "ABH",
+            AbhDirect {
+                orient: false,
+                ..Default::default()
+            }
+            .rank(&shuffled)
+            .unwrap(),
+        ),
+        (
+            "HnD",
+            HitsNDiffs {
+                orient: false,
+                ..Default::default()
+            }
+            .rank(&shuffled)
+            .unwrap(),
+        ),
     ] {
         let order = ranking.order_best_to_worst();
         let sorted = shuffled.permute_users(&order);
-        println!("{name} ordering is a valid chronology: {}", is_p_matrix(&sorted.to_binary_csr()));
+        println!(
+            "{name} ordering is a valid chronology: {}",
+            is_p_matrix(&sorted.to_binary_csr())
+        );
     }
 
     // ...but only the spectral methods survive recording errors.
@@ -90,9 +115,19 @@ fn main() {
         Some(_) => println!("  PQ-tree: order found"),
         None => println!("  PQ-tree: FAILS — no C1P order exists, no output at all"),
     }
-    let hnd = HitsNDiffs { orient: false, ..Default::default() }.rank(&noisy).unwrap();
+    let hnd = HitsNDiffs {
+        orient: false,
+        ..Default::default()
+    }
+    .rank(&noisy)
+    .unwrap();
     // Compare the noisy ordering against the clean one.
-    let clean = HitsNDiffs { orient: false, ..Default::default() }.rank(&shuffled).unwrap();
+    let clean = HitsNDiffs {
+        orient: false,
+        ..Default::default()
+    }
+    .rank(&shuffled)
+    .unwrap();
     let rho = spearman(&hnd.scores, &clean.scores).abs();
     println!("  HnD still orders the sites (|Spearman| vs clean solution = {rho:.3})");
 }

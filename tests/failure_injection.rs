@@ -52,12 +52,9 @@ fn unanimous_answers_do_not_crash() {
 
 #[test]
 fn single_item_matrix() {
-    let m = ResponseMatrix::from_choices(
-        1,
-        &[4],
-        &[&[Some(0)], &[Some(1)], &[Some(2)], &[Some(1)]],
-    )
-    .unwrap();
+    let m =
+        ResponseMatrix::from_choices(1, &[4], &[&[Some(0)], &[Some(1)], &[Some(2)], &[Some(1)]])
+            .unwrap();
     for ranker in all_rankers() {
         if let Ok(r) = ranker.rank(&m) {
             assert_finite(ranker.name(), &r, 4);
@@ -104,11 +101,7 @@ fn adversarial_block_structure() {
     // Two internally consistent factions answering in strict opposition —
     // the classic case where "consensus" heuristics pick a side.
     let rows: Vec<Vec<Option<u16>>> = (0..12)
-        .map(|u| {
-            (0..9)
-                .map(|_| Some(if u < 6 { 0u16 } else { 1 }))
-                .collect()
-        })
+        .map(|u| (0..9).map(|_| Some(if u < 6 { 0u16 } else { 1 })).collect())
         .collect();
     let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
     let m = ResponseMatrix::from_choices(9, &[2; 9], &refs).unwrap();

@@ -12,11 +12,41 @@ use rand::SeedableRng;
 
 fn rankers() -> Vec<(&'static str, Box<dyn AbilityRanker>)> {
     vec![
-        ("HnD-power", Box::new(HitsNDiffs { orient: false, ..Default::default() })),
-        ("HnD-deflation", Box::new(HndDeflation { orient: false, ..Default::default() })),
-        ("HnD-direct", Box::new(HndDirect { orient: false, ..Default::default() })),
-        ("ABH-direct", Box::new(AbhDirect { orient: false, ..Default::default() })),
-        ("ABH-power", Box::new(AbhPower { orient: false, ..Default::default() })),
+        (
+            "HnD-power",
+            Box::new(HitsNDiffs {
+                orient: false,
+                ..Default::default()
+            }),
+        ),
+        (
+            "HnD-deflation",
+            Box::new(HndDeflation {
+                orient: false,
+                ..Default::default()
+            }),
+        ),
+        (
+            "HnD-direct",
+            Box::new(HndDirect {
+                orient: false,
+                ..Default::default()
+            }),
+        ),
+        (
+            "ABH-direct",
+            Box::new(AbhDirect {
+                orient: false,
+                ..Default::default()
+            }),
+        ),
+        (
+            "ABH-power",
+            Box::new(AbhPower {
+                orient: false,
+                ..Default::default()
+            }),
+        ),
     ]
 }
 
@@ -34,7 +64,10 @@ fn spectral_methods_reconstruct_c1p_on_ideal_data() {
         let c = ds.responses.to_binary_csr();
         // The exact combinatorial route must succeed and witness C1P.
         let bl = pre_p_ordering(&c).expect("C1P generator produces pre-P data");
-        assert!(is_p_matrix(&c.permute_rows(&bl)), "seed {seed}: BL order invalid");
+        assert!(
+            is_p_matrix(&c.permute_rows(&bl)),
+            "seed {seed}: BL order invalid"
+        );
         for (name, ranker) in rankers() {
             let ranking = ranker.rank(&ds.responses).expect("ranker runs");
             let rho = spearman(&ranking.scores, &ds.abilities).abs();
@@ -69,7 +102,10 @@ fn truth_discovery_baselines_cannot_reconstruct_c1p() {
     let ds = generate_c1p(100, 100, 3, &mut rng);
     for (name, ranking) in [
         ("HITS", Hits::default().rank(&ds.responses).unwrap()),
-        ("TruthFinder", TruthFinder::default().rank(&ds.responses).unwrap()),
+        (
+            "TruthFinder",
+            TruthFinder::default().rank(&ds.responses).unwrap(),
+        ),
     ] {
         let rho = spearman(&ranking.scores, &ds.abilities).abs();
         assert!(

@@ -1,0 +1,325 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API the `hnd-bench` crate uses —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! on top of a simple wall-clock sampler: warm up for `warm_up_time`, then
+//! collect `sample_size` samples within `measurement_time` and report the
+//! per-iteration median, mean, and min.
+//!
+//! Results print to stdout; when the `BENCH_JSON` environment variable is
+//! set, a machine-readable JSON array of all results is also written to
+//! that path (used by CI to emit `BENCH_kernels.json`).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function/param`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Samples collected.
+    pub samples: usize,
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Runs a stand-alone benchmark with default group settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("bench", |b| f(b));
+        group.finish();
+        self
+    }
+
+    /// Writes collected results to `$BENCH_JSON` (if set) and prints a
+    /// closing line. Called by `criterion_main!` after all groups ran.
+    pub fn finalize(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                let mut out = String::from("[\n");
+                for (i, r) in self.results.iter().enumerate() {
+                    out.push_str(&format!(
+                        "  {{\"id\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
+                        r.id,
+                        r.median_ns,
+                        r.mean_ns,
+                        r.min_ns,
+                        r.samples,
+                        if i + 1 == self.results.len() { "" } else { "," }
+                    ));
+                }
+                out.push_str("]\n");
+                if let Err(e) = std::fs::write(&path, out) {
+                    eprintln!("criterion: cannot write {path}: {e}");
+                } else {
+                    println!("criterion: wrote {} results to {path}", self.results.len());
+                }
+            }
+        }
+    }
+}
+
+/// Identifies one benchmark within a group, usually `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let full_id = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        self.run(full_id, |b| f(b));
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full_id = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        self.run(full_id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; results are recorded as
+    /// each benchmark finishes).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            bencher.total = Duration::ZERO;
+            bencher.iters = 0;
+            f(&mut bencher);
+            if bencher.iters == 0 {
+                break; // nothing timed; avoid an infinite loop
+            }
+        }
+
+        // Measurement: collect per-call averages as samples.
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let measure_start = Instant::now();
+        while samples_ns.len() < self.sample_size
+            && (samples_ns.len() < 2 || measure_start.elapsed() < self.measurement_time)
+        {
+            bencher.total = Duration::ZERO;
+            bencher.iters = 0;
+            f(&mut bencher);
+            if bencher.iters == 0 {
+                break;
+            }
+            samples_ns.push(bencher.total.as_nanos() as f64 / bencher.iters as f64);
+        }
+
+        if samples_ns.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns[0];
+        println!(
+            "{id:<50} median {:>12} mean {:>12} min {:>12} ({} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min),
+            samples_ns.len()
+        );
+        self.criterion.results.push(BenchResult {
+            id,
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: min,
+            samples: samples_ns.len(),
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (accepts ids and plain strings).
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Times closures inside a benchmark.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // A small fixed batch per call keeps per-sample overhead low while
+        // letting the group's sampler control total runtime.
+        const BATCH: u64 = 4;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("tiny");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(50));
+        group.warm_up_time(Duration::from_millis(5));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_collects_results() {
+        let mut c = Criterion::default();
+        tiny_bench(&mut c);
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results[0].median_ns > 0.0);
+        assert!(c.results[1].id.contains("tiny/sum_to/50"));
+    }
+}

@@ -1,0 +1,595 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`strategy::Strategy`] trait with `prop_map`,
+//! `prop_flat_map` and `prop_perturb`; ranges, tuples and [`strategy::Just`]
+//! as strategies; [`collection::vec`], [`bool::ANY`] and
+//! [`option::weighted`]; the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header; and `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Differences from upstream, deliberate for an offline test harness:
+//! no shrinking (a failing case panics with the generated input's debug
+//! representation via the assertion message), and each test's RNG stream is
+//! seeded from a hash of the test name so failures reproduce run-to-run.
+
+/// Test-case control flow and configuration.
+pub mod test_runner {
+    /// Deterministic generator handed to strategies (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary 64-bit value.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Seeds deterministically from a test name.
+        pub fn seed_for_test(name: &str) -> Self {
+            // FNV-1a.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self::seed_from_u64(h)
+        }
+
+        /// Next uniform `u64`.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw below `bound` (> 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Forks an independent generator (for `prop_perturb`).
+        pub fn fork(&mut self) -> TestRng {
+            TestRng::seed_from_u64(self.next_u64())
+        }
+    }
+
+    /// Why a test case did not complete normally.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the generated input; try another.
+        Reject(String),
+        /// `prop_assert!`-family failure; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Constructs a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+
+        /// Constructs a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Per-`proptest!` configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Maximum rejected (assumed-away) cases tolerated.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Maps generated values through `f` with access to a forked RNG.
+        fn prop_perturb<U, F: Fn(Self::Value, TestRng) -> U>(self, f: F) -> Perturb<Self, F>
+        where
+            Self: Sized,
+        {
+            Perturb { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_perturb`].
+    pub struct Perturb<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value, TestRng) -> U> Strategy for Perturb<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            let v = self.inner.generate(rng);
+            let fork = rng.fork();
+            (self.f)(v, fork)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy range is empty");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "strategy range is empty");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        return lo.wrapping_add(rng.next_u64() as $t);
+                    }
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u8, u16, u32, u64);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy range is empty");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "strategy range is empty");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "strategy range is empty");
+            self.start + (self.end - self.start) * rng.unit_f64() as f32
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec`]: a fixed length or a half-open range.
+    pub trait IntoSize {
+        /// Resolves to a concrete length for one generation.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSize for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSize for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "vec size range is empty");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: IntoSize> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector of `size` values drawn from `element`.
+    pub fn vec<S: Strategy, Z: IntoSize>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform boolean.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `Some(inner)` with probability `p`.
+    pub struct Weighted<S> {
+        p: f64,
+        inner: S,
+    }
+
+    /// `Some` with probability `p`, `None` otherwise.
+    pub fn weighted<S: Strategy>(p: f64, inner: S) -> Weighted<S> {
+        assert!((0.0..=1.0).contains(&p), "weighted: p out of range");
+        Weighted { p, inner }
+    }
+
+    impl<S: Strategy> Strategy for Weighted<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit_f64() < self.p {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The common imports property tests expect.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the current
+/// case (and the test) fails with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`", *l, *r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: both sides equal `{:?}`", *l);
+    }};
+}
+
+/// Rejects the current generated input (not a failure); the runner draws a
+/// fresh case instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn roundtrips(v in proptest::collection::vec(0usize..10, 0..20)) {
+///         prop_assert_eq!(decode(encode(&v)), v);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$attr:meta])+
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])+
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::seed_for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                };
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest `{}`: too many rejected cases ({} after {} passes)",
+                                stringify!($name), rejected, passed
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest `{}` failed at case {}: {}",
+                            stringify!($name), passed, msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let strat = (2usize..=5)
+            .prop_flat_map(|n| crate::collection::vec(0.0f64..1.0, n).prop_map(move |v| (n, v)));
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut rng);
+            assert!((2..=5).contains(&n));
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn perturb_gets_forked_rng() {
+        let strat = Just(()).prop_perturb(|_, mut rng| rng.next_u64());
+        let mut rng = TestRng::seed_from_u64(4);
+        let a = strat.generate(&mut rng);
+        let b = strat.generate(&mut rng);
+        assert_ne!(a, b, "forks must differ across cases");
+    }
+
+    #[test]
+    fn weighted_option_hits_both_arms() {
+        let strat = crate::option::weighted(0.5, 0u16..4);
+        let mut rng = TestRng::seed_from_u64(5);
+        let draws: Vec<Option<u16>> = (0..200).map(|_| strat.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|d| d.is_some()));
+        assert!(draws.iter().any(|d| d.is_none()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_machinery_works(v in crate::collection::vec(0usize..100, 0..10)) {
+            prop_assume!(v.len() != 3);
+            prop_assert!(v.len() < 10);
+            prop_assert_eq!(v.len(), v.iter().copied().count());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait and the
+//! [`Normal`] distribution (Marsaglia polar method), which is all the
+//! workspace uses (ability/noise sampling in `hnd-irt`).
+
+use rand::RngCore;
+
+/// Types that can draw samples of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error for invalid normal parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    /// Rejects non-finite parameters and negative standard deviations.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, NormalError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia polar method; draws pairs until one lands in the unit
+        // disc (acceptance ≈ 78.5%), then uses one of the two variates.
+        loop {
+            let u = 2.0 * uniform(rng) - 1.0;
+            let v = 2.0 * uniform(rng) - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+}
+
+fn uniform<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn moments_are_plausible() {
+        let n = Normal::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+}
