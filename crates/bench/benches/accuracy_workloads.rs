@@ -5,7 +5,7 @@
 //! (Figure 5's "orders of magnitude slower" claim at small scale).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hnd_core::{AbilityRanker, HitsNDiffs};
+use hnd_core::{AbilityRanker, SolverKind};
 use hnd_irt::{generate, GeneratorConfig, GrmEstimator, ModelKind};
 use hnd_models::{Investment, PooledInvestment, TruthFinder};
 use rand::rngs::StdRng;
@@ -51,7 +51,7 @@ fn bench_methods(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("HnD", |b| {
-        let r = HitsNDiffs::default();
+        let r = SolverKind::Power.build_default();
         b.iter(|| r.rank(&ds.responses).expect("runs"));
     });
     group.bench_function("TruthFinder", |b| {

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hnd_c1p::pre_p_ordering;
-use hnd_core::{AbilityRanker, HitsNDiffs};
+use hnd_core::{AbilityRanker, SolverKind};
 use hnd_irt::generate_c1p;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,7 +25,7 @@ fn bench_c1p(c: &mut Criterion) {
             b.iter(|| pre_p_ordering(c_bin).expect("pre-P input"));
         });
         group.bench_with_input(BenchmarkId::new("HnD-power", m), &ds, |b, ds| {
-            let ranker = HitsNDiffs::default();
+            let ranker = SolverKind::Power.build_default();
             b.iter(|| ranker.rank(&ds.responses).expect("runs"));
         });
     }

@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hnd_c1p::{AbhDirect, AbhPower};
-use hnd_core::{AbilityRanker, HitsNDiffs, HndDeflation, HndDirect};
+use hnd_core::{AbilityRanker, SolverKind};
 use hnd_irt::{generate, GeneratorConfig, ModelKind, SyntheticDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,9 +29,9 @@ fn dataset(m: usize, n: usize, seed: u64) -> SyntheticDataset {
 
 fn rankers() -> Vec<(&'static str, Box<dyn AbilityRanker>)> {
     vec![
-        ("HnD-power", Box::new(HitsNDiffs::default())),
-        ("HnD-deflation", Box::new(HndDeflation::default())),
-        ("HnD-direct", Box::new(HndDirect::default())),
+        ("HnD-power", SolverKind::Power.build_default()),
+        ("HnD-deflation", SolverKind::Deflation.build_default()),
+        ("HnD-direct", SolverKind::Direct.build_default()),
         ("ABH-power", Box::new(AbhPower::default())),
         ("ABH-direct", Box::new(AbhDirect::default())),
     ]

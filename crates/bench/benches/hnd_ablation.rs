@@ -6,7 +6,7 @@
 //! The gap should widen quadratically with the user count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hnd_core::{AbilityRanker, HitsNDiffs, HndNaive};
+use hnd_core::{AbilityRanker, SolverKind};
 use hnd_irt::{generate, GeneratorConfig, ModelKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,14 +28,14 @@ fn bench_ablation(c: &mut Criterion) {
             &mut rng,
         );
         group.bench_with_input(BenchmarkId::new("HnD-power", m), &ds, |b, ds| {
-            let ranker = HitsNDiffs::default();
+            let ranker = SolverKind::Power.build_default();
             b.iter(|| ranker.rank(&ds.responses).expect("runs"));
         });
         // The naive path is the ablation baseline; skip the largest size
         // to keep `cargo bench` reasonable.
         if m <= 200 {
             group.bench_with_input(BenchmarkId::new("HnD-naive", m), &ds, |b, ds| {
-                let ranker = HndNaive::default();
+                let ranker = SolverKind::Naive.build_default();
                 b.iter(|| ranker.rank(&ds.responses).expect("runs"));
             });
         }

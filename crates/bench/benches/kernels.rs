@@ -6,15 +6,20 @@
 //! replica of the seed implementation (valued `CsrMatrix`, serial scatter
 //! `Cᵀ`, per-call scratch allocations) on the same matrices, up to
 //! m = 50 000 users — the before/after evidence for the engine rework.
+//! The `incremental` group measures the serving path: cold rebuild+solve
+//! vs delta-patch+warm-solve (the evidence for the incremental ranking
+//! engine).
 //! Set `HND_BENCH_QUICK=1` to restrict to the smallest size (CI smoke);
-//! set `BENCH_JSON=path.json` to emit machine-readable results.
+//! set `BENCH_JSON=path.json` to emit machine-readable results; pass a
+//! group name (`cargo bench --bench kernels -- incremental`) to filter.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hnd_core::operators::{SymmetrizedUOp, UDiffOp};
+use hnd_core::{SolveState, SolverKind, SolverOpts};
 use hnd_irt::{generate, GeneratorConfig, ModelKind};
 use hnd_linalg::op::LinearOp;
 use hnd_linalg::{lanczos_extreme, vector, CsrMatrix, LanczosOptions, Which};
-use hnd_response::{ResponseMatrix, ResponseOps};
+use hnd_response::{ResponseDelta, ResponseEdit, ResponseMatrix, ResponseOps};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -162,10 +167,86 @@ fn bench_eigensolvers(c: &mut Criterion) {
     group.finish();
 }
 
+/// The serving-path comparison behind the incremental ranking engine:
+/// **cold** = rebuild the kernel context from scratch and solve from the
+/// deterministic start (the batch pipeline's per-request cost) vs
+/// **incremental** = patch a k-response delta into the slack-capacity
+/// pattern in place and warm-start the solve from the previous eigenpair.
+/// Emitted to `BENCH_incremental.json` by CI (`BENCH_JSON` + the
+/// `incremental` filter argument).
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let sizes: &[usize] = if quick() { &[1000] } else { &[10_000, 50_000] };
+    const DELTA_EDITS: usize = 16;
+    let opts = SolverOpts {
+        orient: false,
+        ..Default::default()
+    };
+    let solver = SolverKind::Power.build(opts);
+    for &m in sizes {
+        let base = dataset_for(m, 100);
+
+        // Cold serving: rebuild the pattern + CSC mirror + degree scalings
+        // (O(nnz) sort) and iterate from the deterministic start.
+        group.bench_with_input(BenchmarkId::new("cold_rebuild_solve", m), &m, |b, _| {
+            b.iter(|| {
+                let ops = ResponseOps::new(&base);
+                solver.solve_prepared(&base, &ops, None).expect("solves")
+            });
+        });
+
+        // Incremental serving: every iteration commits a fresh
+        // DELTA_EDITS-response delta (users revising item 0), patches the
+        // live matrix + kernel context in place, and warm-starts from the
+        // previous eigenpair. No O(nnz) work anywhere.
+        let mut matrix = base.clone();
+        let mut ops = ResponseOps::with_slack(&matrix, 8, 64);
+        let mut state: SolveState = solver
+            .solve_prepared(&matrix, &ops, None)
+            .expect("initial solve")
+            .state;
+        group.bench_with_input(BenchmarkId::new("delta_warm_solve", m), &m, |b, _| {
+            b.iter(|| {
+                let k = matrix.options_of(0);
+                let edits: Vec<ResponseEdit> = (0..DELTA_EDITS)
+                    .map(|u| {
+                        let user = 17 * u + 1;
+                        let from = matrix.choice(user, 0);
+                        let to = Some(from.map_or(0, |o| (o + 1) % k));
+                        ResponseEdit {
+                            user,
+                            item: 0,
+                            from,
+                            to,
+                        }
+                    })
+                    .collect();
+                let delta = ResponseDelta {
+                    from_version: 0,
+                    to_version: 0,
+                    edits,
+                };
+                matrix.apply_delta(&delta).expect("delta chains");
+                ops.apply_delta(&matrix, &delta).expect("slack suffices");
+                let outcome = solver
+                    .solve_prepared(&matrix, &ops, Some(&state))
+                    .expect("solves");
+                state = outcome.state;
+                outcome.ranking
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_udiff_engine,
     bench_operator_apply,
-    bench_eigensolvers
+    bench_eigensolvers,
+    bench_incremental
 );
 criterion_main!(benches);

@@ -4,24 +4,29 @@
 //! (Lemma 4), which carries **no ranking information**: this is precisely
 //! the observation that motivates HITSnDIFFS' switch to the second
 //! eigenvector. `AvgHits::iterate` exists so that tests (and curious users)
-//! can watch the collapse happen.
+//! can watch the collapse happen; the [`SpectralSolver`] implementation
+//! exists so the demonstration slots into the same harnesses as the real
+//! solvers (its "ranking" is the collapsed fixed point, by design useless).
 
-use hnd_response::{RankError, ResponseMatrix, ResponseOps};
+use crate::solver::{trivial_outcome, SolveOutcome, SolveState, SolverOpts, SpectralSolver};
+use hnd_response::{AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps};
 
 /// The AvgHITS iteration.
 #[derive(Debug, Clone)]
 pub struct AvgHits {
-    /// Convergence tolerance on the normalized score change.
-    pub tol: f64,
-    /// Iteration budget.
-    pub max_iter: usize,
+    /// Shared solver options. The default tightens `tol` to 1e-10 — the
+    /// collapse to the ones direction is only visible well below ranking
+    /// tolerances.
+    pub opts: SolverOpts,
 }
 
 impl Default for AvgHits {
     fn default() -> Self {
         AvgHits {
-            tol: 1e-10,
-            max_iter: 10_000,
+            opts: SolverOpts {
+                tol: 1e-10,
+                ..Default::default()
+            },
         }
     }
 }
@@ -38,30 +43,40 @@ pub struct AvgHitsOutcome {
 }
 
 impl AvgHits {
+    /// Builds the iteration with the given shared options (`tol` and
+    /// `max_iter` are the knobs that matter here).
+    pub fn with_opts(opts: SolverOpts) -> Self {
+        AvgHits { opts }
+    }
+
     /// Runs the iteration from the given start vector.
     ///
     /// # Errors
-    /// Rejects empty matrices.
+    /// Rejects start vectors of the wrong length.
     pub fn iterate(
         &self,
         matrix: &ResponseMatrix,
         start: &[f64],
     ) -> Result<AvgHitsOutcome, RankError> {
-        let m = matrix.n_users();
+        let ops = ResponseOps::new(matrix);
+        self.iterate_on(&ops, start)
+    }
+
+    fn iterate_on(&self, ops: &ResponseOps, start: &[f64]) -> Result<AvgHitsOutcome, RankError> {
+        let m = ops.n_users();
         if start.len() != m {
             return Err(RankError::InvalidInput(format!(
                 "start vector has length {}, expected {m}",
                 start.len()
             )));
         }
-        let ops = ResponseOps::new(matrix);
         let mut s = start.to_vec();
         hnd_linalg::vector::normalize(&mut s);
         let mut w = vec![0.0; ops.n_option_columns()];
         let mut next = vec![0.0; m];
         let mut iterations = 0;
         let mut converged = false;
-        while iterations < self.max_iter {
+        while iterations < self.opts.max_iter {
             ops.u_apply(&s, &mut w, &mut next);
             iterations += 1;
             if hnd_linalg::vector::normalize(&mut next) == 0.0 {
@@ -69,7 +84,7 @@ impl AvgHits {
             }
             let delta = hnd_linalg::vector::sign_invariant_distance(&s, &next);
             std::mem::swap(&mut s, &mut next);
-            if delta <= self.tol {
+            if delta <= self.opts.tol {
                 converged = true;
                 break;
             }
@@ -79,6 +94,57 @@ impl AvgHits {
             iterations,
             converged,
         })
+    }
+}
+
+impl AbilityRanker for AvgHits {
+    fn name(&self) -> &'static str {
+        "AvgHITS"
+    }
+
+    fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        self.solve(matrix).map(|out| out.ranking)
+    }
+}
+
+impl SpectralSolver for AvgHits {
+    fn opts(&self) -> &SolverOpts {
+        &self.opts
+    }
+
+    fn solve_prepared(
+        &self,
+        matrix: &ResponseMatrix,
+        ops: &ResponseOps,
+        state: Option<&SolveState>,
+    ) -> Result<SolveOutcome, RankError> {
+        let m = matrix.n_users();
+        if m == 1 {
+            return Ok(trivial_outcome());
+        }
+        if ops.n_users() != m {
+            return Err(RankError::InvalidInput(format!(
+                "AvgHITS: kernel context covers {} users, matrix has {m}",
+                ops.n_users()
+            )));
+        }
+        let start = match state.and_then(|s| s.warm_scores(m)) {
+            Some(scores) => scores.to_vec(),
+            None => self.opts.start(m),
+        };
+        let out = self.iterate_on(ops, &start)?;
+        Ok(SolveOutcome {
+            state: SolveState::from_scores(out.scores.clone()),
+            ranking: Ranking {
+                scores: out.scores,
+                iterations: out.iterations,
+                converged: out.converged,
+            },
+        })
+    }
+
+    fn as_ranker(&self) -> &(dyn AbilityRanker + Sync) {
+        self
     }
 }
 
@@ -115,5 +181,24 @@ mod tests {
     fn rejects_wrong_start_length() {
         let m = ResponseMatrix::from_choices(1, &[2], &[&[Some(0)]]).unwrap();
         assert!(AvgHits::default().iterate(&m, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn solve_collapses_to_ones_too() {
+        let m = ResponseMatrix::from_choices(
+            2,
+            &[2, 2],
+            &[
+                &[Some(0), Some(0)],
+                &[Some(0), Some(1)],
+                &[Some(1), Some(1)],
+            ],
+        )
+        .unwrap();
+        let out = AvgHits::default().solve(&m).unwrap();
+        let expected = 1.0 / 3.0f64.sqrt();
+        for s in &out.ranking.scores {
+            assert!((s.abs() - expected).abs() < 1e-6);
+        }
     }
 }

@@ -8,34 +8,27 @@
 //! provably recovers the consistent user ordering (Theorem 2).
 
 use crate::operators::UDiffOp;
-use hnd_linalg::power::{power_iteration, PowerOptions};
+use crate::solver::{trivial_outcome, SolveOutcome, SolveState, SolverOpts, SpectralSolver};
+use hnd_linalg::power::power_iteration;
 use hnd_linalg::vector;
 use hnd_response::{
     orient_by_decile_entropy, AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps,
 };
 
 /// The flagship ranker: `HND-power`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct HitsNDiffs {
-    /// Power-iteration options. The paper's convergence criterion is an
-    /// L2 change below 1e-5.
-    pub power: PowerOptions,
-    /// Apply decile-entropy symmetry breaking (Section III-D). Disable when
-    /// evaluating raw spectral behaviour (e.g. the Figure 6 stability
-    /// study).
-    pub orient: bool,
-}
-
-impl Default for HitsNDiffs {
-    fn default() -> Self {
-        HitsNDiffs {
-            power: PowerOptions::default(),
-            orient: true,
-        }
-    }
+    /// Shared solver options (the paper's convergence criterion is an L2
+    /// change below 1e-5, the [`SolverOpts`] default).
+    pub opts: SolverOpts,
 }
 
 impl HitsNDiffs {
+    /// Builds the solver with the given shared options.
+    pub fn with_opts(opts: SolverOpts) -> Self {
+        HitsNDiffs { opts }
+    }
+
     /// Returns the converged user-difference eigenvector (the dominant
     /// eigenvector of `Udiff`) and the iteration count. Exposed for the
     /// Figure 6a variance study and the Figure 14b iteration counts.
@@ -70,12 +63,22 @@ impl HitsNDiffs {
             }
         }
         let ops = ResponseOps::new(matrix);
-        let op = UDiffOp::new(&ops);
+        self.diff_eigenvector_on(&ops, warm_start)
+    }
+
+    /// The iteration core on a caller-prepared kernel context.
+    fn diff_eigenvector_on(
+        &self,
+        ops: &ResponseOps,
+        warm_start: Option<&[f64]>,
+    ) -> Result<(Vec<f64>, usize), RankError> {
+        let m = ops.n_users();
+        let op = UDiffOp::new(ops);
         let x0 = match warm_start {
             Some(ws) => ws.to_vec(),
-            None => hnd_linalg::power::deterministic_start(m - 1),
+            None => self.opts.start(m - 1),
         };
-        let out = power_iteration(&op, &x0, &self.power);
+        let out = power_iteration(&op, &x0, &self.opts.power());
         Ok((out.vector, out.iterations))
     }
 
@@ -91,17 +94,24 @@ impl HitsNDiffs {
             return Ok(Ranking::from_scores(vec![0.0]));
         }
         let (sdiff, iterations) = self.diff_eigenvector_from(matrix, Some(warm_start))?;
+        Ok(self.finish(matrix, &sdiff, iterations).ranking)
+    }
+
+    /// Shared tail: scores from diffs, state capture, orientation.
+    fn finish(&self, matrix: &ResponseMatrix, sdiff: &[f64], iterations: usize) -> SolveOutcome {
+        // Line 9 of Algorithm 1: s ← T·sdiff.
         let mut scores = Vec::with_capacity(matrix.n_users());
-        vector::cumsum_from_diffs(&sdiff, &mut scores);
+        vector::cumsum_from_diffs(sdiff, &mut scores);
+        let state = SolveState::from_scores(scores.clone());
         let mut ranking = Ranking {
             scores,
             iterations,
             converged: true,
         };
-        if self.orient {
+        if self.opts.orient {
             orient_by_decile_entropy(matrix, &mut ranking);
         }
-        Ok(ranking)
+        SolveOutcome { ranking, state }
     }
 }
 
@@ -111,22 +121,38 @@ impl AbilityRanker for HitsNDiffs {
     }
 
     fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
-        if matrix.n_users() == 1 {
-            return Ok(Ranking::from_scores(vec![0.0]));
+        self.solve(matrix).map(|out| out.ranking)
+    }
+}
+
+impl SpectralSolver for HitsNDiffs {
+    fn opts(&self) -> &SolverOpts {
+        &self.opts
+    }
+
+    fn solve_prepared(
+        &self,
+        matrix: &ResponseMatrix,
+        ops: &ResponseOps,
+        state: Option<&SolveState>,
+    ) -> Result<SolveOutcome, RankError> {
+        let m = matrix.n_users();
+        if m == 1 {
+            return Ok(trivial_outcome());
         }
-        let (sdiff, iterations) = self.diff_eigenvector(matrix)?;
-        // Line 9 of Algorithm 1: s ← T·sdiff.
-        let mut scores = Vec::with_capacity(matrix.n_users());
-        vector::cumsum_from_diffs(&sdiff, &mut scores);
-        let mut ranking = Ranking {
-            scores,
-            iterations,
-            converged: true,
-        };
-        if self.orient {
-            orient_by_decile_entropy(matrix, &mut ranking);
+        if m < 2 || ops.n_users() != m {
+            return Err(RankError::InvalidInput(format!(
+                "HND: kernel context covers {} users, matrix has {m}",
+                ops.n_users()
+            )));
         }
-        Ok(ranking)
+        let warm = state.and_then(|s| s.warm_diffs(m));
+        let (sdiff, iterations) = self.diff_eigenvector_on(ops, warm.as_deref())?;
+        Ok(self.finish(matrix, &sdiff, iterations))
+    }
+
+    fn as_ranker(&self) -> &(dyn AbilityRanker + Sync) {
+        self
     }
 }
 
@@ -135,6 +161,13 @@ mod tests {
     use super::*;
     use crate::operators::UOp;
     use hnd_linalg::op::LinearOp;
+
+    fn unoriented() -> HitsNDiffs {
+        HitsNDiffs::with_opts(SolverOpts {
+            orient: false,
+            ..Default::default()
+        })
+    }
 
     /// All-cuts staircase: unique C1P ordering, constant row sums — the
     /// exact hypothesis of Theorem 2.
@@ -158,11 +191,7 @@ mod tests {
         let r = staircase(15);
         let perm: Vec<usize> = vec![7, 0, 12, 3, 14, 9, 1, 11, 5, 13, 2, 8, 4, 10, 6];
         let shuffled = r.permute_users(&perm);
-        let ranker = HitsNDiffs {
-            orient: false,
-            ..Default::default()
-        };
-        let ranking = ranker.rank(&shuffled).unwrap();
+        let ranking = unoriented().rank(&shuffled).unwrap();
         let recovered: Vec<usize> = ranking
             .order_best_to_worst()
             .iter()
@@ -210,11 +239,7 @@ mod tests {
     fn second_eigenvector_is_monotone_on_sorted_p_matrix() {
         // Theorem 1: rows sorted in C1P order ⇒ v₂ of U is monotone.
         let r = staircase(10);
-        let ranker = HitsNDiffs {
-            orient: false,
-            ..Default::default()
-        };
-        let ranking = ranker.rank(&r).unwrap();
+        let ranking = unoriented().rank(&r).unwrap();
         assert!(
             vector::is_monotone(&ranking.scores),
             "scores {:?}",
@@ -277,10 +302,7 @@ mod tests {
             },
             &mut rng,
         );
-        let ranker = HitsNDiffs {
-            orient: false,
-            ..Default::default()
-        };
+        let ranker = unoriented();
         let (sdiff, cold_iters) = ranker.diff_eigenvector(&ds.responses).unwrap();
         // Restarting from the converged vector must converge (near-)
         // immediately — the property incremental serving relies on.
@@ -341,6 +363,16 @@ mod tests {
         let r = HitsNDiffs::default().rank(&m).unwrap();
         assert_eq!(r.scores.len(), 2);
         assert_ne!(r.scores[0], r.scores[1]);
+    }
+
+    #[test]
+    fn solve_prepared_rejects_mismatched_context() {
+        let big = staircase(8);
+        let small = staircase(5);
+        let ops = ResponseOps::new(&small);
+        assert!(HitsNDiffs::default()
+            .solve_prepared(&big, &ops, None)
+            .is_err());
     }
 
     // -- tiny local helpers (avoiding a dev-dependency cycle on hnd-eval) --

@@ -8,8 +8,10 @@
 //! routes against each other, and gives downstream users a solver for
 //! update matrices *without* the symmetrizable structure.
 
+use crate::hnd_direct::krylov_start;
 use crate::operators::UOp;
-use hnd_linalg::{arnoldi_largest, ArnoldiOptions};
+use crate::solver::{trivial_outcome, SolveOutcome, SolveState, SolverOpts, SpectralSolver};
+use hnd_linalg::arnoldi_largest;
 use hnd_response::{
     orient_by_decile_entropy, AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps,
 };
@@ -17,34 +19,52 @@ use hnd_response::{
 /// The Arnoldi-based HND implementation.
 #[derive(Debug, Clone)]
 pub struct HndArnoldi {
-    /// Arnoldi options.
-    pub arnoldi: ArnoldiOptions,
-    /// Apply decile-entropy symmetry breaking.
-    pub orient: bool,
+    /// Shared solver options (`tol`/`max_subspace` govern the Arnoldi
+    /// sweep).
+    pub opts: SolverOpts,
 }
 
+/// Same convention as [`crate::HndDirect`]: the Krylov residual default
+/// is the historical 1e-8, not the power family's 1e-5.
 impl Default for HndArnoldi {
     fn default() -> Self {
         HndArnoldi {
-            arnoldi: ArnoldiOptions::default(),
-            orient: true,
+            opts: SolverOpts {
+                tol: 1e-8,
+                ..Default::default()
+            },
         }
     }
 }
 
 impl HndArnoldi {
+    /// Builds the solver with the given shared options.
+    pub fn with_opts(opts: SolverOpts) -> Self {
+        HndArnoldi { opts }
+    }
+
     /// Returns the second-largest (real) eigenpair of `U`.
     pub fn second_eigenpair(&self, matrix: &ResponseMatrix) -> Result<(f64, Vec<f64>), RankError> {
+        let ops = ResponseOps::new(matrix);
+        self.second_eigenpair_on(matrix, &ops, None)
+    }
+
+    /// The Arnoldi core on a caller-prepared kernel context.
+    fn second_eigenpair_on(
+        &self,
+        matrix: &ResponseMatrix,
+        ops: &ResponseOps,
+        warm: Option<&[f64]>,
+    ) -> Result<(f64, Vec<f64>), RankError> {
         let m = matrix.n_users();
         if m < 2 {
             return Err(RankError::InvalidInput(
                 "HND-arnoldi needs at least 2 users".into(),
             ));
         }
-        let ops = ResponseOps::new(matrix);
-        let u = UOp::new(&ops);
-        let x0 = hnd_linalg::power::deterministic_start(m);
-        let pairs = arnoldi_largest(&u, 2, &x0, &self.arnoldi)
+        let u = UOp::new(ops);
+        let x0 = krylov_start(&self.opts, m, warm);
+        let pairs = arnoldi_largest(&u, 2, &x0, &self.opts.arnoldi())
             .map_err(|e| RankError::Numerical(e.to_string()))?;
         let second = pairs.into_iter().nth(1).expect("requested two pairs");
         if second.vector.is_empty() {
@@ -64,25 +84,63 @@ impl AbilityRanker for HndArnoldi {
     }
 
     fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
-        if matrix.n_users() == 1 {
-            return Ok(Ranking::from_scores(vec![0.0]));
+        self.solve(matrix).map(|out| out.ranking)
+    }
+}
+
+impl SpectralSolver for HndArnoldi {
+    fn opts(&self) -> &SolverOpts {
+        &self.opts
+    }
+
+    fn solve_prepared(
+        &self,
+        matrix: &ResponseMatrix,
+        ops: &ResponseOps,
+        state: Option<&SolveState>,
+    ) -> Result<SolveOutcome, RankError> {
+        let m = matrix.n_users();
+        if m == 1 {
+            return Ok(trivial_outcome());
         }
-        let (_, v2) = self.second_eigenpair(matrix)?;
+        if ops.n_users() != m {
+            return Err(RankError::InvalidInput(format!(
+                "HND-arnoldi: kernel context covers {} users, matrix has {m}",
+                ops.n_users()
+            )));
+        }
+        let warm = state.and_then(|s| s.warm_scores(m));
+        let (_, v2) = self.second_eigenpair_on(matrix, ops, warm)?;
+        let solve_state = SolveState::from_scores(v2.clone());
         let mut ranking = Ranking {
             scores: v2,
             iterations: 0,
             converged: true,
         };
-        if self.orient {
+        if self.opts.orient {
             orient_by_decile_entropy(matrix, &mut ranking);
         }
-        Ok(ranking)
+        Ok(SolveOutcome {
+            ranking,
+            state: solve_state,
+        })
+    }
+
+    fn as_ranker(&self) -> &(dyn AbilityRanker + Sync) {
+        self
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn tight() -> SolverOpts {
+        SolverOpts {
+            tol: 1e-8,
+            ..Default::default()
+        }
+    }
 
     fn staircase(m: usize) -> ResponseMatrix {
         let n = m - 1;
@@ -98,10 +156,10 @@ mod tests {
         let r = staircase(12);
         let perm: Vec<usize> = vec![5, 2, 9, 0, 11, 3, 7, 1, 10, 4, 8, 6];
         let shuffled = r.permute_users(&perm);
-        let ranking = HndArnoldi {
+        let ranking = HndArnoldi::with_opts(SolverOpts {
             orient: false,
-            ..Default::default()
-        }
+            ..tight()
+        })
         .rank(&shuffled)
         .unwrap();
         let recovered: Vec<usize> = ranking
@@ -118,8 +176,10 @@ mod tests {
     #[test]
     fn arnoldi_and_lanczos_routes_agree() {
         let r = staircase(14);
-        let (lam_a, _) = HndArnoldi::default().second_eigenpair(&r).unwrap();
-        let v_l = crate::HndDirect::default().second_eigenvector(&r).unwrap();
+        let (lam_a, _) = HndArnoldi::with_opts(tight()).second_eigenpair(&r).unwrap();
+        let v_l = crate::HndDirect::with_opts(tight())
+            .second_eigenvector(&r)
+            .unwrap();
         // Both eigenvalues must match; compare through the Rayleigh
         // quotient of the Lanczos vector.
         let ops = ResponseOps::new(&r);

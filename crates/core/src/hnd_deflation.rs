@@ -5,61 +5,81 @@
 //! eigenvectors of `U`. The right one is known analytically (`e`, Lemma 4);
 //! the left one costs one extra round of power iteration on `Uᵀ` — which is
 //! exactly why the paper measures this variant ~20% slower than
-//! `HND-power`.
+//! `HND-power`. Warm starts amortize both rounds: the cached left vector
+//! from the previous solve restarts round 1, the previous score vector
+//! restarts round 2.
 
 use crate::operators::{UOp, UTransposeOp};
+use crate::solver::{trivial_outcome, SolveOutcome, SolveState, SolverOpts, SpectralSolver};
 use hnd_linalg::deflation::HotellingDeflatedOp;
-use hnd_linalg::power::{power_iteration, PowerOptions};
+use hnd_linalg::power::power_iteration;
 use hnd_response::{
     orient_by_decile_entropy, AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps,
 };
 
 /// The deflation-based HND implementation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct HndDeflation {
-    /// Power-iteration options shared by both rounds.
-    pub power: PowerOptions,
-    /// Apply decile-entropy symmetry breaking.
-    pub orient: bool,
-}
-
-impl Default for HndDeflation {
-    fn default() -> Self {
-        HndDeflation {
-            power: PowerOptions::default(),
-            orient: true,
-        }
-    }
+    /// Shared solver options (both power rounds use `tol`/`max_iter`).
+    pub opts: SolverOpts,
 }
 
 impl HndDeflation {
+    /// Builds the solver with the given shared options.
+    pub fn with_opts(opts: SolverOpts) -> Self {
+        HndDeflation { opts }
+    }
+
     /// Returns the second-largest eigenvector of `U` and the total
     /// iteration count across both power-iteration rounds.
     pub fn second_eigenvector(
         &self,
         matrix: &ResponseMatrix,
     ) -> Result<(Vec<f64>, usize), RankError> {
+        let ops = ResponseOps::new(matrix);
+        self.second_eigenvector_on(matrix, &ops, None)
+            .map(|(v, it, _)| (v, it))
+    }
+
+    /// Both power rounds on a caller-prepared kernel context; returns the
+    /// eigenvector, total iterations, and the converged left eigenvector
+    /// (for the warm-start cache).
+    fn second_eigenvector_on(
+        &self,
+        matrix: &ResponseMatrix,
+        ops: &ResponseOps,
+        state: Option<&SolveState>,
+    ) -> Result<(Vec<f64>, usize, Vec<f64>), RankError> {
         let m = matrix.n_users();
         if m < 2 {
             return Err(RankError::InvalidInput(
                 "HND-deflation needs at least 2 users".into(),
             ));
         }
-        let ops = ResponseOps::new(matrix);
-        // Round 1: dominant LEFT eigenvector of U (power iteration on Uᵀ).
-        let ut = UTransposeOp::new(&ops);
-        let left_out =
-            power_iteration(&ut, &hnd_linalg::power::deterministic_start(m), &self.power);
-        // Round 2: power iteration on the deflated operator.
-        let u = UOp::new(&ops);
+        let power = self.opts.power();
+        // Round 1: dominant LEFT eigenvector of U (power iteration on Uᵀ),
+        // warm-started from the cached left vector when available.
+        let ut = UTransposeOp::new(ops);
+        let left_x0 = match state.and_then(|s| s.warm_left(m)) {
+            Some(left) => left.to_vec(),
+            None => self.opts.start(m),
+        };
+        let left_out = power_iteration(&ut, &left_x0, &power);
+        // Round 2: power iteration on the deflated operator, warm-started
+        // from the previous score vector.
+        let u = UOp::new(ops);
         let ones = vec![1.0; m];
-        let deflated = HotellingDeflatedOp::new(&u, 1.0, ones, left_out.vector);
-        let main_out = power_iteration(
-            &deflated,
-            &hnd_linalg::power::deterministic_start(m),
-            &self.power,
-        );
-        Ok((main_out.vector, left_out.iterations + main_out.iterations))
+        let deflated = HotellingDeflatedOp::new(&u, 1.0, ones, left_out.vector.clone());
+        let main_x0 = match state.and_then(|s| s.warm_scores(m)) {
+            Some(scores) => scores.to_vec(),
+            None => self.opts.start(m),
+        };
+        let main_out = power_iteration(&deflated, &main_x0, &power);
+        Ok((
+            main_out.vector,
+            left_out.iterations + main_out.iterations,
+            left_out.vector,
+        ))
     }
 }
 
@@ -69,19 +89,49 @@ impl AbilityRanker for HndDeflation {
     }
 
     fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
-        if matrix.n_users() == 1 {
-            return Ok(Ranking::from_scores(vec![0.0]));
+        self.solve(matrix).map(|out| out.ranking)
+    }
+}
+
+impl SpectralSolver for HndDeflation {
+    fn opts(&self) -> &SolverOpts {
+        &self.opts
+    }
+
+    fn solve_prepared(
+        &self,
+        matrix: &ResponseMatrix,
+        ops: &ResponseOps,
+        state: Option<&SolveState>,
+    ) -> Result<SolveOutcome, RankError> {
+        let m = matrix.n_users();
+        if m == 1 {
+            return Ok(trivial_outcome());
         }
-        let (v2, iterations) = self.second_eigenvector(matrix)?;
+        if ops.n_users() != m {
+            return Err(RankError::InvalidInput(format!(
+                "HND-deflation: kernel context covers {} users, matrix has {m}",
+                ops.n_users()
+            )));
+        }
+        let (v2, iterations, left) = self.second_eigenvector_on(matrix, ops, state)?;
+        let solve_state = SolveState::from_scores(v2.clone()).with_left(left);
         let mut ranking = Ranking {
             scores: v2,
             iterations,
             converged: true,
         };
-        if self.orient {
+        if self.opts.orient {
             orient_by_decile_entropy(matrix, &mut ranking);
         }
-        Ok(ranking)
+        Ok(SolveOutcome {
+            ranking,
+            state: solve_state,
+        })
+    }
+
+    fn as_ranker(&self) -> &(dyn AbilityRanker + Sync) {
+        self
     }
 }
 
@@ -103,10 +153,10 @@ mod tests {
         let r = staircase(12);
         let perm: Vec<usize> = vec![5, 2, 9, 0, 11, 3, 7, 1, 10, 4, 8, 6];
         let shuffled = r.permute_users(&perm);
-        let ranker = HndDeflation {
+        let ranker = HndDeflation::with_opts(SolverOpts {
             orient: false,
             ..Default::default()
-        };
+        });
         let ranking = ranker.rank(&shuffled).unwrap();
         let recovered: Vec<usize> = ranking
             .order_best_to_worst()
@@ -148,5 +198,22 @@ mod tests {
         let ob = b.order_best_to_worst();
         let rev: Vec<usize> = ob.iter().rev().copied().collect();
         assert!(oa == ob || oa == rev, "{oa:?} vs {ob:?}");
+    }
+
+    #[test]
+    fn warm_start_cuts_both_rounds() {
+        let r = staircase(20);
+        let solver = HndDeflation::with_opts(SolverOpts {
+            orient: false,
+            ..Default::default()
+        });
+        let cold = solver.solve(&r).unwrap();
+        let warm = solver.solve_warm(&r, &cold.state).unwrap();
+        assert!(
+            warm.ranking.iterations < cold.ranking.iterations,
+            "warm {} vs cold {}",
+            warm.ranking.iterations,
+            cold.ranking.iterations
+        );
     }
 }

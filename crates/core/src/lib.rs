@@ -49,6 +49,19 @@
 //!   `hnd_linalg::parallel::with_threads`; batches of matrices parallelize
 //!   across rankings via [`hnd_response::rank_many`]. Serial and parallel
 //!   results are bitwise identical.
+//!
+//! ## Unified solver layer
+//!
+//! Every variant implements the [`SpectralSolver`] trait over one shared
+//! [`SolverOpts`] (tolerance / iteration budget / Krylov subspace budget /
+//! start seed / orientation — previously duplicated, and drifting, across
+//! the structs). [`SolverKind`] builds any variant behind
+//! `Box<dyn SpectralSolver>`; [`SpectralSolver::solve_prepared`] accepts a
+//! caller-maintained kernel context (`ResponseOps`, possibly patched in
+//! place via `ResponseOps::apply_delta`) plus a [`SolveState`] warm start,
+//! which is how the `hnd-service` ranking engine serves streams of edits
+//! without ever rebuilding the pattern or restarting iterations from
+//! scratch.
 
 pub mod avghits;
 pub mod diagnostics;
@@ -58,6 +71,7 @@ pub mod hnd_deflation;
 pub mod hnd_direct;
 pub mod naive;
 pub mod operators;
+pub mod solver;
 
 pub use avghits::AvgHits;
 pub use diagnostics::SpectralDiagnostics;
@@ -67,6 +81,7 @@ pub use hnd_deflation::HndDeflation;
 pub use hnd_direct::HndDirect;
 pub use naive::HndNaive;
 pub use operators::{SymmetrizedUOp, UDiffOp, UOp, UTransposeOp};
+pub use solver::{SolveOutcome, SolveState, SolverKind, SolverOpts, SpectralSolver};
 
 // Re-export the shared abstractions so `hnd_core` is a one-stop dependency
 // for downstream users of the facade crate.

@@ -7,8 +7,9 @@
 //! ablation benchmark `hnd_ablation` in `hnd-bench` quantifies the gap.
 
 use crate::operators::UDiffOp;
+use crate::solver::{trivial_outcome, SolveOutcome, SolveState, SolverOpts, SpectralSolver};
 use hnd_linalg::op::{DenseOp, LinearOp};
-use hnd_linalg::power::{power_iteration, PowerOptions};
+use hnd_linalg::power::power_iteration;
 use hnd_linalg::vector;
 use hnd_response::{
     orient_by_decile_entropy, AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps,
@@ -16,20 +17,16 @@ use hnd_response::{
 
 /// Materialize-then-iterate HND (for ablation only — do not use in
 /// production, its construction cost is `O(m²n)`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct HndNaive {
-    /// Power-iteration options.
-    pub power: PowerOptions,
-    /// Apply decile-entropy symmetry breaking.
-    pub orient: bool,
+    /// Shared solver options.
+    pub opts: SolverOpts,
 }
 
-impl Default for HndNaive {
-    fn default() -> Self {
-        HndNaive {
-            power: PowerOptions::default(),
-            orient: true,
-        }
+impl HndNaive {
+    /// Builds the solver with the given shared options.
+    pub fn with_opts(opts: SolverOpts) -> Self {
+        HndNaive { opts }
     }
 }
 
@@ -39,30 +36,59 @@ impl AbilityRanker for HndNaive {
     }
 
     fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        self.solve(matrix).map(|out| out.ranking)
+    }
+}
+
+impl SpectralSolver for HndNaive {
+    fn opts(&self) -> &SolverOpts {
+        &self.opts
+    }
+
+    fn solve_prepared(
+        &self,
+        matrix: &ResponseMatrix,
+        ops: &ResponseOps,
+        state: Option<&SolveState>,
+    ) -> Result<SolveOutcome, RankError> {
         let m = matrix.n_users();
         if m == 1 {
-            return Ok(Ranking::from_scores(vec![0.0]));
+            return Ok(trivial_outcome());
         }
-        let ops = ResponseOps::new(matrix);
-        // O(m²n): densify Udiff column by column.
-        let dense = UDiffOp::new(&ops).to_dense();
+        if ops.n_users() != m {
+            return Err(RankError::InvalidInput(format!(
+                "HND-naive: kernel context covers {} users, matrix has {m}",
+                ops.n_users()
+            )));
+        }
+        // O(m²n): densify Udiff column by column. (A warm start cannot
+        // rescue the construction cost — that is the point of the ablation.)
+        let dense = UDiffOp::new(ops).to_dense();
         let op = DenseOp::new(&dense);
-        let out = power_iteration(
-            &op,
-            &hnd_linalg::power::deterministic_start(m - 1),
-            &self.power,
-        );
+        let x0 = match state.and_then(|s| s.warm_diffs(m)) {
+            Some(d) => d,
+            None => self.opts.start(m - 1),
+        };
+        let out = power_iteration(&op, &x0, &self.opts.power());
         let mut scores = Vec::with_capacity(m);
         vector::cumsum_from_diffs(&out.vector, &mut scores);
+        let solve_state = SolveState::from_scores(scores.clone());
         let mut ranking = Ranking {
             scores,
             iterations: out.iterations,
             converged: out.converged,
         };
-        if self.orient {
+        if self.opts.orient {
             orient_by_decile_entropy(matrix, &mut ranking);
         }
-        Ok(ranking)
+        Ok(SolveOutcome {
+            ranking,
+            state: solve_state,
+        })
+    }
+
+    fn as_ranker(&self) -> &(dyn AbilityRanker + Sync) {
+        self
     }
 }
 

@@ -1,0 +1,401 @@
+//! The unified solver layer: one options struct, one trait, one registry.
+//!
+//! Before this module each HND variant carried its own copy of the
+//! tolerance/iteration-budget/orientation knobs (`PowerOptions` here,
+//! `LanczosOptions` there, a drifting `orient` flag everywhere) and its own
+//! entry points, so call sites — experiments, benches, the serving layer —
+//! had to know which concrete struct they were holding. [`SolverOpts`]
+//! deduplicates the knobs, [`SpectralSolver`] unifies the call surface,
+//! and [`SolverKind`] is the value-level registry that builds any variant
+//! behind `Box<dyn SpectralSolver>`.
+//!
+//! The trait is *incremental-first*: [`SpectralSolver::solve_prepared`]
+//! takes a caller-owned [`ResponseOps`] (so a serving layer that patches
+//! its kernel context via `ResponseOps::apply_delta` never pays a rebuild)
+//! and an optional [`SolveState`] warm start (the previous eigenpair, from
+//! which power/Arnoldi/Lanczos iterations restart in a handful of steps).
+//! [`SpectralSolver::solve`] is the convenience cold path over a freshly
+//! built context.
+
+use crate::{AvgHits, HitsNDiffs, HndArnoldi, HndDeflation, HndDirect, HndNaive};
+use hnd_response::{AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps};
+
+/// The solver knobs shared by every spectral variant.
+///
+/// `tol`/`max_iter` govern the power-iteration family, `tol`/`max_subspace`
+/// the Krylov family; `seed` picks the deterministic start vector
+/// (seed 0 = the workspace's historical seedless start); `orient` applies
+/// the decile-entropy symmetry breaking of Section III-D.
+///
+/// The struct's `Default` carries the power family's paper tolerance
+/// (1e-5). Variants whose `tol` measures something different default
+/// tighter through their own `Default` impls — Krylov residuals at 1e-8
+/// (`HndDirect`/`HndArnoldi`), the AvgHITS collapse at 1e-10 — which is
+/// what [`SolverKind::build_default`] uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOpts {
+    /// Convergence tolerance: L2 change of the normalized iterate for the
+    /// power family (paper: 1e-5), relative Ritz residual for the Krylov
+    /// family.
+    pub tol: f64,
+    /// Iteration budget for the power family.
+    pub max_iter: usize,
+    /// Krylov subspace budget for the Arnoldi/Lanczos family.
+    pub max_subspace: usize,
+    /// Seed for the deterministic start vector (0 = historical default).
+    pub seed: u64,
+    /// Apply decile-entropy symmetry breaking (Section III-D). Disable when
+    /// evaluating raw spectral behaviour (e.g. the Figure 6 stability
+    /// study).
+    pub orient: bool,
+}
+
+impl Default for SolverOpts {
+    fn default() -> Self {
+        SolverOpts {
+            tol: 1e-5,
+            max_iter: 10_000,
+            max_subspace: 300,
+            seed: 0,
+            orient: true,
+        }
+    }
+}
+
+impl SolverOpts {
+    /// The paper's power-iteration options derived from the shared knobs.
+    pub fn power(&self) -> hnd_linalg::PowerOptions {
+        hnd_linalg::PowerOptions {
+            tol: self.tol,
+            max_iter: self.max_iter,
+        }
+    }
+
+    /// Lanczos options derived from the shared knobs.
+    pub fn lanczos(&self) -> hnd_linalg::LanczosOptions {
+        hnd_linalg::LanczosOptions {
+            max_subspace: self.max_subspace,
+            tol: self.tol,
+        }
+    }
+
+    /// Arnoldi options derived from the shared knobs.
+    pub fn arnoldi(&self) -> hnd_linalg::ArnoldiOptions {
+        hnd_linalg::ArnoldiOptions {
+            max_subspace: self.max_subspace,
+            tol: self.tol,
+        }
+    }
+
+    /// The deterministic start vector of dimension `n` for these options.
+    pub fn start(&self, n: usize) -> Vec<f64> {
+        hnd_linalg::power::deterministic_start_seeded(n, self.seed)
+    }
+}
+
+/// Resumable spectral state: the solution of a previous solve in
+/// *user-score coordinates* (the second eigenvector of `U`, length `m`),
+/// plus optional solver-specific extras.
+///
+/// The representation is deliberately solver-agnostic — a state produced
+/// by `HND-power` warm-starts `HND-deflation` and vice versa — and
+/// sign-agnostic (every iteration in the workspace converges up to sign),
+/// so a post-orientation `Ranking::scores` vector is a valid warm start
+/// too ([`SolveState::from_scores`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveState {
+    /// The spectral score vector (v₂ of `U` up to sign/scale), length `m`.
+    scores: Vec<f64>,
+    /// Dominant *left* eigenvector of `U`, cached by the deflation solver.
+    left: Option<Vec<f64>>,
+}
+
+impl SolveState {
+    /// Wraps a score vector (e.g. `Ranking::scores`) as a warm start.
+    pub fn from_scores(scores: Vec<f64>) -> Self {
+        SolveState { scores, left: None }
+    }
+
+    /// The stored spectral score vector.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Number of users the state describes.
+    pub fn n_users(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// The state's scores as adjacent differences (the `Udiff` coordinate
+    /// system HND-power iterates in), or `None` for degenerate lengths.
+    fn as_diffs(&self) -> Option<Vec<f64>> {
+        if self.scores.len() < 2 {
+            return None;
+        }
+        let mut d = Vec::new();
+        hnd_linalg::vector::adjacent_diffs(&self.scores, &mut d);
+        Some(d)
+    }
+
+    /// Warm difference vector for an `m`-user solve, if compatible.
+    pub(crate) fn warm_diffs(&self, m: usize) -> Option<Vec<f64>> {
+        if self.scores.len() != m {
+            return None; // roster changed: cold start
+        }
+        self.as_diffs()
+    }
+
+    /// Warm score-space start for an `m`-user solve, if compatible.
+    pub(crate) fn warm_scores(&self, m: usize) -> Option<&[f64]> {
+        (self.scores.len() == m).then_some(self.scores.as_slice())
+    }
+
+    /// Cached left eigenvector for an `m`-user solve, if compatible.
+    pub(crate) fn warm_left(&self, m: usize) -> Option<&[f64]> {
+        self.left
+            .as_deref()
+            .filter(|l| l.len() == m && self.scores.len() == m)
+    }
+
+    pub(crate) fn with_left(mut self, left: Vec<f64>) -> Self {
+        self.left = Some(left);
+        self
+    }
+}
+
+/// A complete solve: the user ranking plus the resumable spectral state.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The (possibly oriented) user ranking.
+    pub ranking: Ranking,
+    /// The raw spectral state, for warm-starting the next solve.
+    pub state: SolveState,
+}
+
+/// The unified interface over every spectral ability-discovery variant.
+///
+/// All implementations are plain-old-data option holders: `Send + Sync`,
+/// cheap to construct, stateless across solves (state travels explicitly
+/// through [`SolveState`]).
+pub trait SpectralSolver: AbilityRanker + Send + Sync {
+    /// The shared solver options.
+    fn opts(&self) -> &SolverOpts;
+
+    /// Solves on a caller-prepared kernel context, optionally warm-started.
+    ///
+    /// `ops` must be the kernel context of `matrix` (the incremental
+    /// serving layer maintains it via `ResponseOps::apply_delta`; batch
+    /// callers build it fresh). `matrix` itself is consulted only for the
+    /// orientation pass and trivial-shape checks, never rebuilt into a new
+    /// pattern. A warm `state` from a *nearby* matrix cuts iterations to a
+    /// handful; an incompatible state (different user count) falls back to
+    /// the cold start silently.
+    fn solve_prepared(
+        &self,
+        matrix: &ResponseMatrix,
+        ops: &ResponseOps,
+        state: Option<&SolveState>,
+    ) -> Result<SolveOutcome, RankError>;
+
+    /// Cold convenience path: builds the kernel context and solves.
+    fn solve(&self, matrix: &ResponseMatrix) -> Result<SolveOutcome, RankError> {
+        let ops = ResponseOps::new(matrix);
+        self.solve_prepared(matrix, &ops, None)
+    }
+
+    /// Warm convenience path: builds the kernel context and solves from a
+    /// previous state.
+    fn solve_warm(
+        &self,
+        matrix: &ResponseMatrix,
+        state: &SolveState,
+    ) -> Result<SolveOutcome, RankError> {
+        let ops = ResponseOps::new(matrix);
+        self.solve_prepared(matrix, &ops, Some(state))
+    }
+
+    /// This solver as a plain [`AbilityRanker`] (for batch entry points
+    /// like `hnd_response::rank_many`).
+    fn as_ranker(&self) -> &(dyn AbilityRanker + Sync);
+}
+
+/// The trivial single-user outcome every solver shares.
+pub(crate) fn trivial_outcome() -> SolveOutcome {
+    SolveOutcome {
+        ranking: Ranking::from_scores(vec![0.0]),
+        state: SolveState::from_scores(vec![0.0]),
+    }
+}
+
+/// Value-level registry of the spectral solver family: build any variant
+/// with shared options, without naming its concrete type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// `HND-power` (Algorithm 1) — the paper's flagship.
+    Power,
+    /// Hotelling deflation (Section III-F).
+    Deflation,
+    /// Lanczos on the symmetrized update matrix.
+    Direct,
+    /// Asymmetric Arnoldi (the paper's Python route).
+    Arnoldi,
+    /// The `O(m²n)` materialize-`Udiff` ablation baseline.
+    Naive,
+    /// Plain AvgHITS (Section III-B) — converges to the uninformative
+    /// all-ones direction; kept as the executable Lemma 4 demonstration.
+    AvgHits,
+}
+
+impl SolverKind {
+    /// Display name (matches the paper's figure legends).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolverKind::Power => "HnD",
+            SolverKind::Deflation => "HnD-deflation",
+            SolverKind::Direct => "HnD-direct",
+            SolverKind::Arnoldi => "HnD-arnoldi",
+            SolverKind::Naive => "HnD-naive",
+            SolverKind::AvgHits => "AvgHITS",
+        }
+    }
+
+    /// Builds the solver with the given shared options.
+    pub fn build(&self, opts: SolverOpts) -> Box<dyn SpectralSolver> {
+        match self {
+            SolverKind::Power => Box::new(HitsNDiffs::with_opts(opts)),
+            SolverKind::Deflation => Box::new(HndDeflation::with_opts(opts)),
+            SolverKind::Direct => Box::new(HndDirect::with_opts(opts)),
+            SolverKind::Arnoldi => Box::new(HndArnoldi::with_opts(opts)),
+            SolverKind::Naive => Box::new(HndNaive::with_opts(opts)),
+            SolverKind::AvgHits => Box::new(AvgHits::with_opts(opts)),
+        }
+    }
+
+    /// Builds the solver with its variant-appropriate defaults: the
+    /// shared [`SolverOpts::default`] for the power family, a tighter
+    /// Krylov residual tolerance (1e-8) for Direct/Arnoldi, and the
+    /// 1e-10 collapse tolerance for AvgHITS — matching each solver's
+    /// own `Default` impl (and its pre-unification behaviour).
+    pub fn build_default(&self) -> Box<dyn SpectralSolver> {
+        match self {
+            SolverKind::Power => Box::new(HitsNDiffs::default()),
+            SolverKind::Deflation => Box::new(HndDeflation::default()),
+            SolverKind::Direct => Box::new(HndDirect::default()),
+            SolverKind::Arnoldi => Box::new(HndArnoldi::default()),
+            SolverKind::Naive => Box::new(HndNaive::default()),
+            SolverKind::AvgHits => Box::new(AvgHits::default()),
+        }
+    }
+
+    /// Every ranking-capable variant (excludes [`SolverKind::AvgHits`],
+    /// whose fixed point carries no ordering information).
+    pub fn ranking_variants() -> [SolverKind; 5] {
+        [
+            SolverKind::Power,
+            SolverKind::Deflation,
+            SolverKind::Direct,
+            SolverKind::Arnoldi,
+            SolverKind::Naive,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staircase(m: usize) -> ResponseMatrix {
+        let n = m - 1;
+        let rows: Vec<Vec<Option<u16>>> = (0..m)
+            .map(|j| (0..n).map(|i| Some(u16::from(j > i))).collect())
+            .collect();
+        let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+        ResponseMatrix::from_choices(n, &vec![2u16; n], &refs).unwrap()
+    }
+
+    #[test]
+    fn every_ranking_variant_solves_through_the_trait() {
+        let matrix = staircase(12);
+        let opts = SolverOpts {
+            orient: false,
+            tol: 1e-8,
+            ..Default::default()
+        };
+        let reference = SolverKind::Power.build(opts).solve(&matrix).unwrap();
+        let ro = reference.ranking.order_best_to_worst();
+        for kind in SolverKind::ranking_variants() {
+            let solver = kind.build(opts);
+            assert_eq!(solver.name(), kind.name());
+            let out = solver.solve(&matrix).unwrap();
+            let oo = out.ranking.order_best_to_worst();
+            let rev: Vec<usize> = oo.iter().rev().copied().collect();
+            assert!(
+                ro == oo || ro == rev,
+                "{} disagrees: {ro:?} vs {oo:?}",
+                kind.name()
+            );
+            assert_eq!(out.state.n_users(), 12);
+        }
+    }
+
+    #[test]
+    fn warm_state_is_solver_agnostic() {
+        let matrix = staircase(14);
+        let opts = SolverOpts {
+            orient: false,
+            ..Default::default()
+        };
+        // State produced by the direct solver warm-starts the power solver.
+        let direct = SolverKind::Direct.build(opts);
+        let state = direct.solve(&matrix).unwrap().state;
+        let power = SolverKind::Power.build(opts);
+        let cold = power.solve(&matrix).unwrap();
+        let warm = power.solve_warm(&matrix, &state).unwrap();
+        assert!(
+            warm.ranking.iterations <= cold.ranking.iterations,
+            "warm {} vs cold {}",
+            warm.ranking.iterations,
+            cold.ranking.iterations
+        );
+        let co = cold.ranking.order_best_to_worst();
+        let wo = warm.ranking.order_best_to_worst();
+        let rev: Vec<usize> = co.iter().rev().copied().collect();
+        assert!(wo == co || wo == rev);
+    }
+
+    #[test]
+    fn incompatible_state_falls_back_to_cold() {
+        let small = staircase(6);
+        let big = staircase(10);
+        let solver = SolverKind::Power.build(SolverOpts {
+            orient: false,
+            ..Default::default()
+        });
+        let state = solver.solve(&small).unwrap().state;
+        // Must not error; must produce the same result as cold.
+        let warm = solver.solve_warm(&big, &state).unwrap();
+        let cold = solver.solve(&big).unwrap();
+        assert_eq!(warm.ranking.scores, cold.ranking.scores);
+    }
+
+    #[test]
+    fn single_user_is_trivial_for_all() {
+        let m = ResponseMatrix::from_choices(1, &[2], &[&[Some(0)]]).unwrap();
+        for kind in SolverKind::ranking_variants() {
+            let out = kind.build_default().solve(&m).unwrap();
+            assert_eq!(out.ranking.scores, vec![0.0], "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn as_ranker_feeds_rank_many() {
+        let matrices = [staircase(8), staircase(9), staircase(10)];
+        let refs: Vec<&ResponseMatrix> = matrices.iter().collect();
+        let solver = SolverKind::Power.build_default();
+        let results = hnd_response::rank_many(solver.as_ranker(), &refs);
+        assert_eq!(results.len(), 3);
+        for (r, m) in results.iter().zip(&matrices) {
+            assert_eq!(r.as_ref().unwrap().len(), m.n_users());
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Property tests across the HND variants and the paper's lemmas.
 
 use hnd_core::operators::{UDiffOp, UOp};
-use hnd_core::{AbilityRanker, HitsNDiffs, HndDeflation, HndDirect, ResponseOps};
+use hnd_core::{AbilityRanker, HitsNDiffs, HndDeflation, HndDirect, ResponseOps, SolverOpts};
 use hnd_linalg::op::LinearOp;
 use hnd_linalg::vector;
 use hnd_response::ResponseMatrix;
@@ -80,14 +80,12 @@ proptest! {
             recovered.iter().enumerate().all(|(i, &u)| u == i)
                 || recovered.iter().enumerate().all(|(i, &u)| u == m - 1 - i)
         };
-        let power = HitsNDiffs { orient: false, ..Default::default() }
-            .rank(&matrix).unwrap();
+        let unoriented = SolverOpts { orient: false, ..Default::default() };
+        let power = HitsNDiffs::with_opts(unoriented).rank(&matrix).unwrap();
         prop_assert!(check(power.order_best_to_worst()), "HND-power failed");
-        let deflation = HndDeflation { orient: false, ..Default::default() }
-            .rank(&matrix).unwrap();
+        let deflation = HndDeflation::with_opts(unoriented).rank(&matrix).unwrap();
         prop_assert!(check(deflation.order_best_to_worst()), "HND-deflation failed");
-        let direct = HndDirect { orient: false, ..Default::default() }
-            .rank(&matrix).unwrap();
+        let direct = HndDirect::with_opts(unoriented).rank(&matrix).unwrap();
         prop_assert!(check(direct.order_best_to_worst()), "HND-direct failed");
     }
 
@@ -95,13 +93,12 @@ proptest! {
     fn ranking_is_permutation_equivariant((matrix, _perm) in shuffled_staircase()) {
         // Relabeling users must relabel the ranking identically (up to the
         // C1P reversal symmetry).
-        let ranking = HitsNDiffs { orient: false, ..Default::default() }
-            .rank(&matrix).unwrap();
+        let unoriented = SolverOpts { orient: false, ..Default::default() };
+        let ranking = HitsNDiffs::with_opts(unoriented).rank(&matrix).unwrap();
         let m = matrix.n_users();
         let rotate: Vec<usize> = (0..m).map(|i| (i + 1) % m).collect();
         let rotated = matrix.permute_users(&rotate);
-        let ranking_rot = HitsNDiffs { orient: false, ..Default::default() }
-            .rank(&rotated).unwrap();
+        let ranking_rot = HitsNDiffs::with_opts(unoriented).rank(&rotated).unwrap();
         // order on rotated matrix, mapped back to original user ids:
         let mapped: Vec<usize> = ranking_rot
             .order_best_to_worst()

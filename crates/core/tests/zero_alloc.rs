@@ -69,21 +69,44 @@ fn assert_alloc_free(label: &str, mut apply: impl FnMut()) {
     // its final capacity.
     apply();
     apply();
-    let before = allocations();
-    for _ in 0..50 {
-        apply();
+    // The counter is process-global and other threads (e.g. the libtest
+    // main thread's bookkeeping) occasionally allocate mid-window, so a
+    // single noisy measurement is retried. The window is deliberately
+    // large (200 applications): an operator that allocates even
+    // *periodically* — say every 64th apply via amortized growth — still
+    // hits every window and fails all attempts; only sporadic ambient
+    // noise can see a clean window.
+    let mut leaked = 0;
+    for _ in 0..5 {
+        let before = allocations();
+        for _ in 0..200 {
+            apply();
+        }
+        leaked = allocations() - before;
+        if leaked == 0 {
+            return;
+        }
     }
-    let after = allocations();
-    assert_eq!(
-        after - before,
-        0,
-        "{label}: {} allocations across 50 applications",
-        after - before
-    );
+    panic!("{label}: {leaked} allocations across 200 applications (5 attempts)");
 }
 
+/// One test for the whole binary: the counter is process-global, and the
+/// libtest harness itself allocates from its main thread while tests run
+/// (result bookkeeping), so any concurrently running test — or even a
+/// finishing sibling test — would move the counter mid-measurement and
+/// flake. A single test keeps the process quiet while measuring.
 #[test]
-fn operator_applications_do_not_allocate() {
+fn zero_allocation_contract() {
+    // Sanity-check the harness itself: an allocation must move the counter.
+    let before = allocations();
+    let v: Vec<u8> = Vec::with_capacity(4096);
+    std::hint::black_box(&v);
+    assert!(
+        allocations() > before,
+        "allocator wrapper must observe allocs"
+    );
+    drop(v);
+
     let matrix = test_matrix();
     let ops = ResponseOps::new(&matrix);
     let m = ops.n_users();
@@ -110,32 +133,12 @@ fn operator_applications_do_not_allocate() {
         assert_alloc_free("laplacian_apply", || {
             ops.laplacian_apply(&d, &xs, &mut w, &mut ys)
         });
-    });
-}
 
-#[test]
-fn deflated_op_does_not_allocate_per_apply() {
-    let matrix = test_matrix();
-    let ops = ResponseOps::new(&matrix);
-    let m = ops.n_users();
-    with_threads(1, || {
-        let u = UOp::new(&ops);
+        let u2 = UOp::new(&ops);
         let ones = vec![1.0; m];
-        let deflated = hnd_linalg::DeflatedOp::new(&u, vec![ones]);
-        let x = hnd_linalg::power::deterministic_start(m);
-        let mut y = vec![0.0; m];
-        assert_alloc_free("DeflatedOp::apply", || deflated.apply(&x, &mut y));
+        let deflated = hnd_linalg::DeflatedOp::new(&u2, vec![ones]);
+        let xd = hnd_linalg::power::deterministic_start(m);
+        let mut yd = vec![0.0; m];
+        assert_alloc_free("DeflatedOp::apply", || deflated.apply(&xd, &mut yd));
     });
-}
-
-#[test]
-fn counting_allocator_actually_counts() {
-    // Sanity-check the harness itself: an allocation must move the counter.
-    let before = allocations();
-    let v: Vec<u8> = Vec::with_capacity(4096);
-    std::hint::black_box(&v);
-    assert!(
-        allocations() > before,
-        "allocator wrapper must observe allocs"
-    );
 }

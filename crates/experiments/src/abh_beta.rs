@@ -10,7 +10,7 @@
 use crate::config::RunConfig;
 use crate::report::{save_json, Table};
 use hnd_c1p::abh::{AbhPower, BetaStrategy};
-use hnd_core::{HitsNDiffs, HndDeflation};
+use hnd_core::SolverKind;
 use hnd_irt::{GeneratorConfig, ModelKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -108,14 +108,16 @@ pub fn run_iteration_counts(cfg: &RunConfig) {
                 .diff_eigenvector(&ds.responses)
                 .expect("ABH-power runs");
             abh_iters.push(it as f64);
-            let (_, it) = HndDeflation::default()
-                .second_eigenvector(&ds.responses)
+            let defl = SolverKind::Deflation
+                .build_default()
+                .solve(&ds.responses)
                 .expect("HnD-deflation runs");
-            defl_iters.push(it as f64);
-            let (_, it) = HitsNDiffs::default()
-                .diff_eigenvector(&ds.responses)
+            defl_iters.push(defl.ranking.iterations as f64);
+            let hnd = SolverKind::Power
+                .build_default()
+                .solve(&ds.responses)
                 .expect("HnD-power runs");
-            hnd_iters.push(it as f64);
+            hnd_iters.push(hnd.ranking.iterations as f64);
         }
         table.push_row(vec![
             n.to_string(),

@@ -2,7 +2,7 @@
 //! with uniform construction, execution and accuracy evaluation.
 
 use hnd_c1p::{AbhDirect, AbhPower};
-use hnd_core::{AbilityRanker, HitsNDiffs, HndDeflation, HndDirect, RankError, Ranking};
+use hnd_core::{AbilityRanker, RankError, Ranking, SolverKind};
 use hnd_irt::{GrmEstimator, SyntheticDataset};
 use hnd_models::{Hits, Investment, MajorityVote, PooledInvestment, TrueAnswer, TruthFinder};
 use hnd_response::{rank_many, ResponseMatrix};
@@ -122,9 +122,11 @@ impl Method {
     /// correct options.
     fn shared_ranker(&self) -> Option<Box<dyn AbilityRanker + Sync>> {
         match self {
-            Method::Hnd => Some(Box::new(HitsNDiffs::default())),
-            Method::HndDeflation => Some(Box::new(HndDeflation::default())),
-            Method::HndDirect => Some(Box::new(HndDirect::default())),
+            // The HND family goes through the unified SpectralSolver
+            // registry; everything else keeps its bespoke constructor.
+            Method::Hnd => Some(SolverKind::Power.build_default()),
+            Method::HndDeflation => Some(SolverKind::Deflation.build_default()),
+            Method::HndDirect => Some(SolverKind::Direct.build_default()),
             Method::Abh => Some(Box::new(AbhDirect::default())),
             Method::AbhPower => Some(Box::new(AbhPower::default())),
             Method::Hits => Some(Box::new(Hits::default())),

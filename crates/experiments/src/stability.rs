@@ -18,7 +18,7 @@
 use crate::config::RunConfig;
 use crate::report::{save_json, Table};
 use hnd_c1p::abh::AbhPower;
-use hnd_core::{AbilityRanker, HitsNDiffs};
+use hnd_core::{AbilityRanker, SolverKind};
 use hnd_irt::poly::BockItem;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -73,13 +73,15 @@ pub fn run(cfg: &RunConfig) {
         }
         let outcomes = hnd_linalg::parallel::par_map(&seeds, |&seed| {
             let ds = stability_dataset(a, seed);
-            // Panel (a): variance of the ranking eigenvectors.
-            let hnd = HitsNDiffs::default();
-            let (sdiff, _) = hnd.diff_eigenvector(&ds.responses).expect("m >= 2");
+            // One trait-level solve yields both the raw eigenvector state
+            // (panel a) and the oriented ranking (panels b/c).
+            let hnd = SolverKind::Power.build_default();
+            let out = hnd.solve(&ds.responses).expect("m >= 2");
+            let mut sdiff = Vec::new();
+            hnd_linalg::vector::adjacent_diffs(out.state.scores(), &mut sdiff);
             let abh = AbhPower::default();
             let (mdiff, _) = abh.diff_eigenvector(&ds.responses).expect("m >= 2");
-            // Panels (b)/(c): oriented rankings.
-            let rh = hnd.rank(&ds.responses).expect("HnD ranks");
+            let rh = out.ranking;
             let ra = abh.rank(&ds.responses).expect("ABH ranks");
             RepOutcome {
                 var_hnd: hnd_linalg::vector::variance(&sdiff),
@@ -164,9 +166,9 @@ mod tests {
     fn high_discrimination_is_more_accurate_for_hnd() {
         let low = stability_dataset(1.0, 2);
         let high = stability_dataset(16.0, 2);
-        let hnd = HitsNDiffs::default();
+        let hnd = SolverKind::Power.build_default();
         let acc = |ds: &hnd_irt::SyntheticDataset| {
-            let r = hnd.rank(&ds.responses).unwrap();
+            let r = hnd.solve(&ds.responses).unwrap().ranking;
             hnd_eval::spearman(&r.scores, &ds.abilities)
         };
         assert!(acc(&high) > acc(&low), "discrimination helps HnD");

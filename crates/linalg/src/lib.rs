@@ -73,7 +73,7 @@ pub use arnoldi::{arnoldi_largest, ArnoldiOptions, ArnoldiPair};
 pub use dense::DenseMatrix;
 pub use lanczos::{lanczos_extreme, LanczosOptions, RitzPair, Which};
 pub use op::{DeflatedOp, DenseOp, LinearOp, ScaledOp, ShiftedOp};
-pub use pattern::BinaryCsr;
+pub use pattern::{BinaryCsr, DeltaError, PatternDelta};
 pub use power::{power_iteration, PowerOptions, PowerOutcome};
 pub use sparse::CsrMatrix;
 

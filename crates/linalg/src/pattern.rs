@@ -17,31 +17,137 @@
 //! the same memory pass; `hnd-response` builds all of the paper's
 //! normalized products (`Crow·w`, `(Ccol)ᵀ·s`, `Uᵀ`, `Ũ`, the ABH
 //! Laplacian) on top of these two primitives with zero temporaries.
+//!
+//! ## Incremental updates
+//!
+//! Serving workloads see the pattern as a *stream of edits* (a user answers
+//! one more item, revises an answer, …), and rebuilding a multi-million
+//! entry CSR per edit wastes orders of magnitude more work than the edit
+//! itself. [`BinaryCsr`] therefore supports **slack capacity**: each row
+//! and column occupies a sorted *prefix* of a fixed capacity span
+//! (`row_len[i] ≤ capacity`), so [`BinaryCsr::apply_delta`] patches both
+//! the CSR arrays and the CSC mirror in `O(w·nnz(delta))` — `w` the touched
+//! row/column width — by shifting entries within one span. When a span is
+//! full the delta is rolled back and [`DeltaError::RowFull`] /
+//! [`DeltaError::ColFull`] tells the caller to rebuild with fresh slack
+//! ([`BinaryCsr::with_slack`]); nothing is ever silently dropped.
 
 use crate::dense::DenseMatrix;
 use crate::parallel;
 use crate::sparse::CsrMatrix;
 
 /// A binary (0/1) sparse matrix stored as a u32-index CSR pattern plus a
-/// CSC mirror of the same pattern.
+/// CSC mirror of the same pattern, with optional per-row/column slack
+/// capacity for in-place edits.
 ///
 /// Invariants: `row_ptr.len() == rows + 1`, `col_ptr.len() == cols + 1`,
-/// both monotone; column indices strictly increase within a row, row
-/// indices strictly increase within a column; CSR and CSC describe the same
-/// entry set.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// both monotone; row `i` stores `row_len[i]` column indices, strictly
+/// increasing, in the prefix of its span `row_ptr[i]..row_ptr[i+1]` (and
+/// symmetrically for columns); CSR and CSC describe the same entry set.
+/// Equality compares the *logical* entry set, not the physical layout, so
+/// a delta-patched matrix equals its from-scratch rebuild.
+#[derive(Debug, Clone)]
 pub struct BinaryCsr {
     rows: usize,
     cols: usize,
     row_ptr: Vec<u32>,
     col_idx: Vec<u32>,
+    /// Stored entries of row `i` (prefix of its capacity span).
+    row_len: Vec<u32>,
     col_ptr: Vec<u32>,
     row_idx: Vec<u32>,
+    /// Stored entries of column `c` (prefix of its capacity span).
+    col_len: Vec<u32>,
+    nnz: usize,
 }
 
+/// An edit batch for [`BinaryCsr::apply_delta`]: entries to remove and
+/// entries to insert, as `(row, col)` coordinates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternDelta {
+    /// Entries that must currently exist and are deleted.
+    pub removes: Vec<(u32, u32)>,
+    /// Entries that must not exist yet and are inserted.
+    pub adds: Vec<(u32, u32)>,
+}
+
+impl PatternDelta {
+    /// Number of individual entry edits in the delta.
+    pub fn len(&self) -> usize {
+        self.removes.len() + self.adds.len()
+    }
+
+    /// `true` when the delta performs no edits.
+    pub fn is_empty(&self) -> bool {
+        self.removes.is_empty() && self.adds.is_empty()
+    }
+}
+
+/// Why a [`BinaryCsr::apply_delta`] could not be applied. The matrix is
+/// rolled back to its pre-delta state before any error is returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A coordinate lies outside the matrix.
+    OutOfBounds {
+        /// Offending row.
+        row: u32,
+        /// Offending column.
+        col: u32,
+    },
+    /// An `adds` entry already exists.
+    Duplicate {
+        /// Offending row.
+        row: u32,
+        /// Offending column.
+        col: u32,
+    },
+    /// A `removes` entry does not exist.
+    Missing {
+        /// Offending row.
+        row: u32,
+        /// Offending column.
+        col: u32,
+    },
+    /// Row `row` has no slack capacity left; rebuild with more slack.
+    RowFull {
+        /// The saturated row.
+        row: u32,
+    },
+    /// Column `col` has no slack capacity left; rebuild with more slack.
+    ColFull {
+        /// The saturated column.
+        col: u32,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::OutOfBounds { row, col } => {
+                write!(f, "delta entry ({row},{col}) is out of bounds")
+            }
+            DeltaError::Duplicate { row, col } => {
+                write!(f, "delta adds existing entry ({row},{col})")
+            }
+            DeltaError::Missing { row, col } => {
+                write!(f, "delta removes absent entry ({row},{col})")
+            }
+            DeltaError::RowFull { row } => {
+                write!(f, "row {row} is out of slack capacity")
+            }
+            DeltaError::ColFull { col } => {
+                write!(f, "column {col} is out of slack capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
 impl BinaryCsr {
-    /// Builds a pattern from `(row, col)` pairs. Duplicates collapse to a
-    /// single entry (the matrix is 0/1 by definition).
+    /// Builds a tightly-packed pattern (zero slack) from `(row, col)`
+    /// pairs. Duplicates collapse to a single entry (the matrix is 0/1 by
+    /// definition).
     ///
     /// # Panics
     /// Panics on out-of-bounds coordinates or dimensions exceeding `u32`.
@@ -49,6 +155,23 @@ impl BinaryCsr {
         rows: usize,
         cols: usize,
         pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Self {
+        Self::with_slack(rows, cols, pairs, 0, 0)
+    }
+
+    /// Builds a pattern whose every row span has `row_slack` spare slots
+    /// and every column span `col_slack` spare slots, so future
+    /// [`Self::apply_delta`] calls can insert without rebuilding.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds coordinates or dimensions/entry counts
+    /// exceeding `u32`.
+    pub fn with_slack(
+        rows: usize,
+        cols: usize,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+        row_slack: usize,
+        col_slack: usize,
     ) -> Self {
         assert!(
             rows <= u32::MAX as usize && cols <= u32::MAX as usize,
@@ -67,29 +190,55 @@ impl BinaryCsr {
             .collect();
         entries.sort_unstable();
         entries.dedup();
+        let nnz = entries.len();
         assert!(
-            entries.len() <= u32::MAX as usize,
-            "BinaryCsr: entry count exceeds u32 ({} entries)",
-            entries.len()
+            nnz + rows * row_slack <= u32::MAX as usize
+                && nnz + cols * col_slack <= u32::MAX as usize,
+            "BinaryCsr: entry count (plus slack) exceeds u32 ({nnz} entries)"
         );
 
-        let mut row_ptr = vec![0u32; rows + 1];
+        let mut row_len = vec![0u32; rows];
         for &(r, _) in &entries {
-            row_ptr[r as usize + 1] += 1;
+            row_len[r as usize] += 1;
         }
+        let mut row_ptr = vec![0u32; rows + 1];
         for i in 0..rows {
-            row_ptr[i + 1] += row_ptr[i];
+            row_ptr[i + 1] = row_ptr[i] + row_len[i] + row_slack as u32;
         }
-        let col_idx: Vec<u32> = entries.iter().map(|&(_, c)| c).collect();
+        let mut col_idx = vec![0u32; row_ptr[rows] as usize];
+        let mut cursor: Vec<u32> = row_ptr[..rows].to_vec();
+        for &(r, c) in &entries {
+            col_idx[cursor[r as usize] as usize] = c;
+            cursor[r as usize] += 1;
+        }
 
-        let (col_ptr, row_idx) = Self::mirror(rows, cols, &row_ptr, &col_idx);
+        let mut col_len = vec![0u32; cols];
+        for &(_, c) in &entries {
+            col_len[c as usize] += 1;
+        }
+        let mut col_ptr = vec![0u32; cols + 1];
+        for c in 0..cols {
+            col_ptr[c + 1] = col_ptr[c] + col_len[c] + col_slack as u32;
+        }
+        let mut row_idx = vec![0u32; col_ptr[cols] as usize];
+        let mut ccursor: Vec<u32> = col_ptr[..cols].to_vec();
+        // Entries are sorted by (row, col), so visiting them in order fills
+        // each column's rows ascending.
+        for &(r, c) in &entries {
+            row_idx[ccursor[c as usize] as usize] = r;
+            ccursor[c as usize] += 1;
+        }
+
         BinaryCsr {
             rows,
             cols,
             row_ptr,
             col_idx,
+            row_len,
             col_ptr,
             row_idx,
+            col_len,
+            nnz,
         }
     }
 
@@ -101,28 +250,6 @@ impl BinaryCsr {
             matrix.cols(),
             (0..matrix.rows()).flat_map(|i| matrix.row_iter(i).map(move |(c, _)| (i, c))),
         )
-    }
-
-    fn mirror(rows: usize, cols: usize, row_ptr: &[u32], col_idx: &[u32]) -> (Vec<u32>, Vec<u32>) {
-        let mut col_ptr = vec![0u32; cols + 1];
-        for &c in col_idx {
-            col_ptr[c as usize + 1] += 1;
-        }
-        for i in 0..cols {
-            col_ptr[i + 1] += col_ptr[i];
-        }
-        let mut cursor = col_ptr[..cols].to_vec();
-        let mut row_idx = vec![0u32; col_idx.len()];
-        for r in 0..rows {
-            for k in row_ptr[r] as usize..row_ptr[r + 1] as usize {
-                let c = col_idx[k] as usize;
-                row_idx[cursor[c] as usize] = r as u32;
-                cursor[c] += 1;
-            }
-        }
-        // Row order within each column is ascending because rows were
-        // visited in order.
-        (col_ptr, row_idx)
     }
 
     /// Number of rows.
@@ -140,19 +267,21 @@ impl BinaryCsr {
     /// Number of stored (1-valued) entries.
     #[inline]
     pub fn nnz(&self) -> usize {
-        self.col_idx.len()
+        self.nnz
     }
 
     /// Column indices of row `i`, ascending.
     #[inline]
     pub fn row(&self, i: usize) -> &[u32] {
-        &self.col_idx[self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize]
+        let start = self.row_ptr[i] as usize;
+        &self.col_idx[start..start + self.row_len[i] as usize]
     }
 
     /// Row indices of column `c`, ascending (the CSC mirror).
     #[inline]
     pub fn col(&self, c: usize) -> &[u32] {
-        &self.row_idx[self.col_ptr[c] as usize..self.col_ptr[c + 1] as usize]
+        let start = self.col_ptr[c] as usize;
+        &self.row_idx[start..start + self.col_len[c] as usize]
     }
 
     /// Iterator over the column indices of row `i`.
@@ -164,13 +293,25 @@ impl BinaryCsr {
     /// Number of entries in row `i`.
     #[inline]
     pub fn row_nnz(&self, i: usize) -> usize {
-        (self.row_ptr[i + 1] - self.row_ptr[i]) as usize
+        self.row_len[i] as usize
     }
 
     /// Number of entries in column `c`.
     #[inline]
     pub fn col_nnz(&self, c: usize) -> usize {
-        (self.col_ptr[c + 1] - self.col_ptr[c]) as usize
+        self.col_len[c] as usize
+    }
+
+    /// Spare insert slots left in row `i`'s span.
+    #[inline]
+    pub fn row_slack(&self, i: usize) -> usize {
+        (self.row_ptr[i + 1] - self.row_ptr[i]) as usize - self.row_len[i] as usize
+    }
+
+    /// Spare insert slots left in column `c`'s span.
+    #[inline]
+    pub fn col_slack(&self, c: usize) -> usize {
+        (self.col_ptr[c + 1] - self.col_ptr[c]) as usize - self.col_len[c] as usize
     }
 
     /// Per-row entry counts as `f64` (`C · 1`).
@@ -181,6 +322,114 @@ impl BinaryCsr {
     /// Per-column entry counts as `f64` (`Cᵀ · 1`).
     pub fn col_counts(&self) -> Vec<f64> {
         (0..self.cols).map(|c| self.col_nnz(c) as f64).collect()
+    }
+
+    /// `true` when entry `(r, c)` is stored.
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        r < self.rows && c < self.cols && self.row(r).binary_search(&(c as u32)).is_ok()
+    }
+
+    /// Applies an edit batch in place, patching the CSR arrays *and* the
+    /// CSC mirror in `O(w·nnz(delta))` (`w` = width of the touched
+    /// rows/columns) — no rebuild, no allocation.
+    ///
+    /// Removes are applied before adds, so a delta may move an entry within
+    /// a row without intermediate capacity. On any error the matrix is
+    /// rolled back to its exact pre-delta state; [`DeltaError::RowFull`] /
+    /// [`DeltaError::ColFull`] signal that the caller should rebuild with
+    /// more slack ([`Self::with_slack`]).
+    pub fn apply_delta(&mut self, delta: &PatternDelta) -> Result<(), DeltaError> {
+        // Phase 1: removes (cannot hit capacity limits).
+        for (k, &(r, c)) in delta.removes.iter().enumerate() {
+            if let Err(e) = self.remove_entry(r, c) {
+                // Roll back the removes already applied; their slots are
+                // guaranteed free because they were just vacated.
+                for &(rr, cc) in delta.removes[..k].iter().rev() {
+                    self.insert_entry(rr, cc).expect("rollback re-insert");
+                }
+                return Err(e);
+            }
+        }
+        // Phase 2: adds.
+        for (k, &(r, c)) in delta.adds.iter().enumerate() {
+            if let Err(e) = self.insert_entry(r, c) {
+                for &(rr, cc) in delta.adds[..k].iter().rev() {
+                    self.remove_entry(rr, cc).expect("rollback remove");
+                }
+                for &(rr, cc) in delta.removes.iter().rev() {
+                    self.insert_entry(rr, cc).expect("rollback re-insert");
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts `(r, c)` into both the CSR row and the CSC column, keeping
+    /// each sorted by shifting the tail of the stored prefix.
+    fn insert_entry(&mut self, r: u32, c: u32) -> Result<(), DeltaError> {
+        if (r as usize) >= self.rows || (c as usize) >= self.cols {
+            return Err(DeltaError::OutOfBounds { row: r, col: c });
+        }
+        let (ri, ci) = (r as usize, c as usize);
+        let pos = match self.row(ri).binary_search(&c) {
+            Ok(_) => return Err(DeltaError::Duplicate { row: r, col: c }),
+            Err(p) => p,
+        };
+        if self.row_slack(ri) == 0 {
+            return Err(DeltaError::RowFull { row: r });
+        }
+        if self.col_slack(ci) == 0 {
+            return Err(DeltaError::ColFull { col: c });
+        }
+        let start = self.row_ptr[ri] as usize;
+        let len = self.row_len[ri] as usize;
+        self.col_idx
+            .copy_within(start + pos..start + len, start + pos + 1);
+        self.col_idx[start + pos] = c;
+        self.row_len[ri] += 1;
+
+        let cpos = self
+            .col(ci)
+            .binary_search(&r)
+            .expect_err("CSR/CSC mirror out of sync");
+        let cstart = self.col_ptr[ci] as usize;
+        let clen = self.col_len[ci] as usize;
+        self.row_idx
+            .copy_within(cstart + cpos..cstart + clen, cstart + cpos + 1);
+        self.row_idx[cstart + cpos] = r;
+        self.col_len[ci] += 1;
+        self.nnz += 1;
+        Ok(())
+    }
+
+    /// Removes `(r, c)` from both the CSR row and the CSC column.
+    fn remove_entry(&mut self, r: u32, c: u32) -> Result<(), DeltaError> {
+        if (r as usize) >= self.rows || (c as usize) >= self.cols {
+            return Err(DeltaError::OutOfBounds { row: r, col: c });
+        }
+        let (ri, ci) = (r as usize, c as usize);
+        let pos = match self.row(ri).binary_search(&c) {
+            Ok(p) => p,
+            Err(_) => return Err(DeltaError::Missing { row: r, col: c }),
+        };
+        let start = self.row_ptr[ri] as usize;
+        let len = self.row_len[ri] as usize;
+        self.col_idx
+            .copy_within(start + pos + 1..start + len, start + pos);
+        self.row_len[ri] -= 1;
+
+        let cpos = self
+            .col(ci)
+            .binary_search(&r)
+            .expect("CSR/CSC mirror out of sync");
+        let cstart = self.col_ptr[ci] as usize;
+        let clen = self.col_len[ci] as usize;
+        self.row_idx
+            .copy_within(cstart + cpos + 1..cstart + clen, cstart + cpos);
+        self.col_len[ci] -= 1;
+        self.nnz -= 1;
+        Ok(())
     }
 
     /// Row-parallel gather: `y[i] = f(i, columns of row i)`.
@@ -265,6 +514,20 @@ impl BinaryCsr {
         m
     }
 }
+
+/// Logical equality: same dimensions and same entry set. Two matrices with
+/// different slack layouts (e.g. a delta-patched one and a packed rebuild)
+/// compare equal when they store the same pattern.
+impl PartialEq for BinaryCsr {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.nnz == other.nnz
+            && (0..self.rows).all(|i| self.row(i) == other.row(i))
+    }
+}
+
+impl Eq for BinaryCsr {}
 
 #[inline]
 fn gather_sum(idx: &[u32], x: &[f64]) -> f64 {
@@ -386,5 +649,110 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn rejects_out_of_bounds() {
         BinaryCsr::from_pairs(2, 2, [(2, 0)]);
+    }
+
+    #[test]
+    fn slack_layout_is_logically_invisible() {
+        let packed = sample();
+        let slacked = BinaryCsr::with_slack(3, 3, [(0, 0), (0, 2), (2, 0), (2, 1)], 2, 3);
+        assert_eq!(packed, slacked);
+        assert_eq!(slacked.row_slack(0), 2);
+        assert_eq!(slacked.col_slack(1), 3);
+        let x = [1.0, -2.0, 0.5];
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        packed.matvec(&x, &mut y1);
+        slacked.matvec(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuild() {
+        let mut m = BinaryCsr::with_slack(3, 3, [(0, 0), (0, 2), (2, 0), (2, 1)], 2, 2);
+        m.apply_delta(&PatternDelta {
+            removes: vec![(0, 2), (2, 1)],
+            adds: vec![(1, 1), (0, 1), (2, 2)],
+        })
+        .unwrap();
+        let rebuilt = BinaryCsr::from_pairs(3, 3, [(0, 0), (0, 1), (1, 1), (2, 0), (2, 2)]);
+        assert_eq!(m, rebuilt);
+        assert_eq!(m.nnz(), 5);
+        // CSC mirror patched too.
+        assert_eq!(m.col(1), &[0, 1]);
+        assert_eq!(m.col(2), &[2]);
+        assert!(m.contains(1, 1) && !m.contains(0, 2));
+    }
+
+    #[test]
+    fn apply_delta_rolls_back_on_capacity() {
+        let reference = BinaryCsr::with_slack(2, 2, [(0, 0)], 1, 1);
+        let mut m = reference.clone();
+        // Second add overflows row 0 (capacity 1 + slack 1 = 2, needs 3);
+        // the first add and the remove must both be rolled back.
+        let err = m
+            .apply_delta(&PatternDelta {
+                removes: vec![(0, 0)],
+                adds: vec![(0, 0), (0, 1), (1, 0), (1, 1)],
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DeltaError::RowFull { .. } | DeltaError::ColFull { .. }
+        ));
+        assert_eq!(m, reference);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn apply_delta_rejects_inconsistent_edits() {
+        let mut m = BinaryCsr::with_slack(2, 2, [(0, 0)], 2, 2);
+        let reference = m.clone();
+        assert_eq!(
+            m.apply_delta(&PatternDelta {
+                removes: vec![(1, 1)],
+                adds: vec![],
+            }),
+            Err(DeltaError::Missing { row: 1, col: 1 })
+        );
+        assert_eq!(
+            m.apply_delta(&PatternDelta {
+                removes: vec![],
+                adds: vec![(0, 0)],
+            }),
+            Err(DeltaError::Duplicate { row: 0, col: 0 })
+        );
+        assert_eq!(
+            m.apply_delta(&PatternDelta {
+                removes: vec![],
+                adds: vec![(5, 0)],
+            }),
+            Err(DeltaError::OutOfBounds { row: 5, col: 0 })
+        );
+        assert_eq!(m, reference);
+    }
+
+    #[test]
+    fn delta_can_move_within_full_row() {
+        // Zero slack: a remove+add inside the same row/column pair must
+        // still succeed because removes free the slot first.
+        let mut m = BinaryCsr::from_pairs(2, 2, [(0, 0), (1, 0)]);
+        m.apply_delta(&PatternDelta {
+            removes: vec![(0, 0)],
+            adds: vec![(1, 1)],
+        })
+        .unwrap_err(); // col 1 has zero capacity
+        let mut m2 = BinaryCsr::from_pairs(2, 2, [(0, 0), (1, 0)]);
+        m2.apply_delta(&PatternDelta {
+            removes: vec![(0, 0)],
+            adds: vec![(1, 0)],
+        })
+        .unwrap_err(); // duplicate (1,0)
+        let mut m3 = BinaryCsr::from_pairs(2, 2, [(0, 0), (1, 1)]);
+        m3.apply_delta(&PatternDelta {
+            removes: vec![(0, 0), (1, 1)],
+            adds: vec![(0, 1), (1, 0)],
+        })
+        .unwrap();
+        assert_eq!(m3, BinaryCsr::from_pairs(2, 2, [(0, 1), (1, 0)]));
     }
 }

@@ -1,6 +1,11 @@
 //! Incremental construction of [`ResponseMatrix`] values.
+//!
+//! The builder is the one-shot convenience face of [`ResponseLog`]: same
+//! validation, same cell semantics, but no version/delta bookkeeping in the
+//! API. Code that needs the stream-of-edits view (versions, deltas,
+//! snapshots) should hold a [`ResponseLog`] directly.
 
-use crate::{ResponseError, ResponseMatrix};
+use crate::{ResponseError, ResponseLog, ResponseMatrix};
 
 /// Builder for [`ResponseMatrix`] when choices arrive one at a time (e.g.
 /// from a dataset file or a generator loop).
@@ -17,10 +22,7 @@ use crate::{ResponseError, ResponseMatrix};
 /// ```
 #[derive(Debug, Clone)]
 pub struct ResponseMatrixBuilder {
-    n_users: usize,
-    n_items: usize,
-    options_per_item: Vec<u16>,
-    choices: Vec<Option<u16>>,
+    log: ResponseLog,
 }
 
 impl ResponseMatrixBuilder {
@@ -33,34 +35,17 @@ impl ResponseMatrixBuilder {
         n_items: usize,
         options_per_item: &[u16],
     ) -> Result<Self, ResponseError> {
-        if n_items == 0 {
-            return Err(ResponseError::NoItems);
-        }
-        if n_users == 0 {
-            return Err(ResponseError::NoUsers);
-        }
-        if options_per_item.len() != n_items {
-            return Err(ResponseError::OptionsLengthMismatch {
-                expected: n_items,
-                got: options_per_item.len(),
-            });
-        }
-        if let Some(item) = options_per_item.iter().position(|&k| k == 0) {
-            return Err(ResponseError::EmptyItem { item });
-        }
         Ok(ResponseMatrixBuilder {
-            n_users,
-            n_items,
-            options_per_item: options_per_item.to_vec(),
-            choices: vec![None; n_users * n_items],
+            log: ResponseLog::new(n_users, n_items, options_per_item)?,
         })
     }
 
     /// Convenience constructor for the homogeneous case where every item has
     /// the same number of options `k`.
     pub fn homogeneous(n_users: usize, n_items: usize, k: u16) -> Result<Self, ResponseError> {
-        let opts = vec![k; n_items];
-        Self::new(n_users, n_items, &opts)
+        Ok(ResponseMatrixBuilder {
+            log: ResponseLog::homogeneous(n_users, n_items, k)?,
+        })
     }
 
     /// Records (or clears, with `None`) the choice of `user` on `item`.
@@ -76,25 +61,19 @@ impl ResponseMatrixBuilder {
         item: usize,
         choice: Option<u16>,
     ) -> Result<(), ResponseError> {
-        assert!(user < self.n_users, "user index out of bounds");
-        assert!(item < self.n_items, "item index out of bounds");
-        if let Some(opt) = choice {
-            if opt >= self.options_per_item[item] {
-                return Err(ResponseError::OptionOutOfRange {
-                    user,
-                    item,
-                    option: opt,
-                    num_options: self.options_per_item[item],
-                });
-            }
-        }
-        self.choices[user * self.n_items + item] = choice;
-        Ok(())
+        self.log.set(user, item, choice).map(|_| ())
     }
 
     /// Finalizes the matrix.
     pub fn build(self) -> ResponseMatrix {
-        ResponseMatrix::from_parts(self.n_items, self.options_per_item, self.choices)
+        self.log.to_matrix()
+    }
+
+    /// Converts the builder into the versioned log form (version 0 history
+    /// baseline at the current contents).
+    pub fn into_log(mut self) -> ResponseLog {
+        self.log.forget_history();
+        self.log
     }
 }
 
@@ -135,5 +114,17 @@ mod tests {
     fn panics_on_bad_user() {
         let mut b = ResponseMatrixBuilder::homogeneous(1, 1, 2).unwrap();
         let _ = b.set(5, 0, Some(0));
+    }
+
+    #[test]
+    fn into_log_continues_from_built_state() {
+        let mut b = ResponseMatrixBuilder::homogeneous(2, 2, 3).unwrap();
+        b.set(0, 0, Some(1)).unwrap();
+        let mut log = b.into_log();
+        assert_eq!(log.choice(0, 0), Some(1));
+        // Builder edits are the baseline, not deltas.
+        assert!(log.snapshot().delta.is_none());
+        log.set(1, 1, Some(2)).unwrap();
+        assert_eq!(log.snapshot().delta.unwrap().len(), 1);
     }
 }

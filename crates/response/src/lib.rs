@@ -12,9 +12,18 @@
 //! most `n` ones per row) is exposed as a CSR matrix via
 //! [`ResponseMatrix::to_binary_csr`], and the row/column counts needed for
 //! the `Crow`/`Ccol` normalizations of AvgHITS are precomputed.
+//!
+//! For serving workloads where responses arrive as a *stream of edits*,
+//! [`ResponseLog`] is the versioned source of truth: it commits edits under
+//! a monotone version counter and snapshots [`VersionedMatrix`] values
+//! whose [`ResponseDelta`]s drive [`ResponseOps::apply_delta`] — the
+//! in-place `O(nnz(delta))` patch of the kernel-engine pattern and its
+//! degree scalings that the incremental ranking engine (`hnd-service`)
+//! builds on.
 
 mod builder;
 mod connectivity;
+pub mod log;
 mod matrix;
 pub mod ops;
 pub mod orientation;
@@ -22,6 +31,7 @@ mod ranking;
 
 pub use builder::ResponseMatrixBuilder;
 pub use connectivity::ConnectivityReport;
+pub use log::{ResponseDelta, ResponseEdit, ResponseLog, VersionedMatrix};
 pub use matrix::ResponseMatrix;
 pub use ops::{KernelWorkspace, ResponseOps};
 pub use orientation::{group_choice_entropy, orient_by_decile_entropy};
@@ -66,6 +76,28 @@ pub enum ResponseError {
         /// Provided length.
         got: usize,
     },
+    /// A user/item index lies outside the roster (serving-layer input
+    /// validation; the in-process builder/log APIs treat this as a
+    /// programming error and panic instead).
+    IndexOutOfBounds {
+        /// The offending user index.
+        user: usize,
+        /// The offending item index.
+        item: usize,
+        /// Number of users in the roster.
+        n_users: usize,
+        /// Number of items in the roster.
+        n_items: usize,
+    },
+    /// A delta edit does not chain onto the matrix's current state (its
+    /// `from` disagrees with the stored choice, or the cell is out of
+    /// bounds).
+    DeltaMismatch {
+        /// User of the offending edit.
+        user: usize,
+        /// Item of the offending edit.
+        item: usize,
+    },
 }
 
 impl std::fmt::Display for ResponseError {
@@ -92,6 +124,19 @@ impl std::fmt::Display for ResponseError {
             ResponseError::OptionsLengthMismatch { expected, got } => write!(
                 f,
                 "options_per_item has length {got}, expected {expected}"
+            ),
+            ResponseError::IndexOutOfBounds {
+                user,
+                item,
+                n_users,
+                n_items,
+            } => write!(
+                f,
+                "cell (user {user}, item {item}) outside the {n_users}x{n_items} roster"
+            ),
+            ResponseError::DeltaMismatch { user, item } => write!(
+                f,
+                "delta edit at (user {user}, item {item}) does not chain onto the current state"
             ),
         }
     }

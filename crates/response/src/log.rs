@@ -1,0 +1,414 @@
+//! The versioned response log: the streaming-source-of-truth for serving.
+//!
+//! Production traffic does not deliver finished response matrices — it
+//! delivers a *stream of edits* (a user answers one more item, revises an
+//! answer, clears one). [`ResponseLog`] is the append/edit ledger for that
+//! stream: every committed edit bumps a monotonically increasing version,
+//! and [`ResponseLog::snapshot`] produces a [`VersionedMatrix`] carrying
+//! the full matrix, its version, and the [`ResponseDelta`] since the
+//! previous snapshot. Downstream consumers (incremental kernels, warm-start
+//! caches, batched refreshers) key everything by that version, so a cache
+//! hit is an integer comparison and a cache miss knows exactly which cells
+//! changed.
+
+use crate::{ResponseError, ResponseMatrix};
+
+/// One committed cell edit: user `user` changed their answer on `item`
+/// from `from` to `to` (either side may be `None` = unanswered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseEdit {
+    /// The user whose answer changed.
+    pub user: usize,
+    /// The item the answer belongs to.
+    pub item: usize,
+    /// The previous choice (`None` = was unanswered).
+    pub from: Option<u16>,
+    /// The new choice (`None` = cleared).
+    pub to: Option<u16>,
+}
+
+/// The edits between two versions of a [`ResponseLog`], oldest first.
+///
+/// Deltas compose: applying the edits of consecutive deltas in order
+/// reproduces the newer state from the older one exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseDelta {
+    /// Version the delta starts from (exclusive).
+    pub from_version: u64,
+    /// Version the delta ends at (inclusive).
+    pub to_version: u64,
+    /// The committed edits, in commit order.
+    pub edits: Vec<ResponseEdit>,
+}
+
+impl ResponseDelta {
+    /// Number of edits carried.
+    pub fn len(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// `true` when no cells changed.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+}
+
+/// A response matrix together with the log version it was snapshotted at
+/// and the delta from the previous snapshot — the unit every downstream
+/// cache keys on.
+#[derive(Debug, Clone)]
+pub struct VersionedMatrix {
+    /// The full matrix at `version`.
+    pub matrix: ResponseMatrix,
+    /// The log version this snapshot captures.
+    pub version: u64,
+    /// Edits since the previous snapshot (`None` for the first snapshot,
+    /// whose baseline is the empty all-`None` matrix… or whenever the log
+    /// cannot say, e.g. after `forget_history`).
+    pub delta: Option<ResponseDelta>,
+}
+
+/// Append/edit ledger over a fixed roster of `n_users × n_items`
+/// multiple-choice cells.
+///
+/// The roster (user count, item count, options per item) is fixed at
+/// construction — the streaming regime this models is "cohort answers
+/// arrive over time", not "the quiz grows new questions mid-flight". A
+/// roster change is a new log (and a cold solve downstream).
+///
+/// ```
+/// use hnd_response::ResponseLog;
+///
+/// let mut log = ResponseLog::homogeneous(3, 2, 4).unwrap();
+/// log.set(0, 0, Some(2)).unwrap();
+/// log.set(1, 1, Some(3)).unwrap();
+/// let v1 = log.snapshot();
+/// assert_eq!(v1.version, 2);
+/// assert!(v1.delta.is_none()); // first snapshot = baseline
+///
+/// log.set(0, 0, Some(1)).unwrap(); // revision
+/// let v2 = log.snapshot();
+/// assert_eq!(v2.version, 3);
+/// let delta = v2.delta.unwrap();
+/// assert_eq!(delta.from_version, 2);
+/// assert_eq!(delta.edits[0].from, Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResponseLog {
+    n_users: usize,
+    n_items: usize,
+    options_per_item: Vec<u16>,
+    choices: Vec<Option<u16>>,
+    version: u64,
+    /// Edits committed since the last snapshot.
+    pending: Vec<ResponseEdit>,
+    /// Version of the last snapshot (`pending` starts right after it).
+    snapshot_version: u64,
+    /// Whether the delta to the previous snapshot is known (false right
+    /// after construction — the baseline is the empty matrix, not a
+    /// previous snapshot).
+    has_baseline: bool,
+}
+
+impl ResponseLog {
+    /// Creates an empty log (all cells unanswered) over a fixed roster.
+    ///
+    /// # Errors
+    /// Rejects empty user/item sets and zero-option items.
+    pub fn new(
+        n_users: usize,
+        n_items: usize,
+        options_per_item: &[u16],
+    ) -> Result<Self, ResponseError> {
+        if n_items == 0 {
+            return Err(ResponseError::NoItems);
+        }
+        if n_users == 0 {
+            return Err(ResponseError::NoUsers);
+        }
+        if options_per_item.len() != n_items {
+            return Err(ResponseError::OptionsLengthMismatch {
+                expected: n_items,
+                got: options_per_item.len(),
+            });
+        }
+        if let Some(item) = options_per_item.iter().position(|&k| k == 0) {
+            return Err(ResponseError::EmptyItem { item });
+        }
+        Ok(ResponseLog {
+            n_users,
+            n_items,
+            options_per_item: options_per_item.to_vec(),
+            choices: vec![None; n_users * n_items],
+            version: 0,
+            pending: Vec::new(),
+            snapshot_version: 0,
+            has_baseline: false,
+        })
+    }
+
+    /// Convenience constructor for the homogeneous case where every item
+    /// has the same number of options `k`.
+    pub fn homogeneous(n_users: usize, n_items: usize, k: u16) -> Result<Self, ResponseError> {
+        let opts = vec![k; n_items];
+        Self::new(n_users, n_items, &opts)
+    }
+
+    /// Seeds a log from an existing matrix (version 0, no pending edits).
+    pub fn from_matrix(matrix: &ResponseMatrix) -> Self {
+        let mut choices = Vec::with_capacity(matrix.n_users() * matrix.n_items());
+        for u in 0..matrix.n_users() {
+            choices.extend_from_slice(matrix.user_row(u));
+        }
+        ResponseLog {
+            n_users: matrix.n_users(),
+            n_items: matrix.n_items(),
+            options_per_item: (0..matrix.n_items())
+                .map(|i| matrix.options_of(i))
+                .collect(),
+            choices,
+            version: 0,
+            pending: Vec::new(),
+            snapshot_version: 0,
+            has_baseline: false,
+        }
+    }
+
+    /// Number of users in the roster.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of items in the roster.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Options of item `i`.
+    pub fn options_of(&self, item: usize) -> u16 {
+        self.options_per_item[item]
+    }
+
+    /// Current version: the number of committed (state-changing) edits.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The current choice of `user` on `item`.
+    pub fn choice(&self, user: usize, item: usize) -> Option<u16> {
+        self.choices[user * self.n_items + item]
+    }
+
+    /// Number of committed edits not yet captured by a snapshot.
+    pub fn pending_edits(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Records (or clears, with `None`) the choice of `user` on `item`,
+    /// bumping the version. A no-op write (same choice) does not bump.
+    ///
+    /// Returns the version after the edit.
+    ///
+    /// # Errors
+    /// Rejects out-of-range option indices.
+    ///
+    /// # Panics
+    /// Panics if `user` or `item` are out of bounds (programming error).
+    pub fn set(
+        &mut self,
+        user: usize,
+        item: usize,
+        choice: Option<u16>,
+    ) -> Result<u64, ResponseError> {
+        assert!(user < self.n_users, "user index out of bounds");
+        assert!(item < self.n_items, "item index out of bounds");
+        if let Some(opt) = choice {
+            if opt >= self.options_per_item[item] {
+                return Err(ResponseError::OptionOutOfRange {
+                    user,
+                    item,
+                    option: opt,
+                    num_options: self.options_per_item[item],
+                });
+            }
+        }
+        let cell = &mut self.choices[user * self.n_items + item];
+        if *cell != choice {
+            self.pending.push(ResponseEdit {
+                user,
+                item,
+                from: *cell,
+                to: choice,
+            });
+            *cell = choice;
+            self.version += 1;
+        }
+        Ok(self.version)
+    }
+
+    /// Commits a batch of `(user, item, choice)` writes; returns the
+    /// version after the batch. The batch is applied in order and is *not*
+    /// atomic on error — edits before the failing one stay committed (the
+    /// failing edit itself commits nothing).
+    pub fn submit(
+        &mut self,
+        responses: impl IntoIterator<Item = (usize, usize, Option<u16>)>,
+    ) -> Result<u64, ResponseError> {
+        for (user, item, choice) in responses {
+            self.set(user, item, choice)?;
+        }
+        Ok(self.version)
+    }
+
+    /// Materializes the current state as a [`VersionedMatrix`], draining
+    /// the pending edits into its delta (see [`Self::drain_delta`]).
+    /// Subsequent snapshots report only the edits committed after this
+    /// one.
+    pub fn snapshot(&mut self) -> VersionedMatrix {
+        VersionedMatrix {
+            delta: self.drain_delta(),
+            matrix: self.to_matrix(),
+            version: self.version,
+        }
+    }
+
+    /// Drains the pending edits as a bare [`ResponseDelta`] without
+    /// materializing a matrix — the incremental serving path, which keeps
+    /// its own matrix patched in place via
+    /// [`ResponseMatrix::apply_delta`] and must not pay the `O(mn)`
+    /// choices clone of [`Self::snapshot`] per refresh.
+    ///
+    /// Returns `None` when no baseline exists (right after construction or
+    /// [`Self::forget_history`]); the caller must then take a full
+    /// [`Self::snapshot`] (or [`Self::to_matrix`]) as its new baseline.
+    pub fn drain_delta(&mut self) -> Option<ResponseDelta> {
+        let out = if self.has_baseline {
+            Some(ResponseDelta {
+                from_version: self.snapshot_version,
+                to_version: self.version,
+                edits: std::mem::take(&mut self.pending),
+            })
+        } else {
+            self.pending.clear();
+            None
+        };
+        self.snapshot_version = self.version;
+        self.has_baseline = true;
+        out
+    }
+
+    /// Drops delta history: the next [`Self::snapshot`] reports `delta:
+    /// None` (downstream caches must treat it as a cold rebuild point).
+    pub fn forget_history(&mut self) {
+        self.pending.clear();
+        self.snapshot_version = self.version;
+        self.has_baseline = false;
+    }
+
+    /// Finalizes the current state as a plain matrix without touching the
+    /// snapshot bookkeeping (the one-shot builder path).
+    pub fn to_matrix(&self) -> ResponseMatrix {
+        ResponseMatrix::from_parts(
+            self.n_items,
+            self.options_per_item.clone(),
+            self.choices.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_count_state_changes_only() {
+        let mut log = ResponseLog::homogeneous(2, 2, 3).unwrap();
+        assert_eq!(log.version(), 0);
+        log.set(0, 0, Some(1)).unwrap();
+        log.set(0, 0, Some(1)).unwrap(); // no-op
+        log.set(0, 0, Some(2)).unwrap();
+        log.set(1, 1, None).unwrap(); // no-op (already None)
+        assert_eq!(log.version(), 2);
+        assert_eq!(log.pending_edits(), 2);
+    }
+
+    #[test]
+    fn snapshots_chain_deltas() {
+        let mut log = ResponseLog::homogeneous(2, 2, 3).unwrap();
+        log.set(0, 0, Some(1)).unwrap();
+        let v1 = log.snapshot();
+        assert_eq!(v1.version, 1);
+        assert!(v1.delta.is_none(), "first snapshot has no baseline");
+
+        log.set(0, 0, Some(2)).unwrap();
+        log.set(1, 0, Some(0)).unwrap();
+        let v2 = log.snapshot();
+        let delta = v2.delta.unwrap();
+        assert_eq!((delta.from_version, delta.to_version), (1, 3));
+        assert_eq!(
+            delta.edits,
+            vec![
+                ResponseEdit {
+                    user: 0,
+                    item: 0,
+                    from: Some(1),
+                    to: Some(2)
+                },
+                ResponseEdit {
+                    user: 1,
+                    item: 0,
+                    from: None,
+                    to: Some(0)
+                },
+            ]
+        );
+        assert_eq!(v2.matrix.choice(0, 0), Some(2));
+
+        // Nothing changed: empty delta, same version.
+        let v3 = log.snapshot();
+        assert_eq!(v3.version, 3);
+        assert!(v3.delta.unwrap().is_empty());
+    }
+
+    #[test]
+    fn from_matrix_seeds_state() {
+        let m = ResponseMatrix::from_choices(2, &[2, 2], &[&[Some(0), None], &[Some(1), Some(0)]])
+            .unwrap();
+        let mut log = ResponseLog::from_matrix(&m);
+        assert_eq!(log.choice(1, 0), Some(1));
+        assert_eq!(log.snapshot().matrix, m);
+    }
+
+    #[test]
+    fn forget_history_forces_cold_snapshot() {
+        let mut log = ResponseLog::homogeneous(1, 1, 2).unwrap();
+        log.snapshot();
+        log.set(0, 0, Some(1)).unwrap();
+        log.forget_history();
+        assert!(log.snapshot().delta.is_none());
+        // …and history resumes afterwards.
+        log.set(0, 0, Some(0)).unwrap();
+        assert_eq!(log.snapshot().delta.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_writes_and_shapes() {
+        assert!(ResponseLog::new(0, 1, &[2]).is_err());
+        assert!(ResponseLog::new(1, 0, &[]).is_err());
+        assert!(ResponseLog::new(1, 1, &[0]).is_err());
+        assert!(ResponseLog::new(1, 2, &[2]).is_err());
+        let mut log = ResponseLog::homogeneous(1, 1, 2).unwrap();
+        assert!(log.set(0, 0, Some(2)).is_err());
+        assert_eq!(log.version(), 0, "failed write must not bump");
+    }
+
+    #[test]
+    fn submit_batches_and_reports_final_version() {
+        let mut log = ResponseLog::homogeneous(2, 2, 2).unwrap();
+        let v = log
+            .submit([(0, 0, Some(0)), (0, 1, Some(1)), (1, 0, Some(1))])
+            .unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(log.choice(0, 1), Some(1));
+    }
+}

@@ -239,6 +239,54 @@ impl ResponseMatrix {
         Self::from_parts(self.n_items, self.options_per_item.clone(), choices)
     }
 
+    /// Applies a committed [`ResponseDelta`](crate::ResponseDelta) in
+    /// place, `O(nnz(delta))`: cell `(user, item)` moves from `edit.from`
+    /// to `edit.to` for each edit in order. The serving layer uses this to
+    /// keep one matrix current across versions instead of re-materializing
+    /// an `O(mn)` snapshot per refresh.
+    ///
+    /// # Errors
+    /// Rejects out-of-range options and edits whose `from` does not match
+    /// the current cell (a broken delta chain); the matrix is left exactly
+    /// as it was before the call.
+    pub fn apply_delta(&mut self, delta: &crate::ResponseDelta) -> Result<(), ResponseError> {
+        // Validate first so a failure mutates nothing.
+        let mut probe = std::collections::BTreeMap::new();
+        for edit in &delta.edits {
+            if edit.user >= self.n_users || edit.item >= self.n_items {
+                return Err(ResponseError::DeltaMismatch {
+                    user: edit.user,
+                    item: edit.item,
+                });
+            }
+            if let Some(opt) = edit.to {
+                if opt >= self.options_per_item[edit.item] {
+                    return Err(ResponseError::OptionOutOfRange {
+                        user: edit.user,
+                        item: edit.item,
+                        option: opt,
+                        num_options: self.options_per_item[edit.item],
+                    });
+                }
+            }
+            let current = probe
+                .get(&(edit.user, edit.item))
+                .copied()
+                .unwrap_or_else(|| self.choice(edit.user, edit.item));
+            if current != edit.from {
+                return Err(ResponseError::DeltaMismatch {
+                    user: edit.user,
+                    item: edit.item,
+                });
+            }
+            probe.insert((edit.user, edit.item), edit.to);
+        }
+        for edit in &delta.edits {
+            self.choices[edit.user * self.n_items + edit.item] = edit.to;
+        }
+        Ok(())
+    }
+
     /// Connectivity of the user–option bipartite graph (Section III-B
     /// requires a single connected component for a total user ordering).
     pub fn connectivity(&self) -> ConnectivityReport {

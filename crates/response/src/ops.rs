@@ -27,8 +27,8 @@
 //! set of scratch vectors so whole power/Lanczos iterations run
 //! allocation-free.
 
-use crate::ResponseMatrix;
-use hnd_linalg::BinaryCsr;
+use crate::{ResponseDelta, ResponseMatrix};
+use hnd_linalg::{BinaryCsr, DeltaError, PatternDelta};
 
 /// Precomputed operator context for a response matrix.
 #[derive(Debug, Clone)]
@@ -71,9 +71,26 @@ impl KernelWorkspace {
 }
 
 impl ResponseOps {
-    /// Builds the operator context.
+    /// Builds the operator context (tightly packed, no slack).
     pub fn new(matrix: &ResponseMatrix) -> Self {
-        let c = matrix.to_binary_pattern();
+        Self::with_slack(matrix, 0, 0)
+    }
+
+    /// Builds the operator context with per-row/per-column slack capacity
+    /// in the underlying pattern, so subsequent [`Self::apply_delta`] calls
+    /// can patch it in place instead of rebuilding. `row_slack` bounds how
+    /// many *extra* answers a user can record before a rebuild; `col_slack`
+    /// bounds extra picks per option.
+    pub fn with_slack(matrix: &ResponseMatrix, row_slack: usize, col_slack: usize) -> Self {
+        let c = BinaryCsr::with_slack(
+            matrix.n_users(),
+            matrix.total_options(),
+            matrix
+                .iter_choices()
+                .map(|(u, i, o)| (u, matrix.one_hot_column(i, o))),
+            row_slack,
+            col_slack,
+        );
         let row_counts = c.row_counts();
         let col_counts = c.col_counts();
         let inv_row = row_counts
@@ -91,6 +108,76 @@ impl ResponseOps {
             inv_row,
             inv_col,
         }
+    }
+
+    /// Patches the operator context for a committed [`ResponseDelta`] in
+    /// `O(w·nnz(delta))`: the pattern's CSR arrays and CSC mirror are
+    /// edited in place, and the `Dr`/`Dc` degree diagonals plus their fused
+    /// reciprocal scalings are updated only at the touched users/options —
+    /// no rebuild of anything `O(nnz)`.
+    ///
+    /// `matrix` supplies the (static) item→column layout; any snapshot of
+    /// the same roster works. On [`DeltaError::RowFull`] /
+    /// [`DeltaError::ColFull`] the context is unchanged and the caller
+    /// should rebuild via [`Self::with_slack`] with more slack.
+    pub fn apply_delta(
+        &mut self,
+        matrix: &ResponseMatrix,
+        delta: &ResponseDelta,
+    ) -> Result<(), DeltaError> {
+        // Compose repeated edits of the same cell (None→A then A→B nets to
+        // None→B) so the pattern delta never removes an entry the delta
+        // itself introduced.
+        let mut net: std::collections::BTreeMap<(usize, usize), (Option<u16>, Option<u16>)> =
+            std::collections::BTreeMap::new();
+        for edit in &delta.edits {
+            net.entry((edit.user, edit.item))
+                .and_modify(|(_, to)| *to = edit.to)
+                .or_insert((edit.from, edit.to));
+        }
+        let mut pattern_delta = PatternDelta::default();
+        for ((user, item), (from, to)) in net {
+            if from == to {
+                continue;
+            }
+            if let Some(opt) = from {
+                pattern_delta
+                    .removes
+                    .push((user as u32, matrix.one_hot_column(item, opt) as u32));
+            }
+            if let Some(opt) = to {
+                pattern_delta
+                    .adds
+                    .push((user as u32, matrix.one_hot_column(item, opt) as u32));
+            }
+        }
+        self.c.apply_delta(&pattern_delta)?;
+        // Degree scalings: touch only the edited rows/columns.
+        for &(r, _) in &pattern_delta.removes {
+            self.refresh_row(r as usize);
+        }
+        for &(r, _) in &pattern_delta.adds {
+            self.refresh_row(r as usize);
+        }
+        for &(_, c) in &pattern_delta.removes {
+            self.refresh_col(c as usize);
+        }
+        for &(_, c) in &pattern_delta.adds {
+            self.refresh_col(c as usize);
+        }
+        Ok(())
+    }
+
+    fn refresh_row(&mut self, r: usize) {
+        let n = self.c.row_nnz(r) as f64;
+        self.row_counts[r] = n;
+        self.inv_row[r] = if n > 0.0 { 1.0 / n } else { 0.0 };
+    }
+
+    fn refresh_col(&mut self, c: usize) {
+        let n = self.c.col_nnz(c) as f64;
+        self.col_counts[c] = n;
+        self.inv_col[c] = if n > 0.0 { 1.0 / n } else { 0.0 };
     }
 
     /// Number of users `m`.

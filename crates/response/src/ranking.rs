@@ -121,10 +121,19 @@ impl<T: AbilityRanker + ?Sized> AbilityRanker for Box<T> {
 }
 
 /// Ranks a batch of response matrices with one ranker, in parallel across
-/// matrices (order-preserving; each matrix is ranked on its own thread via
-/// `hnd_linalg::parallel`). This is the throughput entry point for
-/// experiment sweeps and batched serving: per-matrix results are bitwise
-/// identical to calling [`AbilityRanker::rank`] serially.
+/// matrices. This is the throughput entry point for experiment sweeps and
+/// batched serving: per-matrix results are bitwise identical to calling
+/// [`AbilityRanker::rank`] serially.
+///
+/// **Ordering guarantee:** the returned vector has exactly
+/// `matrices.len()` entries and entry `i` is the result for `matrices[i]`,
+/// regardless of which worker thread ranked it or in what order workers
+/// finished.
+///
+/// **Failure isolation:** each matrix gets its own `Result` — a
+/// [`RankError`] on one matrix never discards or aborts the others, so
+/// callers can retry/skip individual failures (experiment sweeps record a
+/// missing point; the serving layer degrades one session, not the fleet).
 ///
 /// Parallelism lives at the batch level, so each worker runs its kernels
 /// serially (`with_threads(1)`) — without this, every operator application
@@ -165,5 +174,51 @@ mod tests {
         let mut r = Ranking::from_scores(vec![0.1, 0.9, 0.5]);
         r.reverse();
         assert_eq!(r.order_best_to_worst(), vec![0, 2, 1]);
+    }
+
+    /// Ranks by answer count, but rejects matrices with an odd number of
+    /// users — a deterministic per-matrix failure for batch testing.
+    struct EvenOnly;
+
+    impl AbilityRanker for EvenOnly {
+        fn name(&self) -> &'static str {
+            "even-only"
+        }
+
+        fn rank(&self, responses: &ResponseMatrix) -> Result<Ranking, RankError> {
+            if responses.n_users() % 2 == 1 {
+                return Err(RankError::InvalidInput("odd user count".into()));
+            }
+            Ok(Ranking::from_scores(
+                responses.row_counts().iter().map(|&c| c as f64).collect(),
+            ))
+        }
+    }
+
+    fn users(m: usize) -> ResponseMatrix {
+        let rows: Vec<Vec<Option<u16>>> = (0..m).map(|_| vec![Some(0)]).collect();
+        let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+        ResponseMatrix::from_choices(1, &[1], &refs).unwrap()
+    }
+
+    #[test]
+    fn rank_many_isolates_failures_and_preserves_order() {
+        let matrices = [users(2), users(3), users(4), users(5), users(6)];
+        let refs: Vec<&ResponseMatrix> = matrices.iter().collect();
+        let results = rank_many(&EvenOnly, &refs);
+        assert_eq!(results.len(), refs.len(), "one result per input matrix");
+        for (i, (result, matrix)) in results.iter().zip(&matrices).enumerate() {
+            // Result i belongs to matrices[i]: identify it by user count.
+            match result {
+                Ok(ranking) => {
+                    assert_eq!(matrix.n_users() % 2, 0, "slot {i}");
+                    assert_eq!(ranking.len(), matrix.n_users(), "slot {i}");
+                }
+                Err(e) => {
+                    assert_eq!(matrix.n_users() % 2, 1, "slot {i}");
+                    assert!(matches!(e, RankError::InvalidInput(_)));
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,102 @@
+//! Property tests for the incremental response pipeline: a [`ResponseOps`]
+//! maintained through `apply_delta` over an arbitrary edit stream must be
+//! *bitwise* indistinguishable from one rebuilt from scratch off the final
+//! [`ResponseLog`] state — pattern, CSC mirror, degree scalings, and every
+//! kernel output.
+
+use hnd_response::{ResponseLog, ResponseOps};
+use proptest::prelude::*;
+
+/// One write in a generated stream: `(user, item, choice)`.
+type Write = (usize, usize, Option<u16>);
+
+/// A generated roster + edit stream: `(m, n, options, batches)`.
+type EditStream = (usize, usize, Vec<u16>, Vec<Vec<Write>>);
+
+/// An edit stream: k batches of `(user, item, choice)` writes over a small
+/// heterogeneous roster, including revisions (`Some → Some`) and clears
+/// (`Some → None`).
+fn edit_stream() -> impl Strategy<Value = EditStream> {
+    (2usize..=10, 1usize..=8).prop_flat_map(|(m, n)| {
+        let options = proptest::collection::vec(1u16..=4, n);
+        options.prop_flat_map(move |opts| {
+            let cell = (0..m, 0..n);
+            let batch = proptest::collection::vec(
+                cell.prop_flat_map(move |(u, i)| {
+                    // choice in 0..opts[i], or None (clear).
+                    let k = 5u16; // generous upper bound, filtered below
+                    (Just(u), Just(i), proptest::option::weighted(0.8, 0..k))
+                }),
+                1..12,
+            );
+            let opts2 = opts.clone();
+            (
+                Just(m),
+                Just(n),
+                Just(opts),
+                proptest::collection::vec(batch, 1..8).prop_map(move |batches| {
+                    // Clamp choices into each item's valid range.
+                    batches
+                        .into_iter()
+                        .map(|b| {
+                            b.into_iter()
+                                .map(|(u, i, c)| (u, i, c.map(|o| o % opts2[i])))
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                }),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn delta_chain_matches_full_rebuild((m, _n, options, batches) in edit_stream()) {
+        let mut log = ResponseLog::new(m, options.len(), &options).unwrap();
+        // Baseline snapshot (empty matrix) with slack generous enough that
+        // no batch in this stream can exhaust a span.
+        let base = log.snapshot();
+        let mut live = ResponseOps::with_slack(&base.matrix, 96, 96);
+
+        for batch in batches {
+            for (u, i, c) in batch {
+                log.set(u, i, c).unwrap();
+            }
+            let snap = log.snapshot();
+            let delta = snap.delta.as_ref().expect("baseline exists");
+            live.apply_delta(&snap.matrix, delta)
+                .expect("slack is sufficient for this stream");
+
+            let rebuilt = ResponseOps::new(&snap.matrix);
+
+            // Pattern: logical CSR equality plus per-column CSC mirror.
+            prop_assert_eq!(live.binary(), rebuilt.binary());
+            for c in 0..rebuilt.binary().cols() {
+                prop_assert_eq!(live.binary().col(c), rebuilt.binary().col(c), "col {}", c);
+            }
+
+            // Degree scalings are bitwise identical (integer-derived).
+            prop_assert_eq!(live.row_counts(), rebuilt.row_counts());
+            prop_assert_eq!(live.col_counts(), rebuilt.col_counts());
+            prop_assert_eq!(live.inv_row_counts(), rebuilt.inv_row_counts());
+            prop_assert_eq!(live.inv_col_counts(), rebuilt.inv_col_counts());
+
+            // Kernel outputs ("scores") are bitwise identical.
+            let s: Vec<f64> = (0..m).map(|j| 0.3 * j as f64 - 1.0).collect();
+            let mut w_live = vec![0.0; live.n_option_columns()];
+            let mut w_reb = vec![0.0; rebuilt.n_option_columns()];
+            let mut out_live = vec![0.0; m];
+            let mut out_reb = vec![0.0; m];
+            live.u_apply(&s, &mut w_live, &mut out_live);
+            rebuilt.u_apply(&s, &mut w_reb, &mut out_reb);
+            prop_assert_eq!(&w_live, &w_reb);
+            prop_assert_eq!(&out_live, &out_reb);
+            live.ut_apply(&s, &mut w_live, &mut out_live);
+            rebuilt.ut_apply(&s, &mut w_reb, &mut out_reb);
+            prop_assert_eq!(&out_live, &out_reb);
+        }
+    }
+}

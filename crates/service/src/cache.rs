@@ -1,0 +1,161 @@
+//! The version-keyed warm-start cache.
+//!
+//! Serving traffic revisits rankings: clients poll `current_ranking` while
+//! edits trickle in, dashboards re-read recent versions, and every new
+//! solve wants the *nearest previous* spectral state as its warm start.
+//! [`WarmStartCache`] is a small capacity-bounded LRU keyed by the
+//! [`ResponseLog`](hnd_response::ResponseLog) version: lookups by exact
+//! version serve repeat reads for free, and [`WarmStartCache::latest`]
+//! hands the most recently inserted state to warm-start the next solve.
+//!
+//! The cache is deliberately dependency-free (a `Vec` scanned linearly):
+//! capacities are single digits to low hundreds — the state vectors
+//! themselves (`m` floats each) dominate the footprint, not the scan.
+
+use hnd_core::SolveState;
+use hnd_response::Ranking;
+
+/// One cached solve: the ranking served to clients and the spectral state
+/// used to warm-start subsequent solves.
+#[derive(Debug, Clone)]
+pub struct CachedSolve {
+    /// The log version this solve corresponds to.
+    pub version: u64,
+    /// The (oriented) ranking at that version.
+    pub ranking: Ranking,
+    /// The raw spectral state at that version.
+    pub state: SolveState,
+}
+
+/// A capacity-bounded LRU of [`CachedSolve`]s keyed by log version.
+#[derive(Debug)]
+pub struct WarmStartCache {
+    /// Entries in LRU order: index 0 = least recently used.
+    entries: Vec<CachedSolve>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl WarmStartCache {
+    /// Creates a cache holding at most `capacity` solves (min 1).
+    pub fn new(capacity: usize) -> Self {
+        WarmStartCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached solves.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counters for observability.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks up an exact version, promoting it to most-recently-used.
+    pub fn get(&mut self, version: u64) -> Option<&CachedSolve> {
+        match self.entries.iter().position(|e| e.version == version) {
+            Some(pos) => {
+                self.hits += 1;
+                let entry = self.entries.remove(pos);
+                self.entries.push(entry);
+                self.entries.last()
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The most-recently-used entry (the natural warm start), without
+    /// touching LRU order or counters.
+    pub fn latest(&self) -> Option<&CachedSolve> {
+        self.entries.last()
+    }
+
+    /// Inserts (or refreshes) a solve, evicting the least recently used
+    /// entry when over capacity.
+    pub fn insert(&mut self, solve: CachedSolve) {
+        if let Some(pos) = self.entries.iter().position(|e| e.version == solve.version) {
+            self.entries.remove(pos);
+        }
+        self.entries.push(solve);
+        if self.entries.len() > self.capacity {
+            self.entries.remove(0);
+        }
+    }
+
+    /// Drops every entry (e.g. after a roster change).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(version: u64) -> CachedSolve {
+        CachedSolve {
+            version,
+            ranking: Ranking::from_scores(vec![version as f64]),
+            state: SolveState::from_scores(vec![version as f64]),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_unused() {
+        let mut cache = WarmStartCache::new(2);
+        cache.insert(solve(1));
+        cache.insert(solve(2));
+        assert!(cache.get(1).is_some()); // promote 1
+        cache.insert(solve(3)); // evicts 2
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn latest_tracks_most_recent_insert() {
+        let mut cache = WarmStartCache::new(4);
+        assert!(cache.latest().is_none());
+        cache.insert(solve(10));
+        cache.insert(solve(11));
+        assert_eq!(cache.latest().unwrap().version, 11);
+        // A get() promotes, making the hit the latest.
+        cache.get(10);
+        assert_eq!(cache.latest().unwrap().version, 10);
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut cache = WarmStartCache::new(2);
+        cache.insert(solve(1));
+        cache.insert(solve(2));
+        cache.insert(solve(1)); // refresh, no growth
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.latest().unwrap().version, 1);
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let mut cache = WarmStartCache::new(1);
+        cache.insert(solve(5));
+        cache.get(5);
+        cache.get(6);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+}

@@ -1,0 +1,261 @@
+//! Multi-session serving: many independent rosters behind one manager.
+//!
+//! A production deployment ranks many cohorts at once (one per classroom,
+//! campaign, …). [`SessionManager`] owns one [`RankingEngine`] per session
+//! and adds the batched maintenance pass [`SessionManager::refresh_all`]:
+//! sessions with cached spectral state refresh through their incremental
+//! delta+warm path (already a handful of iterations each), while cold
+//! sessions — fresh bulk loads, slack-exhausted rebuild points — are
+//! batch-solved *in parallel across sessions* through
+//! [`hnd_response::rank_many`] and their caches seeded from the returned
+//! scores (valid warm states: every solver converges up to sign).
+
+use crate::engine::{EngineOpts, RankingEngine};
+use hnd_core::SpectralSolver;
+use hnd_response::{rank_many, RankError, Ranking, ResponseError, ResponseLog, ResponseMatrix};
+use std::collections::BTreeMap;
+
+/// Identifies a session within a [`SessionManager`].
+pub type SessionId = u64;
+
+/// Owns and refreshes a fleet of incremental ranking sessions.
+pub struct SessionManager {
+    opts: EngineOpts,
+    /// Shared solver for the batched cold-refresh path (same configuration
+    /// as every session's own solver).
+    solver: Box<dyn SpectralSolver>,
+    sessions: BTreeMap<SessionId, RankingEngine>,
+    next_id: SessionId,
+}
+
+impl SessionManager {
+    /// Creates a manager whose sessions all use `opts`.
+    pub fn new(opts: EngineOpts) -> Self {
+        SessionManager {
+            solver: opts.solver.build(opts.solver_opts),
+            opts,
+            sessions: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when no sessions exist.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Opens a session over an empty roster; returns its id.
+    ///
+    /// # Errors
+    /// Rejects empty user/item sets and zero-option items.
+    pub fn create_session(
+        &mut self,
+        n_users: usize,
+        n_items: usize,
+        options_per_item: &[u16],
+    ) -> Result<SessionId, ResponseError> {
+        let engine = RankingEngine::new(n_users, n_items, options_per_item, self.opts)?;
+        Ok(self.install(engine))
+    }
+
+    /// Opens a session over a pre-filled log (bulk load).
+    pub fn create_session_from_log(
+        &mut self,
+        log: ResponseLog,
+    ) -> Result<SessionId, ResponseError> {
+        let engine = RankingEngine::from_log(log, self.opts)?;
+        Ok(self.install(engine))
+    }
+
+    fn install(&mut self, engine: RankingEngine) -> SessionId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(id, engine);
+        id
+    }
+
+    /// Closes a session, returning whether it existed.
+    pub fn drop_session(&mut self, id: SessionId) -> bool {
+        self.sessions.remove(&id).is_some()
+    }
+
+    /// Borrows a session's engine.
+    pub fn session(&self, id: SessionId) -> Option<&RankingEngine> {
+        self.sessions.get(&id)
+    }
+
+    /// Commits a batch of responses to one session; returns its new
+    /// version.
+    ///
+    /// # Errors
+    /// [`ResponseError`] from the session's log; unknown ids panic (the
+    /// caller owns the id lifecycle).
+    pub fn submit_responses(
+        &mut self,
+        id: SessionId,
+        responses: impl IntoIterator<Item = (usize, usize, Option<u16>)>,
+    ) -> Result<u64, ResponseError> {
+        self.engine_mut(id).submit_responses(responses)
+    }
+
+    /// The current ranking of one session (cache hit, or incremental
+    /// delta+warm solve).
+    pub fn current_ranking(&mut self, id: SessionId) -> Result<Ranking, RankError> {
+        self.engine_mut(id).current_ranking()
+    }
+
+    fn engine_mut(&mut self, id: SessionId) -> &mut RankingEngine {
+        self.sessions.get_mut(&id).expect("unknown session id")
+    }
+
+    /// Refreshes every out-of-date session; returns `(id, result)` pairs
+    /// for the sessions that actually solved, in ascending id order.
+    ///
+    /// Warm sessions take their own incremental path; cold sessions are
+    /// batch-solved in parallel via [`rank_many`] (each gets its own
+    /// `Result` — one degenerate roster never blocks the fleet) and seeded
+    /// into their warm-start caches.
+    pub fn refresh_all(&mut self) -> Vec<(SessionId, Result<Ranking, RankError>)> {
+        // Phase 1: advance kernel contexts and partition the fleet.
+        let mut warm_ids: Vec<SessionId> = Vec::new();
+        let mut cold_ids: Vec<SessionId> = Vec::new();
+        for (&id, engine) in self.sessions.iter_mut() {
+            if engine.is_current() {
+                continue;
+            }
+            engine.advance();
+            if engine.has_warm_state() {
+                warm_ids.push(id);
+            } else {
+                cold_ids.push(id);
+            }
+        }
+
+        let mut results: Vec<(SessionId, Result<Ranking, RankError>)> = Vec::new();
+
+        // Phase 2: batched cold solves across sessions via rank_many.
+        if !cold_ids.is_empty() {
+            let solved: Vec<Result<Ranking, RankError>> = {
+                let matrices: Vec<&ResponseMatrix> = cold_ids
+                    .iter()
+                    .map(|id| self.sessions[id].matrix())
+                    .collect();
+                rank_many(self.solver.as_ranker(), &matrices)
+            };
+            for (id, result) in cold_ids.into_iter().zip(solved) {
+                if let Ok(ranking) = &result {
+                    self.engine_mut(id).seed_solution(ranking.clone());
+                }
+                results.push((id, result));
+            }
+        }
+
+        // Phase 3: warm sessions ride their incremental path (a handful of
+        // iterations each on an already-patched kernel context).
+        for id in warm_ids {
+            let result = self.engine_mut(id).current_ranking();
+            results.push((id, result));
+        }
+
+        results.sort_by_key(|(id, _)| *id);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnd_core::{SolverKind, SolverOpts};
+
+    fn manager() -> SessionManager {
+        SessionManager::new(EngineOpts {
+            solver: SolverKind::Power,
+            solver_opts: SolverOpts {
+                orient: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    fn staircase_responses(m: usize) -> Vec<(usize, usize, Option<u16>)> {
+        (0..m)
+            .flat_map(|j| (0..m - 1).map(move |i| (j, i, Some(u16::from(j > i)))))
+            .collect()
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let mut mgr = manager();
+        let a = mgr.create_session(5, 4, &[2, 2, 2, 2]).unwrap();
+        let b = mgr.create_session(7, 6, &[2; 6]).unwrap();
+        mgr.submit_responses(a, staircase_responses(5)).unwrap();
+        mgr.submit_responses(b, staircase_responses(7)).unwrap();
+        let ra = mgr.current_ranking(a).unwrap();
+        let rb = mgr.current_ranking(b).unwrap();
+        assert_eq!(ra.len(), 5);
+        assert_eq!(rb.len(), 7);
+        assert!(mgr.drop_session(a));
+        assert!(!mgr.drop_session(a));
+        assert_eq!(mgr.len(), 1);
+    }
+
+    #[test]
+    fn refresh_all_batches_cold_and_warms_the_rest() {
+        let mut mgr = manager();
+        let ids: Vec<SessionId> = (0..4)
+            .map(|k| {
+                let id = mgr
+                    .create_session(6 + k, 5 + k, &vec![2u16; 5 + k])
+                    .unwrap();
+                mgr.submit_responses(id, staircase_responses(6 + k))
+                    .unwrap();
+                id
+            })
+            .collect();
+        // All four are cold → batched rank_many path.
+        let first = mgr.refresh_all();
+        assert_eq!(first.len(), 4);
+        for (id, result) in &first {
+            assert!(result.is_ok(), "session {id} failed");
+        }
+        // Already current → nothing to do.
+        assert!(mgr.refresh_all().is_empty());
+
+        // Trickle an edit into two sessions → warm refresh only for those.
+        let rebuilds_after_load = mgr.session(ids[1]).unwrap().stats().rebuilds;
+        mgr.submit_responses(ids[1], [(0, 0, Some(1))]).unwrap();
+        mgr.submit_responses(ids[3], [(1, 1, Some(1))]).unwrap();
+        let second = mgr.refresh_all();
+        let refreshed: Vec<SessionId> = second.iter().map(|(id, _)| *id).collect();
+        assert_eq!(refreshed, vec![ids[1], ids[3]]);
+        let s1 = mgr.session(ids[1]).unwrap().stats();
+        assert_eq!(
+            s1.rebuilds, rebuilds_after_load,
+            "warm refresh must stay incremental (bulk load may rebuild)"
+        );
+        assert_eq!(s1.delta_applies, 1, "the trickle edit was a patch");
+        assert_eq!(s1.warm_solves, 1);
+    }
+
+    #[test]
+    fn batched_cold_refresh_agrees_with_direct_ranking() {
+        // The rank_many path and the per-session path must produce the same
+        // rankings (identical solver configuration).
+        let mut mgr = manager();
+        let id = mgr.create_session(8, 7, &[2; 7]).unwrap();
+        mgr.submit_responses(id, staircase_responses(8)).unwrap();
+        let batched = mgr.refresh_all().pop().unwrap().1.unwrap();
+
+        let mut solo = manager();
+        let sid = solo.create_session(8, 7, &[2; 7]).unwrap();
+        solo.submit_responses(sid, staircase_responses(8)).unwrap();
+        let direct = solo.current_ranking(sid).unwrap();
+        assert_eq!(batched.order_best_to_worst(), direct.order_best_to_worst());
+    }
+}

@@ -14,6 +14,7 @@
 //! Run with: `cargo run --release --example seriation`
 
 use hitsndiffs::c1p::{count_pre_p_orderings, is_p_matrix, pre_p_ordering, AbhDirect};
+use hitsndiffs::core::SolverOpts;
 use hitsndiffs::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -82,10 +83,10 @@ fn main() {
         ),
         (
             "HnD",
-            HitsNDiffs {
+            HitsNDiffs::with_opts(SolverOpts {
                 orient: false,
                 ..Default::default()
-            }
+            })
             .rank(&shuffled)
             .unwrap(),
         ),
@@ -115,19 +116,13 @@ fn main() {
         Some(_) => println!("  PQ-tree: order found"),
         None => println!("  PQ-tree: FAILS — no C1P order exists, no output at all"),
     }
-    let hnd = HitsNDiffs {
+    let unoriented = HitsNDiffs::with_opts(SolverOpts {
         orient: false,
         ..Default::default()
-    }
-    .rank(&noisy)
-    .unwrap();
+    });
+    let hnd = unoriented.rank(&noisy).unwrap();
     // Compare the noisy ordering against the clean one.
-    let clean = HitsNDiffs {
-        orient: false,
-        ..Default::default()
-    }
-    .rank(&shuffled)
-    .unwrap();
+    let clean = unoriented.rank(&shuffled).unwrap();
     let rho = spearman(&hnd.scores, &clean.scores).abs();
     println!("  HnD still orders the sites (|Spearman| vs clean solution = {rho:.3})");
 }

@@ -18,6 +18,8 @@
 //! * [`response`] — the response-matrix domain model,
 //! * [`eval`] — ranking metrics (Spearman, Kendall, displacement),
 //! * [`datasets`] — simulated stand-ins for the paper's real-world datasets,
+//! * [`service`] — the incremental ranking engine (versioned response
+//!   deltas, warm-start caching, session management),
 //! * [`linalg`] — the from-scratch numerical substrate.
 //!
 //! ## Quickstart
@@ -53,6 +55,7 @@ pub use hnd_irt as irt;
 pub use hnd_linalg as linalg;
 pub use hnd_models as models;
 pub use hnd_response as response;
+pub use hnd_service as service;
 
 /// Convenience prelude with the types most programs need.
 pub mod prelude {

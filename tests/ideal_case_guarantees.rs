@@ -3,7 +3,7 @@
 //! in agreement with the exact combinatorial PQ-tree route.
 
 use hitsndiffs::c1p::{is_p_matrix, pre_p_ordering, AbhDirect, AbhPower};
-use hitsndiffs::core::{HndDeflation, HndDirect};
+use hitsndiffs::core::{SolverKind, SolverOpts};
 use hitsndiffs::irt::generate_c1p;
 use hitsndiffs::prelude::*;
 use hitsndiffs::response::AbilityRanker;
@@ -11,28 +11,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn rankers() -> Vec<(&'static str, Box<dyn AbilityRanker>)> {
+    // The HND family is built through the unified SpectralSolver registry.
+    let unoriented = SolverOpts {
+        orient: false,
+        ..Default::default()
+    };
     vec![
-        (
-            "HnD-power",
-            Box::new(HitsNDiffs {
-                orient: false,
-                ..Default::default()
-            }),
-        ),
-        (
-            "HnD-deflation",
-            Box::new(HndDeflation {
-                orient: false,
-                ..Default::default()
-            }),
-        ),
-        (
-            "HnD-direct",
-            Box::new(HndDirect {
-                orient: false,
-                ..Default::default()
-            }),
-        ),
+        ("HnD-power", SolverKind::Power.build(unoriented)),
+        ("HnD-deflation", SolverKind::Deflation.build(unoriented)),
+        ("HnD-direct", SolverKind::Direct.build(unoriented)),
         (
             "ABH-direct",
             Box::new(AbhDirect {

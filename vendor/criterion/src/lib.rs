@@ -40,9 +40,27 @@ pub struct BenchResult {
 #[derive(Default)]
 pub struct Criterion {
     results: Vec<BenchResult>,
+    filter: Option<String>,
 }
 
 impl Criterion {
+    /// Restricts execution to benchmarks whose full id contains `filter`
+    /// (real criterion's `cargo bench -- <filter>` behaviour).
+    /// `criterion_main!` wires this to the first non-flag CLI argument.
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    /// Parses CLI arguments the way the real harness does: the first
+    /// argument not starting with `-` becomes the id filter (cargo itself
+    /// appends flags like `--bench`, which are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        if let Some(filter) = std::env::args().skip(1).find(|a| !a.starts_with('-')) {
+            self.filter = Some(filter);
+        }
+        self
+    }
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
@@ -161,6 +179,11 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 
     fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        if let Some(filter) = &self.criterion.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
         let mut bencher = Bencher {
             total: Duration::ZERO,
             iters: 0,
@@ -291,7 +314,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            let mut c = $crate::Criterion::default();
+            let mut c = $crate::Criterion::default().configure_from_args();
             $($group(&mut c);)+
             c.finalize();
         }
@@ -321,5 +344,13 @@ mod tests {
         assert_eq!(c.results.len(), 2);
         assert!(c.results[0].median_ns > 0.0);
         assert!(c.results[1].id.contains("tiny/sum_to/50"));
+    }
+
+    #[test]
+    fn filter_restricts_by_id_substring() {
+        let mut c = Criterion::default().with_filter("sum_to");
+        tiny_bench(&mut c);
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].id.contains("tiny/sum_to/50"));
     }
 }
