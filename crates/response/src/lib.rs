@@ -98,6 +98,19 @@ pub enum ResponseError {
         /// Item of the offending edit.
         item: usize,
     },
+    /// A [`ResponseLog::compact_range`] request reaches outside the
+    /// retained history (inverted range, past the head, or behind the
+    /// truncation point) — the client must catch up from a full snapshot.
+    HistoryUnavailable {
+        /// Requested range start (exclusive).
+        from: u64,
+        /// Requested range end (inclusive).
+        to: u64,
+        /// Oldest version the log can still compact from.
+        base: u64,
+        /// The log's head version.
+        head: u64,
+    },
 }
 
 impl std::fmt::Display for ResponseError {
@@ -137,6 +150,15 @@ impl std::fmt::Display for ResponseError {
             ResponseError::DeltaMismatch { user, item } => write!(
                 f,
                 "delta edit at (user {user}, item {item}) does not chain onto the current state"
+            ),
+            ResponseError::HistoryUnavailable {
+                from,
+                to,
+                base,
+                head,
+            } => write!(
+                f,
+                "cannot compact versions {from}..{to}: retained history covers {base}..{head}"
             ),
         }
     }

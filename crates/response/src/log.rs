@@ -10,8 +10,37 @@
 //! caches, batched refreshers) key everything by that version, so a cache
 //! hit is an integer comparison and a cache miss knows exactly which cells
 //! changed.
+//!
+//! ## Cross-version compaction
+//!
+//! Committed edits are *retained* (not discarded once snapshotted), so the
+//! log can serve [`ResponseLog::compact_range`]: the edits between **any**
+//! two retained versions composed down to at most one edit per touched
+//! cell (last-write-wins). A client holding a cached version `a` catches
+//! up to head in a single `apply_delta`, no matter how many commits and
+//! snapshots happened in between. Retention is unbounded by default —
+//! [`ResponseLog::truncate_history`] bounds it once every interested
+//! client has moved past a version, and [`ResponseLog::forget_history`]
+//! drops it entirely.
 
 use crate::{ResponseError, ResponseMatrix};
+
+/// Last-write-wins composition of an edit sequence: net effect per cell,
+/// keyed `(user, item)` → `(first from, last to)`. Cells whose net change
+/// cancels (`from == to`, e.g. `A→B→A`) are *retained* — callers filter.
+/// Shared by [`ResponseLog::compact_range`] and the kernel-context patch
+/// (`ResponseOps::apply_delta`) so the two can never drift apart.
+pub(crate) fn net_cell_effects(
+    edits: &[ResponseEdit],
+) -> std::collections::BTreeMap<(usize, usize), (Option<u16>, Option<u16>)> {
+    let mut net = std::collections::BTreeMap::new();
+    for edit in edits {
+        net.entry((edit.user, edit.item))
+            .and_modify(|(_, to)| *to = edit.to)
+            .or_insert((edit.from, edit.to));
+    }
+    net
+}
 
 /// One committed cell edit: user `user` changed their answer on `item`
 /// from `from` to `to` (either side may be `None` = unanswered).
@@ -50,6 +79,28 @@ impl ResponseDelta {
     /// `true` when no cells changed.
     pub fn is_empty(&self) -> bool {
         self.edits.is_empty()
+    }
+
+    /// Composes raw `from..to` edits (e.g. a [`ResponseLog::history_range`]
+    /// slice) into a compacted delta: last-write-wins, at most one edit per
+    /// touched cell, net no-ops dropped. The `O(edits)` half of
+    /// [`ResponseLog::compact_range`], callable on copied-out edits so
+    /// concurrent servers can compose outside their locks.
+    pub fn compacted(from_version: u64, to_version: u64, edits: &[ResponseEdit]) -> Self {
+        ResponseDelta {
+            from_version,
+            to_version,
+            edits: net_cell_effects(edits)
+                .into_iter()
+                .filter(|&(_, (f, t))| f != t)
+                .map(|((user, item), (f, t))| ResponseEdit {
+                    user,
+                    item,
+                    from: f,
+                    to: t,
+                })
+                .collect(),
+        }
     }
 }
 
@@ -100,9 +151,15 @@ pub struct ResponseLog {
     options_per_item: Vec<u16>,
     choices: Vec<Option<u16>>,
     version: u64,
-    /// Edits committed since the last snapshot.
-    pending: Vec<ResponseEdit>,
-    /// Version of the last snapshot (`pending` starts right after it).
+    /// Retained committed edits: `history[k]` is the edit that took the
+    /// log from version `history_base + k` to `history_base + k + 1`.
+    /// Serves both the snapshot deltas (the `snapshot_version..` suffix)
+    /// and cross-version compaction (any retained range).
+    history: Vec<ResponseEdit>,
+    /// Version the retained history starts at (edits for versions
+    /// `≤ history_base` have been truncated away).
+    history_base: u64,
+    /// Version of the last snapshot (its delta starts right after it).
     snapshot_version: u64,
     /// Whether the delta to the previous snapshot is known (false right
     /// after construction — the baseline is the empty matrix, not a
@@ -141,7 +198,8 @@ impl ResponseLog {
             options_per_item: options_per_item.to_vec(),
             choices: vec![None; n_users * n_items],
             version: 0,
-            pending: Vec::new(),
+            history: Vec::new(),
+            history_base: 0,
             snapshot_version: 0,
             has_baseline: false,
         })
@@ -168,7 +226,8 @@ impl ResponseLog {
                 .collect(),
             choices,
             version: 0,
-            pending: Vec::new(),
+            history: Vec::new(),
+            history_base: 0,
             snapshot_version: 0,
             has_baseline: false,
         }
@@ -201,7 +260,18 @@ impl ResponseLog {
 
     /// Number of committed edits not yet captured by a snapshot.
     pub fn pending_edits(&self) -> usize {
-        self.pending.len()
+        (self.version - self.snapshot_version) as usize
+    }
+
+    /// Oldest version the retained history can still compact *from*
+    /// (edits at versions `≤` this are gone).
+    pub fn history_base_version(&self) -> u64 {
+        self.history_base
+    }
+
+    /// Number of retained committed edits.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
     }
 
     /// Records (or clears, with `None`) the choice of `user` on `item`,
@@ -234,7 +304,7 @@ impl ResponseLog {
         }
         let cell = &mut self.choices[user * self.n_items + item];
         if *cell != choice {
-            self.pending.push(ResponseEdit {
+            self.history.push(ResponseEdit {
                 user,
                 item,
                 from: *cell,
@@ -279,17 +349,19 @@ impl ResponseLog {
     /// choices clone of [`Self::snapshot`] per refresh.
     ///
     /// Returns `None` when no baseline exists (right after construction or
-    /// [`Self::forget_history`]); the caller must then take a full
-    /// [`Self::snapshot`] (or [`Self::to_matrix`]) as its new baseline.
+    /// [`Self::forget_history`]) *or* when [`Self::truncate_history`] has
+    /// dropped edits past the last snapshot; the caller must then take a
+    /// full [`Self::snapshot`] (or [`Self::to_matrix`]) as its new
+    /// baseline.
     pub fn drain_delta(&mut self) -> Option<ResponseDelta> {
-        let out = if self.has_baseline {
+        let out = if self.has_baseline && self.snapshot_version >= self.history_base {
+            let start = (self.snapshot_version - self.history_base) as usize;
             Some(ResponseDelta {
                 from_version: self.snapshot_version,
                 to_version: self.version,
-                edits: std::mem::take(&mut self.pending),
+                edits: self.history[start..].to_vec(),
             })
         } else {
-            self.pending.clear();
             None
         };
         self.snapshot_version = self.version;
@@ -297,10 +369,69 @@ impl ResponseLog {
         out
     }
 
-    /// Drops delta history: the next [`Self::snapshot`] reports `delta:
-    /// None` (downstream caches must treat it as a cold rebuild point).
+    /// Composes the retained edits between two versions into at most one
+    /// edit per touched cell (last-write-wins): the returned delta applied
+    /// to the version-`from` matrix yields the version-`to` matrix exactly,
+    /// no matter how many intermediate commits the range spans. Cells whose
+    /// net change cancels (e.g. `A→B→A`) are dropped, so a reconnecting
+    /// client pays `O(cells actually different)`, not `O(edits missed)`.
+    ///
+    /// # Errors
+    /// [`ResponseError::HistoryUnavailable`] when the range is inverted,
+    /// reaches past the head, or starts before the retained history (after
+    /// [`Self::truncate_history`] / [`Self::forget_history`]) — the caller
+    /// must then fall back to a full snapshot.
+    pub fn compact_range(&self, from: u64, to: u64) -> Result<ResponseDelta, ResponseError> {
+        Ok(ResponseDelta::compacted(
+            from,
+            to,
+            self.history_range(from, to)?,
+        ))
+    }
+
+    /// The raw retained edits between two versions (a cheap memcpy slice
+    /// clone, unlike the `O(range)` composition of
+    /// [`Self::compact_range`]): concurrent servers copy this under their
+    /// lock and run [`ResponseDelta::compacted`] after releasing it.
+    ///
+    /// # Errors
+    /// [`ResponseError::HistoryUnavailable`] exactly as
+    /// [`Self::compact_range`].
+    pub fn history_range(&self, from: u64, to: u64) -> Result<&[ResponseEdit], ResponseError> {
+        if from > to || to > self.version || from < self.history_base {
+            return Err(ResponseError::HistoryUnavailable {
+                from,
+                to,
+                base: self.history_base,
+                head: self.version,
+            });
+        }
+        let start = (from - self.history_base) as usize;
+        let end = (to - self.history_base) as usize;
+        Ok(&self.history[start..end])
+    }
+
+    /// Drops retained edits at versions `≤ before_version`, bounding the
+    /// history's memory once no client can still need to catch up from that
+    /// far back (clamped to the head). Truncating past the last snapshot is
+    /// allowed — the next [`Self::drain_delta`] then reports `None` (a cold
+    /// rebuild point) instead of a partial delta. Returns the new
+    /// [`Self::history_base_version`].
+    pub fn truncate_history(&mut self, before_version: u64) -> u64 {
+        let new_base = before_version.min(self.version).max(self.history_base);
+        self.history
+            .drain(..(new_base - self.history_base) as usize);
+        self.history_base = new_base;
+        self.history_base
+    }
+
+    /// Drops delta history entirely: the next [`Self::snapshot`] reports
+    /// `delta: None` (downstream caches must treat it as a cold rebuild
+    /// point), and [`Self::compact_range`] can no longer reach behind the
+    /// current version.
     pub fn forget_history(&mut self) {
-        self.pending.clear();
+        self.history.clear();
+        self.history_base = self.version;
         self.snapshot_version = self.version;
         self.has_baseline = false;
     }
@@ -400,6 +531,95 @@ mod tests {
         let mut log = ResponseLog::homogeneous(1, 1, 2).unwrap();
         assert!(log.set(0, 0, Some(2)).is_err());
         assert_eq!(log.version(), 0, "failed write must not bump");
+    }
+
+    #[test]
+    fn compact_range_composes_last_write_wins() {
+        let mut log = ResponseLog::homogeneous(3, 2, 4).unwrap();
+        log.set(0, 0, Some(1)).unwrap(); // v1
+        log.set(0, 0, Some(2)).unwrap(); // v2: overwrite
+        log.set(1, 1, Some(3)).unwrap(); // v3
+        log.set(1, 1, None).unwrap(); // v4: retract → net no-op from v0
+        log.set(2, 0, Some(0)).unwrap(); // v5
+
+        let full = log.compact_range(0, 5).unwrap();
+        assert_eq!((full.from_version, full.to_version), (0, 5));
+        // (0,0): None→2 survives; (1,1): None→3→None cancels; (2,0) stays.
+        assert_eq!(
+            full.edits,
+            vec![
+                ResponseEdit {
+                    user: 0,
+                    item: 0,
+                    from: None,
+                    to: Some(2)
+                },
+                ResponseEdit {
+                    user: 2,
+                    item: 0,
+                    from: None,
+                    to: Some(0)
+                },
+            ]
+        );
+
+        // A mid-range compaction chains onto the version-2 state.
+        let mid = log.compact_range(2, 4).unwrap();
+        assert!(mid.is_empty(), "3→None cancels: {:?}", mid.edits);
+        let tail = log.compact_range(1, 5).unwrap();
+        assert_eq!(tail.edits[0].from, Some(1), "chains onto the v1 state");
+
+        // Empty range, and the delta applies onto a materialized snapshot.
+        assert!(log.compact_range(5, 5).unwrap().is_empty());
+        let mut at_zero = ResponseLog::homogeneous(3, 2, 4).unwrap().to_matrix();
+        at_zero.apply_delta(&full).unwrap();
+        assert_eq!(at_zero, log.to_matrix());
+    }
+
+    #[test]
+    fn compact_range_rejects_out_of_history_ranges() {
+        let mut log = ResponseLog::homogeneous(2, 2, 2).unwrap();
+        log.set(0, 0, Some(1)).unwrap();
+        log.set(1, 0, Some(1)).unwrap();
+        assert!(matches!(
+            log.compact_range(1, 3),
+            Err(ResponseError::HistoryUnavailable { head: 2, .. })
+        ));
+        assert!(log.compact_range(2, 1).is_err());
+
+        // Truncation moves the reachable base; the untouched suffix works.
+        log.snapshot();
+        log.set(1, 1, Some(0)).unwrap();
+        assert_eq!(log.truncate_history(2), 2);
+        assert_eq!(log.history_len(), 1);
+        assert!(log.compact_range(1, 3).is_err());
+        assert_eq!(log.compact_range(2, 3).unwrap().len(), 1);
+        // Truncating past the last snapshot is allowed (clamped to head):
+        // the next snapshot becomes a cold rebuild point (delta: None)
+        // rather than lying with a partial delta…
+        assert_eq!(log.truncate_history(99), 3);
+        assert_eq!(log.history_len(), 0);
+        assert!(log.snapshot().delta.is_none());
+        // …and delta history resumes afterwards.
+        log.set(0, 0, Some(0)).unwrap();
+        assert_eq!(log.snapshot().delta.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn history_survives_snapshots_for_late_catch_up() {
+        let mut log = ResponseLog::homogeneous(2, 2, 3).unwrap();
+        log.set(0, 0, Some(1)).unwrap();
+        let v1 = log.snapshot(); // a client caches version 1
+        log.set(0, 1, Some(2)).unwrap();
+        log.snapshot();
+        log.set(1, 0, Some(0)).unwrap();
+        log.snapshot(); // two more snapshots later…
+
+        // …the version-1 client catches up in one compacted delta.
+        let catch_up = log.compact_range(v1.version, log.version()).unwrap();
+        let mut client = v1.matrix;
+        client.apply_delta(&catch_up).unwrap();
+        assert_eq!(client, log.to_matrix());
     }
 
     #[test]

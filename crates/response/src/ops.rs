@@ -128,13 +128,7 @@ impl ResponseOps {
         // Compose repeated edits of the same cell (None→A then A→B nets to
         // None→B) so the pattern delta never removes an entry the delta
         // itself introduced.
-        let mut net: std::collections::BTreeMap<(usize, usize), (Option<u16>, Option<u16>)> =
-            std::collections::BTreeMap::new();
-        for edit in &delta.edits {
-            net.entry((edit.user, edit.item))
-                .and_modify(|(_, to)| *to = edit.to)
-                .or_insert((edit.from, edit.to));
-        }
+        let net = crate::log::net_cell_effects(&delta.edits);
         let mut pattern_delta = PatternDelta::default();
         for ((user, item), (from, to)) in net {
             if from == to {

@@ -6,7 +6,9 @@
 //! [`WarmStartCache`] is a small capacity-bounded LRU keyed by the
 //! [`ResponseLog`](hnd_response::ResponseLog) version: lookups by exact
 //! version serve repeat reads for free, and [`WarmStartCache::latest`]
-//! hands the most recently inserted state to warm-start the next solve.
+//! hands the *highest-version* state to warm-start the next solve —
+//! independent of access recency, so client reads of old versions can
+//! never change (or evict) what the engine resumes from.
 //!
 //! The cache is deliberately dependency-free (a `Vec` scanned linearly):
 //! capacities are single digits to low hundreds — the state vectors
@@ -79,21 +81,51 @@ impl WarmStartCache {
         }
     }
 
-    /// The most-recently-used entry (the natural warm start), without
+    /// The highest-version entry (the natural warm start), without
     /// touching LRU order or counters.
+    ///
+    /// Deliberately *not* "most recently used": clients re-reading old
+    /// versions promote them in LRU order, and a warm start taken from a
+    /// promoted stale entry would silently cost extra iterations. The
+    /// newest spectral state is always the right one to resume from.
     pub fn latest(&self) -> Option<&CachedSolve> {
-        self.entries.last()
+        self.entries.iter().max_by_key(|e| e.version)
     }
 
     /// Inserts (or refreshes) a solve, evicting the least recently used
     /// entry when over capacity.
+    ///
+    /// Recency accounting: [`Self::latest`] takes `&self` and cannot bump
+    /// LRU order itself, yet the newest entry is read by *every* solve as
+    /// its warm start. That use is accounted here instead — the previous
+    /// newest entry is promoted before the new solve is pushed — so the
+    /// entry the engine uses most can never be the first evicted.
     pub fn insert(&mut self, solve: CachedSolve) {
+        if let Some(newest) = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.version)
+            .map(|(pos, _)| pos)
+        {
+            let entry = self.entries.remove(newest);
+            self.entries.push(entry);
+        }
         if let Some(pos) = self.entries.iter().position(|e| e.version == solve.version) {
             self.entries.remove(pos);
         }
         self.entries.push(solve);
         if self.entries.len() > self.capacity {
-            self.entries.remove(0);
+            // The newest entry sits at the back after the promotion above;
+            // the true LRU is at the front, and it is never the newest
+            // (len ≥ 2 here). The filter is belt-and-braces.
+            let newest = self.entries.iter().map(|e| e.version).max().unwrap();
+            let victim = self
+                .entries
+                .iter()
+                .position(|e| e.version != newest)
+                .expect("a non-newest entry exists");
+            self.entries.remove(victim);
         }
     }
 
@@ -120,24 +152,52 @@ mod tests {
         let mut cache = WarmStartCache::new(2);
         cache.insert(solve(1));
         cache.insert(solve(2));
-        assert!(cache.get(1).is_some()); // promote 1
-        cache.insert(solve(3)); // evicts 2
-        assert!(cache.get(2).is_none());
-        assert!(cache.get(1).is_some());
+        assert!(cache.get(1).is_some()); // promote 1…
+        cache.insert(solve(3)); // …but 2 warm-started this solve: evict 1
+        assert!(cache.get(1).is_none());
+        assert!(cache.get(2).is_some());
         assert!(cache.get(3).is_some());
         assert_eq!(cache.len(), 2);
     }
 
     #[test]
-    fn latest_tracks_most_recent_insert() {
+    fn latest_tracks_highest_version_not_recency() {
         let mut cache = WarmStartCache::new(4);
         assert!(cache.latest().is_none());
         cache.insert(solve(10));
         cache.insert(solve(11));
         assert_eq!(cache.latest().unwrap().version, 11);
-        // A get() promotes, making the hit the latest.
+        // A get() promotes in LRU order but must NOT change the warm
+        // start: the newest spectral state stays the resume point.
         cache.get(10);
-        assert_eq!(cache.latest().unwrap().version, 10);
+        assert_eq!(cache.latest().unwrap().version, 11);
+    }
+
+    #[test]
+    fn newest_version_survives_stale_promotion_storm() {
+        // Regression: latest() never bumped LRU recency while get() did,
+        // so a burst of reads on old versions could make the
+        // highest-version entry — the one every warm start uses — the
+        // first evicted.
+        let mut cache = WarmStartCache::new(3);
+        cache.insert(solve(1));
+        cache.insert(solve(2));
+        cache.insert(solve(3));
+        for _ in 0..5 {
+            cache.get(1);
+            cache.get(2);
+            cache.latest(); // warm-start reads: recency-neutral
+        }
+        cache.insert(solve(4));
+        // v3 (the pinned newest at eviction time… now superseded by 4) must
+        // not have been the victim: the LRU among {1, 2} went instead.
+        assert!(cache.latest().is_some_and(|e| e.version == 4));
+        let surviving: Vec<u64> = {
+            let mut v: Vec<u64> = (1..=4).filter(|&k| cache.get(k).is_some()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(surviving, vec![2, 3, 4], "eviction follows access order");
     }
 
     #[test]
@@ -147,7 +207,11 @@ mod tests {
         cache.insert(solve(2));
         cache.insert(solve(1)); // refresh, no growth
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.latest().unwrap().version, 1);
+        assert_eq!(
+            cache.latest().unwrap().version,
+            2,
+            "latest = highest version"
+        );
     }
 
     #[test]

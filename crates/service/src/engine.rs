@@ -32,6 +32,12 @@ pub struct EngineOpts {
     pub row_slack: usize,
     /// Spare pick slots per option column before a kernel rebuild.
     pub col_slack: usize,
+    /// Maximum retained log-history edits for cross-version catch-up
+    /// (`None` = unbounded). Older edits are truncated after each submit;
+    /// clients further behind than this get
+    /// [`ResponseError::HistoryUnavailable`](hnd_response::ResponseError)
+    /// from catch-up and must resync from a snapshot.
+    pub history_retention: Option<usize>,
 }
 
 impl Default for EngineOpts {
@@ -45,6 +51,10 @@ impl Default for EngineOpts {
             // traffic at a few extra bytes per slot.
             row_slack: 32,
             col_slack: 256,
+            // ~1.5 MiB of retained edits per session at 24 bytes each —
+            // bounds long-running sessions while covering any realistic
+            // client catch-up window.
+            history_retention: Some(65_536),
         }
     }
 }
@@ -132,6 +142,20 @@ impl RankingEngine {
         self.log.version()
     }
 
+    /// The engine's versioned edit ledger (the durable state: clients use
+    /// it for [`ResponseLog::compact_range`] catch-up deltas).
+    pub fn log(&self) -> &ResponseLog {
+        &self.log
+    }
+
+    /// Tears the engine down to its durable state, dropping the kernel
+    /// context and warm-start cache. The eviction path: a
+    /// [`crate::SessionManager`] keeps only the returned log for idle
+    /// sessions and rebuilds the engine from it on the next touch.
+    pub fn into_log(self) -> ResponseLog {
+        self.log
+    }
+
     /// The matrix of the latest prepared snapshot (advances on
     /// [`Self::current_ranking`] / [`Self::advance`], not on submit).
     pub fn matrix(&self) -> &ResponseMatrix {
@@ -174,6 +198,16 @@ impl RankingEngine {
                 });
             }
             self.log.set(user, item, choice)?;
+        }
+        // Bound the catch-up history. If a submit-only flood pushes the
+        // cutoff past the last advance, the next refresh simply becomes a
+        // cold rebuild point (a delta that long would exceed the patch
+        // budget and rebuild anyway).
+        if let Some(keep) = self.opts.history_retention {
+            if self.log.history_len() > keep {
+                let cutoff = self.log.version().saturating_sub(keep as u64);
+                self.log.truncate_history(cutoff);
+            }
         }
         Ok(self.log.version())
     }
@@ -362,6 +396,45 @@ mod tests {
         let a = engine.current_ranking().unwrap();
         let b = cold.current_ranking().unwrap();
         assert_eq!(a.order_best_to_worst(), b.order_best_to_worst());
+    }
+
+    #[test]
+    fn history_retention_bounds_submit_only_sessions() {
+        // Regression: truncation used to be clamped to the last snapshot
+        // version, which only advances on ranking reads — a submit-only
+        // session grew its history forever despite the configured bound.
+        let mut engine = RankingEngine::new(
+            4,
+            3,
+            &[2, 2, 2],
+            EngineOpts {
+                history_retention: Some(8),
+                solver_opts: SolverOpts {
+                    orient: false,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for round in 0..50u16 {
+            engine
+                .submit_responses([(0, 0, Some(round % 2)), (1, 1, Some((round + 1) % 2))])
+                .unwrap();
+        }
+        assert_eq!(engine.version(), 100, "every write committed");
+        assert_eq!(engine.log().history_len(), 8, "history stays bounded");
+
+        // The truncated log still serves correctly (the next refresh is a
+        // cold rebuild point, not a lie): same ranking as a fresh replica.
+        let served = engine.current_ranking().unwrap();
+        let mut replica = RankingEngine::new(4, 3, &[2, 2, 2], *engine.opts()).unwrap();
+        for round in 0..50u16 {
+            replica
+                .submit_responses([(0, 0, Some(round % 2)), (1, 1, Some((round + 1) % 2))])
+                .unwrap();
+        }
+        assert_eq!(served.scores, replica.current_ranking().unwrap().scores);
     }
 
     #[test]

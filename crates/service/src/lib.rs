@@ -26,17 +26,26 @@
 //! ## Architecture
 //!
 //! ```text
-//!   submit_responses          current_ranking
-//!        │                          │
-//!        ▼                          ▼
-//!   ResponseLog ──delta──▶ RankingEngine ──────▶ Ranking
-//!   (versioned             │  ResponseOps (in-place patched kernels)
-//!    edit ledger)          │  Box<dyn SpectralSolver> (unified family)
-//!                          │  WarmStartCache (version-keyed LRU of
-//!                          │    rankings + spectral states)
-//!                          ▼
-//!                    SessionManager (fleet: warm sessions refresh
-//!                    incrementally, cold ones batch through rank_many)
+//!   clients (any thread)
+//!        │  submit / ranking / catch_up …
+//!        ▼
+//!   SessionServer ── worker pool (HND_THREADS convention) draining
+//!        │           per-session mailboxes: FIFO per session, sessions
+//!        │           in parallel, each session single-writer (engine
+//!        │           checkout) ── Reply<V> back to the caller
+//!        ▼
+//!   SessionManager (fleet: idle sessions evict to their durable logs
+//!        │           and lazily rehydrate on touch; warm sessions
+//!        │           refresh incrementally, cold ones batch through
+//!        ▼           rank_many)
+//!   RankingEngine ──────▶ Ranking
+//!        │  ResponseOps (in-place patched kernels)
+//!        │  Box<dyn SpectralSolver> (unified family)
+//!        │  WarmStartCache (version-keyed LRU of rankings + states)
+//!        ▲
+//!   ResponseLog ──delta──▶ (versioned edit ledger: the durable state;
+//!                           compact_range serves one-delta client
+//!                           catch-up across any version span)
 //! ```
 //!
 //! Every solve is keyed by the [`ResponseLog`](hnd_response::ResponseLog)
@@ -44,6 +53,28 @@
 //! are cache hits, deltas compose exactly (enforced by proptests against
 //! full rebuilds), and a version mismatch can always fall back to a cold
 //! rebuild without serving anything stale.
+//!
+//! ## Concurrency model
+//!
+//! [`SessionServer`] is the thread-safe front-end: every session owns a
+//! FIFO **mailbox**, a scoped pool of workers (sized by the `HND_THREADS`
+//! convention of [`hnd_linalg::parallel`]) drains ready mailboxes, and a
+//! worker processes a session only while holding its engine *checked out*
+//! of the [`SessionManager`] — per-session single-writer, cross-session
+//! parallel, no lock held during a solve. Commands return [`Reply`]
+//! handles immediately; waiting is the client's choice, so batch clients
+//! pipeline. The concurrency battery (`tests/concurrency_stress.rs`)
+//! pins the model down: under seeded multi-threaded storms every
+//! session's final ranking matches a serial replay of its own log.
+//!
+//! ## Lifecycle: eviction, rehydration, catch-up
+//!
+//! The durable state of a session is its log, nothing else. Idle sessions
+//! (logical-clock threshold, see [`SessionManager::set_idle_threshold`])
+//! are torn down to that log and transparently rebuilt on the next touch;
+//! reconnecting clients resync from any cached version with one compacted
+//! delta ([`ResponseLog::compact_range`](hnd_response::ResponseLog::compact_range)
+//! via [`SessionServer::catch_up`]).
 //!
 //! ## Quickstart
 //!
@@ -67,11 +98,13 @@
 
 pub mod cache;
 pub mod engine;
+pub mod server;
 pub mod session;
 
 pub use cache::{CachedSolve, WarmStartCache};
 pub use engine::{EngineOpts, EngineStats, RankingEngine};
-pub use session::{SessionId, SessionManager};
+pub use server::{Reply, ServerError, ServerOpts, SessionServer};
+pub use session::{Checkout, ManagerStats, SessionId, SessionManager};
 
 // Re-export the building blocks callers configure the service with.
 pub use hnd_core::{SolveOutcome, SolveState, SolverKind, SolverOpts, SpectralSolver};

@@ -1,14 +1,44 @@
 //! Multi-session serving: many independent rosters behind one manager.
 //!
 //! A production deployment ranks many cohorts at once (one per classroom,
-//! campaign, …). [`SessionManager`] owns one [`RankingEngine`] per session
-//! and adds the batched maintenance pass [`SessionManager::refresh_all`]:
-//! sessions with cached spectral state refresh through their incremental
-//! delta+warm path (already a handful of iterations each), while cold
-//! sessions — fresh bulk loads, slack-exhausted rebuild points — are
-//! batch-solved *in parallel across sessions* through
-//! [`hnd_response::rank_many`] and their caches seeded from the returned
-//! scores (valid warm states: every solver converges up to sign).
+//! campaign, …). [`SessionManager`] owns one slot per session and adds the
+//! batched maintenance pass [`SessionManager::refresh_all`]: sessions with
+//! cached spectral state refresh through their incremental delta+warm path
+//! (already a handful of iterations each), while cold sessions — fresh
+//! bulk loads, slack-exhausted rebuild points — are batch-solved *in
+//! parallel across sessions* through [`hnd_response::rank_many`] and their
+//! caches seeded from the returned scores (valid warm states: every solver
+//! converges up to sign).
+//!
+//! ## Idle eviction and rehydration
+//!
+//! A fleet sized for millions of users is mostly idle at any instant, and
+//! a live [`RankingEngine`] is the expensive representation of a session:
+//! the slack-capacity CSR/CSC pattern plus a warm-start cache of `O(m)`
+//! state vectors. The durable state is only the [`ResponseLog`]. With an
+//! [idle threshold](SessionManager::set_idle_threshold) configured, a
+//! session untouched for that many manager operations is **evicted** — its
+//! engine is torn down to the log ([`RankingEngine::into_log`]) — and the
+//! next touch (submit, ranking read, checkout) **rehydrates** it
+//! transparently: the engine rebuilds from the log and the first solve
+//! runs cold, after which the session is warm again. Rankings served by a
+//! rehydrated session are identical to a never-evicted one's (the log is
+//! the complete state; only cached acceleration is dropped), which
+//! `tests/failure_injection.rs` pins down.
+//!
+//! Time is a **logical clock** (one tick per manager operation), not wall
+//! time: eviction decisions are deterministic and testable, and a server
+//! wrapping the manager can map ticks to wall time however it likes.
+//!
+//! ## Engine checkout (the concurrent server's hook)
+//!
+//! [`SessionManager::take_engine`] / [`SessionManager::put_engine`] move a
+//! session's engine out of and back into its slot. While checked out the
+//! slot answers "busy": the session cannot be evicted, re-checked-out, or
+//! served through the synchronous paths. [`crate::SessionServer`] builds
+//! its per-session single-writer guarantee on exactly this — a worker
+//! checks the engine out, processes the session's mailbox without holding
+//! any global lock, and checks it back in.
 
 use crate::engine::{EngineOpts, RankingEngine};
 use hnd_core::SpectralSolver;
@@ -18,28 +48,85 @@ use std::collections::BTreeMap;
 /// Identifies a session within a [`SessionManager`].
 pub type SessionId = u64;
 
+/// One session's representation: live (engine resident), evicted (durable
+/// log only), or checked out to a worker.
+enum SessionState {
+    /// Engine resident in the slot; the synchronous paths serve from it.
+    /// Boxed so a mostly-evicted fleet pays log-sized slots, not
+    /// engine-sized ones.
+    Live(Box<RankingEngine>),
+    /// Torn down to the durable log; any touch rehydrates.
+    Evicted(ResponseLog),
+    /// Engine temporarily owned by a caller of
+    /// [`SessionManager::take_engine`].
+    CheckedOut,
+}
+
+struct SessionSlot {
+    state: SessionState,
+    /// Logical-clock reading of the last touch (creation, submit, read,
+    /// checkout, check-in).
+    last_touch: u64,
+}
+
+/// What [`SessionManager::checkout`] hands a worker: a live engine, or the
+/// durable log of an evicted session whose engine the worker must rebuild
+/// itself (outside any shared lock).
+pub enum Checkout {
+    /// The resident engine, ready to serve (boxed: the enum is moved
+    /// around by value and the log variant is an order of magnitude
+    /// smaller).
+    Live(Box<RankingEngine>),
+    /// The durable log; build with [`RankingEngine::from_log`] +
+    /// [`SessionManager::engine_opts`].
+    Rehydrate(ResponseLog),
+}
+
+/// Counters describing fleet-level lifecycle events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Sessions torn down to their durable log by the idle policy (or
+    /// [`SessionManager::evict_session`]).
+    pub evictions: u64,
+    /// Engines rebuilt from a log on the first touch after eviction.
+    pub rehydrations: u64,
+}
+
 /// Owns and refreshes a fleet of incremental ranking sessions.
 pub struct SessionManager {
     opts: EngineOpts,
     /// Shared solver for the batched cold-refresh path (same configuration
     /// as every session's own solver).
     solver: Box<dyn SpectralSolver>,
-    sessions: BTreeMap<SessionId, RankingEngine>,
+    sessions: BTreeMap<SessionId, SessionSlot>,
     next_id: SessionId,
+    /// Logical clock: one tick per manager operation.
+    clock: u64,
+    /// Evict sessions untouched for at least this many ticks (`None` =
+    /// never evict).
+    idle_threshold: Option<u64>,
+    /// Clock reading of the last idle sweep (sweeps are strided — see
+    /// [`Self::run_idle_policy`]).
+    last_sweep: u64,
+    stats: ManagerStats,
 }
 
 impl SessionManager {
-    /// Creates a manager whose sessions all use `opts`.
+    /// Creates a manager whose sessions all use `opts` (no idle eviction).
     pub fn new(opts: EngineOpts) -> Self {
         SessionManager {
             solver: opts.solver.build(opts.solver_opts),
             opts,
             sessions: BTreeMap::new(),
             next_id: 0,
+            clock: 0,
+            idle_threshold: None,
+            last_sweep: 0,
+            stats: ManagerStats::default(),
         }
     }
 
-    /// Number of live sessions.
+    /// Number of sessions (live, evicted, or checked out).
     pub fn len(&self) -> usize {
         self.sessions.len()
     }
@@ -47,6 +134,28 @@ impl SessionManager {
     /// `true` when no sessions exist.
     pub fn is_empty(&self) -> bool {
         self.sessions.is_empty()
+    }
+
+    /// Fleet lifecycle counters.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// Configures the idle-eviction policy: sessions untouched for at
+    /// least `threshold` manager operations are torn down to their durable
+    /// log on the next maintenance opportunity (`None` disables eviction).
+    pub fn set_idle_threshold(&mut self, threshold: Option<u64>) {
+        self.idle_threshold = threshold;
+    }
+
+    /// The configured idle threshold in logical-clock ticks.
+    pub fn idle_threshold(&self) -> Option<u64> {
+        self.idle_threshold
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
     }
 
     /// Opens a session over an empty roster; returns its id.
@@ -73,24 +182,70 @@ impl SessionManager {
     }
 
     fn install(&mut self, engine: RankingEngine) -> SessionId {
+        let now = self.tick();
         let id = self.next_id;
         self.next_id += 1;
-        self.sessions.insert(id, engine);
+        self.sessions.insert(
+            id,
+            SessionSlot {
+                state: SessionState::Live(Box::new(engine)),
+                last_touch: now,
+            },
+        );
         id
     }
 
-    /// Closes a session, returning whether it existed.
+    /// Closes a session, returning whether it existed. A checked-out
+    /// session is closed too: its engine is discarded at check-in.
     pub fn drop_session(&mut self, id: SessionId) -> bool {
         self.sessions.remove(&id).is_some()
     }
 
-    /// Borrows a session's engine.
+    /// Borrows a session's engine when it is resident (`None` for unknown,
+    /// evicted, or checked-out sessions — use [`Self::session_log`] for
+    /// state that survives eviction).
     pub fn session(&self, id: SessionId) -> Option<&RankingEngine> {
-        self.sessions.get(&id)
+        match self.sessions.get(&id)?.state {
+            SessionState::Live(ref engine) => Some(engine),
+            _ => None,
+        }
+    }
+
+    /// `true` when the session exists and currently holds no engine (its
+    /// durable log is its only state).
+    pub fn is_evicted(&self, id: SessionId) -> bool {
+        matches!(
+            self.sessions.get(&id),
+            Some(SessionSlot {
+                state: SessionState::Evicted(_),
+                ..
+            })
+        )
+    }
+
+    /// Borrows the durable log of an *evicted* session (`None` otherwise):
+    /// the read-only fast path for log queries (catch-up deltas, snapshot
+    /// export) that must not trigger an engine rehydration.
+    pub fn evicted_log(&self, id: SessionId) -> Option<&ResponseLog> {
+        match self.sessions.get(&id)?.state {
+            SessionState::Evicted(ref log) => Some(log),
+            _ => None,
+        }
+    }
+
+    /// A clone of the session's versioned edit ledger — available for live
+    /// *and* evicted sessions (`None` for unknown or checked-out ones).
+    /// The serial-replay oracle of the concurrency tests reads this.
+    pub fn session_log(&self, id: SessionId) -> Option<ResponseLog> {
+        match self.sessions.get(&id)?.state {
+            SessionState::Live(ref engine) => Some(engine.log().clone()),
+            SessionState::Evicted(ref log) => Some(log.clone()),
+            SessionState::CheckedOut => None,
+        }
     }
 
     /// Commits a batch of responses to one session; returns its new
-    /// version.
+    /// version. Rehydrates an evicted session first.
     ///
     /// # Errors
     /// [`ResponseError`] from the session's log; unknown ids panic (the
@@ -100,31 +255,212 @@ impl SessionManager {
         id: SessionId,
         responses: impl IntoIterator<Item = (usize, usize, Option<u16>)>,
     ) -> Result<u64, ResponseError> {
-        self.engine_mut(id).submit_responses(responses)
+        let result = self.live_engine_mut(id).submit_responses(responses);
+        self.run_idle_policy();
+        result
     }
 
     /// The current ranking of one session (cache hit, or incremental
-    /// delta+warm solve).
+    /// delta+warm solve). Rehydrates an evicted session first (that solve
+    /// runs cold — acceleration state is not durable).
     pub fn current_ranking(&mut self, id: SessionId) -> Result<Ranking, RankError> {
-        self.engine_mut(id).current_ranking()
+        let result = self.live_engine_mut(id).current_ranking();
+        self.run_idle_policy();
+        result
     }
 
-    fn engine_mut(&mut self, id: SessionId) -> &mut RankingEngine {
-        self.sessions.get_mut(&id).expect("unknown session id")
+    /// Rehydrates (if needed) and mutably borrows the engine of `id`,
+    /// bumping its touch time. Panics on unknown or checked-out ids.
+    fn live_engine_mut(&mut self, id: SessionId) -> &mut RankingEngine {
+        let now = self.tick();
+        self.live_engine_mut_at(id, now)
     }
 
-    /// Refreshes every out-of-date session; returns `(id, result)` pairs
-    /// for the sessions that actually solved, in ascending id order.
+    /// [`Self::live_engine_mut`] at an explicit clock reading — used by
+    /// [`Self::refresh_all`], which is *one* manager operation no matter
+    /// how many sessions it refreshes (per-session ticks would inflate the
+    /// clock and let the trailing idle sweep evict sessions the pass
+    /// itself just refreshed).
+    fn live_engine_mut_at(&mut self, id: SessionId, now: u64) -> &mut RankingEngine {
+        let rehydrated = {
+            let slot = self.sessions.get_mut(&id).expect("unknown session id");
+            slot.last_touch = now;
+            match slot.state {
+                SessionState::Live(_) => false,
+                SessionState::Evicted(_) => {
+                    let SessionState::Evicted(log) =
+                        std::mem::replace(&mut slot.state, SessionState::CheckedOut)
+                    else {
+                        unreachable!()
+                    };
+                    let engine = RankingEngine::from_log(log, self.opts)
+                        .expect("rehydration from a previously valid log");
+                    slot.state = SessionState::Live(Box::new(engine));
+                    true
+                }
+                SessionState::CheckedOut => panic!("session {id} is checked out"),
+            }
+        };
+        if rehydrated {
+            self.stats.rehydrations += 1;
+        }
+        match self
+            .sessions
+            .get_mut(&id)
+            .expect("unknown session id")
+            .state
+        {
+            SessionState::Live(ref mut engine) => engine,
+            _ => unreachable!("slot was made live above"),
+        }
+    }
+
+    /// Moves a session's engine out of its slot (rehydrating first if
+    /// evicted), leaving the slot "checked out": no eviction, no second
+    /// checkout, no synchronous serving until [`Self::put_engine`].
+    /// Returns `None` for unknown or already-checked-out sessions.
+    pub fn take_engine(&mut self, id: SessionId) -> Option<RankingEngine> {
+        let opts = self.opts;
+        Some(match self.checkout(id)? {
+            Checkout::Live(engine) => *engine,
+            Checkout::Rehydrate(log) => {
+                RankingEngine::from_log(log, opts).expect("rehydration from a previously valid log")
+            }
+        })
+    }
+
+    /// The lock-friendly checkout: like [`Self::take_engine`] but hands an
+    /// evicted session's *log* back instead of rebuilding the engine, so a
+    /// concurrent server can do the `O(nnz)` rehydration **outside** its
+    /// global lock (build via [`RankingEngine::from_log`] with
+    /// [`Self::engine_opts`], then [`Self::put_engine`] as usual). The
+    /// rehydration is counted here — taking the log commits the caller to
+    /// the rebuild.
+    pub fn checkout(&mut self, id: SessionId) -> Option<Checkout> {
+        let now = self.tick();
+        let slot = self.sessions.get_mut(&id)?;
+        if matches!(slot.state, SessionState::CheckedOut) {
+            return None;
+        }
+        slot.last_touch = now;
+        match std::mem::replace(&mut slot.state, SessionState::CheckedOut) {
+            SessionState::Live(engine) => Some(Checkout::Live(engine)),
+            SessionState::Evicted(log) => {
+                self.stats.rehydrations += 1;
+                Some(Checkout::Rehydrate(log))
+            }
+            SessionState::CheckedOut => unreachable!("rejected above"),
+        }
+    }
+
+    /// The engine configuration every session uses (what a
+    /// [`Checkout::Rehydrate`] caller builds with).
+    pub fn engine_opts(&self) -> EngineOpts {
+        self.opts
+    }
+
+    /// Returns a checked-out engine to its slot. Returns `false` (and
+    /// drops the engine) when the session was closed in the meantime.
+    ///
+    /// # Panics
+    /// Panics if the slot is not checked out — pairing a `put` with a
+    /// missing `take` is a caller bug that would silently fork session
+    /// state.
+    pub fn put_engine(&mut self, id: SessionId, engine: RankingEngine) -> bool {
+        let now = self.tick();
+        match self.sessions.get_mut(&id) {
+            Some(slot) => {
+                assert!(
+                    matches!(slot.state, SessionState::CheckedOut),
+                    "put_engine without a matching take_engine for session {id}"
+                );
+                slot.state = SessionState::Live(Box::new(engine));
+                slot.last_touch = now;
+                self.run_idle_policy();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Applies the configured idle policy (no-op without a threshold).
+    /// Sweeps are strided — at most one `O(sessions)` scan per
+    /// `threshold / 8` ticks — so individual operations stay amortized
+    /// `O(1)` in fleet size, at the cost of sessions lingering up to 12.5%
+    /// past their idle expiry.
+    fn run_idle_policy(&mut self) {
+        let Some(threshold) = self.idle_threshold else {
+            return;
+        };
+        let stride = (threshold / 8).max(1);
+        if self.clock.saturating_sub(self.last_sweep) >= stride {
+            self.evict_idle();
+        }
+    }
+
+    /// Evicts every live session idle for at least the configured
+    /// threshold, tearing each down to its durable log; returns the
+    /// evicted ids. Checked-out sessions are skipped (they are in use by
+    /// definition). Explicit calls sweep immediately (no stride) and work
+    /// without a threshold configured (they evict nothing).
+    pub fn evict_idle(&mut self) -> Vec<SessionId> {
+        self.last_sweep = self.clock;
+        let Some(threshold) = self.idle_threshold else {
+            return Vec::new();
+        };
+        let now = self.clock;
+        let idle: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|(_, slot)| {
+                matches!(slot.state, SessionState::Live(_))
+                    && now.saturating_sub(slot.last_touch) >= threshold
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for &id in &idle {
+            self.evict_session(id);
+        }
+        idle
+    }
+
+    /// Tears one live session down to its durable log immediately;
+    /// `false` for unknown, already-evicted, or checked-out sessions.
+    pub fn evict_session(&mut self, id: SessionId) -> bool {
+        let Some(slot) = self.sessions.get_mut(&id) else {
+            return false;
+        };
+        if !matches!(slot.state, SessionState::Live(_)) {
+            return false;
+        }
+        let SessionState::Live(engine) =
+            std::mem::replace(&mut slot.state, SessionState::CheckedOut)
+        else {
+            unreachable!()
+        };
+        slot.state = SessionState::Evicted(engine.into_log());
+        self.stats.evictions += 1;
+        true
+    }
+
+    /// Refreshes every out-of-date live session; returns `(id, result)`
+    /// pairs for the sessions that actually solved, in ascending id order.
+    /// Evicted sessions are left cold (their next touch both rehydrates
+    /// and solves); checked-out sessions belong to their worker.
     ///
     /// Warm sessions take their own incremental path; cold sessions are
     /// batch-solved in parallel via [`rank_many`] (each gets its own
     /// `Result` — one degenerate roster never blocks the fleet) and seeded
     /// into their warm-start caches.
     pub fn refresh_all(&mut self) -> Vec<(SessionId, Result<Ranking, RankError>)> {
+        let now = self.tick();
         // Phase 1: advance kernel contexts and partition the fleet.
         let mut warm_ids: Vec<SessionId> = Vec::new();
         let mut cold_ids: Vec<SessionId> = Vec::new();
-        for (&id, engine) in self.sessions.iter_mut() {
+        for (&id, slot) in self.sessions.iter_mut() {
+            let SessionState::Live(ref mut engine) = slot.state else {
+                continue;
+            };
             if engine.is_current() {
                 continue;
             }
@@ -143,13 +479,17 @@ impl SessionManager {
             let solved: Vec<Result<Ranking, RankError>> = {
                 let matrices: Vec<&ResponseMatrix> = cold_ids
                     .iter()
-                    .map(|id| self.sessions[id].matrix())
+                    .map(|id| match self.sessions[id].state {
+                        SessionState::Live(ref engine) => engine.matrix(),
+                        _ => unreachable!("partitioned as live above"),
+                    })
                     .collect();
                 rank_many(self.solver.as_ranker(), &matrices)
             };
             for (id, result) in cold_ids.into_iter().zip(solved) {
                 if let Ok(ranking) = &result {
-                    self.engine_mut(id).seed_solution(ranking.clone());
+                    self.live_engine_mut_at(id, now)
+                        .seed_solution(ranking.clone());
                 }
                 results.push((id, result));
             }
@@ -158,11 +498,12 @@ impl SessionManager {
         // Phase 3: warm sessions ride their incremental path (a handful of
         // iterations each on an already-patched kernel context).
         for id in warm_ids {
-            let result = self.engine_mut(id).current_ranking();
+            let result = self.live_engine_mut_at(id, now).current_ranking();
             results.push((id, result));
         }
 
         results.sort_by_key(|(id, _)| *id);
+        self.run_idle_policy();
         results
     }
 }
@@ -257,5 +598,89 @@ mod tests {
         solo.submit_responses(sid, staircase_responses(8)).unwrap();
         let direct = solo.current_ranking(sid).unwrap();
         assert_eq!(batched.order_best_to_worst(), direct.order_best_to_worst());
+    }
+
+    #[test]
+    fn idle_sessions_evict_and_rehydrate_on_touch() {
+        let mut mgr = manager();
+        mgr.set_idle_threshold(Some(4));
+        let idle = mgr.create_session(5, 4, &[2; 4]).unwrap();
+        let busy = mgr.create_session(5, 4, &[2; 4]).unwrap();
+        mgr.submit_responses(idle, staircase_responses(5)).unwrap();
+        let before_eviction = mgr.current_ranking(idle).unwrap();
+
+        // Hammer the busy session; the idle one crosses the threshold.
+        for _ in 0..6 {
+            mgr.submit_responses(busy, [(0, 0, Some(1)), (0, 0, Some(0))])
+                .unwrap();
+        }
+        assert!(mgr.is_evicted(idle), "idle session must be torn down");
+        assert!(!mgr.is_evicted(busy), "touched session must stay live");
+        assert!(mgr.session(idle).is_none(), "no engine while evicted");
+        assert_eq!(mgr.stats().evictions, 1);
+
+        // The durable log is intact and the next touch rehydrates.
+        assert_eq!(
+            mgr.session_log(idle).unwrap().version(),
+            before_eviction.len() as u64 * 4
+        );
+        let after = mgr.current_ranking(idle).unwrap();
+        assert!(!mgr.is_evicted(idle));
+        assert_eq!(mgr.stats().rehydrations, 1);
+        assert_eq!(
+            before_eviction.order_best_to_worst(),
+            after.order_best_to_worst(),
+            "rehydrated ranking must match the pre-eviction one"
+        );
+    }
+
+    #[test]
+    fn refresh_all_is_one_tick_and_never_evicts_its_own_work() {
+        // Regression: refresh_all used to tick once per refreshed session,
+        // so with a small idle threshold its trailing sweep could evict
+        // the very sessions it had just refreshed (throwing away the warm
+        // state rank_many computed).
+        let mut mgr = manager();
+        let ids: Vec<SessionId> = (0..6)
+            .map(|_| {
+                let id = mgr.create_session(5, 4, &[2; 4]).unwrap();
+                mgr.submit_responses(id, staircase_responses(5)).unwrap();
+                id
+            })
+            .collect();
+        // Arm the policy only now: setup ops must not pre-evict the fleet.
+        mgr.set_idle_threshold(Some(4));
+        let refreshed = mgr.refresh_all();
+        assert_eq!(refreshed.len(), 6);
+        for &id in &ids {
+            assert!(
+                !mgr.is_evicted(id),
+                "session {id} evicted by the refresh pass that warmed it"
+            );
+            assert!(mgr.session(id).unwrap().has_warm_state());
+        }
+        assert_eq!(mgr.stats().evictions, 0);
+    }
+
+    #[test]
+    fn checkout_blocks_eviction_and_serving() {
+        let mut mgr = manager();
+        mgr.set_idle_threshold(Some(1));
+        let id = mgr.create_session(4, 3, &[2; 3]).unwrap();
+        let mut engine = mgr.take_engine(id).unwrap();
+        assert!(mgr.take_engine(id).is_none(), "double checkout rejected");
+        assert!(mgr.session(id).is_none());
+        assert!(mgr.session_log(id).is_none());
+        assert!(!mgr.evict_session(id), "checked-out session never evicts");
+        assert!(mgr.evict_idle().is_empty());
+
+        engine.submit_responses(staircase_responses(4)).unwrap();
+        assert!(mgr.put_engine(id, engine));
+        assert_eq!(mgr.session(id).unwrap().version(), 12);
+
+        // Check-in onto a closed session drops the engine quietly.
+        let engine = mgr.take_engine(id).unwrap();
+        assert!(mgr.drop_session(id));
+        assert!(!mgr.put_engine(id, engine));
     }
 }

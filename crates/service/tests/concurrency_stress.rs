@@ -1,0 +1,190 @@
+//! Deterministic concurrency stress: seeded client schedules driving real
+//! threads against a [`SessionServer`] with ≥ 4 workers.
+//!
+//! The offline registry rules out `loom`-style exhaustive interleaving
+//! exploration, so the harness takes the complementary approach: the *ops*
+//! are seeded (every client thread derives its schedule from the test
+//! seed), the *interleaving* is whatever the OS scheduler produces, and
+//! every assertion is interleaving-independent:
+//!
+//! * versions returned to one client for one session never go backwards
+//!   (per-session FIFO + single-writer),
+//! * `catch_up` always succeeds (history is never truncated here),
+//! * after the storm, every session's final ranking matches a **serial
+//!   replay of its own log** — the log records whatever interleaving
+//!   actually happened, so a fresh engine fed that log is the ground
+//!   truth for what the server should be serving.
+//!
+//! Three distinct seeds run as three tests (the acceptance criterion).
+
+use hnd_service::{
+    EngineOpts, RankingEngine, ServerOpts, SessionId, SessionServer, SolverKind, SolverOpts,
+};
+use std::collections::HashMap;
+
+const WORKERS: usize = 4;
+const CLIENTS: usize = 4;
+const SESSIONS: usize = 6;
+const USERS: usize = 30;
+const ITEMS: usize = 12;
+const OPS_PER_CLIENT: usize = 120;
+
+/// Deterministic LCG stream: the seeded schedule generator.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn opts() -> EngineOpts {
+    EngineOpts {
+        solver: SolverKind::Power,
+        solver_opts: SolverOpts {
+            orient: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// A seeded ability-structured answer: strong signal (probability of the
+/// "correct" option rises steeply with user index) keeps every session's
+/// spectral gap healthy, so replay comparisons are far from ties.
+fn seeded_answer(rng: &mut Lcg, user: usize, item: usize, k: u16) -> u16 {
+    let correct = (item % k as usize) as u16;
+    let ability = user as f64 / USERS as f64;
+    if (rng.below(1000) as f64) / 1000.0 < 0.15 + 0.75 * ability {
+        correct
+    } else {
+        (correct + 1 + rng.below(k as u64 - 1) as u16) % k
+    }
+}
+
+/// Sign-invariant distance between normalized score vectors.
+fn score_distance(a: &[f64], b: &[f64]) -> f64 {
+    let norm = |v: &[f64]| {
+        let n = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+        v.iter().map(|x| x / n).collect::<Vec<f64>>()
+    };
+    let (a, b) = (norm(a), norm(b));
+    let direct: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum::<f64>();
+    let flipped: f64 = a.iter().zip(&b).map(|(x, y)| (x + y).powi(2)).sum::<f64>();
+    direct.min(flipped).sqrt()
+}
+
+fn run_storm(seed: u64) {
+    let srv = SessionServer::new(ServerOpts {
+        workers: WORKERS,
+        idle_threshold: Some(40),
+        engine: opts(),
+    });
+    assert_eq!(srv.workers(), WORKERS);
+
+    // Heterogeneous rosters: sessions alternate between 2- and 3-option
+    // quizzes.
+    let ids: Vec<SessionId> = (0..SESSIONS)
+        .map(|s| {
+            let k = 2 + (s % 2) as u16;
+            srv.create_session(USERS, ITEMS, &[k; ITEMS]).unwrap()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let srv = &srv;
+            let ids = &ids;
+            scope.spawn(move || {
+                let mut rng = Lcg(seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(client as u64 + 1)));
+                // version returned by my latest submit, per session.
+                let mut last_version: HashMap<SessionId, u64> = HashMap::new();
+                for _ in 0..OPS_PER_CLIENT {
+                    let idx = rng.below(SESSIONS as u64) as usize;
+                    let sid = ids[idx];
+                    let k = 2 + (idx % 2) as u16;
+                    match rng.below(100) {
+                        // 60%: submit a small seeded batch.
+                        0..=59 => {
+                            let batch: Vec<(usize, usize, Option<u16>)> = (0..1 + rng.below(4))
+                                .map(|_| {
+                                    let u = rng.below(USERS as u64) as usize;
+                                    let i = rng.below(ITEMS as u64) as usize;
+                                    (u, i, Some(seeded_answer(&mut rng, u, i, k)))
+                                })
+                                .collect();
+                            let version = srv.submit(sid, batch).wait().unwrap();
+                            let prev = last_version.insert(sid, version).unwrap_or(0);
+                            assert!(
+                                version >= prev,
+                                "seed {seed:#x}: session {sid} went backwards: {prev} → {version}"
+                            );
+                        }
+                        // 25%: read the ranking.
+                        60..=84 => {
+                            let ranking = srv.ranking(sid).wait().unwrap();
+                            assert_eq!(ranking.len(), USERS);
+                            assert!(ranking.scores.iter().all(|s| s.is_finite()));
+                        }
+                        // 10%: compacted catch-up from my last known version.
+                        85..=94 => {
+                            let from = last_version.get(&sid).copied().unwrap_or(0);
+                            let delta = srv.catch_up(sid, from).wait().unwrap();
+                            assert!(delta.from_version == from && delta.to_version >= from);
+                        }
+                        // 5%: force an eviction sweep mid-storm.
+                        _ => {
+                            srv.evict_idle();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // The storm is over; the fleet state is frozen. Serial replay oracle:
+    // a fresh engine over each session's own log must agree with what the
+    // server serves.
+    for &sid in &ids {
+        let served = srv.ranking(sid).wait().unwrap();
+        let log = srv.session_log(sid).wait().unwrap();
+        let replayed = RankingEngine::from_log(log, opts())
+            .unwrap()
+            .current_ranking()
+            .unwrap();
+        assert_eq!(served.len(), replayed.len());
+        let dist = score_distance(&served.scores, &replayed.scores);
+        assert!(
+            dist < 1e-2,
+            "seed {seed:#x}: session {sid} diverged from serial replay (distance {dist:.2e})"
+        );
+    }
+    let stats = srv.manager_stats();
+    assert_eq!(
+        stats.evictions, stats.rehydrations,
+        "every evicted session was touched again by the final sweep above"
+    );
+}
+
+#[test]
+fn storm_seed_1() {
+    run_storm(0xA11CE);
+}
+
+#[test]
+fn storm_seed_2() {
+    run_storm(0xB0B5EED);
+}
+
+#[test]
+fn storm_seed_3() {
+    run_storm(0x5EED_2024);
+}

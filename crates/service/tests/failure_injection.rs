@@ -1,0 +1,233 @@
+//! Service-layer failure injection: malformed client input, capacity
+//! exhaustion, and lifecycle edges must degrade *gracefully* — errors for
+//! the offending request, correct service for everyone else, and never a
+//! panic or a silently wrong ranking.
+
+use hnd_service::{
+    EngineOpts, RankingEngine, ResponseError, ServerError, ServerOpts, SessionManager,
+    SessionServer, SolverKind, SolverOpts,
+};
+
+fn opts() -> EngineOpts {
+    EngineOpts {
+        solver: SolverKind::Power,
+        solver_opts: SolverOpts {
+            orient: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// An ability staircase with a couple of dissenting answers — a
+/// well-conditioned instance whose ranking is stable under small edits.
+fn staircase(m: usize, n: usize) -> Vec<(usize, usize, Option<u16>)> {
+    (0..m)
+        .flat_map(|j| (0..n).map(move |i| (j, i, Some(u16::from(j * n > i * m)))))
+        .collect()
+}
+
+/// Orders agree up to the C1P reversal symmetry.
+fn orders_agree(a: &[usize], b: &[usize]) -> bool {
+    let rev: Vec<usize> = b.iter().rev().copied().collect();
+    a == b || a == rev
+}
+
+#[test]
+fn out_of_bounds_submit_mid_stream_keeps_previous_version_serving() {
+    let mut engine = RankingEngine::new(8, 6, &[2; 6], opts()).unwrap();
+    engine.submit_responses(staircase(8, 6)).unwrap();
+    engine.current_ranking().unwrap();
+
+    // A malformed batch: one valid edit, then an out-of-roster user. The
+    // valid prefix commits (documented non-atomicity), the bad tuple is
+    // rejected, and nothing panics.
+    let before_version = engine.version();
+    let err = engine
+        .submit_responses([(0, 0, Some(1)), (99, 0, Some(0)), (1, 1, Some(1))])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ResponseError::IndexOutOfBounds { user: 99, .. }
+    ));
+    assert_eq!(engine.version(), before_version + 1, "prefix committed");
+
+    // The engine serves exactly the state an engine fed only the committed
+    // prefix would serve — bitwise: the replica replays the identical
+    // schedule (bulk, solve, prefix, solve), so both take the same
+    // delta+warm path from the same cached state.
+    let served = engine.current_ranking().unwrap();
+    let mut replica = RankingEngine::new(8, 6, &[2; 6], opts()).unwrap();
+    replica.submit_responses(staircase(8, 6)).unwrap();
+    replica.current_ranking().unwrap();
+    replica.submit_responses([(0, 0, Some(1))]).unwrap();
+    assert_eq!(served.scores, replica.current_ranking().unwrap().scores);
+
+    // Out-of-range options are caught by the log the same way.
+    let err = engine
+        .submit_responses([(2, 2, Some(7)), (3, 3, Some(0))])
+        .unwrap_err();
+    assert!(matches!(err, ResponseError::OptionOutOfRange { .. }));
+
+    // …and the stream continues: later valid batches serve normally.
+    engine.submit_responses([(3, 3, Some(1))]).unwrap();
+    assert_eq!(engine.current_ranking().unwrap().len(), 8);
+}
+
+#[test]
+fn out_of_bounds_submit_through_the_server_poisons_nothing() {
+    let srv = SessionServer::new(ServerOpts {
+        workers: 2,
+        engine: opts(),
+        ..Default::default()
+    });
+    let healthy = srv.create_session(6, 5, &[2; 5]).unwrap();
+    let faulty = srv.create_session(6, 5, &[2; 5]).unwrap();
+    srv.submit(healthy, staircase(6, 5)).wait().unwrap();
+    srv.submit(faulty, staircase(6, 5)).wait().unwrap();
+
+    let err = srv
+        .submit(faulty, vec![(100, 0, Some(0))])
+        .wait()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ServerError::Response(ResponseError::IndexOutOfBounds { user: 100, .. })
+    ));
+
+    // The faulty session still serves, the healthy one never noticed, and
+    // the worker that processed the bad batch is alive for both.
+    assert_eq!(srv.ranking(faulty).wait().unwrap().len(), 6);
+    assert_eq!(srv.ranking(healthy).wait().unwrap().len(), 6);
+}
+
+#[test]
+fn slack_exhaustion_surfaces_as_rebuild_stats_not_errors() {
+    let srv = SessionServer::new(ServerOpts {
+        workers: 2,
+        engine: EngineOpts {
+            row_slack: 0,
+            col_slack: 0,
+            ..opts()
+        },
+        ..Default::default()
+    });
+    let id = srv.create_session(8, 6, &[2; 6]).unwrap();
+    srv.submit(id, staircase(8, 6)).wait().unwrap();
+    srv.ranking(id).wait().unwrap();
+    let baseline = srv.stats(id).wait().unwrap();
+
+    // Zero slack: every new answer overflows its row/column span. The
+    // client sees successful rankings; the overflow shows up only as
+    // rebuild counters in EngineStats.
+    srv.submit(id, vec![(0, 5, Some(1))]).wait().unwrap();
+    let r1 = srv.ranking(id).wait().unwrap();
+    assert_eq!(r1.len(), 8);
+    let stats = srv.stats(id).wait().unwrap();
+    assert!(
+        stats.rebuilds > baseline.rebuilds,
+        "exhaustion must be observable: {stats:?} vs baseline {baseline:?}"
+    );
+
+    // A generously-slacked replica at the same state agrees on the order.
+    let mut replica = RankingEngine::new(8, 6, &[2; 6], opts()).unwrap();
+    replica.submit_responses(staircase(8, 6)).unwrap();
+    replica.submit_responses([(0, 5, Some(1))]).unwrap();
+    let expected = replica.current_ranking().unwrap();
+    assert!(orders_agree(
+        &r1.order_best_to_worst(),
+        &expected.order_best_to_worst()
+    ));
+}
+
+#[test]
+fn evicted_then_touched_session_matches_never_evicted_one() {
+    let mut fleet = SessionManager::new(opts());
+    fleet.set_idle_threshold(Some(6));
+    let victim = fleet.create_session(9, 7, &[2; 7]).unwrap();
+    let busy = fleet.create_session(9, 7, &[2; 7]).unwrap();
+    fleet.submit_responses(victim, staircase(9, 7)).unwrap();
+    fleet.submit_responses(busy, staircase(9, 7)).unwrap();
+    fleet.current_ranking(victim).unwrap();
+
+    // A control fleet with eviction disabled, fed the identical schedule.
+    let mut control = SessionManager::new(opts());
+    let c_victim = control.create_session(9, 7, &[2; 7]).unwrap();
+    let c_busy = control.create_session(9, 7, &[2; 7]).unwrap();
+    control.submit_responses(c_victim, staircase(9, 7)).unwrap();
+    control.submit_responses(c_busy, staircase(9, 7)).unwrap();
+    control.current_ranking(c_victim).unwrap();
+
+    // Busy traffic pushes the victim over the idle threshold.
+    for round in 0..8u16 {
+        let batch = [(0usize, 0usize, Some(round % 2))];
+        fleet.submit_responses(busy, batch).unwrap();
+        control.submit_responses(c_busy, batch).unwrap();
+    }
+    assert!(fleet.is_evicted(victim));
+    assert!(!control.is_evicted(c_victim));
+    assert_eq!(fleet.stats().evictions, 1);
+
+    // Touch = rehydration; the ranking must match the never-evicted twin.
+    let rehydrated = fleet.current_ranking(victim).unwrap();
+    assert_eq!(fleet.stats().rehydrations, 1);
+    let never_evicted = control.current_ranking(c_victim).unwrap();
+    assert!(
+        orders_agree(
+            &rehydrated.order_best_to_worst(),
+            &never_evicted.order_best_to_worst()
+        ),
+        "eviction must be invisible in served rankings"
+    );
+
+    // Stronger: the rehydrated solve is *bitwise* the solve of a fresh
+    // engine over the same durable log (the log is the complete state).
+    let fresh = RankingEngine::from_log(fleet.session_log(victim).unwrap(), opts())
+        .unwrap()
+        .current_ranking()
+        .unwrap();
+    assert_eq!(rehydrated.scores, fresh.scores);
+
+    // And the session is warm again afterwards: the next trickle (a real
+    // state change: (1, 0) holds Some(1) in this staircase) takes the
+    // delta+warm path, not another cold rebuild.
+    fleet.submit_responses(victim, [(1, 0, Some(0))]).unwrap();
+    fleet.current_ranking(victim).unwrap();
+    let stats = fleet.session(victim).unwrap().stats();
+    assert!(stats.warm_solves >= 1, "rehydrated session warms back up");
+}
+
+#[test]
+fn eviction_under_server_load_is_invisible_to_clients() {
+    let srv = SessionServer::new(ServerOpts {
+        workers: 3,
+        idle_threshold: Some(4),
+        engine: opts(),
+    });
+    let quiet = srv.create_session(7, 5, &[2; 5]).unwrap();
+    let loud = srv.create_session(7, 5, &[2; 5]).unwrap();
+    srv.submit(quiet, staircase(7, 5)).wait().unwrap();
+    let before = srv.ranking(quiet).wait().unwrap();
+    srv.submit(loud, staircase(7, 5)).wait().unwrap();
+
+    // Hammer the loud session until the quiet one has been evicted.
+    for round in 0..50u16 {
+        srv.submit(loud, vec![(0, 0, Some(round % 2))])
+            .wait()
+            .unwrap();
+        srv.ranking(loud).wait().unwrap();
+        if srv.is_evicted(quiet) {
+            break;
+        }
+    }
+    assert!(srv.is_evicted(quiet), "idle session must evict under load");
+
+    // The evicted session answers the very next read, identically.
+    let after = srv.ranking(quiet).wait().unwrap();
+    assert!(!srv.is_evicted(quiet));
+    assert!(srv.manager_stats().rehydrations >= 1);
+    assert!(orders_agree(
+        &before.order_best_to_worst(),
+        &after.order_best_to_worst()
+    ));
+}

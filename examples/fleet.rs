@@ -1,0 +1,194 @@
+//! A serving fleet: many concurrent classrooms behind one `SessionServer`.
+//!
+//! Spawns a worker-pool server, bulk-loads a fleet of sessions, then
+//! drives concurrent client threads submitting answer waves and reading
+//! rankings — the multi-session serving shape (many cohorts in flight at
+//! once, each session strictly single-writer). Along the way it
+//! demonstrates the two durability features of the serving layer:
+//!
+//! * **idle eviction + rehydration** — half the fleet goes quiet, gets
+//!   torn down to its durable logs, and transparently comes back on the
+//!   next read with the same rankings;
+//! * **compacted catch-up** — a client that cached an old version resyncs
+//!   to head with one `apply_delta` of `compact_range`'s output.
+//!
+//! Run with: `cargo run --release --example fleet`
+//! (set `HND_THREADS` to size the worker pool).
+
+use hitsndiffs::service::{
+    EngineOpts, ServerOpts, SessionId, SessionServer, SolverKind, SolverOpts,
+};
+use std::time::Instant;
+
+/// Deterministic pseudo-random stream (no RNG dependency needed).
+struct Stream {
+    state: u64,
+}
+
+impl Stream {
+    fn new(seed: u64) -> Self {
+        Stream { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state >> 11
+    }
+}
+
+const SESSIONS: usize = 12;
+const CLIENTS: usize = 4;
+const USERS: usize = 500;
+const ITEMS: usize = 50;
+const K: u16 = 3;
+const WAVES_PER_CLIENT: usize = 30;
+const WAVE_EDITS: usize = 24;
+
+fn seeded_wave(rng: &mut Stream, session: usize) -> Vec<(usize, usize, Option<u16>)> {
+    (0..WAVE_EDITS)
+        .map(|_| {
+            let u = (rng.next() as usize) % USERS;
+            let i = (rng.next() as usize) % ITEMS;
+            let correct = (i as u16 + session as u16) % K;
+            let ability = u as f64 / USERS as f64;
+            let choice = if (rng.next() % 1000) as f64 / 1000.0 < 0.2 + 0.7 * ability {
+                correct
+            } else {
+                (correct + 1 + (rng.next() % (K as u64 - 1)) as u16) % K
+            };
+            (u, i, Some(choice))
+        })
+        .collect()
+}
+
+fn main() {
+    let srv = SessionServer::new(ServerOpts {
+        workers: 0, // HND_THREADS convention: one worker per effective thread
+        idle_threshold: Some(200),
+        engine: EngineOpts {
+            solver: SolverKind::Power,
+            solver_opts: SolverOpts {
+                orient: false,
+                ..Default::default()
+            },
+            row_slack: 64,
+            col_slack: 1024,
+            ..Default::default()
+        },
+    });
+    println!(
+        "fleet: {SESSIONS} sessions × {USERS} users × {ITEMS} items, \
+         {} workers, {CLIENTS} client threads",
+        srv.workers()
+    );
+
+    // Bulk-load and warm the fleet.
+    let t = Instant::now();
+    let ids: Vec<SessionId> = (0..SESSIONS)
+        .map(|s| {
+            let id = srv.create_session(USERS, ITEMS, &[K; ITEMS]).unwrap();
+            let mut rng = Stream::new(0xF1EE7 + s as u64);
+            let mut bulk = Vec::new();
+            for _ in 0..USERS * ITEMS / (2 * WAVE_EDITS) {
+                bulk.extend(seeded_wave(&mut rng, s));
+            }
+            srv.submit(id, bulk).wait().unwrap();
+            id
+        })
+        .collect();
+    let warmups: Vec<_> = ids.iter().map(|&id| srv.ranking(id)).collect();
+    for reply in warmups {
+        reply.wait().unwrap();
+    }
+    println!(
+        "bulk load + first solves: {:.1} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    // A reconnecting client will want to catch up later: cache a snapshot
+    // of session 0 now.
+    let cached = srv.session_log(ids[0]).wait().unwrap();
+
+    // Concurrent storm: each client thread hammers its share of the fleet
+    // (submit wave → read ranking), all sessions in flight at once.
+    let t = Instant::now();
+    let served: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let srv = &srv;
+                let ids = &ids;
+                scope.spawn(move || {
+                    let mut rng = Stream::new(0xC11E47 + c as u64);
+                    let mut served = 0usize;
+                    for wave in 0..WAVES_PER_CLIENT {
+                        // Each client only touches the active half of the
+                        // fleet, so the quiet half idles toward eviction.
+                        let active = ids.len() / 2;
+                        let s = (c + wave) % active;
+                        let batch = seeded_wave(&mut rng, s);
+                        srv.submit(ids[s], batch).wait().unwrap();
+                        let ranking = srv.ranking(ids[s]).wait().unwrap();
+                        assert_eq!(ranking.len(), USERS);
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let storm = t.elapsed().as_secs_f64();
+    println!(
+        "storm: {served} submit+rank round-trips in {:.1} ms ({:.0} rounds/s)",
+        storm * 1e3,
+        served as f64 / storm
+    );
+
+    // The quiet half of the fleet crossed the idle threshold.
+    srv.evict_idle();
+    let evicted: Vec<SessionId> = ids
+        .iter()
+        .copied()
+        .filter(|&id| srv.is_evicted(id))
+        .collect();
+    println!(
+        "idle policy: {} of {SESSIONS} sessions evicted to their durable logs",
+        evicted.len()
+    );
+
+    // Touching an evicted session rehydrates it transparently.
+    if let Some(&id) = evicted.first() {
+        let t = Instant::now();
+        let ranking = srv.ranking(id).wait().unwrap();
+        println!(
+            "rehydration: evicted session {id} served {} scores in {:.1} ms",
+            ranking.len(),
+            t.elapsed().as_secs_f64() * 1e3
+        );
+        assert!(!srv.is_evicted(id));
+    }
+
+    // The stale client catches up with one compacted delta.
+    let head_log = srv.session_log(ids[0]).wait().unwrap();
+    let delta = srv.catch_up(ids[0], cached.version()).wait().unwrap();
+    let mut client_matrix = cached.to_matrix();
+    client_matrix.apply_delta(&delta).unwrap();
+    assert_eq!(client_matrix, head_log.to_matrix());
+    println!(
+        "catch-up: version {} → {} in one {}-edit compacted delta \
+         (raw range spans {} commits)",
+        delta.from_version,
+        delta.to_version,
+        delta.len(),
+        delta.to_version - delta.from_version
+    );
+
+    let stats = srv.manager_stats();
+    println!(
+        "fleet stats: {} evictions, {} rehydrations",
+        stats.evictions, stats.rehydrations
+    );
+}
