@@ -1,0 +1,150 @@
+//! Sharded-execution benchmark: the `hnd-shard` subsystem against the
+//! single-shard engine it decomposes.
+//!
+//! Two shapes:
+//!
+//! * **Kernel sweep** — one `Udiff` application per shard count on the
+//!   same matrix. The `engine_unsharded` row is the current
+//!   (`ResponseOps`) engine; `shards_1` is the sharded machinery pinned to
+//!   one shard — by construction the same loops, so it doubles as the
+//!   no-regression guard; larger counts show shard-parallel scaling on
+//!   multi-core machines (single-core containers collapse the rows, which
+//!   is itself the "no sharding overhead" check).
+//! * **Delta-wave steady state** — a serving engine absorbing 16-edit
+//!   waves (submit → delta patch → warm solve) with the sharded backend
+//!   forced on vs off: the end-to-end cost of sharding on the incremental
+//!   path, including per-shard delta routing.
+//!
+//! Set `HND_BENCH_QUICK=1` to restrict to the smallest size (CI smoke);
+//! set `BENCH_JSON=path.json` to emit machine-readable results; pass the
+//! group name (`cargo bench --bench sharding -- sharding`) to filter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnd_core::operators::UDiffOp;
+use hnd_core::SolverOpts;
+use hnd_linalg::op::LinearOp;
+use hnd_response::{ResponseLog, ResponseMatrix, ResponseOps};
+use hnd_service::{EngineOpts, RankingEngine};
+use hnd_shard::{ShardPlan, ShardedOps, ShardedUDiffOp};
+
+fn quick() -> bool {
+    std::env::var("HND_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Deterministic ability-structured matrix (cheap LCG, no IRT machinery:
+/// at m = 200k the generator itself must not dominate setup).
+fn synth_matrix(m: usize, n: usize, k: u16) -> ResponseMatrix {
+    let mut state = 0x5AADED_u64.wrapping_add(m as u64);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    let rows: Vec<Vec<Option<u16>>> = (0..m)
+        .map(|u| {
+            let ability = u as f64 / m as f64;
+            (0..n)
+                .map(|i| {
+                    let correct = (i % k as usize) as u16;
+                    if (next() % 1000) as f64 / 1000.0 < 0.2 + 0.7 * ability {
+                        Some(correct)
+                    } else {
+                        Some((correct + 1 + (next() % (k as u64 - 1)) as u16) % k)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+    ResponseMatrix::from_choices(n, &vec![k; n], &refs).unwrap()
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharding");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let k = 3u16;
+    let n = 100usize;
+    let sizes: &[usize] = if quick() { &[2000] } else { &[50_000, 200_000] };
+    let shard_counts: &[usize] = if quick() { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    for &m in sizes {
+        let matrix = synth_matrix(m, n, k);
+        let x = hnd_linalg::power::deterministic_start(m - 1);
+        let mut y = vec![0.0; m - 1];
+
+        // Baseline: the current single-shard engine.
+        let ops = ResponseOps::new(&matrix);
+        let engine = UDiffOp::new(&ops);
+        group.bench_with_input(BenchmarkId::new("engine_unsharded", m), &m, |b, _| {
+            b.iter(|| engine.apply(&x, &mut y));
+        });
+
+        // Shard-count sweep on the same matrix.
+        for &shards in shard_counts {
+            let sops = ShardedOps::with_shards(&matrix, shards, 0, 0);
+            let op = ShardedUDiffOp::new(&sops);
+            group.bench_with_input(
+                BenchmarkId::new(format!("shards_{shards}"), m),
+                &m,
+                |b, _| {
+                    b.iter(|| op.apply(&x, &mut y));
+                },
+            );
+        }
+
+        // Delta-wave steady state through the serving engine: 16-edit
+        // submit + ranking read per iteration, sharded backend off vs on.
+        for (label, plan) in [
+            ("wave_unsharded", None),
+            (
+                "wave_sharded4",
+                Some(ShardPlan {
+                    min_users: 0, // force activation at any size
+                    ..ShardPlan::exactly(4)
+                }),
+            ),
+        ] {
+            let opts = EngineOpts {
+                solver_opts: SolverOpts {
+                    orient: false,
+                    ..Default::default()
+                },
+                row_slack: 64,
+                col_slack: 1024,
+                shard_plan: plan,
+                ..Default::default()
+            };
+            let mut engine =
+                RankingEngine::from_log(ResponseLog::from_matrix(&matrix), opts).unwrap();
+            engine.current_ranking().expect("warmup solve");
+            assert_eq!(
+                engine.is_sharded(),
+                plan.is_some(),
+                "backend selection must follow the plan"
+            );
+            let mut round = 0u64;
+            group.bench_with_input(BenchmarkId::new(label, m), &m, |b, _| {
+                b.iter(|| {
+                    round += 1;
+                    let batch: Vec<(usize, usize, Option<u16>)> = (0..16u64)
+                        .map(|e| {
+                            let u = ((round * 31 + e * 17 + 1) % m as u64) as usize;
+                            let i = ((round * 13 + e * 7) % n as u64) as usize;
+                            let choice = ((round + e) % k as u64) as u16;
+                            (u, i, Some(choice))
+                        })
+                        .collect();
+                    engine.submit_responses(batch).expect("in roster");
+                    engine.current_ranking().expect("solves")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharding);
+criterion_main!(benches);

@@ -11,10 +11,20 @@
 //!   the paper's SciPy-based "ABH-direct";
 //! * [`AbhPower`] — the paper's novel Algorithm 2: power iteration on
 //!   `βI_{m−1} − M` with `M = S L T`, entirely matrix-free.
+//!
+//! Both sit behind the workspace-wide
+//! [`SpectralSolver`](hnd_core::SpectralSolver) trait with the shared
+//! [`SolverOpts`] — the same tolerance/budget/seed/orientation knobs as
+//! the HND family, so defaults cannot drift per struct (`tol` is the
+//! power-family L2 change for [`AbhPower`], the Krylov residual for
+//! [`AbhDirect`], exactly as for `HitsNDiffs` vs `HndDirect`). The only
+//! ABH-specific knob left is [`AbhPower::beta`], the spectral shift
+//! strategy of Algorithm 2.
 
+use hnd_core::{SolveOutcome, SolveState, SolverOpts, SpectralSolver};
 use hnd_linalg::op::LinearOp;
-use hnd_linalg::power::{power_iteration, PowerOptions};
-use hnd_linalg::{lanczos_extreme, vector, LanczosOptions, Which};
+use hnd_linalg::power::power_iteration;
+use hnd_linalg::{lanczos_extreme, vector, Which};
 use hnd_response::{
     orient_by_decile_entropy, AbilityRanker, KernelWorkspace, RankError, Ranking, ResponseMatrix,
     ResponseOps,
@@ -45,20 +55,18 @@ impl BetaStrategy {
 /// `ABH-power`: Algorithm 2 of the paper.
 #[derive(Debug, Clone)]
 pub struct AbhPower {
-    /// Power-iteration options (tolerance 1e-5 per the paper).
-    pub power: PowerOptions,
+    /// Shared solver options (`tol`/`max_iter` govern the power iteration,
+    /// paper tolerance 1e-5; `orient` applies Section III-D).
+    pub opts: SolverOpts,
     /// Shift strategy (default: the paper's max-degree rule).
     pub beta: BetaStrategy,
-    /// Apply decile-entropy symmetry breaking (Section III-D).
-    pub orient: bool,
 }
 
 impl Default for AbhPower {
     fn default() -> Self {
         AbhPower {
-            power: PowerOptions::default(),
+            opts: SolverOpts::default(),
             beta: BetaStrategy::MaxDegree,
-            orient: true,
         }
     }
 }
@@ -102,6 +110,14 @@ impl LinearOp for ShiftedMOp<'_> {
 }
 
 impl AbhPower {
+    /// Builds the solver with the given shared options.
+    pub fn with_opts(opts: SolverOpts) -> Self {
+        AbhPower {
+            opts,
+            ..Default::default()
+        }
+    }
+
     /// Returns the dominant eigenvector of `βI − M` (the user-difference
     /// vector) plus the iteration count — exposed for the stability study
     /// (Figure 6a) and the iteration-count analysis (Figure 14).
@@ -116,11 +132,24 @@ impl AbhPower {
             ));
         }
         let ops = ResponseOps::new(matrix);
+        self.diff_eigenvector_on(&ops, None)
+    }
+
+    /// The iteration core on a caller-prepared kernel context.
+    fn diff_eigenvector_on(
+        &self,
+        ops: &ResponseOps,
+        warm_start: Option<&[f64]>,
+    ) -> Result<(Vec<f64>, usize), RankError> {
+        let m = ops.n_users();
         let d = ops.cct_row_sums();
         let beta = self.beta.resolve(&d);
-        let op = ShiftedMOp::new(&ops, &d, beta);
-        let x0 = hnd_linalg::power::deterministic_start(m - 1);
-        let out = power_iteration(&op, &x0, &self.power);
+        let op = ShiftedMOp::new(ops, &d, beta);
+        let x0 = match warm_start {
+            Some(ws) => ws.to_vec(),
+            None => self.opts.start(m - 1),
+        };
+        let out = power_iteration(&op, &x0, &self.opts.power());
         Ok((out.vector, out.iterations))
     }
 }
@@ -131,39 +160,76 @@ impl AbilityRanker for AbhPower {
     }
 
     fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        self.solve(matrix).map(|out| out.ranking)
+    }
+}
+
+impl SpectralSolver for AbhPower {
+    fn opts(&self) -> &SolverOpts {
+        &self.opts
+    }
+
+    fn solve_prepared(
+        &self,
+        matrix: &ResponseMatrix,
+        ops: &ResponseOps,
+        state: Option<&SolveState>,
+    ) -> Result<SolveOutcome, RankError> {
         let m = matrix.n_users();
         if m == 1 {
-            return Ok(Ranking::from_scores(vec![0.0]));
+            return Ok(SolveOutcome {
+                ranking: Ranking::from_scores(vec![0.0]),
+                state: SolveState::from_scores(vec![0.0]),
+            });
         }
-        let (sdiff, iterations) = self.diff_eigenvector(matrix)?;
+        if m < 2 || ops.n_users() != m {
+            return Err(RankError::InvalidInput(format!(
+                "ABH-power: kernel context covers {} users, matrix has {m}",
+                ops.n_users()
+            )));
+        }
+        // Warm start: previous user scores → difference coordinates (the
+        // state representation is solver-agnostic; see SolveState).
+        let warm: Option<Vec<f64>> = state.and_then(|s| s.warm_diffs(m));
+        let (sdiff, iterations) = self.diff_eigenvector_on(ops, warm.as_deref())?;
         let mut scores = Vec::with_capacity(m);
         vector::cumsum_from_diffs(&sdiff, &mut scores);
+        let solve_state = SolveState::from_scores(scores.clone());
         let mut ranking = Ranking {
             scores,
             iterations,
             converged: true,
         };
-        if self.orient {
+        if self.opts.orient {
             orient_by_decile_entropy(matrix, &mut ranking);
         }
-        Ok(ranking)
+        Ok(SolveOutcome {
+            ranking,
+            state: solve_state,
+        })
+    }
+
+    fn as_ranker(&self) -> &(dyn AbilityRanker + Sync) {
+        self
     }
 }
 
 /// `ABH-direct`: Fiedler vector via Lanczos on the deflated Laplacian.
 #[derive(Debug, Clone)]
 pub struct AbhDirect {
-    /// Lanczos options.
-    pub lanczos: LanczosOptions,
-    /// Apply decile-entropy symmetry breaking.
-    pub orient: bool,
+    /// Shared solver options (`tol`/`max_subspace` govern the Lanczos
+    /// sweep; like the other Krylov solvers, the default residual
+    /// tolerance is the tighter 1e-8, not the power family's 1e-5).
+    pub opts: SolverOpts,
 }
 
 impl Default for AbhDirect {
     fn default() -> Self {
         AbhDirect {
-            lanczos: LanczosOptions::default(),
-            orient: true,
+            opts: SolverOpts {
+                tol: 1e-8,
+                ..Default::default()
+            },
         }
     }
 }
@@ -196,6 +262,11 @@ impl LinearOp for LaplacianOp<'_> {
 }
 
 impl AbhDirect {
+    /// Builds the solver with the given shared options.
+    pub fn with_opts(opts: SolverOpts) -> Self {
+        AbhDirect { opts }
+    }
+
     /// Computes the Fiedler vector of `L = D − CCᵀ`.
     pub fn fiedler_vector(&self, matrix: &ResponseMatrix) -> Result<(Vec<f64>, usize), RankError> {
         let m = matrix.n_users();
@@ -205,8 +276,18 @@ impl AbhDirect {
             ));
         }
         let ops = ResponseOps::new(matrix);
+        self.fiedler_vector_on(&ops, None)
+    }
+
+    /// The Lanczos core on a caller-prepared kernel context.
+    fn fiedler_vector_on(
+        &self,
+        ops: &ResponseOps,
+        warm_start: Option<&[f64]>,
+    ) -> Result<(Vec<f64>, usize), RankError> {
+        let m = ops.n_users();
         let d = ops.cct_row_sums();
-        let lap = LaplacianOp::new(&ops, &d);
+        let lap = LaplacianOp::new(ops, &d);
         // Work on the spectrally shifted βI − L with the all-ones kernel of
         // L deflated: on e⊥ its largest eigenpair is (β − λ₂, Fiedler),
         // while the deflated kernel direction sits at 0 — far from the top,
@@ -217,12 +298,15 @@ impl AbhDirect {
         let shifted = hnd_linalg::ShiftedOp::new(&lap, beta);
         let ones = vec![1.0; m];
         let deflated = hnd_linalg::DeflatedOp::new(&shifted, vec![ones]);
-        let mut x0 = hnd_linalg::power::deterministic_start(m);
+        let mut x0 = match warm_start {
+            Some(ws) => ws.to_vec(),
+            None => self.opts.start(m),
+        };
         let mean = vector::mean(&x0);
         for v in &mut x0 {
             *v -= mean;
         }
-        let pairs = lanczos_extreme(&deflated, 1, Which::Largest, &x0, &self.lanczos)
+        let pairs = lanczos_extreme(&deflated, 1, Which::Largest, &x0, &self.opts.lanczos())
             .map_err(|e| RankError::Numerical(e.to_string()))?;
         let pair = pairs.into_iter().next().expect("k=1 requested");
         Ok((pair.vector, 0))
@@ -235,20 +319,55 @@ impl AbilityRanker for AbhDirect {
     }
 
     fn rank(&self, matrix: &ResponseMatrix) -> Result<Ranking, RankError> {
+        self.solve(matrix).map(|out| out.ranking)
+    }
+}
+
+impl SpectralSolver for AbhDirect {
+    fn opts(&self) -> &SolverOpts {
+        &self.opts
+    }
+
+    fn solve_prepared(
+        &self,
+        matrix: &ResponseMatrix,
+        ops: &ResponseOps,
+        state: Option<&SolveState>,
+    ) -> Result<SolveOutcome, RankError> {
         let m = matrix.n_users();
         if m == 1 {
-            return Ok(Ranking::from_scores(vec![0.0]));
+            return Ok(SolveOutcome {
+                ranking: Ranking::from_scores(vec![0.0]),
+                state: SolveState::from_scores(vec![0.0]),
+            });
         }
-        let (fiedler, _) = self.fiedler_vector(matrix)?;
+        if m < 2 || ops.n_users() != m {
+            return Err(RankError::InvalidInput(format!(
+                "ABH-direct: kernel context covers {} users, matrix has {m}",
+                ops.n_users()
+            )));
+        }
+        // A previous score vector (centered inside the core) is a valid —
+        // and near-converged — Lanczos starting vector.
+        let warm = state.and_then(|s| s.warm_scores(m));
+        let (fiedler, iterations) = self.fiedler_vector_on(ops, warm)?;
+        let solve_state = SolveState::from_scores(fiedler.clone());
         let mut ranking = Ranking {
             scores: fiedler,
-            iterations: 0,
+            iterations,
             converged: true,
         };
-        if self.orient {
+        if self.opts.orient {
             orient_by_decile_entropy(matrix, &mut ranking);
         }
-        Ok(ranking)
+        Ok(SolveOutcome {
+            ranking,
+            state: solve_state,
+        })
+    }
+
+    fn as_ranker(&self) -> &(dyn AbilityRanker + Sync) {
+        self
     }
 }
 
@@ -256,6 +375,13 @@ impl AbilityRanker for AbhDirect {
 mod tests {
     use super::*;
     use crate::checks::is_p_matrix;
+
+    fn unoriented() -> SolverOpts {
+        SolverOpts {
+            orient: false,
+            ..Default::default()
+        }
+    }
 
     /// The all-cuts staircase: `m` users, `m−1` binary items; item `i`
     /// splits users at position `i` (users `0..=i` pick option 0, the rest
@@ -289,10 +415,7 @@ mod tests {
         // Shuffle users, then expect recovery up to reversal.
         let perm: Vec<usize> = vec![5, 2, 9, 0, 11, 3, 7, 1, 10, 4, 8, 6];
         let shuffled = r.permute_users(&perm);
-        let ranker = AbhPower {
-            orient: false,
-            ..Default::default()
-        };
+        let ranker = AbhPower::with_opts(unoriented());
         let ranking = ranker.rank(&shuffled).unwrap();
         let order = ranking.order_best_to_worst();
         // order[i] = index in `shuffled`; map back to original user ids.
@@ -308,10 +431,10 @@ mod tests {
         let r = staircase(12);
         let perm: Vec<usize> = vec![5, 2, 9, 0, 11, 3, 7, 1, 10, 4, 8, 6];
         let shuffled = r.permute_users(&perm);
-        let ranker = AbhDirect {
+        let ranker = AbhDirect::with_opts(SolverOpts {
             orient: false,
-            ..Default::default()
-        };
+            ..AbhDirect::default().opts
+        });
         let ranking = ranker.rank(&shuffled).unwrap();
         let recovered: Vec<usize> = ranking
             .order_best_to_worst()
@@ -327,18 +450,8 @@ mod tests {
     #[test]
     fn power_and_direct_agree_on_ordering() {
         let r = staircase(16);
-        let p = AbhPower {
-            orient: true,
-            ..Default::default()
-        }
-        .rank(&r)
-        .unwrap();
-        let d = AbhDirect {
-            orient: true,
-            ..Default::default()
-        }
-        .rank(&r)
-        .unwrap();
+        let p = AbhPower::default().rank(&r).unwrap();
+        let d = AbhDirect::default().rank(&r).unwrap();
         let po = p.order_best_to_worst();
         let dor = d.order_best_to_worst();
         let rev: Vec<usize> = dor.iter().rev().copied().collect();
@@ -358,13 +471,11 @@ mod tests {
         let r = staircase(30);
         let base = AbhPower {
             beta: BetaStrategy::MaxDegree,
-            orient: false,
-            ..Default::default()
+            opts: unoriented(),
         };
         let big = AbhPower {
             beta: BetaStrategy::Coefficient(8.0),
-            orient: false,
-            ..Default::default()
+            opts: unoriented(),
         };
         let (_, it_base) = base.diff_eigenvector(&r).unwrap();
         let (_, it_big) = big.diff_eigenvector(&r).unwrap();
@@ -379,6 +490,48 @@ mod tests {
         let r = ResponseMatrix::from_choices(1, &[2], &[&[Some(0)]]).unwrap();
         let ranking = AbhPower::default().rank(&r).unwrap();
         assert_eq!(ranking.scores.len(), 1);
+        let ranking = AbhDirect::default().rank(&r).unwrap();
+        assert_eq!(ranking.scores.len(), 1);
+    }
+
+    #[test]
+    fn spectral_solver_trait_paths_agree_with_rank() {
+        // The trait fold must not change behaviour: solve() == rank(), and
+        // the prepared/warm paths stay consistent.
+        let r = staircase(14);
+        for solver in [
+            Box::new(AbhPower::with_opts(unoriented())) as Box<dyn SpectralSolver>,
+            Box::new(AbhDirect::with_opts(SolverOpts {
+                orient: false,
+                ..AbhDirect::default().opts
+            })),
+        ] {
+            let cold = solver.solve(&r).unwrap();
+            let direct = solver.as_ranker().rank(&r).unwrap();
+            assert_eq!(cold.ranking.scores, direct.scores);
+            assert_eq!(cold.state.n_users(), 14);
+            // Warm restart from the converged state must not diverge.
+            let warm = solver.solve_warm(&r, &cold.state).unwrap();
+            let co = cold.ranking.order_best_to_worst();
+            let wo = warm.ranking.order_best_to_worst();
+            let rev: Vec<usize> = co.iter().rev().copied().collect();
+            assert!(wo == co || wo == rev);
+            assert!(warm.ranking.iterations <= cold.ranking.iterations);
+        }
+    }
+
+    #[test]
+    fn warm_start_cuts_abh_power_iterations() {
+        let r = staircase(24);
+        let solver = AbhPower::with_opts(unoriented());
+        let cold = solver.solve(&r).unwrap();
+        let warm = solver.solve_warm(&r, &cold.state).unwrap();
+        assert!(
+            warm.ranking.iterations < cold.ranking.iterations,
+            "warm {} vs cold {}",
+            warm.ranking.iterations,
+            cold.ranking.iterations
+        );
     }
 }
 

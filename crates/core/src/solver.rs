@@ -137,8 +137,11 @@ impl SolveState {
         Some(d)
     }
 
-    /// Warm difference vector for an `m`-user solve, if compatible.
-    pub(crate) fn warm_diffs(&self, m: usize) -> Option<Vec<f64>> {
+    /// Warm difference vector for an `m`-user solve, if compatible
+    /// (`None` when the roster changed — callers fall back to a cold
+    /// start). Public so out-of-crate solve paths (the sharded engine,
+    /// ABH) share one definition of warm-start compatibility.
+    pub fn warm_diffs(&self, m: usize) -> Option<Vec<f64>> {
         if self.scores.len() != m {
             return None; // roster changed: cold start
         }
@@ -146,7 +149,7 @@ impl SolveState {
     }
 
     /// Warm score-space start for an `m`-user solve, if compatible.
-    pub(crate) fn warm_scores(&self, m: usize) -> Option<&[f64]> {
+    pub fn warm_scores(&self, m: usize) -> Option<&[f64]> {
         (self.scores.len() == m).then_some(self.scores.as_slice())
     }
 

@@ -107,6 +107,45 @@ pub fn par_fill<T: Send>(out: &mut [T], f: impl Fn(usize, &mut [T]) + Sync) {
     });
 }
 
+/// Resolves a requested worker count under the `HND_THREADS` convention:
+/// `0` means "one worker per effective kernel thread" ([`threads`]), any
+/// other value is taken as-is (clamped to at least 1). This is the single
+/// resolution point for every pool-sizing knob in the workspace
+/// (`ServerOpts::workers`, bench sweeps, examples) so the convention cannot
+/// drift between copies.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 { threads() } else { requested }.max(1)
+}
+
+/// Runs `f(index, &mut items[index])` for every item, in parallel when
+/// worthwhile: the work-item analogue of [`par_map`] for *mutable* tasks
+/// that own their outputs (e.g. matrix shards writing into private
+/// buffers). Items are processed in contiguous chunks on scoped threads;
+/// with one effective thread this is a plain serial loop. Like [`par_map`],
+/// any slice with 2+ items parallelizes — per-item work is assumed
+/// expensive (an `O(nnz/shards)` kernel pass, not an element write).
+pub fn par_for_each_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (k, chunk) in items.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            let offset = k * chunk_len;
+            scope.spawn(move || {
+                for (j, item) in chunk.iter_mut().enumerate() {
+                    f(offset + j, item);
+                }
+            });
+        }
+    });
+}
+
 /// Order-preserving parallel map: `out[i] = f(&items[i])`.
 ///
 /// Items are processed in contiguous chunks on scoped threads; with one
@@ -178,6 +217,27 @@ mod tests {
         let result = std::panic::catch_unwind(|| with_threads(5, || panic!("boom")));
         assert!(result.is_err());
         assert_eq!(threads(), outer);
+    }
+
+    #[test]
+    fn par_for_each_mut_matches_serial() {
+        let mut serial: Vec<u64> = (0..100).collect();
+        with_threads(1, || {
+            par_for_each_mut(&mut serial, |i, x| *x = *x * 3 + i as u64);
+        });
+        let mut parallel: Vec<u64> = (0..100).collect();
+        with_threads(4, || {
+            par_for_each_mut(&mut parallel, |i, x| *x = *x * 3 + i as u64);
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn resolve_workers_follows_the_convention() {
+        assert_eq!(resolve_workers(3), 3);
+        assert_eq!(resolve_workers(1), 1);
+        with_threads(6, || assert_eq!(resolve_workers(0), 6));
+        with_threads(1, || assert_eq!(resolve_workers(0), 1));
     }
 
     #[test]

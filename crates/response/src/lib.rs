@@ -33,7 +33,7 @@ pub use builder::ResponseMatrixBuilder;
 pub use connectivity::ConnectivityReport;
 pub use log::{ResponseDelta, ResponseEdit, ResponseLog, VersionedMatrix};
 pub use matrix::ResponseMatrix;
-pub use ops::{KernelWorkspace, ResponseOps};
+pub use ops::{delta_pattern_edits, KernelWorkspace, ResponseOps};
 pub use orientation::{group_choice_entropy, orient_by_decile_entropy};
 pub use ranking::{rank_many, AbilityRanker, RankError, Ranking};
 

@@ -30,6 +30,38 @@
 use crate::{ResponseDelta, ResponseMatrix};
 use hnd_linalg::{BinaryCsr, DeltaError, PatternDelta};
 
+/// Lowers a committed [`ResponseDelta`] to the pattern edits it implies on
+/// the one-hot matrix `C`: repeated edits of the same cell are composed
+/// first (None→A then A→B nets to None→B), so the returned
+/// [`PatternDelta`] never removes an entry the delta itself introduced.
+/// `matrix` supplies the (static) item→column layout; any snapshot of the
+/// same roster works.
+///
+/// This is the single lowering point shared by the in-place kernel patch
+/// ([`ResponseOps::apply_delta`]) and the sharded execution layer
+/// (`hnd-shard` routes these `(user, column)` edits to the shard owning
+/// each user range) — one definition, so the two paths cannot drift.
+pub fn delta_pattern_edits(matrix: &ResponseMatrix, delta: &ResponseDelta) -> PatternDelta {
+    let net = crate::log::net_cell_effects(&delta.edits);
+    let mut pattern_delta = PatternDelta::default();
+    for ((user, item), (from, to)) in net {
+        if from == to {
+            continue;
+        }
+        if let Some(opt) = from {
+            pattern_delta
+                .removes
+                .push((user as u32, matrix.one_hot_column(item, opt) as u32));
+        }
+        if let Some(opt) = to {
+            pattern_delta
+                .adds
+                .push((user as u32, matrix.one_hot_column(item, opt) as u32));
+        }
+    }
+    pattern_delta
+}
+
 /// Precomputed operator context for a response matrix.
 #[derive(Debug, Clone)]
 pub struct ResponseOps {
@@ -125,26 +157,7 @@ impl ResponseOps {
         matrix: &ResponseMatrix,
         delta: &ResponseDelta,
     ) -> Result<(), DeltaError> {
-        // Compose repeated edits of the same cell (None→A then A→B nets to
-        // None→B) so the pattern delta never removes an entry the delta
-        // itself introduced.
-        let net = crate::log::net_cell_effects(&delta.edits);
-        let mut pattern_delta = PatternDelta::default();
-        for ((user, item), (from, to)) in net {
-            if from == to {
-                continue;
-            }
-            if let Some(opt) = from {
-                pattern_delta
-                    .removes
-                    .push((user as u32, matrix.one_hot_column(item, opt) as u32));
-            }
-            if let Some(opt) = to {
-                pattern_delta
-                    .adds
-                    .push((user as u32, matrix.one_hot_column(item, opt) as u32));
-            }
-        }
+        let pattern_delta = delta_pattern_edits(matrix, delta);
         self.c.apply_delta(&pattern_delta)?;
         // Degree scalings: touch only the edited rows/columns.
         for &(r, _) in &pattern_delta.removes {

@@ -18,6 +18,7 @@
 use crate::cache::{CachedSolve, WarmStartCache};
 use hnd_core::{SolveState, SolverKind, SolverOpts, SpectralSolver};
 use hnd_response::{RankError, Ranking, ResponseError, ResponseLog, ResponseMatrix, ResponseOps};
+use hnd_shard::{ShardPlan, ShardedOps};
 
 /// Configuration of a [`RankingEngine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +39,16 @@ pub struct EngineOpts {
     /// [`ResponseError::HistoryUnavailable`](hnd_response::ResponseError)
     /// from catch-up and must resync from a snapshot.
     pub history_retention: Option<usize>,
+    /// Sharded-execution policy (`None` = never shard). With a plan set,
+    /// a session whose roster/entry count crosses
+    /// [`ShardPlan::activates`] is served by the `hnd-shard` backend:
+    /// user-range shards of the pattern, shard-parallel kernels, and
+    /// delta routing to owning shards — transparently, with results
+    /// matching the single-shard path to ≤1e-12. Sessions below the
+    /// threshold keep the single-shard fast path. The sharded solve is
+    /// implemented for the flagship [`SolverKind::Power`]; other solver
+    /// kinds ignore the plan.
+    pub shard_plan: Option<ShardPlan>,
 }
 
 impl Default for EngineOpts {
@@ -55,6 +66,49 @@ impl Default for EngineOpts {
             // bounds long-running sessions while covering any realistic
             // client catch-up window.
             history_retention: Some(65_536),
+            shard_plan: None,
+        }
+    }
+}
+
+/// The engine's kernel context: one contiguous pattern, or user-range
+/// shards of it (see [`EngineOpts::shard_plan`]).
+enum Backend {
+    /// The single-shard fast path (`ResponseOps`, in-place patched).
+    Single(ResponseOps),
+    /// The sharded execution layer (`hnd-shard`).
+    Sharded(ShardedOps),
+}
+
+impl Backend {
+    /// Builds the backend for `matrix`, choosing sharded execution when a
+    /// plan is set, the solver supports it, and the session is big enough.
+    fn build(matrix: &ResponseMatrix, opts: &EngineOpts) -> Backend {
+        if opts.solver == SolverKind::Power {
+            if let Some(plan) = &opts.shard_plan {
+                let nnz: usize = matrix.row_counts().iter().sum();
+                if plan.activates(matrix.n_users(), nnz) {
+                    return Backend::Sharded(ShardedOps::from_plan(
+                        matrix,
+                        plan,
+                        opts.row_slack,
+                        opts.col_slack,
+                    ));
+                }
+            }
+        }
+        Backend::Single(ResponseOps::with_slack(
+            matrix,
+            opts.row_slack,
+            opts.col_slack,
+        ))
+    }
+
+    /// Stored entries of the kernel context.
+    fn nnz(&self) -> usize {
+        match self {
+            Backend::Single(ops) => ops.binary().nnz(),
+            Backend::Sharded(sops) => sops.nnz(),
         }
     }
 }
@@ -74,6 +128,14 @@ pub struct EngineStats {
     pub cold_solves: u64,
     /// Iterations of the most recent solve.
     pub last_iterations: usize,
+    /// Solves served by the sharded backend.
+    pub sharded_solves: u64,
+    /// Shard-layout reshapes: single→sharded upgrades when a session grows
+    /// past its plan's activation threshold, plus skew-triggered re-splits.
+    pub shard_rebalances: u64,
+    /// Individual shards rebuilt alone after slack exhaustion (the sharded
+    /// analogue of `rebuilds`, which counts whole-context rebuilds).
+    pub shard_rebuilds: u64,
 }
 
 /// An incremental ranking session over a fixed user/item roster.
@@ -81,11 +143,12 @@ pub struct RankingEngine {
     log: ResponseLog,
     solver: Box<dyn SpectralSolver>,
     opts: EngineOpts,
-    /// Kernel context of `matrix`, patched in place across versions.
-    ops: ResponseOps,
-    /// The snapshot matrix `ops` corresponds to.
+    /// Kernel context of `matrix` (single or sharded), patched in place
+    /// across versions.
+    backend: Backend,
+    /// The snapshot matrix the backend corresponds to.
     matrix: ResponseMatrix,
-    /// The version `ops`/`matrix` correspond to.
+    /// The version backend/`matrix` correspond to.
     prepared_version: u64,
     cache: WarmStartCache,
     stats: EngineStats,
@@ -109,11 +172,11 @@ impl RankingEngine {
     /// dataset whose edits will now trickle in).
     pub fn from_log(mut log: ResponseLog, opts: EngineOpts) -> Result<Self, ResponseError> {
         let snapshot = log.snapshot();
-        let ops = ResponseOps::with_slack(&snapshot.matrix, opts.row_slack, opts.col_slack);
+        let backend = Backend::build(&snapshot.matrix, &opts);
         Ok(RankingEngine {
             log,
             solver: opts.solver.build(opts.solver_opts),
-            ops,
+            backend,
             matrix: snapshot.matrix,
             prepared_version: snapshot.version,
             cache: WarmStartCache::new(opts.cache_capacity),
@@ -160,6 +223,20 @@ impl RankingEngine {
     /// [`Self::current_ranking`] / [`Self::advance`], not on submit).
     pub fn matrix(&self) -> &ResponseMatrix {
         &self.matrix
+    }
+
+    /// Number of user-range shards serving this session (`1` = the
+    /// single-shard fast path).
+    pub fn shard_count(&self) -> usize {
+        match &self.backend {
+            Backend::Single(_) => 1,
+            Backend::Sharded(sops) => sops.shard_count(),
+        }
+    }
+
+    /// `true` when the session is served by the sharded backend.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.backend, Backend::Sharded(_))
     }
 
     /// `true` when a cached spectral state exists to warm-start the next
@@ -224,7 +301,7 @@ impl RankingEngine {
         // Patching shifts the touched row/column prefixes per edit, so a
         // bulk-sized delta (≳ nnz/8) costs more than the one rebuild it
         // avoids — fall through to the rebuild path for those.
-        let patch_budget = self.ops.binary().nnz() / 8 + 16;
+        let patch_budget = self.backend.nnz() / 8 + 16;
         match self.log.drain_delta() {
             Some(delta)
                 if delta.from_version == self.prepared_version && delta.len() <= patch_budget =>
@@ -233,16 +310,32 @@ impl RankingEngine {
                 if !matrix_ok {
                     self.rebuild_from_log();
                 } else if !delta.is_empty() {
-                    if self.ops.apply_delta(&self.matrix, &delta).is_ok() {
+                    let patched = match &mut self.backend {
+                        Backend::Single(ops) => ops.apply_delta(&self.matrix, &delta).is_ok(),
+                        Backend::Sharded(sops) => {
+                            // Slack exhaustion inside a shard is handled by
+                            // the sharded layer (one shard rebuilds alone);
+                            // only inconsistent deltas surface as errors.
+                            // Accumulate the per-delta increment: the ops'
+                            // own counter restarts at 0 whenever the whole
+                            // backend is rebuilt, the engine stat must not.
+                            let before = sops.rebuilt_shards();
+                            let ok = sops.apply_delta(&self.matrix, &delta).is_ok();
+                            self.stats.shard_rebuilds += sops.rebuilt_shards() - before;
+                            ok
+                        }
+                    };
+                    if patched {
                         self.stats.delta_applies += 1;
+                        self.maybe_reshape();
                     } else {
-                        // Slack exhausted: rebuild the kernel context with
-                        // fresh slack (the matrix is already current).
-                        self.ops = ResponseOps::with_slack(
-                            &self.matrix,
-                            self.opts.row_slack,
-                            self.opts.col_slack,
-                        );
+                        // Slack exhausted (single backend) or inconsistent
+                        // delta: rebuild the kernel context with fresh
+                        // slack (the matrix is already current). The
+                        // rebuild re-evaluates shard activation, so a
+                        // session that grew past its plan's threshold
+                        // upgrades here too.
+                        self.backend = Backend::build(&self.matrix, &self.opts);
                         self.stats.rebuilds += 1;
                     }
                 }
@@ -252,10 +345,39 @@ impl RankingEngine {
         self.prepared_version = target_version;
     }
 
-    /// Cold re-baseline: re-materialize the matrix and kernel context.
+    /// Re-evaluates the shard layout after a successful patch: a
+    /// single-backend session that crossed its plan's activation threshold
+    /// upgrades to sharded execution, and a sharded session whose delta
+    /// traffic skewed the layout (or grew it past another shard's worth)
+    /// re-splits. No-op without a plan.
+    fn maybe_reshape(&mut self) {
+        let Some(plan) = self.opts.shard_plan else {
+            return;
+        };
+        if self.opts.solver != SolverKind::Power {
+            return;
+        }
+        match &mut self.backend {
+            Backend::Single(ops) => {
+                if plan.activates(self.matrix.n_users(), ops.binary().nnz()) {
+                    self.backend = Backend::build(&self.matrix, &self.opts);
+                    self.stats.shard_rebalances += 1;
+                }
+            }
+            Backend::Sharded(sops) => {
+                if sops.needs_rebalance(&plan) {
+                    sops.rebalance(&self.matrix, &plan);
+                    self.stats.shard_rebalances += 1;
+                }
+            }
+        }
+    }
+
+    /// Cold re-baseline: re-materialize the matrix and kernel context
+    /// (re-evaluating shard activation for the new size).
     fn rebuild_from_log(&mut self) {
         self.matrix = self.log.to_matrix();
-        self.ops = ResponseOps::with_slack(&self.matrix, self.opts.row_slack, self.opts.col_slack);
+        self.backend = Backend::build(&self.matrix, &self.opts);
         self.stats.rebuilds += 1;
     }
 
@@ -271,9 +393,15 @@ impl RankingEngine {
         }
         self.advance();
         let warm: Option<SolveState> = self.cache.latest().map(|c| c.state.clone());
-        let outcome = self
-            .solver
-            .solve_prepared(&self.matrix, &self.ops, warm.as_ref())?;
+        let outcome = match &self.backend {
+            Backend::Single(ops) => self
+                .solver
+                .solve_prepared(&self.matrix, ops, warm.as_ref())?,
+            Backend::Sharded(sops) => {
+                self.stats.sharded_solves += 1;
+                hnd_shard::solve_power(&self.matrix, sops, &self.opts.solver_opts, warm.as_ref())?
+            }
+        };
         if warm.is_some() {
             self.stats.warm_solves += 1;
         } else {
@@ -435,6 +563,99 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(served.scores, replica.current_ranking().unwrap().scores);
+    }
+
+    #[test]
+    fn sharded_backend_agrees_with_single_and_counts_solves() {
+        let mut opts = EngineOpts {
+            solver_opts: SolverOpts {
+                orient: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let responses: Vec<(usize, usize, Option<u16>)> = (0..12)
+            .flat_map(|j| (0..11).map(move |i| (j, i, Some(u16::from(j > i)))))
+            .collect();
+        let mut single = RankingEngine::new(12, 11, &[2; 11], opts).unwrap();
+        single.submit_responses(responses.clone()).unwrap();
+        let want = single.current_ranking().unwrap();
+
+        opts.shard_plan = Some(hnd_shard::ShardPlan {
+            min_users: 4, // activate immediately for this roster
+            ..hnd_shard::ShardPlan::exactly(3)
+        });
+        let mut sharded = RankingEngine::new(12, 11, &[2; 11], opts).unwrap();
+        assert!(sharded.is_sharded());
+        assert_eq!(sharded.shard_count(), 3);
+        sharded.submit_responses(responses).unwrap();
+        let got = sharded.current_ranking().unwrap();
+        assert_eq!(got.order_best_to_worst(), want.order_best_to_worst());
+        for (a, b) in got.scores.iter().zip(&want.scores) {
+            assert!((a - b).abs() <= 1e-12);
+        }
+        assert_eq!(sharded.stats().sharded_solves, 1);
+        // Trickle an edit: the sharded delta path serves it (the bulk load
+        // above legitimately rebuilt — it exceeds the patch budget).
+        let rebuilds_after_load = sharded.stats().rebuilds;
+        sharded.submit_responses([(0, 10, Some(1))]).unwrap();
+        sharded.current_ranking().unwrap();
+        assert_eq!(sharded.stats().sharded_solves, 2);
+        assert_eq!(sharded.stats().rebuilds, rebuilds_after_load);
+        assert_eq!(sharded.stats().delta_applies, 1);
+    }
+
+    #[test]
+    fn session_growth_upgrades_to_sharded_backend() {
+        let opts = EngineOpts {
+            shard_plan: Some(hnd_shard::ShardPlan {
+                min_users: usize::MAX, // activate on entry count only
+                min_nnz: 20,
+                target_shard_nnz: 10,
+                min_shards: 2,
+                max_shards: 4,
+                ..Default::default()
+            }),
+            solver_opts: SolverOpts {
+                orient: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut engine = RankingEngine::new(10, 6, &[2; 6], opts).unwrap();
+        assert!(!engine.is_sharded(), "small session starts single-shard");
+        engine
+            .submit_responses((0..10).map(|u| (u, 0, Some(0))))
+            .unwrap();
+        engine.current_ranking().unwrap();
+        assert!(!engine.is_sharded(), "10 entries stay below the threshold");
+        // Grow past min_nnz: the next advance upgrades the backend.
+        engine
+            .submit_responses((0..10).flat_map(|u| [(u, 1, Some(1)), (u, 2, Some(0))]))
+            .unwrap();
+        let upgraded = engine.current_ranking().unwrap();
+        assert!(engine.is_sharded(), "growth past min_nnz upgrades");
+        assert!(engine.shard_count() >= 2);
+        assert!(engine.stats().shard_rebalances >= 1 || engine.stats().rebuilds >= 1);
+        // Still serves the same ranking as a never-sharded engine.
+        let mut plain = RankingEngine::new(
+            10,
+            6,
+            &[2; 6],
+            EngineOpts {
+                shard_plan: None,
+                ..opts
+            },
+        )
+        .unwrap();
+        plain
+            .submit_responses((0..10).map(|u| (u, 0, Some(0))))
+            .unwrap();
+        plain
+            .submit_responses((0..10).flat_map(|u| [(u, 1, Some(1)), (u, 2, Some(0))]))
+            .unwrap();
+        let want = plain.current_ranking().unwrap();
+        assert_eq!(upgraded.order_best_to_worst(), want.order_best_to_worst());
     }
 
     #[test]

@@ -39,7 +39,11 @@
 //!        │           refresh incrementally, cold ones batch through
 //!        ▼           rank_many)
 //!   RankingEngine ──────▶ Ranking
-//!        │  ResponseOps (in-place patched kernels)
+//!        │  kernel backend, auto-selected per EngineOpts::shard_plan:
+//!        │    · ResponseOps (single-shard fast path, in-place patched)
+//!        │    · hnd_shard::ShardedOps (huge sessions: user-range shards,
+//!        │      shard-parallel kernels, per-shard delta routing,
+//!        │      skew-triggered re-splits — results ≡ single ≤1e-12)
 //!        │  Box<dyn SpectralSolver> (unified family)
 //!        │  WarmStartCache (version-keyed LRU of rankings + states)
 //!        ▲
@@ -112,3 +116,4 @@ pub use hnd_response::{
     RankError, Ranking, ResponseDelta, ResponseEdit, ResponseError, ResponseLog, ResponseMatrix,
     VersionedMatrix,
 };
+pub use hnd_shard::ShardPlan;

@@ -218,12 +218,9 @@ impl SessionServer {
     /// the effective kernel thread count (`HND_THREADS` convention).
     pub fn new(opts: ServerOpts) -> Self {
         let total = parallel::threads();
-        let workers = if opts.workers == 0 {
-            total
-        } else {
-            opts.workers
-        }
-        .max(1);
+        // The single resolution point for the HND_THREADS convention —
+        // benches/examples sizing their own pools go through it too.
+        let workers = parallel::resolve_workers(opts.workers);
         // Split the machine between the pool and the in-solve kernels so a
         // fleet of sessions does not oversubscribe: workers × inner ≈ total.
         let inner_threads = (total / workers).max(1);
@@ -679,10 +676,18 @@ mod tests {
         let loud = srv.create_session(5, 4, &[2; 4]).unwrap();
         srv.submit(quiet, staircase(5)).wait().unwrap();
         let head = srv.ranking(quiet).wait().unwrap();
-        for round in 0..8u16 {
+        // Reply::wait returns when a command *executes*, before its worker
+        // checks the engine back in — so the quiet session's last-touch
+        // (stamped at check-in) can land mid-way through this traffic.
+        // Keep the loud session ticking until the idle sweep catches the
+        // quiet one; the bound only trips on a real eviction bug.
+        let mut round = 0u16;
+        while !srv.is_evicted(quiet) {
+            assert!(round < 64, "quiet session never evicted");
             srv.submit(loud, vec![(0, 0, Some(round % 2))])
                 .wait()
                 .unwrap();
+            round += 1;
         }
         assert!(srv.is_evicted(quiet));
         // (the loud session may itself have evicted+rehydrated during

@@ -1,0 +1,96 @@
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-coupled numerics mirror the published algorithms
+
+//! # hnd-shard
+//!
+//! Sharded spectral execution: the response pattern matrix cut into
+//! contiguous **user-range shards**, each owning its slice of the CSR rows
+//! plus a *private CSC mirror* and workspace, with the fused scaled-gather
+//! kernels of the unsharded engine running shard-parallel and their
+//! partial reductions composed exactly.
+//!
+//! ## Why user-range shards
+//!
+//! One huge session is bounded by one worker's memory bandwidth: every
+//! power-iteration step streams the whole `m × Σkᵢ` pattern twice (one
+//! column gather, one row gather). Cutting `C` by user ranges makes both
+//! directions decompose *without communication beyond one reduction*:
+//!
+//! * row gathers (`C·w`, `Crow·w`) never cross a user range — each shard
+//!   fills its own contiguous slice of the score vector;
+//! * column gathers (`Cᵀ·s`, `(Ccol)ᵀ·s`) split into per-shard partial
+//!   column sums over each shard's private CSC mirror, composed by one
+//!   add-and-scale pass — the same 4-accumulator gather kernels as the
+//!   unsharded path, so results agree to ≤1e-12 end to end.
+//!
+//! The diagonal scalings (`Dr⁻¹`, `Dc⁻¹`, `Dr^{-1/2}`) stay global and are
+//! fused into the gather closures exactly as in
+//! [`hnd_response::ResponseOps`].
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   RankingEngine (hnd-service) ── EngineOpts::shard_plan activates the
+//!        │                         sharded backend above a user/nnz
+//!        │                         threshold; small sessions keep the
+//!        ▼                         single-shard fast path
+//!   solve::solve_power ──────────▶ SolveOutcome (scores ≡ unsharded ≤1e-12)
+//!        │  ShardedUDiffOp / ShardedUOp / ShardedSymmetrizedUOp
+//!        ▼       (LinearOp over shard-parallel kernels)
+//!   ShardedOps ── global Dr⁻¹/Dc⁻¹ scalings + per-shard patterns
+//!        │  ┌────────────┬────────────┬────────────┐
+//!        ▼  ▼            ▼            ▼            ▼
+//!      UserShard[0]   UserShard[1]  …        UserShard[S−1]
+//!      rows 0..a      rows a..b               rows z..m
+//!      BinaryCsr      BinaryCsr               BinaryCsr
+//!      (own CSC)      (own CSC)               (own CSC)
+//!        │            │                       │
+//!        └─ partial column reductions ─ compose (add, scale) ─▶ w
+//!
+//!   ResponseDelta ──▶ delta_pattern_edits ──▶ routed to owning shards
+//!   (edit stream)     (shared lowering)       O(nnz(delta))/shard;
+//!                                             slack exhaustion rebuilds
+//!                                             one shard, skew re-splits
+//!                                             per ShardPlan
+//! ```
+//!
+//! ## Layout policy
+//!
+//! A [`ShardPlan`] decides when a session is big enough to shard
+//! ([`ShardPlan::activates`]), how many shards to cut
+//! ([`ShardPlan::shard_count`], targeting
+//! [`target_shard_nnz`](ShardPlan::target_shard_nnz) entries each), and
+//! when delta traffic has skewed the layout enough to re-split
+//! ([`ShardedOps::needs_rebalance`]). Cut points come from
+//! [`plan::split_ranges`], a greedy balanced partition over per-user entry
+//! counts.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hnd_core::SolverOpts;
+//! use hnd_response::ResponseMatrix;
+//! use hnd_shard::{solve_power, ShardedOps};
+//!
+//! // 6 users × 5 binary items (the all-cuts staircase).
+//! let rows: Vec<Vec<Option<u16>>> = (0..6)
+//!     .map(|j| (0..5).map(|i| Some(u16::from(j > i))).collect())
+//!     .collect();
+//! let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+//! let matrix = ResponseMatrix::from_choices(5, &[2; 5], &refs).unwrap();
+//!
+//! // Three user-range shards; solve exactly like HND-power.
+//! let sharded = ShardedOps::with_shards(&matrix, 3, 0, 0);
+//! let out = solve_power(&matrix, &sharded, &SolverOpts::default(), None).unwrap();
+//! assert_eq!(out.ranking.len(), 6);
+//! ```
+
+pub mod operators;
+pub mod ops;
+pub mod plan;
+pub mod solve;
+
+pub use operators::{ShardedSymmetrizedUOp, ShardedUDiffOp, ShardedUOp};
+pub use ops::{ShardedOps, ShardedWorkspace, UserShard};
+pub use plan::{split_ranges, ShardPlan};
+pub use solve::solve_power;

@@ -1,0 +1,212 @@
+//! Shard-parallel matrix-free operators: the sharded analogues of
+//! `hnd_core::operators` (`U`, `Udiff = S U T`, the symmetrized `Ũ`).
+//!
+//! Each operator owns a [`ShardedWorkspace`] behind a `RefCell`, allocated
+//! once at construction, so applying it inside a power/Lanczos loop
+//! allocates nothing beyond the scoped-thread spawns of the gather
+//! kernels. The difference-coordinate plumbing (`T` cumulative sums, `S`
+//! adjacent differences) is identical to the unsharded operators — those
+//! are `O(m)` serial vector sweeps either way; only the `O(nnz)` gather
+//! kernels decompose across shards.
+
+use crate::ops::{ShardedOps, ShardedWorkspace};
+use hnd_linalg::op::LinearOp;
+use hnd_linalg::vector;
+use std::cell::RefCell;
+
+/// The AvgHITS update matrix `U = Crow (Ccol)ᵀ`, shard-parallel.
+pub struct ShardedUOp<'a> {
+    ops: &'a ShardedOps,
+    scratch: RefCell<ShardedWorkspace>,
+}
+
+impl<'a> ShardedUOp<'a> {
+    /// Wraps a sharded kernel context.
+    pub fn new(ops: &'a ShardedOps) -> Self {
+        ShardedUOp {
+            ops,
+            scratch: RefCell::new(ShardedWorkspace::for_ops(ops)),
+        }
+    }
+}
+
+impl LinearOp for ShardedUOp<'_> {
+    fn dim(&self) -> usize {
+        self.ops.n_users()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let ws = &mut *self.scratch.borrow_mut();
+        self.ops.u_apply(x, &mut ws.partials, &mut ws.w, y);
+    }
+}
+
+/// The difference update matrix `Udiff = S U T` on user-score difference
+/// vectors (`sdiff ∈ R^{m−1}`) — Algorithm 1's inner loop, shard-parallel.
+pub struct ShardedUDiffOp<'a> {
+    ops: &'a ShardedOps,
+    scratch: RefCell<ShardedWorkspace>,
+}
+
+impl<'a> ShardedUDiffOp<'a> {
+    /// Wraps a sharded kernel context.
+    ///
+    /// # Panics
+    /// Panics for single-user contexts (`Udiff` would be 0-dimensional).
+    pub fn new(ops: &'a ShardedOps) -> Self {
+        assert!(ops.n_users() >= 2, "Udiff needs at least 2 users");
+        ShardedUDiffOp {
+            ops,
+            scratch: RefCell::new(ShardedWorkspace::for_ops(ops)),
+        }
+    }
+}
+
+impl LinearOp for ShardedUDiffOp<'_> {
+    fn dim(&self) -> usize {
+        self.ops.n_users() - 1
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let m = self.ops.n_users();
+        let ws = &mut *self.scratch.borrow_mut();
+        vector::cumsum_from_diffs(x, &mut ws.s);
+        self.ops
+            .u_apply(&ws.s, &mut ws.partials, &mut ws.w, &mut ws.s2);
+        for i in 0..m - 1 {
+            y[i] = ws.s2[i + 1] - ws.s2[i];
+        }
+    }
+}
+
+/// The symmetrized update matrix `Ũ = Dr^{-1/2} C Dc⁻¹ Cᵀ Dr^{-1/2}`,
+/// shard-parallel (see `hnd_core::operators::SymmetrizedUOp` for the
+/// similarity argument that makes it usable with Lanczos).
+pub struct ShardedSymmetrizedUOp<'a> {
+    ops: &'a ShardedOps,
+    /// `Dr^{-1/2}` diagonal (0 for users with no answers).
+    inv_sqrt_rows: Vec<f64>,
+    scratch: RefCell<ShardedWorkspace>,
+}
+
+impl<'a> ShardedSymmetrizedUOp<'a> {
+    /// Wraps a sharded kernel context.
+    pub fn new(ops: &'a ShardedOps) -> Self {
+        let inv_sqrt_rows = ops
+            .row_counts()
+            .iter()
+            .map(|&c| if c > 0.0 { 1.0 / c.sqrt() } else { 0.0 })
+            .collect();
+        ShardedSymmetrizedUOp {
+            ops,
+            inv_sqrt_rows,
+            scratch: RefCell::new(ShardedWorkspace::for_ops(ops)),
+        }
+    }
+
+    /// Maps an eigenvector of `Ũ` back to the corresponding eigenvector of
+    /// `U` (`v = Dr^{-1/2} ṽ`, unit-normalized).
+    pub fn to_u_eigenvector(&self, v_tilde: &[f64]) -> Vec<f64> {
+        let mut v: Vec<f64> = v_tilde
+            .iter()
+            .zip(&self.inv_sqrt_rows)
+            .map(|(x, s)| x * s)
+            .collect();
+        vector::normalize(&mut v);
+        v
+    }
+}
+
+impl LinearOp for ShardedSymmetrizedUOp<'_> {
+    fn dim(&self) -> usize {
+        self.ops.n_users()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let ws = &mut *self.scratch.borrow_mut();
+        self.ops
+            .symmetrized_u_apply(x, &self.inv_sqrt_rows, &mut ws.partials, &mut ws.w, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnd_core::{SymmetrizedUOp, UDiffOp, UOp};
+    use hnd_response::{ResponseMatrix, ResponseOps};
+
+    fn figure1() -> ResponseMatrix {
+        ResponseMatrix::from_choices(
+            3,
+            &[3, 3, 3],
+            &[
+                &[Some(0), Some(0), Some(0)],
+                &[Some(0), Some(0), Some(2)],
+                &[Some(0), Some(1), Some(2)],
+                &[Some(1), Some(2), Some(2)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= 1e-12, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_operators_match_unsharded() {
+        let m = figure1();
+        let ops = ResponseOps::new(&m);
+        for shards in 1..=3 {
+            let sops = crate::ShardedOps::with_shards(&m, shards, 0, 0);
+            let x4 = [0.3, -1.0, 0.5, 2.0];
+            assert_close(
+                &ShardedUOp::new(&sops).apply_vec(&x4),
+                &UOp::new(&ops).apply_vec(&x4),
+            );
+            assert_close(
+                &ShardedSymmetrizedUOp::new(&sops).apply_vec(&x4),
+                &SymmetrizedUOp::new(&ops).apply_vec(&x4),
+            );
+            let x3 = [0.7, -0.2, 0.1];
+            assert_close(
+                &ShardedUDiffOp::new(&sops).apply_vec(&x3),
+                &UDiffOp::new(&ops).apply_vec(&x3),
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_application_reuses_scratch() {
+        let m = figure1();
+        let sops = crate::ShardedOps::with_shards(&m, 2, 0, 0);
+        let op = ShardedUDiffOp::new(&sops);
+        let x = [0.3, -0.2, 0.9];
+        let first = op.apply_vec(&x);
+        for _ in 0..50 {
+            assert_eq!(op.apply_vec(&x), first);
+        }
+    }
+
+    #[test]
+    fn symmetrized_eigvec_maps_back() {
+        let m = figure1();
+        let sops = crate::ShardedOps::with_shards(&m, 2, 0, 0);
+        let sym = ShardedSymmetrizedUOp::new(&sops);
+        let v = sym.to_u_eigenvector(&[2.0, 2.0, 2.0, 2.0]);
+        for x in v {
+            assert!((x - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 users")]
+    fn udiff_rejects_single_user() {
+        let m = ResponseMatrix::from_choices(1, &[2], &[&[Some(0)]]).unwrap();
+        let sops = crate::ShardedOps::with_shards(&m, 1, 0, 0);
+        let _ = ShardedUDiffOp::new(&sops);
+    }
+}

@@ -1,0 +1,780 @@
+//! The sharded kernel context: user-range shards of the response pattern
+//! with composable gather reductions.
+//!
+//! [`ShardedOps`] is the drop-in sharded analogue of
+//! [`hnd_response::ResponseOps`]: the `m × Σkᵢ` one-hot pattern `C` is cut
+//! into contiguous **user-range shards**, each owning its slice of the CSR
+//! rows *plus a private CSC mirror* of those rows. Both gather directions
+//! then decompose exactly:
+//!
+//! * **Row gathers** (`C·w`, `Crow·w`) touch one row at a time, so they
+//!   parallelize over the output vector regardless of sharding — each
+//!   output element reads one shard's row and nothing else.
+//! * **Column gathers** (`Cᵀ·s`, `(Ccol)ᵀ·s`) are sums over *rows*, and a
+//!   contiguous row partition splits that sum: each shard computes a
+//!   partial column reduction over its private CSC mirror (shard-parallel,
+//!   scoped threads), and a compose pass adds the partials in shard order
+//!   and applies the output scaling. The partials use the same
+//!   4-accumulator [`BinaryCsr::gather_sum`] kernels as the unsharded
+//!   path, so sharded results agree with unsharded ones to the last few
+//!   ulps (≤1e-12 end to end, pinned by the equivalence proptests).
+//!
+//! Diagonal scalings (`Dr⁻¹`, `Dc⁻¹`, `Dr^{-1/2}`) are *global* vectors
+//! fused into the gather closures exactly as in `ResponseOps` — shards
+//! index them through their user range, so no scaling is ever replicated.
+//!
+//! ## Incremental updates
+//!
+//! [`ShardedOps::apply_delta`] lowers a committed
+//! [`ResponseDelta`](hnd_response::ResponseDelta) through the shared
+//! [`hnd_response::delta_pattern_edits`] routing helper and dispatches each
+//! `(user, column)` edit to the shard owning that user range —
+//! `O(nnz(delta))` per touched shard. A shard whose slack capacity is
+//! exhausted rolls back (the [`BinaryCsr`] contract) and is **rebuilt
+//! alone** with fresh slack; the other shards keep their patched state.
+//! [`ShardedOps::needs_rebalance`] watches the layout skew so a session
+//! whose delta traffic concentrates on one user range re-splits before a
+//! single hot shard serializes the solve.
+
+use crate::plan::{split_ranges, ShardPlan};
+use hnd_linalg::{parallel, BinaryCsr, DeltaError, PatternDelta};
+use hnd_response::{delta_pattern_edits, ResponseDelta, ResponseMatrix};
+use std::ops::Range;
+
+/// One contiguous user-range shard: rows `start..end` of the pattern as a
+/// private [`BinaryCsr`] (local row indices, full column dimension, own
+/// CSC mirror).
+#[derive(Debug, Clone)]
+pub struct UserShard {
+    start: usize,
+    end: usize,
+    pattern: BinaryCsr,
+}
+
+impl UserShard {
+    /// The global user range this shard owns.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+
+    /// Number of users in the shard.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the shard owns no users (never produced by
+    /// [`split_ranges`]; kept for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Stored entries in the shard.
+    pub fn nnz(&self) -> usize {
+        self.pattern.nnz()
+    }
+
+    /// The shard's pattern slice (local row indices).
+    pub fn pattern(&self) -> &BinaryCsr {
+        &self.pattern
+    }
+}
+
+/// Reusable scratch for one [`ShardedOps`]: per-shard column-partial
+/// buffers plus the composed option-length vector and two user-length
+/// vectors (mirroring [`hnd_response::KernelWorkspace`]). Operators hold
+/// one behind a `RefCell` so iteration loops allocate nothing.
+#[derive(Debug, Clone)]
+pub struct ShardedWorkspace {
+    /// One option-length partial buffer per shard.
+    pub partials: Vec<Vec<f64>>,
+    /// Composed option-length vector (`Σkᵢ`).
+    pub w: Vec<f64>,
+    /// User-length scratch.
+    pub s: Vec<f64>,
+    /// Second user-length scratch.
+    pub s2: Vec<f64>,
+}
+
+impl ShardedWorkspace {
+    /// Allocates a workspace matching `ops`' dimensions and shard count.
+    pub fn for_ops(ops: &ShardedOps) -> Self {
+        // The single-shard fast path skips the partial buffers entirely.
+        let partial_count = if ops.shard_count() > 1 {
+            ops.shard_count()
+        } else {
+            0
+        };
+        ShardedWorkspace {
+            partials: vec![vec![0.0; ops.n_option_columns()]; partial_count],
+            w: vec![0.0; ops.n_option_columns()],
+            s: vec![0.0; ops.n_users()],
+            s2: vec![0.0; ops.n_users()],
+        }
+    }
+}
+
+/// The sharded operator context: user-range shards of `C` plus the global
+/// degree scalings. See the module docs for the execution model.
+#[derive(Debug, Clone)]
+pub struct ShardedOps {
+    shards: Vec<UserShard>,
+    n_users: usize,
+    n_cols: usize,
+    /// `Dr` diagonal (global).
+    row_counts: Vec<f64>,
+    /// `Dr⁻¹` diagonal; 0 for users with no answers.
+    inv_row: Vec<f64>,
+    /// `Dc` diagonal, composed across shards.
+    col_counts: Vec<f64>,
+    /// `Dc⁻¹` diagonal; 0 for options nobody picked.
+    inv_col: Vec<f64>,
+    row_slack: usize,
+    col_slack: usize,
+    /// Shards rebuilt alone after slack exhaustion (observability).
+    rebuilt_shards: u64,
+}
+
+impl ShardedOps {
+    /// Builds the sharded context with the shard count chosen by `plan`
+    /// (activation is the caller's decision — see [`ShardPlan::activates`]).
+    pub fn from_plan(
+        matrix: &ResponseMatrix,
+        plan: &ShardPlan,
+        row_slack: usize,
+        col_slack: usize,
+    ) -> Self {
+        let weights = matrix.row_counts();
+        let nnz: usize = weights.iter().sum();
+        let ranges = split_ranges(&weights, plan.shard_count(nnz));
+        Self::with_ranges(matrix, ranges, row_slack, col_slack)
+    }
+
+    /// Builds the sharded context with exactly `shards` shards (clamped to
+    /// the user count) — the bench/test entry point for shard-count sweeps.
+    pub fn with_shards(
+        matrix: &ResponseMatrix,
+        shards: usize,
+        row_slack: usize,
+        col_slack: usize,
+    ) -> Self {
+        let weights = matrix.row_counts();
+        let ranges = split_ranges(&weights, shards);
+        Self::with_ranges(matrix, ranges, row_slack, col_slack)
+    }
+
+    /// Builds shards for the given user ranges (must partition `0..m`).
+    ///
+    /// `col_slack` is the *whole-matrix* column budget, matching the
+    /// semantics of [`hnd_response::ResponseOps::with_slack`]: it is
+    /// divided across shards, since each shard sees only its range's share
+    /// of an option's picks. (Padding every shard with the full budget
+    /// would multiply the CSC arrays by the shard count and spread each
+    /// gather over that much more memory — measurably slower, for slack
+    /// nobody can use.)
+    pub fn with_ranges(
+        matrix: &ResponseMatrix,
+        ranges: Vec<Range<usize>>,
+        row_slack: usize,
+        col_slack: usize,
+    ) -> Self {
+        let n_users = matrix.n_users();
+        let n_cols = matrix.total_options();
+        assert!(!ranges.is_empty(), "ShardedOps needs at least one shard");
+        assert_eq!(ranges[0].start, 0, "shard ranges must start at user 0");
+        assert_eq!(
+            ranges.last().unwrap().end,
+            n_users,
+            "shard ranges must cover every user"
+        );
+        let shard_col_slack = if col_slack == 0 {
+            0
+        } else {
+            col_slack.div_ceil(ranges.len()).max(1)
+        };
+        // Shard construction is itself shard-parallel: each range sorts and
+        // mirrors only its own slice of the pattern.
+        let shards: Vec<UserShard> = parallel::par_map(&ranges, |range| {
+            build_shard(matrix, range.clone(), n_cols, row_slack, shard_col_slack)
+        });
+        let row_counts: Vec<f64> = matrix.row_counts().iter().map(|&n| n as f64).collect();
+        let inv_row = row_counts
+            .iter()
+            .map(|&n| if n > 0.0 { 1.0 / n } else { 0.0 })
+            .collect();
+        let mut col_counts = vec![0.0; n_cols];
+        for shard in &shards {
+            for (c, slot) in col_counts.iter_mut().enumerate() {
+                *slot += shard.pattern.col_nnz(c) as f64;
+            }
+        }
+        let inv_col = col_counts
+            .iter()
+            .map(|&n| if n > 0.0 { 1.0 / n } else { 0.0 })
+            .collect();
+        ShardedOps {
+            shards,
+            n_users,
+            n_cols,
+            row_counts,
+            inv_row,
+            col_counts,
+            inv_col,
+            row_slack,
+            col_slack,
+            rebuilt_shards: 0,
+        }
+    }
+
+    /// Number of users `m`.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of one-hot option columns.
+    pub fn n_option_columns(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in user order.
+    pub fn shards(&self) -> &[UserShard] {
+        &self.shards
+    }
+
+    /// Total stored entries across shards.
+    pub fn nnz(&self) -> usize {
+        self.shards.iter().map(UserShard::nnz).sum()
+    }
+
+    /// Answers per user (`Dr` diagonal).
+    pub fn row_counts(&self) -> &[f64] {
+        &self.row_counts
+    }
+
+    /// Picks per option (`Dc` diagonal), composed across shards.
+    pub fn col_counts(&self) -> &[f64] {
+        &self.col_counts
+    }
+
+    /// `Dr⁻¹` diagonal (0 for users with no answers).
+    pub fn inv_row_counts(&self) -> &[f64] {
+        &self.inv_row
+    }
+
+    /// `Dc⁻¹` diagonal (0 for options nobody picked).
+    pub fn inv_col_counts(&self) -> &[f64] {
+        &self.inv_col
+    }
+
+    /// Shards rebuilt alone after slack exhaustion since construction.
+    pub fn rebuilt_shards(&self) -> u64 {
+        self.rebuilt_shards
+    }
+
+    /// Index of the shard owning global user `user`.
+    pub fn shard_of(&self, user: usize) -> usize {
+        debug_assert!(user < self.n_users);
+        self.shards.partition_point(|s| s.end <= user)
+    }
+
+    /// Heaviest shard relative to the mean shard size (1.0 = perfectly
+    /// balanced). The rebalance trigger input.
+    pub fn max_skew(&self) -> f64 {
+        let total = self.nnz();
+        if total == 0 || self.shards.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.shards.len() as f64;
+        let max = self.shards.iter().map(UserShard::nnz).max().unwrap_or(0);
+        max as f64 / mean
+    }
+
+    /// `true` when the layout has drifted from `plan`: the session grew
+    /// enough entries for more shards, or delta traffic skewed one shard
+    /// past [`ShardPlan::skew_threshold`]. (Shrinking is never forced —
+    /// a lighter layout only wastes a little parallelism, and re-splitting
+    /// on every small dip would thrash.)
+    pub fn needs_rebalance(&self, plan: &ShardPlan) -> bool {
+        plan.shard_count(self.nnz()) > self.shards.len() || self.max_skew() > plan.skew_threshold
+    }
+
+    /// Re-splits from the current `matrix` under `plan`, preserving the
+    /// configured slack and the rebuild counters.
+    pub fn rebalance(&mut self, matrix: &ResponseMatrix, plan: &ShardPlan) {
+        let rebuilt = self.rebuilt_shards;
+        *self = Self::from_plan(matrix, plan, self.row_slack, self.col_slack);
+        self.rebuilt_shards = rebuilt;
+    }
+
+    /// Patches the sharded context for a committed [`ResponseDelta`]:
+    /// edits are lowered once through the shared
+    /// [`delta_pattern_edits`] routing and dispatched to their owning
+    /// shards (`O(nnz(delta))` per touched shard), then the global degree
+    /// scalings are refreshed at the touched users/options only.
+    ///
+    /// `matrix` must already reflect the delta (the serving layer patches
+    /// the matrix first): a shard that exhausts its slack rolls back and is
+    /// rebuilt **alone** from `matrix` with fresh slack, transparently —
+    /// unlike [`hnd_response::ResponseOps::apply_delta`], capacity
+    /// exhaustion is not an error here. Inconsistent deltas (duplicate
+    /// adds, missing removes, out-of-bounds cells) still surface as
+    /// [`DeltaError`]s; the context may then be partially patched and the
+    /// caller should rebuild it (the serving layer already does).
+    pub fn apply_delta(
+        &mut self,
+        matrix: &ResponseMatrix,
+        delta: &ResponseDelta,
+    ) -> Result<(), DeltaError> {
+        let pd = delta_pattern_edits(matrix, delta);
+        // Route each edit to its owning shard, rebasing rows to local.
+        let mut local: Vec<PatternDelta> = vec![PatternDelta::default(); self.shards.len()];
+        for &(r, c) in &pd.removes {
+            let k = self.shard_of(r as usize);
+            local[k]
+                .removes
+                .push(((r as usize - self.shards[k].start) as u32, c));
+        }
+        for &(r, c) in &pd.adds {
+            let k = self.shard_of(r as usize);
+            local[k]
+                .adds
+                .push(((r as usize - self.shards[k].start) as u32, c));
+        }
+        for (k, ld) in local.iter().enumerate() {
+            if ld.is_empty() {
+                continue;
+            }
+            match self.shards[k].pattern.apply_delta(ld) {
+                Ok(()) => {}
+                Err(DeltaError::RowFull { .. }) | Err(DeltaError::ColFull { .. }) => {
+                    // Per-shard rollback-to-rebuild: the pattern rolled
+                    // itself back; rebuild just this shard from the
+                    // already-patched matrix with fresh slack.
+                    self.shards[k] = build_shard(
+                        matrix,
+                        self.shards[k].range(),
+                        self.n_cols,
+                        self.row_slack,
+                        self.shard_col_slack(),
+                    );
+                    self.rebuilt_shards += 1;
+                }
+                Err(e) => return Err(globalize_error(e, self.shards[k].start)),
+            }
+        }
+        // Degree scalings: touch only the edited rows/columns.
+        for &(r, _) in pd.removes.iter().chain(pd.adds.iter()) {
+            self.refresh_row(r as usize);
+        }
+        for &(_, c) in pd.removes.iter().chain(pd.adds.iter()) {
+            self.refresh_col(c as usize);
+        }
+        Ok(())
+    }
+
+    /// The whole-matrix `col_slack` budget's per-shard share (see
+    /// [`Self::with_ranges`]).
+    fn shard_col_slack(&self) -> usize {
+        if self.col_slack == 0 {
+            0
+        } else {
+            self.col_slack.div_ceil(self.shards.len()).max(1)
+        }
+    }
+
+    fn refresh_row(&mut self, r: usize) {
+        let k = self.shard_of(r);
+        let n = self.shards[k].pattern.row_nnz(r - self.shards[k].start) as f64;
+        self.row_counts[r] = n;
+        self.inv_row[r] = if n > 0.0 { 1.0 / n } else { 0.0 };
+    }
+
+    fn refresh_col(&mut self, c: usize) {
+        let n: usize = self.shards.iter().map(|s| s.pattern.col_nnz(c)).sum();
+        self.col_counts[c] = n as f64;
+        self.inv_col[c] = if n > 0 { 1.0 / n as f64 } else { 0.0 };
+    }
+
+    // ---- gather kernels -------------------------------------------------
+
+    /// Row-side fill: `out[g] = f(shard pattern, local row, g)`, parallel
+    /// over the output (row gathers never cross shards, so sharding does
+    /// not constrain their parallelism).
+    fn rows_fill(&self, out: &mut [f64], f: impl Fn(&BinaryCsr, usize, usize) -> f64 + Sync) {
+        assert_eq!(out.len(), self.n_users, "rows_fill: output length");
+        parallel::par_fill(out, |offset, chunk| {
+            let mut k = self.shard_of(offset);
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                let g = offset + j;
+                while g >= self.shards[k].end {
+                    k += 1;
+                }
+                *slot = f(&self.shards[k].pattern, g - self.shards[k].start, g);
+            }
+        });
+    }
+
+    /// Column-side compose:
+    /// `w[c] = out_scale[c] · Σ_shards gather(shard.col(c), s, row_scale)`.
+    ///
+    /// Multi-shard: each shard reduces its private CSC mirror into its
+    /// partial buffer (shard-parallel scoped threads), then a compose pass
+    /// sums the partials in shard order — deterministic regardless of
+    /// thread schedule. Single shard: the partial buffer and compose pass
+    /// vanish; this is exactly the unsharded `cols_gather` loop.
+    fn cols_compose(
+        &self,
+        s: &[f64],
+        row_scale: Option<&[f64]>,
+        out_scale: Option<&[f64]>,
+        partials: &mut [Vec<f64>],
+        w: &mut [f64],
+    ) {
+        assert_eq!(s.len(), self.n_users, "cols_compose: input length");
+        assert_eq!(w.len(), self.n_cols, "cols_compose: output length");
+        if self.shards.len() == 1 {
+            let pattern = &self.shards[0].pattern;
+            parallel::par_fill(w, |offset, chunk| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let c = offset + j;
+                    let acc = match row_scale {
+                        Some(rs) => BinaryCsr::gather_sum_scaled(pattern.col(c), s, rs),
+                        None => BinaryCsr::gather_sum(pattern.col(c), s),
+                    };
+                    *slot = match out_scale {
+                        Some(os) => os[c] * acc,
+                        None => acc,
+                    };
+                }
+            });
+            return;
+        }
+        assert_eq!(
+            partials.len(),
+            self.shards.len(),
+            "cols_compose: workspace shard count (rebalanced ops need a fresh workspace)"
+        );
+        {
+            let mut jobs: Vec<(&UserShard, &mut Vec<f64>)> =
+                self.shards.iter().zip(partials.iter_mut()).collect();
+            parallel::par_for_each_mut(&mut jobs, |_, (shard, buf)| {
+                let local = &s[shard.start..shard.end];
+                let lscale = row_scale.map(|rs| &rs[shard.start..shard.end]);
+                for (c, slot) in buf.iter_mut().enumerate() {
+                    *slot = match lscale {
+                        Some(ls) => BinaryCsr::gather_sum_scaled(shard.pattern.col(c), local, ls),
+                        None => BinaryCsr::gather_sum(shard.pattern.col(c), local),
+                    };
+                }
+            });
+        }
+        let partials: &[Vec<f64>] = partials;
+        parallel::par_fill(w, |offset, chunk| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                let c = offset + j;
+                let mut acc = 0.0;
+                for p in partials {
+                    acc += p[c];
+                }
+                *slot = match out_scale {
+                    Some(os) => os[c] * acc,
+                    None => acc,
+                };
+            }
+        });
+    }
+
+    /// `s = C w` (unnormalized).
+    pub fn c_apply(&self, w: &[f64], s_out: &mut [f64]) {
+        self.rows_fill(s_out, |p, lr, _| BinaryCsr::gather_sum(p.row(lr), w));
+    }
+
+    /// `w = Cᵀ s` (unnormalized), composed across shards.
+    pub fn ct_apply(&self, s: &[f64], partials: &mut [Vec<f64>], w: &mut [f64]) {
+        self.cols_compose(s, None, None, partials, w);
+    }
+
+    /// `s = Crow w`: user score = average weight of their chosen options.
+    pub fn crow_apply(&self, w: &[f64], s_out: &mut [f64]) {
+        let inv_row = &self.inv_row;
+        self.rows_fill(s_out, |p, lr, g| {
+            inv_row[g] * BinaryCsr::gather_sum(p.row(lr), w)
+        });
+    }
+
+    /// `w = (Ccol)ᵀ s`: option weight = average score of its pickers.
+    pub fn ccol_t_apply(&self, s: &[f64], partials: &mut [Vec<f64>], w: &mut [f64]) {
+        self.cols_compose(s, None, Some(&self.inv_col), partials, w);
+    }
+
+    /// One AvgHITS step `s ← U s` with `U = Crow (Ccol)ᵀ`. `partials` and
+    /// `w` are the workspace's column-partial buffers and composed
+    /// option-length scratch — passed separately (not as a whole
+    /// [`ShardedWorkspace`]) so operator loops can borrow disjoint
+    /// workspace fields for input, scratch, and output.
+    pub fn u_apply(
+        &self,
+        s_in: &[f64],
+        partials: &mut [Vec<f64>],
+        w: &mut [f64],
+        s_out: &mut [f64],
+    ) {
+        self.cols_compose(s_in, None, Some(&self.inv_col), partials, w);
+        self.crow_apply(w, s_out);
+    }
+
+    /// One transposed AvgHITS step `s ← Uᵀ s` with
+    /// `Uᵀ = C Dc⁻¹ Cᵀ Dr⁻¹` — the `Dr⁻¹` input scaling fused into the
+    /// shard partials.
+    pub fn ut_apply(
+        &self,
+        s_in: &[f64],
+        partials: &mut [Vec<f64>],
+        w: &mut [f64],
+        s_out: &mut [f64],
+    ) {
+        self.cols_compose(s_in, Some(&self.inv_row), Some(&self.inv_col), partials, w);
+        self.c_apply(w, s_out);
+    }
+
+    /// One symmetrized AvgHITS step `s ← Ũ s` with
+    /// `Ũ = Dr^{-1/2} C Dc⁻¹ Cᵀ Dr^{-1/2}`; both `Dr^{-1/2}` applications
+    /// fused into the gathers (two passes over `C`, no temporaries).
+    pub fn symmetrized_u_apply(
+        &self,
+        s_in: &[f64],
+        inv_sqrt_rows: &[f64],
+        partials: &mut [Vec<f64>],
+        w: &mut [f64],
+        s_out: &mut [f64],
+    ) {
+        self.cols_compose(s_in, Some(inv_sqrt_rows), Some(&self.inv_col), partials, w);
+        let w: &[f64] = w;
+        self.rows_fill(s_out, |p, lr, g| {
+            inv_sqrt_rows[g] * BinaryCsr::gather_sum(p.row(lr), w)
+        });
+    }
+}
+
+/// Builds one shard from the matrix rows in `range` (local row indices,
+/// full column dimension, fresh slack).
+fn build_shard(
+    matrix: &ResponseMatrix,
+    range: Range<usize>,
+    n_cols: usize,
+    row_slack: usize,
+    col_slack: usize,
+) -> UserShard {
+    let mut pairs = Vec::new();
+    for u in range.clone() {
+        for (item, choice) in matrix.user_row(u).iter().enumerate() {
+            if let Some(opt) = choice {
+                pairs.push((u - range.start, matrix.one_hot_column(item, *opt)));
+            }
+        }
+    }
+    UserShard {
+        start: range.start,
+        end: range.end,
+        pattern: BinaryCsr::with_slack(range.len(), n_cols, pairs, row_slack, col_slack),
+    }
+}
+
+/// Maps a shard-local delta error back to global user coordinates.
+fn globalize_error(e: DeltaError, start: usize) -> DeltaError {
+    let up = |row: u32| (row as usize + start) as u32;
+    match e {
+        DeltaError::OutOfBounds { row, col } => DeltaError::OutOfBounds { row: up(row), col },
+        DeltaError::Duplicate { row, col } => DeltaError::Duplicate { row: up(row), col },
+        DeltaError::Missing { row, col } => DeltaError::Missing { row: up(row), col },
+        full => full,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnd_response::{KernelWorkspace, ResponseLog, ResponseOps};
+
+    fn figure1() -> ResponseMatrix {
+        ResponseMatrix::from_choices(
+            3,
+            &[3, 3, 3],
+            &[
+                &[Some(0), Some(0), Some(0)],
+                &[Some(0), Some(0), Some(2)],
+                &[Some(0), Some(1), Some(2)],
+                &[Some(1), Some(2), Some(2)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= 1e-12, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn shard_layout_partitions_users() {
+        let m = figure1();
+        let sops = ShardedOps::with_shards(&m, 3, 0, 0);
+        assert_eq!(sops.shard_count(), 3);
+        assert_eq!(sops.n_users(), 4);
+        assert_eq!(sops.nnz(), 12);
+        let covered: usize = sops.shards().iter().map(UserShard::len).sum();
+        assert_eq!(covered, 4);
+        for u in 0..4 {
+            let k = sops.shard_of(u);
+            assert!(sops.shards()[k].range().contains(&u));
+        }
+    }
+
+    #[test]
+    fn kernels_match_unsharded_for_every_shard_count() {
+        let m = figure1();
+        let ops = ResponseOps::new(&m);
+        let mut ws = KernelWorkspace::for_ops(&ops);
+        let s_in = [0.3, -1.0, 0.5, 2.0];
+        for shards in 1..=4 {
+            let sops = ShardedOps::with_shards(&m, shards, 0, 0);
+            let mut sws = ShardedWorkspace::for_ops(&sops);
+            // U s
+            let mut want = vec![0.0; 4];
+            ops.u_apply(&s_in, &mut ws.w, &mut want);
+            let mut got = vec![0.0; 4];
+            sops.u_apply(&s_in, &mut sws.partials, &mut sws.w, &mut got);
+            assert_close(&got, &want);
+            // Uᵀ s
+            ops.ut_apply(&s_in, &mut ws.w, &mut want);
+            sops.ut_apply(&s_in, &mut sws.partials, &mut sws.w, &mut got);
+            assert_close(&got, &want);
+            // Ũ s
+            let inv_sqrt: Vec<f64> = ops
+                .row_counts()
+                .iter()
+                .map(|&c| if c > 0.0 { 1.0 / c.sqrt() } else { 0.0 })
+                .collect();
+            ops.symmetrized_u_apply(&s_in, &inv_sqrt, &mut ws.w, &mut want);
+            sops.symmetrized_u_apply(&s_in, &inv_sqrt, &mut sws.partials, &mut sws.w, &mut got);
+            assert_close(&got, &want);
+            // C / Cᵀ raw products.
+            let w_in: Vec<f64> = (0..9).map(|c| 0.1 * c as f64 - 0.3).collect();
+            ops.c_apply(&w_in, &mut want);
+            sops.c_apply(&w_in, &mut got);
+            assert_close(&got, &want);
+            let mut ww = vec![0.0; 9];
+            let mut sw = vec![0.0; 9];
+            ops.ct_apply(&s_in, &mut ww);
+            sops.ct_apply(&s_in, &mut sws.partials, &mut sw);
+            assert_close(&sw, &ww);
+            ops.ccol_t_apply(&s_in, &mut ww);
+            sops.ccol_t_apply(&s_in, &mut sws.partials, &mut sw);
+            assert_close(&sw, &ww);
+        }
+    }
+
+    #[test]
+    fn degree_scalings_compose_across_shards() {
+        let m = figure1();
+        let ops = ResponseOps::new(&m);
+        let sops = ShardedOps::with_shards(&m, 2, 0, 0);
+        assert_eq!(sops.row_counts(), ops.row_counts());
+        assert_eq!(sops.col_counts(), ops.col_counts());
+        assert_eq!(sops.inv_row_counts(), ops.inv_row_counts());
+        assert_eq!(sops.inv_col_counts(), ops.inv_col_counts());
+    }
+
+    #[test]
+    fn delta_routes_to_owning_shards() {
+        let mut log = ResponseLog::new(4, 3, &[3, 3, 3]).unwrap();
+        for (u, row) in [[0, 0, 0], [0, 0, 2], [0, 1, 2], [1, 2, 2]]
+            .iter()
+            .enumerate()
+        {
+            for (i, &c) in row.iter().enumerate() {
+                log.set(u, i, Some(c as u16)).unwrap();
+            }
+        }
+        let mut matrix = log.snapshot().matrix;
+        let mut sops = ShardedOps::with_shards(&matrix, 2, 2, 4);
+        // Edits touching both shards: user 0 revises, user 3 clears, user 1
+        // answers nothing new… then compare against a rebuild.
+        log.set(0, 1, Some(2)).unwrap();
+        log.set(3, 0, None).unwrap();
+        log.set(2, 2, Some(0)).unwrap();
+        let delta = log.drain_delta().unwrap();
+        matrix.apply_delta(&delta).unwrap();
+        sops.apply_delta(&matrix, &delta).unwrap();
+        let rebuilt = ShardedOps::with_shards(&matrix, 2, 0, 0);
+        assert_eq!(sops.nnz(), rebuilt.nnz());
+        assert_eq!(sops.row_counts(), rebuilt.row_counts());
+        assert_eq!(sops.col_counts(), rebuilt.col_counts());
+        // Kernel outputs agree bitwise with the rebuild.
+        let mut a = ShardedWorkspace::for_ops(&sops);
+        let mut b = ShardedWorkspace::for_ops(&rebuilt);
+        let s_in = [1.0, -0.5, 0.25, 2.0];
+        let mut ya = vec![0.0; 4];
+        let mut yb = vec![0.0; 4];
+        sops.u_apply(&s_in, &mut a.partials, &mut a.w, &mut ya);
+        rebuilt.u_apply(&s_in, &mut b.partials, &mut b.w, &mut yb);
+        assert_eq!(ya, yb);
+        assert_eq!(sops.rebuilt_shards(), 0, "slack was sufficient");
+    }
+
+    #[test]
+    fn slack_exhaustion_rebuilds_one_shard_only() {
+        let mut log = ResponseLog::new(6, 2, &[2, 2]).unwrap();
+        log.set(0, 0, Some(0)).unwrap();
+        log.set(3, 0, Some(0)).unwrap();
+        let mut matrix = log.snapshot().matrix;
+        // Zero slack: any insert exhausts capacity immediately.
+        let mut sops = ShardedOps::with_shards(&matrix, 2, 0, 0);
+        log.set(0, 1, Some(1)).unwrap();
+        let delta = log.drain_delta().unwrap();
+        matrix.apply_delta(&delta).unwrap();
+        sops.apply_delta(&matrix, &delta).unwrap();
+        assert_eq!(sops.rebuilt_shards(), 1, "only the touched shard rebuilds");
+        let rebuilt = ShardedOps::with_shards(&matrix, 2, 0, 0);
+        assert_eq!(sops.nnz(), rebuilt.nnz());
+        assert_eq!(sops.row_counts(), rebuilt.row_counts());
+    }
+
+    #[test]
+    fn skew_triggers_rebalance() {
+        let mut log = ResponseLog::new(8, 4, &[2; 4]).unwrap();
+        log.set(0, 0, Some(0)).unwrap();
+        log.set(4, 0, Some(0)).unwrap();
+        let mut matrix = log.snapshot().matrix;
+        let mut sops = ShardedOps::with_shards(&matrix, 2, 8, 8);
+        let plan = ShardPlan {
+            skew_threshold: 1.5,
+            ..ShardPlan::exactly(2)
+        };
+        assert!(!sops.needs_rebalance(&plan), "balanced at build");
+        // Initial weights concentrate on users 0 and 4, so the layout is
+        // [0..1][1..8]; pile answers onto the second shard's users only.
+        for i in 1..4 {
+            log.set(1, i, Some(0)).unwrap();
+            log.set(2, i, Some(1)).unwrap();
+            log.set(3, i, Some(0)).unwrap();
+        }
+        let delta = log.drain_delta().unwrap();
+        matrix.apply_delta(&delta).unwrap();
+        sops.apply_delta(&matrix, &delta).unwrap();
+        assert!(sops.max_skew() > 1.5);
+        assert!(sops.needs_rebalance(&plan));
+        sops.rebalance(&matrix, &plan);
+        assert!(
+            sops.max_skew() <= 1.5,
+            "re-split restores balance: skew {}",
+            sops.max_skew()
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Shard layout policy: when to shard, how many shards, where to cut.
+//!
+//! A [`ShardPlan`] is pure data (`Copy`, embeddable in engine options):
+//! activation thresholds deciding *whether* a session is big enough to
+//! shard at all, a target entry count per shard deciding *how many* shards
+//! to cut, and a skew threshold deciding when delta traffic has deformed
+//! the layout enough to re-split. The actual cut points are chosen by
+//! [`split_ranges`], a greedy balanced partition over per-user entry
+//! counts — contiguous user ranges, so every shard's slice of the score
+//! vector is one `split_at_mut` and shard outputs never interleave.
+
+use std::ops::Range;
+
+/// Policy governing shard layout for one session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardPlan {
+    /// Aim for roughly this many stored entries per shard. The shard count
+    /// is `nnz / target_shard_nnz`, clamped to
+    /// [`min_shards`](Self::min_shards)..=[`max_shards`](Self::max_shards).
+    pub target_shard_nnz: usize,
+    /// Never cut fewer shards than this once sharding activates.
+    pub min_shards: usize,
+    /// Never cut more shards than this (bounds per-shard column-partial
+    /// buffers: memory is `max_shards × n_option_columns` doubles).
+    pub max_shards: usize,
+    /// Re-split when the heaviest shard exceeds `skew_threshold ×` the
+    /// ideal (mean) shard size — delta traffic concentrated on one user
+    /// range would otherwise serialize the whole solve behind one shard.
+    pub skew_threshold: f64,
+    /// Activation: shard sessions with at least this many users…
+    pub min_users: usize,
+    /// …or at least this many stored entries (either trips it).
+    pub min_nnz: usize,
+}
+
+impl Default for ShardPlan {
+    fn default() -> Self {
+        ShardPlan {
+            // ~250k entries ≈ one shard's worth of gather work at the
+            // paper's densities; small enough that 4–8 shards appear by
+            // the time a session reaches the scales where the row/column
+            // gathers stop fitting in one core's bandwidth.
+            target_shard_nnz: 250_000,
+            min_shards: 2,
+            max_shards: 64,
+            skew_threshold: 2.0,
+            min_users: 10_000,
+            min_nnz: 500_000,
+        }
+    }
+}
+
+impl ShardPlan {
+    /// `true` when a session of this size should use the sharded backend.
+    pub fn activates(&self, n_users: usize, nnz: usize) -> bool {
+        n_users >= self.min_users || nnz >= self.min_nnz
+    }
+
+    /// Number of shards to cut for `nnz` stored entries (independent of
+    /// activation; callers check [`Self::activates`] first).
+    pub fn shard_count(&self, nnz: usize) -> usize {
+        let lo = self.min_shards.max(1);
+        let hi = self.max_shards.max(lo);
+        (nnz / self.target_shard_nnz.max(1)).clamp(lo, hi)
+    }
+
+    /// A plan pinned to exactly `n` shards with activation disabled —
+    /// bench/test helper for sweeping shard counts on one matrix.
+    pub fn exactly(n: usize) -> Self {
+        ShardPlan {
+            min_shards: n,
+            max_shards: n,
+            min_users: 0,
+            min_nnz: 0,
+            ..Default::default()
+        }
+    }
+}
+
+/// Cuts `0..row_weights.len()` into `shards` contiguous ranges with
+/// near-equal total weight: a greedy sweep that re-targets the mean of the
+/// *remaining* weight before each cut, so one heavy user early on cannot
+/// starve the tail shards. Every range is non-empty (the shard count is
+/// clamped to the row count); weights of zero are fine (an all-zero prefix
+/// yields a legitimate empty-pattern shard).
+pub fn split_ranges(row_weights: &[usize], shards: usize) -> Vec<Range<usize>> {
+    let m = row_weights.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, m);
+    let total: usize = row_weights.iter().sum();
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut consumed = 0usize;
+    for s in 0..shards {
+        let remaining_shards = shards - s;
+        // Leave at least one row for each later shard.
+        let max_end = m - (remaining_shards - 1);
+        let target = (total - consumed).div_ceil(remaining_shards);
+        let mut end = start + 1;
+        let mut acc = row_weights[start];
+        while end < max_end && acc < target {
+            acc += row_weights[end];
+            end += 1;
+        }
+        if remaining_shards == 1 {
+            // The last shard always absorbs the tail (a zero-weight tail
+            // would otherwise be left uncovered once the target is met).
+            while end < m {
+                acc += row_weights[end];
+                end += 1;
+            }
+        }
+        ranges.push(start..end);
+        consumed += acc;
+        start = end;
+    }
+    debug_assert_eq!(start, m, "split_ranges must cover every row");
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_and_balance() {
+        let w = vec![10usize; 100];
+        let r = split_ranges(&w, 4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], 0..25);
+        assert_eq!(r[3], 75..100);
+        // Contiguous cover.
+        for k in 1..r.len() {
+            assert_eq!(r[k - 1].end, r[k].start);
+        }
+    }
+
+    #[test]
+    fn heavy_head_does_not_starve_the_tail() {
+        // One user holds half the weight; later shards still split the rest.
+        let mut w = vec![1usize; 9];
+        w.insert(0, 9);
+        let r = split_ranges(&w, 3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], 0..1, "the heavy user is its own shard");
+        let tail_rows: usize = r[1..].iter().map(|x| x.len()).sum();
+        assert_eq!(tail_rows, 9);
+    }
+
+    #[test]
+    fn zero_weight_rows_and_overclamping_are_safe() {
+        let r = split_ranges(&[0, 0, 0], 8);
+        assert_eq!(r.len(), 3, "shards clamp to the row count");
+        assert!(r.iter().all(|x| !x.is_empty()));
+        assert!(split_ranges(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn plan_activation_and_counts() {
+        let plan = ShardPlan::default();
+        assert!(!plan.activates(100, 1_000));
+        assert!(plan.activates(10_000, 0));
+        assert!(plan.activates(5, 500_000));
+        assert_eq!(plan.shard_count(0), plan.min_shards);
+        assert_eq!(plan.shard_count(1_000_000), 4);
+        assert_eq!(
+            plan.shard_count(usize::MAX / 2),
+            plan.max_shards,
+            "count saturates at max_shards"
+        );
+        let pinned = ShardPlan::exactly(6);
+        assert_eq!(pinned.shard_count(0), 6);
+        assert_eq!(pinned.shard_count(usize::MAX / 2), 6);
+        assert!(pinned.activates(1, 1));
+    }
+}

@@ -1,0 +1,163 @@
+//! The sharded solve path: `HND-power` (Algorithm 1) on a sharded kernel
+//! context.
+//!
+//! [`solve_power`] mirrors `hnd_core::HitsNDiffs::solve_prepared` step for
+//! step — same deterministic start vector ([`SolverOpts::start`]), same
+//! power-iteration driver, same score reconstruction and decile-entropy
+//! orientation — with the `O(nnz)` kernel applications decomposed across
+//! shards. Given the same options and warm state it therefore produces
+//! scores matching the unsharded solver to ≤1e-12 (the compose pass
+//! reorders a few floating-point additions per iterate, nothing more),
+//! which the equivalence proptests in `tests/shard_equivalence.rs` pin
+//! down.
+//!
+//! Warm starts accept any solver-agnostic [`SolveState`] (the serving
+//! layer's cache entries): the state's user-score vector is converted to
+//! the difference coordinates `Udiff` iterates in, exactly as the
+//! unsharded solver does.
+
+use crate::operators::ShardedUDiffOp;
+use crate::ops::ShardedOps;
+use hnd_core::{SolveOutcome, SolveState, SolverOpts};
+use hnd_linalg::power::power_iteration;
+use hnd_linalg::vector;
+use hnd_response::{orient_by_decile_entropy, RankError, Ranking, ResponseMatrix};
+
+/// Solves for the user ranking on a sharded kernel context, optionally
+/// warm-started. The sharded analogue of
+/// `HitsNDiffs::solve_prepared(matrix, ops, state)`.
+///
+/// `ops` must be the sharded context of `matrix` (the serving layer keeps
+/// it current via [`ShardedOps::apply_delta`]); `matrix` is consulted only
+/// for the orientation pass and trivial-shape checks. An incompatible warm
+/// state (different user count) falls back to the cold start silently.
+pub fn solve_power(
+    matrix: &ResponseMatrix,
+    ops: &ShardedOps,
+    opts: &SolverOpts,
+    state: Option<&SolveState>,
+) -> Result<SolveOutcome, RankError> {
+    let m = matrix.n_users();
+    if m == 1 {
+        return Ok(SolveOutcome {
+            ranking: Ranking::from_scores(vec![0.0]),
+            state: SolveState::from_scores(vec![0.0]),
+        });
+    }
+    if m < 2 || ops.n_users() != m {
+        return Err(RankError::InvalidInput(format!(
+            "sharded HND: kernel context covers {} users, matrix has {m}",
+            ops.n_users()
+        )));
+    }
+    // Warm start: previous user scores → difference coordinates (the
+    // exact compatibility rule of the unsharded path).
+    let warm: Option<Vec<f64>> = state.and_then(|s| s.warm_diffs(m));
+    let x0 = match warm {
+        Some(d) => d,
+        None => opts.start(m - 1),
+    };
+    let op = ShardedUDiffOp::new(ops);
+    let out = power_iteration(&op, &x0, &opts.power());
+
+    // Line 9 of Algorithm 1: s ← T·sdiff, then state capture + orientation.
+    let mut scores = Vec::with_capacity(m);
+    vector::cumsum_from_diffs(&out.vector, &mut scores);
+    let solve_state = SolveState::from_scores(scores.clone());
+    let mut ranking = Ranking {
+        scores,
+        iterations: out.iterations,
+        converged: true,
+    };
+    if opts.orient {
+        orient_by_decile_entropy(matrix, &mut ranking);
+    }
+    Ok(SolveOutcome {
+        ranking,
+        state: solve_state,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnd_core::SolverKind;
+
+    fn staircase(m: usize) -> ResponseMatrix {
+        let n = m - 1;
+        let rows: Vec<Vec<Option<u16>>> = (0..m)
+            .map(|j| (0..n).map(|i| Some(u16::from(j > i))).collect())
+            .collect();
+        let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+        ResponseMatrix::from_choices(n, &vec![2u16; n], &refs).unwrap()
+    }
+
+    #[test]
+    fn sharded_solve_matches_unsharded_for_every_shard_count() {
+        let matrix = staircase(14);
+        let opts = SolverOpts::default();
+        let reference = SolverKind::Power.build(opts).solve(&matrix).unwrap();
+        for shards in [1, 2, 3, 7, 14] {
+            let sops = ShardedOps::with_shards(&matrix, shards, 0, 0);
+            let out = solve_power(&matrix, &sops, &opts, None).unwrap();
+            assert_eq!(
+                out.ranking.order_best_to_worst(),
+                reference.ranking.order_best_to_worst(),
+                "{shards} shards"
+            );
+            for (a, b) in out.ranking.scores.iter().zip(&reference.ranking.scores) {
+                assert!((a - b).abs() <= 1e-12, "{shards} shards: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_cuts_iterations() {
+        let matrix = staircase(20);
+        let opts = SolverOpts {
+            orient: false,
+            ..Default::default()
+        };
+        let sops = ShardedOps::with_shards(&matrix, 3, 0, 0);
+        let cold = solve_power(&matrix, &sops, &opts, None).unwrap();
+        let warm = solve_power(&matrix, &sops, &opts, Some(&cold.state)).unwrap();
+        assert!(
+            warm.ranking.iterations < cold.ranking.iterations,
+            "warm {} vs cold {}",
+            warm.ranking.iterations,
+            cold.ranking.iterations
+        );
+    }
+
+    #[test]
+    fn incompatible_state_falls_back_to_cold() {
+        let small = staircase(6);
+        let big = staircase(10);
+        let opts = SolverOpts {
+            orient: false,
+            ..Default::default()
+        };
+        let small_ops = ShardedOps::with_shards(&small, 2, 0, 0);
+        let state = solve_power(&small, &small_ops, &opts, None).unwrap().state;
+        let big_ops = ShardedOps::with_shards(&big, 2, 0, 0);
+        let warm = solve_power(&big, &big_ops, &opts, Some(&state)).unwrap();
+        let cold = solve_power(&big, &big_ops, &opts, None).unwrap();
+        assert_eq!(warm.ranking.scores, cold.ranking.scores);
+    }
+
+    #[test]
+    fn single_user_is_trivial() {
+        let matrix = ResponseMatrix::from_choices(1, &[2], &[&[Some(0)]]).unwrap();
+        let sops = ShardedOps::with_shards(&matrix, 1, 0, 0);
+        let out = solve_power(&matrix, &sops, &SolverOpts::default(), None).unwrap();
+        assert_eq!(out.ranking.scores, vec![0.0]);
+    }
+
+    #[test]
+    fn mismatched_context_is_rejected() {
+        let big = staircase(8);
+        let small = staircase(5);
+        let sops = ShardedOps::with_shards(&small, 2, 0, 0);
+        assert!(solve_power(&big, &sops, &SolverOpts::default(), None).is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! Shard ≡ unsharded equivalence battery.
+//!
+//! Property tests asserting that the sharded execution layer is
+//! *numerically indistinguishable* from the single-shard path it
+//! decomposes: kernel applications (`U`, `Uᵀ`, `Ũ`) agree to ≤1e-12 for
+//! every shard count, full power solves produce the same scores (and
+//! identical rankings whenever the score gaps are resolvable), and a
+//! sharded context maintained through an arbitrary delta stream matches
+//! one rebuilt from scratch — including streams that exhaust shard slack
+//! and force per-shard rebuilds.
+//!
+//! Fixed-seed cases pin the degenerate layouts proptest strategies rarely
+//! produce at volume: heavily skewed shard loads, shards made entirely of
+//! empty users, and delta waves that trip the rebalance policy.
+
+use hnd_core::{SolverKind, SolverOpts};
+use hnd_response::{KernelWorkspace, ResponseLog, ResponseMatrix, ResponseOps};
+use hnd_shard::{solve_power, ShardPlan, ShardedOps, ShardedWorkspace};
+use proptest::prelude::*;
+
+/// One write in a generated stream: `(user, item, choice)`.
+type Write = (usize, usize, Option<u16>);
+
+/// A generated roster + edit stream: `(m, n, options, batches)`.
+type EditStream = (usize, usize, Vec<u16>, Vec<Vec<Write>>);
+
+/// Small heterogeneous rosters with revision/clear edits, mirroring the
+/// response-crate delta proptests (the shard layer must survive exactly
+/// the same traffic).
+fn edit_stream() -> impl Strategy<Value = EditStream> {
+    (3usize..=12, 1usize..=8).prop_flat_map(|(m, n)| {
+        let options = proptest::collection::vec(1u16..=4, n);
+        options.prop_flat_map(move |opts| {
+            let cell = (0..m, 0..n);
+            let batch = proptest::collection::vec(
+                cell.prop_flat_map(move |(u, i)| {
+                    (Just(u), Just(i), proptest::option::weighted(0.8, 0..5u16))
+                }),
+                1..10,
+            );
+            let opts2 = opts.clone();
+            (
+                Just(m),
+                Just(n),
+                Just(opts),
+                proptest::collection::vec(batch, 1..6).prop_map(move |batches| {
+                    batches
+                        .into_iter()
+                        .map(|b| {
+                            b.into_iter()
+                                .map(|(u, i, c)| (u, i, c.map(|o| o % opts2[i])))
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                }),
+            )
+        })
+    })
+}
+
+fn apply_batches(log: &mut ResponseLog, batches: &[Vec<Write>]) {
+    for batch in batches {
+        for &(u, i, c) in batch {
+            log.set(u, i, c).unwrap();
+        }
+    }
+}
+
+fn assert_close(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (x, y) in a.iter().zip(b) {
+        assert!((x - y).abs() <= 1e-12, "{what}: {a:?} vs {b:?}");
+    }
+}
+
+/// Asserts two score vectors describe the same solve: ≤1e-12 pointwise,
+/// and identical best-to-worst orders whenever every adjacent score gap is
+/// resolvable at that precision (near-ties may legitimately permute).
+fn assert_same_solve(got: &hnd_response::Ranking, want: &hnd_response::Ranking, what: &str) {
+    assert_close(&got.scores, &want.scores, what);
+    let order = want.order_best_to_worst();
+    let resolvable = order
+        .windows(2)
+        .all(|w| (want.scores[w[0]] - want.scores[w[1]]).abs() > 1e-9);
+    if resolvable {
+        assert_eq!(
+            got.order_best_to_worst(),
+            order,
+            "{what}: rankings must be identical"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kernel applications agree for every shard count that fits the
+    /// roster.
+    #[test]
+    fn sharded_kernels_match_unsharded((m, _n, options, batches) in edit_stream()) {
+        let mut log = ResponseLog::new(m, options.len(), &options).unwrap();
+        apply_batches(&mut log, &batches);
+        let matrix = log.to_matrix();
+        let ops = ResponseOps::new(&matrix);
+        let mut ws = KernelWorkspace::for_ops(&ops);
+        let s_in: Vec<f64> = (0..m).map(|u| (u as f64) * 0.37 - 1.1).collect();
+        let inv_sqrt: Vec<f64> = ops
+            .row_counts()
+            .iter()
+            .map(|&c| if c > 0.0 { 1.0 / c.sqrt() } else { 0.0 })
+            .collect();
+        for shards in [1, 2, 3, m] {
+            let sops = ShardedOps::with_shards(&matrix, shards, 0, 0);
+            let mut sws = ShardedWorkspace::for_ops(&sops);
+            let mut want = vec![0.0; m];
+            let mut got = vec![0.0; m];
+            ops.u_apply(&s_in, &mut ws.w, &mut want);
+            sops.u_apply(&s_in, &mut sws.partials, &mut sws.w, &mut got);
+            assert_close(&got, &want, "U");
+            ops.ut_apply(&s_in, &mut ws.w, &mut want);
+            sops.ut_apply(&s_in, &mut sws.partials, &mut sws.w, &mut got);
+            assert_close(&got, &want, "Ut");
+            ops.symmetrized_u_apply(&s_in, &inv_sqrt, &mut ws.w, &mut want);
+            sops.symmetrized_u_apply(&s_in, &inv_sqrt, &mut sws.partials, &mut sws.w, &mut got);
+            assert_close(&got, &want, "sym U");
+        }
+    }
+
+    /// Full power solves agree: same scores to ≤1e-12, identical rankings
+    /// when resolvable, for every shard count.
+    #[test]
+    fn sharded_solves_match_unsharded((m, _n, options, batches) in edit_stream()) {
+        let mut log = ResponseLog::new(m, options.len(), &options).unwrap();
+        apply_batches(&mut log, &batches);
+        let matrix = log.to_matrix();
+        let opts = SolverOpts::default();
+        let solver = SolverKind::Power.build(opts);
+        let ops = ResponseOps::new(&matrix);
+        let want = solver.solve_prepared(&matrix, &ops, None).unwrap();
+        for shards in [1, 2, m] {
+            let sops = ShardedOps::with_shards(&matrix, shards, 0, 0);
+            let got = solve_power(&matrix, &sops, &opts, None).unwrap();
+            assert_same_solve(&got.ranking, &want.ranking, "cold solve");
+            // Warm restarts stay equivalent too (state is solver-agnostic).
+            let warm_want = solver
+                .solve_prepared(&matrix, &ops, Some(&want.state))
+                .unwrap();
+            let warm_got = solve_power(&matrix, &sops, &opts, Some(&got.state)).unwrap();
+            assert_same_solve(&warm_got.ranking, &warm_want.ranking, "warm solve");
+        }
+    }
+
+    /// A sharded context patched through the whole edit stream (tight
+    /// slack, so per-shard rebuilds trigger) matches a from-scratch build,
+    /// and delta-patched solves match the single-shard path.
+    #[test]
+    fn delta_patched_sharded_context_matches_rebuild(
+        (m, _n, options, batches) in edit_stream()
+    ) {
+        let mut log = ResponseLog::new(m, options.len(), &options).unwrap();
+        let mut matrix = log.snapshot().matrix;
+        // Slack of 1: plenty of batches will exhaust a span and exercise
+        // the per-shard rollback-to-rebuild path.
+        let mut sops = ShardedOps::with_shards(&matrix, 3.min(m), 1, 1);
+        for batch in &batches {
+            for &(u, i, c) in batch {
+                log.set(u, i, c).unwrap();
+            }
+            let delta = log.drain_delta().unwrap();
+            if delta.is_empty() {
+                continue;
+            }
+            matrix.apply_delta(&delta).unwrap();
+            sops.apply_delta(&matrix, &delta).unwrap();
+        }
+        let rebuilt = ShardedOps::with_shards(&matrix, sops.shard_count(), 0, 0);
+        prop_assert_eq!(sops.nnz(), rebuilt.nnz());
+        prop_assert_eq!(sops.row_counts(), rebuilt.row_counts());
+        prop_assert_eq!(sops.col_counts(), rebuilt.col_counts());
+        // Patched-context solve ≡ single-shard solve on the same state.
+        let opts = SolverOpts::default();
+        let single = ResponseOps::new(&matrix);
+        let want = SolverKind::Power
+            .build(opts)
+            .solve_prepared(&matrix, &single, None)
+            .unwrap();
+        let got = solve_power(&matrix, &sops, &opts, None).unwrap();
+        assert_same_solve(&got.ranking, &want.ranking, "delta-patched solve");
+    }
+}
+
+// ---- fixed-seed degenerate layouts --------------------------------------
+
+/// Deterministic LCG for the fixed-seed cases.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+/// A heavily skewed roster: a handful of prolific users answer everything,
+/// a long tail answers one item, and a block of users answers nothing at
+/// all (so trailing shards can be entirely empty-pattern).
+fn skewed_matrix(seed: u64) -> ResponseMatrix {
+    let (m, n, k) = (40usize, 12usize, 3u16);
+    let mut rng = Lcg(seed);
+    let mut log = ResponseLog::new(m, n, &vec![k; n]).unwrap();
+    for u in 0..m {
+        let answers = if u < 4 {
+            n // prolific head
+        } else if u < 28 {
+            1 // sparse middle
+        } else {
+            0 // empty tail
+        };
+        for i in 0..answers {
+            log.set(u, i, Some((rng.next() % k as u64) as u16)).unwrap();
+        }
+    }
+    log.to_matrix()
+}
+
+#[test]
+fn skewed_and_empty_shard_layouts_stay_equivalent() {
+    for seed in [0xC0FFEE, 0xBEEF, 7] {
+        let matrix = skewed_matrix(seed);
+        let ops = ResponseOps::new(&matrix);
+        let opts = SolverOpts::default();
+        let want = SolverKind::Power
+            .build(opts)
+            .solve_prepared(&matrix, &ops, None)
+            .unwrap();
+        for shards in [2, 5, 8, 40] {
+            let sops = ShardedOps::with_shards(&matrix, shards, 0, 0);
+            // The empty tail must actually produce empty-pattern shards at
+            // high counts (the layout clamp keeps ranges non-empty in
+            // *users*, not entries).
+            if shards == 40 {
+                assert!(
+                    sops.shards().iter().any(|s| s.nnz() == 0),
+                    "seed {seed}: expected at least one empty-pattern shard"
+                );
+            }
+            let got = solve_power(&matrix, &sops, &opts, None).unwrap();
+            assert_same_solve(&got.ranking, &want.ranking, "skewed layout");
+        }
+    }
+}
+
+#[test]
+fn rebalance_trigger_preserves_equivalence() {
+    // Start balanced, then hammer one user range until the plan's skew
+    // threshold trips; the re-split context must keep solving identically.
+    let (m, n, k) = (24usize, 10usize, 2u16);
+    let plan = ShardPlan {
+        skew_threshold: 1.4,
+        ..ShardPlan::exactly(3)
+    };
+    for seed in [1u64, 99, 0xABCD] {
+        let mut rng = Lcg(seed);
+        let mut log = ResponseLog::new(m, n, &vec![k; n]).unwrap();
+        for u in 0..m {
+            log.set(u, 0, Some((rng.next() % 2) as u16)).unwrap();
+        }
+        let mut matrix = log.snapshot().matrix;
+        let mut sops = ShardedOps::from_plan(&matrix, &plan, 4, 64);
+        assert_eq!(sops.shard_count(), 3);
+        let mut rebalanced = false;
+        for wave in 0..6 {
+            // All traffic lands on the last shard's users.
+            for e in 0..8 {
+                let u = m - 1 - ((wave + e) % 6);
+                let i = 1 + ((wave * 3 + e) % (n - 1));
+                log.set(u, i, Some((rng.next() % 2) as u16)).unwrap();
+            }
+            let delta = log.drain_delta().unwrap();
+            matrix.apply_delta(&delta).unwrap();
+            sops.apply_delta(&matrix, &delta).unwrap();
+            if sops.needs_rebalance(&plan) {
+                sops.rebalance(&matrix, &plan);
+                rebalanced = true;
+            }
+        }
+        assert!(
+            rebalanced,
+            "seed {seed}: concentrated traffic must trip the skew threshold"
+        );
+        let opts = SolverOpts::default();
+        let single = ResponseOps::new(&matrix);
+        let want = SolverKind::Power
+            .build(opts)
+            .solve_prepared(&matrix, &single, None)
+            .unwrap();
+        let got = solve_power(&matrix, &sops, &opts, None).unwrap();
+        assert_same_solve(&got.ranking, &want.ranking, "rebalanced solve");
+    }
+}

@@ -74,10 +74,10 @@ fn main() {
     for (name, ranking) in [
         (
             "ABH",
-            AbhDirect {
+            AbhDirect::with_opts(SolverOpts {
                 orient: false,
-                ..Default::default()
-            }
+                ..AbhDirect::default().opts
+            })
             .rank(&shuffled)
             .unwrap(),
         ),

@@ -20,6 +20,8 @@
 //! * [`datasets`] — simulated stand-ins for the paper's real-world datasets,
 //! * [`service`] — the incremental ranking engine (versioned response
 //!   deltas, warm-start caching, session management),
+//! * [`shard`] — sharded spectral execution (user-range matrix shards
+//!   with composable kernels for huge sessions),
 //! * [`linalg`] — the from-scratch numerical substrate.
 //!
 //! ## Quickstart
@@ -56,6 +58,7 @@ pub use hnd_linalg as linalg;
 pub use hnd_models as models;
 pub use hnd_response as response;
 pub use hnd_service as service;
+pub use hnd_shard as shard;
 
 /// Convenience prelude with the types most programs need.
 pub mod prelude {

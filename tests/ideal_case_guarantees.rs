@@ -20,20 +20,16 @@ fn rankers() -> Vec<(&'static str, Box<dyn AbilityRanker>)> {
         ("HnD-power", SolverKind::Power.build(unoriented)),
         ("HnD-deflation", SolverKind::Deflation.build(unoriented)),
         ("HnD-direct", SolverKind::Direct.build(unoriented)),
+        // ABH rides the same shared options since the SolverOpts fold
+        // (keeping its own tighter Krylov default via AbhDirect::default).
         (
             "ABH-direct",
-            Box::new(AbhDirect {
+            Box::new(AbhDirect::with_opts(SolverOpts {
                 orient: false,
-                ..Default::default()
-            }),
+                ..AbhDirect::default().opts
+            })),
         ),
-        (
-            "ABH-power",
-            Box::new(AbhPower {
-                orient: false,
-                ..Default::default()
-            }),
-        ),
+        ("ABH-power", Box::new(AbhPower::with_opts(unoriented))),
     ]
 }
 
