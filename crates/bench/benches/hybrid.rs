@@ -1,0 +1,265 @@
+//! Hybrid bitmap/CSR pattern-engine benchmark: the density-adaptive
+//! kernel layer against the pure-CSR engine it generalizes.
+//!
+//! A note on the density axis: the kernels see **lane** density (entries
+//! per row/column span), and a k-option one-hot expansion divides the
+//! answer rate by ~k across its lanes. The sweep therefore runs on
+//! single-option **participation patterns** (`k = 1` — the HITS /
+//! crowdsourcing base shape, where matrix density *is* lane density and
+//! the 5%–90% axis is meaningful end to end), plus one-hot `k = 3` cells
+//! at the serving shape for the multi-choice picture.
+//!
+//! Three shapes:
+//!
+//! * **Density sweep** (`hybrid` group) — one `Udiff` application per
+//!   `(m, density)` cell, kernel context built under the adaptive
+//!   [`DensityPlan`] (`udiff_hybrid`) vs forced pure-CSR (`udiff_csr`).
+//!   Dense cells show the bitmap win; the 5–10% cells are the
+//!   no-overhead-when-sparse guard (the adaptive plan keeps those lanes
+//!   sparse, so the rows must collapse). `udiff_hybrid_s1` pins the
+//!   sharded machinery at one shard on the sparse cells — the
+//!   shards=1 ≡ CSR guard of the acceptance bar.
+//! * **One-hot cells** (`udiff_csr_k3` / `udiff_hybrid_k3`) — 3-option
+//!   items at 20%/60% answer rate (lane densities ≈ rate/3).
+//! * **Delta-wave steady state** (`hybrid_wave` group) — a serving engine
+//!   absorbing 16-edit waves (submit → delta patch → warm solve) on
+//!   binary items at 90% answer rate (≈45% lane density), hybrid plan on
+//!   vs off. Edits to bitmap lanes are O(1) bit flips with no slack
+//!   accounting, so the hybrid engine must finish the bench with **zero**
+//!   kernel rebuilds (asserted).
+//!
+//! Set `HND_BENCH_QUICK=1` to restrict to m = 10 000 and two densities
+//! (CI smoke; the dense cell id matches the checked-in artifact so the
+//! perf-smoke gate can compare); set `BENCH_JSON=path.json` to emit
+//! machine-readable results through the shared `hnd_bench::report` writer
+//! (per-entry density/nnz, kernel thread count, SIMD tier).
+
+use criterion::{BenchmarkId, Criterion};
+use hnd_bench::{lcg, matrix_meta, quick, report};
+use hnd_core::operators::UDiffOp;
+use hnd_core::SolverOpts;
+use hnd_linalg::op::LinearOp;
+use hnd_linalg::DensityPlan;
+use hnd_response::{ResponseLog, ResponseMatrix, ResponseOps};
+use hnd_service::{EngineOpts, RankingEngine};
+use hnd_shard::{ShardedOps, ShardedUDiffOp};
+
+/// Single-option participation pattern at the given density: user `u`
+/// "answers" item `i` (picks its only option) with probability `density`,
+/// ability-tilted so the spectral structure is non-trivial. Matrix density
+/// equals lane density here. Deterministic, cheap (at m = 200k the
+/// generator must not dominate setup).
+fn participation_matrix(m: usize, n: usize, density: f64) -> ResponseMatrix {
+    let mut state = 0x5AADED_u64 ^ ((m as u64) << 20) ^ ((density * 1000.0) as u64);
+    let rows: Vec<Vec<Option<u16>>> = (0..m)
+        .map(|u| {
+            let ability = 0.6 + 0.8 * (u as f64 / m as f64); // 0.6..1.4 tilt
+            let threshold = (density * ability * 1000.0).min(1000.0) as u64;
+            (0..n)
+                .map(|_| {
+                    if lcg(&mut state) % 1000 < threshold {
+                        Some(0)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+    ResponseMatrix::from_choices(n, &vec![1u16; n], &refs).unwrap()
+}
+
+/// Ability-structured k-option one-hot matrix at the given answer rate
+/// (lane densities ≈ rate/k): the serving shape of the sharding bench.
+fn one_hot_matrix(m: usize, n: usize, k: u16, rate: f64) -> ResponseMatrix {
+    let mut state = 0xB17EB_u64 ^ ((m as u64) << 18) ^ ((rate * 1000.0) as u64);
+    let threshold = (rate * 1000.0) as u64;
+    let rows: Vec<Vec<Option<u16>>> = (0..m)
+        .map(|u| {
+            let ability = u as f64 / m as f64;
+            (0..n)
+                .map(|i| {
+                    if lcg(&mut state) % 1000 >= threshold {
+                        return None;
+                    }
+                    let correct = (i % k as usize) as u16;
+                    if (lcg(&mut state) % 1000) as f64 / 1000.0 < 0.2 + 0.7 * ability {
+                        Some(correct)
+                    } else {
+                        Some((correct + 1 + (lcg(&mut state) % (k as u64 - 1)) as u16) % k)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+    ResponseMatrix::from_choices(n, &vec![k; n], &refs).unwrap()
+}
+
+fn bench_hybrid_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    // 200 items keeps the row lanes past DensityPlan::min_dim (a 100-bit
+    // lane would stay sparse by policy) at the cost the paper's n=100
+    // shape pays anyway on the option axis.
+    let n = 200usize;
+    let sizes: &[usize] = if quick() {
+        &[10_000]
+    } else {
+        &[10_000, 50_000, 200_000]
+    };
+    let densities: &[f64] = if quick() {
+        &[0.05, 0.60]
+    } else {
+        &[0.05, 0.10, 0.20, 0.40, 0.60, 0.90]
+    };
+
+    for &m in sizes {
+        for &d in densities {
+            let matrix = participation_matrix(m, n, d);
+            let meta = matrix_meta(&matrix);
+            let param = format!("m{m}_d{:02}", (d * 100.0) as u32);
+            let x = hnd_linalg::power::deterministic_start(m - 1);
+            let mut y = vec![0.0; m - 1];
+
+            // Pure-CSR baseline: every lane sparse.
+            let csr_ops = ResponseOps::with_plan(&matrix, 0, 0, DensityPlan::force_csr());
+            let csr_op = UDiffOp::new(&csr_ops);
+            report::note("hybrid", "udiff_csr", &param, meta);
+            group.bench_with_input(BenchmarkId::new("udiff_csr", &param), &m, |b, _| {
+                b.iter(|| csr_op.apply(&x, &mut y));
+            });
+
+            // Adaptive hybrid engine (the serving default).
+            let hyb_ops = ResponseOps::new(&matrix);
+            let hyb_op = UDiffOp::new(&hyb_ops);
+            report::note("hybrid", "udiff_hybrid", &param, meta);
+            group.bench_with_input(BenchmarkId::new("udiff_hybrid", &param), &m, |b, _| {
+                b.iter(|| hyb_op.apply(&x, &mut y));
+            });
+
+            // Sparse guard through the sharded machinery pinned at one
+            // shard: hybrid-at-low-density must be the CSR loops.
+            if d <= 0.10 {
+                let sops = ShardedOps::with_shards(&matrix, 1, 0, 0);
+                let sop = ShardedUDiffOp::new(&sops);
+                report::note("hybrid", "udiff_hybrid_s1", &param, meta);
+                group.bench_with_input(BenchmarkId::new("udiff_hybrid_s1", &param), &m, |b, _| {
+                    b.iter(|| sop.apply(&x, &mut y));
+                });
+            }
+        }
+
+        // One-hot cells: 3-option items, lane densities ≈ rate/3.
+        if !quick() {
+            for &rate in &[0.20f64, 0.60] {
+                let matrix = one_hot_matrix(m, 100, 3, rate);
+                let meta = matrix_meta(&matrix);
+                let param = format!("m{m}_r{:02}", (rate * 100.0) as u32);
+                let x = hnd_linalg::power::deterministic_start(m - 1);
+                let mut y = vec![0.0; m - 1];
+                let csr_ops = ResponseOps::with_plan(&matrix, 0, 0, DensityPlan::force_csr());
+                let csr_op = UDiffOp::new(&csr_ops);
+                report::note("hybrid", "udiff_csr_k3", &param, meta);
+                group.bench_with_input(BenchmarkId::new("udiff_csr_k3", &param), &m, |b, _| {
+                    b.iter(|| csr_op.apply(&x, &mut y));
+                });
+                let hyb_ops = ResponseOps::new(&matrix);
+                let hyb_op = UDiffOp::new(&hyb_ops);
+                report::note("hybrid", "udiff_hybrid_k3", &param, meta);
+                group.bench_with_input(BenchmarkId::new("udiff_hybrid_k3", &param), &m, |b, _| {
+                    b.iter(|| hyb_op.apply(&x, &mut y));
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_hybrid_waves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_wave");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    // Binary (true/false) items at 90% answer rate: converging spectra
+    // with ≈45% lane density — the densest realistic serving shape.
+    let n = 100usize;
+    let k = 2u16;
+    let rate = 0.90;
+    let sizes: &[usize] = if quick() {
+        &[10_000]
+    } else {
+        &[10_000, 50_000]
+    };
+
+    for &m in sizes {
+        let matrix = one_hot_matrix(m, n, k, rate);
+        let meta = matrix_meta(&matrix);
+        for (label, plan) in [
+            ("wave_csr", DensityPlan::force_csr()),
+            ("wave_hybrid", DensityPlan::default()),
+        ] {
+            let opts = EngineOpts {
+                solver_opts: SolverOpts {
+                    orient: false,
+                    ..Default::default()
+                },
+                row_slack: 64,
+                col_slack: 4096,
+                density_plan: plan,
+                ..Default::default()
+            };
+            let mut engine =
+                RankingEngine::from_log(ResponseLog::from_matrix(&matrix), opts).unwrap();
+            engine.current_ranking().expect("warmup solve");
+            let hybrid = label == "wave_hybrid";
+            if hybrid {
+                // At 60% lane density both AVX tiers' adaptive plans
+                // promote; the scalar tier's default is force_csr, which
+                // legitimately leaves everything sparse.
+                assert!(
+                    engine.stats().formats.bitmap_rows > 0
+                        || hnd_linalg::simd::kernel_isa() == hnd_linalg::KernelIsa::Scalar,
+                    "dense session must promote lanes under the adaptive plan"
+                );
+            }
+            let mut round = 0u64;
+            report::note("hybrid_wave", label, m, meta);
+            group.bench_with_input(BenchmarkId::new(label, m), &m, |b, _| {
+                b.iter(|| {
+                    round += 1;
+                    let batch: Vec<(usize, usize, Option<u16>)> = (0..16u64)
+                        .map(|e| {
+                            let u = ((round * 31 + e * 17 + 1) % m as u64) as usize;
+                            let i = ((round * 13 + e * 7) % n as u64) as usize;
+                            // Revise answers, occasionally withdrawing one.
+                            let choice = match (round + e) % 5 {
+                                0 => None,
+                                v => Some((v % k as u64) as u16),
+                            };
+                            (u, i, choice)
+                        })
+                        .collect();
+                    engine.submit_responses(batch).expect("in roster");
+                    engine.current_ranking().expect("solves")
+                });
+            });
+            if hybrid {
+                // Bitmap-lane patches are slack-free bit flips: the steady
+                // state must never fall back to a kernel rebuild.
+                assert_eq!(
+                    engine.stats().rebuilds,
+                    0,
+                    "hybrid delta waves must patch in place"
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion::criterion_group!(benches, bench_hybrid_sweep, bench_hybrid_waves);
+hnd_bench::bench_main!(benches);

@@ -13,7 +13,8 @@
 //! set `BENCH_JSON=path.json` to emit machine-readable results; pass a
 //! group name (`cargo bench --bench kernels -- incremental`) to filter.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use hnd_bench::{matrix_meta, quick, report};
 use hnd_core::operators::{SymmetrizedUOp, UDiffOp};
 use hnd_core::{SolveState, SolverKind, SolverOpts};
 use hnd_irt::{generate, GeneratorConfig, ModelKind};
@@ -41,8 +42,9 @@ fn ops_for(m: usize, n: usize) -> ResponseOps {
     ResponseOps::new(&dataset_for(m, n))
 }
 
-fn quick() -> bool {
-    std::env::var("HND_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+/// Registers shared-writer metadata for one `group/function/m` entry.
+fn note_matrix(group: &str, function: &str, m: usize, matrix: &ResponseMatrix) {
+    report::note(group, function, m, matrix_meta(matrix));
 }
 
 /// Faithful replica of the seed's `Udiff` application: valued CSR matrix,
@@ -102,6 +104,9 @@ fn bench_udiff_engine(c: &mut Criterion) {
         let mut y = vec![0.0; m - 1];
 
         let seed = SeedUDiff::new(&matrix);
+        for f in ["seed_csr", "engine_serial", "engine_parallel"] {
+            note_matrix("udiff_engine", f, m, &matrix);
+        }
         group.bench_with_input(BenchmarkId::new("seed_csr", m), &m, |b, _| {
             b.iter(|| seed.apply(&x, &mut y));
         });
@@ -188,6 +193,9 @@ fn bench_incremental(c: &mut Criterion) {
     let solver = SolverKind::Power.build(opts);
     for &m in sizes {
         let base = dataset_for(m, 100);
+        for f in ["cold_rebuild_solve", "delta_warm_solve"] {
+            note_matrix("incremental", f, m, &base);
+        }
 
         // Cold serving: rebuild the pattern + CSC mirror + degree scalings
         // (O(nnz) sort) and iterate from the deterministic start.
@@ -249,4 +257,4 @@ criterion_group!(
     bench_eigensolvers,
     bench_incremental
 );
-criterion_main!(benches);
+hnd_bench::bench_main!(benches);

@@ -14,15 +14,12 @@
 //! set `BENCH_JSON=path.json` to emit machine-readable results; pass the
 //! group name (`cargo bench --bench serving -- serving`) to filter.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use hnd_bench::{quick, report};
 use hnd_core::{SolverKind, SolverOpts};
 use hnd_service::{EngineOpts, Ranking, Reply, ServerOpts, SessionId, SessionServer};
 
 const WAVE_EDITS: usize = 16;
-
-fn quick() -> bool {
-    std::env::var("HND_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
-}
 
 fn engine_opts() -> EngineOpts {
     EngineOpts {
@@ -121,6 +118,17 @@ fn bench_serving(c: &mut Criterion) {
         });
         let ids = preload(&srv, sessions, m, n, k);
         let mut round = 0u64;
+        // Pattern density of each session's fully-answered k-option
+        // matrix is 1/k; nnz aggregates the fleet.
+        report::note(
+            "serving",
+            "wave_round",
+            format!("w{workers}_s{sessions}_m{m}"),
+            report::EntryMeta {
+                density: Some(1.0 / f64::from(k)),
+                nnz: Some(sessions * m * n),
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("wave_round", format!("w{workers}_s{sessions}_m{m}")),
             &workers,
@@ -136,4 +144,4 @@ fn bench_serving(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_serving);
-criterion_main!(benches);
+hnd_bench::bench_main!(benches);

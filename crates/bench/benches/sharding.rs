@@ -19,7 +19,8 @@
 //! set `BENCH_JSON=path.json` to emit machine-readable results; pass the
 //! group name (`cargo bench --bench sharding -- sharding`) to filter.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use hnd_bench::{matrix_meta, quick};
 use hnd_core::operators::UDiffOp;
 use hnd_core::SolverOpts;
 use hnd_linalg::op::LinearOp;
@@ -27,20 +28,11 @@ use hnd_response::{ResponseLog, ResponseMatrix, ResponseOps};
 use hnd_service::{EngineOpts, RankingEngine};
 use hnd_shard::{ShardPlan, ShardedOps, ShardedUDiffOp};
 
-fn quick() -> bool {
-    std::env::var("HND_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
-}
-
 /// Deterministic ability-structured matrix (cheap LCG, no IRT machinery:
 /// at m = 200k the generator itself must not dominate setup).
 fn synth_matrix(m: usize, n: usize, k: u16) -> ResponseMatrix {
     let mut state = 0x5AADED_u64.wrapping_add(m as u64);
-    let mut next = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        state >> 11
-    };
+    let mut next = move || hnd_bench::lcg(&mut state);
     let rows: Vec<Vec<Option<u16>>> = (0..m)
         .map(|u| {
             let ability = u as f64 / m as f64;
@@ -72,12 +64,14 @@ fn bench_sharding(c: &mut Criterion) {
 
     for &m in sizes {
         let matrix = synth_matrix(m, n, k);
+        let meta = matrix_meta(&matrix);
         let x = hnd_linalg::power::deterministic_start(m - 1);
         let mut y = vec![0.0; m - 1];
 
         // Baseline: the current single-shard engine.
         let ops = ResponseOps::new(&matrix);
         let engine = UDiffOp::new(&ops);
+        hnd_bench::report::note("sharding", "engine_unsharded", m, meta);
         group.bench_with_input(BenchmarkId::new("engine_unsharded", m), &m, |b, _| {
             b.iter(|| engine.apply(&x, &mut y));
         });
@@ -86,6 +80,7 @@ fn bench_sharding(c: &mut Criterion) {
         for &shards in shard_counts {
             let sops = ShardedOps::with_shards(&matrix, shards, 0, 0);
             let op = ShardedUDiffOp::new(&sops);
+            hnd_bench::report::note("sharding", format!("shards_{shards}").as_str(), m, meta);
             group.bench_with_input(
                 BenchmarkId::new(format!("shards_{shards}"), m),
                 &m,
@@ -126,6 +121,7 @@ fn bench_sharding(c: &mut Criterion) {
                 "backend selection must follow the plan"
             );
             let mut round = 0u64;
+            hnd_bench::report::note("sharding", label, m, meta);
             group.bench_with_input(BenchmarkId::new(label, m), &m, |b, _| {
                 b.iter(|| {
                     round += 1;
@@ -147,4 +143,4 @@ fn bench_sharding(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_sharding);
-criterion_main!(benches);
+hnd_bench::bench_main!(benches);

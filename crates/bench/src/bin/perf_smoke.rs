@@ -1,0 +1,224 @@
+//! Perf-smoke gate: checks a fresh `BENCH_*.json` for regressions, two
+//! ways:
+//!
+//! ```text
+//! perf_smoke <baseline.json> <fresh.json> [--filter SUBSTR]
+//!            [--tolerance 1.25] [--min-speedup 1.10]
+//! ```
+//!
+//! * **Absolute** — for each watched id present in both files, the fresh
+//!   median must stay within `--tolerance ×` the checked-in baseline
+//!   median. Wall-clock only compares across *identical environments*, so
+//!   this check is skipped (with a notice) when the two entries record
+//!   different `isa`/`threads` — a heterogeneous CI runner fleet can't
+//!   flake it red, and a faster machine can't mask a regression into a
+//!   vacuous pass (the relative gate below still applies there).
+//! * **Relative** (`--min-speedup`) — machine-independent: within the
+//!   *fresh* file alone, each watched `…_hybrid…` id must beat its
+//!   `…_csr…` sibling (last `_hybrid` segment replaced) by at least the
+//!   given ratio. Skipped on the scalar SIMD tier, where the adaptive
+//!   plan intentionally never promotes.
+//!
+//! The gate fails (exit 1) on any violation, and also when *no* check
+//! fired at all (a vacuous gate is a broken gate). `PERF_SMOKE_TOLERANCE`
+//! overrides `--tolerance` without a code change.
+//!
+//! The parser is deliberately minimal: it reads the one-entry-per-line
+//! format the shared `hnd_bench::report` writer emits, extracting `id`,
+//! `median_ns`, and the `threads`/`isa` environment fields.
+
+use std::process::ExitCode;
+
+/// One parsed entry.
+struct Entry {
+    id: String,
+    median_ns: f64,
+    /// `"{isa}/t{threads}"` when both fields are present.
+    env: Option<String>,
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": ");
+    let at = line.find(&tag)?;
+    Some(&line[at + tag.len()..])
+}
+
+fn parse_entries(text: &str, path: &str) -> Vec<Entry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id_rest) = field(line, "id") else {
+            continue;
+        };
+        let Some(id) = id_rest.strip_prefix('"').and_then(|r| r.split('"').next()) else {
+            continue;
+        };
+        let Some(med_rest) = field(line, "median_ns") else {
+            continue;
+        };
+        let med_str: String = med_rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        let Ok(median_ns) = med_str.parse::<f64>() else {
+            eprintln!("perf_smoke: {path}: unparsable median in line: {line}");
+            continue;
+        };
+        let isa = field(line, "isa")
+            .and_then(|r| r.strip_prefix('"'))
+            .and_then(|r| r.split('"').next());
+        let threads = field(line, "threads").and_then(|r| {
+            r.chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse::<u64>()
+                .ok()
+        });
+        let env = match (isa, threads) {
+            (Some(i), Some(t)) => Some(format!("{i}/t{t}")),
+            _ => None,
+        };
+        out.push(Entry {
+            id: id.to_string(),
+            median_ns,
+            env,
+        });
+    }
+    out
+}
+
+/// The `…_csr…` sibling of a `…_hybrid…` id (last `_hybrid` replaced).
+fn csr_sibling(id: &str) -> Option<String> {
+    let at = id.rfind("_hybrid")?;
+    Some(format!("{}_csr{}", &id[..at], &id[at + "_hybrid".len()..]))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&str> = Vec::new();
+    let mut filter = String::new();
+    let mut tolerance = 1.25f64;
+    let mut min_speedup: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--filter" => filter = it.next().cloned().unwrap_or_default(),
+            "--tolerance" => {
+                tolerance = it.next().and_then(|t| t.parse().ok()).unwrap_or(tolerance)
+            }
+            "--min-speedup" => min_speedup = it.next().and_then(|t| t.parse().ok()),
+            other => files.push(other),
+        }
+    }
+    if let Ok(env_tol) = std::env::var("PERF_SMOKE_TOLERANCE") {
+        if let Ok(t) = env_tol.parse::<f64>() {
+            tolerance = t;
+        }
+    }
+    let [baseline_path, fresh_path] = files.as_slice() else {
+        eprintln!(
+            "usage: perf_smoke <baseline.json> <fresh.json> [--filter SUBSTR] \
+             [--tolerance 1.25] [--min-speedup 1.10]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let read = |p: &str| match std::fs::read_to_string(p) {
+        Ok(t) => Some(t),
+        Err(e) => {
+            eprintln!("perf_smoke: cannot read {p}: {e}");
+            None
+        }
+    };
+    let (Some(base_text), Some(fresh_text)) = (read(baseline_path), read(fresh_path)) else {
+        return ExitCode::FAILURE;
+    };
+    let baseline = parse_entries(&base_text, baseline_path);
+    let fresh = parse_entries(&fresh_text, fresh_path);
+    let find = |entries: &[Entry], id: &str| -> Option<f64> {
+        entries.iter().find(|e| e.id == id).map(|e| e.median_ns)
+    };
+
+    let mut checks = 0usize;
+    let mut skips = 0usize;
+    let mut failures = 0usize;
+    for entry in &fresh {
+        if !filter.is_empty() && !entry.id.contains(filter.as_str()) {
+            continue;
+        }
+        let id = &entry.id;
+
+        // Relative gate: hybrid must beat its CSR sibling in THIS run.
+        if let Some(min) = min_speedup {
+            if entry
+                .env
+                .as_deref()
+                .is_some_and(|e| e.starts_with("scalar"))
+            {
+                skips += 1;
+                println!("perf_smoke: {id}: scalar tier, relative gate skipped (no promotion)");
+            } else if let Some(sib_med) = csr_sibling(id).and_then(|sib| find(&fresh, &sib)) {
+                checks += 1;
+                let speedup = sib_med / entry.median_ns;
+                let ok = speedup >= min;
+                println!(
+                    "perf_smoke: {id}: {speedup:.2}x vs csr sibling (min {min:.2}x) {}",
+                    if ok { "ok" } else { "REGRESSED" }
+                );
+                if !ok {
+                    failures += 1;
+                }
+            }
+        }
+
+        // Absolute gate: same-environment baselines only.
+        let Some(base) = baseline.iter().find(|e| &e.id == id) else {
+            continue;
+        };
+        match (&base.env, &entry.env) {
+            (Some(b), Some(f)) if b != f => {
+                skips += 1;
+                println!(
+                    "perf_smoke: {id}: baseline env {b} ≠ fresh env {f}, \
+                     absolute gate skipped"
+                );
+                continue;
+            }
+            _ => {}
+        }
+        checks += 1;
+        let ratio = entry.median_ns / base.median_ns;
+        let ok = ratio <= tolerance;
+        println!(
+            "perf_smoke: {id}: baseline {:.2} ms, fresh {:.2} ms ({ratio:.2}x, tol {tolerance:.2}x) {}",
+            base.median_ns / 1e6,
+            entry.median_ns / 1e6,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    if checks == 0 {
+        // Legitimate environment skips (scalar tier, cross-machine
+        // baseline) must not turn into hard failures on heterogeneous
+        // runner fleets; only a gate that matched *nothing at all* is
+        // broken.
+        if skips > 0 {
+            println!(
+                "perf_smoke: all {skips} watched checks skipped for environment reasons \
+                 (nothing comparable on this runner) — passing"
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "perf_smoke: no applicable checks between {baseline_path} and {fresh_path} \
+             (filter {filter:?}) — the gate would be vacuous, failing"
+        );
+        return ExitCode::FAILURE;
+    }
+    if failures > 0 {
+        eprintln!("perf_smoke: {failures}/{checks} checks regressed");
+        return ExitCode::FAILURE;
+    }
+    println!("perf_smoke: {checks} checks passed");
+    ExitCode::SUCCESS
+}

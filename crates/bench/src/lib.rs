@@ -1,5 +1,163 @@
 //! # hnd-bench
 //!
-//! Criterion benchmark crate for the HITSnDIFFS reproduction. All content
-//! lives in `benches/` (one group per paper figure/table — see DESIGN.md
-//! §5); this library target exists only so Cargo accepts the package.
+//! Criterion benchmark crate for the HITSnDIFFS reproduction. The groups
+//! live in `benches/` (one per paper figure/table or subsystem — see
+//! DESIGN.md §5); this library target carries the pieces they share:
+//!
+//! * [`report`] — the single `BENCH_*.json` writer. Every bench binary
+//!   that emits a checked-in artifact goes through it, so one schema
+//!   (median/mean/min plus per-entry `density`/`nnz` workload metadata and
+//!   the kernel `threads`/`isa` environment) covers the whole perf
+//!   trajectory and numbers stay comparable across groups and PRs.
+//! * [`bench_main!`] — a drop-in replacement for `criterion_main!` that
+//!   finalizes through the shared writer.
+
+pub use criterion;
+
+/// `true` when `HND_BENCH_QUICK` requests the restricted CI-smoke sweep.
+/// One definition so the quick-mode convention cannot drift per bench.
+pub fn quick() -> bool {
+    std::env::var("HND_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The benches' shared 64-bit LCG step (deterministic workload
+/// generation; at m = 200k the generator must not dominate setup).
+pub fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+/// [`report::EntryMeta`] for a response matrix: `nnz` = stored answers,
+/// `density` = **pattern density** of the one-hot matrix `C`
+/// (`nnz / (users × option columns)`) — the definition every bench group
+/// shares, comparable against `DensityPlan` thresholds.
+pub fn matrix_meta(matrix: &hnd_response::ResponseMatrix) -> report::EntryMeta {
+    let nnz: usize = matrix.row_counts().iter().sum();
+    report::EntryMeta {
+        density: Some(nnz as f64 / (matrix.n_users() * matrix.total_options()) as f64),
+        nnz: Some(nnz),
+    }
+}
+
+pub mod report {
+    //! The shared `BENCH_*.json` writer.
+    //!
+    //! Benches register workload metadata for a benchmark id with
+    //! [`note`] as they build their inputs; [`write`] then joins the
+    //! metadata onto the criterion results by exact id and emits one JSON
+    //! array to the `$BENCH_JSON` path (the CI artifact convention). Ids
+    //! without metadata emit `null` fields — better visible than silently
+    //! dropped.
+
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// Workload metadata attached to one benchmark id.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct EntryMeta {
+        /// Pattern density of the one-hot matrix the benchmark runs on:
+        /// stored entries / (users × option columns). Use
+        /// [`crate::matrix_meta`] so the definition stays uniform across
+        /// groups.
+        pub density: Option<f64>,
+        /// Stored entries of the pattern the benchmark runs on.
+        pub nnz: Option<usize>,
+    }
+
+    fn registry() -> &'static Mutex<BTreeMap<String, EntryMeta>> {
+        static META: Mutex<BTreeMap<String, EntryMeta>> = Mutex::new(BTreeMap::new());
+        &META
+    }
+
+    /// Registers `density`/`nnz` for the benchmark id
+    /// `"{group}/{function}/{param}"` (the id format of
+    /// `BenchmarkId::new` inside a group).
+    pub fn note(group: &str, function: &str, param: impl std::fmt::Display, meta: EntryMeta) {
+        registry()
+            .lock()
+            .expect("bench meta registry")
+            .insert(format!("{group}/{function}/{param}"), meta);
+    }
+
+    /// Joins registered metadata onto `c`'s results and writes the JSON
+    /// array to `$BENCH_JSON` (no-op when unset). Every entry also records
+    /// the effective kernel thread count and the detected SIMD tier, so an
+    /// artifact is interpretable without knowing which box produced it.
+    pub fn write(c: &criterion::Criterion) {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let meta = registry().lock().expect("bench meta registry");
+        let threads = hnd_linalg::parallel::threads();
+        let isa = hnd_linalg::simd::kernel_isa().name();
+        let results = c.results();
+        let mut out = String::from("[\n");
+        for (i, r) in results.iter().enumerate() {
+            let m = meta.get(&r.id).copied().unwrap_or_default();
+            let density = m
+                .density
+                .map_or_else(|| "null".to_string(), |d| format!("{d:.4}"));
+            let nnz = m.nnz.map_or_else(|| "null".to_string(), |n| n.to_string());
+            out.push_str(&format!(
+                "  {{\"id\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"density\": {density}, \"nnz\": {nnz}, \"threads\": {threads}, \"isa\": {isa:?}}}{}\n",
+                r.id,
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.samples,
+                if i + 1 == results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        match std::fs::write(&path, &out) {
+            Ok(()) => println!("bench report: wrote {} results to {path}", results.len()),
+            Err(e) => eprintln!("bench report: cannot write {path}: {e}"),
+        }
+    }
+}
+
+/// `criterion_main!`, but finalizing through the shared [`report`] writer
+/// so the emitted `BENCH_*.json` carries the unified schema.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::criterion::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            $crate::report::write(&c);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::report::{note, EntryMeta};
+
+    #[test]
+    fn note_registers_by_full_id() {
+        note(
+            "g",
+            "f",
+            42,
+            EntryMeta {
+                density: Some(0.5),
+                nnz: Some(7),
+            },
+        );
+        // Re-noting overwrites rather than duplicating.
+        note(
+            "g",
+            "f",
+            42,
+            EntryMeta {
+                density: Some(0.25),
+                nnz: Some(9),
+            },
+        );
+    }
+}

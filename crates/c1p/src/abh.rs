@@ -557,7 +557,7 @@ mod fiedler_regression {
 
         // Dense L = D − CCᵀ and its exact Fiedler vector.
         let ops = ResponseOps::new(&ds.responses);
-        let c = ops.binary().to_dense();
+        let c = ops.pattern().to_dense();
         let cct = c.matmul(&c.transpose()).unwrap();
         let d = ops.cct_row_sums();
         let m = ds.responses.n_users();

@@ -10,6 +10,7 @@
 use hnd_core::operators::{SymmetrizedUOp, UDiffOp, UOp, UTransposeOp};
 use hnd_linalg::op::LinearOp;
 use hnd_linalg::parallel::with_threads;
+use hnd_linalg::DensityPlan;
 use hnd_response::{ResponseMatrix, ResponseOps};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -140,5 +141,45 @@ fn zero_allocation_contract() {
         let xd = hnd_linalg::power::deterministic_start(m);
         let mut yd = vec![0.0; m];
         assert_alloc_free("DeflatedOp::apply", || deflated.apply(&xd, &mut yd));
+
+        // The hybrid engine's bitmap kernels must honor the same contract:
+        // every lane forced to bitmap form, so each apply runs the SIMD
+        // word kernels (and the sum_scaled paths) end to end. The SIMD-tier
+        // detection caches into a static on first use — the constructor
+        // applications below warm it before the counted windows.
+        let bitmap_ops = ResponseOps::with_plan(&matrix, 0, 0, DensityPlan::force_bitmap());
+        let f = bitmap_ops.format_counts();
+        assert_eq!(f.sparse_rows + f.sparse_cols, 0, "forced-bitmap layout");
+
+        let udiff_b = UDiffOp::new(&bitmap_ops);
+        let xb = hnd_linalg::power::deterministic_start(m - 1);
+        let mut yb = vec![0.0; m - 1];
+        assert_alloc_free("UDiffOp::apply (bitmap)", || udiff_b.apply(&xb, &mut yb));
+
+        let ut_b = UTransposeOp::new(&bitmap_ops);
+        let mut ysb = vec![0.0; m];
+        assert_alloc_free("UTransposeOp::apply (bitmap)", || ut_b.apply(&xs, &mut ysb));
+
+        let sym_b = SymmetrizedUOp::new(&bitmap_ops);
+        assert_alloc_free("SymmetrizedUOp::apply (bitmap)", || {
+            sym_b.apply(&xs, &mut ysb)
+        });
+
+        // The O(1) bit-flip delta path allocates nothing either (the
+        // PatternDelta buffers are caller-owned and reused).
+        let mut pattern = bitmap_ops.pattern().clone();
+        let delta_in = hnd_linalg::PatternDelta {
+            removes: vec![],
+            adds: vec![(0, 1)],
+        };
+        let delta_out = hnd_linalg::PatternDelta {
+            removes: vec![(0, 1)],
+            adds: vec![],
+        };
+        assert!(!pattern.contains(0, 1), "test matrix leaves (0,1) unset");
+        assert_alloc_free("HybridPattern::apply_delta (bitmap bit flips)", || {
+            pattern.apply_delta(&delta_in).expect("bitmap insert");
+            pattern.apply_delta(&delta_out).expect("bitmap remove");
+        });
     });
 }

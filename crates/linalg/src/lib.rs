@@ -29,7 +29,7 @@
 //! ## The kernel engine
 //!
 //! Since every spectral method reduces to repeated products with the binary
-//! response matrix `C`, kernel throughput is system throughput. Three layers
+//! response matrix `C`, kernel throughput is system throughput. Four layers
 //! make those products run at memory speed:
 //!
 //! * **Pattern matrix** ([`pattern::BinaryCsr`]): `C` is 0/1, so it is
@@ -37,11 +37,20 @@
 //!   halving index traffic and removing a pointless 8-byte load + multiply
 //!   per entry. A precomputed CSC mirror turns `Cᵀ·s` from a serial scatter
 //!   into a row-/column-parallel *gather*, mirroring `C·w`.
-//! * **Fused scaled gathers**: [`pattern::BinaryCsr::rows_gather`] /
-//!   [`pattern::BinaryCsr::cols_gather`] take the whole per-row/column
-//!   reduction as a closure, so the `Crow`/`Ccol` diagonal normalizations
-//!   (and the `Dr^{-1/2}` symmetrization) fold into the same pass instead
-//!   of costing separate sweeps and `scaled` temporaries.
+//! * **Density-adaptive hybrid lanes** ([`hybrid::HybridPattern`]): rows
+//!   and mirror columns whose density crosses a
+//!   [`DensityPlan`](hybrid::DensityPlan) threshold drop the index list
+//!   entirely and store 64-bit bitmap blocks, reduced by runtime-dispatched
+//!   branchless SIMD word kernels ([`simd`]) — ~32× less index traffic on
+//!   dense lanes, and in-place edits become O(1) bit flips with no slack
+//!   accounting. Sparse lanes keep the u32 CSR layout; the closure-based
+//!   gather API is format-transparent ([`hybrid::Lane`]).
+//! * **Fused scaled gathers**: [`hybrid::HybridPattern::rows_gather`] /
+//!   [`hybrid::HybridPattern::cols_gather`] (and their [`BinaryCsr`]
+//!   ancestors) take the whole per-row/column reduction as a closure, so
+//!   the `Crow`/`Ccol` diagonal normalizations (and the `Dr^{-1/2}`
+//!   symmetrization) fold into the same pass instead of costing separate
+//!   sweeps and `scaled` temporaries.
 //! * **Parallelism** ([`parallel`]): gathers split the output slice across
 //!   scoped threads (`HND_THREADS`/[`parallel::with_threads`] control the
 //!   worker count; small outputs stay serial). Chunks are contiguous and
@@ -57,12 +66,14 @@
 pub mod arnoldi;
 pub mod dense;
 pub mod hessenberg;
+pub mod hybrid;
 pub mod jacobi;
 pub mod lanczos;
 pub mod op;
 pub mod parallel;
 pub mod pattern;
 pub mod power;
+pub mod simd;
 pub mod sparse;
 pub mod tridiag;
 pub mod vector;
@@ -71,10 +82,12 @@ pub mod deflation;
 
 pub use arnoldi::{arnoldi_largest, ArnoldiOptions, ArnoldiPair};
 pub use dense::DenseMatrix;
+pub use hybrid::{DensityPlan, FormatCounts, HybridPattern, Lane};
 pub use lanczos::{lanczos_extreme, LanczosOptions, RitzPair, Which};
 pub use op::{DeflatedOp, DenseOp, LinearOp, ScaledOp, ShiftedOp};
 pub use pattern::{BinaryCsr, DeltaError, PatternDelta};
 pub use power::{power_iteration, PowerOptions, PowerOutcome};
+pub use simd::KernelIsa;
 pub use sparse::CsrMatrix;
 
 /// Error type for the (few) fallible operations in this crate.

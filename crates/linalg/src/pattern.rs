@@ -530,7 +530,7 @@ impl PartialEq for BinaryCsr {
 impl Eq for BinaryCsr {}
 
 #[inline]
-fn gather_sum(idx: &[u32], x: &[f64]) -> f64 {
+pub(crate) fn gather_sum(idx: &[u32], x: &[f64]) -> f64 {
     let mut acc = [0.0f64; 4];
     let chunks = idx.chunks_exact(4);
     let rem = chunks.remainder();
@@ -548,7 +548,7 @@ fn gather_sum(idx: &[u32], x: &[f64]) -> f64 {
 }
 
 #[inline]
-fn gather_sum_scaled(idx: &[u32], x: &[f64], scale: &[f64]) -> f64 {
+pub(crate) fn gather_sum_scaled(idx: &[u32], x: &[f64], scale: &[f64]) -> f64 {
     let mut acc = [0.0f64; 4];
     let chunks = idx.chunks_exact(4);
     let rem = chunks.remainder();

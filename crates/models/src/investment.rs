@@ -62,7 +62,7 @@ fn run_investment(
 
         // Pay back: T(s) = Σ_{c∈C_s} B(c) · stake(s)/invested(c).
         let mut new_trust = vec![0.0; m];
-        let c_bin = ops.binary();
+        let c_bin = ops.pattern();
         for (user, nt) in new_trust.iter_mut().enumerate() {
             let stake = stakes[user];
             if stake == 0.0 {

@@ -9,10 +9,12 @@
 //!
 //! ## Kernel engine
 //!
-//! All products are built on the two gather primitives of [`BinaryCsr`]
-//! (row gather over CSR, column gather over the CSC mirror), which
-//! parallelize over the output and fuse the diagonal normalizations into
-//! the same memory pass:
+//! All products are built on the two gather primitives of the
+//! density-adaptive [`HybridPattern`] (row gather, column gather over the
+//! mirror — each lane either a u32-index CSR span or a 64-bit bitmap with
+//! SIMD word kernels, chosen per lane by a
+//! [`DensityPlan`](hnd_linalg::DensityPlan)), which parallelize over the
+//! output and fuse the diagonal normalizations into the same memory pass:
 //!
 //! * the `Dr⁻¹`/`Dc⁻¹` divisions of `Crow`/`Ccol` are precomputed once as
 //!   reciprocal vectors ([`ResponseOps::inv_row_counts`],
@@ -28,7 +30,7 @@
 //! allocation-free.
 
 use crate::{ResponseDelta, ResponseMatrix};
-use hnd_linalg::{BinaryCsr, DeltaError, PatternDelta};
+use hnd_linalg::{DeltaError, DensityPlan, FormatCounts, HybridPattern, PatternDelta};
 
 /// Lowers a committed [`ResponseDelta`] to the pattern edits it implies on
 /// the one-hot matrix `C`: repeated edits of the same cell are composed
@@ -65,8 +67,9 @@ pub fn delta_pattern_edits(matrix: &ResponseMatrix, delta: &ResponseDelta) -> Pa
 /// Precomputed operator context for a response matrix.
 #[derive(Debug, Clone)]
 pub struct ResponseOps {
-    /// The one-hot binary response matrix `C` (`m × Σkᵢ`) as a pattern.
-    c: BinaryCsr,
+    /// The one-hot binary response matrix `C` (`m × Σkᵢ`) as a
+    /// density-adaptive hybrid pattern.
+    c: HybridPattern,
     /// `Dr` diagonal: answers per user (row sums of `C`).
     row_counts: Vec<f64>,
     /// `Dc` diagonal: picks per option (column sums of `C`).
@@ -112,9 +115,26 @@ impl ResponseOps {
     /// in the underlying pattern, so subsequent [`Self::apply_delta`] calls
     /// can patch it in place instead of rebuilding. `row_slack` bounds how
     /// many *extra* answers a user can record before a rebuild; `col_slack`
-    /// bounds extra picks per option.
+    /// bounds extra picks per option. (Slack applies to sparse lanes only:
+    /// bitmap lanes absorb any in-roster edit as a bit flip.) Lane formats
+    /// follow the default (ISA-adaptive) [`DensityPlan`].
     pub fn with_slack(matrix: &ResponseMatrix, row_slack: usize, col_slack: usize) -> Self {
-        let c = BinaryCsr::with_slack(
+        Self::with_plan(matrix, row_slack, col_slack, DensityPlan::default())
+    }
+
+    /// Builds the operator context with explicit lane-format policy: rows
+    /// (answer sets) and mirror columns (picker sets) whose density crosses
+    /// `plan`'s thresholds are stored as bitmap lanes served by the SIMD
+    /// word kernels; the rest keep the u32-index CSR layout. Formats are
+    /// fixed until the next rebuild — [`Self::apply_delta`] never migrates
+    /// a lane.
+    pub fn with_plan(
+        matrix: &ResponseMatrix,
+        row_slack: usize,
+        col_slack: usize,
+        plan: DensityPlan,
+    ) -> Self {
+        let c = HybridPattern::with_plan(
             matrix.n_users(),
             matrix.total_options(),
             matrix
@@ -122,6 +142,7 @@ impl ResponseOps {
                 .map(|(u, i, o)| (u, matrix.one_hot_column(i, o))),
             row_slack,
             col_slack,
+            plan,
         );
         let row_counts = c.row_counts();
         let col_counts = c.col_counts();
@@ -198,8 +219,13 @@ impl ResponseOps {
     }
 
     /// The binary response matrix pattern.
-    pub fn binary(&self) -> &BinaryCsr {
+    pub fn pattern(&self) -> &HybridPattern {
         &self.c
+    }
+
+    /// Per-format lane counts of the pattern (serving observability).
+    pub fn format_counts(&self) -> FormatCounts {
+        self.c.format_counts()
     }
 
     /// Answers per user (`Dr` diagonal).
@@ -237,8 +263,7 @@ impl ResponseOps {
     /// WLOG; zeroing them is equivalent).
     pub fn ccol_t_apply(&self, s: &[f64], w: &mut [f64]) {
         let inv_col = &self.inv_col;
-        self.c
-            .cols_gather(w, |c, rows| inv_col[c] * BinaryCsr::gather_sum(rows, s));
+        self.c.cols_gather(w, |c, lane| inv_col[c] * lane.sum(s));
     }
 
     /// `s = Crow w`: user score = *average* weight of their chosen options.
@@ -246,8 +271,7 @@ impl ResponseOps {
     /// [`ResponseMatrix::connectivity`](crate::ResponseMatrix::connectivity).
     pub fn crow_apply(&self, w: &[f64], s: &mut [f64]) {
         let inv_row = &self.inv_row;
-        self.c
-            .rows_gather(s, |r, cols| inv_row[r] * BinaryCsr::gather_sum(cols, w));
+        self.c.rows_gather(s, |r, lane| inv_row[r] * lane.sum(w));
     }
 
     /// One AvgHITS step `s ← U s` with `U = Crow (Ccol)ᵀ`, using `w` as the
@@ -264,8 +288,8 @@ impl ResponseOps {
     pub fn ut_apply(&self, s_in: &[f64], w_scratch: &mut [f64], s_out: &mut [f64]) {
         let inv_row = &self.inv_row;
         let inv_col = &self.inv_col;
-        self.c.cols_gather(w_scratch, |c, rows| {
-            inv_col[c] * BinaryCsr::gather_sum_scaled(rows, s_in, inv_row)
+        self.c.cols_gather(w_scratch, |c, lane| {
+            inv_col[c] * lane.sum_scaled(s_in, inv_row)
         });
         self.c.matvec(w_scratch, s_out);
     }
@@ -284,12 +308,11 @@ impl ResponseOps {
         s_out: &mut [f64],
     ) {
         let inv_col = &self.inv_col;
-        self.c.cols_gather(w_scratch, |c, rows| {
-            inv_col[c] * BinaryCsr::gather_sum_scaled(rows, s_in, inv_sqrt_rows)
+        self.c.cols_gather(w_scratch, |c, lane| {
+            inv_col[c] * lane.sum_scaled(s_in, inv_sqrt_rows)
         });
-        self.c.rows_gather(s_out, |r, cols| {
-            inv_sqrt_rows[r] * BinaryCsr::gather_sum(cols, w_scratch)
-        });
+        self.c
+            .rows_gather(s_out, |r, lane| inv_sqrt_rows[r] * lane.sum(w_scratch));
     }
 
     /// Row sums of `CCᵀ` — the `D` diagonal of the ABH Laplacian
@@ -297,8 +320,7 @@ impl ResponseOps {
     pub fn cct_row_sums(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.n_users()];
         let col_counts = &self.col_counts;
-        self.c
-            .rows_gather(&mut d, |_, cols| BinaryCsr::gather_sum(cols, col_counts));
+        self.c.rows_gather(&mut d, |_, lane| lane.sum(col_counts));
         d
     }
 
@@ -306,9 +328,8 @@ impl ResponseOps {
     /// The `D x − ·` combination is fused into the second gather.
     pub fn laplacian_apply(&self, d: &[f64], x: &[f64], w_scratch: &mut [f64], y: &mut [f64]) {
         self.ct_apply(x, w_scratch);
-        self.c.rows_gather(y, |r, cols| {
-            d[r] * x[r] - BinaryCsr::gather_sum(cols, w_scratch)
-        });
+        self.c
+            .rows_gather(y, |r, lane| d[r] * x[r] - lane.sum(w_scratch));
     }
 }
 
@@ -428,7 +449,7 @@ mod tests {
         let ops = ResponseOps::new(&figure1());
         let d = ops.cct_row_sums();
         // Dense CC^T.
-        let c = ops.binary().to_dense();
+        let c = ops.pattern().to_dense();
         let cct = c.matmul(&c.transpose()).unwrap();
         let x = [1.0, 2.0, -1.0, 0.5];
         let mut w = vec![0.0; 9];

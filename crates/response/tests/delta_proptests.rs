@@ -2,8 +2,12 @@
 //! maintained through `apply_delta` over an arbitrary edit stream must be
 //! *bitwise* indistinguishable from one rebuilt from scratch off the final
 //! [`ResponseLog`] state — pattern, CSC mirror, degree scalings, and every
-//! kernel output.
+//! kernel output. The same chains run under every hybrid lane layout
+//! (forced CSR, forced bitmap, mixed thresholds): format-stable layouts
+//! stay bitwise, format-drifting ones agree to ≤ 1e-12 with the pure-CSR
+//! engine.
 
+use hnd_linalg::DensityPlan;
 use hnd_response::{ResponseLog, ResponseOps};
 use proptest::prelude::*;
 
@@ -72,10 +76,15 @@ proptest! {
 
             let rebuilt = ResponseOps::new(&snap.matrix);
 
-            // Pattern: logical CSR equality plus per-column CSC mirror.
-            prop_assert_eq!(live.binary(), rebuilt.binary());
-            for c in 0..rebuilt.binary().cols() {
-                prop_assert_eq!(live.binary().col(c), rebuilt.binary().col(c), "col {}", c);
+            // Pattern: logical row equality plus per-column mirror.
+            prop_assert_eq!(live.pattern(), rebuilt.pattern());
+            for c in 0..rebuilt.pattern().cols() {
+                prop_assert_eq!(
+                    live.pattern().col_iter(c).collect::<Vec<_>>(),
+                    rebuilt.pattern().col_iter(c).collect::<Vec<_>>(),
+                    "col {}",
+                    c
+                );
             }
 
             // Degree scalings are bitwise identical (integer-derived).
@@ -97,6 +106,67 @@ proptest! {
             live.ut_apply(&s, &mut w_live, &mut out_live);
             rebuilt.ut_apply(&s, &mut w_reb, &mut out_reb);
             prop_assert_eq!(&out_live, &out_reb);
+        }
+    }
+
+    #[test]
+    fn delta_chain_holds_under_every_lane_layout((m, _n, options, batches) in edit_stream()) {
+        // Mixed plan at a mid threshold with min_dim 0: small rosters
+        // genuinely mix formats, and lanes cross the promotion boundary as
+        // the stream fills them.
+        let mixed = DensityPlan { row_density: 0.3, col_density: 0.3, min_dim: 0 };
+        for (name, plan, bitwise) in [
+            ("force_csr", DensityPlan::force_csr(), true),
+            ("force_bitmap", DensityPlan::force_bitmap(), true),
+            ("mixed", mixed, false),
+        ] {
+            let mut log = ResponseLog::new(m, options.len(), &options).unwrap();
+            let base = log.snapshot();
+            let mut live = ResponseOps::with_plan(&base.matrix, 96, 96, plan);
+
+            for batch in &batches {
+                for &(u, i, c) in batch {
+                    log.set(u, i, c).unwrap();
+                }
+                let snap = log.snapshot();
+                let delta = snap.delta.as_ref().expect("baseline exists");
+                live.apply_delta(&snap.matrix, delta)
+                    .expect("slack is sufficient for this stream");
+
+                // Ground truth: the pure-CSR engine rebuilt from scratch.
+                let csr = ResponseOps::with_plan(&snap.matrix, 0, 0, DensityPlan::force_csr());
+                prop_assert_eq!(live.pattern(), csr.pattern(), "{}", name);
+                prop_assert_eq!(live.row_counts(), csr.row_counts(), "{}", name);
+                prop_assert_eq!(live.col_counts(), csr.col_counts(), "{}", name);
+
+                let s: Vec<f64> = (0..m).map(|j| 0.3 * j as f64 - 1.0).collect();
+                let mut w_live = vec![0.0; live.n_option_columns()];
+                let mut w_csr = vec![0.0; csr.n_option_columns()];
+                let mut out_live = vec![0.0; m];
+                let mut out_csr = vec![0.0; m];
+                live.u_apply(&s, &mut w_live, &mut out_live);
+                csr.u_apply(&s, &mut w_csr, &mut out_csr);
+                for (a, b) in out_live.iter().zip(&out_csr) {
+                    prop_assert!((a - b).abs() <= 1e-12, "{name}: U apply diverges");
+                }
+                live.ut_apply(&s, &mut w_live, &mut out_live);
+                csr.ut_apply(&s, &mut w_csr, &mut out_csr);
+                for (a, b) in out_live.iter().zip(&out_csr) {
+                    prop_assert!((a - b).abs() <= 1e-12, "{name}: Uᵀ apply diverges");
+                }
+
+                // Format-stable layouts (forced plans pick the same format
+                // regardless of density) must additionally be *bitwise*
+                // equal to a rebuild under the same plan.
+                if bitwise {
+                    let rebuilt = ResponseOps::with_plan(&snap.matrix, 0, 0, plan);
+                    let mut w_reb = vec![0.0; rebuilt.n_option_columns()];
+                    let mut out_reb = vec![0.0; m];
+                    live.u_apply(&s, &mut w_live, &mut out_live);
+                    rebuilt.u_apply(&s, &mut w_reb, &mut out_reb);
+                    prop_assert_eq!(&out_live, &out_reb, "{}: bitwise", name);
+                }
+            }
         }
     }
 }

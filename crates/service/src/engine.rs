@@ -17,6 +17,7 @@
 
 use crate::cache::{CachedSolve, WarmStartCache};
 use hnd_core::{SolveState, SolverKind, SolverOpts, SpectralSolver};
+use hnd_linalg::{DensityPlan, FormatCounts};
 use hnd_response::{RankError, Ranking, ResponseError, ResponseLog, ResponseMatrix, ResponseOps};
 use hnd_shard::{ShardPlan, ShardedOps};
 
@@ -49,6 +50,14 @@ pub struct EngineOpts {
     /// implemented for the flagship [`SolverKind::Power`]; other solver
     /// kinds ignore the plan.
     pub shard_plan: Option<ShardPlan>,
+    /// Lane-format policy of the kernel context: rows/mirror columns whose
+    /// density crosses the plan's thresholds are stored as 64-bit bitmap
+    /// lanes (SIMD word kernels, O(1) bit-flip edits with no slack
+    /// accounting); the rest keep the u32-index CSR layout. The default is
+    /// ISA-adaptive; [`DensityPlan::force_csr`] reproduces the pure-CSR
+    /// engine. Formats are re-evaluated at every rebuild point (slack
+    /// exhaustion, bulk deltas, shard rebalances) — never mid-patch.
+    pub density_plan: DensityPlan,
 }
 
 impl Default for EngineOpts {
@@ -67,6 +76,7 @@ impl Default for EngineOpts {
             // client catch-up window.
             history_retention: Some(65_536),
             shard_plan: None,
+            density_plan: DensityPlan::default(),
         }
     }
 }
@@ -74,10 +84,12 @@ impl Default for EngineOpts {
 /// The engine's kernel context: one contiguous pattern, or user-range
 /// shards of it (see [`EngineOpts::shard_plan`]).
 enum Backend {
-    /// The single-shard fast path (`ResponseOps`, in-place patched).
-    Single(ResponseOps),
+    /// The single-shard fast path (`ResponseOps`, in-place patched; boxed
+    /// — the hybrid kernel context is a wide struct and the enum would
+    /// otherwise carry its size inline in every session slot).
+    Single(Box<ResponseOps>),
     /// The sharded execution layer (`hnd-shard`).
-    Sharded(ShardedOps),
+    Sharded(Box<ShardedOps>),
 }
 
 impl Backend {
@@ -88,27 +100,37 @@ impl Backend {
             if let Some(plan) = &opts.shard_plan {
                 let nnz: usize = matrix.row_counts().iter().sum();
                 if plan.activates(matrix.n_users(), nnz) {
-                    return Backend::Sharded(ShardedOps::from_plan(
+                    return Backend::Sharded(Box::new(ShardedOps::from_plan(
                         matrix,
                         plan,
+                        opts.density_plan,
                         opts.row_slack,
                         opts.col_slack,
-                    ));
+                    )));
                 }
             }
         }
-        Backend::Single(ResponseOps::with_slack(
+        Backend::Single(Box::new(ResponseOps::with_plan(
             matrix,
             opts.row_slack,
             opts.col_slack,
-        ))
+            opts.density_plan,
+        )))
     }
 
     /// Stored entries of the kernel context.
     fn nnz(&self) -> usize {
         match self {
-            Backend::Single(ops) => ops.binary().nnz(),
+            Backend::Single(ops) => ops.pattern().nnz(),
             Backend::Sharded(sops) => sops.nnz(),
+        }
+    }
+
+    /// Per-format lane counts of the kernel context.
+    fn format_counts(&self) -> FormatCounts {
+        match self {
+            Backend::Single(ops) => ops.format_counts(),
+            Backend::Sharded(sops) => sops.format_counts(),
         }
     }
 }
@@ -136,6 +158,10 @@ pub struct EngineStats {
     /// Individual shards rebuilt alone after slack exhaustion (the sharded
     /// analogue of `rebuilds`, which counts whole-context rebuilds).
     pub shard_rebuilds: u64,
+    /// Per-format lane counts of the live kernel context (how much of this
+    /// session the bitmap kernels serve). Sampled at [`RankingEngine::stats`]
+    /// time; formats only change at rebuild points.
+    pub formats: FormatCounts,
 }
 
 /// An incremental ranking session over a fixed user/item roster.
@@ -190,9 +216,13 @@ impl RankingEngine {
         &self.opts
     }
 
-    /// Serving counters.
+    /// Serving counters (with the kernel context's current per-format lane
+    /// counts sampled in).
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        EngineStats {
+            formats: self.backend.format_counts(),
+            ..self.stats
+        }
     }
 
     /// `(hits, misses)` of the warm-start cache.
@@ -359,7 +389,7 @@ impl RankingEngine {
         }
         match &mut self.backend {
             Backend::Single(ops) => {
-                if plan.activates(self.matrix.n_users(), ops.binary().nnz()) {
+                if plan.activates(self.matrix.n_users(), ops.pattern().nnz()) {
                     self.backend = Backend::build(&self.matrix, &self.opts);
                     self.stats.shard_rebalances += 1;
                 }
@@ -656,6 +686,71 @@ mod tests {
             .unwrap();
         let want = plain.current_ranking().unwrap();
         assert_eq!(upgraded.order_best_to_worst(), want.order_best_to_worst());
+    }
+
+    #[test]
+    fn bitmap_lanes_absorb_deltas_without_rebuilds() {
+        // Forced-bitmap layout with ZERO slack: every edit is an O(1) bit
+        // flip, so a long trickle stream must never fall back to a kernel
+        // rebuild — the hybrid engine's core serving guarantee. (The same
+        // stream under forced CSR with zero slack rebuilds immediately.)
+        let mk = |plan: DensityPlan| {
+            RankingEngine::new(
+                6,
+                4,
+                &[2; 4],
+                EngineOpts {
+                    row_slack: 0,
+                    col_slack: 0,
+                    density_plan: plan,
+                    solver_opts: SolverOpts {
+                        orient: false,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut bitmap = mk(DensityPlan::force_bitmap());
+        let mut csr = mk(DensityPlan::force_csr());
+        bitmap
+            .submit_responses([(0, 0, Some(0)), (1, 0, Some(1)), (2, 1, Some(0))])
+            .unwrap();
+        csr.submit_responses([(0, 0, Some(0)), (1, 0, Some(1)), (2, 1, Some(0))])
+            .unwrap();
+        let a = bitmap.current_ranking().unwrap();
+        let b = csr.current_ranking().unwrap();
+        for round in 0..10u16 {
+            let wave = [
+                (usize::from(round % 6), 2, Some(round % 2)),
+                (
+                    usize::from((round + 3) % 6),
+                    3,
+                    (round % 3 > 0).then_some(0),
+                ),
+            ];
+            bitmap.submit_responses(wave).unwrap();
+            csr.submit_responses(wave).unwrap();
+            let a = bitmap.current_ranking().unwrap();
+            let b = csr.current_ranking().unwrap();
+            for (x, y) in a.scores.iter().zip(&b.scores) {
+                assert!((x - y).abs() <= 1e-12, "hybrid ≡ CSR serving");
+            }
+        }
+        assert_eq!(a.scores.len(), b.scores.len());
+        let stats = bitmap.stats();
+        assert_eq!(stats.rebuilds, 0, "bit flips never exhaust capacity");
+        // Only waves with a net effect patch (repeat writes of the same
+        // choice commit no edits), but several certainly do.
+        assert!(stats.delta_applies >= 5, "waves ride the delta path");
+        assert_eq!(stats.formats.sparse_rows, 0, "forced-bitmap layout");
+        assert_eq!(stats.formats.bitmap_rows, 6);
+        assert_eq!(stats.formats.bitmap_cols, 8);
+        assert!(
+            csr.stats().rebuilds > 0,
+            "zero-slack CSR control must rebuild"
+        );
     }
 
     #[test]

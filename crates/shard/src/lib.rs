@@ -19,8 +19,9 @@
 //! * row gathers (`C·w`, `Crow·w`) never cross a user range — each shard
 //!   fills its own contiguous slice of the score vector;
 //! * column gathers (`Cᵀ·s`, `(Ccol)ᵀ·s`) split into per-shard partial
-//!   column sums over each shard's private CSC mirror, composed by one
-//!   add-and-scale pass — the same 4-accumulator gather kernels as the
+//!   column sums over each shard's private mirror, composed by one
+//!   add-and-scale pass — the same hybrid lane kernels (4-accumulator u32
+//!   gathers / SIMD bitmap scans, per `hnd_linalg::DensityPlan`) as the
 //!   unsharded path, so results agree to ≤1e-12 end to end.
 //!
 //! The diagonal scalings (`Dr⁻¹`, `Dc⁻¹`, `Dr^{-1/2}`) stay global and are
@@ -42,8 +43,11 @@
 //!        ▼  ▼            ▼            ▼            ▼
 //!      UserShard[0]   UserShard[1]  …        UserShard[S−1]
 //!      rows 0..a      rows a..b               rows z..m
-//!      BinaryCsr      BinaryCsr               BinaryCsr
-//!      (own CSC)      (own CSC)               (own CSC)
+//!      HybridPattern  HybridPattern           HybridPattern
+//!      (own mirror;   (own mirror;            (own mirror;
+//!       CSR/bitmap     CSR/bitmap              CSR/bitmap
+//!       lanes per      lanes per               lanes per
+//!       DensityPlan)   DensityPlan)            DensityPlan)
 //!        │            │                       │
 //!        └─ partial column reductions ─ compose (add, scale) ─▶ w
 //!
@@ -61,9 +65,12 @@
 //! ([`ShardPlan::shard_count`], targeting
 //! [`target_shard_nnz`](ShardPlan::target_shard_nnz) entries each), and
 //! when delta traffic has skewed the layout enough to re-split
-//! ([`ShardedOps::needs_rebalance`]). Cut points come from
-//! [`plan::split_ranges`], a greedy balanced partition over per-user entry
-//! counts.
+//! ([`ShardedOps::needs_rebalance`]). The splitter is additionally capped
+//! by a per-shard working-set floor
+//! ([`ShardPlan::shard_working_set`]) so it stops before shards leave
+//! cache-blocking range (the measured `shards_8` inversion at m = 200k).
+//! Cut points come from [`plan::split_ranges`], a greedy balanced
+//! partition over per-user entry counts.
 //!
 //! ## Quickstart
 //!

@@ -14,10 +14,12 @@
 //!   contiguous row partition splits that sum: each shard computes a
 //!   partial column reduction over its private CSC mirror (shard-parallel,
 //!   scoped threads), and a compose pass adds the partials in shard order
-//!   and applies the output scaling. The partials use the same
-//!   4-accumulator [`BinaryCsr::gather_sum`] kernels as the unsharded
-//!   path, so sharded results agree with unsharded ones to the last few
-//!   ulps (≤1e-12 end to end, pinned by the equivalence proptests).
+//!   and applies the output scaling. The partials use the same hybrid
+//!   [`Lane`](hnd_linalg::Lane) kernels as the unsharded path — the
+//!   4-accumulator u32 gathers for sparse lanes, the SIMD word kernels for
+//!   bitmap lanes — so sharded results agree with unsharded ones to the
+//!   last few ulps (≤1e-12 end to end, pinned by the equivalence
+//!   proptests).
 //!
 //! Diagonal scalings (`Dr⁻¹`, `Dc⁻¹`, `Dr^{-1/2}`) are *global* vectors
 //! fused into the gather closures exactly as in `ResponseOps` — shards
@@ -29,26 +31,28 @@
 //! [`ResponseDelta`](hnd_response::ResponseDelta) through the shared
 //! [`hnd_response::delta_pattern_edits`] routing helper and dispatches each
 //! `(user, column)` edit to the shard owning that user range —
-//! `O(nnz(delta))` per touched shard. A shard whose slack capacity is
-//! exhausted rolls back (the [`BinaryCsr`] contract) and is **rebuilt
-//! alone** with fresh slack; the other shards keep their patched state.
+//! `O(nnz(delta))` per touched shard (an edit landing in a bitmap lane is
+//! an O(1) bit flip). A shard whose sparse-lane slack is exhausted rolls
+//! back (the [`HybridPattern`] contract) and is **rebuilt alone** with
+//! fresh slack — which also re-evaluates its lane formats under the
+//! configured [`DensityPlan`]; the other shards keep their patched state.
 //! [`ShardedOps::needs_rebalance`] watches the layout skew so a session
 //! whose delta traffic concentrates on one user range re-splits before a
 //! single hot shard serializes the solve.
 
 use crate::plan::{split_ranges, ShardPlan};
-use hnd_linalg::{parallel, BinaryCsr, DeltaError, PatternDelta};
+use hnd_linalg::{parallel, DeltaError, DensityPlan, FormatCounts, HybridPattern, PatternDelta};
 use hnd_response::{delta_pattern_edits, ResponseDelta, ResponseMatrix};
 use std::ops::Range;
 
 /// One contiguous user-range shard: rows `start..end` of the pattern as a
-/// private [`BinaryCsr`] (local row indices, full column dimension, own
-/// CSC mirror).
+/// private [`HybridPattern`] (local row indices, full column dimension,
+/// own mirror, per-lane formats decided by the shard's own densities).
 #[derive(Debug, Clone)]
 pub struct UserShard {
     start: usize,
     end: usize,
-    pattern: BinaryCsr,
+    pattern: HybridPattern,
 }
 
 impl UserShard {
@@ -74,8 +78,13 @@ impl UserShard {
     }
 
     /// The shard's pattern slice (local row indices).
-    pub fn pattern(&self) -> &BinaryCsr {
+    pub fn pattern(&self) -> &HybridPattern {
         &self.pattern
+    }
+
+    /// Per-format lane counts of the shard's pattern.
+    pub fn format_counts(&self) -> FormatCounts {
+        self.pattern.format_counts()
     }
 }
 
@@ -130,6 +139,8 @@ pub struct ShardedOps {
     inv_col: Vec<f64>,
     row_slack: usize,
     col_slack: usize,
+    /// Lane-format policy every shard's pattern is built under.
+    density: DensityPlan,
     /// Shards rebuilt alone after slack exhaustion (observability).
     rebuilt_shards: u64,
 }
@@ -140,13 +151,14 @@ impl ShardedOps {
     pub fn from_plan(
         matrix: &ResponseMatrix,
         plan: &ShardPlan,
+        density: DensityPlan,
         row_slack: usize,
         col_slack: usize,
     ) -> Self {
         let weights = matrix.row_counts();
         let nnz: usize = weights.iter().sum();
         let ranges = split_ranges(&weights, plan.shard_count(nnz));
-        Self::with_ranges(matrix, ranges, row_slack, col_slack)
+        Self::with_ranges_plan(matrix, ranges, density, row_slack, col_slack)
     }
 
     /// Builds the sharded context with exactly `shards` shards (clamped to
@@ -157,9 +169,21 @@ impl ShardedOps {
         row_slack: usize,
         col_slack: usize,
     ) -> Self {
+        Self::with_shards_plan(matrix, shards, DensityPlan::default(), row_slack, col_slack)
+    }
+
+    /// [`Self::with_shards`] with an explicit lane-format policy — the
+    /// test/bench entry point for forced-CSR / forced-bitmap layouts.
+    pub fn with_shards_plan(
+        matrix: &ResponseMatrix,
+        shards: usize,
+        density: DensityPlan,
+        row_slack: usize,
+        col_slack: usize,
+    ) -> Self {
         let weights = matrix.row_counts();
         let ranges = split_ranges(&weights, shards);
-        Self::with_ranges(matrix, ranges, row_slack, col_slack)
+        Self::with_ranges_plan(matrix, ranges, density, row_slack, col_slack)
     }
 
     /// Builds shards for the given user ranges (must partition `0..m`).
@@ -174,6 +198,17 @@ impl ShardedOps {
     pub fn with_ranges(
         matrix: &ResponseMatrix,
         ranges: Vec<Range<usize>>,
+        row_slack: usize,
+        col_slack: usize,
+    ) -> Self {
+        Self::with_ranges_plan(matrix, ranges, DensityPlan::default(), row_slack, col_slack)
+    }
+
+    /// [`Self::with_ranges`] with an explicit lane-format policy.
+    pub fn with_ranges_plan(
+        matrix: &ResponseMatrix,
+        ranges: Vec<Range<usize>>,
+        density: DensityPlan,
         row_slack: usize,
         col_slack: usize,
     ) -> Self {
@@ -194,7 +229,14 @@ impl ShardedOps {
         // Shard construction is itself shard-parallel: each range sorts and
         // mirrors only its own slice of the pattern.
         let shards: Vec<UserShard> = parallel::par_map(&ranges, |range| {
-            build_shard(matrix, range.clone(), n_cols, row_slack, shard_col_slack)
+            build_shard(
+                matrix,
+                range.clone(),
+                n_cols,
+                &density,
+                row_slack,
+                shard_col_slack,
+            )
         });
         let row_counts: Vec<f64> = matrix.row_counts().iter().map(|&n| n as f64).collect();
         let inv_row = row_counts
@@ -221,6 +263,7 @@ impl ShardedOps {
             inv_col,
             row_slack,
             col_slack,
+            density,
             rebuilt_shards: 0,
         }
     }
@@ -275,6 +318,17 @@ impl ShardedOps {
         self.rebuilt_shards
     }
 
+    /// Per-format lane counts, aggregated across shards. (Shard row lanes
+    /// partition the global rows, so `bitmap_rows + sparse_rows = m`;
+    /// column lanes exist once per shard, so the column counts scale with
+    /// the shard count.)
+    pub fn format_counts(&self) -> FormatCounts {
+        self.shards
+            .iter()
+            .map(UserShard::format_counts)
+            .fold(FormatCounts::default(), FormatCounts::merged)
+    }
+
     /// Index of the shard owning global user `user`.
     pub fn shard_of(&self, user: usize) -> usize {
         debug_assert!(user < self.n_users);
@@ -306,7 +360,7 @@ impl ShardedOps {
     /// configured slack and the rebuild counters.
     pub fn rebalance(&mut self, matrix: &ResponseMatrix, plan: &ShardPlan) {
         let rebuilt = self.rebuilt_shards;
-        *self = Self::from_plan(matrix, plan, self.row_slack, self.col_slack);
+        *self = Self::from_plan(matrix, plan, self.density, self.row_slack, self.col_slack);
         self.rebuilt_shards = rebuilt;
     }
 
@@ -358,6 +412,7 @@ impl ShardedOps {
                         matrix,
                         self.shards[k].range(),
                         self.n_cols,
+                        &self.density,
                         self.row_slack,
                         self.shard_col_slack(),
                     );
@@ -404,7 +459,7 @@ impl ShardedOps {
     /// Row-side fill: `out[g] = f(shard pattern, local row, g)`, parallel
     /// over the output (row gathers never cross shards, so sharding does
     /// not constrain their parallelism).
-    fn rows_fill(&self, out: &mut [f64], f: impl Fn(&BinaryCsr, usize, usize) -> f64 + Sync) {
+    fn rows_fill(&self, out: &mut [f64], f: impl Fn(&HybridPattern, usize, usize) -> f64 + Sync) {
         assert_eq!(out.len(), self.n_users, "rows_fill: output length");
         parallel::par_fill(out, |offset, chunk| {
             let mut k = self.shard_of(offset);
@@ -442,8 +497,8 @@ impl ShardedOps {
                 for (j, slot) in chunk.iter_mut().enumerate() {
                     let c = offset + j;
                     let acc = match row_scale {
-                        Some(rs) => BinaryCsr::gather_sum_scaled(pattern.col(c), s, rs),
-                        None => BinaryCsr::gather_sum(pattern.col(c), s),
+                        Some(rs) => pattern.col_lane(c).sum_scaled(s, rs),
+                        None => pattern.col_lane(c).sum(s),
                     };
                     *slot = match out_scale {
                         Some(os) => os[c] * acc,
@@ -466,8 +521,8 @@ impl ShardedOps {
                 let lscale = row_scale.map(|rs| &rs[shard.start..shard.end]);
                 for (c, slot) in buf.iter_mut().enumerate() {
                     *slot = match lscale {
-                        Some(ls) => BinaryCsr::gather_sum_scaled(shard.pattern.col(c), local, ls),
-                        None => BinaryCsr::gather_sum(shard.pattern.col(c), local),
+                        Some(ls) => shard.pattern.col_lane(c).sum_scaled(local, ls),
+                        None => shard.pattern.col_lane(c).sum(local),
                     };
                 }
             });
@@ -490,7 +545,7 @@ impl ShardedOps {
 
     /// `s = C w` (unnormalized).
     pub fn c_apply(&self, w: &[f64], s_out: &mut [f64]) {
-        self.rows_fill(s_out, |p, lr, _| BinaryCsr::gather_sum(p.row(lr), w));
+        self.rows_fill(s_out, |p, lr, _| p.row_lane(lr).sum(w));
     }
 
     /// `w = Cᵀ s` (unnormalized), composed across shards.
@@ -501,9 +556,7 @@ impl ShardedOps {
     /// `s = Crow w`: user score = average weight of their chosen options.
     pub fn crow_apply(&self, w: &[f64], s_out: &mut [f64]) {
         let inv_row = &self.inv_row;
-        self.rows_fill(s_out, |p, lr, g| {
-            inv_row[g] * BinaryCsr::gather_sum(p.row(lr), w)
-        });
+        self.rows_fill(s_out, |p, lr, g| inv_row[g] * p.row_lane(lr).sum(w));
     }
 
     /// `w = (Ccol)ᵀ s`: option weight = average score of its pickers.
@@ -554,9 +607,7 @@ impl ShardedOps {
     ) {
         self.cols_compose(s_in, Some(inv_sqrt_rows), Some(&self.inv_col), partials, w);
         let w: &[f64] = w;
-        self.rows_fill(s_out, |p, lr, g| {
-            inv_sqrt_rows[g] * BinaryCsr::gather_sum(p.row(lr), w)
-        });
+        self.rows_fill(s_out, |p, lr, g| inv_sqrt_rows[g] * p.row_lane(lr).sum(w));
     }
 }
 
@@ -566,6 +617,7 @@ fn build_shard(
     matrix: &ResponseMatrix,
     range: Range<usize>,
     n_cols: usize,
+    density: &DensityPlan,
     row_slack: usize,
     col_slack: usize,
 ) -> UserShard {
@@ -580,7 +632,14 @@ fn build_shard(
     UserShard {
         start: range.start,
         end: range.end,
-        pattern: BinaryCsr::with_slack(range.len(), n_cols, pairs, row_slack, col_slack),
+        pattern: HybridPattern::with_plan(
+            range.len(),
+            n_cols,
+            pairs,
+            row_slack,
+            col_slack,
+            *density,
+        ),
     }
 }
 

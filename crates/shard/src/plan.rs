@@ -9,6 +9,7 @@
 //! counts — contiguous user ranges, so every shard's slice of the score
 //! vector is one `split_at_mut` and shard outputs never interleave.
 
+use hnd_linalg::parallel;
 use std::ops::Range;
 
 /// Policy governing shard layout for one session.
@@ -16,13 +17,27 @@ use std::ops::Range;
 pub struct ShardPlan {
     /// Aim for roughly this many stored entries per shard. The shard count
     /// is `nnz / target_shard_nnz`, clamped to
-    /// [`min_shards`](Self::min_shards)..=[`max_shards`](Self::max_shards).
+    /// [`min_shards`](Self::min_shards)..=[`max_shards`](Self::max_shards)
+    /// and further capped by the working-set heuristic
+    /// ([`shard_working_set`](Self::shard_working_set)).
     pub target_shard_nnz: usize,
     /// Never cut fewer shards than this once sharding activates.
     pub min_shards: usize,
     /// Never cut more shards than this (bounds per-shard column-partial
     /// buffers: memory is `max_shards × n_option_columns` doubles).
     pub max_shards: usize,
+    /// Per-shard working-set floor, in bytes of gather index traffic
+    /// (≈ `4·nnz / shards`): the greedy splitter stops before a shard's
+    /// share of the pattern drops below this. The m = 200 000 sharding
+    /// bench shows the single-core win is *cache blocking* — each shard's
+    /// column gather works a smaller slice of the score vector — and that
+    /// the effect inverts once shards get too small (`shards_8` 31.2 ms vs
+    /// `shards_4` 22.4 ms in `BENCH_sharding.json`): more compose passes
+    /// and per-lane loop overhead over working sets that already fit in
+    /// cache. The cap never drops below the worker count
+    /// ([`parallel::resolve_workers`]), so multi-core boxes keep one shard
+    /// per kernel thread. `0` disables the heuristic.
+    pub shard_working_set: usize,
     /// Re-split when the heaviest shard exceeds `skew_threshold ×` the
     /// ideal (mean) shard size — delta traffic concentrated on one user
     /// range would otherwise serialize the whole solve behind one shard.
@@ -43,6 +58,10 @@ impl Default for ShardPlan {
             target_shard_nnz: 250_000,
             min_shards: 2,
             max_shards: 64,
+            // 16 MiB of u32 indices ≈ 4M entries per shard: at the bench's
+            // m = 200k / nnz = 20M scale this stops the splitter at 4–5
+            // shards, the measured single-core optimum.
+            shard_working_set: 16 << 20,
             skew_threshold: 2.0,
             min_users: 10_000,
             min_nnz: 500_000,
@@ -57,11 +76,22 @@ impl ShardPlan {
     }
 
     /// Number of shards to cut for `nnz` stored entries (independent of
-    /// activation; callers check [`Self::activates`] first).
+    /// activation; callers check [`Self::activates`] first). The raw
+    /// `nnz / target_shard_nnz` count is capped by the per-shard
+    /// working-set floor (see [`shard_working_set`](Self::shard_working_set))
+    /// before the `min_shards..=max_shards` clamp, so a pinned plan
+    /// (`min == max`, e.g. [`Self::exactly`]) is never overridden.
     pub fn shard_count(&self, nnz: usize) -> usize {
         let lo = self.min_shards.max(1);
         let hi = self.max_shards.max(lo);
-        (nnz / self.target_shard_nnz.max(1)).clamp(lo, hi)
+        let mut cap = hi;
+        // Index traffic is ~4 bytes per stored entry; keep at least one
+        // shard per kernel worker regardless. A zero working set divides
+        // to `None` and disables the heuristic.
+        if let Some(by_ws) = nnz.saturating_mul(4).checked_div(self.shard_working_set) {
+            cap = cap.min(by_ws.max(parallel::resolve_workers(0)).max(lo));
+        }
+        (nnz / self.target_shard_nnz.max(1)).clamp(lo, cap)
     }
 
     /// A plan pinned to exactly `n` shards with activation disabled —
@@ -164,9 +194,14 @@ mod tests {
         assert!(plan.activates(10_000, 0));
         assert!(plan.activates(5, 500_000));
         assert_eq!(plan.shard_count(0), plan.min_shards);
-        assert_eq!(plan.shard_count(1_000_000), 4);
+        // Without the working-set heuristic, the raw target count rules.
+        let uncapped = ShardPlan {
+            shard_working_set: 0,
+            ..plan
+        };
+        assert_eq!(uncapped.shard_count(1_000_000), 4);
         assert_eq!(
-            plan.shard_count(usize::MAX / 2),
+            uncapped.shard_count(usize::MAX / 2),
             plan.max_shards,
             "count saturates at max_shards"
         );
@@ -174,5 +209,34 @@ mod tests {
         assert_eq!(pinned.shard_count(0), 6);
         assert_eq!(pinned.shard_count(usize::MAX / 2), 6);
         assert!(pinned.activates(1, 1));
+    }
+
+    #[test]
+    fn working_set_heuristic_caps_deep_splits() {
+        // Bench-backed regression guard for the shards_8 inversion at
+        // m = 200 000 (BENCH_sharding.json: one Udiff apply — 4 shards
+        // 22.4 ms, 8 shards 31.2 ms, i.e. past ~4 shards the per-shard
+        // working set leaves cache-blocking range on this workload). The
+        // default plan must stop the greedy splitter at the measured
+        // optimum's neighborhood instead of marching to max_shards.
+        parallel::with_threads(1, || {
+            let plan = ShardPlan::default();
+            let bench_nnz = 20_000_000; // m = 200k × n = 100, fully answered
+            let cut = plan.shard_count(bench_nnz);
+            assert!(
+                (2..=6).contains(&cut),
+                "default plan cuts {cut} shards at the bench scale"
+            );
+            // The cap scales with the session: ~10× the entries affords
+            // deeper splits again.
+            assert!(plan.shard_count(200_000_000) > cut);
+            // Pinned plans (bench sweeps) are never overridden…
+            assert_eq!(ShardPlan::exactly(8).shard_count(bench_nnz), 8);
+            // …and the cap never starves a multi-core box below one shard
+            // per kernel worker.
+            parallel::with_threads(16, || {
+                assert!(plan.shard_count(bench_nnz) >= 8);
+            });
+        });
     }
 }

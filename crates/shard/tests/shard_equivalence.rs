@@ -14,6 +14,7 @@
 //! empty users, and delta waves that trip the rebalance policy.
 
 use hnd_core::{SolverKind, SolverOpts};
+use hnd_linalg::DensityPlan;
 use hnd_response::{KernelWorkspace, ResponseLog, ResponseMatrix, ResponseOps};
 use hnd_shard::{solve_power, ShardPlan, ShardedOps, ShardedWorkspace};
 use proptest::prelude::*;
@@ -126,6 +127,71 @@ proptest! {
         }
     }
 
+    /// The whole kernel battery again, under every hybrid lane layout:
+    /// forced bitmap, forced CSR, and a mixed mid-threshold plan (lanes on
+    /// both sides of the promotion boundary). Sharded hybrid contexts —
+    /// including ones maintained through the delta stream — must match the
+    /// unsharded pure-CSR engine to ≤1e-12.
+    #[test]
+    fn shard_layouts_hold_under_every_lane_format(
+        (m, _n, options, batches) in edit_stream()
+    ) {
+        let mixed = DensityPlan { row_density: 0.3, col_density: 0.3, min_dim: 0 };
+        let mut log = ResponseLog::new(m, options.len(), &options).unwrap();
+        apply_batches(&mut log, &batches);
+        let matrix = log.to_matrix();
+        let csr_ops = ResponseOps::with_plan(&matrix, 0, 0, DensityPlan::force_csr());
+        let mut ws = KernelWorkspace::for_ops(&csr_ops);
+        let s_in: Vec<f64> = (0..m).map(|u| (u as f64) * 0.37 - 1.1).collect();
+        let mut want = vec![0.0; m];
+        csr_ops.u_apply(&s_in, &mut ws.w, &mut want);
+        let mut want_t = vec![0.0; m];
+        csr_ops.ut_apply(&s_in, &mut ws.w, &mut want_t);
+
+        for (name, plan) in [
+            ("force_csr", DensityPlan::force_csr()),
+            ("force_bitmap", DensityPlan::force_bitmap()),
+            ("mixed", mixed),
+        ] {
+            for shards in [1, 2, m] {
+                let sops = ShardedOps::with_shards_plan(&matrix, shards, plan, 0, 0);
+                let mut sws = ShardedWorkspace::for_ops(&sops);
+                let mut got = vec![0.0; m];
+                sops.u_apply(&s_in, &mut sws.partials, &mut sws.w, &mut got);
+                assert_close(&got, &want, &format!("{name}/s{shards}: U"));
+                sops.ut_apply(&s_in, &mut sws.partials, &mut sws.w, &mut got);
+                assert_close(&got, &want_t, &format!("{name}/s{shards}: Ut"));
+            }
+
+            // Delta-maintained sharded context under this layout: replay
+            // the stream with tight sparse slack (bitmap lanes need none;
+            // sparse lanes trip per-shard rebuilds, which re-decide
+            // formats mid-stream).
+            let mut live_log = ResponseLog::new(m, options.len(), &options).unwrap();
+            let mut live_matrix = live_log.snapshot().matrix;
+            let mut sops =
+                ShardedOps::with_shards_plan(&live_matrix, 3.min(m), plan, 1, 1);
+            for batch in &batches {
+                for &(u, i, c) in batch {
+                    live_log.set(u, i, c).unwrap();
+                }
+                let delta = live_log.drain_delta().unwrap();
+                if delta.is_empty() {
+                    continue;
+                }
+                live_matrix.apply_delta(&delta).unwrap();
+                sops.apply_delta(&live_matrix, &delta).unwrap();
+            }
+            prop_assert_eq!(sops.nnz(), csr_ops.pattern().nnz(), "{}", name);
+            prop_assert_eq!(sops.row_counts(), csr_ops.row_counts(), "{}", name);
+            prop_assert_eq!(sops.col_counts(), csr_ops.col_counts(), "{}", name);
+            let mut sws = ShardedWorkspace::for_ops(&sops);
+            let mut got = vec![0.0; m];
+            sops.u_apply(&s_in, &mut sws.partials, &mut sws.w, &mut got);
+            assert_close(&got, &want, &format!("{name}: delta-patched U"));
+        }
+    }
+
     /// Full power solves agree: same scores to ≤1e-12, identical rankings
     /// when resolvable, for every shard count.
     #[test]
@@ -147,6 +213,20 @@ proptest! {
                 .unwrap();
             let warm_got = solve_power(&matrix, &sops, &opts, Some(&got.state)).unwrap();
             assert_same_solve(&warm_got.ranking, &warm_want.ranking, "warm solve");
+        }
+        // Full solves also hold on forced-bitmap and mixed lane layouts
+        // (the sweep above runs the adaptive default).
+        for plan in [
+            DensityPlan::force_bitmap(),
+            DensityPlan {
+                row_density: 0.3,
+                col_density: 0.3,
+                min_dim: 0,
+            },
+        ] {
+            let sops = ShardedOps::with_shards_plan(&matrix, 2.min(m), plan, 0, 0);
+            let got = solve_power(&matrix, &sops, &opts, None).unwrap();
+            assert_same_solve(&got.ranking, &want.ranking, "cold solve (hybrid layout)");
         }
     }
 
@@ -269,7 +349,7 @@ fn rebalance_trigger_preserves_equivalence() {
             log.set(u, 0, Some((rng.next() % 2) as u16)).unwrap();
         }
         let mut matrix = log.snapshot().matrix;
-        let mut sops = ShardedOps::from_plan(&matrix, &plan, 4, 64);
+        let mut sops = ShardedOps::from_plan(&matrix, &plan, DensityPlan::default(), 4, 64);
         assert_eq!(sops.shard_count(), 3);
         let mut rebalanced = false;
         for wave in 0..6 {

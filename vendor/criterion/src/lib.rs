@@ -80,6 +80,14 @@ impl Criterion {
         self
     }
 
+    /// All measurements collected so far, in execution order. External
+    /// writers (e.g. `hnd-bench`'s shared JSON reporter, which augments
+    /// entries with workload metadata) read results through this instead
+    /// of duplicating the sampler.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
     /// Writes collected results to `$BENCH_JSON` (if set) and prints a
     /// closing line. Called by `criterion_main!` after all groups ran.
     pub fn finalize(&self) {
