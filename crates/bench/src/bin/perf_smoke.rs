@@ -4,6 +4,7 @@
 //! ```text
 //! perf_smoke <baseline.json> <fresh.json> [--filter SUBSTR]
 //!            [--tolerance 1.25] [--min-speedup 1.10]
+//!            [--pair idA:idB:max_ratio]...
 //! ```
 //!
 //! * **Absolute** — for each watched id present in both files, the fresh
@@ -18,6 +19,14 @@
 //!   `…_csr…` sibling (last `_hybrid` segment replaced) by at least the
 //!   given ratio. Skipped on the scalar SIMD tier, where the adaptive
 //!   plan intentionally never promotes.
+//! * **Pair** (`--pair idA:idB:max_ratio`, repeatable) — also within the
+//!   fresh file alone: `median(idA) / median(idB)` must stay ≤
+//!   `max_ratio`. This is how the planner gates read — e.g.
+//!   `planner_wave/waves_planner/10000:planner_wave/waves_mispinned/10000:0.77`
+//!   demands the cost-model plan beat the deliberately mis-pinned static
+//!   config by ≥ 1.3×. Pairs are skipped on the scalar tier (format
+//!   choices legitimately invert there) and when either id is absent from
+//!   the fresh file (quick sweeps emit a subset).
 //!
 //! The gate fails (exit 1) on any violation, and also when *no* check
 //! fired at all (a vacuous gate is a broken gate). `PERF_SMOKE_TOLERANCE`
@@ -98,6 +107,7 @@ fn main() -> ExitCode {
     let mut filter = String::new();
     let mut tolerance = 1.25f64;
     let mut min_speedup: Option<f64> = None;
+    let mut pairs: Vec<(String, String, f64)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -106,6 +116,23 @@ fn main() -> ExitCode {
                 tolerance = it.next().and_then(|t| t.parse().ok()).unwrap_or(tolerance)
             }
             "--min-speedup" => min_speedup = it.next().and_then(|t| t.parse().ok()),
+            "--pair" => {
+                let spec = it.next().cloned().unwrap_or_default();
+                let parts: Vec<&str> = spec.split(':').collect();
+                match parts.as_slice() {
+                    [a, b, max] => match max.parse::<f64>() {
+                        Ok(max) if max > 0.0 => pairs.push((a.to_string(), b.to_string(), max)),
+                        _ => {
+                            eprintln!("perf_smoke: --pair {spec}: unparsable max ratio");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    _ => {
+                        eprintln!("perf_smoke: --pair {spec}: expected idA:idB:max_ratio");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => files.push(other),
         }
     }
@@ -117,7 +144,7 @@ fn main() -> ExitCode {
     let [baseline_path, fresh_path] = files.as_slice() else {
         eprintln!(
             "usage: perf_smoke <baseline.json> <fresh.json> [--filter SUBSTR] \
-             [--tolerance 1.25] [--min-speedup 1.10]"
+             [--tolerance 1.25] [--min-speedup 1.10] [--pair idA:idB:max_ratio]..."
         );
         return ExitCode::FAILURE;
     };
@@ -140,6 +167,40 @@ fn main() -> ExitCode {
     let mut checks = 0usize;
     let mut skips = 0usize;
     let mut failures = 0usize;
+
+    // Pair gates: ratio constraints between two ids of the fresh run.
+    // Machine-independent like the relative gate, and skipped on the
+    // scalar tier for the same reason (the tier's format economics
+    // legitimately invert the expected ordering).
+    let scalar_run = fresh
+        .iter()
+        .any(|e| e.env.as_deref().is_some_and(|v| v.starts_with("scalar")));
+    for (id_a, id_b, max_ratio) in &pairs {
+        if scalar_run {
+            skips += 1;
+            println!("perf_smoke: pair {id_a} vs {id_b}: scalar tier, pair gate skipped");
+            continue;
+        }
+        let (Some(a), Some(b)) = (find(&fresh, id_a), find(&fresh, id_b)) else {
+            skips += 1;
+            println!(
+                "perf_smoke: pair {id_a} vs {id_b}: one side missing from {fresh_path}, \
+                 pair gate skipped"
+            );
+            continue;
+        };
+        checks += 1;
+        let ratio = a / b;
+        let ok = ratio <= *max_ratio;
+        println!(
+            "perf_smoke: pair {id_a} vs {id_b}: {ratio:.2}x (max {max_ratio:.2}x) {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+
     for entry in &fresh {
         if !filter.is_empty() && !entry.id.contains(filter.as_str()) {
             continue;

@@ -11,6 +11,8 @@
 //!   trajectory and numbers stay comparable across groups and PRs.
 //! * [`bench_main!`] — a drop-in replacement for `criterion_main!` that
 //!   finalizes through the shared writer.
+//! * [`workload`] — the deterministic matrix generators, so the same
+//!   `(m, n, density)` cell means the same workload in every group.
 
 pub use criterion;
 
@@ -38,6 +40,68 @@ pub fn matrix_meta(matrix: &hnd_response::ResponseMatrix) -> report::EntryMeta {
     report::EntryMeta {
         density: Some(nnz as f64 / (matrix.n_users() * matrix.total_options()) as f64),
         nnz: Some(nnz),
+    }
+}
+
+pub mod workload {
+    //! Deterministic workload generators shared across bench groups, so
+    //! the same `(m, n, density)` cell means the same matrix in every
+    //! group's artifact.
+
+    use crate::lcg;
+    use hnd_response::ResponseMatrix;
+
+    /// Single-option participation pattern at the given density: user `u`
+    /// "answers" item `i` (picks its only option) with probability
+    /// `density`, ability-tilted so the spectral structure is non-trivial.
+    /// Matrix density equals lane density here. Deterministic, cheap (at
+    /// m = 200k the generator must not dominate setup).
+    pub fn participation_matrix(m: usize, n: usize, density: f64) -> ResponseMatrix {
+        let mut state = 0x5AADED_u64 ^ ((m as u64) << 20) ^ ((density * 1000.0) as u64);
+        let rows: Vec<Vec<Option<u16>>> = (0..m)
+            .map(|u| {
+                let ability = 0.6 + 0.8 * (u as f64 / m as f64); // 0.6..1.4 tilt
+                let threshold = (density * ability * 1000.0).min(1000.0) as u64;
+                (0..n)
+                    .map(|_| {
+                        if lcg(&mut state) % 1000 < threshold {
+                            Some(0)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+        ResponseMatrix::from_choices(n, &vec![1u16; n], &refs).unwrap()
+    }
+
+    /// Ability-structured k-option one-hot matrix at the given answer rate
+    /// (lane densities ≈ rate/k): the serving shape of the sharding bench.
+    pub fn one_hot_matrix(m: usize, n: usize, k: u16, rate: f64) -> ResponseMatrix {
+        let mut state = 0xB17EB_u64 ^ ((m as u64) << 18) ^ ((rate * 1000.0) as u64);
+        let threshold = (rate * 1000.0) as u64;
+        let rows: Vec<Vec<Option<u16>>> = (0..m)
+            .map(|u| {
+                let ability = u as f64 / m as f64;
+                (0..n)
+                    .map(|i| {
+                        if lcg(&mut state) % 1000 >= threshold {
+                            return None;
+                        }
+                        let correct = (i % k as usize) as u16;
+                        if (lcg(&mut state) % 1000) as f64 / 1000.0 < 0.2 + 0.7 * ability {
+                            Some(correct)
+                        } else {
+                            Some((correct + 1 + (lcg(&mut state) % (k as u64 - 1)) as u16) % k)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+        ResponseMatrix::from_choices(n, &vec![k; n], &refs).unwrap()
     }
 }
 

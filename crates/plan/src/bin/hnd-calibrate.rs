@@ -1,0 +1,142 @@
+//! `hnd-calibrate` — measure this host's kernel rates and write the
+//! per-host catalog.
+//!
+//! ```text
+//! hnd-calibrate [--quick] [--force] [--out PATH] [--check]
+//! ```
+//!
+//! * `--quick`  restricted grid (CI smoke; sub-second)
+//! * `--force`  recalibrate even when a current catalog already exists
+//! * `--out`    write to PATH instead of the default per-host location
+//!   (`$HND_CATALOG` / `~/.cache/hnd/kernel-catalog.json`)
+//! * `--check`  after calibrating (or loading a current catalog), re-run a
+//!   spot measurement per class and fail unless the median predicted-vs-
+//!   actual error is ≤ 2× — the CI planner smoke.
+
+use hnd_plan::{calibrate, CalibrationOpts, CostModel, KernelCatalog, KernelClass};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut force = false;
+    let mut check = false;
+    let mut out: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--force" => force = true,
+            "--check" => check = true,
+            "--out" => match argv.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("hnd-calibrate: --out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("hnd-calibrate: unknown flag {other:?}");
+                eprintln!("usage: hnd-calibrate [--quick] [--force] [--out PATH] [--check]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let path = out.unwrap_or_else(hnd_plan::catalog_path);
+    let opts = if quick {
+        CalibrationOpts::quick()
+    } else {
+        CalibrationOpts::default()
+    };
+
+    let catalog = if !force {
+        match KernelCatalog::load_checked(&path) {
+            Ok(existing) => {
+                println!(
+                    "catalog current at {} ({} entries, {}/c{}) — use --force to re-measure",
+                    path.display(),
+                    existing.entries.len(),
+                    existing.fingerprint.isa,
+                    existing.fingerprint.cores
+                );
+                existing
+            }
+            Err(reason) => {
+                println!("calibrating ({reason})…");
+                run_and_save(&opts, &path)
+            }
+        }
+    } else {
+        run_and_save(&opts, &path)
+    };
+
+    if check {
+        return check_catalog(&catalog, &opts);
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_and_save(opts: &CalibrationOpts, path: &std::path::Path) -> KernelCatalog {
+    let started = std::time::Instant::now();
+    let catalog = calibrate(opts);
+    if let Err(e) = catalog.save(path) {
+        eprintln!("hnd-calibrate: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "measured {} rates ({}/c{}) in {:.1}s → {}",
+        catalog.entries.len(),
+        catalog.fingerprint.isa,
+        catalog.fingerprint.cores,
+        started.elapsed().as_secs_f64(),
+        path.display()
+    );
+    catalog
+}
+
+/// Re-measures every measured grid point with a fresh pass and compares
+/// against the catalog's prediction at that exact point. Median ratio per
+/// class must stay within 2× either way.
+fn check_catalog(catalog: &KernelCatalog, opts: &CalibrationOpts) -> ExitCode {
+    let fresh = calibrate(opts);
+    let model = CostModel::new(catalog.clone());
+    let mut worst_median = 0.0f64;
+    let mut failed = false;
+    for class in KernelClass::ALL {
+        let fresh_entries = fresh.class_entries(class);
+        if fresh_entries.is_empty() {
+            continue;
+        }
+        let mut ratios: Vec<f64> = fresh_entries
+            .iter()
+            .filter_map(|e| {
+                let predicted = model.rate(class, e.dim, e.density, e.threads)?;
+                if predicted <= 0.0 || e.ns_per_unit <= 0.0 {
+                    return None;
+                }
+                let r = e.ns_per_unit / predicted;
+                Some(if r < 1.0 { 1.0 / r } else { r })
+            })
+            .collect();
+        if ratios.is_empty() {
+            continue;
+        }
+        ratios.sort_by(f64::total_cmp);
+        let median = ratios[ratios.len() / 2];
+        worst_median = worst_median.max(median);
+        let verdict = if median <= 2.0 { "ok" } else { "FAIL" };
+        println!(
+            "  {:<14} median predicted-vs-actual {median:.2}× [{verdict}]",
+            class.name()
+        );
+        if median > 2.0 {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("hnd-calibrate --check: median error exceeds 2× — recalibrate (--force)");
+        return ExitCode::FAILURE;
+    }
+    println!("check passed (worst class median {worst_median:.2}×)");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,386 @@
+//! The measured kernel-cost catalog: what the primitive kernels actually
+//! cost **on this host**.
+//!
+//! A [`KernelCatalog`] is the persisted result of one calibration pass
+//! ([`crate::calibrate`]): for each primitive kernel class the serving
+//! stack is built from, a small grid of `(lane dimension × density ×
+//! thread count)` measurements, each normalized to a per-unit rate
+//! (ns/entry for gathers, ns/bit-slot for bitmap scans, ns/edit for
+//! patches, …). The [`crate::CostModel`] interpolates these entries;
+//! nothing downstream ever reads a hand-tuned constant when a catalog is
+//! present.
+//!
+//! Catalogs are **per host**: a [`HostFingerprint`] (SIMD tier × core
+//! count × schema version) is stored alongside the entries, and
+//! [`KernelCatalog::load_checked`] treats any mismatch as *stale* — the
+//! caller recalibrates instead of planning from another machine's numbers.
+//! This is what retires the "re-measure thresholds on a multi-core box"
+//! debt: wherever the binary lands, the first calibration pass measures
+//! that box and every threshold is derived from those measurements.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
+
+/// Schema version of the persisted catalog. Bump on any change to the
+/// entry layout or rate units; older files are then treated as stale.
+pub const CATALOG_VERSION: u32 = 1;
+
+/// The primitive kernel classes the calibration pass measures. Every
+/// hot-path cost the planner reasons about decomposes into these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelClass {
+    /// Sparse (u32-index) lane gather: `Σ x[idx]` — unit: ns per stored
+    /// entry.
+    CsrGather,
+    /// Bitmap lane word scan (SIMD-dispatched) — unit: ns per bit-slot
+    /// scanned (cost is flat in density, linear in lane dimension).
+    BitmapScan,
+    /// In-place CSR/CSC patch of a sparse lane (sorted-prefix shift under
+    /// slack) — unit: ns per pattern edit.
+    CsrPatch,
+    /// Bitmap-lane edit (one bit flip, no slack accounting) — unit: ns per
+    /// pattern edit.
+    BitFlip,
+    /// Full lane/arena rebuild (`HybridPattern::with_plan`) — unit: ns per
+    /// stored entry.
+    LaneRebuild,
+    /// Per-shard partial-reduction compose (summing shard partials into
+    /// the output vector) — unit: ns per composed element
+    /// (`shards × columns`).
+    ShardCompose,
+    /// Whole-solve feedback class: carries no calibration entries (solve
+    /// cost is predicted as iterations × apply cost), only the
+    /// predicted-vs-actual correction blended in from serving feedback.
+    Solve,
+}
+
+impl KernelClass {
+    /// Every class, in stable serialization order.
+    pub const ALL: [KernelClass; 7] = [
+        KernelClass::CsrGather,
+        KernelClass::BitmapScan,
+        KernelClass::CsrPatch,
+        KernelClass::BitFlip,
+        KernelClass::LaneRebuild,
+        KernelClass::ShardCompose,
+        KernelClass::Solve,
+    ];
+
+    /// Stable snake_case name (the persisted form).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelClass::CsrGather => "csr_gather",
+            KernelClass::BitmapScan => "bitmap_scan",
+            KernelClass::CsrPatch => "csr_patch",
+            KernelClass::BitFlip => "bit_flip",
+            KernelClass::LaneRebuild => "lane_rebuild",
+            KernelClass::ShardCompose => "shard_compose",
+            KernelClass::Solve => "solve",
+        }
+    }
+
+    /// Parses the persisted name.
+    pub fn from_name(name: &str) -> Option<KernelClass> {
+        KernelClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Dense index into per-class arrays (drift accumulators, corrections).
+    pub fn index(self) -> usize {
+        KernelClass::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("class listed in ALL")
+    }
+}
+
+/// Identity of the machine a catalog was measured on. Planning from
+/// another machine's rates is worse than falling back to the documented
+/// constants, so any mismatch invalidates the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostFingerprint {
+    /// Detected SIMD tier (`avx512` / `avx2` / `scalar`).
+    pub isa: String,
+    /// Available hardware parallelism at calibration time.
+    pub cores: usize,
+}
+
+impl HostFingerprint {
+    /// The fingerprint of the current process's host.
+    pub fn current() -> Self {
+        HostFingerprint {
+            isa: hnd_linalg::simd::kernel_isa().name().to_string(),
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// One measured rate: kernel `class` at lane dimension `dim`, lane density
+/// `density`, `threads` kernel threads → `ns_per_unit` (unit per class,
+/// see [`KernelClass`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CatalogEntry {
+    /// The measured kernel class.
+    pub class: KernelClass,
+    /// Lane dimension of the measurement (bit-slots for bitmap scans,
+    /// gathered-span length for CSR; total stored entries for
+    /// [`KernelClass::LaneRebuild`]).
+    pub dim: usize,
+    /// Lane density of the measurement workload.
+    pub density: f64,
+    /// Kernel thread count in effect ([`hnd_linalg::parallel::threads`]).
+    pub threads: usize,
+    /// Measured cost, normalized per unit of work.
+    pub ns_per_unit: f64,
+}
+
+/// The versioned, per-host measured cost catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelCatalog {
+    /// Schema version ([`CATALOG_VERSION`] when freshly calibrated).
+    pub version: u32,
+    /// Host the rates were measured on.
+    pub fingerprint: HostFingerprint,
+    /// Measured rates (grid points; the cost model interpolates).
+    pub entries: Vec<CatalogEntry>,
+    /// Per-class multiplicative corrections blended in from serving
+    /// feedback (predicted-vs-actual, see `Planner::refresh`). `1.0` =
+    /// uncorrected. Indexed by [`KernelClass::index`].
+    pub corrections: [f64; KernelClass::ALL.len()],
+}
+
+/// Why a persisted catalog was rejected.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// File could not be read or written.
+    Io(std::io::Error),
+    /// File parsed but does not describe a catalog (or wrong types).
+    Malformed(String),
+    /// Valid catalog, wrong host or schema version — recalibrate.
+    Stale {
+        /// What the file carries.
+        found: String,
+        /// What this host/build expects.
+        expected: String,
+    },
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Io(e) => write!(f, "catalog io error: {e}"),
+            CatalogError::Malformed(m) => write!(f, "malformed catalog: {m}"),
+            CatalogError::Stale { found, expected } => {
+                write!(f, "stale catalog: found {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl Serialize for KernelCatalog {
+    fn to_value(&self) -> Value {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                Value::Object(vec![
+                    ("class".into(), Value::String(e.class.name().into())),
+                    ("dim".into(), Value::Int(e.dim as i64)),
+                    ("density".into(), Value::Float(e.density)),
+                    ("threads".into(), Value::Int(e.threads as i64)),
+                    ("ns_per_unit".into(), Value::Float(e.ns_per_unit)),
+                ])
+            })
+            .collect();
+        let corrections = KernelClass::ALL
+            .iter()
+            .map(|c| {
+                Value::Object(vec![
+                    ("class".into(), Value::String(c.name().into())),
+                    ("factor".into(), Value::Float(self.corrections[c.index()])),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("version".into(), Value::Int(i64::from(self.version))),
+            ("isa".into(), Value::String(self.fingerprint.isa.clone())),
+            ("cores".into(), Value::Int(self.fingerprint.cores as i64)),
+            ("entries".into(), Value::Array(entries)),
+            ("corrections".into(), Value::Array(corrections)),
+        ])
+    }
+}
+
+impl Deserialize for KernelCatalog {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let field = |k: &str| {
+            value
+                .get(k)
+                .ok_or_else(|| DeError::new(format!("catalog missing field {k:?}")))
+        };
+        let version = u32::from_value(field("version")?)?;
+        let fingerprint = HostFingerprint {
+            isa: String::from_value(field("isa")?)?,
+            cores: usize::from_value(field("cores")?)?,
+        };
+        let Value::Array(raw_entries) = field("entries")? else {
+            return Err(DeError::new("catalog entries must be an array"));
+        };
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        for e in raw_entries {
+            let class_name = String::from_value(
+                e.get("class")
+                    .ok_or_else(|| DeError::new("entry missing class"))?,
+            )?;
+            let class = KernelClass::from_name(&class_name)
+                .ok_or_else(|| DeError::new(format!("unknown kernel class {class_name:?}")))?;
+            entries.push(CatalogEntry {
+                class,
+                dim: usize::from_value(e.get("dim").unwrap_or(&Value::Null))?,
+                density: f64::from_value(e.get("density").unwrap_or(&Value::Null))?,
+                threads: usize::from_value(e.get("threads").unwrap_or(&Value::Null))?,
+                ns_per_unit: f64::from_value(e.get("ns_per_unit").unwrap_or(&Value::Null))?,
+            });
+        }
+        let mut corrections = [1.0; KernelClass::ALL.len()];
+        if let Some(Value::Array(raw)) = value.get("corrections") {
+            for c in raw {
+                let name = String::from_value(
+                    c.get("class")
+                        .ok_or_else(|| DeError::new("correction missing class"))?,
+                )?;
+                let class = KernelClass::from_name(&name)
+                    .ok_or_else(|| DeError::new(format!("unknown kernel class {name:?}")))?;
+                corrections[class.index()] =
+                    f64::from_value(c.get("factor").unwrap_or(&Value::Null))?;
+            }
+        }
+        Ok(KernelCatalog {
+            version,
+            fingerprint,
+            entries,
+            corrections,
+        })
+    }
+}
+
+impl KernelCatalog {
+    /// `true` when the catalog was measured on this host under the current
+    /// schema.
+    pub fn is_current(&self) -> bool {
+        self.version == CATALOG_VERSION && self.fingerprint == HostFingerprint::current()
+    }
+
+    /// Serializes and writes the catalog to `path` (creating parent
+    /// directories).
+    pub fn save(&self, path: &Path) -> Result<(), CatalogError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(CatalogError::Io)?;
+            }
+        }
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| CatalogError::Malformed(e.to_string()))?;
+        std::fs::write(path, text).map_err(CatalogError::Io)
+    }
+
+    /// Loads `path` without validating the fingerprint (inspection /
+    /// tests).
+    pub fn load(path: &Path) -> Result<Self, CatalogError> {
+        let text = std::fs::read_to_string(path).map_err(CatalogError::Io)?;
+        serde_json::from_str(&text).map_err(|e| CatalogError::Malformed(e.to_string()))
+    }
+
+    /// Loads `path` and rejects catalogs measured on a different host or
+    /// under a different schema version as [`CatalogError::Stale`].
+    pub fn load_checked(path: &Path) -> Result<Self, CatalogError> {
+        let catalog = Self::load(path)?;
+        if !catalog.is_current() {
+            let here = HostFingerprint::current();
+            return Err(CatalogError::Stale {
+                found: format!(
+                    "v{} {}/c{}",
+                    catalog.version, catalog.fingerprint.isa, catalog.fingerprint.cores
+                ),
+                expected: format!("v{CATALOG_VERSION} {}/c{}", here.isa, here.cores),
+            });
+        }
+        Ok(catalog)
+    }
+
+    /// Entries of one class, sorted by `(threads, dim, density)`.
+    pub fn class_entries(&self, class: KernelClass) -> Vec<CatalogEntry> {
+        let mut out: Vec<CatalogEntry> = self
+            .entries
+            .iter()
+            .copied()
+            .filter(|e| e.class == class)
+            .collect();
+        out.sort_by(|a, b| {
+            (a.threads, a.dim)
+                .cmp(&(b.threads, b.dim))
+                .then(a.density.total_cmp(&b.density))
+        });
+        out
+    }
+}
+
+/// The per-host catalog path: `$HND_CATALOG` when set, else
+/// `$HOME/.cache/hnd/kernel-catalog.json`, else a temp-dir fallback.
+pub fn catalog_path() -> PathBuf {
+    if let Ok(p) = std::env::var("HND_CATALOG") {
+        if !p.is_empty() {
+            return PathBuf::from(p);
+        }
+    }
+    if let Ok(home) = std::env::var("HOME") {
+        if !home.is_empty() {
+            return Path::new(&home).join(".cache/hnd/kernel-catalog.json");
+        }
+    }
+    std::env::temp_dir().join("hnd-kernel-catalog.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_round_trip() {
+        for c in KernelClass::ALL {
+            assert_eq!(KernelClass::from_name(c.name()), Some(c));
+        }
+        assert_eq!(KernelClass::from_name("warp_drive"), None);
+    }
+
+    #[test]
+    fn fingerprint_matches_host() {
+        let fp = HostFingerprint::current();
+        assert!(!fp.isa.is_empty());
+        assert!(fp.cores >= 1);
+        assert_eq!(fp, HostFingerprint::current());
+    }
+
+    #[test]
+    fn class_entries_sorted() {
+        let mk = |dim, threads, d| CatalogEntry {
+            class: KernelClass::CsrGather,
+            dim,
+            density: d,
+            threads,
+            ns_per_unit: 1.0,
+        };
+        let cat = KernelCatalog {
+            version: CATALOG_VERSION,
+            fingerprint: HostFingerprint::current(),
+            entries: vec![mk(4096, 1, 0.6), mk(256, 1, 0.1), mk(256, 2, 0.1)],
+            corrections: [1.0; KernelClass::ALL.len()],
+        };
+        let sorted = cat.class_entries(KernelClass::CsrGather);
+        assert_eq!(sorted[0].dim, 256);
+        assert_eq!(sorted[0].threads, 1);
+        assert_eq!(sorted.last().unwrap().threads, 2);
+        assert!(cat.class_entries(KernelClass::Solve).is_empty());
+    }
+}

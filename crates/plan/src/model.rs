@@ -1,0 +1,394 @@
+//! The kernel cost model: turns raw [`KernelCatalog`] measurements into
+//! predicted nanosecond costs for the engine's composite operations.
+//!
+//! Rates are looked up per kernel class at the nearest measured thread
+//! count and density, log-interpolated across the dimension axis (cache
+//! effects make per-unit cost roughly piecewise-linear in `log dim`), and
+//! scaled by the catalog's per-class feedback corrections. Composite
+//! predictions then assemble per-lane costs over a session's density
+//! histogram — the same bucketing the planner uses to describe sessions.
+
+use crate::catalog::{CatalogEntry, KernelCatalog, KernelClass};
+use hnd_linalg::DensityPlan;
+
+/// Number of density buckets in a [`SessionShape`] histogram.
+pub const HIST_BUCKETS: usize = 8;
+
+/// Upper edges of the density buckets (the last bucket is open-ended).
+pub const HIST_EDGES: [f64; HIST_BUCKETS] = [0.05, 0.10, 0.20, 0.30, 0.45, 0.60, 0.80, 1.01];
+
+/// Representative density used when predicting the cost of a bucket.
+fn bucket_mid(bucket: usize) -> f64 {
+    let hi = HIST_EDGES[bucket].min(1.0);
+    let lo = if bucket == 0 {
+        0.0
+    } else {
+        HIST_EDGES[bucket - 1]
+    };
+    (lo + hi) * 0.5
+}
+
+/// Bucket index of a lane density.
+pub fn density_bucket(density: f64) -> usize {
+    HIST_EDGES
+        .iter()
+        .position(|&edge| density < edge)
+        .unwrap_or(HIST_BUCKETS - 1)
+}
+
+/// The shape summary a [`Planner`](crate::planner::Planner) needs about a
+/// session: dimensions, total entries, and per-lane density histograms for
+/// both gather directions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionShape {
+    /// Number of users (rows of the pattern; the column-lane dimension).
+    pub users: usize,
+    /// Number of one-hot option columns (the row-lane dimension).
+    pub cols: usize,
+    /// Total stored entries.
+    pub nnz: usize,
+    /// Fraction of user rows per density bucket.
+    pub row_hist: [f64; HIST_BUCKETS],
+    /// Fraction of option columns per density bucket.
+    pub col_hist: [f64; HIST_BUCKETS],
+}
+
+impl SessionShape {
+    /// Builds the shape from per-lane entry counts (the engine gets these
+    /// straight from `ResponseMatrix::row_counts`/`col_counts`).
+    pub fn from_counts(row_counts: &[usize], col_counts: &[usize]) -> Self {
+        let users = row_counts.len();
+        let cols = col_counts.len();
+        let nnz = row_counts.iter().sum();
+        let hist = |counts: &[usize], dim: usize| {
+            let mut h = [0.0f64; HIST_BUCKETS];
+            if counts.is_empty() || dim == 0 {
+                return h;
+            }
+            for &c in counts {
+                h[density_bucket(c as f64 / dim as f64)] += 1.0;
+            }
+            for v in &mut h {
+                *v /= counts.len() as f64;
+            }
+            h
+        };
+        SessionShape {
+            users,
+            cols,
+            nnz,
+            row_hist: hist(row_counts, cols),
+            col_hist: hist(col_counts, users),
+        }
+    }
+
+    /// Overall matrix density.
+    pub fn density(&self) -> f64 {
+        if self.users == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / (self.users * self.cols) as f64
+        }
+    }
+}
+
+/// Cost predictions for the engine's composite operations, interpolated
+/// from one host's [`KernelCatalog`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    catalog: KernelCatalog,
+}
+
+impl CostModel {
+    /// Wraps a catalog. The model borrows the catalog's correction factors
+    /// at every lookup, so a refreshed catalog immediately shifts costs.
+    pub fn new(catalog: KernelCatalog) -> Self {
+        CostModel { catalog }
+    }
+
+    /// The wrapped catalog.
+    pub fn catalog(&self) -> &KernelCatalog {
+        &self.catalog
+    }
+
+    /// Mutable access for feedback blending.
+    pub fn catalog_mut(&mut self) -> &mut KernelCatalog {
+        &mut self.catalog
+    }
+
+    /// Per-unit rate for `class` at the given lane dimension, density and
+    /// thread count: nearest measured threads, nearest measured density,
+    /// log-dim interpolation between bracketing grid dims, clamped at the
+    /// grid edges, scaled by the class's feedback correction. `None` when
+    /// the catalog holds no measurements for the class.
+    pub fn rate(
+        &self,
+        class: KernelClass,
+        dim: usize,
+        density: f64,
+        threads: usize,
+    ) -> Option<f64> {
+        let entries = self.catalog.class_entries(class);
+        if entries.is_empty() {
+            return None;
+        }
+        // Nearest measured thread count (ties resolve to the smaller).
+        let t = entries
+            .iter()
+            .map(|e| e.threads)
+            .min_by_key(|&t| (t.abs_diff(threads), t))?;
+        let at_t: Vec<&CatalogEntry> = entries.iter().filter(|e| e.threads == t).collect();
+        // Nearest measured density.
+        let d = at_t.iter().map(|e| e.density).min_by(|a, b| {
+            (a - density)
+                .abs()
+                .partial_cmp(&(b - density).abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        let at_d: Vec<&CatalogEntry> = at_t
+            .into_iter()
+            .filter(|e| (e.density - d).abs() < 1e-12)
+            .collect();
+        let correction = self.catalog.corrections[class.index()];
+        // Log-dim interpolation between the bracketing grid points.
+        let dim = dim.max(1) as f64;
+        let mut lower: Option<&CatalogEntry> = None;
+        let mut upper: Option<&CatalogEntry> = None;
+        for e in &at_d {
+            if (e.dim as f64) <= dim && lower.is_none_or(|l| e.dim > l.dim) {
+                lower = Some(e);
+            }
+            if (e.dim as f64) >= dim && upper.is_none_or(|u| e.dim < u.dim) {
+                upper = Some(e);
+            }
+        }
+        let rate = match (lower, upper) {
+            (Some(l), Some(u)) if l.dim == u.dim => l.ns_per_unit,
+            (Some(l), Some(u)) => {
+                let lx = (l.dim as f64).ln();
+                let ux = (u.dim as f64).ln();
+                let w = (dim.ln() - lx) / (ux - lx);
+                l.ns_per_unit * (1.0 - w) + u.ns_per_unit * w
+            }
+            (Some(e), None) | (None, Some(e)) => e.ns_per_unit,
+            (None, None) => return None,
+        };
+        Some(rate * correction)
+    }
+
+    /// The lane density at which a bitmap lane becomes cheaper to gather
+    /// than a CSR lane of the same dimension: the flat per-slot scan cost
+    /// divided by the per-entry gather cost. Values above 1.0 mean the
+    /// bitmap never wins at this dimension (the planner then forces CSR).
+    pub fn break_even_density(&self, dim: usize, threads: usize) -> Option<f64> {
+        // csr rate varies (mildly) with density: one fixed-point pass from
+        // a mid-density seed is plenty for a threshold.
+        let mut d = 0.2f64;
+        for _ in 0..2 {
+            let bitmap = self.rate(KernelClass::BitmapScan, dim, d, threads)?;
+            let csr = self.rate(KernelClass::CsrGather, dim, d, threads)?;
+            if csr <= 0.0 {
+                return None;
+            }
+            d = (bitmap / csr).clamp(0.01, 1.5);
+        }
+        Some(d)
+    }
+
+    /// Per-lane gather cost under `plan`: bitmap lanes pay the flat
+    /// per-slot scan, sparse lanes pay per stored entry.
+    fn lane_cost(&self, plan: &DensityPlan, dim: usize, density: f64, threads: usize) -> f64 {
+        let lane_nnz = density * dim as f64;
+        let bitmap = plan.row_is_bitmap(lane_nnz.round() as usize, dim);
+        if bitmap {
+            self.rate(KernelClass::BitmapScan, dim, density, threads)
+                .map_or(0.0, |r| r * dim as f64)
+        } else {
+            self.rate(KernelClass::CsrGather, dim, density, threads)
+                .map_or(0.0, |r| r * lane_nnz)
+        }
+    }
+
+    /// Predicted nanoseconds for one full apply (row gather `C·w` plus
+    /// mirror-column gather `Cᵀ·s`) under `plan`, with the column pass
+    /// optionally split over `shards` (each shard sees `users/shards`
+    /// column-lane entries; partial vectors are then composed).
+    pub fn predict_apply(
+        &self,
+        shape: &SessionShape,
+        plan: &DensityPlan,
+        threads: usize,
+        shards: usize,
+    ) -> f64 {
+        let shards = shards.max(1);
+        let mut total = 0.0;
+        // Row pass: `users` lanes of dimension `cols`.
+        for (b, frac) in shape.row_hist.iter().enumerate() {
+            if *frac > 0.0 {
+                total += *frac
+                    * shape.users as f64
+                    * self.lane_cost(plan, shape.cols, bucket_mid(b), threads);
+            }
+        }
+        // Column pass: `cols` lanes of dimension `users`; sharding shortens
+        // the lane (better cache locality, captured by the dim axis) but
+        // each shard still walks its own share of the entries, so per-entry
+        // work is preserved and only the rate's dim argument changes.
+        let col_dim = (shape.users / shards).max(1);
+        for (b, frac) in shape.col_hist.iter().enumerate() {
+            if *frac > 0.0 {
+                let density = bucket_mid(b);
+                let lane_nnz = density * shape.users as f64;
+                let bitmap = plan.col_is_bitmap(lane_nnz.round() as usize, shape.users);
+                let cost = if bitmap {
+                    self.rate(KernelClass::BitmapScan, col_dim, density, threads)
+                        .map_or(0.0, |r| r * shape.users as f64)
+                } else {
+                    self.rate(KernelClass::CsrGather, col_dim, density, threads)
+                        .map_or(0.0, |r| r * lane_nnz)
+                };
+                total += *frac * shape.cols as f64 * cost;
+            }
+        }
+        if shards > 1 {
+            let compose = self
+                .rate(KernelClass::ShardCompose, shape.cols, 0.0, threads)
+                .unwrap_or(0.0);
+            total += compose * (shards * shape.cols) as f64;
+        }
+        total
+    }
+
+    /// Predicted nanoseconds to patch a delta in place: `sparse_edits`
+    /// edits touching at least one sparse (CSR) lane pay the memmove-bound
+    /// patch rate at the long (user) dimension; `bitmap_edits` pay the
+    /// flat bit-flip rate.
+    pub fn predict_delta(
+        &self,
+        shape: &SessionShape,
+        sparse_edits: usize,
+        bitmap_edits: usize,
+    ) -> f64 {
+        let patch = self
+            .rate(KernelClass::CsrPatch, shape.users, shape.density(), 1)
+            .unwrap_or(0.0);
+        let flip = self
+            .rate(KernelClass::BitFlip, shape.users, shape.density(), 1)
+            .unwrap_or(0.0);
+        patch * sparse_edits as f64 + flip * bitmap_edits as f64
+    }
+
+    /// Predicted nanoseconds for a full pattern rebuild (sort + dedup +
+    /// lane layout over all entries). The rebuild class is keyed by total
+    /// entry count rather than lane dimension.
+    pub fn predict_rebuild(&self, shape: &SessionShape) -> f64 {
+        self.rate(
+            KernelClass::LaneRebuild,
+            shape.nnz.max(1),
+            shape.density(),
+            1,
+        )
+        .map_or(0.0, |r| r * shape.nnz.max(1) as f64)
+    }
+
+    /// Predicted nanoseconds for a cold spectral solve: a nominal
+    /// iteration budget of apply passes, scaled by a per-solver-family
+    /// multiplier (relative pass counts observed in the solver benches)
+    /// and the solve-class feedback correction.
+    pub fn predict_solve(
+        &self,
+        shape: &SessionShape,
+        plan: &DensityPlan,
+        threads: usize,
+        shards: usize,
+        solver_factor: f64,
+    ) -> f64 {
+        const NOMINAL_ITERATIONS: f64 = 60.0;
+        let apply = self.predict_apply(shape, plan, threads, shards);
+        let correction = self.catalog.corrections[KernelClass::Solve.index()];
+        NOMINAL_ITERATIONS * solver_factor * apply * correction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{CatalogEntry, HostFingerprint, KernelCatalog, CATALOG_VERSION};
+
+    fn toy_catalog() -> KernelCatalog {
+        let mut entries = Vec::new();
+        for &(dim, rate) in &[(256usize, 1.0f64), (4096, 2.0)] {
+            entries.push(CatalogEntry {
+                class: KernelClass::CsrGather,
+                dim,
+                density: 0.2,
+                threads: 1,
+                ns_per_unit: rate,
+            });
+            entries.push(CatalogEntry {
+                class: KernelClass::BitmapScan,
+                dim,
+                density: 0.2,
+                threads: 1,
+                ns_per_unit: rate * 0.25,
+            });
+        }
+        KernelCatalog {
+            version: CATALOG_VERSION,
+            fingerprint: HostFingerprint::current(),
+            entries,
+            corrections: [1.0; KernelClass::ALL.len()],
+        }
+    }
+
+    #[test]
+    fn rate_interpolates_log_dim() {
+        let model = CostModel::new(toy_catalog());
+        let r256 = model.rate(KernelClass::CsrGather, 256, 0.2, 1).unwrap();
+        let r1024 = model.rate(KernelClass::CsrGather, 1024, 0.2, 1).unwrap();
+        let r4096 = model.rate(KernelClass::CsrGather, 4096, 0.2, 1).unwrap();
+        assert_eq!(r256, 1.0);
+        assert_eq!(r4096, 2.0);
+        assert!(r256 < r1024 && r1024 < r4096);
+        // 1024 is the log-midpoint of [256, 4096].
+        assert!((r1024 - 1.5).abs() < 1e-9);
+        // Clamped outside the grid.
+        assert_eq!(model.rate(KernelClass::CsrGather, 16, 0.2, 1).unwrap(), 1.0);
+        assert_eq!(
+            model.rate(KernelClass::CsrGather, 1 << 20, 0.2, 1).unwrap(),
+            2.0
+        );
+    }
+
+    #[test]
+    fn break_even_matches_rate_ratio() {
+        let model = CostModel::new(toy_catalog());
+        // bitmap per-slot = 0.25 × csr per-entry at every dim → d* = 0.25.
+        let d = model.break_even_density(1024, 1).unwrap();
+        assert!((d - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corrections_scale_rates() {
+        let mut catalog = toy_catalog();
+        catalog.corrections[KernelClass::CsrGather.index()] = 2.0;
+        let model = CostModel::new(catalog);
+        assert_eq!(
+            model.rate(KernelClass::CsrGather, 256, 0.2, 1).unwrap(),
+            2.0
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_partition() {
+        assert_eq!(density_bucket(0.0), 0);
+        assert_eq!(density_bucket(0.07), 1);
+        assert_eq!(density_bucket(1.0), HIST_BUCKETS - 1);
+        let shape = SessionShape::from_counts(&[1, 10, 10, 10], &[4, 4, 4, 4, 4, 4, 4, 4, 3, 0]);
+        assert_eq!(shape.users, 4);
+        assert_eq!(shape.cols, 10);
+        assert_eq!(shape.nnz, 31);
+        let row_sum: f64 = shape.row_hist.iter().sum();
+        assert!((row_sum - 1.0).abs() < 1e-12);
+    }
+}

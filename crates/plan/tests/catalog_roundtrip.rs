@@ -1,0 +1,161 @@
+//! Catalog persistence battery: serde round-trips over arbitrary
+//! measurement grids, and the staleness rules that keep one host from
+//! planning with another host's rates.
+
+use hnd_plan::{
+    CatalogEntry, CatalogError, HostFingerprint, KernelCatalog, KernelClass, CATALOG_VERSION,
+};
+use proptest::prelude::*;
+use serde::Deserialize;
+
+fn entry_strategy() -> impl Strategy<Value = CatalogEntry> {
+    (
+        0usize..KernelClass::ALL.len(),
+        1usize..1_000_000,
+        0.0f64..1.0,
+        1usize..65,
+        1e-3f64..1e5,
+    )
+        .prop_map(|(class, dim, density, threads, ns)| CatalogEntry {
+            class: KernelClass::ALL[class],
+            dim,
+            density,
+            threads,
+            ns_per_unit: ns,
+        })
+}
+
+fn catalog_strategy() -> impl Strategy<Value = KernelCatalog> {
+    (
+        proptest::collection::vec(entry_strategy(), 0..40),
+        proptest::collection::vec(0.05f64..20.0, KernelClass::ALL.len()),
+    )
+        .prop_map(|(entries, corr)| {
+            let mut corrections = [1.0; KernelClass::ALL.len()];
+            corrections.copy_from_slice(&corr);
+            KernelCatalog {
+                version: CATALOG_VERSION,
+                fingerprint: HostFingerprint::current(),
+                entries,
+                corrections,
+            }
+        })
+}
+
+fn assert_catalogs_equal(a: &KernelCatalog, b: &KernelCatalog) {
+    assert_eq!(a.version, b.version);
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.entries.len(), b.entries.len());
+    for (x, y) in a.entries.iter().zip(&b.entries) {
+        assert_eq!(x.class, y.class);
+        assert_eq!(x.dim, y.dim);
+        assert_eq!(x.threads, y.threads);
+        // Display-formatted f64 round-trips exactly (shortest repr).
+        assert_eq!(x.density.to_bits(), y.density.to_bits());
+        assert_eq!(x.ns_per_unit.to_bits(), y.ns_per_unit.to_bits());
+    }
+    for (x, y) in a.corrections.iter().zip(&b.corrections) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+proptest! {
+    #[test]
+    fn serde_round_trip(catalog in catalog_strategy()) {
+        let text = serde_json::to_string_pretty(&catalog).unwrap();
+        let value = serde_json::from_str(&text).unwrap();
+        let back = KernelCatalog::from_value(&value).unwrap();
+        assert_catalogs_equal(&catalog, &back);
+    }
+
+    #[test]
+    fn compact_and_pretty_agree(catalog in catalog_strategy()) {
+        let compact: KernelCatalog =
+            serde_json::from_str(&serde_json::to_string(&catalog).unwrap()).unwrap();
+        let pretty: KernelCatalog =
+            serde_json::from_str(&serde_json::to_string_pretty(&catalog).unwrap()).unwrap();
+        assert_catalogs_equal(&compact, &pretty);
+    }
+}
+
+/// A temp file path unique to this test binary run.
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("hnd-plan-test-{}-{name}.json", std::process::id()))
+}
+
+#[test]
+fn save_load_checked_accepts_current_host() {
+    let catalog = KernelCatalog {
+        version: CATALOG_VERSION,
+        fingerprint: HostFingerprint::current(),
+        entries: vec![CatalogEntry {
+            class: KernelClass::CsrGather,
+            dim: 256,
+            density: 0.2,
+            threads: 1,
+            ns_per_unit: 1.25,
+        }],
+        corrections: [1.0; KernelClass::ALL.len()],
+    };
+    let path = temp_path("current");
+    catalog.save(&path).unwrap();
+    let loaded = KernelCatalog::load_checked(&path).unwrap();
+    assert_catalogs_equal(&catalog, &loaded);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stale_fingerprint_is_rejected_but_loadable() {
+    let mut catalog = KernelCatalog {
+        version: CATALOG_VERSION,
+        fingerprint: HostFingerprint {
+            isa: "imaginary-isa".into(),
+            cores: 4096,
+        },
+        entries: Vec::new(),
+        corrections: [1.0; KernelClass::ALL.len()],
+    };
+    let path = temp_path("stale-fp");
+    catalog.save(&path).unwrap();
+    // Un-checked load still works (inspection)…
+    assert!(KernelCatalog::load(&path).is_ok());
+    // …but the planner-facing loader calls it stale.
+    match KernelCatalog::load_checked(&path) {
+        Err(CatalogError::Stale { found, expected }) => {
+            assert!(found.contains("imaginary-isa"), "found: {found}");
+            assert!(
+                expected.contains(&HostFingerprint::current().isa),
+                "expected: {expected}"
+            );
+        }
+        other => panic!("want Stale, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+
+    // Same for a right-host catalog from an older schema version.
+    catalog.fingerprint = HostFingerprint::current();
+    catalog.version = CATALOG_VERSION - 1;
+    let path = temp_path("stale-version");
+    catalog.save(&path).unwrap();
+    assert!(matches!(
+        KernelCatalog::load_checked(&path),
+        Err(CatalogError::Stale { .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_and_malformed_files_error_cleanly() {
+    let missing = temp_path("does-not-exist");
+    assert!(matches!(
+        KernelCatalog::load_checked(&missing),
+        Err(CatalogError::Io(_))
+    ));
+    let path = temp_path("garbage");
+    std::fs::write(&path, "{\"version\": \"not a number\"}").unwrap();
+    assert!(matches!(
+        KernelCatalog::load(&path),
+        Err(CatalogError::Malformed(_))
+    ));
+    std::fs::remove_file(&path).ok();
+}

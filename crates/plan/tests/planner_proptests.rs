@@ -1,0 +1,103 @@
+//! Planner decision properties over randomized session shapes, run
+//! against one real (quick) calibration of the build host — the planner
+//! must behave sanely whatever sessions it is asked to plan, not just on
+//! the bench shapes.
+
+use hnd_plan::{calibrate, CalibrationOpts, Planner, SessionShape, HIST_BUCKETS};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One calibration pass shared by every proptest case (measuring inside
+/// each case would swamp the suite).
+fn planner() -> &'static Planner {
+    static PLANNER: OnceLock<&'static Planner> = OnceLock::new();
+    PLANNER.get_or_init(|| Planner::leaked(calibrate(&CalibrationOpts::quick())))
+}
+
+fn shape_strategy() -> impl Strategy<Value = SessionShape> {
+    (2usize..5_000, 2usize..400, 0.01f64..0.95).prop_map(|(users, cols, density)| {
+        let per_row = ((density * cols as f64) as usize).min(cols);
+        let per_col = ((density * users as f64) as usize).min(users);
+        SessionShape::from_counts(&vec![per_row; users], &vec![per_col; cols])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decisions_are_sane_and_deterministic(shape in shape_strategy()) {
+        let p = planner();
+        let a = p.plan(&shape, true);
+        let b = p.plan(&shape, true);
+        prop_assert_eq!(a, b, "planning is a pure function of the shape");
+
+        prop_assert!(a.shards >= 1);
+        prop_assert_eq!(a.shard_plan.is_some(), a.shards > 1);
+        prop_assert!(a.patch_budget >= 16);
+        prop_assert_eq!(a.planned_nnz, shape.nnz);
+        prop_assert!(a.predicted_apply_ns.is_finite() && a.predicted_apply_ns >= 0.0);
+        prop_assert!(a.predicted_rebuild_ns.is_finite() && a.predicted_rebuild_ns >= 0.0);
+        prop_assert!(a.predicted_solve_ns >= a.predicted_apply_ns,
+            "a solve is at least one apply pass");
+
+        // Derived thresholds stay in the meaningful range.
+        prop_assert!(a.density_plan.row_density >= 0.02);
+        prop_assert!(a.density_plan.col_density >= 0.02);
+        prop_assert_eq!(a.density_plan.min_dim, 128);
+
+        // Gating off the sharded backend is always honored.
+        let single = p.plan(&shape, false);
+        prop_assert_eq!(single.shards, 1);
+        prop_assert!(single.shard_plan.is_none());
+    }
+
+    #[test]
+    fn small_sessions_never_shard(
+        users in 2usize..3_000,
+        cols in 2usize..50,
+        density in 0.01f64..0.9,
+    ) {
+        // nnz < 100k by construction (3000 × 50 × 0.9 < 100k floor does
+        // not always hold, so filter explicitly).
+        let per_row = ((density * cols as f64) as usize).min(cols);
+        let shape = SessionShape::from_counts(&vec![per_row; users], &vec![0; cols]);
+        prop_assume!(shape.nnz < 100_000);
+        let decision = planner().plan(&shape, true);
+        prop_assert_eq!(decision.shards, 1, "below the nnz floor sharding is off");
+    }
+
+    #[test]
+    fn bigger_sessions_predict_bigger_costs(
+        users in 50usize..2_000,
+        cols in 10usize..200,
+        density in 0.05f64..0.5,
+    ) {
+        let p = planner();
+        let small = SessionShape::from_counts(
+            &vec![((density * cols as f64) as usize).min(cols); users],
+            &vec![((density * users as f64) as usize).min(users); cols],
+        );
+        let big = SessionShape::from_counts(
+            &vec![((density * cols as f64) as usize).min(cols); users * 2],
+            &vec![((density * users as f64 * 2.0) as usize).min(users * 2); cols],
+        );
+        let d_small = p.plan(&small, false);
+        let d_big = p.plan(&big, false);
+        prop_assert!(
+            d_big.predicted_apply_ns >= d_small.predicted_apply_ns,
+            "doubling the users cannot make an apply cheaper ({} vs {})",
+            d_big.predicted_apply_ns,
+            d_small.predicted_apply_ns
+        );
+    }
+
+    #[test]
+    fn histograms_partition_lanes(shape in shape_strategy()) {
+        let row_sum: f64 = shape.row_hist.iter().sum();
+        let col_sum: f64 = shape.col_hist.iter().sum();
+        prop_assert!((row_sum - 1.0).abs() < 1e-9);
+        prop_assert!((col_sum - 1.0).abs() < 1e-9);
+        prop_assert_eq!(shape.row_hist.len(), HIST_BUCKETS);
+    }
+}

@@ -18,8 +18,12 @@
 use crate::cache::{CachedSolve, WarmStartCache};
 use hnd_core::{SolveState, SolverKind, SolverOpts, SpectralSolver};
 use hnd_linalg::{DensityPlan, FormatCounts};
-use hnd_response::{RankError, Ranking, ResponseError, ResponseLog, ResponseMatrix, ResponseOps};
+use hnd_plan::{KernelClass, PlanDecision, PlanMode, Planner, SessionShape};
+use hnd_response::{
+    RankError, Ranking, ResponseDelta, ResponseError, ResponseLog, ResponseMatrix, ResponseOps,
+};
 use hnd_shard::{ShardPlan, ShardedOps};
+use std::time::Instant;
 
 /// Configuration of a [`RankingEngine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,6 +62,21 @@ pub struct EngineOpts {
     /// engine. Formats are re-evaluated at every rebuild point (slack
     /// exhaustion, bulk deltas, shard rebalances) — never mid-patch.
     pub density_plan: DensityPlan,
+    /// The cost-model planner ([`hnd_plan`]). When set (the default wires
+    /// in [`Planner::shared`] — the lazily loaded per-host catalog, `None`
+    /// until a calibration pass has run on this machine), every backend
+    /// build plans the session from *measured* kernel rates: backend +
+    /// shard count, lane-format thresholds at the measured break-even
+    /// density, and the delta-vs-rebuild patch budget. Explicit
+    /// configuration still wins — a pinned [`Self::shard_plan`] or a
+    /// non-default [`Self::density_plan`] is honored verbatim — and with
+    /// no planner the hand-tuned constants above serve unchanged.
+    pub planner: Option<&'static Planner>,
+    /// Planner gate: [`PlanMode::Static`] ignores [`Self::planner`] and
+    /// pins the hand-tuned fallback constants (the `HND_PLAN=static`
+    /// behavior, which the default picks up from the environment) — the
+    /// A/B switch for benchmarking planned against static configuration.
+    pub plan_mode: PlanMode,
 }
 
 impl Default for EngineOpts {
@@ -77,7 +96,38 @@ impl Default for EngineOpts {
             history_retention: Some(65_536),
             shard_plan: None,
             density_plan: DensityPlan::default(),
+            planner: Planner::shared(),
+            plan_mode: PlanMode::from_env(),
         }
+    }
+}
+
+impl EngineOpts {
+    /// The planner consulted for this configuration: the wired planner,
+    /// unless [`PlanMode::Static`] pins the fallback constants.
+    fn active_planner(&self) -> Option<&'static Planner> {
+        match self.plan_mode {
+            PlanMode::Auto => self.planner,
+            PlanMode::Static => None,
+        }
+    }
+
+    /// Plans one session from the measured catalog. `None` (fall back to
+    /// the hand-tuned constants) when no planner is active. Explicitly
+    /// configured options are honored: a pinned shard plan keeps the PR-5
+    /// activation logic, a non-default density plan overrides the measured
+    /// break-evens.
+    fn plan_session(&self, matrix: &ResponseMatrix) -> Option<PlanDecision> {
+        let planner = self.active_planner()?;
+        let shape = SessionShape::from_counts(&matrix.row_counts(), &matrix.col_counts());
+        // The sharded backend only exists for the power solver, and a
+        // pinned shard plan means the caller decides about sharding.
+        let allow_sharded = self.shard_plan.is_none() && self.solver == SolverKind::Power;
+        let mut decision = planner.plan(&shape, allow_sharded);
+        if self.density_plan != DensityPlan::default() {
+            decision.density_plan = self.density_plan;
+        }
+        Some(decision)
     }
 }
 
@@ -93,17 +143,29 @@ enum Backend {
 }
 
 impl Backend {
-    /// Builds the backend for `matrix`, choosing sharded execution when a
-    /// plan is set, the solver supports it, and the session is big enough.
-    fn build(matrix: &ResponseMatrix, opts: &EngineOpts) -> Backend {
+    /// Builds the backend for `matrix`. A pinned [`EngineOpts::shard_plan`]
+    /// keeps the PR-5 activation logic; otherwise an active planner
+    /// `decision` drives the backend choice, shard count, and lane-format
+    /// thresholds from measured costs. With neither, the single backend on
+    /// the configured density plan serves (the hand-tuned fallback).
+    fn build(
+        matrix: &ResponseMatrix,
+        opts: &EngineOpts,
+        decision: Option<&PlanDecision>,
+    ) -> Backend {
+        let density_plan = decision.map_or(opts.density_plan, |d| d.density_plan);
         if opts.solver == SolverKind::Power {
-            if let Some(plan) = &opts.shard_plan {
+            // Explicit configuration outranks the planner.
+            let plan = opts
+                .shard_plan
+                .or_else(|| decision.and_then(|d| d.shard_plan));
+            if let Some(plan) = plan {
                 let nnz: usize = matrix.row_counts().iter().sum();
                 if plan.activates(matrix.n_users(), nnz) {
                     return Backend::Sharded(Box::new(ShardedOps::from_plan(
                         matrix,
-                        plan,
-                        opts.density_plan,
+                        &plan,
+                        density_plan,
                         opts.row_slack,
                         opts.col_slack,
                     )));
@@ -114,7 +176,7 @@ impl Backend {
             matrix,
             opts.row_slack,
             opts.col_slack,
-            opts.density_plan,
+            density_plan,
         )))
     }
 
@@ -162,6 +224,22 @@ pub struct EngineStats {
     /// session the bitmap kernels serve). Sampled at [`RankingEngine::stats`]
     /// time; formats only change at rebuild points.
     pub formats: FormatCounts,
+    /// Planner re-plans triggered by entry-count drift (the session grew
+    /// or shrank 2× past the size its decision was computed for).
+    pub plan_replans: u64,
+    /// Cost-model-predicted nanoseconds for the patches applied (planner
+    /// active only; integer nanos keep the counters `Eq`).
+    pub predicted_patch_ns: u64,
+    /// Measured nanoseconds for the same patches.
+    pub actual_patch_ns: u64,
+    /// Cost-model-predicted nanoseconds for the rebuilds performed.
+    pub predicted_rebuild_ns: u64,
+    /// Measured nanoseconds for the same rebuilds.
+    pub actual_rebuild_ns: u64,
+    /// Cost-model-predicted nanoseconds for the solves served.
+    pub predicted_solve_ns: u64,
+    /// Measured nanoseconds for the same solves.
+    pub actual_solve_ns: u64,
 }
 
 /// An incremental ranking session over a fixed user/item roster.
@@ -178,6 +256,9 @@ pub struct RankingEngine {
     prepared_version: u64,
     cache: WarmStartCache,
     stats: EngineStats,
+    /// The cost-model decision the current backend was built under
+    /// (`None` = hand-tuned fallback constants).
+    decision: Option<PlanDecision>,
 }
 
 impl RankingEngine {
@@ -198,7 +279,8 @@ impl RankingEngine {
     /// dataset whose edits will now trickle in).
     pub fn from_log(mut log: ResponseLog, opts: EngineOpts) -> Result<Self, ResponseError> {
         let snapshot = log.snapshot();
-        let backend = Backend::build(&snapshot.matrix, &opts);
+        let decision = opts.plan_session(&snapshot.matrix);
+        let backend = Backend::build(&snapshot.matrix, &opts, decision.as_ref());
         Ok(RankingEngine {
             log,
             solver: opts.solver.build(opts.solver_opts),
@@ -207,8 +289,15 @@ impl RankingEngine {
             prepared_version: snapshot.version,
             cache: WarmStartCache::new(opts.cache_capacity),
             stats: EngineStats::default(),
+            decision,
             opts,
         })
+    }
+
+    /// The cost-model decision the current backend runs under (`None`
+    /// when the engine serves on the hand-tuned fallback constants).
+    pub fn plan_decision(&self) -> Option<&PlanDecision> {
+        self.decision.as_ref()
     }
 
     /// The engine's configuration.
@@ -319,6 +408,44 @@ impl RankingEngine {
         Ok(self.log.version())
     }
 
+    /// Number of delta edits that touch at least one *sparse* (CSR) lane
+    /// of the current kernel context — the edits whose patches shift a
+    /// sorted prefix and burn slack. Edits landing entirely on bitmap
+    /// lanes are O(1) bit flips with no slack accounting and must not
+    /// count against the patch-vs-rebuild budget (a forced-bitmap session
+    /// under heavy waves never needs a rebuild, however long the delta).
+    fn sparse_edit_weight(&self, delta: &ResponseDelta) -> usize {
+        let touches_sparse = |user: usize, edit: &hnd_response::ResponseEdit| {
+            let (pattern, row) = match &self.backend {
+                Backend::Single(ops) => (ops.pattern(), user),
+                Backend::Sharded(sops) => {
+                    let shard = &sops.shards()[sops.shard_of(user)];
+                    (shard.pattern(), user - shard.range().start)
+                }
+            };
+            if !pattern.row_is_bitmap(row) {
+                return true;
+            }
+            [edit.from, edit.to].iter().flatten().any(|&option| {
+                let col = self.matrix.one_hot_column(edit.item, option);
+                !pattern.col_is_bitmap(col)
+            })
+        };
+        delta
+            .edits
+            .iter()
+            .filter(|e| touches_sparse(e.user, e))
+            .count()
+    }
+
+    /// The delta-vs-rebuild cutoff: the planner's cost-derived budget when
+    /// a decision is active, else the hand-tuned ~nnz/8 heuristic.
+    fn patch_budget(&self) -> usize {
+        self.decision
+            .as_ref()
+            .map_or_else(|| self.backend.nnz() / 8 + 16, |d| d.patch_budget)
+    }
+
     /// Brings the kernel context up to the log head without solving:
     /// drains the pending delta and patches both the matrix and `ops` in
     /// place — `O(nnz(delta))`, no `O(mn)` snapshot clone — falling back
@@ -328,18 +455,21 @@ impl RankingEngine {
             return;
         }
         let target_version = self.log.version();
-        // Patching shifts the touched row/column prefixes per edit, so a
-        // bulk-sized delta (≳ nnz/8) costs more than the one rebuild it
-        // avoids — fall through to the rebuild path for those.
-        let patch_budget = self.backend.nnz() / 8 + 16;
         match self.log.drain_delta() {
+            // Patching a sparse lane shifts the touched row/column prefix
+            // per edit, so a bulk-sized delta costs more than the one
+            // rebuild it avoids — fall through to the rebuild path for
+            // those. Only sparse-lane edits count: bitmap flips are free.
             Some(delta)
-                if delta.from_version == self.prepared_version && delta.len() <= patch_budget =>
+                if delta.from_version == self.prepared_version
+                    && self.sparse_edit_weight(&delta) <= self.patch_budget() =>
             {
                 let matrix_ok = delta.is_empty() || self.matrix.apply_delta(&delta).is_ok();
                 if !matrix_ok {
                     self.rebuild_from_log();
                 } else if !delta.is_empty() {
+                    let sparse_edits = self.sparse_edit_weight(&delta);
+                    let started = Instant::now();
                     let patched = match &mut self.backend {
                         Backend::Single(ops) => ops.apply_delta(&self.matrix, &delta).is_ok(),
                         Backend::Sharded(sops) => {
@@ -356,17 +486,17 @@ impl RankingEngine {
                         }
                     };
                     if patched {
+                        self.observe_patch(sparse_edits, started.elapsed());
                         self.stats.delta_applies += 1;
                         self.maybe_reshape();
                     } else {
                         // Slack exhausted (single backend) or inconsistent
                         // delta: rebuild the kernel context with fresh
                         // slack (the matrix is already current). The
-                        // rebuild re-evaluates shard activation, so a
-                        // session that grew past its plan's threshold
-                        // upgrades here too.
-                        self.backend = Backend::build(&self.matrix, &self.opts);
-                        self.stats.rebuilds += 1;
+                        // rebuild re-evaluates the plan decision and shard
+                        // activation, so a session that grew past its
+                        // threshold upgrades here too.
+                        self.rebuild_backend();
                     }
                 }
             }
@@ -375,40 +505,105 @@ impl RankingEngine {
         self.prepared_version = target_version;
     }
 
+    /// Feeds one patch timing into the feedback loop (planner active and
+    /// the model predicted nonzero work — unmatched actuals would skew the
+    /// correction blend).
+    fn observe_patch(&mut self, sparse_edits: usize, took: std::time::Duration) {
+        let Some(planner) = self.opts.active_planner() else {
+            return;
+        };
+        let Some(decision) = &self.decision else {
+            return;
+        };
+        let predicted = (decision.predicted_patch_edit_ns * sparse_edits as f64) as u64;
+        if predicted == 0 {
+            return;
+        }
+        let actual = took.as_nanos() as u64;
+        self.stats.predicted_patch_ns += predicted;
+        self.stats.actual_patch_ns += actual;
+        planner.observe(KernelClass::CsrPatch, predicted, actual);
+    }
+
+    /// Rebuilds the kernel context for the (already current) matrix with a
+    /// fresh plan decision, recording rebuild feedback.
+    fn rebuild_backend(&mut self) {
+        self.decision = self.opts.plan_session(&self.matrix);
+        let started = Instant::now();
+        self.backend = Backend::build(&self.matrix, &self.opts, self.decision.as_ref());
+        let took = started.elapsed();
+        self.stats.rebuilds += 1;
+        if let (Some(planner), Some(decision)) = (self.opts.active_planner(), &self.decision) {
+            let predicted = decision.predicted_rebuild_ns as u64;
+            if predicted > 0 {
+                let actual = took.as_nanos() as u64;
+                self.stats.predicted_rebuild_ns += predicted;
+                self.stats.actual_rebuild_ns += actual;
+                planner.observe(KernelClass::LaneRebuild, predicted, actual);
+            }
+        }
+    }
+
     /// Re-evaluates the shard layout after a successful patch: a
     /// single-backend session that crossed its plan's activation threshold
     /// upgrades to sharded execution, and a sharded session whose delta
     /// traffic skewed the layout (or grew it past another shard's worth)
     /// re-splits. No-op without a plan.
     fn maybe_reshape(&mut self) {
-        let Some(plan) = self.opts.shard_plan else {
-            return;
-        };
         if self.opts.solver != SolverKind::Power {
             return;
         }
-        match &mut self.backend {
-            Backend::Single(ops) => {
-                if plan.activates(self.matrix.n_users(), ops.pattern().nnz()) {
-                    self.backend = Backend::build(&self.matrix, &self.opts);
-                    self.stats.shard_rebalances += 1;
+        match self.opts.shard_plan {
+            Some(plan) => match &mut self.backend {
+                Backend::Single(ops) => {
+                    if plan.activates(self.matrix.n_users(), ops.pattern().nnz()) {
+                        self.backend =
+                            Backend::build(&self.matrix, &self.opts, self.decision.as_ref());
+                        self.stats.shard_rebalances += 1;
+                    }
                 }
-            }
-            Backend::Sharded(sops) => {
-                if sops.needs_rebalance(&plan) {
-                    sops.rebalance(&self.matrix, &plan);
+                Backend::Sharded(sops) => {
+                    if sops.needs_rebalance(&plan) {
+                        sops.rebalance(&self.matrix, &plan);
+                        self.stats.shard_rebalances += 1;
+                    }
+                }
+            },
+            // Planner-driven sessions re-plan when the entry count drifts
+            // 2× past the size the decision was computed for; the backend
+            // is only rebuilt when the decision materially changes (shard
+            // count), so trickle growth never causes rebuild churn.
+            None => {
+                let Some(current) = &self.decision else {
+                    return;
+                };
+                let nnz = self.backend.nnz();
+                let drifted = nnz > current.planned_nnz.saturating_mul(2).max(16)
+                    || nnz.saturating_mul(2) < current.planned_nnz;
+                if !drifted {
+                    return;
+                }
+                let fresh = self.opts.plan_session(&self.matrix);
+                self.stats.plan_replans += 1;
+                let new_shards = fresh.as_ref().map_or(1, |d| d.shards);
+                if new_shards != self.shard_count() {
+                    self.decision = fresh;
+                    self.backend = Backend::build(&self.matrix, &self.opts, self.decision.as_ref());
                     self.stats.shard_rebalances += 1;
+                } else {
+                    // Same layout: adopt the refreshed budgets/predictions
+                    // without touching the kernel context.
+                    self.decision = fresh;
                 }
             }
         }
     }
 
     /// Cold re-baseline: re-materialize the matrix and kernel context
-    /// (re-evaluating shard activation for the new size).
+    /// (re-planning and re-evaluating shard activation for the new size).
     fn rebuild_from_log(&mut self) {
         self.matrix = self.log.to_matrix();
-        self.backend = Backend::build(&self.matrix, &self.opts);
-        self.stats.rebuilds += 1;
+        self.rebuild_backend();
     }
 
     /// The ranking at the current version, solving only when necessary.
@@ -423,6 +618,7 @@ impl RankingEngine {
         }
         self.advance();
         let warm: Option<SolveState> = self.cache.latest().map(|c| c.state.clone());
+        let started = Instant::now();
         let outcome = match &self.backend {
             Backend::Single(ops) => self
                 .solver
@@ -432,6 +628,20 @@ impl RankingEngine {
                 hnd_shard::solve_power(&self.matrix, sops, &self.opts.solver_opts, warm.as_ref())?
             }
         };
+        // Feedback: only cold solves match the model's full-iteration
+        // prediction (warm starts converge in a handful of steps and would
+        // read as a spurious 10× over-prediction).
+        if warm.is_none() {
+            if let (Some(planner), Some(decision)) = (self.opts.active_planner(), &self.decision) {
+                let predicted = decision.predicted_solve_ns as u64;
+                if predicted > 0 {
+                    let actual = started.elapsed().as_nanos() as u64;
+                    self.stats.predicted_solve_ns += predicted;
+                    self.stats.actual_solve_ns += actual;
+                    planner.observe(KernelClass::Solve, predicted, actual);
+                }
+            }
+        }
         if warm.is_some() {
             self.stats.warm_solves += 1;
         } else {
@@ -750,6 +960,156 @@ mod tests {
         assert!(
             csr.stats().rebuilds > 0,
             "zero-slack CSR control must rebuild"
+        );
+    }
+
+    #[test]
+    fn bitmap_edits_are_excluded_from_the_patch_budget() {
+        // Regression (PR 6): the delta-vs-rebuild cutoff used to count
+        // every edit, including O(1) bitmap bit flips that burn no slack —
+        // so a forced-bitmap session under heavy waves hit the ~nnz/8
+        // budget and rebuilt for nothing. Bitmap-lane edits are now
+        // weightless: however heavy the wave, rebuilds stay at zero.
+        let mut engine = RankingEngine::new(
+            8,
+            6,
+            &[2; 6],
+            EngineOpts {
+                row_slack: 0,
+                col_slack: 0,
+                density_plan: DensityPlan::force_bitmap(),
+                planner: None, // the fallback budget path is under test
+                solver_opts: SolverOpts {
+                    orient: false,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Seed a few entries, then rank so the baseline is prepared.
+        engine
+            .submit_responses([(0, 0, Some(0)), (1, 0, Some(1)), (2, 1, Some(0))])
+            .unwrap();
+        engine.current_ranking().unwrap();
+        let nnz = engine.matrix().row_counts().iter().sum::<usize>();
+        for wave in 0..6u16 {
+            // Each wave flips far more edits than the old budget
+            // (nnz/8 + 16 ≈ 16) would ever admit.
+            let edits: Vec<(usize, usize, Option<u16>)> = (0..8)
+                .flat_map(|u| {
+                    (0..6).map(move |i| {
+                        (
+                            u,
+                            i,
+                            (!(u + i + wave as usize).is_multiple_of(3))
+                                .then_some(((u + i + wave as usize) % 2) as u16),
+                        )
+                    })
+                })
+                .collect();
+            assert!(edits.len() > nnz / 8 + 16, "waves must be budget-heavy");
+            engine.submit_responses(edits).unwrap();
+            engine.current_ranking().unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.rebuilds, 0, "bitmap flips never trip the budget");
+        assert!(stats.delta_applies >= 6, "every wave rides the delta path");
+    }
+
+    #[test]
+    fn planner_decisions_drive_the_engine() {
+        use hnd_plan::{calibrate, CalibrationOpts};
+        use std::sync::OnceLock;
+        static PLANNER: OnceLock<&'static Planner> = OnceLock::new();
+        let planner =
+            *PLANNER.get_or_init(|| Planner::leaked(calibrate(&CalibrationOpts::quick())));
+        let opts = EngineOpts {
+            planner: Some(planner),
+            plan_mode: PlanMode::Auto,
+            solver_opts: SolverOpts {
+                orient: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut engine = RankingEngine::new(20, 8, &[2; 8], opts).unwrap();
+        let decision = *engine.plan_decision().expect("planner active");
+        assert!(decision.patch_budget >= 16);
+        assert_eq!(decision.shards, 1, "tiny roster stays single backend");
+        engine
+            .submit_responses((0..20).map(|u| (u, u % 8, Some(0))))
+            .unwrap();
+        let planned = engine.current_ranking().unwrap();
+
+        // Identical results on the static fallback path.
+        let mut fallback = RankingEngine::new(
+            20,
+            8,
+            &[2; 8],
+            EngineOpts {
+                plan_mode: PlanMode::Static,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert!(
+            fallback.plan_decision().is_none(),
+            "Static mode pins the hand-tuned constants"
+        );
+        fallback
+            .submit_responses((0..20).map(|u| (u, u % 8, Some(0))))
+            .unwrap();
+        let pinned = fallback.current_ranking().unwrap();
+        for (a, b) in planned.scores.iter().zip(&pinned.scores) {
+            assert!((a - b).abs() <= 1e-12, "planned ≡ static serving");
+        }
+
+        // Solve feedback reached the stats and the planner.
+        let stats = engine.stats();
+        assert!(stats.predicted_solve_ns > 0);
+        assert!(stats.actual_solve_ns > 0);
+        assert!(planner.drift()[KernelClass::Solve.index()].is_some());
+    }
+
+    #[test]
+    fn pinned_options_outrank_the_planner() {
+        use hnd_plan::{calibrate, CalibrationOpts};
+        use std::sync::OnceLock;
+        static PLANNER: OnceLock<&'static Planner> = OnceLock::new();
+        let planner =
+            *PLANNER.get_or_init(|| Planner::leaked(calibrate(&CalibrationOpts::quick())));
+        // A pinned shard plan keeps PR-5 activation even with a planner.
+        let opts = EngineOpts {
+            planner: Some(planner),
+            plan_mode: PlanMode::Auto,
+            shard_plan: Some(hnd_shard::ShardPlan {
+                min_users: 4,
+                ..hnd_shard::ShardPlan::exactly(3)
+            }),
+            solver_opts: SolverOpts {
+                orient: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let engine = RankingEngine::new(12, 5, &[2; 5], opts).unwrap();
+        assert!(engine.is_sharded(), "pinned plan activates as configured");
+        assert_eq!(engine.shard_count(), 3, "pinned shard count is honored");
+        // A non-default density plan overrides the measured break-evens.
+        let forced = EngineOpts {
+            planner: Some(planner),
+            plan_mode: PlanMode::Auto,
+            density_plan: DensityPlan::force_csr(),
+            shard_plan: None,
+            ..opts
+        };
+        let engine = RankingEngine::new(12, 5, &[2; 5], forced).unwrap();
+        let decision = engine.plan_decision().expect("planner still consulted");
+        assert_eq!(
+            decision.density_plan,
+            DensityPlan::force_csr(),
+            "explicit density plan wins over the measured thresholds"
         );
     }
 

@@ -112,6 +112,7 @@ pub use session::{Checkout, ManagerStats, SessionId, SessionManager};
 
 // Re-export the building blocks callers configure the service with.
 pub use hnd_core::{SolveOutcome, SolveState, SolverKind, SolverOpts, SpectralSolver};
+pub use hnd_plan::{PlanDecision, PlanMode, Planner};
 pub use hnd_response::{
     RankError, Ranking, ResponseDelta, ResponseEdit, ResponseError, ResponseLog, ResponseMatrix,
     VersionedMatrix,

@@ -503,6 +503,14 @@ impl SessionManager {
         }
 
         results.sort_by_key(|(id, _)| *id);
+        // The fleet-wide refresh is the planner's feedback point: fold the
+        // predicted-vs-actual drift every engine reported since the last
+        // sweep into the catalog's correction factors.
+        if self.opts.plan_mode == hnd_plan::PlanMode::Auto {
+            if let Some(planner) = self.opts.planner {
+                planner.refresh();
+            }
+        }
         self.run_idle_policy();
         results
     }

@@ -20,6 +20,9 @@
 //! * [`datasets`] — simulated stand-ins for the paper's real-world datasets,
 //! * [`service`] — the incremental ranking engine (versioned response
 //!   deltas, warm-start caching, session management),
+//! * [`plan`] — the self-calibrating kernel-cost catalog and cost-model
+//!   planner that picks backends, lane formats, and rebuild points from
+//!   per-host measurements,
 //! * [`shard`] — sharded spectral execution (user-range matrix shards
 //!   with composable kernels for huge sessions),
 //! * [`linalg`] — the from-scratch numerical substrate.
@@ -56,6 +59,7 @@ pub use hnd_eval as eval;
 pub use hnd_irt as irt;
 pub use hnd_linalg as linalg;
 pub use hnd_models as models;
+pub use hnd_plan as plan;
 pub use hnd_response as response;
 pub use hnd_service as service;
 pub use hnd_shard as shard;
