@@ -76,7 +76,7 @@ fn bench_hybrid_sweep(c: &mut Criterion) {
             // Pure-CSR baseline: every lane sparse.
             let csr_ops = ResponseOps::with_plan(&matrix, 0, 0, DensityPlan::force_csr());
             let csr_op = UDiffOp::new(&csr_ops);
-            report::note("hybrid", "udiff_csr", &param, meta);
+            report::note("hybrid", "udiff_csr", &param, meta.clone());
             group.bench_with_input(BenchmarkId::new("udiff_csr", &param), &m, |b, _| {
                 b.iter(|| csr_op.apply(&x, &mut y));
             });
@@ -84,7 +84,7 @@ fn bench_hybrid_sweep(c: &mut Criterion) {
             // Adaptive hybrid engine (the serving default).
             let hyb_ops = ResponseOps::new(&matrix);
             let hyb_op = UDiffOp::new(&hyb_ops);
-            report::note("hybrid", "udiff_hybrid", &param, meta);
+            report::note("hybrid", "udiff_hybrid", &param, meta.clone());
             group.bench_with_input(BenchmarkId::new("udiff_hybrid", &param), &m, |b, _| {
                 b.iter(|| hyb_op.apply(&x, &mut y));
             });
@@ -111,7 +111,7 @@ fn bench_hybrid_sweep(c: &mut Criterion) {
                 let mut y = vec![0.0; m - 1];
                 let csr_ops = ResponseOps::with_plan(&matrix, 0, 0, DensityPlan::force_csr());
                 let csr_op = UDiffOp::new(&csr_ops);
-                report::note("hybrid", "udiff_csr_k3", &param, meta);
+                report::note("hybrid", "udiff_csr_k3", &param, meta.clone());
                 group.bench_with_input(BenchmarkId::new("udiff_csr_k3", &param), &m, |b, _| {
                     b.iter(|| csr_op.apply(&x, &mut y));
                 });
@@ -175,7 +175,7 @@ fn bench_hybrid_waves(c: &mut Criterion) {
                 );
             }
             let mut round = 0u64;
-            report::note("hybrid_wave", label, m, meta);
+            report::note("hybrid_wave", label, m, meta.clone());
             group.bench_with_input(BenchmarkId::new(label, m), &m, |b, _| {
                 b.iter(|| {
                     round += 1;

@@ -119,12 +119,12 @@ fn bench_planner_scaling(c: &mut Criterion) {
         for &t in thread_counts {
             let param = format!("m{m}_t{t}");
             parallel::with_threads(t, || {
-                report::note("planner_scaling", "apply", &param, meta);
+                report::note("planner_scaling", "apply", &param, meta.clone());
                 group.bench_with_input(BenchmarkId::new("apply", &param), &m, |b, _| {
                     b.iter(|| op.apply(&x, &mut y));
                 });
 
-                report::note("planner_scaling", "delta", &param, meta);
+                report::note("planner_scaling", "delta", &param, meta.clone());
                 group.bench_with_input(BenchmarkId::new("delta", &param), &m, |b, _| {
                     b.iter(|| {
                         round += 1;
@@ -145,7 +145,7 @@ fn bench_planner_scaling(c: &mut Criterion) {
                     });
                 });
 
-                report::note("planner_scaling", "solve_warm", &param, meta);
+                report::note("planner_scaling", "solve_warm", &param, meta.clone());
                 group.bench_with_input(BenchmarkId::new("solve_warm", &param), &m, |b, _| {
                     b.iter(|| {
                         solver
@@ -158,7 +158,7 @@ fn bench_planner_scaling(c: &mut Criterion) {
                 // start — bounded to the small size so the sweep's wall
                 // clock stays dominated by the curves, not one cell.
                 if m == 10_000 {
-                    report::note("planner_scaling", "solve_cold", &param, meta);
+                    report::note("planner_scaling", "solve_cold", &param, meta.clone());
                     group.bench_with_input(BenchmarkId::new("solve_cold", &param), &m, |b, _| {
                         b.iter(|| {
                             solver
@@ -245,7 +245,7 @@ fn bench_planner_waves(c: &mut Criterion) {
                 assert!(engine.plan_decision().is_none());
             }
             let mut round = 0u64;
-            report::note("planner_wave", label, m, meta);
+            report::note("planner_wave", label, m, meta.clone());
             group.bench_with_input(BenchmarkId::new(label, m), &m, |b, _| {
                 b.iter(|| {
                     round += 1;

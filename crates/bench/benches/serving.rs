@@ -115,6 +115,7 @@ fn bench_serving(c: &mut Criterion) {
             workers,
             idle_threshold: None,
             engine: engine_opts(),
+            ..Default::default()
         });
         let ids = preload(&srv, sessions, m, n, k);
         let mut round = 0u64;
@@ -127,6 +128,7 @@ fn bench_serving(c: &mut Criterion) {
             report::EntryMeta {
                 density: Some(1.0 / f64::from(k)),
                 nnz: Some(sessions * m * n),
+                ..Default::default()
             },
         );
         group.bench_with_input(
@@ -143,5 +145,60 @@ fn bench_serving(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serving);
+/// Cold-storm rehydration: every session in the fleet is evicted to its
+/// log, then the whole fleet is read at once — the reconnect-storm shape.
+/// The sweep varies [`ServerOpts::cold_batch`], so the `b1` row is the
+/// one-at-a-time baseline and the batched rows show the gain from pulling
+/// co-pending cold sessions into one `rank_many` call.
+fn bench_cold_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_cold");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let k = 3u16;
+    let (sessions, m, n) = if quick() {
+        (6, 300, 30)
+    } else {
+        (12, 1000, 40)
+    };
+    let batch_sizes: &[usize] = &[1, 8];
+    for &cold_batch in batch_sizes {
+        let srv = SessionServer::new(ServerOpts {
+            workers: 1,
+            // Threshold 0: a session is idle the moment it checks in, so
+            // the explicit sweep below re-evicts the fleet every round.
+            idle_threshold: Some(0),
+            engine: engine_opts(),
+            cold_batch,
+        });
+        let ids = preload(&srv, sessions, m, n, k);
+        report::note(
+            "serving_cold",
+            "storm",
+            format!("b{cold_batch}_s{sessions}_m{m}"),
+            report::EntryMeta {
+                density: Some(1.0 / f64::from(k)),
+                nnz: Some(sessions * m * n),
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("storm", format!("b{cold_batch}_s{sessions}_m{m}")),
+            &cold_batch,
+            |b, _| {
+                b.iter(|| {
+                    srv.evict_idle();
+                    let reads: Vec<Reply<Ranking>> =
+                        ids.iter().map(|&id| srv.ranking(id)).collect();
+                    for reply in reads {
+                        reply.wait().unwrap();
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving, bench_cold_storm);
 hnd_bench::bench_main!(benches);

@@ -71,7 +71,7 @@ fn bench_sharding(c: &mut Criterion) {
         // Baseline: the current single-shard engine.
         let ops = ResponseOps::new(&matrix);
         let engine = UDiffOp::new(&ops);
-        hnd_bench::report::note("sharding", "engine_unsharded", m, meta);
+        hnd_bench::report::note("sharding", "engine_unsharded", m, meta.clone());
         group.bench_with_input(BenchmarkId::new("engine_unsharded", m), &m, |b, _| {
             b.iter(|| engine.apply(&x, &mut y));
         });
@@ -80,7 +80,12 @@ fn bench_sharding(c: &mut Criterion) {
         for &shards in shard_counts {
             let sops = ShardedOps::with_shards(&matrix, shards, 0, 0);
             let op = ShardedUDiffOp::new(&sops);
-            hnd_bench::report::note("sharding", format!("shards_{shards}").as_str(), m, meta);
+            hnd_bench::report::note(
+                "sharding",
+                format!("shards_{shards}").as_str(),
+                m,
+                meta.clone(),
+            );
             group.bench_with_input(
                 BenchmarkId::new(format!("shards_{shards}"), m),
                 &m,
@@ -121,7 +126,7 @@ fn bench_sharding(c: &mut Criterion) {
                 "backend selection must follow the plan"
             );
             let mut round = 0u64;
-            hnd_bench::report::note("sharding", label, m, meta);
+            hnd_bench::report::note("sharding", label, m, meta.clone());
             group.bench_with_input(BenchmarkId::new(label, m), &m, |b, _| {
                 b.iter(|| {
                     round += 1;

@@ -1,0 +1,175 @@
+//! Accuracy-smoke gate for the approximate-serving path.
+//!
+//! Runs a deterministic serving episode through two engines fed identical
+//! traffic — one serving `top_k(100)` on the default certified tier
+//! (early-terminated solves plus the rank-stability delta skip), one
+//! solving exactly at every wave — and gates:
+//!
+//! * **Exact top-100 membership** — the last served certified head must
+//!   equal the engine's own exact head *set* for the final version (the
+//!   certificate's promise: a skip serves the stale head only when the
+//!   wave provably cannot change the top-k membership; order within the
+//!   head is the stale certified order, scored by the spearman gate).
+//! * **Spearman ≥ 0.999** — the final exact rankings of the two chains
+//!   must agree to rank correlation ≥ 0.999 (cross-chain check: warm
+//!   lineages differ, so this bounds accumulated drift rather than
+//!   asserting bitwise equality).
+//! * **The approximate path actually ran** — at least one skipped solve
+//!   across the episode; a gate that never exercised the machinery it
+//!   gates is a broken gate. (Early termination is gated separately by
+//!   the core and service test suites: steady-state warm solves converge
+//!   in fewer iterations than the certificate needs to observe a
+//!   convergence rate, so it is structurally rare here.)
+//!
+//! Exit code 0 on pass, 1 on any violation — the CI wiring treats this
+//! like `perf_smoke`, but for the accuracy axis of the frontier.
+
+use hnd_core::{SolverKind, SolverOpts};
+use hnd_eval::spearman;
+use hnd_service::{EngineOpts, RankingEngine};
+use std::process::ExitCode;
+
+const M: usize = 2_000;
+// 64 items, matching the topk bench: enough per-user evidence that top-k
+// boundary gaps dominate single-edit co-member perturbations, the regime
+// the skip certificate can certify.
+const N_ITEMS: usize = 64;
+const OPTIONS: u16 = 4;
+const K: usize = 100;
+const WAVES: u64 = 24;
+
+fn engine_opts() -> EngineOpts {
+    EngineOpts {
+        solver: SolverKind::Power,
+        solver_opts: SolverOpts {
+            // Oriented, as production serves: "top-100" must mean the
+            // high-ability end, not whichever sign the solver lands on.
+            orient: true,
+            ..Default::default()
+        },
+        row_slack: 64,
+        col_slack: 4096,
+        planner: None,
+        ..Default::default()
+    }
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+/// The topk bench's deterministic ability-structured bulk load.
+fn bulk_load() -> Vec<(usize, usize, Option<u16>)> {
+    let mut state = 0x70CC_u64 ^ ((M as u64) << 17);
+    (0..M)
+        .flat_map(|u| (0..N_ITEMS).map(move |i| (u, i)))
+        .map(|(u, i)| {
+            let correct = (i % OPTIONS as usize) as u16;
+            let ability = u as f64 / M as f64;
+            let choice = if (lcg(&mut state) % 1000) as f64 / 1000.0 < 0.2 + 0.7 * ability {
+                correct
+            } else {
+                (correct + 1 + (lcg(&mut state) % (OPTIONS as u64 - 1)) as u16) % OPTIONS
+            };
+            (u, i, Some(choice))
+        })
+        .collect()
+}
+
+fn wave_edit(round: u64) -> (usize, usize, Option<u16>) {
+    let user = M / 2 + (round % 7) as usize;
+    let item = (round % N_ITEMS as u64) as usize;
+    let choice = (round % OPTIONS as u64) as u16;
+    (user, item, Some(choice))
+}
+
+fn engine() -> RankingEngine {
+    let mut e = RankingEngine::new(M, N_ITEMS, &[OPTIONS; N_ITEMS], engine_opts()).unwrap();
+    e.submit_responses(bulk_load()).unwrap();
+    e
+}
+
+fn users(head: &[(usize, f64)]) -> Vec<usize> {
+    head.iter().map(|&(u, _)| u).collect()
+}
+
+fn main() -> ExitCode {
+    let mut certified = engine();
+    let mut exact = engine();
+    let mut failures = 0usize;
+
+    // Warm both chains, then stream identical waves. The certified engine
+    // answers on the default tier; after the episode every served head is
+    // re-checked against the certified engine's OWN exact head at head
+    // version (served heads at interior versions are covered by the
+    // certificate; the episode-end check catches a skip that served a
+    // head the final state disowns).
+    certified.top_k(K).unwrap();
+    exact.current_ranking().unwrap();
+    let mut served_heads: Vec<Vec<usize>> = Vec::new();
+    for round in 1..=WAVES {
+        let edit = wave_edit(round);
+        certified.submit_responses([edit]).unwrap();
+        exact.submit_responses([edit]).unwrap();
+        served_heads.push(users(&certified.top_k(K).unwrap()));
+        exact.current_ranking().unwrap();
+    }
+
+    let stats = certified.stats();
+    println!(
+        "accuracy_smoke: {WAVES} waves · skipped_solves={} early_terminations={} iterations_saved={}",
+        stats.skipped_solves, stats.early_terminations, stats.iterations_saved
+    );
+    if stats.skipped_solves == 0 {
+        println!("FAIL: the delta-skip path never fired — vacuous gate");
+        failures += 1;
+    }
+
+    // Membership: the final exact head of the certified chain must match
+    // the last served head as a set …
+    let final_certified = certified.current_ranking().unwrap();
+    let mut final_head: Vec<usize> = final_certified
+        .order_best_to_worst()
+        .into_iter()
+        .take(K)
+        .collect();
+    let mut last_served = served_heads
+        .last()
+        .expect("served at least one head")
+        .clone();
+    final_head.sort_unstable();
+    last_served.sort_unstable();
+    if last_served != final_head {
+        let overlap = last_served
+            .iter()
+            .filter(|u| final_head.contains(u))
+            .count();
+        println!(
+            "FAIL: last served top-{K} set diverges from the exact head of the same chain \
+             ({overlap}/{K} members agree)"
+        );
+        failures += 1;
+    } else {
+        println!("top-{K} membership: exact");
+    }
+
+    // … and the two chains' final exact rankings must rank-correlate.
+    let final_exact = exact.current_ranking().unwrap();
+    let rho = spearman(&final_certified.scores, &final_exact.scores);
+    println!("spearman vs exact-every-wave chain: {rho:.6}");
+    if rho < 0.999 {
+        println!("FAIL: spearman {rho:.6} < 0.999");
+        failures += 1;
+    }
+
+    if failures == 0 {
+        println!("accuracy_smoke: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("accuracy_smoke: {failures} failure(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -40,6 +40,7 @@ pub fn matrix_meta(matrix: &hnd_response::ResponseMatrix) -> report::EntryMeta {
     report::EntryMeta {
         density: Some(nnz as f64 / (matrix.n_users() * matrix.total_options()) as f64),
         nnz: Some(nnz),
+        extras: Vec::new(),
     }
 }
 
@@ -119,7 +120,7 @@ pub mod report {
     use std::sync::Mutex;
 
     /// Workload metadata attached to one benchmark id.
-    #[derive(Debug, Clone, Copy, Default)]
+    #[derive(Debug, Clone, Default)]
     pub struct EntryMeta {
         /// Pattern density of the one-hot matrix the benchmark runs on:
         /// stored entries / (users × option columns). Use
@@ -128,6 +129,11 @@ pub mod report {
         pub density: Option<f64>,
         /// Stored entries of the pattern the benchmark runs on.
         pub nnz: Option<usize>,
+        /// Free-form numeric columns joined onto the entry — the topk
+        /// group's accuracy-vs-latency frontier records
+        /// `spearman_vs_exact` and `topk_membership` here, so one artifact
+        /// carries both axes of the trade-off.
+        pub extras: Vec<(String, f64)>,
     }
 
     fn registry() -> &'static Mutex<BTreeMap<String, EntryMeta>> {
@@ -162,13 +168,18 @@ pub mod report {
         let results = c.results();
         let mut out = String::from("[\n");
         for (i, r) in results.iter().enumerate() {
-            let m = meta.get(&r.id).copied().unwrap_or_default();
+            let m = meta.get(&r.id).cloned().unwrap_or_default();
             let density = m
                 .density
                 .map_or_else(|| "null".to_string(), |d| format!("{d:.4}"));
             let nnz = m.nnz.map_or_else(|| "null".to_string(), |n| n.to_string());
+            let extras: String = m
+                .extras
+                .iter()
+                .map(|(key, value)| format!(", {key:?}: {value}"))
+                .collect();
             out.push_str(&format!(
-                "  {{\"id\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"density\": {density}, \"nnz\": {nnz}, \"threads\": {threads}, \"isa\": {isa:?}}}{}\n",
+                "  {{\"id\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"density\": {density}, \"nnz\": {nnz}, \"threads\": {threads}, \"isa\": {isa:?}{extras}}}{}\n",
                 r.id,
                 r.median_ns,
                 r.mean_ns,
@@ -211,6 +222,7 @@ mod tests {
             EntryMeta {
                 density: Some(0.5),
                 nnz: Some(7),
+                ..Default::default()
             },
         );
         // Re-noting overwrites rather than duplicating.
@@ -221,6 +233,7 @@ mod tests {
             EntryMeta {
                 density: Some(0.25),
                 nnz: Some(9),
+                ..Default::default()
             },
         );
     }

@@ -177,10 +177,10 @@ impl SpectralSolver for AbhPower {
     ) -> Result<SolveOutcome, RankError> {
         let m = matrix.n_users();
         if m == 1 {
-            return Ok(SolveOutcome {
-                ranking: Ranking::from_scores(vec![0.0]),
-                state: SolveState::from_scores(vec![0.0]),
-            });
+            return Ok(SolveOutcome::exact(
+                Ranking::from_scores(vec![0.0]),
+                SolveState::from_scores(vec![0.0]),
+            ));
         }
         if m < 2 || ops.n_users() != m {
             return Err(RankError::InvalidInput(format!(
@@ -203,10 +203,7 @@ impl SpectralSolver for AbhPower {
         if self.opts.orient {
             orient_by_decile_entropy(matrix, &mut ranking);
         }
-        Ok(SolveOutcome {
-            ranking,
-            state: solve_state,
-        })
+        Ok(SolveOutcome::exact(ranking, solve_state))
     }
 
     fn as_ranker(&self) -> &(dyn AbilityRanker + Sync) {
@@ -336,10 +333,10 @@ impl SpectralSolver for AbhDirect {
     ) -> Result<SolveOutcome, RankError> {
         let m = matrix.n_users();
         if m == 1 {
-            return Ok(SolveOutcome {
-                ranking: Ranking::from_scores(vec![0.0]),
-                state: SolveState::from_scores(vec![0.0]),
-            });
+            return Ok(SolveOutcome::exact(
+                Ranking::from_scores(vec![0.0]),
+                SolveState::from_scores(vec![0.0]),
+            ));
         }
         if m < 2 || ops.n_users() != m {
             return Err(RankError::InvalidInput(format!(
@@ -360,10 +357,7 @@ impl SpectralSolver for AbhDirect {
         if self.opts.orient {
             orient_by_decile_entropy(matrix, &mut ranking);
         }
-        Ok(SolveOutcome {
-            ranking,
-            state: solve_state,
-        })
+        Ok(SolveOutcome::exact(ranking, solve_state))
     }
 
     fn as_ranker(&self) -> &(dyn AbilityRanker + Sync) {

@@ -133,14 +133,14 @@ impl SpectralSolver for AvgHits {
             None => self.opts.start(m),
         };
         let out = self.iterate_on(ops, &start)?;
-        Ok(SolveOutcome {
-            state: SolveState::from_scores(out.scores.clone()),
-            ranking: Ranking {
-                scores: out.scores,
+        Ok(SolveOutcome::exact(
+            Ranking {
+                scores: out.scores.clone(),
                 iterations: out.iterations,
                 converged: out.converged,
             },
-        })
+            SolveState::from_scores(out.scores),
+        ))
     }
 
     fn as_ranker(&self) -> &(dyn AbilityRanker + Sync) {

@@ -7,8 +7,11 @@
 //! response matrix with a unique C1P ordering and constant row sums this
 //! provably recovers the consistent user ordering (Theorem 2).
 
+use crate::approx::{guarded_power_iteration, ScoreMap};
 use crate::operators::UDiffOp;
-use crate::solver::{trivial_outcome, SolveOutcome, SolveState, SolverOpts, SpectralSolver};
+use crate::solver::{
+    trivial_outcome, SolveOutcome, SolveState, SolverOpts, SpectralSolver, Target,
+};
 use hnd_linalg::power::power_iteration;
 use hnd_linalg::vector;
 use hnd_response::{
@@ -64,22 +67,48 @@ impl HitsNDiffs {
         }
         let ops = ResponseOps::new(matrix);
         self.diff_eigenvector_on(&ops, warm_start)
+            .map(|(v, it, _, _, _)| (v, it))
     }
 
-    /// The iteration core on a caller-prepared kernel context.
+    /// The iteration core on a caller-prepared kernel context. Returns
+    /// `(diff vector, iterations, early_terminated, iterations_saved,
+    /// error_bound)`.
+    #[allow(clippy::type_complexity)]
     fn diff_eigenvector_on(
         &self,
         ops: &ResponseOps,
         warm_start: Option<&[f64]>,
-    ) -> Result<(Vec<f64>, usize), RankError> {
+    ) -> Result<(Vec<f64>, usize, bool, usize, Option<f64>), RankError> {
         let m = ops.n_users();
         let op = UDiffOp::new(ops);
         let x0 = match warm_start {
             Some(ws) => ws.to_vec(),
             None => self.opts.start(m - 1),
         };
-        let out = power_iteration(&op, &x0, &self.opts.power());
-        Ok((out.vector, out.iterations))
+        match self.opts.target {
+            // The exact path stays on the untouched driver: trivially
+            // bit-identical to the pre-`Target` solver.
+            Target::Exact => {
+                let out = power_iteration(&op, &x0, &self.opts.power());
+                Ok((out.vector, out.iterations, false, 0, None))
+            }
+            target => {
+                let out = guarded_power_iteration(
+                    &op,
+                    &x0,
+                    &self.opts.power(),
+                    target,
+                    ScoreMap::CumsumFromDiffs,
+                );
+                Ok((
+                    out.power.vector,
+                    out.power.iterations,
+                    out.early_terminated,
+                    out.iterations_saved,
+                    out.error_bound,
+                ))
+            }
+        }
     }
 
     /// Ranks with a warm start (see [`Self::diff_eigenvector_from`]); the
@@ -94,11 +123,22 @@ impl HitsNDiffs {
             return Ok(Ranking::from_scores(vec![0.0]));
         }
         let (sdiff, iterations) = self.diff_eigenvector_from(matrix, Some(warm_start))?;
-        Ok(self.finish(matrix, &sdiff, iterations).ranking)
+        Ok(self
+            .finish(matrix, &sdiff, iterations, false, 0, None)
+            .ranking)
     }
 
     /// Shared tail: scores from diffs, state capture, orientation.
-    fn finish(&self, matrix: &ResponseMatrix, sdiff: &[f64], iterations: usize) -> SolveOutcome {
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        matrix: &ResponseMatrix,
+        sdiff: &[f64],
+        iterations: usize,
+        early_terminated: bool,
+        iterations_saved: usize,
+        error_bound: Option<f64>,
+    ) -> SolveOutcome {
         // Line 9 of Algorithm 1: s ← T·sdiff.
         let mut scores = Vec::with_capacity(matrix.n_users());
         vector::cumsum_from_diffs(sdiff, &mut scores);
@@ -111,7 +151,13 @@ impl HitsNDiffs {
         if self.opts.orient {
             orient_by_decile_entropy(matrix, &mut ranking);
         }
-        SolveOutcome { ranking, state }
+        SolveOutcome {
+            ranking,
+            state,
+            early_terminated,
+            iterations_saved,
+            error_bound,
+        }
     }
 }
 
@@ -147,8 +193,9 @@ impl SpectralSolver for HitsNDiffs {
             )));
         }
         let warm = state.and_then(|s| s.warm_diffs(m));
-        let (sdiff, iterations) = self.diff_eigenvector_on(ops, warm.as_deref())?;
-        Ok(self.finish(matrix, &sdiff, iterations))
+        let (sdiff, iterations, early, saved, bound) =
+            self.diff_eigenvector_on(ops, warm.as_deref())?;
+        Ok(self.finish(matrix, &sdiff, iterations, early, saved, bound))
     }
 
     fn as_ranker(&self) -> &(dyn AbilityRanker + Sync) {

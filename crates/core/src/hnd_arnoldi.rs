@@ -120,10 +120,7 @@ impl SpectralSolver for HndArnoldi {
         if self.opts.orient {
             orient_by_decile_entropy(matrix, &mut ranking);
         }
-        Ok(SolveOutcome {
-            ranking,
-            state: solve_state,
-        })
+        Ok(SolveOutcome::exact(ranking, solve_state))
     }
 
     fn as_ranker(&self) -> &(dyn AbilityRanker + Sync) {

@@ -9,8 +9,11 @@
 //! from the previous solve restarts round 1, the previous score vector
 //! restarts round 2.
 
+use crate::approx::{guarded_power_iteration, ScoreMap};
 use crate::operators::{UOp, UTransposeOp};
-use crate::solver::{trivial_outcome, SolveOutcome, SolveState, SolverOpts, SpectralSolver};
+use crate::solver::{
+    trivial_outcome, SolveOutcome, SolveState, SolverOpts, SpectralSolver, Target,
+};
 use hnd_linalg::deflation::HotellingDeflatedOp;
 use hnd_linalg::power::power_iteration;
 use hnd_response::{
@@ -38,7 +41,7 @@ impl HndDeflation {
     ) -> Result<(Vec<f64>, usize), RankError> {
         let ops = ResponseOps::new(matrix);
         self.second_eigenvector_on(matrix, &ops, None)
-            .map(|(v, it, _)| (v, it))
+            .map(|r| (r.vector, r.iterations))
     }
 
     /// Both power rounds on a caller-prepared kernel context; returns the
@@ -49,7 +52,7 @@ impl HndDeflation {
         matrix: &ResponseMatrix,
         ops: &ResponseOps,
         state: Option<&SolveState>,
-    ) -> Result<(Vec<f64>, usize, Vec<f64>), RankError> {
+    ) -> Result<DeflationRounds, RankError> {
         let m = matrix.n_users();
         if m < 2 {
             return Err(RankError::InvalidInput(
@@ -74,13 +77,47 @@ impl HndDeflation {
             Some(scores) => scores.to_vec(),
             None => self.opts.start(m),
         };
-        let main_out = power_iteration(&deflated, &main_x0, &power);
-        Ok((
-            main_out.vector,
-            left_out.iterations + main_out.iterations,
-            left_out.vector,
-        ))
+        // Round 1 always runs exact (the left vector feeds the deflation
+        // itself); only round 2 — the expensive score-space iteration — is
+        // allowed to early-terminate against the target. Its iterate IS
+        // the score vector, so the guard certifies it directly.
+        let (main_out, early, saved, bound) = match self.opts.target {
+            Target::Exact => (power_iteration(&deflated, &main_x0, &power), false, 0, None),
+            target => {
+                let g = guarded_power_iteration(
+                    &deflated,
+                    &main_x0,
+                    &power,
+                    target,
+                    ScoreMap::Identity,
+                );
+                (
+                    g.power,
+                    g.early_terminated,
+                    g.iterations_saved,
+                    g.error_bound,
+                )
+            }
+        };
+        Ok(DeflationRounds {
+            vector: main_out.vector,
+            iterations: left_out.iterations + main_out.iterations,
+            left: left_out.vector,
+            early_terminated: early,
+            iterations_saved: saved,
+            error_bound: bound,
+        })
     }
+}
+
+/// Outcome of the two deflation power rounds.
+struct DeflationRounds {
+    vector: Vec<f64>,
+    iterations: usize,
+    left: Vec<f64>,
+    early_terminated: bool,
+    iterations_saved: usize,
+    error_bound: Option<f64>,
 }
 
 impl AbilityRanker for HndDeflation {
@@ -114,11 +151,11 @@ impl SpectralSolver for HndDeflation {
                 ops.n_users()
             )));
         }
-        let (v2, iterations, left) = self.second_eigenvector_on(matrix, ops, state)?;
-        let solve_state = SolveState::from_scores(v2.clone()).with_left(left);
+        let rounds = self.second_eigenvector_on(matrix, ops, state)?;
+        let solve_state = SolveState::from_scores(rounds.vector.clone()).with_left(rounds.left);
         let mut ranking = Ranking {
-            scores: v2,
-            iterations,
+            scores: rounds.vector,
+            iterations: rounds.iterations,
             converged: true,
         };
         if self.opts.orient {
@@ -127,6 +164,9 @@ impl SpectralSolver for HndDeflation {
         Ok(SolveOutcome {
             ranking,
             state: solve_state,
+            early_terminated: rounds.early_terminated,
+            iterations_saved: rounds.iterations_saved,
+            error_bound: rounds.error_bound,
         })
     }
 

@@ -63,6 +63,7 @@
 //! without ever rebuilding the pattern or restarting iterations from
 //! scratch.
 
+pub mod approx;
 pub mod avghits;
 pub mod diagnostics;
 pub mod hnd;
@@ -81,7 +82,7 @@ pub use hnd_deflation::HndDeflation;
 pub use hnd_direct::HndDirect;
 pub use naive::HndNaive;
 pub use operators::{SymmetrizedUOp, UDiffOp, UOp, UTransposeOp};
-pub use solver::{SolveOutcome, SolveState, SolverKind, SolverOpts, SpectralSolver};
+pub use solver::{SolveOutcome, SolveState, SolverKind, SolverOpts, SpectralSolver, Target};
 
 // Re-export the shared abstractions so `hnd_core` is a one-stop dependency
 // for downstream users of the facade crate.

@@ -20,6 +20,44 @@
 use crate::{AvgHits, HitsNDiffs, HndArnoldi, HndDeflation, HndDirect, HndNaive};
 use hnd_response::{AbilityRanker, RankError, Ranking, ResponseMatrix, ResponseOps};
 
+/// What the caller actually needs from a solve.
+///
+/// Iterative spectral solvers spend most of their iterations polishing
+/// digits nobody reads: a client asking "who are the top 100 of 2M users"
+/// is served correctly as soon as the *order* of the head is decided,
+/// long before the global residual reaches `tol`. `Target` lets callers
+/// state that weaker requirement so the power/deflation family can
+/// early-terminate against per-entry convergence envelopes (see
+/// [`crate::approx`]). The Krylov variants (`Direct`/`Arnoldi`) restart
+/// from scratch rather than iterating entrywise, so they ignore the
+/// target and always deliver `Exact`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Target {
+    /// Run to full tolerance — bit-identical to the pre-`Target` solver.
+    #[default]
+    Exact,
+    /// Stop once the top-`k` *set and order* are certified decided: every
+    /// adjacent score gap inside the head exceeds the entries' combined
+    /// uncertainty envelope plus `margin` (an absolute slack in normalized
+    /// score units; 0.0 = certify the order as-is). Because power
+    /// iteration converges up to sign and orientation may reverse the
+    /// ranking afterwards, both extremes of the ordering are certified.
+    TopK {
+        /// Size of the head that must be decided.
+        k: usize,
+        /// Extra absolute score slack required beyond the envelopes.
+        margin: f64,
+    },
+    /// Stop once *every* entry's uncertainty envelope is below `tol`
+    /// (normalized score units) — the whole ranking is stable to within
+    /// `tol` even though the global residual may still exceed the exact
+    /// tolerance.
+    RankStable {
+        /// Per-entry score uncertainty bound to certify.
+        tol: f64,
+    },
+}
+
 /// The solver knobs shared by every spectral variant.
 ///
 /// `tol`/`max_iter` govern the power-iteration family, `tol`/`max_subspace`
@@ -48,6 +86,10 @@ pub struct SolverOpts {
     /// evaluating raw spectral behaviour (e.g. the Figure 6 stability
     /// study).
     pub orient: bool,
+    /// What the caller needs from the solve ([`Target::Exact`] by
+    /// default). Honored by the power/deflation family; the Krylov
+    /// variants ignore it.
+    pub target: Target,
 }
 
 impl Default for SolverOpts {
@@ -58,6 +100,7 @@ impl Default for SolverOpts {
             max_subspace: 300,
             seed: 0,
             orient: true,
+            target: Target::Exact,
         }
     }
 }
@@ -173,6 +216,32 @@ pub struct SolveOutcome {
     pub ranking: Ranking,
     /// The raw spectral state, for warm-starting the next solve.
     pub state: SolveState,
+    /// Whether the solve stopped on a certified [`Target`] before reaching
+    /// the exact tolerance. Always `false` for [`Target::Exact`] and for
+    /// solvers that ignore the target.
+    pub early_terminated: bool,
+    /// Estimated iterations the certified early stop saved relative to
+    /// running to the exact tolerance (0 when not early-terminated).
+    pub iterations_saved: usize,
+    /// Per-entry score error bound at termination (unit-normalized score
+    /// space), `Some` exactly when `early_terminated`: an early stop's
+    /// scores are *not* converged to the requested tolerance, and
+    /// consumers reasoning about score resolution must use this instead.
+    pub error_bound: Option<f64>,
+}
+
+impl SolveOutcome {
+    /// An exact (not early-terminated) outcome — the constructor every
+    /// pre-`Target` solve path uses.
+    pub fn exact(ranking: Ranking, state: SolveState) -> Self {
+        SolveOutcome {
+            ranking,
+            state,
+            early_terminated: false,
+            iterations_saved: 0,
+            error_bound: None,
+        }
+    }
 }
 
 /// The unified interface over every spectral ability-discovery variant.
@@ -224,10 +293,10 @@ pub trait SpectralSolver: AbilityRanker + Send + Sync {
 
 /// The trivial single-user outcome every solver shares.
 pub(crate) fn trivial_outcome() -> SolveOutcome {
-    SolveOutcome {
-        ranking: Ranking::from_scores(vec![0.0]),
-        state: SolveState::from_scores(vec![0.0]),
-    }
+    SolveOutcome::exact(
+        Ranking::from_scores(vec![0.0]),
+        SolveState::from_scores(vec![0.0]),
+    )
 }
 
 /// Value-level registry of the spectral solver family: build any variant

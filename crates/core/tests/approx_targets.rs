@@ -1,0 +1,143 @@
+//! Property tests of the approximation targets (`SolverOpts::target`).
+//!
+//! The contract under test:
+//! * `Target::Exact` is the seed behavior, bit for bit, on every
+//!   [`SolverKind`] — the target routing must not perturb a single ulp.
+//! * `Target::TopK` at a tight margin returns the exact solve's top-`k`
+//!   set *and order*, on random matrices and on adversarial near-tie
+//!   matrices where certification cannot legally fire (the guarded driver
+//!   must then run to the exact tolerance and match bitwise).
+
+use hnd_core::{SolverKind, SolverOpts, Target};
+use hnd_response::ResponseMatrix;
+use proptest::prelude::*;
+
+const ALL_KINDS: [SolverKind; 6] = [
+    SolverKind::Power,
+    SolverKind::Deflation,
+    SolverKind::Direct,
+    SolverKind::Arnoldi,
+    SolverKind::Naive,
+    SolverKind::AvgHits,
+];
+
+/// Random complete response matrix: m users × n items, k options.
+fn random_responses() -> impl Strategy<Value = ResponseMatrix> {
+    (4usize..=12, 2usize..=8, 2u16..=4).prop_flat_map(|(m, n, k)| {
+        proptest::collection::vec(0u16..k, m * n).prop_map(move |choices| {
+            let rows: Vec<Vec<Option<u16>>> = (0..m)
+                .map(|j| (0..n).map(|i| Some(choices[j * n + i])).collect())
+                .collect();
+            let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+            ResponseMatrix::from_choices(n, &vec![k; n], &refs).unwrap()
+        })
+    })
+}
+
+/// A matrix with duplicate user rows: the clones' scores tie *exactly*,
+/// which is the adversarial case for a top-k certificate whose boundary
+/// cuts through the tie.
+fn near_tie_responses() -> impl Strategy<Value = ResponseMatrix> {
+    (3usize..=6, 3usize..=6, 1usize..=3).prop_flat_map(|(m, n, dup)| {
+        proptest::collection::vec(0u16..2, m * n).prop_map(move |choices| {
+            let mut rows: Vec<Vec<Option<u16>>> = (0..m)
+                .map(|j| (0..n).map(|i| Some(choices[j * n + i])).collect())
+                .collect();
+            // Clone the first `dup` rows to force exact score ties.
+            for d in 0..dup {
+                let clone = rows[d % m].clone();
+                rows.push(clone);
+            }
+            let refs: Vec<&[Option<u16>]> = rows.iter().map(|r| r.as_slice()).collect();
+            ResponseMatrix::from_choices(n, &vec![2u16; n], &refs).unwrap()
+        })
+    })
+}
+
+fn opts_with(target: Target) -> SolverOpts {
+    SolverOpts {
+        orient: false,
+        target,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `Target::Exact` must be deterministic and — on every solver kind —
+    /// identical to solving with the default options (whose target is
+    /// `Exact`): the routing layer adds no numerics.
+    #[test]
+    fn exact_target_is_bit_identical_on_every_kind(matrix in random_responses()) {
+        for kind in ALL_KINDS {
+            let base = kind.build(SolverOpts { orient: false, ..Default::default() })
+                .solve(&matrix);
+            let routed = kind.build(opts_with(Target::Exact)).solve(&matrix);
+            match (base, routed) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.ranking.scores, &b.ranking.scores,
+                        "{}: exact target must be bitwise identical", kind.name());
+                    prop_assert!(!b.early_terminated,
+                        "{}: exact target never early-terminates", kind.name());
+                    prop_assert_eq!(b.iterations_saved, 0usize);
+                }
+                (Err(_), Err(_)) => {} // both reject (e.g. degenerate input)
+                (a, b) => prop_assert!(false,
+                    "{}: exact/routed disagree on success: {:?} vs {:?}",
+                    kind.name(), a.is_ok(), b.is_ok()),
+            }
+        }
+    }
+
+    /// Solver kinds without a guarded driver (Krylov, naive, AvgHITS)
+    /// ignore approximation targets entirely: any target is bitwise the
+    /// exact solve.
+    #[test]
+    fn target_agnostic_kinds_ignore_topk(matrix in random_responses()) {
+        for kind in [SolverKind::Direct, SolverKind::Arnoldi, SolverKind::Naive, SolverKind::AvgHits] {
+            let exact = kind.build(opts_with(Target::Exact)).solve(&matrix);
+            let topk = kind.build(opts_with(Target::TopK { k: 2, margin: 0.0 })).solve(&matrix);
+            if let (Ok(a), Ok(b)) = (exact, topk) {
+                prop_assert_eq!(&a.ranking.scores, &b.ranking.scores, "{}", kind.name());
+                prop_assert!(!b.early_terminated, "{}", kind.name());
+            }
+        }
+    }
+
+    /// `TopK` at margin 0 returns the exact top-k set and order on the
+    /// guarded kinds — whether the certificate fired (the bound guarantees
+    /// the head is decided) or not (the solve ran to the exact tolerance).
+    #[test]
+    fn topk_matches_exact_head(matrix in random_responses(), k in 1usize..=4) {
+        let k = k.min(matrix.n_users() - 1);
+        for kind in [SolverKind::Power, SolverKind::Deflation] {
+            let exact = kind.build(opts_with(Target::Exact)).solve(&matrix);
+            let topk = kind.build(opts_with(Target::TopK { k, margin: 0.0 })).solve(&matrix);
+            if let (Ok(a), Ok(b)) = (exact, topk) {
+                let want: Vec<usize> = a.ranking.order_best_to_worst().into_iter().take(k).collect();
+                let got: Vec<usize> = b.ranking.order_best_to_worst().into_iter().take(k).collect();
+                prop_assert_eq!(want, got,
+                    "{}: k={} early_terminated={}", kind.name(), k, b.early_terminated);
+            }
+        }
+    }
+
+    /// Adversarial near-ties: duplicate users tie exactly, so a top-k
+    /// boundary cutting through the tie can never certify — the guarded
+    /// solve must fall through to the exact tolerance and match the exact
+    /// solve bitwise (hence identical head, however ties break).
+    #[test]
+    fn topk_on_tied_scores_falls_back_to_exact(matrix in near_tie_responses(), k in 1usize..=4) {
+        let k = k.min(matrix.n_users() - 1);
+        for kind in [SolverKind::Power, SolverKind::Deflation] {
+            let exact = kind.build(opts_with(Target::Exact)).solve(&matrix);
+            let topk = kind.build(opts_with(Target::TopK { k, margin: 0.0 })).solve(&matrix);
+            if let (Ok(a), Ok(b)) = (exact, topk) {
+                let want: Vec<usize> = a.ranking.order_best_to_worst().into_iter().take(k).collect();
+                let got: Vec<usize> = b.ranking.order_best_to_worst().into_iter().take(k).collect();
+                prop_assert_eq!(want, got, "{}: k={}", kind.name(), k);
+            }
+        }
+    }
+}

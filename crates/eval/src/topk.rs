@@ -4,21 +4,33 @@
 //! best 10% of workers", Example 2 of the paper). These metrics score the
 //! head of a ranking instead of the whole permutation.
 
-/// Indices of the `k` largest entries of `scores` (ties break by index).
-fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
+/// Indices of the `k` largest entries of `scores`: ties within `scores`
+/// break by *descending `tiebreak`*, then ascending index. A prediction
+/// that scores two users identically expressed no preference between them,
+/// so the prefix is deterministic and credits the tie block best-case
+/// instead of penalizing it by whatever order the indices happen to have.
+fn top_k_by(scores: &[f64], tiebreak: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_by(|&a, &b| {
         scores[b]
             .partial_cmp(&scores[a])
             .expect("NaN score")
+            .then(
+                tiebreak[b]
+                    .partial_cmp(&tiebreak[a])
+                    .expect("NaN tiebreak score"),
+            )
             .then(a.cmp(&b))
     });
     idx.truncate(k);
     idx
 }
 
-/// Precision@k: the fraction of the true top-`k` (by `truth`) present in
-/// the predicted top-`k` (by `predicted`).
+/// Precision@k: the fraction of the predicted top-`k` that truly belongs
+/// in a top-`k` — a pick counts when its true score reaches the `k`-th
+/// highest truth value (tie-inclusive, so users tied with the boundary
+/// are all legitimate picks and the metric does not depend on how either
+/// side's ties are broken).
 ///
 /// # Panics
 /// Panics when the slices disagree in length or `k` exceeds it.
@@ -29,16 +41,21 @@ pub fn precision_at_k(predicted: &[f64], truth: &[f64], k: usize) -> f64 {
         "precision_at_k: length mismatch"
     );
     assert!(k > 0 && k <= truth.len(), "precision_at_k: invalid k");
-    let pred: std::collections::HashSet<usize> = top_k_indices(predicted, k).into_iter().collect();
-    let hits = top_k_indices(truth, k)
+    let mut sorted_truth = truth.to_vec();
+    sorted_truth.sort_by(|a, b| b.partial_cmp(a).expect("NaN score"));
+    let threshold = sorted_truth[k - 1];
+    let hits = top_k_by(predicted, truth, k)
         .into_iter()
-        .filter(|u| pred.contains(u))
+        .filter(|&u| truth[u] >= threshold)
         .count();
     hits as f64 / k as f64
 }
 
 /// NDCG@k with the true scores as graded relevance (shifted to be
 /// non-negative). `1.0` means the predicted head ordering is ideal.
+/// Predicted-score ties are broken by descending relevance (see
+/// [`top_k_by`]): within a block the prediction left unordered the DCG
+/// credit is best-case, deterministically.
 ///
 /// # Panics
 /// Panics when the slices disagree in length or `k` exceeds it.
@@ -54,8 +71,8 @@ pub fn ndcg_at_k(predicted: &[f64], truth: &[f64], k: usize) -> f64 {
             .map(|(pos, &u)| rel[u] / ((pos + 2) as f64).log2())
             .sum()
     };
-    let got = dcg(&top_k_indices(predicted, k));
-    let ideal = dcg(&top_k_indices(&rel, k));
+    let got = dcg(&top_k_by(predicted, &rel, k));
+    let ideal = dcg(&top_k_by(&rel, &rel, k));
     if ideal <= 0.0 {
         1.0 // all relevances equal: any head is ideal
     } else {
@@ -140,6 +157,44 @@ mod tests {
     fn constant_relevance_is_ideal() {
         let truth = [1.0, 1.0, 1.0];
         assert_eq!(ndcg_at_k(&[0.3, 0.2, 0.1], &truth, 2), 1.0);
+    }
+
+    #[test]
+    fn predicted_ties_are_not_penalized() {
+        // Regression: the index tiebreak used to pick user 0 out of the
+        // predicted tie, score it against an equally index-tie-broken
+        // "true top-1", and report 0.0 for a prediction that never ordered
+        // the pair at all.
+        let truth = [1.0, 2.0];
+        let pred = [1.0, 1.0];
+        assert_eq!(precision_at_k(&pred, &truth, 1), 1.0);
+        assert!((ndcg_at_k(&pred, &truth, 1) - 1.0).abs() < 1e-12);
+        // A genuinely reversed prediction is still fully penalized.
+        let reversed = [2.0, 1.0];
+        assert_eq!(precision_at_k(&reversed, &truth, 1), 0.0);
+        assert!(ndcg_at_k(&reversed, &truth, 1) < 1.0);
+    }
+
+    #[test]
+    fn truth_ties_at_the_boundary_are_inclusive() {
+        // True scores tie at the k-boundary: either member of the tie is a
+        // legitimate top-2 pick, whichever way the indices fall.
+        let truth = [3.0, 2.0, 2.0, 1.0];
+        let picks_first = [9.0, 8.0, 0.0, 0.0];
+        let picks_second = [9.0, 0.0, 8.0, 0.0];
+        assert_eq!(precision_at_k(&picks_first, &truth, 2), 1.0);
+        assert_eq!(precision_at_k(&picks_second, &truth, 2), 1.0);
+    }
+
+    #[test]
+    fn all_tied_prediction_is_best_case_deterministic() {
+        let truth = [0.1, 0.9, 0.5, 0.7];
+        let flat = [1.0; 4];
+        // No expressed preference: full best-case credit at any k…
+        for k in 1..=4 {
+            assert_eq!(precision_at_k(&flat, &truth, k), 1.0, "k={k}");
+            assert!((ndcg_at_k(&flat, &truth, k) - 1.0).abs() < 1e-12, "k={k}");
+        }
     }
 
     #[test]

@@ -65,6 +65,18 @@ pub struct PlanDecision {
     pub predicted_solve_ns: f64,
 }
 
+impl PlanDecision {
+    /// Whether skipping a solve for a wave of `edits` pending edits is
+    /// worth the bound evaluation: the solve being avoided must cost more
+    /// than pricing the wave (one perturbation-bound pass over the edits,
+    /// which scales like the patch path). With an unmeasured model (both
+    /// predictions zero) this stays `true` — the skip path's own safety
+    /// gates still apply.
+    pub fn skip_profitable(&self, edits: usize) -> bool {
+        self.predicted_solve_ns > edits as f64 * self.predicted_patch_edit_ns
+    }
+}
+
 /// Per-class feedback accumulators (nanosecond sums; `u64` keeps the
 /// planner lock-free on the observe path and `Eq`-friendly upstream).
 #[derive(Debug, Default)]

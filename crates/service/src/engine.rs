@@ -16,14 +16,147 @@
 //! the multi-million-entry pattern is never rebuilt.
 
 use crate::cache::{CachedSolve, WarmStartCache};
-use hnd_core::{SolveState, SolverKind, SolverOpts, SpectralSolver};
+use hnd_core::{SolveState, SolverKind, SolverOpts, SpectralSolver, Target};
 use hnd_linalg::{DensityPlan, FormatCounts};
 use hnd_plan::{KernelClass, PlanDecision, PlanMode, Planner, SessionShape};
 use hnd_response::{
-    RankError, Ranking, ResponseDelta, ResponseError, ResponseLog, ResponseMatrix, ResponseOps,
+    RankError, Ranking, ResponseDelta, ResponseEdit, ResponseError, ResponseLog, ResponseMatrix,
+    ResponseOps,
 };
 use hnd_shard::{ShardPlan, ShardedOps};
 use std::time::Instant;
+
+/// Accuracy tier of the approximate query API ([`RankingEngine::top_k`],
+/// [`RankingEngine::rank_of`]). [`RankingEngine::current_ranking`] is
+/// always exact — tiers exist only where the caller opted into a weaker
+/// question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryTier {
+    /// Run the solver to its full tolerance, exactly like
+    /// [`RankingEngine::current_ranking`].
+    Exact,
+    /// Early-terminate once the requested answer is *certified* decided by
+    /// the per-entry convergence envelopes (`hnd_core::approx`), and skip
+    /// the solve entirely when the pending wave provably cannot change it.
+    /// The default: same answer as `Exact` within the certified bound, at
+    /// a fraction of the iterations.
+    #[default]
+    Certified,
+    /// Dashboard tier: cap the iteration budget at
+    /// [`COARSE_MAX_ITER`] and serve whatever the solver reached — no
+    /// certificate, lowest latency.
+    Coarse,
+}
+
+/// Iteration cap of [`QueryTier::Coarse`] solves.
+pub const COARSE_MAX_ITER: usize = 32;
+
+/// Safety multiplier on the self-calibrated per-edit influence rates used
+/// by the delta-skip fast path (the rates are running maxima of observed
+/// score perturbations; the margin absorbs waves a little more influential
+/// than anything seen so far).
+const SKIP_SAFETY: f64 = 2.0;
+
+/// Certified-tier solves run this much tighter than the configured
+/// tolerance. The skip path's stability margins compete with the solver
+/// noise of the cached scores: at the user tolerance, adjacent-gap noise
+/// is the same order as real top-k boundary gaps on large rosters, and
+/// nothing could ever be certified stable. Tightening costs only
+/// `ln(1/factor)` extra iterations on a linearly converging solve and is
+/// repaid by every skipped solve it unlocks.
+const CERT_TOL_FACTOR: f64 = 1e-3;
+
+/// Noise band of a skip decision, in units of the cached solve's
+/// tolerance: each cached score carries up to ~one tolerance of solver
+/// error, so an adjacent gap carries two, and the floor/ceiling sweep
+/// compares two such gaps.
+const SKIP_NOISE: f64 = 4.0;
+
+/// Per-observation decay of the calibrated influence rates. A pure
+/// running maximum ratchets upward forever: one unusually influential
+/// wave in ten thousand permanently over-bounds every later skip
+/// decision. Decaying the old rate only when a *fresh above-noise
+/// observation* arrives (quiet stretches keep the bound frozen — no
+/// evidence, no relaxation) makes the calibration track the recent
+/// worst case with a half-life of ~34 observations.
+const RATE_DECAY: f64 = 0.98;
+
+/// Maximum pending-wave span (in edits) the skip path will evaluate.
+/// The per-edit ripple bound grows linearly in the span while real
+/// perturbations partially cancel, so past a few dozen edits the bound
+/// is hopeless anyway and the evaluation is pure overhead.
+const SKIP_SPAN_MAX: usize = 32;
+
+/// The last approximate solve, kept *outside* the exact warm-start cache
+/// so `current_ranking` cache hits stay exact-by-default. The normalized
+/// score copy is the coordinate system of the skip path's perturbation
+/// bounds (solver scores are only unit-norm up to the cumsum map).
+struct ApproxSolve {
+    version: u64,
+    /// The `k` whose head this solve certifies (`usize::MAX` for a
+    /// rank-stable or exact solve — every head is covered).
+    k: usize,
+    /// Whether the entry is backed by a certificate (certified/exact
+    /// solves) — only these may seed the skip path.
+    certified: bool,
+    ranking: Ranking,
+    /// `ranking.scores` normalized to unit L2.
+    norm_scores: Vec<f64>,
+    /// Indices of `norm_scores` sorted best-first — computed once per
+    /// solve so each skip evaluation stays O(m), not O(m log m) (at large
+    /// rosters the sort would rival the warm solve it skips).
+    order: Vec<usize>,
+    /// The residual tolerance the producing solve ran at — the resolution
+    /// of `norm_scores`, and hence the noise band of any skip decision
+    /// read off them.
+    tol: f64,
+    /// Version through which the accumulated wave exposure below is
+    /// current. The skip path is re-priced on every query; recomputing
+    /// the full edit span each time would cost O(span + m), so it extends
+    /// these accumulators by just the edits that arrived since the last
+    /// evaluation.
+    coupled_to: u64,
+    /// Edits accumulated in the exposure (the [`SKIP_SPAN_MAX`] meter).
+    span: usize,
+    /// Per-user authored-edit counts since `version` (direct channel).
+    edit_counts: Vec<f64>,
+}
+
+/// Self-calibrated rates bounding how far one wave can move *score
+/// differences* (the quantity the top-k decision rests on — absolute
+/// scores shift by a large common mode under any edit, but a common
+/// shift cancels inside a difference and reorders nobody). Two channels,
+/// because their magnitudes differ by orders of magnitude and a single
+/// shared rate would let the large one catastrophically over-bound the
+/// other:
+///
+/// * `direct` — gap movement per *edit authored by a pair endpoint*: the
+///   editor's own row changed, and their score moves by an amount
+///   proportional to the number of their answers that flipped.
+/// * `ripple` — movement **per edit** of the editor-free head-vs-rest
+///   *margin* at the calibrating solve's certified boundary: the global
+///   eigenvector adjustment every edit induces in everyone else
+///   (column-degree rescaling, normalization, subdominant-direction
+///   tilt). Measured directly on the margin because near-boundary
+///   entries ride the same global mode and the margin moves far less
+///   than the sum of its endpoints' individual movements — the movement
+///   is also *not* proportional to any per-user coupling weight, and
+///   normalizing it by one (as an earlier iteration of this path did)
+///   silently divides near-boundary physics by a far-tail denominator
+///   until the rate over-bounds every skip.
+///
+/// Both are decaying maxima of observed solve-to-solve perturbations
+/// (see [`RATE_DECAY`]), noise-floored at the solver tolerance of the
+/// two solves compared.
+/// `None` until first observed — the skip path never fires with an
+/// uncalibrated direct channel (an unobserved ripple channel means
+/// off-editor influence stayed under the solver noise band, which the
+/// skip decision already budgets for).
+#[derive(Debug, Clone, Copy, Default)]
+struct SkipRates {
+    direct: Option<f64>,
+    ripple: Option<f64>,
+}
 
 /// Configuration of a [`RankingEngine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -240,6 +373,15 @@ pub struct EngineStats {
     pub predicted_solve_ns: u64,
     /// Measured nanoseconds for the same solves.
     pub actual_solve_ns: u64,
+    /// Certified-tier queries served from the stale ranking because the
+    /// pending wave provably could not change the requested answer — no
+    /// solve ran at all.
+    pub skipped_solves: u64,
+    /// Solves that stopped on a certified approximation target before the
+    /// exact tolerance.
+    pub early_terminations: u64,
+    /// Estimated iterations saved by those early terminations, summed.
+    pub iterations_saved: u64,
 }
 
 /// An incremental ranking session over a fixed user/item roster.
@@ -259,6 +401,11 @@ pub struct RankingEngine {
     /// The cost-model decision the current backend was built under
     /// (`None` = hand-tuned fallback constants).
     decision: Option<PlanDecision>,
+    /// Single-slot cache of the last approximate solve (see
+    /// [`ApproxSolve`]); also refreshed by exact solves, which dominate it.
+    approx: Option<ApproxSolve>,
+    /// Calibration state of the delta-skip fast path.
+    skip_rates: SkipRates,
 }
 
 impl RankingEngine {
@@ -290,6 +437,8 @@ impl RankingEngine {
             cache: WarmStartCache::new(opts.cache_capacity),
             stats: EngineStats::default(),
             decision,
+            approx: None,
+            skip_rates: SkipRates::default(),
             opts,
         })
     }
@@ -653,7 +802,416 @@ impl RankingEngine {
             ranking: outcome.ranking.clone(),
             state: outcome.state,
         });
+        // An exact solve dominates whatever the approx slot held: refresh
+        // it (feeding the skip-path calibration on the way) so subsequent
+        // certified queries skip or warm-start from the best data.
+        let norm = unit_scores(&outcome.ranking.scores);
+        self.observe_perturbation(version, &norm, self.opts.solver_opts.tol);
+        let order = sorted_order(&norm);
+        let m = norm.len();
+        self.approx = Some(ApproxSolve {
+            version,
+            k: usize::MAX,
+            certified: true,
+            ranking: outcome.ranking.clone(),
+            norm_scores: norm,
+            order,
+            tol: self.opts.solver_opts.tol,
+            coupled_to: version,
+            span: 0,
+            edit_counts: vec![0.0; m],
+        });
         Ok(outcome.ranking)
+    }
+
+    /// The best `k` users as `(user, score)` pairs, best first, at the
+    /// default [`QueryTier::Certified`]. Ties broken by ascending user
+    /// index (deterministic).
+    pub fn top_k(&mut self, k: usize) -> Result<Vec<(usize, f64)>, RankError> {
+        self.top_k_tier(k, QueryTier::default())
+    }
+
+    /// [`Self::top_k`] at an explicit tier.
+    pub fn top_k_tier(
+        &mut self,
+        k: usize,
+        tier: QueryTier,
+    ) -> Result<Vec<(usize, f64)>, RankError> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        match tier {
+            QueryTier::Exact => {
+                let ranking = self.current_ranking()?;
+                Ok(head_of(&ranking, k))
+            }
+            QueryTier::Certified => {
+                let version = self.log.version();
+                // An exact solve at this version answers for free.
+                if let Some(cached) = self.cache.get(version) {
+                    let ranking = cached.ranking.clone();
+                    return Ok(head_of(&ranking, k));
+                }
+                if let Some(head) = self.try_skip_top_k(k) {
+                    return Ok(head);
+                }
+                let ranking =
+                    self.solve_with_target(Target::TopK { k, margin: 0.0 }, None, k, true)?;
+                Ok(head_of(&ranking, k))
+            }
+            QueryTier::Coarse => {
+                let ranking = self.solve_with_target(
+                    Target::TopK { k, margin: 0.0 },
+                    Some(COARSE_MAX_ITER),
+                    k,
+                    false,
+                )?;
+                Ok(head_of(&ranking, k))
+            }
+        }
+    }
+
+    /// `user`'s current rank (0 = best), default [`QueryTier::Certified`].
+    /// Ties rank the lower user index first (deterministic).
+    pub fn rank_of(&mut self, user: usize) -> Result<usize, RankError> {
+        self.rank_of_tier(user, QueryTier::default())
+    }
+
+    /// [`Self::rank_of`] at an explicit tier.
+    pub fn rank_of_tier(&mut self, user: usize, tier: QueryTier) -> Result<usize, RankError> {
+        let m = self.log.n_users();
+        if user >= m {
+            return Err(RankError::InvalidInput(format!(
+                "rank_of: user {user} outside roster of {m}"
+            )));
+        }
+        let ranking = match tier {
+            QueryTier::Exact => self.current_ranking()?,
+            QueryTier::Certified => {
+                let version = self.log.version();
+                if let Some(cached) = self.cache.get(version) {
+                    cached.ranking.clone()
+                } else {
+                    let tol = self.opts.solver_opts.tol;
+                    self.solve_with_target(Target::RankStable { tol }, None, usize::MAX, true)?
+                }
+            }
+            QueryTier::Coarse => {
+                let tol = self.opts.solver_opts.tol;
+                self.solve_with_target(
+                    Target::RankStable { tol },
+                    Some(COARSE_MAX_ITER),
+                    usize::MAX,
+                    false,
+                )?
+            }
+        };
+        Ok(rank_position(&ranking.scores, user))
+    }
+
+    /// A solve honoring an approximation target, warm-started from the
+    /// freshest state available (approx slot or exact cache). The result
+    /// lands in the approx slot only — the exact cache never holds an
+    /// early-terminated solution.
+    fn solve_with_target(
+        &mut self,
+        target: Target,
+        iter_cap: Option<usize>,
+        cert_k: usize,
+        certified: bool,
+    ) -> Result<Ranking, RankError> {
+        self.advance();
+        let version = self.prepared_version;
+        let warm: Option<SolveState> = {
+            let exact = self.cache.latest();
+            match (&self.approx, exact) {
+                (Some(a), Some(c)) if a.version > c.version => {
+                    Some(SolveState::from_scores(a.ranking.scores.clone()))
+                }
+                (Some(a), None) => Some(SolveState::from_scores(a.ranking.scores.clone())),
+                (_, Some(c)) => Some(c.state.clone()),
+                (None, None) => None,
+            }
+        };
+        let mut solver_opts = self.opts.solver_opts;
+        solver_opts.target = target;
+        if certified {
+            // Certified solves buy skip headroom: the skip path's noise
+            // band scales with the cached solve's tolerance, and at the
+            // user tolerance that band rivals real top-k margins on large
+            // rosters. A tighter solve costs ln(1/factor) extra iterations
+            // once; every skip it unlocks repays that many times over.
+            solver_opts.tol *= CERT_TOL_FACTOR;
+        }
+        if let Some(cap) = iter_cap {
+            solver_opts.max_iter = solver_opts.max_iter.min(cap);
+        }
+        let outcome = match &self.backend {
+            Backend::Single(ops) => {
+                let solver = self.opts.solver.build(solver_opts);
+                solver.solve_prepared(&self.matrix, ops, warm.as_ref())?
+            }
+            Backend::Sharded(sops) => {
+                self.stats.sharded_solves += 1;
+                hnd_shard::solve_power(&self.matrix, sops, &solver_opts, warm.as_ref())?
+            }
+        };
+        if warm.is_some() {
+            self.stats.warm_solves += 1;
+        } else {
+            self.stats.cold_solves += 1;
+        }
+        self.stats.last_iterations = outcome.ranking.iterations;
+        if outcome.early_terminated {
+            self.stats.early_terminations += 1;
+            self.stats.iterations_saved += outcome.iterations_saved as u64;
+        }
+        // The resolution of this solve's scores: an early-terminated solve
+        // stopped at its *certificate's* error envelope, not the requested
+        // tolerance — recording the requested tol there would under-state
+        // the noise band of later skip decisions read off these scores.
+        let achieved_tol = outcome.error_bound.unwrap_or(solver_opts.tol);
+        let norm = unit_scores(&outcome.ranking.scores);
+        self.observe_perturbation(version, &norm, achieved_tol);
+        let order = sorted_order(&norm);
+        let m = norm.len();
+        self.approx = Some(ApproxSolve {
+            version,
+            k: cert_k,
+            certified,
+            ranking: outcome.ranking.clone(),
+            norm_scores: norm,
+            order,
+            tol: achieved_tol,
+            coupled_to: version,
+            span: 0,
+            edit_counts: vec![0.0; m],
+        });
+        Ok(outcome.ranking)
+    }
+
+    /// The delta-skip fast path: serve the cached certified ranking's head
+    /// without solving when the pending wave provably cannot change it.
+    ///
+    /// Requirements, all of which fail safe toward solving:
+    /// * a certified approx-slot entry covering at least `k`;
+    /// * calibrated influence rates (never skips before the first
+    ///   observed wave→perturbation measurement);
+    /// * the edit ledger from the cached version to head (truncated
+    ///   history falls through to a solve), no wider than
+    ///   [`SKIP_SPAN_MAX`] edits;
+    /// * an active cost model, if any, pricing the skip evaluation as
+    ///   worthwhile ([`PlanDecision::skip_profitable`]);
+    /// * **set stability**: every head member's score, lowered by its
+    ///   worst-case wave perturbation (its authored edits priced at the
+    ///   direct rate, plus the per-edit global ripple), stays above every
+    ///   outsider's score raised by its own — so no outsider can provably
+    ///   enter the top-k and no member leave it. The binding pair is
+    ///   usually the k/k+1 boundary, but the full sweep also catches a
+    ///   heavily-editing outsider leapfrogging from far below. Order
+    ///   *within* the served head is the stale certified order; its
+    ///   pairwise inversions vs the true head are bounded by the same
+    ///   per-user movement bounds. A skip serves the cached,
+    ///   already-oriented ranking without solving, so — unlike the
+    ///   in-solver certificate, whose iterate's sign is still arbitrary —
+    ///   no re-orientation can surface the tail.
+    fn try_skip_top_k(&mut self, k: usize) -> Option<Vec<(usize, f64)>> {
+        let v_now = self.log.version();
+        let prev = self.approx.as_ref()?;
+        if !prev.certified || (prev.k != usize::MAX && prev.k < k) {
+            return None;
+        }
+        if prev.version == v_now {
+            // Nothing pending: a plain reuse, not a counted skip.
+            return Some(head_from(prev, k));
+        }
+        let direct = self.skip_rates.direct?;
+        // A never-observed ripple channel means off-editor movement stayed
+        // under the solver noise band, which the decision budgets for.
+        let ripple = self.skip_rates.ripple.unwrap_or(0.0);
+        if k >= prev.norm_scores.len() {
+            return None;
+        }
+        // Extend the accumulated exposure by just the edits that arrived
+        // since the last evaluation — every query re-prices the skip, and
+        // recomputing the full span each time would cost O(span + m).
+        let coupled_to = prev.coupled_to;
+        let (inc, new_count) = {
+            let new_edits = self.log.history_range(coupled_to, v_now).ok()?;
+            if new_edits.is_empty() {
+                (None, 0)
+            } else {
+                (
+                    Some(wave_edit_counts(new_edits, prev.norm_scores.len())),
+                    new_edits.len(),
+                )
+            }
+        };
+        let prev = self.approx.as_mut()?;
+        prev.coupled_to = v_now;
+        prev.span += new_count;
+        if let Some(inc_counts) = inc {
+            for (acc, d) in prev.edit_counts.iter_mut().zip(&inc_counts) {
+                *acc += d;
+            }
+        }
+        if prev.span > SKIP_SPAN_MAX {
+            return None;
+        }
+        if let Some(decision) = &self.decision {
+            if !decision.skip_profitable(prev.span) {
+                return None;
+            }
+        }
+        // Two terms price the wave. Editors get a per-entry bound — an
+        // edit moves its own author's score by orders of magnitude more
+        // than anyone else's, and an author close enough to the boundary
+        // genuinely can cross it. Everyone else is priced collectively
+        // through the *margin*: the ripple rate is the observed per-edit
+        // movement of the head-vs-rest margin itself, so it is charged
+        // once against the margin, not once per endpoint (per-entry
+        // pricing would double the certified cost of a boundary whose
+        // two sides move together).
+        let bound = |u: usize| SKIP_SAFETY * direct * prev.edit_counts[u];
+        let head_floor = prev.order[..k]
+            .iter()
+            .map(|&u| prev.norm_scores[u] - bound(u))
+            .fold(f64::INFINITY, f64::min);
+        let outside_ceil = prev.order[k..]
+            .iter()
+            .map(|&u| prev.norm_scores[u] + bound(u))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let ripple_margin = SKIP_SAFETY * ripple * prev.span as f64;
+        // The cached scores themselves carry solver-tolerance noise;
+        // a decision inside that noise band is no decision.
+        if head_floor - outside_ceil <= ripple_margin + SKIP_NOISE * prev.tol {
+            return None;
+        }
+        let head = head_from(prev, k);
+        self.stats.skipped_solves += 1;
+        Some(head)
+    }
+
+    /// Skip-path calibration: compare this solve's normalized scores with
+    /// the previous certified snapshot and record the worst observed
+    /// influence as running maxima, per channel (on score *differences*,
+    /// not absolute scores: every edit shifts the whole cumsum score
+    /// vector by a common mode that cancels between entries and reorders
+    /// nobody). An adjacent pair with an editor endpoint calibrates the
+    /// direct rate (gap movement per authored edit). The ripple rate is
+    /// the per-edit movement of the editor-free *margin* at the
+    /// snapshot's certified boundary — exactly the scalar the skip
+    /// certificate spends — because near-boundary entries ride the same
+    /// global eigenvector ripple and their margin moves far less than
+    /// the sum of its endpoints' movements. A snapshot without a single
+    /// boundary (`k == usize::MAX`) calibrates on the worst editor-free
+    /// adjacent-gap movement roster-wide instead, which upper-bounds any
+    /// single margin's movement. Mixing the channels would let the
+    /// editor's own large movement inflate the everyone-else bound by
+    /// orders of magnitude. Runs on every solve with a usable
+    /// predecessor; every such observation decays the old rate by
+    /// [`RATE_DECAY`] (taking the max with any fresh above-noise
+    /// observation), so the bound tracks the recent worst case instead
+    /// of ratcheting up forever on one outlier wave — in particular a
+    /// one-off roster-wide fallback calibration relaxes back to margin
+    /// scale once finite-boundary solves resume.
+    fn observe_perturbation(&mut self, version: u64, new_norm: &[f64], tol_now: f64) {
+        let Some(prev) = &self.approx else {
+            return;
+        };
+        if !prev.certified || prev.version >= version || prev.norm_scores.len() != new_norm.len() {
+            return;
+        }
+        let Ok(edits) = self.log.history_range(prev.version, version) else {
+            return;
+        };
+        if edits.is_empty() || new_norm.len() < 2 {
+            return;
+        }
+        let n_edits = edits.len() as f64;
+        let edit_counts = wave_edit_counts(edits, new_norm.len());
+        let dot: f64 = new_norm
+            .iter()
+            .zip(&prev.norm_scores)
+            .map(|(a, b)| a * b)
+            .sum();
+        let sign = if dot < 0.0 { -1.0 } else { 1.0 };
+        let order = &prev.order;
+        // Movements at the solver-tolerance scale of the two compared
+        // solves are convergence noise, not wave influence — pricing them
+        // as influence would inflate the rates until nothing ever skips.
+        let noise_floor = 2.0 * (prev.tol + tol_now);
+        let mut direct_max: Option<f64> = None;
+        let mut ripple_max: Option<f64> = None;
+        if prev.k != usize::MAX && prev.k < order.len() {
+            // Editor-free margin movement at the snapshot's boundary: the
+            // min head score minus the max outside score, on the old and
+            // new solves over the same entries, editors excluded (their
+            // movement belongs to the direct channel).
+            let mut old_head = f64::INFINITY;
+            let mut new_head = f64::INFINITY;
+            let mut old_out = f64::NEG_INFINITY;
+            let mut new_out = f64::NEG_INFINITY;
+            for (pos, &u) in order.iter().enumerate() {
+                if edit_counts[u] > 0.0 {
+                    continue;
+                }
+                if pos < prev.k {
+                    old_head = old_head.min(prev.norm_scores[u]);
+                    new_head = new_head.min(sign * new_norm[u]);
+                } else {
+                    old_out = old_out.max(prev.norm_scores[u]);
+                    new_out = new_out.max(sign * new_norm[u]);
+                }
+            }
+            if old_head.is_finite() && old_out.is_finite() {
+                let moved = ((new_head - new_out) - (old_head - old_out)).abs();
+                if moved > noise_floor {
+                    ripple_max = Some(moved / n_edits);
+                }
+            }
+        }
+        for pair in order.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let g_old = prev.norm_scores[a] - prev.norm_scores[b];
+            let g_new = sign * (new_norm[a] - new_norm[b]);
+            let moved = (g_new - g_old).abs();
+            if moved <= noise_floor {
+                continue;
+            }
+            let d_pair = edit_counts[a] + edit_counts[b];
+            if d_pair > 0.0 {
+                let rate = moved / d_pair;
+                direct_max = Some(direct_max.map_or(rate, |m| m.max(rate)));
+            } else if prev.k == usize::MAX && self.skip_rates.ripple.is_none() {
+                // Roster-wide fallback: a seed for a never-calibrated
+                // ripple channel only. It upper-bounds any one margin's
+                // movement — often by an order of magnitude — so once
+                // genuine margin observations exist, letting an exact
+                // (boundary-less) solve splice this bound back in would
+                // replace measured physics with pessimism and stall the
+                // skip path until the rate decayed back down.
+                let rate = moved / n_edits;
+                ripple_max = Some(ripple_max.map_or(rate, |m| m.max(rate)));
+            }
+        }
+        // Decay on every observation opportunity, not only when a fresh
+        // above-noise observation arrives. A wave whose movement stayed
+        // under the noise floor is itself evidence the rate is at or
+        // above the recent worst case, so letting it relax the bound is
+        // sound — and without it a single pessimistic calibration (the
+        // roster-wide `k == MAX` fallback is an upper bound on any one
+        // margin, often by an order of magnitude) would pin the skip
+        // path shut forever: a refusal regime produces solves whose
+        // margin movement is sub-noise, which under observation-gated
+        // decay would never release the rate that caused the refusals.
+        let relaxed = |rate: Option<f64>, observed: Option<f64>| match (rate, observed) {
+            (None, obs) => obs.map(|o| o.max(1e-12)),
+            (Some(r), None) => Some((r * RATE_DECAY).max(1e-12)),
+            (Some(r), Some(o)) => Some(o.max(1e-12).max(r * RATE_DECAY)),
+        };
+        self.skip_rates.direct = relaxed(self.skip_rates.direct, direct_max);
+        self.skip_rates.ripple = relaxed(self.skip_rates.ripple, ripple_max);
     }
 
     /// Seeds the cache with an externally computed solution for the
@@ -668,6 +1226,72 @@ impl RankingEngine {
             state,
         });
     }
+}
+
+/// Unit-L2 copy of a score vector (the coordinate system of the skip
+/// path's perturbation bounds — raw solver scores are unit-norm only up
+/// to the cumsum map).
+fn unit_scores(scores: &[f64]) -> Vec<f64> {
+    let mut out = scores.to_vec();
+    hnd_linalg::vector::normalize(&mut out);
+    out
+}
+
+/// Indices sorted by descending score, ascending index on ties.
+fn sorted_order(scores: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Per-user authored-edit counts for a wave: how many of the wave's
+/// edits each user wrote themselves. The direct channel of the skip
+/// bound prices these; everyone else is covered by the per-edit ripple
+/// rate, which needs no per-user bookkeeping.
+fn wave_edit_counts(edits: &[ResponseEdit], m: usize) -> Vec<f64> {
+    let mut counts = vec![0.0; m];
+    for edit in edits {
+        counts[edit.user] += 1.0;
+    }
+    counts
+}
+
+/// The best `min(k, m)` users of a ranking as `(user, score)` pairs.
+/// Head of a cached approximate solve read off its precomputed order —
+/// the serving fast path must not pay an O(m log m) re-sort per query.
+/// (`order` was sorted on the unit-normalized scores; normalization is a
+/// positive scaling, so the order and tie-breaks match [`head_of`] on
+/// the raw scores exactly.)
+fn head_from(prev: &ApproxSolve, k: usize) -> Vec<(usize, f64)> {
+    prev.order
+        .iter()
+        .take(k)
+        .map(|&u| (u, prev.ranking.scores[u]))
+        .collect()
+}
+
+fn head_of(ranking: &Ranking, k: usize) -> Vec<(usize, f64)> {
+    sorted_order(&ranking.scores)
+        .into_iter()
+        .take(k)
+        .map(|u| (u, ranking.scores[u]))
+        .collect()
+}
+
+/// `user`'s position under the same descending-score, ascending-index
+/// order as [`sorted_order`].
+fn rank_position(scores: &[f64], user: usize) -> usize {
+    let mine = scores[user];
+    scores
+        .iter()
+        .enumerate()
+        .filter(|&(u, &s)| s > mine || (s == mine && u < user))
+        .count()
 }
 
 #[cfg(test)]

@@ -106,12 +106,12 @@ pub mod server;
 pub mod session;
 
 pub use cache::{CachedSolve, WarmStartCache};
-pub use engine::{EngineOpts, EngineStats, RankingEngine};
+pub use engine::{EngineOpts, EngineStats, QueryTier, RankingEngine, COARSE_MAX_ITER};
 pub use server::{Reply, ServerError, ServerOpts, SessionServer};
 pub use session::{Checkout, ManagerStats, SessionId, SessionManager};
 
 // Re-export the building blocks callers configure the service with.
-pub use hnd_core::{SolveOutcome, SolveState, SolverKind, SolverOpts, SpectralSolver};
+pub use hnd_core::{SolveOutcome, SolveState, SolverKind, SolverOpts, SpectralSolver, Target};
 pub use hnd_plan::{PlanDecision, PlanMode, Planner};
 pub use hnd_response::{
     RankError, Ranking, ResponseDelta, ResponseEdit, ResponseError, ResponseLog, ResponseMatrix,

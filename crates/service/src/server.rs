@@ -48,7 +48,9 @@
 use crate::engine::{EngineOpts, EngineStats, RankingEngine};
 use crate::session::{Checkout, ManagerStats, SessionId, SessionManager};
 use hnd_linalg::parallel;
-use hnd_response::{RankError, Ranking, ResponseDelta, ResponseError, ResponseLog};
+use hnd_response::{
+    rank_many, RankError, Ranking, ResponseDelta, ResponseError, ResponseLog, ResponseMatrix,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -65,6 +67,17 @@ pub struct ServerOpts {
     pub idle_threshold: Option<u64>,
     /// Engine configuration for every session.
     pub engine: EngineOpts,
+    /// Cold solves a worker batches per pass: when a rehydration needs a
+    /// solve, up to this many *other* evicted solve-hungry sessions are
+    /// pulled into the same pass and solved together through
+    /// [`rank_many`] (batch-level parallelism during reconnect storms).
+    /// The batched pass re-prepares each session's matrix from scratch —
+    /// cross-session parallelism is what buys that back, so on a fully
+    /// subscribed box batching is a measured net loss (the `serving_cold`
+    /// bench pins both regimes). `0` (the default) = auto: batch 8 when
+    /// the worker has inner kernel threads to spend, one-at-a-time
+    /// otherwise. `1` disables batching unconditionally.
+    pub cold_batch: usize,
 }
 
 /// Errors surfaced to server clients.
@@ -131,6 +144,9 @@ enum Command {
         Sender<Result<u64, ServerError>>,
     ),
     Ranking(Sender<Result<Ranking, ServerError>>),
+    #[allow(clippy::type_complexity)]
+    TopK(usize, Sender<Result<Vec<(usize, f64)>, ServerError>>),
+    RankOf(usize, Sender<Result<usize, ServerError>>),
     CatchUp(u64, Sender<Result<ResponseDelta, ServerError>>),
     Stats(Sender<Result<EngineStats, ServerError>>),
     SessionLog(Sender<Result<ResponseLog, ServerError>>),
@@ -138,11 +154,22 @@ enum Command {
 }
 
 impl Command {
+    /// Whether executing this command runs (or may run) a spectral solve —
+    /// the commands worth batching cold rehydrations for.
+    fn needs_solve(&self) -> bool {
+        matches!(
+            self,
+            Command::Ranking(_) | Command::TopK(..) | Command::RankOf(..)
+        )
+    }
+
     /// Resolves the command's reply with `err` without executing it.
     fn reject(self, err: ServerError) {
         match self {
             Command::Submit(_, tx) => drop(tx.send(Err(err))),
             Command::Ranking(tx) => drop(tx.send(Err(err))),
+            Command::TopK(_, tx) => drop(tx.send(Err(err))),
+            Command::RankOf(_, tx) => drop(tx.send(Err(err))),
             Command::CatchUp(_, tx) => drop(tx.send(Err(err))),
             Command::Stats(tx) => drop(tx.send(Err(err))),
             Command::SessionLog(tx) => drop(tx.send(Err(err))),
@@ -160,6 +187,14 @@ impl Command {
             }
             Command::Ranking(tx) => {
                 let result = engine.current_ranking().map_err(ServerError::from);
+                let _ = tx.send(result);
+            }
+            Command::TopK(k, tx) => {
+                let result = engine.top_k(k).map_err(ServerError::from);
+                let _ = tx.send(result);
+            }
+            Command::RankOf(user, tx) => {
+                let result = engine.rank_of(user).map_err(ServerError::from);
                 let _ = tx.send(result);
             }
             Command::CatchUp(from, tx) => {
@@ -224,6 +259,13 @@ impl SessionServer {
         // Split the machine between the pool and the in-solve kernels so a
         // fleet of sessions does not oversubscribe: workers × inner ≈ total.
         let inner_threads = (total / workers).max(1);
+        // Resolve the auto cold-batch: without inner parallelism the
+        // batched pass has nothing to amortize its duplicated prepares.
+        let cold_batch = match opts.cold_batch {
+            0 if inner_threads > 1 => 8,
+            0 => 1,
+            n => n,
+        };
         let mut mgr = SessionManager::new(opts.engine);
         mgr.set_idle_threshold(opts.idle_threshold);
         let shared = Arc::new(Shared {
@@ -235,12 +277,13 @@ impl SessionServer {
             }),
             work: Condvar::new(),
         });
+
         let handles = (0..workers)
             .map(|k| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("hnd-serve-{k}"))
-                    .spawn(move || worker_loop(&shared, inner_threads))
+                    .spawn(move || worker_loop(&shared, inner_threads, cold_batch))
                     .expect("spawn server worker")
             })
             .collect();
@@ -398,6 +441,23 @@ impl SessionServer {
         reply
     }
 
+    /// The session's best `k` users as `(user, score)` pairs at the
+    /// engine's default certified tier: the solve early-terminates once
+    /// the top-`k` set and order are certified decided, or is skipped
+    /// outright when the pending wave provably cannot change them.
+    pub fn top_k(&self, id: SessionId, k: usize) -> Reply<Vec<(usize, f64)>> {
+        let (tx, reply) = Reply::pair();
+        self.enqueue(id, Command::TopK(k, tx));
+        reply
+    }
+
+    /// `user`'s current rank (0 = best) at the certified tier.
+    pub fn rank_of(&self, id: SessionId, user: usize) -> Reply<usize> {
+        let (tx, reply) = Reply::pair();
+        self.enqueue(id, Command::RankOf(user, tx));
+        reply
+    }
+
     /// The compacted delta from a client's cached version to the session's
     /// head: apply it with
     /// [`ResponseMatrix::apply_delta`](hnd_response::ResponseMatrix::apply_delta)
@@ -479,14 +539,63 @@ impl Drop for SessionServer {
     }
 }
 
+/// Pulls up to `cap − 1` additional *evicted, solve-hungry* sessions out
+/// of the ready queue into the worker's pass (the cold-storm batch).
+/// Unselected ids keep their queue position and `enqueued` flag.
+fn collect_cold_batch(
+    st: &mut Inner,
+    batch: &mut Vec<(SessionId, Vec<Command>, Checkout)>,
+    cap: usize,
+) {
+    let mut passed: Vec<SessionId> = Vec::new();
+    while batch.len() < cap {
+        let Some(id) = st.ready.pop_front() else {
+            break;
+        };
+        let eligible = st.mgr.is_evicted(id)
+            && st
+                .mailboxes
+                .get(&id)
+                .is_some_and(|mb| !mb.busy && mb.queue.iter().any(Command::needs_solve));
+        if !eligible {
+            passed.push(id);
+            continue;
+        }
+        let mailbox = st.mailboxes.get_mut(&id).expect("checked above");
+        mailbox.enqueued = false;
+        let commands: Vec<Command> = mailbox.queue.drain(..).collect();
+        match st.mgr.checkout(id) {
+            Some(checkout) => {
+                st.mailboxes.get_mut(&id).expect("checked above").busy = true;
+                batch.push((id, commands, checkout));
+            }
+            None => {
+                for cmd in commands {
+                    cmd.reject(ServerError::UnknownSession(id));
+                }
+            }
+        }
+    }
+    // Unselected ids return to the front in their original order.
+    for id in passed.into_iter().rev() {
+        st.ready.push_front(id);
+    }
+}
+
 /// One worker: pop a ready session, check its engine out, drain its
 /// mailbox outside the lock, check back in (re-enqueueing if commands
 /// arrived meanwhile). Exits once shutdown is set and the ready queue is
 /// drained.
-fn worker_loop(shared: &Shared, inner_threads: usize) {
+///
+/// When the popped session is an evicted one needing a solve, up to
+/// `cold_batch − 1` more such sessions join the pass: their engines are
+/// rebuilt outside the lock and their cold solves run together through
+/// [`rank_many`] (batch-level parallelism), each result seeded into its
+/// engine's cache before the commands execute.
+fn worker_loop(shared: &Shared, inner_threads: usize, cold_batch: usize) {
     loop {
-        // Acquire a session to process (or exit).
-        let (id, commands, checkout, engine_opts) = {
+        // Acquire one or more sessions to process (or exit).
+        let (batch, engine_opts) = {
             let mut st = shared.state.lock().expect("server state poisoned");
             'acquire: loop {
                 while let Some(id) = st.ready.pop_front() {
@@ -508,7 +617,14 @@ fn worker_loop(shared: &Shared, inner_threads: usize) {
                                 .expect("mailbox checked above")
                                 .busy = true;
                             let opts = st.mgr.engine_opts();
-                            break 'acquire (id, commands, checkout, opts);
+                            let mut batch = vec![(id, commands, checkout)];
+                            if cold_batch > 1
+                                && matches!(batch[0].2, Checkout::Rehydrate(_))
+                                && batch[0].1.iter().any(Command::needs_solve)
+                            {
+                                collect_cold_batch(&mut st, &mut batch, cold_batch);
+                            }
+                            break 'acquire (batch, opts);
                         }
                         None => {
                             // The manager no longer knows the id (closed
@@ -526,46 +642,85 @@ fn worker_loop(shared: &Shared, inner_threads: usize) {
             }
         };
 
-        // Process the batch outside the lock: this session is single-writer
+        // Process the batch outside the lock: each session is single-writer
         // (its engine is checked out), other sessions proceed in parallel.
-        let mut engine = match checkout {
-            Checkout::Live(engine) => *engine,
-            Checkout::Rehydrate(log) => RankingEngine::from_log(log, engine_opts)
-                .expect("rehydration from a previously valid log"),
-        };
-        let mut close = false;
-        parallel::with_threads(inner_threads, || {
-            for cmd in commands {
-                if close {
-                    // Ordered after a Close in the same batch: the session
-                    // is already logically gone.
-                    cmd.reject(ServerError::UnknownSession(id));
-                } else {
-                    cmd.execute(&mut engine, &mut close);
+        let mut items: Vec<(SessionId, Vec<Command>, RankingEngine)> =
+            Vec::with_capacity(batch.len());
+        let mut cold: Vec<usize> = Vec::new();
+        let batched = batch.len() > 1;
+        for (id, commands, checkout) in batch {
+            let engine = match checkout {
+                Checkout::Live(engine) => *engine,
+                Checkout::Rehydrate(log) => {
+                    if batched {
+                        cold.push(items.len());
+                    }
+                    RankingEngine::from_log(log, engine_opts)
+                        .expect("rehydration from a previously valid log")
+                }
+            };
+            items.push((id, commands, engine));
+        }
+        let finished = parallel::with_threads(inner_threads, || {
+            // Batched pass: one rank_many over the cold engines' matrices,
+            // results seeded so the queued ranking commands hit the cache.
+            // A failed slot just falls through to the per-command solve
+            // (which reports the error to its own caller).
+            if !cold.is_empty() {
+                let solver = engine_opts.solver.build(engine_opts.solver_opts);
+                let matrices: Vec<&ResponseMatrix> =
+                    cold.iter().map(|&i| items[i].2.matrix()).collect();
+                let solved = rank_many(solver.as_ranker(), &matrices);
+                for (&i, result) in cold.iter().zip(solved) {
+                    if let Ok(ranking) = result {
+                        items[i].2.seed_solution(ranking);
+                    }
                 }
             }
+            let mut finished: Vec<(SessionId, RankingEngine, bool)> =
+                Vec::with_capacity(items.len());
+            for (id, commands, mut engine) in items {
+                let mut close = false;
+                for cmd in commands {
+                    if close {
+                        // Ordered after a Close in the same batch: the
+                        // session is already logically gone.
+                        cmd.reject(ServerError::UnknownSession(id));
+                    } else {
+                        cmd.execute(&mut engine, &mut close);
+                    }
+                }
+                finished.push((id, engine, close));
+            }
+            finished
         });
 
         // Check back in.
         let mut st = shared.state.lock().expect("server state poisoned");
-        if close {
-            st.mgr.drop_session(id);
-            if let Some(mailbox) = st.mailboxes.remove(&id) {
-                for cmd in mailbox.queue {
-                    cmd.reject(ServerError::UnknownSession(id));
+        let mut notify = false;
+        for (id, engine, close) in finished {
+            if close {
+                st.mgr.drop_session(id);
+                if let Some(mailbox) = st.mailboxes.remove(&id) {
+                    for cmd in mailbox.queue {
+                        cmd.reject(ServerError::UnknownSession(id));
+                    }
+                }
+            } else {
+                st.mgr.put_engine(id, engine);
+                if let Some(mailbox) = st.mailboxes.get_mut(&id) {
+                    mailbox.busy = false;
+                    if !mailbox.queue.is_empty() && !mailbox.enqueued {
+                        mailbox.enqueued = true;
+                        st.ready.push_back(id);
+                        notify = true;
+                    }
                 }
             }
-        } else {
-            st.mgr.put_engine(id, engine);
-            if let Some(mailbox) = st.mailboxes.get_mut(&id) {
-                mailbox.busy = false;
-                if !mailbox.queue.is_empty() && !mailbox.enqueued {
-                    mailbox.enqueued = true;
-                    st.ready.push_back(id);
-                    drop(st);
-                    shared.work.notify_one();
-                }
-            }
+        }
+        drop(st);
+        if notify {
+            shared.work.notify_all();
         }
     }
 }
@@ -671,6 +826,7 @@ mod tests {
                 },
                 ..Default::default()
             },
+            ..Default::default()
         });
         let quiet = srv.create_session(5, 4, &[2; 4]).unwrap();
         let loud = srv.create_session(5, 4, &[2; 4]).unwrap();

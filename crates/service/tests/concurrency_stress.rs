@@ -87,6 +87,7 @@ fn run_storm(seed: u64) {
         workers: WORKERS,
         idle_threshold: Some(40),
         engine: opts(),
+        ..Default::default()
     });
     assert_eq!(srv.workers(), WORKERS);
 

@@ -18,7 +18,8 @@
 
 use crate::operators::ShardedUDiffOp;
 use crate::ops::ShardedOps;
-use hnd_core::{SolveOutcome, SolveState, SolverOpts};
+use hnd_core::approx::{guarded_power_iteration, ScoreMap};
+use hnd_core::{SolveOutcome, SolveState, SolverOpts, Target};
 use hnd_linalg::power::power_iteration;
 use hnd_linalg::vector;
 use hnd_response::{orient_by_decile_entropy, RankError, Ranking, ResponseMatrix};
@@ -39,10 +40,10 @@ pub fn solve_power(
 ) -> Result<SolveOutcome, RankError> {
     let m = matrix.n_users();
     if m == 1 {
-        return Ok(SolveOutcome {
-            ranking: Ranking::from_scores(vec![0.0]),
-            state: SolveState::from_scores(vec![0.0]),
-        });
+        return Ok(SolveOutcome::exact(
+            Ranking::from_scores(vec![0.0]),
+            SolveState::from_scores(vec![0.0]),
+        ));
     }
     if m < 2 || ops.n_users() != m {
         return Err(RankError::InvalidInput(format!(
@@ -58,7 +59,22 @@ pub fn solve_power(
         None => opts.start(m - 1),
     };
     let op = ShardedUDiffOp::new(ops);
-    let out = power_iteration(&op, &x0, &opts.power());
+    // Same target routing as the unsharded solver: exact targets stay on
+    // the untouched driver (bit-identical), approximate targets run the
+    // guarded driver certifying in cumsum score space.
+    let (out, early, saved, bound) = match opts.target {
+        Target::Exact => (power_iteration(&op, &x0, &opts.power()), false, 0, None),
+        target => {
+            let g =
+                guarded_power_iteration(&op, &x0, &opts.power(), target, ScoreMap::CumsumFromDiffs);
+            (
+                g.power,
+                g.early_terminated,
+                g.iterations_saved,
+                g.error_bound,
+            )
+        }
+    };
 
     // Line 9 of Algorithm 1: s ← T·sdiff, then state capture + orientation.
     let mut scores = Vec::with_capacity(m);
@@ -75,6 +91,9 @@ pub fn solve_power(
     Ok(SolveOutcome {
         ranking,
         state: solve_state,
+        early_terminated: early,
+        iterations_saved: saved,
+        error_bound: bound,
     })
 }
 

@@ -78,6 +78,7 @@ fn main() {
             col_slack: 1024,
             ..Default::default()
         },
+        ..Default::default()
     });
     println!(
         "fleet: {SESSIONS} sessions × {USERS} users × {ITEMS} items, \

@@ -93,6 +93,7 @@ fn main() {
         workers: 0, // HND_THREADS convention (resolve_workers)
         idle_threshold: None,
         engine: engine_opts,
+        ..Default::default()
     });
     println!(
         "megasession demo: {SMALL_SESSIONS} × {SMALL_USERS}-user classrooms + one \
