@@ -1,0 +1,160 @@
+//! Crash-recovery smoke: kill a wave-load run mid-stream, recover it.
+//!
+//! The parent spawns **itself** as a child (flagged by the
+//! `HND_RECOVERY_CHILD` env var) pointed at a fresh store directory.
+//! The child drives a store-backed [`SessionManager`] through a
+//! deterministic edit stream — group-commit flushing, so the tail of
+//! the WAL is written but not yet fsynced — and calls
+//! [`std::process::abort`] the instant version [`TARGET_VERSION`]
+//! commits: no flush, no drop glue, no clean shutdown. The parent then
+//! opens the same directory cold, exactly like a restarted process,
+//! and asserts the recovery contract:
+//!
+//! * the child died by signal (it really aborted, it didn't error out),
+//! * the store adopts the session and reports **no damage** (every
+//!   committed frame was `write(2)`-complete, so process death loses
+//!   nothing — machine-crash torn-frame handling is pinned separately
+//!   by the `hnd-store` corruption battery),
+//! * the recovered version is exactly the last committed one, and
+//! * the recovered ranking is **bit-identical** to an in-memory replay
+//!   of the same edit stream that never crashed.
+//!
+//! Exit code 0 on success, 1 on any violation — the CI recovery gate.
+
+use hnd_service::{
+    EngineOpts, FlushPolicy, RankingEngine, SessionManager, SessionStore, StoreOpts,
+};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const M: usize = 60;
+const N: usize = 12;
+const K: u16 = 3;
+/// Version the child aborts at. Far enough past the store's snapshot
+/// cadence boundary logic to exercise a real WAL tail on top of the
+/// registration snapshot.
+const TARGET_VERSION: u64 = 137;
+
+/// The child's deterministic edit stream. The `step / 60` term shifts
+/// the choice every time the `(user, item)` walk wraps (period 60), so
+/// a revisited cell always changes and every step commits.
+fn edit(step: u64) -> (usize, usize, Option<u16>) {
+    let u = ((step * 7 + 3) % M as u64) as usize;
+    let i = ((step * 5 + 1) % N as u64) as usize;
+    let choice = ((step + step / 60) % u64::from(K)) as u16;
+    (u, i, Some(choice))
+}
+
+/// Child process: stream edits into the durable session, abort at the
+/// target version.
+fn run_child(dir: &str) -> ExitCode {
+    let store = SessionStore::open(
+        dir,
+        StoreOpts {
+            // Group commit: at the abort point the last fsync is up to
+            // 7 commits behind the written WAL tail.
+            flush: FlushPolicy::EveryN(8),
+            ..Default::default()
+        },
+    )
+    .expect("child: open store");
+    let mut mgr = SessionManager::with_store(EngineOpts::default(), Arc::new(store));
+    let id = mgr
+        .create_session(M, N, &[K; N])
+        .expect("child: create session");
+    let mut step = 0u64;
+    loop {
+        let version = mgr
+            .submit_responses(id, [edit(step)])
+            .expect("child: submit");
+        // Interleave reads so the crash lands on a served session, not a
+        // write-only one.
+        if version.is_multiple_of(10) {
+            mgr.current_ranking(id).expect("child: ranking");
+        }
+        if version >= TARGET_VERSION {
+            std::process::abort();
+        }
+        step += 1;
+    }
+}
+
+/// In-memory reference: the same stream, never crashed, stopped at the
+/// same version.
+fn reference_engine() -> RankingEngine {
+    let mut engine = RankingEngine::new(M, N, &[K; N], EngineOpts::default()).expect("reference");
+    let mut step = 0u64;
+    while engine.version() < TARGET_VERSION {
+        engine.submit_responses([edit(step)]).expect("reference");
+        step += 1;
+    }
+    engine
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("recovery_smoke: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    if let Ok(dir) = std::env::var("HND_RECOVERY_CHILD") {
+        return run_child(&dir);
+    }
+
+    let dir = std::env::temp_dir().join(format!("hnd-recovery-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create store dir");
+    let exe = std::env::current_exe().expect("current exe");
+    let status = std::process::Command::new(exe)
+        .env("HND_RECOVERY_CHILD", &dir)
+        .status()
+        .expect("spawn child");
+
+    // abort() dies by SIGABRT: killed-by-signal (no exit code) on Unix.
+    // A child that *errored* exits with a code instead, and that must
+    // fail the gate — a crash test that never crashed proves nothing.
+    if status.success() {
+        return fail("child exited cleanly; it was supposed to abort mid-stream");
+    }
+    #[cfg(unix)]
+    if status.code().is_some() {
+        return fail("child exited with an error instead of aborting");
+    }
+
+    // Cold restart: a fresh store over the same directory.
+    let store = SessionStore::open(&dir, StoreOpts::default()).expect("parent: reopen store");
+    let ids = store.session_ids();
+    if ids.len() != 1 {
+        return fail(&format!("expected 1 adopted session, found {ids:?}"));
+    }
+    let (log, report) = match store.load(ids[0]) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("load after crash: {e}")),
+    };
+    println!(
+        "recovery_smoke: recovered v{} via {:?} ({} WAL edits replayed, damage: {:?})",
+        report.recovered_version, report.source, report.replayed_edits, report.damage
+    );
+    if !report.damage.is_empty() {
+        return fail("process death must not damage write-complete frames");
+    }
+    if report.recovered_version != TARGET_VERSION {
+        return fail(&format!(
+            "recovered v{}, child committed v{TARGET_VERSION}",
+            report.recovered_version
+        ));
+    }
+
+    let mut recovered =
+        RankingEngine::from_log(log, EngineOpts::default()).expect("engine over recovered log");
+    let mut reference = reference_engine();
+    let got = recovered.current_ranking().expect("recovered ranking");
+    let want = reference.current_ranking().expect("reference ranking");
+    if got.scores != want.scores {
+        return fail("recovered ranking differs from the never-crashed replay");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("recovery_smoke: ok — crash at v{TARGET_VERSION} recovered bit-identical");
+    ExitCode::SUCCESS
+}

@@ -3,6 +3,12 @@
 //! A [`DatasetFile`] captures everything an experiment needs to replay:
 //! the responses, optional ground-truth abilities, and optional correct
 //! options (for the cheating baselines).
+//!
+//! This human-readable JSON path is for *datasets* — experiment inputs
+//! that get edited, diffed, and checked into repositories. Live session
+//! state (the versioned edit logs behind `hnd-service`) is persisted by
+//! `hnd-store` instead: CRC-framed binary WALs plus compact array
+//! snapshots, built for crash recovery rather than readability.
 
 use hnd_response::{ResponseMatrix, ResponseMatrixBuilder};
 use serde::{DeError, Deserialize, Serialize, Value};
@@ -126,6 +132,69 @@ impl DatasetFile {
         }
     }
 
+    /// Checks the container's cross-field invariants.
+    ///
+    /// The JSON decode is purely structural, so a hand-edited (or
+    /// corrupted) file can carry ground-truth vectors that do not fit the
+    /// matrix they ride with: an `abilities` vector sized for a different
+    /// student body, a `correct_options` vector for a different quiz, or a
+    /// correct option outside an item's option range. Earlier versions of
+    /// [`DatasetFile::load`] accepted all of those silently and let them
+    /// surface (or not) deep inside an experiment; now every load runs
+    /// this check.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::Invalid`] naming the first violated bound.
+    pub fn validate(&self) -> Result<(), StorageError> {
+        let n_students = self.choices.len();
+        let n_questions = self.options_per_item.len();
+        for (user, row) in self.choices.iter().enumerate() {
+            if row.len() != n_questions {
+                return Err(StorageError::Invalid(format!(
+                    "user {user} has {} entries, expected {n_questions}",
+                    row.len()
+                )));
+            }
+            for (item, &choice) in row.iter().enumerate() {
+                if let Some(c) = choice {
+                    if c >= self.options_per_item[item] {
+                        return Err(StorageError::Invalid(format!(
+                            "user {user}, item {item}: choice {c} out of range \
+                             (item has {} options)",
+                            self.options_per_item[item]
+                        )));
+                    }
+                }
+            }
+        }
+        if let Some(abilities) = &self.abilities {
+            if abilities.len() != n_students {
+                return Err(StorageError::Invalid(format!(
+                    "abilities has {} entries for {n_students} students",
+                    abilities.len()
+                )));
+            }
+        }
+        if let Some(correct) = &self.correct_options {
+            if correct.len() != n_questions {
+                return Err(StorageError::Invalid(format!(
+                    "correct_options has {} entries for {n_questions} questions",
+                    correct.len()
+                )));
+            }
+            for (item, &c) in correct.iter().enumerate() {
+                if c >= self.options_per_item[item] {
+                    return Err(StorageError::Invalid(format!(
+                        "correct option {c} for item {item} out of range \
+                         (item has {} options)",
+                        self.options_per_item[item]
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Reconstructs the response matrix.
     ///
     /// # Errors
@@ -165,6 +234,11 @@ impl DatasetFile {
     }
 
     /// Loads a dataset from a JSON file.
+    ///
+    /// # Errors
+    /// Besides I/O and JSON failures, rejects unsupported versions and any
+    /// file that fails [`DatasetFile::validate`] — a loaded dataset is
+    /// always internally consistent.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, StorageError> {
         let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
         let mut buf = String::new();
@@ -173,6 +247,7 @@ impl DatasetFile {
         if ds.version != FORMAT_VERSION {
             return Err(StorageError::UnsupportedVersion(ds.version));
         }
+        ds.validate()?;
         Ok(ds)
     }
 }
@@ -239,5 +314,72 @@ mod tests {
         let mut file = DatasetFile::from_matrix("sample", &m, None, None);
         file.choices[1].pop();
         assert!(matches!(file.to_matrix(), Err(StorageError::Invalid(_))));
+    }
+
+    /// Saves a (possibly corrupted) file and loads it back, returning the
+    /// load result. Regression rig for the silent-acceptance bug: `load`
+    /// used to hand back any structurally-parseable JSON.
+    fn save_load(file: &DatasetFile, tag: &str) -> Result<DatasetFile, StorageError> {
+        let dir = std::env::temp_dir().join("hnd_datasets_validate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-{tag}.json", std::process::id()));
+        file.save(&path).unwrap();
+        let result = DatasetFile::load(&path);
+        std::fs::remove_file(&path).ok();
+        result
+    }
+
+    #[test]
+    fn load_rejects_out_of_range_correct_option() {
+        let m = sample_matrix();
+        // Item 1 has 2 options; a "correct" option 2 indexes past them.
+        let mut file = DatasetFile::from_matrix("sample", &m, None, Some(vec![2, 0]));
+        file.correct_options = Some(vec![2, 2]);
+        assert!(matches!(
+            save_load(&file, "bad-correct"),
+            Err(StorageError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_mismatched_ground_truth_lengths() {
+        let m = sample_matrix();
+        // 3 students, but abilities for 4.
+        let mut file = DatasetFile::from_matrix("sample", &m, Some(vec![0.9, 0.5, 0.1]), None);
+        file.abilities = Some(vec![0.9, 0.5, 0.1, 0.0]);
+        assert!(matches!(
+            save_load(&file, "bad-abilities"),
+            Err(StorageError::Invalid(_))
+        ));
+
+        // 2 questions, but a correct option for only 1.
+        let mut file = DatasetFile::from_matrix("sample", &m, None, Some(vec![2, 0]));
+        file.correct_options = Some(vec![2]);
+        assert!(matches!(
+            save_load(&file, "short-correct"),
+            Err(StorageError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_out_of_range_choice() {
+        let m = sample_matrix();
+        // Item 0 has 3 options; choice 3 is one past the end.
+        let mut file = DatasetFile::from_matrix("sample", &m, None, None);
+        file.choices[0][0] = Some(3);
+        assert!(matches!(
+            save_load(&file, "bad-choice"),
+            Err(StorageError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn valid_ground_truth_still_loads() {
+        let m = sample_matrix();
+        let file =
+            DatasetFile::from_matrix("sample", &m, Some(vec![0.9, 0.5, 0.1]), Some(vec![2, 0]));
+        let loaded = save_load(&file, "good").unwrap();
+        assert_eq!(loaded, file);
+        assert!(loaded.validate().is_ok());
     }
 }

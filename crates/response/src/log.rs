@@ -233,6 +233,95 @@ impl ResponseLog {
         }
     }
 
+    /// Reconstructs a log at `version` from externally persisted state
+    /// (e.g. a binary snapshot): the choices are adopted as-is, the
+    /// retained history starts empty at `version`, and the next
+    /// `drain_delta` reports `None` (a cold rebuild point) — exactly the
+    /// shape of a log whose history was truncated to the head.
+    ///
+    /// # Errors
+    /// Rejects the same degenerate shapes as [`Self::new`], a `choices`
+    /// buffer whose length is not `n_users × n_items`, and stored choices
+    /// out of range for their item.
+    pub fn restore(
+        n_users: usize,
+        n_items: usize,
+        options_per_item: &[u16],
+        choices: Vec<Option<u16>>,
+        version: u64,
+    ) -> Result<Self, ResponseError> {
+        let mut log = Self::new(n_users, n_items, options_per_item)?;
+        if choices.len() != n_users * n_items {
+            return Err(ResponseError::WrongRowLength {
+                user: 0,
+                expected: n_users * n_items,
+                got: choices.len(),
+            });
+        }
+        for (cell, &choice) in choices.iter().enumerate() {
+            if let Some(opt) = choice {
+                let item = cell % n_items;
+                if opt >= options_per_item[item] {
+                    return Err(ResponseError::OptionOutOfRange {
+                        user: cell / n_items,
+                        item,
+                        option: opt,
+                        num_options: options_per_item[item],
+                    });
+                }
+            }
+        }
+        log.choices = choices;
+        log.version = version;
+        log.history_base = version;
+        log.snapshot_version = version;
+        log.has_baseline = false;
+        Ok(log)
+    }
+
+    /// Re-applies a previously committed edit during recovery, validating
+    /// that it chains onto the current state. Unlike [`Self::set`], bounds
+    /// violations are *errors*, not panics — a replay source is external
+    /// data (a WAL tail), not in-process code — and the edit's recorded
+    /// `from` must match the stored cell, or the stream has diverged.
+    ///
+    /// A chained no-op (`from == to`, never produced by [`Self::set`]) is
+    /// rejected as a [`ResponseError::DeltaMismatch`]: committed edits bump
+    /// the version by exactly one each, and replay must preserve that.
+    ///
+    /// Returns the version after the edit.
+    pub fn replay(&mut self, edit: ResponseEdit) -> Result<u64, ResponseError> {
+        if edit.user >= self.n_users || edit.item >= self.n_items {
+            return Err(ResponseError::IndexOutOfBounds {
+                user: edit.user,
+                item: edit.item,
+                n_users: self.n_users,
+                n_items: self.n_items,
+            });
+        }
+        if let Some(opt) = edit.to {
+            if opt >= self.options_per_item[edit.item] {
+                return Err(ResponseError::OptionOutOfRange {
+                    user: edit.user,
+                    item: edit.item,
+                    option: opt,
+                    num_options: self.options_per_item[edit.item],
+                });
+            }
+        }
+        let cell = &mut self.choices[edit.user * self.n_items + edit.item];
+        if *cell != edit.from || edit.from == edit.to {
+            return Err(ResponseError::DeltaMismatch {
+                user: edit.user,
+                item: edit.item,
+            });
+        }
+        *cell = edit.to;
+        self.history.push(edit);
+        self.version += 1;
+        Ok(self.version)
+    }
+
     /// Number of users in the roster.
     pub fn n_users(&self) -> usize {
         self.n_users
@@ -246,6 +335,17 @@ impl ResponseLog {
     /// Options of item `i`.
     pub fn options_of(&self, item: usize) -> u16 {
         self.options_per_item[item]
+    }
+
+    /// The per-item option counts as a slice (the persistence codec walks
+    /// the whole roster; per-item [`Self::options_of`] calls would be noise).
+    pub fn options(&self) -> &[u16] {
+        &self.options_per_item
+    }
+
+    /// The choices of one user across all items, in item order.
+    pub fn user_row(&self, user: usize) -> &[Option<u16>] {
+        &self.choices[user * self.n_items..(user + 1) * self.n_items]
     }
 
     /// Current version: the number of committed (state-changing) edits.
@@ -620,6 +720,92 @@ mod tests {
         let mut client = v1.matrix;
         client.apply_delta(&catch_up).unwrap();
         assert_eq!(client, log.to_matrix());
+    }
+
+    #[test]
+    fn restore_then_replay_rebuilds_the_exact_log() {
+        let mut live = ResponseLog::homogeneous(3, 2, 4).unwrap();
+        live.submit([(0, 0, Some(1)), (1, 1, Some(3)), (0, 0, Some(2))])
+            .unwrap();
+        let snap_at = live.version() - 1; // persist all but the last edit
+        let persisted: Vec<Option<u16>> = {
+            let mut tmp = ResponseLog::homogeneous(3, 2, 4).unwrap();
+            tmp.submit([(0, 0, Some(1)), (1, 1, Some(3))]).unwrap();
+            (0..3).flat_map(|u| tmp.user_row(u).to_vec()).collect()
+        };
+
+        let mut restored = ResponseLog::restore(3, 2, live.options(), persisted, snap_at).unwrap();
+        assert_eq!(restored.version(), snap_at);
+        assert_eq!(restored.history_base_version(), snap_at);
+        // Replay the WAL tail: the one edit past the snapshot.
+        let tail = live
+            .history_range(snap_at, live.version())
+            .unwrap()
+            .to_vec();
+        for edit in tail {
+            restored.replay(edit).unwrap();
+        }
+        assert_eq!(restored.version(), live.version());
+        assert_eq!(restored.to_matrix(), live.to_matrix());
+        // The replayed tail is itself retained history, servable to clients.
+        assert_eq!(
+            restored
+                .compact_range(snap_at, live.version())
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn restore_validates_shape_and_choices() {
+        assert!(ResponseLog::restore(2, 2, &[2, 2], vec![None; 3], 0).is_err());
+        assert!(matches!(
+            ResponseLog::restore(2, 2, &[2, 2], vec![Some(5), None, None, None], 1),
+            Err(ResponseError::OptionOutOfRange { option: 5, .. })
+        ));
+        assert!(ResponseLog::restore(0, 2, &[2, 2], vec![], 0).is_err());
+    }
+
+    #[test]
+    fn replay_rejects_diverged_or_malformed_edits() {
+        let mut log = ResponseLog::restore(2, 2, &[2, 2], vec![None; 4], 5).unwrap();
+        let ok = ResponseEdit {
+            user: 0,
+            item: 0,
+            from: None,
+            to: Some(1),
+        };
+        assert_eq!(log.replay(ok).unwrap(), 6);
+        // Stale `from`: the stream no longer chains.
+        assert!(matches!(
+            log.replay(ResponseEdit { from: None, ..ok }),
+            Err(ResponseError::DeltaMismatch { user: 0, item: 0 })
+        ));
+        // Out-of-roster and out-of-range are errors, never panics.
+        assert!(matches!(
+            log.replay(ResponseEdit { user: 9, ..ok }),
+            Err(ResponseError::IndexOutOfBounds { user: 9, .. })
+        ));
+        assert!(matches!(
+            log.replay(ResponseEdit {
+                item: 1,
+                from: None,
+                to: Some(7),
+                ..ok
+            }),
+            Err(ResponseError::OptionOutOfRange { option: 7, .. })
+        ));
+        // A no-op frame can't have been committed by `set`.
+        assert!(log
+            .replay(ResponseEdit {
+                user: 1,
+                item: 1,
+                from: None,
+                to: None,
+            })
+            .is_err());
+        assert_eq!(log.version(), 6, "failed replays must not bump");
     }
 
     #[test]

@@ -382,6 +382,11 @@ pub struct EngineStats {
     pub early_terminations: u64,
     /// Estimated iterations saved by those early terminations, summed.
     pub iterations_saved: u64,
+    /// WAL edits replayed on top of a binary snapshot to build this
+    /// engine, when it was restored from the durable store (zero for an
+    /// engine that never left memory) — the per-session replay cost the
+    /// store's `snapshot_every` knob bounds.
+    pub wal_replayed: u64,
 }
 
 /// An incremental ranking session over a fixed user/item roster.
@@ -485,6 +490,14 @@ impl RankingEngine {
     /// sessions and rebuilds the engine from it on the next touch.
     pub fn into_log(self) -> ResponseLog {
         self.log
+    }
+
+    /// Stamps how many WAL edits a durable-store recovery replayed to
+    /// produce this engine's log (surfaced as
+    /// [`EngineStats::wal_replayed`]). Called by the restore paths right
+    /// after [`Self::from_log`].
+    pub fn record_wal_replay(&mut self, edits: u64) {
+        self.stats.wal_replayed = edits;
     }
 
     /// The matrix of the latest prepared snapshot (advances on

@@ -71,7 +71,7 @@
 //! pins the model down: under seeded multi-threaded storms every
 //! session's final ranking matches a serial replay of its own log.
 //!
-//! ## Lifecycle: eviction, rehydration, catch-up
+//! ## Lifecycle: eviction, rehydration, catch-up — and the durable tier
 //!
 //! The durable state of a session is its log, nothing else. Idle sessions
 //! (logical-clock threshold, see [`SessionManager::set_idle_threshold`])
@@ -79,6 +79,17 @@
 //! reconnecting clients resync from any cached version with one compacted
 //! delta ([`ResponseLog::compact_range`](hnd_response::ResponseLog::compact_range)
 //! via [`SessionServer::catch_up`]).
+//!
+//! With a [`SessionStore`] attached ([`SessionServer::with_store`] /
+//! [`SessionManager::with_store`]) the log itself leaves memory: commits
+//! stream into per-session crash-safe WALs (group-commit fsync batching),
+//! idle evictions **spill** — binary snapshot + flushed WAL on disk,
+//! nothing resident — and the next touch **restores** by snapshot read +
+//! WAL-tail replay. A fresh process over the same store directory adopts
+//! every session where the last one left off, and `catch_up` from a
+//! version older than the in-memory history serves off the WAL instead of
+//! failing. `tests/failure_injection.rs` pins restart and catch-up
+//! equivalence; the crash/corruption battery lives in `hnd-store` itself.
 //!
 //! ## Quickstart
 //!
@@ -118,3 +129,6 @@ pub use hnd_response::{
     VersionedMatrix,
 };
 pub use hnd_shard::ShardPlan;
+pub use hnd_store::{
+    FlushPolicy, RecoveryReport, RecoverySource, SessionStore, StoreError, StoreOpts, StoreStats,
+};

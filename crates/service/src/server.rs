@@ -51,6 +51,7 @@ use hnd_linalg::parallel;
 use hnd_response::{
     rank_many, RankError, Ranking, ResponseDelta, ResponseError, ResponseLog, ResponseMatrix,
 };
+use hnd_store::{SessionStore, StoreStats};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -89,6 +90,10 @@ pub enum ServerError {
     Response(ResponseError),
     /// The solve failed.
     Rank(RankError),
+    /// The durable store could not serve the request (stringly typed:
+    /// `hnd_store::StoreError` wraps `std::io::Error`, which is neither
+    /// `Clone` nor `PartialEq`).
+    Store(String),
     /// The server is shutting down (or a worker died mid-request).
     Terminated,
 }
@@ -99,6 +104,7 @@ impl std::fmt::Display for ServerError {
             ServerError::UnknownSession(id) => write!(f, "unknown session {id}"),
             ServerError::Response(e) => write!(f, "{e}"),
             ServerError::Rank(e) => write!(f, "{e}"),
+            ServerError::Store(detail) => write!(f, "{detail}"),
             ServerError::Terminated => write!(f, "server terminated"),
         }
     }
@@ -178,11 +184,29 @@ impl Command {
     }
 
     /// Executes against a checked-out engine; sets `close` on
-    /// [`Command::Close`].
-    fn execute(self, engine: &mut RankingEngine, close: &mut bool) {
+    /// [`Command::Close`]. With a store attached, commits stream into the
+    /// session's WAL and catch-up falls through to it when the in-memory
+    /// history has been truncated; store *write* failures never fail the
+    /// client (the commit already happened) — they accumulate in
+    /// `store_errors` for the check-in to fold into [`ManagerStats`].
+    fn execute(
+        self,
+        id: SessionId,
+        engine: &mut RankingEngine,
+        store: Option<&SessionStore>,
+        store_errors: &mut u64,
+        close: &mut bool,
+    ) {
         match self {
             Command::Submit(batch, tx) => {
                 let result = engine.submit_responses(batch).map_err(ServerError::from);
+                if result.is_ok() {
+                    if let Some(store) = store {
+                        if store.sync_from(id, engine.log()).is_err() {
+                            *store_errors += 1;
+                        }
+                    }
+                }
                 let _ = tx.send(result);
             }
             Command::Ranking(tx) => {
@@ -198,10 +222,19 @@ impl Command {
                 let _ = tx.send(result);
             }
             Command::CatchUp(from, tx) => {
-                let result = engine
-                    .log()
-                    .compact_range(from, engine.version())
-                    .map_err(ServerError::from);
+                let head = engine.version();
+                let result = match engine.log().compact_range(from, head) {
+                    Ok(delta) => Ok(delta),
+                    // The ledger no longer reaches back to the client's
+                    // version (history_retention truncated it), but the
+                    // session's WAL does: serve the delta off disk
+                    // instead of failing the resync.
+                    Err(ResponseError::HistoryUnavailable { .. }) if store.is_some() => store
+                        .expect("checked above")
+                        .catch_up(id, from)
+                        .map_err(|e| ServerError::Store(e.to_string())),
+                    Err(e) => Err(ServerError::from(e)),
+                };
                 let _ = tx.send(result);
             }
             Command::Stats(tx) => {
@@ -252,6 +285,20 @@ impl SessionServer {
     /// Starts the worker pool. With `opts.workers == 0` the pool follows
     /// the effective kernel thread count (`HND_THREADS` convention).
     pub fn new(opts: ServerOpts) -> Self {
+        Self::start(opts, SessionManager::new(opts.engine))
+    }
+
+    /// Starts the worker pool over a durable [`SessionStore`]: every
+    /// session the store already holds is adopted (same ids, rehydrated
+    /// lazily from snapshot + WAL on first touch — the restart path),
+    /// commits stream into per-session WALs, idle evictions spill to disk,
+    /// and [`SessionServer::catch_up`] serves pre-truncation versions off
+    /// the WAL instead of failing with `HistoryUnavailable`.
+    pub fn with_store(opts: ServerOpts, store: Arc<SessionStore>) -> Self {
+        Self::start(opts, SessionManager::with_store(opts.engine, store))
+    }
+
+    fn start(opts: ServerOpts, mut mgr: SessionManager) -> Self {
         let total = parallel::threads();
         // The single resolution point for the HND_THREADS convention —
         // benches/examples sizing their own pools go through it too.
@@ -266,12 +313,27 @@ impl SessionServer {
             0 => 1,
             n => n,
         };
-        let mut mgr = SessionManager::new(opts.engine);
         mgr.set_idle_threshold(opts.idle_threshold);
+        let store = mgr.store().cloned();
+        // Adopted (spilled) sessions need mailboxes from the start.
+        let mailboxes: BTreeMap<SessionId, Mailbox> = mgr
+            .session_ids()
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    Mailbox {
+                        queue: VecDeque::new(),
+                        busy: false,
+                        enqueued: false,
+                    },
+                )
+            })
+            .collect();
         let shared = Arc::new(Shared {
             state: Mutex::new(Inner {
                 mgr,
-                mailboxes: BTreeMap::new(),
+                mailboxes,
                 ready: VecDeque::new(),
                 shutdown: false,
             }),
@@ -281,9 +343,10 @@ impl SessionServer {
         let handles = (0..workers)
             .map(|k| {
                 let shared = Arc::clone(&shared);
+                let store = store.clone();
                 std::thread::Builder::new()
                     .name(format!("hnd-serve-{k}"))
-                    .spawn(move || worker_loop(&shared, inner_threads, cold_batch))
+                    .spawn(move || worker_loop(&shared, inner_threads, cold_batch, store))
                     .expect("spawn server worker")
             })
             .collect();
@@ -366,19 +429,60 @@ impl SessionServer {
             .get(&id)
             .is_some_and(|mb| mb.queue.is_empty() && !mb.busy);
         if quiescent {
+            // A *spilled* session has nothing in memory at all: log reads
+            // go straight to the store's files (clone the Arc, drop the
+            // lock, read disk unlocked) — rehydrating an engine to answer
+            // a catch_up would defeat the spill.
+            if st.mgr.is_spilled(id) {
+                if let Some(store) = st.mgr.store().cloned() {
+                    match cmd {
+                        Command::CatchUp(from, tx) => {
+                            drop(st);
+                            let _ = tx.send(
+                                store
+                                    .catch_up(id, from)
+                                    .map_err(|e| ServerError::Store(e.to_string())),
+                            );
+                            return;
+                        }
+                        Command::SessionLog(tx) => {
+                            drop(st);
+                            let _ = tx.send(
+                                store
+                                    .load(id)
+                                    .map(|(log, _)| log)
+                                    .map_err(|e| ServerError::Store(e.to_string())),
+                            );
+                            return;
+                        }
+                        other => return self.enqueue_locked(st, id, other),
+                    }
+                }
+            }
             if let Some(log) = st.mgr.evicted_log(id) {
                 match cmd {
                     Command::CatchUp(from, tx) => {
                         // Copy the raw slice under the lock (memcpy), run
                         // the O(range) composition after releasing it.
                         let head = log.version();
-                        let raw = log
-                            .history_range(from, head)
-                            .map(<[_]>::to_vec)
-                            .map_err(ServerError::from);
+                        let raw = log.history_range(from, head).map(<[_]>::to_vec);
+                        // History truncated under the client? The WAL
+                        // still reaches back — resolve off disk.
+                        let store = match &raw {
+                            Err(ResponseError::HistoryUnavailable { .. }) => {
+                                st.mgr.store().cloned()
+                            }
+                            _ => None,
+                        };
                         drop(st);
-                        let _ =
-                            tx.send(raw.map(|edits| ResponseDelta::compacted(from, head, &edits)));
+                        let result = match (raw, store) {
+                            (Ok(edits), _) => Ok(ResponseDelta::compacted(from, head, &edits)),
+                            (Err(_), Some(store)) => store
+                                .catch_up(id, from)
+                                .map_err(|e| ServerError::Store(e.to_string())),
+                            (Err(e), None) => Err(ServerError::from(e)),
+                        };
+                        let _ = tx.send(result);
                         return;
                     }
                     Command::SessionLog(tx) => {
@@ -503,9 +607,28 @@ impl SessionServer {
         self.lock().mgr.is_evicted(id)
     }
 
-    /// Fleet lifecycle counters (evictions, rehydrations).
+    /// Fleet lifecycle counters (evictions, rehydrations, spills,
+    /// restores, store errors).
     pub fn manager_stats(&self) -> ManagerStats {
         self.lock().mgr.stats()
+    }
+
+    /// The durable tier's cumulative counters (`None` when the server was
+    /// built without a store).
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.lock().mgr.store().map(|s| s.stats())
+    }
+
+    /// Forces every session's group-commit WAL debt to disk (checkpoint /
+    /// orderly-shutdown barrier); `Ok` and a no-op without a store.
+    pub fn flush_store(&self) -> Result<(), ServerError> {
+        let store = self.lock().mgr.store().cloned();
+        match store {
+            Some(store) => store
+                .flush_all()
+                .map_err(|e| ServerError::Store(e.to_string())),
+            None => Ok(()),
+        }
     }
 
     /// Number of sessions (live, evicted, or busy).
@@ -529,12 +652,16 @@ impl Drop for SessionServer {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
-        // Workers have exited: resolve everything still queued.
+        // Workers have exited: resolve everything still queued, then pay
+        // off any group-commit debt so shutdown loses nothing durable.
         let mut st = self.lock();
         for (_, mailbox) in std::mem::take(&mut st.mailboxes) {
             for cmd in mailbox.queue {
                 cmd.reject(ServerError::Terminated);
             }
+        }
+        if let Some(store) = st.mgr.store() {
+            let _ = store.flush_all();
         }
     }
 }
@@ -592,7 +719,12 @@ fn collect_cold_batch(
 /// rebuilt outside the lock and their cold solves run together through
 /// [`rank_many`] (batch-level parallelism), each result seeded into its
 /// engine's cache before the commands execute.
-fn worker_loop(shared: &Shared, inner_threads: usize, cold_batch: usize) {
+fn worker_loop(
+    shared: &Shared,
+    inner_threads: usize,
+    cold_batch: usize,
+    store: Option<Arc<SessionStore>>,
+) {
     loop {
         // Acquire one or more sessions to process (or exit).
         let (batch, engine_opts) = {
@@ -619,7 +751,10 @@ fn worker_loop(shared: &Shared, inner_threads: usize, cold_batch: usize) {
                             let opts = st.mgr.engine_opts();
                             let mut batch = vec![(id, commands, checkout)];
                             if cold_batch > 1
-                                && matches!(batch[0].2, Checkout::Rehydrate(_))
+                                && matches!(
+                                    batch[0].2,
+                                    Checkout::Rehydrate(_) | Checkout::Restore { .. }
+                                )
                                 && batch[0].1.iter().any(Command::needs_solve)
                             {
                                 collect_cold_batch(&mut st, &mut batch, cold_batch);
@@ -658,10 +793,19 @@ fn worker_loop(shared: &Shared, inner_threads: usize, cold_batch: usize) {
                     RankingEngine::from_log(log, engine_opts)
                         .expect("rehydration from a previously valid log")
                 }
+                Checkout::Restore { log, replayed } => {
+                    if batched {
+                        cold.push(items.len());
+                    }
+                    let mut engine = RankingEngine::from_log(log, engine_opts)
+                        .expect("rehydration from a previously valid log");
+                    engine.record_wal_replay(replayed);
+                    engine
+                }
             };
             items.push((id, commands, engine));
         }
-        let finished = parallel::with_threads(inner_threads, || {
+        let (finished, store_errors) = parallel::with_threads(inner_threads, || {
             // Batched pass: one rank_many over the cold engines' matrices,
             // results seeded so the queued ranking commands hit the cache.
             // A failed slot just falls through to the per-command solve
@@ -679,6 +823,7 @@ fn worker_loop(shared: &Shared, inner_threads: usize, cold_batch: usize) {
             }
             let mut finished: Vec<(SessionId, RankingEngine, bool)> =
                 Vec::with_capacity(items.len());
+            let mut store_errors = 0u64;
             for (id, commands, mut engine) in items {
                 let mut close = false;
                 for cmd in commands {
@@ -687,16 +832,25 @@ fn worker_loop(shared: &Shared, inner_threads: usize, cold_batch: usize) {
                         // session is already logically gone.
                         cmd.reject(ServerError::UnknownSession(id));
                     } else {
-                        cmd.execute(&mut engine, &mut close);
+                        cmd.execute(
+                            id,
+                            &mut engine,
+                            store.as_deref(),
+                            &mut store_errors,
+                            &mut close,
+                        );
                     }
                 }
                 finished.push((id, engine, close));
             }
-            finished
+            (finished, store_errors)
         });
 
         // Check back in.
         let mut st = shared.state.lock().expect("server state poisoned");
+        if store_errors > 0 {
+            st.mgr.note_store_errors(store_errors);
+        }
         let mut notify = false;
         for (id, engine, close) in finished {
             if close {

@@ -43,7 +43,9 @@
 use crate::engine::{EngineOpts, RankingEngine};
 use hnd_core::SpectralSolver;
 use hnd_response::{rank_many, RankError, Ranking, ResponseError, ResponseLog, ResponseMatrix};
+use hnd_store::SessionStore;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Identifies a session within a [`SessionManager`].
 pub type SessionId = u64;
@@ -57,6 +59,11 @@ enum SessionState {
     Live(Box<RankingEngine>),
     /// Torn down to the durable log; any touch rehydrates.
     Evicted(ResponseLog),
+    /// Spilled to the attached [`SessionStore`]: *no* state in memory at
+    /// all — the durable snapshot + WAL pair is the session. The next
+    /// touch loads it back ([`SessionStore::load`]) and rebuilds the
+    /// engine.
+    Spilled,
     /// Engine temporarily owned by a caller of
     /// [`SessionManager::take_engine`].
     CheckedOut,
@@ -80,6 +87,15 @@ pub enum Checkout {
     /// The durable log; build with [`RankingEngine::from_log`] +
     /// [`SessionManager::engine_opts`].
     Rehydrate(ResponseLog),
+    /// A log just recovered from the durable store (snapshot + WAL-tail
+    /// replay): build like [`Checkout::Rehydrate`] and stamp the replay
+    /// cost with [`RankingEngine::record_wal_replay`].
+    Restore {
+        /// The recovered ledger, positioned at the durable head.
+        log: ResponseLog,
+        /// WAL edits replayed on top of the snapshot to reach it.
+        replayed: u64,
+    },
 }
 
 /// Counters describing fleet-level lifecycle events.
@@ -88,8 +104,20 @@ pub struct ManagerStats {
     /// Sessions torn down to their durable log by the idle policy (or
     /// [`SessionManager::evict_session`]).
     pub evictions: u64,
-    /// Engines rebuilt from a log on the first touch after eviction.
+    /// Engines rebuilt from a log on the first touch after eviction
+    /// (restores count here too — every restore ends in a rebuild).
     pub rehydrations: u64,
+    /// Evictions that went all the way to disk: the log left memory for
+    /// the attached [`SessionStore`] (WAL flushed, snapshot current).
+    pub spills: u64,
+    /// Sessions loaded back from the store — snapshot + WAL-tail replay —
+    /// on the first touch after a spill.
+    pub restores: u64,
+    /// Store operations (register, sync, spill, restore) that failed.
+    /// Durability is best-effort from the serving path's view: a failed
+    /// spill keeps the log resident, a failed sync is retried by the next
+    /// one, and every failure lands here instead of on a client.
+    pub store_errors: u64,
 }
 
 /// Owns and refreshes a fleet of incremental ranking sessions.
@@ -109,6 +137,10 @@ pub struct SessionManager {
     /// [`Self::run_idle_policy`]).
     last_sweep: u64,
     stats: ManagerStats,
+    /// The durable tier, when attached: evictions spill to it (the log
+    /// leaves memory entirely) and committed edits stream into its WALs
+    /// so catch-up outlives in-memory history truncation.
+    store: Option<Arc<SessionStore>>,
 }
 
 impl SessionManager {
@@ -123,7 +155,64 @@ impl SessionManager {
             idle_threshold: None,
             last_sweep: 0,
             stats: ManagerStats::default(),
+            store: None,
         }
+    }
+
+    /// Creates a manager backed by a durable [`SessionStore`], adopting
+    /// every session the store holds as a [spilled](SessionState::Spilled)
+    /// slot — the restart path: a fresh process over the same store
+    /// directory picks up exactly where the previous one crashed or shut
+    /// down, ids preserved, and each adopted session rehydrates lazily on
+    /// its first touch.
+    pub fn with_store(opts: EngineOpts, store: Arc<SessionStore>) -> Self {
+        let mut mgr = Self::new(opts);
+        for id in store.session_ids() {
+            mgr.sessions.insert(
+                id,
+                SessionSlot {
+                    state: SessionState::Spilled,
+                    last_touch: 0,
+                },
+            );
+            mgr.next_id = mgr.next_id.max(id + 1);
+        }
+        mgr.store = Some(store);
+        mgr
+    }
+
+    /// Attaches a durable store to a running manager: every resident
+    /// session's log is shipped so later spills and catch-ups are
+    /// incremental. Returns the number of edits shipped.
+    pub fn attach_store(&mut self, store: Arc<SessionStore>) -> u64 {
+        let mut shipped = 0;
+        let mut errors = 0;
+        for (&id, slot) in &self.sessions {
+            let log = match &slot.state {
+                SessionState::Live(engine) => engine.log(),
+                SessionState::Evicted(log) => log,
+                // Spilled is impossible without a store; a checked-out
+                // session syncs at its next commit.
+                _ => continue,
+            };
+            match store.sync_from(id, log) {
+                Ok(n) => shipped += n,
+                Err(_) => errors += 1,
+            }
+        }
+        self.stats.store_errors += errors;
+        self.store = Some(store);
+        shipped
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Arc<SessionStore>> {
+        self.store.as_ref()
+    }
+
+    /// Every session id the manager knows, in ascending order.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.sessions.keys().copied().collect()
     }
 
     /// Number of sessions (live, evicted, or checked out).
@@ -185,6 +274,14 @@ impl SessionManager {
         let now = self.tick();
         let id = self.next_id;
         self.next_id += 1;
+        if let Some(store) = &self.store {
+            // Register up front so the WAL covers the session from version
+            // zero (catch-up past any later truncation) and the first
+            // spill is an append, not a bulk write.
+            if store.register(id, engine.log()).is_err() {
+                self.stats.store_errors += 1;
+            }
+        }
         self.sessions.insert(
             id,
             SessionSlot {
@@ -196,9 +293,18 @@ impl SessionManager {
     }
 
     /// Closes a session, returning whether it existed. A checked-out
-    /// session is closed too: its engine is discarded at check-in.
+    /// session is closed too: its engine is discarded at check-in. With a
+    /// store attached the durable files go with it.
     pub fn drop_session(&mut self, id: SessionId) -> bool {
-        self.sessions.remove(&id).is_some()
+        let existed = self.sessions.remove(&id).is_some();
+        if existed {
+            if let Some(store) = &self.store {
+                if store.remove(id).is_err() {
+                    self.stats.store_errors += 1;
+                }
+            }
+        }
+        existed
     }
 
     /// Borrows a session's engine when it is resident (`None` for unknown,
@@ -212,12 +318,24 @@ impl SessionManager {
     }
 
     /// `true` when the session exists and currently holds no engine (its
-    /// durable log is its only state).
+    /// durable log — in memory or on disk — is its only state).
     pub fn is_evicted(&self, id: SessionId) -> bool {
         matches!(
             self.sessions.get(&id),
             Some(SessionSlot {
-                state: SessionState::Evicted(_),
+                state: SessionState::Evicted(_) | SessionState::Spilled,
+                ..
+            })
+        )
+    }
+
+    /// `true` when the session's only state is the attached store's
+    /// snapshot + WAL pair (nothing in memory at all).
+    pub fn is_spilled(&self, id: SessionId) -> bool {
+        matches!(
+            self.sessions.get(&id),
+            Some(SessionSlot {
+                state: SessionState::Spilled,
                 ..
             })
         )
@@ -240,6 +358,12 @@ impl SessionManager {
         match self.sessions.get(&id)?.state {
             SessionState::Live(ref engine) => Some(engine.log().clone()),
             SessionState::Evicted(ref log) => Some(log.clone()),
+            // Read straight off disk without waking the session up.
+            SessionState::Spilled => self
+                .store
+                .as_ref()
+                .and_then(|s| s.load(id).ok())
+                .map(|(log, _)| log),
             SessionState::CheckedOut => None,
         }
     }
@@ -256,8 +380,30 @@ impl SessionManager {
         responses: impl IntoIterator<Item = (usize, usize, Option<u16>)>,
     ) -> Result<u64, ResponseError> {
         let result = self.live_engine_mut(id).submit_responses(responses);
+        if result.is_ok() {
+            self.sync_to_store(id);
+        }
         self.run_idle_policy();
         result
+    }
+
+    /// Ships the session's committed tail to the attached store (no-op
+    /// without one). Failures count in [`ManagerStats::store_errors`] —
+    /// the commit already succeeded in memory, so the client never sees
+    /// them; the next sync retries the whole gap.
+    fn sync_to_store(&mut self, id: SessionId) {
+        let Some(store) = self.store.clone() else {
+            return;
+        };
+        let Some(slot) = self.sessions.get(&id) else {
+            return;
+        };
+        let SessionState::Live(ref engine) = slot.state else {
+            return;
+        };
+        if store.sync_from(id, engine.log()).is_err() {
+            self.stats.store_errors += 1;
+        }
     }
 
     /// The current ranking of one session (cache hit, or incremental
@@ -282,11 +428,12 @@ impl SessionManager {
     /// clock and let the trailing idle sweep evict sessions the pass
     /// itself just refreshed).
     fn live_engine_mut_at(&mut self, id: SessionId, now: u64) -> &mut RankingEngine {
-        let rehydrated = {
+        let store = self.store.clone();
+        let (rehydrated, restored) = {
             let slot = self.sessions.get_mut(&id).expect("unknown session id");
             slot.last_touch = now;
             match slot.state {
-                SessionState::Live(_) => false,
+                SessionState::Live(_) => (false, false),
                 SessionState::Evicted(_) => {
                     let SessionState::Evicted(log) =
                         std::mem::replace(&mut slot.state, SessionState::CheckedOut)
@@ -296,13 +443,33 @@ impl SessionManager {
                     let engine = RankingEngine::from_log(log, self.opts)
                         .expect("rehydration from a previously valid log");
                     slot.state = SessionState::Live(Box::new(engine));
-                    true
+                    (true, false)
+                }
+                SessionState::Spilled => {
+                    // The synchronous serving path has no error channel
+                    // for storage loss; unrecoverable durable state is a
+                    // deployment-fatal condition here. The concurrent
+                    // server goes through `checkout`, which degrades
+                    // gracefully instead.
+                    let (log, report) = store
+                        .as_ref()
+                        .expect("spilled session without an attached store")
+                        .load(id)
+                        .expect("restore from the durable store");
+                    let mut engine = RankingEngine::from_log(log, self.opts)
+                        .expect("rehydration from a previously valid log");
+                    engine.record_wal_replay(report.replayed_edits);
+                    slot.state = SessionState::Live(Box::new(engine));
+                    (true, true)
                 }
                 SessionState::CheckedOut => panic!("session {id} is checked out"),
             }
         };
         if rehydrated {
             self.stats.rehydrations += 1;
+        }
+        if restored {
+            self.stats.restores += 1;
         }
         match self
             .sessions
@@ -326,6 +493,12 @@ impl SessionManager {
             Checkout::Rehydrate(log) => {
                 RankingEngine::from_log(log, opts).expect("rehydration from a previously valid log")
             }
+            Checkout::Restore { log, replayed } => {
+                let mut engine = RankingEngine::from_log(log, opts)
+                    .expect("rehydration from a previously valid log");
+                engine.record_wal_replay(replayed);
+                engine
+            }
         })
     }
 
@@ -338,6 +511,7 @@ impl SessionManager {
     /// the rebuild.
     pub fn checkout(&mut self, id: SessionId) -> Option<Checkout> {
         let now = self.tick();
+        let store = self.store.clone();
         let slot = self.sessions.get_mut(&id)?;
         if matches!(slot.state, SessionState::CheckedOut) {
             return None;
@@ -349,8 +523,37 @@ impl SessionManager {
                 self.stats.rehydrations += 1;
                 Some(Checkout::Rehydrate(log))
             }
+            SessionState::Spilled => {
+                let store = store.expect("spilled session without an attached store");
+                match store.load(id) {
+                    Ok((log, report)) => {
+                        self.stats.rehydrations += 1;
+                        self.stats.restores += 1;
+                        Some(Checkout::Restore {
+                            log,
+                            replayed: report.replayed_edits,
+                        })
+                    }
+                    Err(_) => {
+                        // Unrecoverable durable state: the slot stays
+                        // spilled (a later repair of the files can still
+                        // revive it) and the caller sees "unavailable".
+                        self.stats.store_errors += 1;
+                        self.sessions.get_mut(&id).expect("slot exists").state =
+                            SessionState::Spilled;
+                        None
+                    }
+                }
+            }
             SessionState::CheckedOut => unreachable!("rejected above"),
         }
+    }
+
+    /// Folds store failures observed outside the manager (the concurrent
+    /// server's workers sync WALs while engines are checked out) into
+    /// [`ManagerStats::store_errors`].
+    pub fn note_store_errors(&mut self, n: u64) {
+        self.stats.store_errors += n;
     }
 
     /// The engine configuration every session uses (what a
@@ -427,6 +630,7 @@ impl SessionManager {
     /// Tears one live session down to its durable log immediately;
     /// `false` for unknown, already-evicted, or checked-out sessions.
     pub fn evict_session(&mut self, id: SessionId) -> bool {
+        let store = self.store.clone();
         let Some(slot) = self.sessions.get_mut(&id) else {
             return false;
         };
@@ -438,7 +642,24 @@ impl SessionManager {
         else {
             unreachable!()
         };
-        slot.state = SessionState::Evicted(engine.into_log());
+        let log = engine.into_log();
+        match &store {
+            // Spill: WAL tail shipped and fsynced, then the log leaves
+            // memory entirely — the store is the session now.
+            Some(store) if store.spill(id, &log).is_ok() => {
+                self.sessions.get_mut(&id).expect("slot exists").state = SessionState::Spilled;
+                self.stats.spills += 1;
+            }
+            // Spill failed: keep the log resident rather than lose
+            // committed state (count the failure, stay serving).
+            Some(_) => {
+                self.sessions.get_mut(&id).expect("slot exists").state = SessionState::Evicted(log);
+                self.stats.store_errors += 1;
+            }
+            None => {
+                self.sessions.get_mut(&id).expect("slot exists").state = SessionState::Evicted(log);
+            }
+        }
         self.stats.evictions += 1;
         true
     }

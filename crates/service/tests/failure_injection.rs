@@ -5,8 +5,20 @@
 
 use hnd_service::{
     EngineOpts, RankingEngine, ResponseError, ServerError, ServerOpts, SessionManager,
-    SessionServer, SolverKind, SolverOpts,
+    SessionServer, SessionStore, SolverKind, SolverOpts, StoreOpts,
 };
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let k = UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "hnd-failure-injection-{}-{tag}-{k}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
 
 fn opts() -> EngineOpts {
     EngineOpts {
@@ -295,4 +307,174 @@ fn batched_cold_storm_matches_unbatched_bitwise() {
     let unbatched = storm(1);
     let batched = storm(8);
     assert_eq!(unbatched, batched);
+}
+
+/// Evict-to-disk, then a process "restart" (a brand-new manager over the
+/// same store directory): the adopted session's first touch must serve a
+/// ranking bitwise identical to a never-evicted engine over the same
+/// committed log — spilling is invisible in results.
+#[test]
+fn spilled_session_survives_a_process_restart_bitwise() {
+    let dir = temp_dir("restart");
+    // "Process 1": commit a roster through a store-backed fleet, spill it.
+    {
+        let store = Arc::new(SessionStore::open(&dir, StoreOpts::default()).unwrap());
+        let mut fleet = SessionManager::with_store(opts(), store);
+        let victim = fleet.create_session(9, 7, &[2; 7]).unwrap();
+        fleet.submit_responses(victim, staircase(9, 7)).unwrap();
+        fleet.current_ranking(victim).unwrap();
+        assert!(fleet.evict_session(victim));
+        assert!(fleet.is_spilled(victim), "store-backed eviction spills");
+        assert_eq!(fleet.stats().spills, 1);
+        assert_eq!(fleet.stats().store_errors, 0);
+        // Fleet and store drop here: the "process" is gone. Committed
+        // state lives only in the directory now.
+    }
+
+    // A never-evicted control fed the identical schedule.
+    let mut control = SessionManager::new(opts());
+    let c_victim = control.create_session(9, 7, &[2; 7]).unwrap();
+    control.submit_responses(c_victim, staircase(9, 7)).unwrap();
+    control.current_ranking(c_victim).unwrap();
+
+    // "Process 2": a fresh manager adopts the spilled session, id intact.
+    let store = Arc::new(SessionStore::open(&dir, StoreOpts::default()).unwrap());
+    let mut fleet = SessionManager::with_store(opts(), store);
+    assert_eq!(fleet.session_ids(), vec![0]);
+    let victim = 0;
+    assert!(fleet.is_spilled(victim));
+    let restored = fleet.current_ranking(victim).unwrap();
+    assert_eq!(fleet.stats().restores, 1);
+    assert_eq!(fleet.stats().rehydrations, 1);
+    // Snapshot was cut at registration (version 0): the whole stream came
+    // back through WAL replay, and the engine knows its recovery cost.
+    assert_eq!(fleet.session(victim).unwrap().stats().wal_replayed, 63);
+
+    let never_evicted = control.current_ranking(c_victim).unwrap();
+    assert!(
+        orders_agree(
+            &restored.order_best_to_worst(),
+            &never_evicted.order_best_to_worst()
+        ),
+        "the restart must be invisible in served rankings"
+    );
+    // Bitwise: both logs hold the identical committed stream, so engines
+    // built from them solve to the last bit the same.
+    let restored_twin = RankingEngine::from_log(fleet.session_log(victim).unwrap(), opts())
+        .unwrap()
+        .current_ranking()
+        .unwrap();
+    let control_twin = RankingEngine::from_log(control.session_log(c_victim).unwrap(), opts())
+        .unwrap()
+        .current_ranking()
+        .unwrap();
+    assert_eq!(restored.scores, restored_twin.scores);
+    assert_eq!(restored.scores, control_twin.scores);
+
+    // The restored session keeps serving: the stream continues.
+    fleet.submit_responses(victim, [(0, 0, Some(0))]).unwrap();
+    assert_eq!(fleet.current_ranking(victim).unwrap().len(), 9);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A client whose cached version predates the in-memory history
+/// truncation must still resync: the server serves the delta off the WAL
+/// (one `apply_delta` lands exactly at head), where the log alone would
+/// fail with `HistoryUnavailable`.
+#[test]
+fn catch_up_across_truncated_history_serves_from_the_wal() {
+    let dir = temp_dir("catchup");
+    let store = Arc::new(SessionStore::open(&dir, StoreOpts::default()).unwrap());
+    let srv = SessionServer::with_store(
+        ServerOpts {
+            workers: 2,
+            engine: EngineOpts {
+                // Aggressive retention: in-memory history keeps only the
+                // last 4 edits, far behind a version-0 client.
+                history_retention: Some(4),
+                ..opts()
+            },
+            ..Default::default()
+        },
+        store,
+    );
+    let id = srv.create_session(6, 5, &[2; 5]).unwrap();
+    // The client caches the version-0 (empty) state.
+    let mut client = srv.session_log(id).wait().unwrap().to_matrix();
+    for chunk in staircase(6, 5).chunks(2) {
+        srv.submit(id, chunk.to_vec()).wait().unwrap();
+    }
+    let head_log = srv.session_log(id).wait().unwrap();
+    assert!(
+        head_log.compact_range(0, head_log.version()).is_err(),
+        "the in-memory ledger alone must NOT reach version 0 anymore"
+    );
+
+    // One delta off the WAL, one apply_delta, exactly at head.
+    let delta = srv.catch_up(id, 0).wait().unwrap();
+    assert_eq!(delta.from_version, 0);
+    assert_eq!(delta.to_version, head_log.version());
+    client.apply_delta(&delta).unwrap();
+    assert_eq!(client, head_log.to_matrix());
+
+    // A mid-stream pre-truncation version resyncs the same way.
+    let mut mid = hnd_service::ResponseLog::new(6, 5, &[2; 5]).unwrap();
+    for &(u, i, c) in &staircase(6, 5)[..3] {
+        mid.set(u, i, c).unwrap();
+    }
+    let mut mid_client = mid.to_matrix();
+    let delta = srv.catch_up(id, mid.version()).wait().unwrap();
+    mid_client.apply_delta(&delta).unwrap();
+    assert_eq!(mid_client, head_log.to_matrix());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Log reads against a *spilled* session answer straight off the store's
+/// files — no restore, no engine rebuild — while a real ranking read
+/// restores from disk (and reports the replay cost in its stats).
+#[test]
+fn spilled_sessions_answer_catch_up_without_restoring() {
+    let dir = temp_dir("spilled-catchup");
+    let store = Arc::new(SessionStore::open(&dir, StoreOpts::default()).unwrap());
+    let srv = SessionServer::with_store(
+        ServerOpts {
+            workers: 2,
+            idle_threshold: Some(2),
+            engine: opts(),
+            ..Default::default()
+        },
+        store,
+    );
+    let quiet = srv.create_session(5, 4, &[2; 4]).unwrap();
+    let loud = srv.create_session(5, 4, &[2; 4]).unwrap();
+    srv.submit(quiet, staircase(5, 4)).wait().unwrap();
+    srv.ranking(quiet).wait().unwrap();
+    let mut round = 0u16;
+    while !srv.is_evicted(quiet) {
+        assert!(round < 64, "quiet session never evicted");
+        srv.submit(loud, vec![(0, 0, Some(round % 2))])
+            .wait()
+            .unwrap();
+        round += 1;
+    }
+    assert!(srv.manager_stats().spills >= 1, "eviction goes to disk");
+    let restores = srv.manager_stats().restores;
+
+    let delta = srv.catch_up(quiet, 0).wait().unwrap();
+    assert_eq!(delta.to_version, 20);
+    assert!(
+        srv.is_evicted(quiet),
+        "catch_up must not restore a spilled session"
+    );
+    assert_eq!(srv.manager_stats().restores, restores);
+    assert_eq!(srv.session_log(quiet).wait().unwrap().version(), 20);
+    assert_eq!(srv.manager_stats().restores, restores);
+
+    // …while an actual ranking read restores from disk.
+    let ranking = srv.ranking(quiet).wait().unwrap();
+    assert_eq!(ranking.len(), 5);
+    assert!(!srv.is_evicted(quiet));
+    assert_eq!(srv.manager_stats().restores, restores + 1);
+    assert_eq!(srv.stats(quiet).wait().unwrap().wal_replayed, 20);
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,179 @@
+//! # hnd-store — the durable session tier
+//!
+//! At millions-of-users scale a serving fleet is mostly idle, and
+//! [`hnd_service`]'s `SessionManager` already tears idle engines down to
+//! their [`ResponseLog`]. This crate is the layer below that: the log
+//! itself moved **out of memory and onto disk**, crash-safely.
+//!
+//! Per session the store keeps two files:
+//!
+//! * an append-only **WAL** of committed [`ResponseEdit`]s — length-
+//!   prefixed, CRC-checked frames ([`frame`]), appended on every commit
+//!   and fsynced in batches ([`FlushPolicy`]: group commit), and
+//! * a compact binary **snapshot** ([`snapshot`]) — the roster state at
+//!   one version as length-prefixed `u32`/`u64` arrays mirroring the
+//!   serving arenas' CSR shape, so rehydration is a sequential array read
+//!   (explicitly *not* the JSON interchange path in
+//!   `hnd-datasets::storage`).
+//!
+//! Recovery ([`SessionStore::load`]) is snapshot + WAL-tail replay: read
+//! the snapshot, re-apply every WAL edit past its version through the
+//! log's validated [`ResponseLog::replay`], and stop at the first damaged
+//! or non-chaining frame — counting the damage in [`StoreStats`], never
+//! panicking, never silently keeping bad bytes. The crash battery in
+//! `tests/` pins this down: truncation at *every* frame boundary recovers
+//! bit-identically to a never-crashed engine over the same committed
+//! prefix, and torn/flipped/zeroed tails degrade to the last valid frame.
+//!
+//! [`hnd_service`]: ../hnd_service/index.html
+//! [`ResponseEdit`]: hnd_response::ResponseEdit
+
+mod frame;
+mod snapshot;
+mod store;
+mod wal;
+
+pub use frame::{crc32, DamageKind, WAL_MAGIC};
+pub use snapshot::SNAP_MAGIC;
+pub use store::{RecoveryReport, RecoverySource, SessionStore, StoreOpts, StoreStats};
+pub use wal::FlushPolicy;
+
+use hnd_response::ResponseError;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Errors from the durable tier.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The store holds no files for this session.
+    UnknownSession {
+        /// The session id asked for.
+        id: u64,
+    },
+    /// A catch-up range reaches outside what the WAL retains (before its
+    /// rebase point or past its tail).
+    RangeUnavailable {
+        /// Session the range was asked of.
+        id: u64,
+        /// Requested start version (exclusive).
+        from: u64,
+        /// Requested end version (inclusive).
+        to: u64,
+        /// Oldest version the WAL can serve from.
+        base: u64,
+        /// Version after the WAL's last edit.
+        head: u64,
+    },
+    /// On-disk state failed validation beyond tail-damage recovery (bad
+    /// magic, snapshot CRC failure with no replayable WAL, …).
+    Corrupt {
+        /// Human-readable description naming the file.
+        detail: String,
+    },
+    /// Recovered bytes produced an invalid roster or edit stream.
+    Response(ResponseError),
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::UnknownSession { id } => write!(f, "no durable state for session {id}"),
+            StoreError::RangeUnavailable {
+                id,
+                from,
+                to,
+                base,
+                head,
+            } => write!(
+                f,
+                "session {id}: WAL range {from}..{to} unavailable (retains {base}..{head})"
+            ),
+            StoreError::Corrupt { detail } => write!(f, "corrupt durable state: {detail}"),
+            StoreError::Response(e) => write!(f, "recovered state rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Response(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Internal atomic counters behind [`StoreStats`] — shared by every
+/// session handle so stats are one relaxed load each, no lock.
+#[derive(Default)]
+pub(crate) struct Counters {
+    frames_appended: AtomicU64,
+    edits_appended: AtomicU64,
+    fsyncs: AtomicU64,
+    snapshots_written: AtomicU64,
+    wal_rotations: AtomicU64,
+    loads: AtomicU64,
+    replayed_edits: AtomicU64,
+    damage_zero_tail: AtomicU64,
+    damage_torn: AtomicU64,
+    damage_crc: AtomicU64,
+    damage_malformed: AtomicU64,
+    snapshot_failures: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn bump_frames(&self, edits: u64) {
+        self.frames_appended.fetch_add(1, Ordering::Relaxed);
+        self.edits_appended.fetch_add(edits, Ordering::Relaxed);
+    }
+    pub(crate) fn bump_fsyncs(&self) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn bump_snapshots(&self) {
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn bump_rotations(&self) {
+        self.wal_rotations.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn bump_loads(&self, replayed: u64) {
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        self.replayed_edits.fetch_add(replayed, Ordering::Relaxed);
+    }
+    pub(crate) fn bump_snapshot_failures(&self) {
+        self.snapshot_failures.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn record_damage(&self, kind: DamageKind) {
+        let slot = match kind {
+            DamageKind::ZeroLengthTail => &self.damage_zero_tail,
+            DamageKind::TornFrame => &self.damage_torn,
+            DamageKind::CrcMismatch => &self.damage_crc,
+            DamageKind::Malformed => &self.damage_malformed,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            frames_appended: self.frames_appended.load(Ordering::Relaxed),
+            edits_appended: self.edits_appended.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            wal_rotations: self.wal_rotations.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
+            replayed_edits: self.replayed_edits.load(Ordering::Relaxed),
+            damage_zero_tail: self.damage_zero_tail.load(Ordering::Relaxed),
+            damage_torn: self.damage_torn.load(Ordering::Relaxed),
+            damage_crc: self.damage_crc.load(Ordering::Relaxed),
+            damage_malformed: self.damage_malformed.load(Ordering::Relaxed),
+            snapshot_failures: self.snapshot_failures.load(Ordering::Relaxed),
+        }
+    }
+}

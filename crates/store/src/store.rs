@@ -1,0 +1,600 @@
+//! [`SessionStore`]: the per-session file pairs behind one directory.
+//!
+//! Concurrency contract: the store is `Sync`; callers on different
+//! sessions never contend (per-session handles behind their own mutex),
+//! and the global map lock covers only handle lookup/creation. The
+//! service layer's single-writer-per-session checkout discipline means a
+//! session's WAL is appended by at most one thread at a time; the store
+//! still takes the per-session lock so read paths (catch-up ranges,
+//! stats) are safe against it.
+
+use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::wal::{read_wal, FlushPolicy, SessionWal};
+use crate::{Counters, StoreError};
+use hnd_response::{ResponseDelta, ResponseEdit, ResponseLog};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Durability and compaction knobs for a [`SessionStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOpts {
+    /// When WAL appends are fsynced (see [`FlushPolicy`]).
+    pub flush: FlushPolicy,
+    /// Rewrite the session's snapshot once its WAL tail (edits past the
+    /// last snapshot) reaches this many edits — bounds replay work at
+    /// load time. `u64::MAX` disables automatic snapshotting (spill
+    /// still registers the initial one).
+    pub snapshot_every: u64,
+}
+
+impl Default for StoreOpts {
+    fn default() -> Self {
+        StoreOpts {
+            flush: FlushPolicy::default(),
+            snapshot_every: 4096,
+        }
+    }
+}
+
+/// Cumulative counters for the whole store (all sessions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Edit frames appended across all WALs.
+    pub frames_appended: u64,
+    /// Individual edits those frames carried.
+    pub edits_appended: u64,
+    /// `fdatasync` calls issued (group commit: compare with
+    /// `frames_appended` for the batching ratio).
+    pub fsyncs: u64,
+    /// Binary snapshots written.
+    pub snapshots_written: u64,
+    /// WAL rebases (snapshot + header-only rewrite) — each one moves the
+    /// oldest catch-up version the store can serve forward.
+    pub wal_rotations: u64,
+    /// Sessions rehydrated from disk.
+    pub loads: u64,
+    /// WAL edits replayed onto snapshots during those loads.
+    pub replayed_edits: u64,
+    /// WAL tails found zeroed where a frame should start.
+    pub damage_zero_tail: u64,
+    /// WAL tails torn mid-frame.
+    pub damage_torn: u64,
+    /// Frames whose checksum failed.
+    pub damage_crc: u64,
+    /// Frames that parsed or chained wrong (plus bad magics).
+    pub damage_malformed: u64,
+    /// Snapshots that failed CRC/parse and were bypassed at load.
+    pub snapshot_failures: u64,
+}
+
+impl StoreStats {
+    /// Total damaged-tail events of any kind.
+    pub fn damaged_frames(&self) -> u64 {
+        self.damage_zero_tail + self.damage_torn + self.damage_crc + self.damage_malformed
+    }
+}
+
+/// Where a [`SessionStore::load`] got its base state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// Snapshot read, WAL tail replayed on top (the normal path).
+    Snapshot,
+    /// Snapshot missing/corrupt; the WAL alone covered the full history
+    /// (base version 0) and was replayed from an empty roster.
+    FullWalReplay,
+}
+
+/// What one [`SessionStore::load`] did — surfaced so callers can fold it
+/// into their own stats and tests can assert damage was *counted*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Version of the recovered log.
+    pub recovered_version: u64,
+    /// WAL edits replayed on top of the base state.
+    pub replayed_edits: u64,
+    /// Damage encountered (empty for a clean recovery).
+    pub damage: Vec<crate::DamageKind>,
+    /// Whether the base state came from the snapshot or a full replay.
+    pub source: RecoverySource,
+}
+
+struct SessionFiles {
+    wal: SessionWal,
+    /// Version of the last snapshot written (replay cost bound).
+    snapshot_version: u64,
+}
+
+/// One directory of per-session `sess-<id>.wal` / `sess-<id>.snap` pairs.
+pub struct SessionStore {
+    dir: PathBuf,
+    opts: StoreOpts,
+    sessions: Mutex<BTreeMap<u64, Arc<Mutex<SessionFiles>>>>,
+    /// Ids present on disk but not yet opened (discovered at
+    /// [`Self::open`]; adopted lazily on first touch).
+    dormant: Mutex<std::collections::BTreeSet<u64>>,
+    counters: Counters,
+}
+
+fn wal_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("sess-{id:016x}.wal"))
+}
+
+fn snap_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("sess-{id:016x}.snap"))
+}
+
+impl SessionStore {
+    /// Opens (creating if needed) a store directory, discovering any
+    /// sessions a previous process left behind.
+    pub fn open(dir: impl Into<PathBuf>, opts: StoreOpts) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut dormant = std::collections::BTreeSet::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(hex) = name
+                .strip_prefix("sess-")
+                .and_then(|s| s.strip_suffix(".wal"))
+            {
+                if let Ok(id) = u64::from_str_radix(hex, 16) {
+                    dormant.insert(id);
+                }
+            }
+        }
+        Ok(SessionStore {
+            dir,
+            opts,
+            sessions: Mutex::new(BTreeMap::new()),
+            dormant: Mutex::new(dormant),
+            counters: Counters::default(),
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Every session with durable state: opened handles plus on-disk
+    /// sessions not yet touched — what a restarting manager adopts.
+    pub fn session_ids(&self) -> Vec<u64> {
+        let mut ids: std::collections::BTreeSet<u64> =
+            self.sessions.lock().unwrap().keys().copied().collect();
+        ids.extend(self.dormant.lock().unwrap().iter().copied());
+        ids.into_iter().collect()
+    }
+
+    /// Cumulative store-wide counters.
+    pub fn stats(&self) -> StoreStats {
+        self.counters.snapshot()
+    }
+
+    fn handle(&self, id: u64) -> Option<Arc<Mutex<SessionFiles>>> {
+        if let Some(h) = self.sessions.lock().unwrap().get(&id) {
+            return Some(Arc::clone(h));
+        }
+        // Not open: adopt from disk if a previous process wrote it.
+        if !self.dormant.lock().unwrap().contains(&id) {
+            return None;
+        }
+        let opened = self.open_existing(id).ok()?;
+        let mut map = self.sessions.lock().unwrap();
+        let h = map
+            .entry(id)
+            .or_insert_with(|| Arc::new(Mutex::new(opened)));
+        self.dormant.lock().unwrap().remove(&id);
+        Some(Arc::clone(h))
+    }
+
+    fn open_existing(&self, id: u64) -> Result<SessionFiles, StoreError> {
+        let (wal, contents) = SessionWal::open(&wal_path(&self.dir, id), self.opts.flush)?;
+        for &kind in &contents.damage {
+            self.counters.record_damage(kind);
+        }
+        let snapshot_version = read_snapshot(&snap_path(&self.dir, id))
+            .map(|log| log.version())
+            .unwrap_or(wal.base_version);
+        Ok(SessionFiles {
+            wal,
+            snapshot_version,
+        })
+    }
+
+    /// Registers a session: fresh WAL headered at the log's current
+    /// version plus an initial snapshot (a log's pre-existing state — a
+    /// bulk load, a truncated history — is not expressible as WAL edits,
+    /// so durability starts from a snapshot, always).
+    pub fn register(&self, id: u64, log: &ResponseLog) -> Result<(), StoreError> {
+        let wal = SessionWal::create(
+            &wal_path(&self.dir, id),
+            self.opts.flush,
+            log.n_users() as u64,
+            log.n_items() as u64,
+            log.options(),
+            log.version(),
+        )?;
+        write_snapshot(&snap_path(&self.dir, id), log)?;
+        self.counters.bump_snapshots();
+        self.dormant.lock().unwrap().remove(&id);
+        self.sessions.lock().unwrap().insert(
+            id,
+            Arc::new(Mutex::new(SessionFiles {
+                wal,
+                snapshot_version: log.version(),
+            })),
+        );
+        Ok(())
+    }
+
+    /// Ships everything the WAL is missing: appends
+    /// `log.history_range(wal_tail, head)` as one frame (group-commit
+    /// durability per [`StoreOpts::flush`]). When the log's in-memory
+    /// history no longer reaches back to the WAL tail (aggressive
+    /// `truncate_history`), the store **rebases**: snapshot at head +
+    /// header-only WAL rewrite, keeping the edit stream contiguous at the
+    /// cost of the older catch-up range (counted in
+    /// [`StoreStats::wal_rotations`]).
+    ///
+    /// Unregistered sessions are registered implicitly, so this is the
+    /// single call sites need on the commit path. Returns the number of
+    /// edits shipped.
+    pub fn sync_from(&self, id: u64, log: &ResponseLog) -> Result<u64, StoreError> {
+        let Some(handle) = self.handle(id) else {
+            self.register(id, log)?;
+            return Ok(0);
+        };
+        let mut files = handle.lock().unwrap();
+        let head = log.version();
+        let tail = files.wal.tail_version;
+        if head == tail {
+            return Ok(0);
+        }
+        let shipped = if head > tail && log.history_base_version() <= tail {
+            let edits = log
+                .history_range(tail, head)
+                .map_err(StoreError::Response)?
+                .to_vec();
+            files.wal.append(tail, &edits, &self.counters)?;
+            edits.len() as u64
+        } else {
+            // Gap (history truncated past the WAL tail) or regression (a
+            // re-registered roster): rebase on a fresh snapshot.
+            write_snapshot(&snap_path(&self.dir, id), log)?;
+            self.counters.bump_snapshots();
+            files.snapshot_version = head;
+            files.wal.rotate(head, &self.counters)?;
+            0
+        };
+        if files.wal.tail_version - files.snapshot_version >= self.opts.snapshot_every {
+            write_snapshot(&snap_path(&self.dir, id), log)?;
+            self.counters.bump_snapshots();
+            files.snapshot_version = head;
+        }
+        Ok(shipped)
+    }
+
+    /// The eviction path: ship the tail ([`Self::sync_from`]) and force
+    /// any group-commit debt to disk — an evicted session's only state is
+    /// the durable one, so its WAL may owe nothing. Returns edits shipped.
+    pub fn spill(&self, id: u64, log: &ResponseLog) -> Result<u64, StoreError> {
+        let shipped = self.sync_from(id, log)?;
+        if let Some(handle) = self.handle(id) {
+            handle.lock().unwrap().wal.flush(&self.counters)?;
+        }
+        Ok(shipped)
+    }
+
+    /// Forces every session's group-commit debt to disk (shutdown
+    /// barrier).
+    pub fn flush_all(&self) -> Result<(), StoreError> {
+        let handles: Vec<Arc<Mutex<SessionFiles>>> =
+            self.sessions.lock().unwrap().values().cloned().collect();
+        for h in handles {
+            h.lock().unwrap().wal.flush(&self.counters)?;
+        }
+        Ok(())
+    }
+
+    /// Rehydrates a session: snapshot + WAL-tail replay through the log's
+    /// validated [`ResponseLog::replay`]. Tolerates a damaged WAL tail
+    /// (recovers to the last valid frame) and a corrupt snapshot *if* the
+    /// WAL still covers full history (base 0); counts everything it
+    /// tolerated in [`StoreStats`] and the returned report.
+    pub fn load(&self, id: u64) -> Result<(ResponseLog, RecoveryReport), StoreError> {
+        let handle = self.handle(id);
+        if handle.is_none()
+            && !wal_path(&self.dir, id).exists()
+            && !snap_path(&self.dir, id).exists()
+        {
+            return Err(StoreError::UnknownSession { id });
+        }
+        let _guard = handle.as_ref().map(|h| h.lock().unwrap());
+        // Read the WAL from disk rather than trusting in-memory state:
+        // this is the same path a post-crash process takes. A WAL too
+        // mangled to even read (lost magic/header) degrades to
+        // snapshot-only recovery instead of failing the session.
+        let contents = match read_wal(&wal_path(&self.dir, id)) {
+            Ok(contents) => {
+                // Damage here landed *after* the handle was opened
+                // (open-time damage was counted and truncated away by
+                // `open_existing`); count it so no event is ever lost.
+                for &kind in &contents.damage {
+                    self.counters.record_damage(kind);
+                }
+                Some(contents)
+            }
+            Err(_) => {
+                self.counters.record_damage(crate::DamageKind::Malformed);
+                None
+            }
+        };
+        let mut damage: Vec<crate::DamageKind> = contents
+            .as_ref()
+            .map(|c| c.damage.clone())
+            .unwrap_or_else(|| vec![crate::DamageKind::Malformed]);
+
+        let (mut log, source) = match read_snapshot(&snap_path(&self.dir, id)) {
+            Ok(log) => (log, RecoverySource::Snapshot),
+            Err(snap_err) => {
+                self.counters.bump_snapshot_failures();
+                match contents.as_ref() {
+                    Some(c) if c.base_version == 0 => {
+                        let empty = ResponseLog::restore(
+                            c.n_users as usize,
+                            c.n_items as usize,
+                            &c.options,
+                            vec![None; (c.n_users * c.n_items) as usize],
+                            0,
+                        )
+                        .map_err(StoreError::Response)?;
+                        (empty, RecoverySource::FullWalReplay)
+                    }
+                    // Snapshot bad and the WAL can't anchor full history:
+                    // nothing to recover from.
+                    _ => return Err(snap_err),
+                }
+            }
+        };
+
+        let mut replayed = 0u64;
+        let batches = contents
+            .as_ref()
+            .map(|c| c.batches.as_slice())
+            .unwrap_or(&[]);
+        'frames: for (from_version, edits) in batches {
+            for (k, &edit) in edits.iter().enumerate() {
+                let at = from_version + k as u64;
+                if at < log.version() {
+                    continue; // older than the snapshot
+                }
+                if log.replay(edit).is_err() {
+                    // A frame that passed CRC but does not chain onto the
+                    // recovered state: stop at the last consistent
+                    // version rather than guess.
+                    damage.push(crate::DamageKind::Malformed);
+                    self.counters.record_damage(crate::DamageKind::Malformed);
+                    break 'frames;
+                }
+                replayed += 1;
+            }
+        }
+        self.counters.bump_loads(replayed);
+        let report = RecoveryReport {
+            recovered_version: log.version(),
+            replayed_edits: replayed,
+            damage,
+            source,
+        };
+        Ok((log, report))
+    }
+
+    /// The raw committed edits spanning versions `from..to` — the durable
+    /// continuation of `ResponseLog::history_range` once the in-memory
+    /// history has been truncated. Compose with
+    /// `ResponseDelta::compacted` for a catch-up delta.
+    pub fn edits_range(
+        &self,
+        id: u64,
+        from: u64,
+        to: u64,
+    ) -> Result<Vec<ResponseEdit>, StoreError> {
+        let handle = self.handle(id).ok_or(StoreError::UnknownSession { id })?;
+        let _guard = handle.lock().unwrap();
+        let contents = read_wal(&wal_path(&self.dir, id))?;
+        if from > to || from < contents.base_version || to > contents.tail_version {
+            return Err(StoreError::RangeUnavailable {
+                id,
+                from,
+                to,
+                base: contents.base_version,
+                head: contents.tail_version,
+            });
+        }
+        let mut out = Vec::with_capacity((to - from) as usize);
+        for (from_version, edits) in &contents.batches {
+            for (k, &edit) in edits.iter().enumerate() {
+                let at = from_version + k as u64;
+                if at >= from && at < to {
+                    out.push(edit);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// One-call client catch-up straight off the WAL: the compacted delta
+    /// from `from` to the durable head, without rehydrating anything. The
+    /// durable twin of `ResponseLog::compact_range` — the serving layer
+    /// falls back to this when a client's cached version predates the
+    /// in-memory history (`truncate_history`) or the whole session is
+    /// spilled.
+    pub fn catch_up(&self, id: u64, from: u64) -> Result<ResponseDelta, StoreError> {
+        let handle = self.handle(id).ok_or(StoreError::UnknownSession { id })?;
+        let _guard = handle.lock().unwrap();
+        let contents = read_wal(&wal_path(&self.dir, id))?;
+        let head = contents.tail_version;
+        if from < contents.base_version || from > head {
+            return Err(StoreError::RangeUnavailable {
+                id,
+                from,
+                to: head,
+                base: contents.base_version,
+                head,
+            });
+        }
+        let mut edits = Vec::new();
+        for (from_version, batch) in &contents.batches {
+            for (k, &edit) in batch.iter().enumerate() {
+                if from_version + k as u64 >= from {
+                    edits.push(edit);
+                }
+            }
+        }
+        Ok(ResponseDelta::compacted(from, head, &edits))
+    }
+
+    /// Deletes a session's durable files (session close).
+    pub fn remove(&self, id: u64) -> Result<(), StoreError> {
+        self.sessions.lock().unwrap().remove(&id);
+        self.dormant.lock().unwrap().remove(&id);
+        match std::fs::remove_file(wal_path(&self.dir, id)) {
+            Err(e) if e.kind() != std::io::ErrorKind::NotFound => return Err(e.into()),
+            _ => {}
+        }
+        match std::fs::remove_file(snap_path(&self.dir, id)) {
+            Err(e) if e.kind() != std::io::ErrorKind::NotFound => return Err(e.into()),
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let k = UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("hnd-store-test-{}-{tag}-{k}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn filled_log() -> ResponseLog {
+        let mut log = ResponseLog::new(4, 3, &[4, 2, 3]).unwrap();
+        log.submit([(0, 0, Some(3)), (1, 2, Some(0)), (3, 1, Some(1))])
+            .unwrap();
+        log
+    }
+
+    #[test]
+    fn register_sync_load_round_trip() {
+        let dir = temp_dir("rt");
+        let store = SessionStore::open(&dir, StoreOpts::default()).unwrap();
+        let mut log = filled_log();
+        store.register(7, &log).unwrap();
+
+        log.submit([(2, 0, Some(1)), (0, 0, Some(2))]).unwrap();
+        assert_eq!(store.sync_from(7, &log).unwrap(), 2);
+        // Idempotent: nothing new to ship.
+        assert_eq!(store.sync_from(7, &log).unwrap(), 0);
+
+        let (back, report) = store.load(7).unwrap();
+        assert_eq!(report.source, RecoverySource::Snapshot);
+        assert_eq!(report.replayed_edits, 2);
+        assert!(report.damage.is_empty());
+        assert_eq!(back.version(), log.version());
+        assert_eq!(back.to_matrix(), log.to_matrix());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopened_store_adopts_and_serves_sessions() {
+        let dir = temp_dir("reopen");
+        let mut log = filled_log();
+        {
+            let store = SessionStore::open(&dir, StoreOpts::default()).unwrap();
+            store.register(3, &log).unwrap();
+            log.set(2, 2, Some(2)).unwrap();
+            store.spill(3, &log).unwrap();
+        }
+        // "Restart": a brand-new store over the same directory.
+        let store = SessionStore::open(&dir, StoreOpts::default()).unwrap();
+        assert_eq!(store.session_ids(), vec![3]);
+        let (back, _) = store.load(3).unwrap();
+        assert_eq!(back.to_matrix(), log.to_matrix());
+
+        // And the WAL keeps extending across the restart.
+        log.set(0, 1, Some(0)).unwrap();
+        assert_eq!(store.sync_from(3, &log).unwrap(), 1);
+        let (back, _) = store.load(3).unwrap();
+        assert_eq!(back.version(), log.version());
+
+        store.remove(3).unwrap();
+        assert!(store.session_ids().is_empty());
+        assert!(matches!(
+            store.load(3),
+            Err(StoreError::UnknownSession { id: 3 })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_history_triggers_rebase_and_bounds_catch_up() {
+        let dir = temp_dir("rebase");
+        let store = SessionStore::open(&dir, StoreOpts::default()).unwrap();
+        let mut log = ResponseLog::homogeneous(3, 3, 2).unwrap();
+        store.register(1, &log).unwrap();
+        log.submit([(0, 0, Some(1)), (1, 1, Some(1))]).unwrap();
+        store.sync_from(1, &log).unwrap();
+
+        // The WAL serves the whole range…
+        assert_eq!(store.edits_range(1, 0, 2).unwrap().len(), 2);
+
+        // …until in-memory truncation outruns it without a sync.
+        log.set(2, 2, Some(0)).unwrap();
+        log.set(2, 2, Some(1)).unwrap();
+        log.truncate_history(4);
+        store.sync_from(1, &log).unwrap();
+        assert_eq!(store.stats().wal_rotations, 1);
+        let err = store.edits_range(1, 0, 4).unwrap_err();
+        assert!(matches!(err, StoreError::RangeUnavailable { base: 4, .. }));
+        // Post-rebase commits ship and serve normally.
+        log.set(0, 1, Some(1)).unwrap();
+        store.sync_from(1, &log).unwrap();
+        assert_eq!(store.edits_range(1, 4, 5).unwrap().len(), 1);
+        let (back, _) = store.load(1).unwrap();
+        assert_eq!(back.to_matrix(), log.to_matrix());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_every_bounds_replay_work() {
+        let dir = temp_dir("snapevery");
+        let store = SessionStore::open(
+            &dir,
+            StoreOpts {
+                snapshot_every: 4,
+                ..StoreOpts::default()
+            },
+        )
+        .unwrap();
+        let mut log = ResponseLog::homogeneous(2, 4, 2).unwrap();
+        store.register(9, &log).unwrap();
+        for i in 0..4 {
+            log.set(0, i, Some(1)).unwrap();
+            store.sync_from(9, &log).unwrap();
+        }
+        assert!(store.stats().snapshots_written >= 2, "auto-snapshot fired");
+        let (_, report) = store.load(9).unwrap();
+        assert_eq!(
+            report.replayed_edits, 0,
+            "fresh snapshot leaves no tail to replay"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,289 @@
+//! Per-session append-only WAL with group-commit fsync batching.
+//!
+//! Appends are one buffered `write(2)` each — the data reaches the OS page
+//! cache immediately, so readers (catch-up range queries, a reopened
+//! store) always see the full logical tail. **Durability** is the batched
+//! part: [`FlushPolicy`] decides when the write is `fdatasync`ed, so a
+//! burst of commits pays one disk flush, not one per commit (the classic
+//! group-commit trade: bounded loss window, order-of-magnitude append
+//! throughput).
+//!
+//! Opening an existing WAL scans and semantically validates it (header
+//! first, edit frames chaining version-contiguously) and truncates any
+//! damaged or non-chaining tail to the last valid frame boundary —
+//! recovery work happens once, at open, never on the append path.
+
+use crate::frame::{self, DamageKind, Frame};
+use crate::{Counters, StoreError};
+use hnd_response::ResponseEdit;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// When WAL appends are made durable (`fdatasync`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Sync after every committed batch: zero loss window, one disk flush
+    /// per commit.
+    EveryCommit,
+    /// Group commit: sync once every `n` batches (and on spill/flush).
+    /// The loss window is at most `n - 1` committed batches.
+    EveryN(u32),
+    /// Never sync explicitly; the OS writes back on its own schedule.
+    /// Crash loss window = whatever the kernel hadn't flushed.
+    Os,
+}
+
+impl Default for FlushPolicy {
+    fn default() -> Self {
+        FlushPolicy::EveryN(32)
+    }
+}
+
+/// Durably syncs a directory so a just-created/renamed file inside it
+/// survives a crash.
+pub(crate) fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Everything a read pass recovered from a WAL file: the validated
+/// header, the chaining edit batches, and any damage encountered.
+#[derive(Debug)]
+pub(crate) struct WalContents {
+    pub n_users: u64,
+    pub n_items: u64,
+    pub options: Vec<u16>,
+    /// Version the first edit frame chains onto.
+    pub base_version: u64,
+    /// Version after the last chaining edit.
+    pub tail_version: u64,
+    /// Valid edit batches in file order, each `(from_version, edits)`.
+    pub batches: Vec<(u64, Vec<ResponseEdit>)>,
+    /// Byte length of the semantically valid prefix (magic included).
+    pub valid_len: u64,
+    /// Damage found at the tail (codec-level or a broken version chain).
+    pub damage: Vec<DamageKind>,
+}
+
+/// Reads and validates a WAL file without holding it open for writes.
+/// Codec damage truncates logically (the returned `valid_len` marks where
+/// the file should be cut); a frame that parses but does not chain is
+/// [`DamageKind::Malformed`] damage at its own boundary.
+pub(crate) fn read_wal(path: &Path) -> Result<WalContents, StoreError> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    let scan = frame::scan(&buf);
+    let mut damage: Vec<DamageKind> = scan.damage.into_iter().collect();
+
+    let mut frames = scan.frames.into_iter();
+    let Some((
+        _,
+        Frame::Header {
+            format: frame::FORMAT_VERSION,
+            n_users,
+            n_items,
+            base_version,
+            options,
+        },
+    )) = frames.next()
+    else {
+        return Err(StoreError::Corrupt {
+            detail: format!("{}: missing or foreign WAL header", path.display()),
+        });
+    };
+
+    let mut batches = Vec::new();
+    let mut tail_version = base_version;
+    let mut valid_len = scan.valid_len;
+    for (offset, f) in frames {
+        match f {
+            Frame::Edits {
+                from_version,
+                edits,
+            } if from_version == tail_version && !edits.is_empty() => {
+                tail_version += edits.len() as u64;
+                batches.push((from_version, edits));
+            }
+            // A second header or a non-chaining edit frame: the stream is
+            // broken here; keep the prefix, cut the rest.
+            _ => {
+                damage.push(DamageKind::Malformed);
+                valid_len = offset;
+                break;
+            }
+        }
+    }
+
+    Ok(WalContents {
+        n_users,
+        n_items,
+        options,
+        base_version,
+        tail_version,
+        batches,
+        valid_len,
+        damage,
+    })
+}
+
+/// An open per-session WAL positioned for appends.
+pub(crate) struct SessionWal {
+    path: PathBuf,
+    file: File,
+    policy: FlushPolicy,
+    pub n_users: u64,
+    pub n_items: u64,
+    pub options: Vec<u16>,
+    /// Version of the oldest edit still in the file (the rebase point).
+    pub base_version: u64,
+    /// Version after the last appended edit.
+    pub tail_version: u64,
+    /// Appends since the last sync (group-commit debt).
+    unsynced: u32,
+}
+
+impl SessionWal {
+    /// Creates a fresh WAL: magic + header frame, durably (file and
+    /// parent directory synced).
+    pub fn create(
+        path: &Path,
+        policy: FlushPolicy,
+        n_users: u64,
+        n_items: u64,
+        options: &[u16],
+        base_version: u64,
+    ) -> Result<Self, StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&frame::WAL_MAGIC)?;
+        file.write_all(&frame::envelope(&frame::encode_header(
+            n_users,
+            n_items,
+            base_version,
+            options,
+        )))?;
+        file.sync_all()?;
+        sync_dir(path.parent().unwrap_or(Path::new(".")))?;
+        Ok(SessionWal {
+            path: path.to_path_buf(),
+            file,
+            policy,
+            n_users,
+            n_items,
+            options: options.to_vec(),
+            base_version,
+            tail_version: base_version,
+            unsynced: 0,
+        })
+    }
+
+    /// Opens an existing WAL, truncating any damaged tail to the last
+    /// valid frame boundary (the caller records the damage from the
+    /// returned contents). Returns the handle plus the validated
+    /// contents.
+    pub fn open(path: &Path, policy: FlushPolicy) -> Result<(Self, WalContents), StoreError> {
+        let contents = read_wal(path)?;
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        if file.metadata()?.len() > contents.valid_len {
+            file.set_len(contents.valid_len)?;
+            file.sync_all()?;
+        }
+        let mut file = file;
+        file.seek(SeekFrom::Start(contents.valid_len))?;
+        Ok((
+            SessionWal {
+                path: path.to_path_buf(),
+                file,
+                policy,
+                n_users: contents.n_users,
+                n_items: contents.n_items,
+                options: contents.options.clone(),
+                base_version: contents.base_version,
+                tail_version: contents.tail_version,
+                unsynced: 0,
+            },
+            contents,
+        ))
+    }
+
+    /// Appends one committed batch. `from_version` must equal the current
+    /// tail (the caller ships contiguous history); durability follows the
+    /// flush policy.
+    pub fn append(
+        &mut self,
+        from_version: u64,
+        edits: &[ResponseEdit],
+        counters: &Counters,
+    ) -> Result<(), StoreError> {
+        assert_eq!(
+            from_version, self.tail_version,
+            "WAL appends must chain contiguously"
+        );
+        if edits.is_empty() {
+            return Ok(());
+        }
+        self.file
+            .write_all(&frame::envelope(&frame::encode_edits(from_version, edits)))?;
+        self.tail_version += edits.len() as u64;
+        self.unsynced += 1;
+        counters.bump_frames(edits.len() as u64);
+        match self.policy {
+            FlushPolicy::EveryCommit => self.sync(counters)?,
+            FlushPolicy::EveryN(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync(counters)?;
+                }
+            }
+            FlushPolicy::Os => {}
+        }
+        Ok(())
+    }
+
+    /// Forces any group-commit debt to disk (spill / shutdown barrier).
+    pub fn flush(&mut self, counters: &Counters) -> Result<(), StoreError> {
+        if self.unsynced > 0 {
+            self.sync(counters)?;
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self, counters: &Counters) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        counters.bump_fsyncs();
+        Ok(())
+    }
+
+    /// Rebases the WAL to `new_base` (the version of a just-written
+    /// snapshot): atomically replaces the file with a header-only one so
+    /// the edit stream stays contiguous from its first frame — a WAL
+    /// never carries a version gap.
+    pub fn rotate(&mut self, new_base: u64, counters: &Counters) -> Result<(), StoreError> {
+        let tmp = self.path.with_extension("wal.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&frame::WAL_MAGIC)?;
+            f.write_all(&frame::envelope(&frame::encode_header(
+                self.n_users,
+                self.n_items,
+                new_base,
+                &self.options,
+            )))?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        sync_dir(self.path.parent().unwrap_or(Path::new(".")))?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        self.base_version = new_base;
+        self.tail_version = new_base;
+        self.unsynced = 0;
+        counters.bump_rotations();
+        Ok(())
+    }
+}

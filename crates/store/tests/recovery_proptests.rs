@@ -1,0 +1,252 @@
+//! Crash-recovery property tests: for generated edit streams, recovery
+//! from (snapshot, WAL truncated at **every** frame boundary) must be
+//! bit-identical to a never-crashed engine replaying the same committed
+//! prefix — same matrix, same version, same ranking scores, to the last
+//! bit. A frame-boundary cut is a *clean* crash (the torn/corrupted cuts
+//! live in `corruption.rs`), so recovery must also report zero damage.
+
+use hnd_core::{SolverKind, SolverOpts};
+use hnd_response::{rank_many, ResponseEdit, ResponseLog};
+use hnd_store::{SessionStore, StoreOpts, WAL_MAGIC};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// One write in a generated stream: `(user, item, choice)`.
+type Write = (usize, usize, Option<u16>);
+
+/// A generated roster + edit stream: `(m, n, options, batches)`.
+type EditStream = (usize, usize, Vec<u16>, Vec<Vec<Write>>);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let k = UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "hnd-recovery-prop-{}-{tag}-{k}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Small rosters, many overlapping writes: overwrites and retractions are
+/// the edits whose `from` side recovery must get exactly right.
+fn edit_stream() -> impl Strategy<Value = EditStream> {
+    (2usize..=6, 1usize..=4).prop_flat_map(|(m, n)| {
+        let options = proptest::collection::vec(1u16..=4, n);
+        options.prop_flat_map(move |opts| {
+            let cell = (0..m, 0..n);
+            let batch = proptest::collection::vec(
+                cell.prop_flat_map(move |(u, i)| {
+                    (Just(u), Just(i), proptest::option::weighted(0.8, 0..5u16))
+                }),
+                1..6,
+            );
+            let opts2 = opts.clone();
+            (
+                Just(m),
+                Just(n),
+                Just(opts),
+                proptest::collection::vec(batch, 2..6).prop_map(move |batches| {
+                    batches
+                        .into_iter()
+                        .map(|b| {
+                            b.into_iter()
+                                .map(|(u, i, c)| (u, i, c.map(|o| o % opts2[i])))
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                }),
+            )
+        })
+    })
+}
+
+/// Byte offsets of every frame boundary in a WAL image (positions a
+/// crash could cleanly cut the file at), including the end of file.
+fn frame_boundaries(wal: &[u8]) -> Vec<u64> {
+    assert_eq!(&wal[..8], &WAL_MAGIC);
+    let mut offsets = vec![8u64];
+    let mut pos = 8usize;
+    while pos + 8 <= wal.len() {
+        let len = u32::from_le_bytes(wal[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 8 + len;
+        assert!(pos <= wal.len(), "generated WAL must be well-formed");
+        offsets.push(pos as u64);
+    }
+    offsets
+}
+
+/// The never-crashed oracle: a fresh log fed exactly the first
+/// `version - base` committed edits on top of the registration-time state.
+fn oracle_at(base_state: &ResponseLog, history: &[ResponseEdit], version: u64) -> ResponseLog {
+    let choices = (0..base_state.n_users())
+        .flat_map(|u| base_state.user_row(u).to_vec())
+        .collect();
+    let mut oracle = ResponseLog::restore(
+        base_state.n_users(),
+        base_state.n_items(),
+        base_state.options(),
+        choices,
+        base_state.version(),
+    )
+    .unwrap();
+    for &edit in &history[..(version - base_state.version()) as usize] {
+        oracle.replay(edit).unwrap();
+    }
+    oracle
+}
+
+/// Bitwise ranking comparison through the same solver configuration both
+/// engines would use (identical matrices ⇒ identical solves ⇒ identical
+/// scores, down to the last bit — or the identical failure).
+fn assert_rankings_bit_identical(a: &ResponseLog, b: &ResponseLog, ctx: &str) {
+    let solver = SolverKind::Power.build(SolverOpts {
+        orient: false,
+        ..Default::default()
+    });
+    let (ma, mb) = (a.to_matrix(), b.to_matrix());
+    let mut results = rank_many(solver.as_ranker(), &[&ma, &mb]).into_iter();
+    let (ra, rb) = (results.next().unwrap(), results.next().unwrap());
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => assert_eq!(ra.scores, rb.scores, "{ctx}: scores diverged"),
+        (Err(_), Err(_)) => {} // both degenerate in the same state
+        (ra, rb) => panic!("{ctx}: recovered {ra:?} vs oracle {rb:?}"),
+    }
+}
+
+/// Copies a session's files into a fresh dir, truncating the WAL to
+/// `cut` bytes — the on-disk picture after a crash at that boundary.
+fn crashed_copy(src: &Path, dst: &Path, id_hex: &str, cut: u64) {
+    std::fs::create_dir_all(dst).unwrap();
+    let wal = std::fs::read(src.join(format!("sess-{id_hex}.wal"))).unwrap();
+    std::fs::write(dst.join(format!("sess-{id_hex}.wal")), &wal[..cut as usize]).unwrap();
+    std::fs::copy(
+        src.join(format!("sess-{id_hex}.snap")),
+        dst.join(format!("sess-{id_hex}.snap")),
+    )
+    .unwrap();
+}
+
+const ID_HEX: &str = "0000000000000007";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole guarantee: crash at any frame boundary, recover,
+    /// and you are *exactly* some committed prefix — state, version,
+    /// retained tail history, and ranking all bit-identical to a log
+    /// that simply never went past that prefix.
+    #[test]
+    fn recovery_at_every_frame_boundary_is_bit_identical(
+        (m, _n, options, batches) in edit_stream()
+    ) {
+        let dir = temp_dir("frames");
+        let store = SessionStore::open(&dir, StoreOpts {
+            flush: hnd_store::FlushPolicy::Os,
+            snapshot_every: u64::MAX,
+        }).unwrap();
+
+        let mut log = ResponseLog::new(m, options.len(), &options).unwrap();
+        // Register after the first batch: the snapshot base is a
+        // *non-zero* version, so recovery anchors mid-history.
+        for &(u, i, c) in &batches[0] {
+            log.set(u, i, c).unwrap();
+        }
+        let base_state = log.clone();
+        store.register(7, &log).unwrap();
+        for batch in &batches[1..] {
+            for &(u, i, c) in batch {
+                log.set(u, i, c).unwrap();
+            }
+            store.sync_from(7, &log).unwrap();
+        }
+        let history = log
+            .history_range(base_state.version(), log.version())
+            .unwrap()
+            .to_vec();
+
+        let wal_bytes = std::fs::read(dir.join(format!("sess-{ID_HEX}.wal"))).unwrap();
+        let boundaries = frame_boundaries(&wal_bytes);
+        // Boundary 0 cuts even the header; recovery then leans on the
+        // snapshot alone. Every later cut keeps header + k edit frames.
+        for &cut in &boundaries {
+            let crash_dir = dir.join(format!("crash-{cut}"));
+            crashed_copy(&dir, &crash_dir, ID_HEX, cut);
+            let crashed = SessionStore::open(&crash_dir, StoreOpts::default()).unwrap();
+            let (recovered, report) = crashed.load(7).unwrap();
+
+            prop_assert!(
+                recovered.version() >= base_state.version()
+                    && recovered.version() <= log.version(),
+                "recovered to {} outside the committed range", recovered.version()
+            );
+            let oracle = oracle_at(&base_state, &history, recovered.version());
+            prop_assert_eq!(recovered.version(), oracle.version());
+            prop_assert_eq!(recovered.to_matrix(), oracle.to_matrix());
+            prop_assert_eq!(report.recovered_version, recovered.version());
+            if cut >= boundaries[1] {
+                // Cuts that keep the header are *clean* prefixes: frame
+                // framing absorbs them with zero damage events.
+                prop_assert!(report.damage.is_empty(), "clean cut reported {:?}", report.damage);
+                prop_assert_eq!(
+                    report.replayed_edits,
+                    recovered.version() - base_state.version()
+                );
+            }
+            assert_rankings_bit_identical(&recovered, &oracle, "boundary crash");
+        }
+        // The full file recovers the head itself.
+        let full = SessionStore::open(&dir, StoreOpts::default()).unwrap();
+        let (head, _) = full.load(7).unwrap();
+        prop_assert_eq!(head.version(), log.version());
+        prop_assert_eq!(head.to_matrix(), log.to_matrix());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Recovery composes with ongoing service: after recovering from any
+    /// prefix, the store keeps accepting the remaining committed edits
+    /// and ends bit-identical to the uncrashed head.
+    #[test]
+    fn recovered_store_resumes_the_stream((m, _n, options, batches) in edit_stream()) {
+        let dir = temp_dir("resume");
+        let store = SessionStore::open(&dir, StoreOpts {
+            flush: hnd_store::FlushPolicy::Os,
+            snapshot_every: u64::MAX,
+        }).unwrap();
+        let mut log = ResponseLog::new(m, options.len(), &options).unwrap();
+        store.register(7, &log).unwrap();
+        for batch in batches.iter() {
+            for &(u, i, c) in batch {
+                log.set(u, i, c).unwrap();
+            }
+            store.sync_from(7, &log).unwrap();
+        }
+
+        let wal_bytes = std::fs::read(dir.join(format!("sess-{ID_HEX}.wal"))).unwrap();
+        let boundaries = frame_boundaries(&wal_bytes);
+        let mid = boundaries[boundaries.len() / 2];
+        let crash_dir = dir.join("crash-mid");
+        crashed_copy(&dir, &crash_dir, ID_HEX, mid);
+
+        let crashed = SessionStore::open(&crash_dir, StoreOpts::default()).unwrap();
+        let (mut recovered, _) = crashed.load(7).unwrap();
+        // Re-drive the lost suffix of the committed stream…
+        let missing = log
+            .history_range(recovered.version(), log.version())
+            .unwrap()
+            .to_vec();
+        for edit in missing {
+            recovered.replay(edit).unwrap();
+            crashed.sync_from(7, &recovered).unwrap();
+        }
+        // …and a second crash-free recovery lands exactly at head.
+        let (rerecovered, report) = crashed.load(7).unwrap();
+        prop_assert_eq!(rerecovered.version(), log.version());
+        prop_assert_eq!(rerecovered.to_matrix(), log.to_matrix());
+        prop_assert!(report.damage.is_empty());
+        assert_rankings_bit_identical(&rerecovered, &log, "resumed stream");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`datasets`] — simulated stand-ins for the paper's real-world datasets,
 //! * [`service`] — the incremental ranking engine (versioned response
 //!   deltas, warm-start caching, session management),
+//! * [`store`] — the durable session tier: per-session append-only WALs
+//!   (CRC-framed, group-commit fsync batching) plus compact binary
+//!   snapshots; crash recovery is snapshot + WAL-tail replay,
 //! * [`plan`] — the self-calibrating kernel-cost catalog and cost-model
 //!   planner that picks backends, lane formats, and rebuild points from
 //!   per-host measurements,
@@ -63,6 +66,7 @@ pub use hnd_plan as plan;
 pub use hnd_response as response;
 pub use hnd_service as service;
 pub use hnd_shard as shard;
+pub use hnd_store as store;
 
 /// Convenience prelude with the types most programs need.
 pub mod prelude {
