@@ -170,6 +170,7 @@ fn bench_cold_storm(c: &mut Criterion) {
             idle_threshold: Some(0),
             engine: engine_opts(),
             cold_batch,
+            ..Default::default()
         });
         let ids = preload(&srv, sessions, m, n, k);
         report::note(

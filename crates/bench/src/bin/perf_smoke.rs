@@ -4,7 +4,7 @@
 //! ```text
 //! perf_smoke <baseline.json> <fresh.json> [--filter SUBSTR]
 //!            [--tolerance 1.25] [--min-speedup 1.10]
-//!            [--pair idA:idB:max_ratio]...
+//!            [--pair idA:idB:max_ratio]... [--pair-metric median|min]
 //! ```
 //!
 //! * **Absolute** — for each watched id present in both files, the fresh
@@ -26,7 +26,17 @@
 //!   demands the cost-model plan beat the deliberately mis-pinned static
 //!   config by ≥ 1.3×. Pairs are skipped on the scalar tier (format
 //!   choices legitimately invert there) and when either id is absent from
-//!   the fresh file (quick sweeps emit a subset).
+//!   the fresh file (quick sweeps emit a subset). `--pair-metric`
+//!   selects what gets compared: `median` (default), `min` (the sample
+//!   floor), or any numeric extras column a bench publishes — e.g. the
+//!   telemetry gate reads `cpu_ns_per_round`, because on shared runners
+//!   interference swings wall-clock medians by 10–20% (far more than
+//!   the ≤5% effect under test) while stolen wall time never lands in
+//!   the process's CPU accounting. A trailing `*` on both pair ids
+//!   matches rows by shared suffix (`on_w1_r0` ↔ `off_w1_r0`, …) and
+//!   gates on the smallest per-pair ratio — benches emit interleaved
+//!   repetition rows precisely so each rep's ratio cancels the
+//!   common-mode weather the two rows shared.
 //!
 //! The gate fails (exit 1) on any violation, and also when *no* check
 //! fired at all (a vacuous gate is a broken gate). `PERF_SMOKE_TOLERANCE`
@@ -42,8 +52,23 @@ use std::process::ExitCode;
 struct Entry {
     id: String,
     median_ns: f64,
+    /// Fastest sample; absent in pre-`min_ns` baseline files.
+    min_ns: Option<f64>,
     /// `"{isa}/t{threads}"` when both fields are present.
     env: Option<String>,
+    /// The raw JSON line, kept so `--pair-metric <extras key>` can read
+    /// bench-published columns (e.g. `cpu_ns_per_round`) without teaching
+    /// the parser every group's schema.
+    line: String,
+}
+
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let rest = field(line, key)?;
+    let s: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    s.parse().ok()
 }
 
 fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -61,17 +86,11 @@ fn parse_entries(text: &str, path: &str) -> Vec<Entry> {
         let Some(id) = id_rest.strip_prefix('"').and_then(|r| r.split('"').next()) else {
             continue;
         };
-        let Some(med_rest) = field(line, "median_ns") else {
-            continue;
-        };
-        let med_str: String = med_rest
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-            .collect();
-        let Ok(median_ns) = med_str.parse::<f64>() else {
+        let Some(median_ns) = num_field(line, "median_ns") else {
             eprintln!("perf_smoke: {path}: unparsable median in line: {line}");
             continue;
         };
+        let min_ns = num_field(line, "min_ns");
         let isa = field(line, "isa")
             .and_then(|r| r.strip_prefix('"'))
             .and_then(|r| r.split('"').next());
@@ -89,7 +108,9 @@ fn parse_entries(text: &str, path: &str) -> Vec<Entry> {
         out.push(Entry {
             id: id.to_string(),
             median_ns,
+            min_ns,
             env,
+            line: line.to_string(),
         });
     }
     out
@@ -108,10 +129,21 @@ fn main() -> ExitCode {
     let mut tolerance = 1.25f64;
     let mut min_speedup: Option<f64> = None;
     let mut pairs: Vec<(String, String, f64)> = Vec::new();
+    let mut pair_metric = String::from("median");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--filter" => filter = it.next().cloned().unwrap_or_default(),
+            "--pair-metric" => match it.next() {
+                Some(m) if !m.is_empty() => pair_metric = m.clone(),
+                _ => {
+                    eprintln!(
+                        "perf_smoke: --pair-metric: expected median, min, \
+                         or an extras column name"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             "--tolerance" => {
                 tolerance = it.next().and_then(|t| t.parse().ok()).unwrap_or(tolerance)
             }
@@ -144,7 +176,8 @@ fn main() -> ExitCode {
     let [baseline_path, fresh_path] = files.as_slice() else {
         eprintln!(
             "usage: perf_smoke <baseline.json> <fresh.json> [--filter SUBSTR] \
-             [--tolerance 1.25] [--min-speedup 1.10] [--pair idA:idB:max_ratio]..."
+             [--tolerance 1.25] [--min-speedup 1.10] [--pair idA:idB:max_ratio]... \
+             [--pair-metric median|min]"
         );
         return ExitCode::FAILURE;
     };
@@ -175,13 +208,64 @@ fn main() -> ExitCode {
     let scalar_run = fresh
         .iter()
         .any(|e| e.env.as_deref().is_some_and(|v| v.starts_with("scalar")));
+    // Metric selection per entry: `median`, `min`, or any numeric extras
+    // column a bench publishes (entries lacking it are skipped).
+    let value = |e: &Entry| -> Option<f64> {
+        match pair_metric.as_str() {
+            "median" => Some(e.median_ns),
+            "min" => Some(e.min_ns.unwrap_or(e.median_ns)),
+            key => num_field(&e.line, key),
+        }
+    };
+    // A trailing `*` on BOTH pair ids switches to suffix-paired ratios:
+    // ids are matched by what follows the prefix (`on_w1_r0` pairs with
+    // `off_w1_r0`, and so on) and the SMALLEST per-pair ratio carries the
+    // gate. Benches emit interleaved repetition rows precisely for this:
+    // adjacent reps share the runner's weather, so each rep's ratio
+    // cancels common-mode interference, and a transient spike has to
+    // corrupt every repetition the same way to flip the minimum. A `*`
+    // on one side only takes that side's smallest value; exact ids read
+    // the single entry.
+    let side = |spec: &str| -> Option<f64> {
+        match spec.strip_suffix('*') {
+            Some(prefix) => fresh
+                .iter()
+                .filter(|e| e.id.starts_with(prefix))
+                .filter_map(value)
+                .min_by(|a, b| a.total_cmp(b)),
+            None => fresh.iter().find(|e| e.id == spec).and_then(value),
+        }
+    };
+    let pair_ratio = |spec_a: &str, spec_b: &str| -> Option<f64> {
+        if let (Some(pa), Some(pb)) = (spec_a.strip_suffix('*'), spec_b.strip_suffix('*')) {
+            let suffixed = |prefix: &str| -> Vec<(String, f64)> {
+                fresh
+                    .iter()
+                    .filter_map(|e| {
+                        let suffix = e.id.strip_prefix(prefix)?;
+                        Some((suffix.to_string(), value(e)?))
+                    })
+                    .collect()
+            };
+            let b_side = suffixed(pb);
+            suffixed(pa)
+                .into_iter()
+                .filter_map(|(suffix, va)| {
+                    let (_, vb) = b_side.iter().find(|(s, _)| *s == suffix)?;
+                    Some(va / vb)
+                })
+                .min_by(|a, b| a.total_cmp(b))
+        } else {
+            Some(side(spec_a)? / side(spec_b)?)
+        }
+    };
     for (id_a, id_b, max_ratio) in &pairs {
         if scalar_run {
             skips += 1;
             println!("perf_smoke: pair {id_a} vs {id_b}: scalar tier, pair gate skipped");
             continue;
         }
-        let (Some(a), Some(b)) = (find(&fresh, id_a), find(&fresh, id_b)) else {
+        let Some(ratio) = pair_ratio(id_a, id_b) else {
             skips += 1;
             println!(
                 "perf_smoke: pair {id_a} vs {id_b}: one side missing from {fresh_path}, \
@@ -190,10 +274,10 @@ fn main() -> ExitCode {
             continue;
         };
         checks += 1;
-        let ratio = a / b;
         let ok = ratio <= *max_ratio;
         println!(
-            "perf_smoke: pair {id_a} vs {id_b}: {ratio:.2}x (max {max_ratio:.2}x) {}",
+            "perf_smoke: pair {id_a} vs {id_b}: {ratio:.2}x by {pair_metric} \
+             (max {max_ratio:.2}x) {}",
             if ok { "ok" } else { "REGRESSED" }
         );
         if !ok {

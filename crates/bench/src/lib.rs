@@ -6,9 +6,10 @@
 //!
 //! * [`report`] — the single `BENCH_*.json` writer. Every bench binary
 //!   that emits a checked-in artifact goes through it, so one schema
-//!   (median/mean/min plus per-entry `density`/`nnz` workload metadata and
-//!   the kernel `threads`/`isa` environment) covers the whole perf
-//!   trajectory and numbers stay comparable across groups and PRs.
+//!   (median/mean/min plus tail percentiles p50/p90/p99/p999, per-entry
+//!   `density`/`nnz` workload metadata and the kernel `threads`/`isa`
+//!   environment) covers the whole perf trajectory and numbers stay
+//!   comparable across groups and PRs.
 //! * [`bench_main!`] — a drop-in replacement for `criterion_main!` that
 //!   finalizes through the shared writer.
 //! * [`workload`] — the deterministic matrix generators, so the same
@@ -179,11 +180,15 @@ pub mod report {
                 .map(|(key, value)| format!(", {key:?}: {value}"))
                 .collect();
             out.push_str(&format!(
-                "  {{\"id\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"density\": {density}, \"nnz\": {nnz}, \"threads\": {threads}, \"isa\": {isa:?}{extras}}}{}\n",
+                "  {{\"id\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"p50_ns\": {:.1}, \"p90_ns\": {:.1}, \"p99_ns\": {:.1}, \"p999_ns\": {:.1}, \"samples\": {}, \"density\": {density}, \"nnz\": {nnz}, \"threads\": {threads}, \"isa\": {isa:?}{extras}}}{}\n",
                 r.id,
                 r.median_ns,
                 r.mean_ns,
                 r.min_ns,
+                r.p50_ns,
+                r.p90_ns,
+                r.p99_ns,
+                r.p999_ns,
                 r.samples,
                 if i + 1 == results.len() { "" } else { "," }
             ));

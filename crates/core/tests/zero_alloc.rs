@@ -182,4 +182,35 @@ fn zero_allocation_contract() {
             pattern.apply_delta(&delta_out).expect("bitmap remove");
         });
     });
+
+    // The telemetry hot path honors the same contract: flight-recorder
+    // event pushes (the ring is preallocated and overwrites in place, even
+    // past wrap-around), stage histogram records (fixed atomic arrays),
+    // and counter bumps must all be allocation-free — default-on telemetry
+    // may not put allocations back into the solve loop this binary just
+    // proved clean.
+    {
+        use hnd_telemetry::{Counter, EventKind, Stage, TelemetryHub};
+        let hub = TelemetryHub::new(2, true);
+        let mut tick = 0u64;
+        assert_alloc_free("TelemetryHub::record (ring event)", || {
+            tick += 1;
+            hub.record(
+                0,
+                7,
+                tick,
+                EventKind::Dequeue {
+                    cmd: hnd_telemetry::CommandKind::Ranking,
+                    dwell_ns: tick * 37,
+                },
+            );
+        });
+        assert_alloc_free("TelemetryHub::record_stage (histogram)", || {
+            tick += 1;
+            hub.record_stage(Stage::Solve, tick * 1013);
+        });
+        assert_alloc_free("TelemetryHub::bump (counter)", || {
+            hub.bump(Counter::RepliesOk);
+        });
+    }
 }

@@ -24,6 +24,7 @@ use hnd_response::{
     ResponseOps,
 };
 use hnd_shard::{ShardPlan, ShardedOps};
+use hnd_telemetry::{EventKind, Probe, SkipRefusal, Stage};
 use std::time::Instant;
 
 /// Accuracy tier of the approximate query API ([`RankingEngine::top_k`],
@@ -389,6 +390,35 @@ pub struct EngineStats {
     pub wal_replayed: u64,
 }
 
+impl EngineStats {
+    /// Folds another engine's counters into this one (fleet aggregation:
+    /// the manager sums retired engines' stats with the live ones for the
+    /// unified metrics snapshot). Counters add; `last_iterations` keeps
+    /// the max; lane formats merge.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.delta_applies += other.delta_applies;
+        self.rebuilds += other.rebuilds;
+        self.warm_solves += other.warm_solves;
+        self.cold_solves += other.cold_solves;
+        self.last_iterations = self.last_iterations.max(other.last_iterations);
+        self.sharded_solves += other.sharded_solves;
+        self.shard_rebalances += other.shard_rebalances;
+        self.shard_rebuilds += other.shard_rebuilds;
+        self.formats = self.formats.merged(other.formats);
+        self.plan_replans += other.plan_replans;
+        self.predicted_patch_ns += other.predicted_patch_ns;
+        self.actual_patch_ns += other.actual_patch_ns;
+        self.predicted_rebuild_ns += other.predicted_rebuild_ns;
+        self.actual_rebuild_ns += other.actual_rebuild_ns;
+        self.predicted_solve_ns += other.predicted_solve_ns;
+        self.actual_solve_ns += other.actual_solve_ns;
+        self.skipped_solves += other.skipped_solves;
+        self.early_terminations += other.early_terminations;
+        self.iterations_saved += other.iterations_saved;
+        self.wal_replayed += other.wal_replayed;
+    }
+}
+
 /// An incremental ranking session over a fixed user/item roster.
 pub struct RankingEngine {
     log: ResponseLog,
@@ -411,6 +441,10 @@ pub struct RankingEngine {
     approx: Option<ApproxSolve>,
     /// Calibration state of the delta-skip fast path.
     skip_rates: SkipRates,
+    /// Telemetry recording handle installed by the serving layer while the
+    /// engine is checked out (`None` outside a server or with telemetry
+    /// off — every record site is one `Option` branch then).
+    probe: Option<Probe>,
 }
 
 impl RankingEngine {
@@ -444,8 +478,29 @@ impl RankingEngine {
             decision,
             approx: None,
             skip_rates: SkipRates::default(),
+            probe: None,
             opts,
         })
+    }
+
+    /// Installs (or clears) the serving layer's telemetry probe. The
+    /// server attaches one per checkout; a probe-less engine records
+    /// nothing.
+    pub fn set_probe(&mut self, probe: Option<Probe>) {
+        self.probe = probe;
+    }
+
+    /// Points the installed probe (if any) at the command about to
+    /// execute, so solve-phase events carry its sequence number.
+    pub fn set_probe_seq(&mut self, seq: u64) {
+        if let Some(p) = &mut self.probe {
+            p.set_seq(seq);
+        }
+    }
+
+    /// The installed telemetry probe, if any.
+    pub fn probe(&self) -> Option<&Probe> {
+        self.probe.as_ref()
     }
 
     /// The cost-model decision the current backend runs under (`None`
@@ -648,7 +703,16 @@ impl RankingEngine {
                         }
                     };
                     if patched {
-                        self.observe_patch(sparse_edits, started.elapsed());
+                        let took = started.elapsed();
+                        if let Some(p) = &self.probe {
+                            let ns = took.as_nanos() as u64;
+                            p.event(EventKind::Patch {
+                                sparse_edits: sparse_edits as u32,
+                                ns,
+                            });
+                            p.stage(Stage::Patch, ns);
+                        }
+                        self.observe_patch(sparse_edits, took);
                         self.stats.delta_applies += 1;
                         self.maybe_reshape();
                     } else {
@@ -695,6 +759,11 @@ impl RankingEngine {
         self.backend = Backend::build(&self.matrix, &self.opts, self.decision.as_ref());
         let took = started.elapsed();
         self.stats.rebuilds += 1;
+        if let Some(p) = &self.probe {
+            let ns = took.as_nanos() as u64;
+            p.event(EventKind::Rebuild { ns });
+            p.stage(Stage::Rebuild, ns);
+        }
         if let (Some(planner), Some(decision)) = (self.opts.active_planner(), &self.decision) {
             let predicted = decision.predicted_rebuild_ns as u64;
             if predicted > 0 {
@@ -780,6 +849,11 @@ impl RankingEngine {
         }
         self.advance();
         let warm: Option<SolveState> = self.cache.latest().map(|c| c.state.clone());
+        if let Some(p) = &self.probe {
+            p.event(EventKind::SolveStart {
+                warm: warm.is_some(),
+            });
+        }
         let started = Instant::now();
         let outcome = match &self.backend {
             Backend::Single(ops) => self
@@ -790,6 +864,15 @@ impl RankingEngine {
                 hnd_shard::solve_power(&self.matrix, sops, &self.opts.solver_opts, warm.as_ref())?
             }
         };
+        if let Some(p) = &self.probe {
+            let ns = started.elapsed().as_nanos() as u64;
+            p.event(EventKind::SolveEnd {
+                iterations: outcome.ranking.iterations as u32,
+                early_terminated: outcome.early_terminated,
+                ns,
+            });
+            p.stage(Stage::Solve, ns);
+        }
         // Feedback: only cold solves match the model's full-iteration
         // prediction (warm starts converge in a handful of steps and would
         // read as a spurious 10× over-prediction).
@@ -959,6 +1042,12 @@ impl RankingEngine {
         if let Some(cap) = iter_cap {
             solver_opts.max_iter = solver_opts.max_iter.min(cap);
         }
+        if let Some(p) = &self.probe {
+            p.event(EventKind::SolveStart {
+                warm: warm.is_some(),
+            });
+        }
+        let started = Instant::now();
         let outcome = match &self.backend {
             Backend::Single(ops) => {
                 let solver = self.opts.solver.build(solver_opts);
@@ -969,6 +1058,15 @@ impl RankingEngine {
                 hnd_shard::solve_power(&self.matrix, sops, &solver_opts, warm.as_ref())?
             }
         };
+        if let Some(p) = &self.probe {
+            let ns = started.elapsed().as_nanos() as u64;
+            p.event(EventKind::SolveEnd {
+                iterations: outcome.ranking.iterations as u32,
+                early_terminated: outcome.early_terminated,
+                ns,
+            });
+            p.stage(Stage::Solve, ns);
+        }
         if warm.is_some() {
             self.stats.warm_solves += 1;
         } else {
@@ -1038,7 +1136,14 @@ impl RankingEngine {
             // Nothing pending: a plain reuse, not a counted skip.
             return Some(head_from(prev, k));
         }
-        let direct = self.skip_rates.direct?;
+        let Some(direct) = self.skip_rates.direct else {
+            if let Some(p) = &self.probe {
+                p.event(EventKind::SkipRefuse {
+                    reason: SkipRefusal::Uncalibrated,
+                });
+            }
+            return None;
+        };
         // A never-observed ripple channel means off-editor movement stayed
         // under the solver noise band, which the decision budgets for.
         let ripple = self.skip_rates.ripple.unwrap_or(0.0);
@@ -1069,10 +1174,20 @@ impl RankingEngine {
             }
         }
         if prev.span > SKIP_SPAN_MAX {
+            if let Some(p) = &self.probe {
+                p.event(EventKind::SkipRefuse {
+                    reason: SkipRefusal::SpanOverflow,
+                });
+            }
             return None;
         }
         if let Some(decision) = &self.decision {
             if !decision.skip_profitable(prev.span) {
+                if let Some(p) = &self.probe {
+                    p.event(EventKind::SkipRefuse {
+                        reason: SkipRefusal::Unprofitable,
+                    });
+                }
                 return None;
             }
         }
@@ -1098,10 +1213,18 @@ impl RankingEngine {
         // The cached scores themselves carry solver-tolerance noise;
         // a decision inside that noise band is no decision.
         if head_floor - outside_ceil <= ripple_margin + SKIP_NOISE * prev.tol {
+            if let Some(p) = &self.probe {
+                p.event(EventKind::SkipRefuse {
+                    reason: SkipRefusal::MarginTooThin,
+                });
+            }
             return None;
         }
         let head = head_from(prev, k);
         self.stats.skipped_solves += 1;
+        if let Some(p) = &self.probe {
+            p.event(EventKind::SkipServe { k: k as u32 });
+        }
         Some(head)
     }
 

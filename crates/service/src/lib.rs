@@ -118,7 +118,7 @@ pub mod session;
 
 pub use cache::{CachedSolve, WarmStartCache};
 pub use engine::{EngineOpts, EngineStats, QueryTier, RankingEngine, COARSE_MAX_ITER};
-pub use server::{Reply, ServerError, ServerOpts, SessionServer};
+pub use server::{Reply, ServerError, ServerOpts, ServerSnapshot, SessionServer};
 pub use session::{Checkout, ManagerStats, SessionId, SessionManager};
 
 // Re-export the building blocks callers configure the service with.
@@ -131,4 +131,8 @@ pub use hnd_response::{
 pub use hnd_shard::ShardPlan;
 pub use hnd_store::{
     FlushPolicy, RecoveryReport, RecoverySource, SessionStore, StoreError, StoreOpts, StoreStats,
+};
+pub use hnd_telemetry::{
+    CheckoutKind, CommandKind, EventKind, HistogramSummary, MetricsSnapshot, SkipRefusal,
+    StageSummary, TraceDump, TraceEvent, WorkerTrace,
 };

@@ -52,13 +52,18 @@ use hnd_response::{
     rank_many, RankError, Ranking, ResponseDelta, ResponseError, ResponseLog, ResponseMatrix,
 };
 use hnd_store::{SessionStore, StoreStats};
+use hnd_telemetry::{
+    CheckoutKind, CommandKind, Counter, EventKind, MetricsSnapshot, Probe, Stage, StageSummary,
+    TelemetryHub, TraceDump,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Configuration of a [`SessionServer`].
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerOpts {
     /// Worker threads in the pool; `0` (the default) = one per effective
     /// kernel thread (the `HND_THREADS` convention).
@@ -79,6 +84,43 @@ pub struct ServerOpts {
     /// the worker has inner kernel threads to spend, one-at-a-time
     /// otherwise. `1` disables batching unconditionally.
     pub cold_batch: usize,
+    /// Whether the telemetry hub records (flight-recorder events, stage
+    /// histograms, hub counters). Default **on** — the `telemetry` bench
+    /// group's pair gate holds the overhead at ≤5% of a serving wave
+    /// round. Off, every record site is a single branch and the trace
+    /// rings hold no memory.
+    pub telemetry: bool,
+}
+
+impl Default for ServerOpts {
+    fn default() -> Self {
+        ServerOpts {
+            workers: 0,
+            idle_threshold: None,
+            engine: EngineOpts::default(),
+            cold_batch: 0,
+            telemetry: true,
+        }
+    }
+}
+
+/// The unified per-session observability snapshot returned by
+/// [`SessionServer::snapshot`]: every layer's counters in one reply, taken
+/// through the session's own mailbox so it is ordered with the commands
+/// around it. Worker-local store-error counts accrued in the same pass are
+/// already folded into `manager`.
+#[derive(Debug, Clone)]
+pub struct ServerSnapshot {
+    /// The session's engine counters.
+    pub engine: EngineStats,
+    /// Fleet lifecycle counters (evictions, rehydrations, spills,
+    /// restores, store errors — including this pass's).
+    pub manager: ManagerStats,
+    /// Durable-tier counters (`None` without a store).
+    pub store: Option<StoreStats>,
+    /// Per-stage latency summaries from the telemetry hub (empty with
+    /// telemetry off).
+    pub telemetry: Vec<StageSummary>,
 }
 
 /// Errors surfaced to server clients.
@@ -155,6 +197,7 @@ enum Command {
     RankOf(usize, Sender<Result<usize, ServerError>>),
     CatchUp(u64, Sender<Result<ResponseDelta, ServerError>>),
     Stats(Sender<Result<EngineStats, ServerError>>),
+    Snapshot(Sender<Result<ServerSnapshot, ServerError>>),
     SessionLog(Sender<Result<ResponseLog, ServerError>>),
     Close(Sender<Result<(), ServerError>>),
 }
@@ -169,6 +212,21 @@ impl Command {
         )
     }
 
+    /// The command's flight-recorder tag.
+    fn kind(&self) -> CommandKind {
+        match self {
+            Command::Submit(..) => CommandKind::Submit,
+            Command::Ranking(_) => CommandKind::Ranking,
+            Command::TopK(..) => CommandKind::TopK,
+            Command::RankOf(..) => CommandKind::RankOf,
+            Command::CatchUp(..) => CommandKind::CatchUp,
+            Command::Stats(_) => CommandKind::Stats,
+            Command::Snapshot(_) => CommandKind::Snapshot,
+            Command::SessionLog(_) => CommandKind::SessionLog,
+            Command::Close(_) => CommandKind::Close,
+        }
+    }
+
     /// Resolves the command's reply with `err` without executing it.
     fn reject(self, err: ServerError) {
         match self {
@@ -178,6 +236,7 @@ impl Command {
             Command::RankOf(_, tx) => drop(tx.send(Err(err))),
             Command::CatchUp(_, tx) => drop(tx.send(Err(err))),
             Command::Stats(tx) => drop(tx.send(Err(err))),
+            Command::Snapshot(tx) => drop(tx.send(Err(err))),
             Command::SessionLog(tx) => drop(tx.send(Err(err))),
             Command::Close(tx) => drop(tx.send(Err(err))),
         }
@@ -189,6 +248,11 @@ impl Command {
     /// history has been truncated; store *write* failures never fail the
     /// client (the commit already happened) — they accumulate in
     /// `store_errors` for the check-in to fold into [`ManagerStats`].
+    /// `record` runs with the reply's `Ok`/`Err` outcome *before* the
+    /// reply is sent, so a client whose [`Reply::wait`] has returned is
+    /// guaranteed to find its command already in the telemetry hub — no
+    /// sampling race between `wait` and [`SessionServer::metrics`].
+    #[allow(clippy::too_many_arguments)]
     fn execute(
         self,
         id: SessionId,
@@ -196,29 +260,43 @@ impl Command {
         store: Option<&SessionStore>,
         store_errors: &mut u64,
         close: &mut bool,
+        mgr_stats: ManagerStats,
+        hub: &TelemetryHub,
+        record: &dyn Fn(bool),
     ) {
         match self {
             Command::Submit(batch, tx) => {
                 let result = engine.submit_responses(batch).map_err(ServerError::from);
                 if result.is_ok() {
                     if let Some(store) = store {
-                        if store.sync_from(id, engine.log()).is_err() {
+                        let started = engine.probe().map(|_| Instant::now());
+                        let synced = store.sync_from(id, engine.log());
+                        if let (Some(started), Some(p)) = (started, engine.probe()) {
+                            p.event(EventKind::WalAppend {
+                                ns: started.elapsed().as_nanos() as u64,
+                            });
+                        }
+                        if synced.is_err() {
                             *store_errors += 1;
                         }
                     }
                 }
+                record(result.is_ok());
                 let _ = tx.send(result);
             }
             Command::Ranking(tx) => {
                 let result = engine.current_ranking().map_err(ServerError::from);
+                record(result.is_ok());
                 let _ = tx.send(result);
             }
             Command::TopK(k, tx) => {
                 let result = engine.top_k(k).map_err(ServerError::from);
+                record(result.is_ok());
                 let _ = tx.send(result);
             }
             Command::RankOf(user, tx) => {
                 let result = engine.rank_of(user).map_err(ServerError::from);
+                record(result.is_ok());
                 let _ = tx.send(result);
             }
             Command::CatchUp(from, tx) => {
@@ -235,25 +313,54 @@ impl Command {
                         .map_err(|e| ServerError::Store(e.to_string())),
                     Err(e) => Err(ServerError::from(e)),
                 };
+                record(result.is_ok());
                 let _ = tx.send(result);
             }
             Command::Stats(tx) => {
+                record(true);
                 let _ = tx.send(Ok(engine.stats()));
             }
+            Command::Snapshot(tx) => {
+                // Fold this pass's accrued store errors in so the caller
+                // sees a count consistent with the commands ordered before
+                // the snapshot in the same mailbox drain.
+                let mut manager = mgr_stats;
+                manager.store_errors += *store_errors;
+                record(true);
+                let _ = tx.send(Ok(ServerSnapshot {
+                    engine: engine.stats(),
+                    manager,
+                    store: store.map(SessionStore::stats),
+                    telemetry: hub.stage_summaries(),
+                }));
+            }
             Command::SessionLog(tx) => {
+                record(true);
                 let _ = tx.send(Ok(engine.log().clone()));
             }
             Command::Close(tx) => {
                 *close = true;
+                record(true);
                 let _ = tx.send(Ok(()));
             }
         }
     }
 }
 
+/// A command sitting in a mailbox, stamped for the flight recorder at
+/// enqueue time (`seq`/`at_ns` are zero with telemetry off).
+struct Queued {
+    cmd: Command,
+    /// Hub-global command sequence number (links the client ring's
+    /// `Enqueue` event to the worker ring's lifecycle events).
+    seq: u64,
+    /// Hub-epoch nanosecond stamp taken at enqueue (dwell = dequeue − this).
+    at_ns: u64,
+}
+
 /// Per-session command queue.
 struct Mailbox {
-    queue: VecDeque<Command>,
+    queue: VecDeque<Queued>,
     /// Engine checked out: a worker is processing this session.
     busy: bool,
     /// Already sitting in the ready queue (at most one entry per session).
@@ -279,6 +386,7 @@ pub struct SessionServer {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
+    hub: Arc<TelemetryHub>,
 }
 
 impl SessionServer {
@@ -314,7 +422,13 @@ impl SessionServer {
             n => n,
         };
         mgr.set_idle_threshold(opts.idle_threshold);
+        // One flight-recorder ring per worker plus the client ring (direct
+        // serves and rejects record from caller threads).
+        let hub = TelemetryHub::new(workers + 1, opts.telemetry);
         let store = mgr.store().cloned();
+        if let Some(store) = &store {
+            store.attach_telemetry(hub.clone());
+        }
         // Adopted (spilled) sessions need mailboxes from the start.
         let mailboxes: BTreeMap<SessionId, Mailbox> = mgr
             .session_ids()
@@ -344,9 +458,10 @@ impl SessionServer {
             .map(|k| {
                 let shared = Arc::clone(&shared);
                 let store = store.clone();
+                let hub = hub.clone();
                 std::thread::Builder::new()
                     .name(format!("hnd-serve-{k}"))
-                    .spawn(move || worker_loop(&shared, inner_threads, cold_batch, store))
+                    .spawn(move || worker_loop(&shared, inner_threads, cold_batch, store, hub, k))
                     .expect("spawn server worker")
             })
             .collect();
@@ -354,6 +469,7 @@ impl SessionServer {
             shared,
             handles,
             workers,
+            hub,
         }
     }
 
@@ -412,11 +528,80 @@ impl SessionServer {
         Ok(id)
     }
 
+    /// Flight-records a command served directly off the durable log (no
+    /// mailbox round-trip) on the client ring, and feeds the end-to-end
+    /// histogram so direct serves show up in the latency profile.
+    fn record_direct(&self, id: SessionId, seq: u64, at_ns: u64, kind: CommandKind, ok: bool) {
+        if !self.hub.enabled() {
+            return;
+        }
+        let e2e_ns = self.hub.now_ns().saturating_sub(at_ns);
+        self.hub.record(
+            self.hub.client_ring(),
+            id,
+            seq,
+            EventKind::Reply {
+                cmd: kind,
+                ok,
+                e2e_ns,
+            },
+        );
+        self.hub.record_stage(Stage::Command, e2e_ns);
+        self.hub.bump(if ok {
+            Counter::RepliesOk
+        } else {
+            Counter::RepliesErr
+        });
+        self.hub.bump(Counter::DirectServes);
+        if !ok {
+            self.hub.capture_error();
+        }
+    }
+
+    /// Flight-records a command rejected before reaching a worker
+    /// (unknown session, shutdown).
+    fn record_reject(&self, id: SessionId, seq: u64, at_ns: u64, kind: CommandKind) {
+        if !self.hub.enabled() {
+            return;
+        }
+        let e2e_ns = self.hub.now_ns().saturating_sub(at_ns);
+        self.hub.record(
+            self.hub.client_ring(),
+            id,
+            seq,
+            EventKind::Reply {
+                cmd: kind,
+                ok: false,
+                e2e_ns,
+            },
+        );
+        self.hub.bump(Counter::RepliesErr);
+    }
+
     fn enqueue(&self, id: SessionId, cmd: Command) {
         let st = self.lock();
+        // Stamp the command for the flight recorder before anything can
+        // serve it; with telemetry off both stamps are zero and no event
+        // is recorded anywhere downstream.
+        let (seq, at_ns) = if self.hub.enabled() {
+            let seq = self.hub.next_seq();
+            let at_ns = self.hub.now_ns();
+            self.hub.record(
+                self.hub.client_ring(),
+                id,
+                seq,
+                EventKind::Enqueue { cmd: cmd.kind() },
+            );
+            self.hub.bump(Counter::CommandsEnqueued);
+            (seq, at_ns)
+        } else {
+            (0, 0)
+        };
         if st.shutdown {
             drop(st);
+            let kind = cmd.kind();
             cmd.reject(ServerError::Terminated);
+            self.record_reject(id, seq, at_ns, kind);
             return;
         }
         // Read-only log commands against an evicted, quiescent session are
@@ -438,24 +623,26 @@ impl SessionServer {
                     match cmd {
                         Command::CatchUp(from, tx) => {
                             drop(st);
-                            let _ = tx.send(
-                                store
-                                    .catch_up(id, from)
-                                    .map_err(|e| ServerError::Store(e.to_string())),
-                            );
+                            let result = store
+                                .catch_up(id, from)
+                                .map_err(|e| ServerError::Store(e.to_string()));
+                            let ok = result.is_ok();
+                            let _ = tx.send(result);
+                            self.record_direct(id, seq, at_ns, CommandKind::CatchUp, ok);
                             return;
                         }
                         Command::SessionLog(tx) => {
                             drop(st);
-                            let _ = tx.send(
-                                store
-                                    .load(id)
-                                    .map(|(log, _)| log)
-                                    .map_err(|e| ServerError::Store(e.to_string())),
-                            );
+                            let result = store
+                                .load(id)
+                                .map(|(log, _)| log)
+                                .map_err(|e| ServerError::Store(e.to_string()));
+                            let ok = result.is_ok();
+                            let _ = tx.send(result);
+                            self.record_direct(id, seq, at_ns, CommandKind::SessionLog, ok);
                             return;
                         }
-                        other => return self.enqueue_locked(st, id, other),
+                        other => return self.enqueue_locked(st, id, other, seq, at_ns),
                     }
                 }
             }
@@ -482,24 +669,27 @@ impl SessionServer {
                                 .map_err(|e| ServerError::Store(e.to_string())),
                             (Err(e), None) => Err(ServerError::from(e)),
                         };
+                        let ok = result.is_ok();
                         let _ = tx.send(result);
+                        self.record_direct(id, seq, at_ns, CommandKind::CatchUp, ok);
                         return;
                     }
                     Command::SessionLog(tx) => {
                         let log = log.clone();
                         drop(st);
                         let _ = tx.send(Ok(log));
+                        self.record_direct(id, seq, at_ns, CommandKind::SessionLog, true);
                         return;
                     }
                     other => {
                         // Engine-bound command: fall through to the mailbox
                         // (the worker rehydrates).
-                        return self.enqueue_locked(st, id, other);
+                        return self.enqueue_locked(st, id, other, seq, at_ns);
                     }
                 }
             }
         }
-        self.enqueue_locked(st, id, cmd)
+        self.enqueue_locked(st, id, cmd, seq, at_ns)
     }
 
     fn enqueue_locked(
@@ -507,14 +697,18 @@ impl SessionServer {
         mut st: std::sync::MutexGuard<'_, Inner>,
         id: SessionId,
         cmd: Command,
+        seq: u64,
+        at_ns: u64,
     ) {
         match st.mailboxes.get_mut(&id) {
             None => {
                 drop(st);
+                let kind = cmd.kind();
                 cmd.reject(ServerError::UnknownSession(id));
+                self.record_reject(id, seq, at_ns, kind);
             }
             Some(mailbox) => {
-                mailbox.queue.push_back(cmd);
+                mailbox.queue.push_back(Queued { cmd, seq, at_ns });
                 if !mailbox.busy && !mailbox.enqueued {
                     mailbox.enqueued = true;
                     st.ready.push_back(id);
@@ -579,6 +773,16 @@ impl SessionServer {
         reply
     }
 
+    /// Every layer's counters in one ordered reply — engine, manager
+    /// (store errors from the same pass folded in), store, and the
+    /// telemetry hub's per-stage latency summaries. Rides the session's
+    /// mailbox, so it observes exactly the commands enqueued before it.
+    pub fn snapshot(&self, id: SessionId) -> Reply<ServerSnapshot> {
+        let (tx, reply) = Reply::pair();
+        self.enqueue(id, Command::Snapshot(tx));
+        reply
+    }
+
     /// A clone of the session's durable log (the serial-replay oracle of
     /// the concurrency tests; also the handoff format for re-sharding).
     pub fn session_log(&self, id: SessionId) -> Reply<ResponseLog> {
@@ -619,6 +823,82 @@ impl SessionServer {
         self.lock().mgr.store().map(|s| s.stats())
     }
 
+    /// The unified fleet-wide metrics snapshot: engine counters aggregated
+    /// across every session (live and retired), manager and store
+    /// counters, hub counters, and per-stage latency histograms — the one
+    /// structure the text exposition format and the example summary tables
+    /// render. The per-layer stats accessors remain as thin views of the
+    /// same numbers.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let (engine, manager, store, sessions) = {
+            let st = self.lock();
+            (
+                st.mgr.aggregate_engine_stats(),
+                st.mgr.stats(),
+                st.mgr.store().map(|s| s.stats()),
+                st.mgr.len(),
+            )
+        };
+        let mut snap = MetricsSnapshot::new();
+        snap.gauge("server_workers", self.workers as f64);
+        snap.gauge("server_sessions", sessions as f64);
+        snap.counter("engine_delta_applies", engine.delta_applies);
+        snap.counter("engine_rebuilds", engine.rebuilds);
+        snap.counter("engine_warm_solves", engine.warm_solves);
+        snap.counter("engine_cold_solves", engine.cold_solves);
+        snap.counter("engine_sharded_solves", engine.sharded_solves);
+        snap.counter("engine_shard_rebalances", engine.shard_rebalances);
+        snap.counter("engine_shard_rebuilds", engine.shard_rebuilds);
+        snap.counter("engine_plan_replans", engine.plan_replans);
+        snap.counter("engine_predicted_patch_ns", engine.predicted_patch_ns);
+        snap.counter("engine_actual_patch_ns", engine.actual_patch_ns);
+        snap.counter("engine_predicted_rebuild_ns", engine.predicted_rebuild_ns);
+        snap.counter("engine_actual_rebuild_ns", engine.actual_rebuild_ns);
+        snap.counter("engine_predicted_solve_ns", engine.predicted_solve_ns);
+        snap.counter("engine_actual_solve_ns", engine.actual_solve_ns);
+        snap.counter("engine_skipped_solves", engine.skipped_solves);
+        snap.counter("engine_early_terminations", engine.early_terminations);
+        snap.counter("engine_iterations_saved", engine.iterations_saved);
+        snap.counter("engine_wal_replayed", engine.wal_replayed);
+        snap.gauge("engine_bitmap_rows", engine.formats.bitmap_rows as f64);
+        snap.gauge("engine_sparse_rows", engine.formats.sparse_rows as f64);
+        snap.gauge("engine_bitmap_cols", engine.formats.bitmap_cols as f64);
+        snap.gauge("engine_sparse_cols", engine.formats.sparse_cols as f64);
+        snap.counter("manager_evictions", manager.evictions);
+        snap.counter("manager_rehydrations", manager.rehydrations);
+        snap.counter("manager_spills", manager.spills);
+        snap.counter("manager_restores", manager.restores);
+        snap.counter("manager_store_errors", manager.store_errors);
+        if let Some(store) = store {
+            snap.counter("store_frames_appended", store.frames_appended);
+            snap.counter("store_edits_appended", store.edits_appended);
+            snap.counter("store_fsyncs", store.fsyncs);
+            snap.counter("store_snapshots_written", store.snapshots_written);
+            snap.counter("store_wal_rotations", store.wal_rotations);
+            snap.counter("store_loads", store.loads);
+            snap.counter("store_replayed_edits", store.replayed_edits);
+            snap.counter("store_damaged_frames", store.damaged_frames());
+            snap.counter("store_snapshot_failures", store.snapshot_failures);
+        }
+        self.hub.fill(&mut snap);
+        snap
+    }
+
+    /// Serializes the flight recorder: the last [`hnd_telemetry::RING_CAPACITY`]
+    /// events per worker ring (plus the client ring), chronological within
+    /// each ring. Cheap enough to call on demand; empty with telemetry off.
+    pub fn trace_dump(&self) -> TraceDump {
+        self.hub.trace_dump()
+    }
+
+    /// The trace dump captured automatically when a command last resolved
+    /// with an error (`None` when no command has failed, or telemetry is
+    /// off). The failure-injection suite writes this to disk as its
+    /// post-mortem artifact.
+    pub fn last_error_trace(&self) -> Option<TraceDump> {
+        self.hub.last_error_trace()
+    }
+
     /// Forces every session's group-commit WAL debt to disk (checkpoint /
     /// orderly-shutdown barrier); `Ok` and a no-op without a store.
     pub fn flush_store(&self) -> Result<(), ServerError> {
@@ -656,8 +936,8 @@ impl Drop for SessionServer {
         // off any group-commit debt so shutdown loses nothing durable.
         let mut st = self.lock();
         for (_, mailbox) in std::mem::take(&mut st.mailboxes) {
-            for cmd in mailbox.queue {
-                cmd.reject(ServerError::Terminated);
+            for q in mailbox.queue {
+                q.cmd.reject(ServerError::Terminated);
             }
         }
         if let Some(store) = st.mgr.store() {
@@ -671,7 +951,7 @@ impl Drop for SessionServer {
 /// Unselected ids keep their queue position and `enqueued` flag.
 fn collect_cold_batch(
     st: &mut Inner,
-    batch: &mut Vec<(SessionId, Vec<Command>, Checkout)>,
+    batch: &mut Vec<(SessionId, Vec<Queued>, Checkout)>,
     cap: usize,
 ) {
     let mut passed: Vec<SessionId> = Vec::new();
@@ -683,22 +963,22 @@ fn collect_cold_batch(
             && st
                 .mailboxes
                 .get(&id)
-                .is_some_and(|mb| !mb.busy && mb.queue.iter().any(Command::needs_solve));
+                .is_some_and(|mb| !mb.busy && mb.queue.iter().any(|q| q.cmd.needs_solve()));
         if !eligible {
             passed.push(id);
             continue;
         }
         let mailbox = st.mailboxes.get_mut(&id).expect("checked above");
         mailbox.enqueued = false;
-        let commands: Vec<Command> = mailbox.queue.drain(..).collect();
+        let commands: Vec<Queued> = mailbox.queue.drain(..).collect();
         match st.mgr.checkout(id) {
             Some(checkout) => {
                 st.mailboxes.get_mut(&id).expect("checked above").busy = true;
                 batch.push((id, commands, checkout));
             }
             None => {
-                for cmd in commands {
-                    cmd.reject(ServerError::UnknownSession(id));
+                for q in commands {
+                    q.cmd.reject(ServerError::UnknownSession(id));
                 }
             }
         }
@@ -724,10 +1004,12 @@ fn worker_loop(
     inner_threads: usize,
     cold_batch: usize,
     store: Option<Arc<SessionStore>>,
+    hub: Arc<TelemetryHub>,
+    ring: usize,
 ) {
     loop {
         // Acquire one or more sessions to process (or exit).
-        let (batch, engine_opts) = {
+        let (batch, engine_opts, mgr_stats) = {
             let mut st = shared.state.lock().expect("server state poisoned");
             'acquire: loop {
                 while let Some(id) = st.ready.pop_front() {
@@ -738,7 +1020,7 @@ fn worker_loop(
                     if mailbox.busy || mailbox.queue.is_empty() {
                         continue;
                     }
-                    let commands: Vec<Command> = mailbox.queue.drain(..).collect();
+                    let commands: Vec<Queued> = mailbox.queue.drain(..).collect();
                     // checkout (not take_engine): an evicted session hands
                     // back its log so the O(nnz) rehydration build runs
                     // outside the lock — the mutex guards bookkeeping only.
@@ -749,23 +1031,26 @@ fn worker_loop(
                                 .expect("mailbox checked above")
                                 .busy = true;
                             let opts = st.mgr.engine_opts();
+                            // Manager counters as of this pass, for any
+                            // Snapshot command in the drained queue.
+                            let mgr_stats = st.mgr.stats();
                             let mut batch = vec![(id, commands, checkout)];
                             if cold_batch > 1
                                 && matches!(
                                     batch[0].2,
                                     Checkout::Rehydrate(_) | Checkout::Restore { .. }
                                 )
-                                && batch[0].1.iter().any(Command::needs_solve)
+                                && batch[0].1.iter().any(|q| q.cmd.needs_solve())
                             {
                                 collect_cold_batch(&mut st, &mut batch, cold_batch);
                             }
-                            break 'acquire (batch, opts);
+                            break 'acquire (batch, opts, mgr_stats);
                         }
                         None => {
                             // The manager no longer knows the id (closed
                             // concurrently): fail the batch, keep popping.
-                            for cmd in commands {
-                                cmd.reject(ServerError::UnknownSession(id));
+                            for q in commands {
+                                q.cmd.reject(ServerError::UnknownSession(id));
                             }
                         }
                     }
@@ -779,30 +1064,78 @@ fn worker_loop(
 
         // Process the batch outside the lock: each session is single-writer
         // (its engine is checked out), other sessions proceed in parallel.
-        let mut items: Vec<(SessionId, Vec<Command>, RankingEngine)> =
+        let enabled = hub.enabled();
+        let mut items: Vec<(SessionId, Vec<Queued>, RankingEngine)> =
             Vec::with_capacity(batch.len());
         let mut cold: Vec<usize> = Vec::new();
         let batched = batch.len() > 1;
         for (id, commands, checkout) in batch {
-            let engine = match checkout {
-                Checkout::Live(engine) => *engine,
+            // The checkout event carries the first queued command's seq so
+            // a trace reader can tie the rebuild to the command that paid
+            // for it.
+            let seq0 = commands.first().map_or(0, |q| q.seq);
+            let mut engine = match checkout {
+                Checkout::Live(engine) => {
+                    if enabled {
+                        hub.record(
+                            ring,
+                            id,
+                            seq0,
+                            EventKind::Checkout {
+                                kind: CheckoutKind::Live,
+                                replayed: 0,
+                            },
+                        );
+                    }
+                    *engine
+                }
                 Checkout::Rehydrate(log) => {
                     if batched {
                         cold.push(items.len());
                     }
-                    RankingEngine::from_log(log, engine_opts)
-                        .expect("rehydration from a previously valid log")
+                    let started = Instant::now();
+                    let engine = RankingEngine::from_log(log, engine_opts)
+                        .expect("rehydration from a previously valid log");
+                    if enabled {
+                        hub.record(
+                            ring,
+                            id,
+                            seq0,
+                            EventKind::Checkout {
+                                kind: CheckoutKind::Rehydrate,
+                                replayed: 0,
+                            },
+                        );
+                        hub.record_stage(Stage::Restore, started.elapsed().as_nanos() as u64);
+                    }
+                    engine
                 }
                 Checkout::Restore { log, replayed } => {
                     if batched {
                         cold.push(items.len());
                     }
+                    let started = Instant::now();
                     let mut engine = RankingEngine::from_log(log, engine_opts)
                         .expect("rehydration from a previously valid log");
                     engine.record_wal_replay(replayed);
+                    if enabled {
+                        hub.record(
+                            ring,
+                            id,
+                            seq0,
+                            EventKind::Checkout {
+                                kind: CheckoutKind::Restore,
+                                replayed,
+                            },
+                        );
+                        hub.record_stage(Stage::Restore, started.elapsed().as_nanos() as u64);
+                    }
                     engine
                 }
             };
+            // (Re)install the probe every checkout: the engine may have
+            // last run on a different worker's ring.
+            engine.set_probe(enabled.then(|| Probe::new(hub.clone(), ring, id)));
             items.push((id, commands, engine));
         }
         let (finished, store_errors) = parallel::with_threads(inner_threads, || {
@@ -826,20 +1159,66 @@ fn worker_loop(
             let mut store_errors = 0u64;
             for (id, commands, mut engine) in items {
                 let mut close = false;
-                for cmd in commands {
+                for q in commands {
+                    let Queued { cmd, seq, at_ns } = q;
                     if close {
                         // Ordered after a Close in the same batch: the
                         // session is already logically gone.
                         cmd.reject(ServerError::UnknownSession(id));
-                    } else {
-                        cmd.execute(
-                            id,
-                            &mut engine,
-                            store.as_deref(),
-                            &mut store_errors,
-                            &mut close,
-                        );
+                        continue;
                     }
+                    let kind = cmd.kind();
+                    if enabled {
+                        let dwell_ns = hub.now_ns().saturating_sub(at_ns);
+                        hub.record(
+                            ring,
+                            id,
+                            seq,
+                            EventKind::Dequeue {
+                                cmd: kind,
+                                dwell_ns,
+                            },
+                        );
+                        hub.record_stage(Stage::QueueWait, dwell_ns);
+                        engine.set_probe_seq(seq);
+                    }
+                    // Recording runs inside `execute`, before the reply is
+                    // sent: once a client's `wait` returns, the command is
+                    // already visible to `metrics()`/`trace_dump()`.
+                    let record = |ok: bool| {
+                        if enabled {
+                            let e2e_ns = hub.now_ns().saturating_sub(at_ns);
+                            hub.record(
+                                ring,
+                                id,
+                                seq,
+                                EventKind::Reply {
+                                    cmd: kind,
+                                    ok,
+                                    e2e_ns,
+                                },
+                            );
+                            hub.record_stage(Stage::Command, e2e_ns);
+                            hub.bump(if ok {
+                                Counter::RepliesOk
+                            } else {
+                                Counter::RepliesErr
+                            });
+                            if !ok {
+                                hub.capture_error();
+                            }
+                        }
+                    };
+                    cmd.execute(
+                        id,
+                        &mut engine,
+                        store.as_deref(),
+                        &mut store_errors,
+                        &mut close,
+                        mgr_stats,
+                        &hub,
+                        &record,
+                    );
                 }
                 finished.push((id, engine, close));
             }
@@ -856,8 +1235,8 @@ fn worker_loop(
             if close {
                 st.mgr.drop_session(id);
                 if let Some(mailbox) = st.mailboxes.remove(&id) {
-                    for cmd in mailbox.queue {
-                        cmd.reject(ServerError::UnknownSession(id));
+                    for q in mailbox.queue {
+                        q.cmd.reject(ServerError::UnknownSession(id));
                     }
                 }
             } else {

@@ -40,7 +40,7 @@
 //! checks the engine out, processes the session's mailbox without holding
 //! any global lock, and checks it back in.
 
-use crate::engine::{EngineOpts, RankingEngine};
+use crate::engine::{EngineOpts, EngineStats, RankingEngine};
 use hnd_core::SpectralSolver;
 use hnd_response::{rank_many, RankError, Ranking, ResponseError, ResponseLog, ResponseMatrix};
 use hnd_store::SessionStore;
@@ -137,6 +137,10 @@ pub struct SessionManager {
     /// [`Self::run_idle_policy`]).
     last_sweep: u64,
     stats: ManagerStats,
+    /// Serving counters of engines that left the fleet (evicted, spilled,
+    /// or closed) — so [`Self::aggregate_engine_stats`] reports lifetime
+    /// totals, not just whatever happens to be resident right now.
+    retired_stats: EngineStats,
     /// The durable tier, when attached: evictions spill to it (the log
     /// leaves memory entirely) and committed edits stream into its WALs
     /// so catch-up outlives in-memory history truncation.
@@ -155,6 +159,7 @@ impl SessionManager {
             idle_threshold: None,
             last_sweep: 0,
             stats: ManagerStats::default(),
+            retired_stats: EngineStats::default(),
             store: None,
         }
     }
@@ -230,6 +235,20 @@ impl SessionManager {
         self.stats
     }
 
+    /// Lifetime engine counters across the whole fleet: every live
+    /// engine's stats summed with those of engines already retired
+    /// (evicted, spilled, or closed). The engine-side half of the unified
+    /// metrics snapshot.
+    pub fn aggregate_engine_stats(&self) -> EngineStats {
+        let mut total = self.retired_stats;
+        for slot in self.sessions.values() {
+            if let SessionState::Live(ref engine) = slot.state {
+                total.absorb(&engine.stats());
+            }
+        }
+        total
+    }
+
     /// Configures the idle-eviction policy: sessions untouched for at
     /// least `threshold` manager operations are torn down to their durable
     /// log on the next maintenance opportunity (`None` disables eviction).
@@ -296,7 +315,15 @@ impl SessionManager {
     /// session is closed too: its engine is discarded at check-in. With a
     /// store attached the durable files go with it.
     pub fn drop_session(&mut self, id: SessionId) -> bool {
-        let existed = self.sessions.remove(&id).is_some();
+        let removed = self.sessions.remove(&id);
+        let existed = removed.is_some();
+        if let Some(SessionSlot {
+            state: SessionState::Live(engine),
+            ..
+        }) = removed
+        {
+            self.retired_stats.absorb(&engine.stats());
+        }
         if existed {
             if let Some(store) = &self.store {
                 if store.remove(id).is_err() {
@@ -642,6 +669,7 @@ impl SessionManager {
         else {
             unreachable!()
         };
+        self.retired_stats.absorb(&engine.stats());
         let log = engine.into_log();
         match &store {
             // Spill: WAL tail shipped and fsynced, then the log leaves

@@ -83,10 +83,15 @@ fn score_distance(a: &[f64], b: &[f64]) -> f64 {
 }
 
 fn run_storm(seed: u64) {
+    run_storm_with(seed, true);
+}
+
+fn run_storm_with(seed: u64, telemetry: bool) {
     let srv = SessionServer::new(ServerOpts {
         workers: WORKERS,
         idle_threshold: Some(40),
         engine: opts(),
+        telemetry,
         ..Default::default()
     });
     assert_eq!(srv.workers(), WORKERS);
@@ -188,4 +193,92 @@ fn storm_seed_2() {
 #[test]
 fn storm_seed_3() {
     run_storm(0x5EED_2024);
+}
+
+/// The storm battery holds with the flight recorder disabled too — the
+/// telemetry-off configuration is not a separate code path for ordering.
+#[test]
+fn storm_with_telemetry_off() {
+    run_storm_with(0xA11CE, false);
+}
+
+/// Runs a seeded schedule serially (every command awaited before the
+/// next) so the command order is a total order, and returns every
+/// session's final score vector. With the interleaving pinned, the
+/// server's output is a pure function of the schedule — which is exactly
+/// what lets the test below compare telemetry-on against telemetry-off
+/// bitwise.
+///
+/// Eviction stays out of this schedule deliberately: `Reply::wait`
+/// resolves when the worker *sends* the reply, a moment before it checks
+/// the engine back in, so an eviction sweep races with the check-in even
+/// under a serially-awaited schedule — whether a session gets evicted
+/// (and therefore re-solved cold) is timing-dependent in either telemetry
+/// mode. The storm tests above cover eviction with
+/// interleaving-independent assertions; this one pins every input so the
+/// bits must match.
+fn serial_schedule_scores(seed: u64, telemetry: bool) -> Vec<Vec<u64>> {
+    let srv = SessionServer::new(ServerOpts {
+        workers: WORKERS,
+        idle_threshold: None,
+        engine: opts(),
+        telemetry,
+        ..Default::default()
+    });
+    let ids: Vec<SessionId> = (0..SESSIONS)
+        .map(|s| {
+            let k = 2 + (s % 2) as u16;
+            srv.create_session(USERS, ITEMS, &[k; ITEMS]).unwrap()
+        })
+        .collect();
+    let mut rng = Lcg(seed);
+    for _ in 0..240 {
+        let idx = rng.below(SESSIONS as u64) as usize;
+        let sid = ids[idx];
+        let k = 2 + (idx % 2) as u16;
+        match rng.below(100) {
+            0..=59 => {
+                let batch: Vec<(usize, usize, Option<u16>)> = (0..1 + rng.below(4))
+                    .map(|_| {
+                        let u = rng.below(USERS as u64) as usize;
+                        let i = rng.below(ITEMS as u64) as usize;
+                        (u, i, Some(seeded_answer(&mut rng, u, i, k)))
+                    })
+                    .collect();
+                srv.submit(sid, batch).wait().unwrap();
+            }
+            60..=84 => {
+                srv.ranking(sid).wait().unwrap();
+            }
+            _ => {
+                srv.catch_up(sid, 0).wait().unwrap();
+            }
+        }
+    }
+    ids.iter()
+        .map(|&sid| {
+            srv.ranking(sid)
+                .wait()
+                .unwrap()
+                .scores
+                .iter()
+                .map(|s| s.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+/// Telemetry must be *observation only*: the identical seeded schedule
+/// served with the recorder on and off yields bit-identical score vectors
+/// for every session (not approximately equal — the same f64 bits).
+#[test]
+fn telemetry_on_and_off_serve_bitwise_identical_rankings() {
+    for seed in [0xA11CEu64, 0xB0B5EED] {
+        let on = serial_schedule_scores(seed, true);
+        let off = serial_schedule_scores(seed, false);
+        assert_eq!(
+            on, off,
+            "seed {seed:#x}: telemetry changed the numbers it was supposed to only watch"
+        );
+    }
 }

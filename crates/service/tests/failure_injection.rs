@@ -287,6 +287,7 @@ fn batched_cold_storm_matches_unbatched_bitwise() {
             idle_threshold: Some(0),
             engine: opts(),
             cold_batch,
+            ..Default::default()
         });
         let ids: Vec<_> = (0..sessions)
             .map(|s| {
@@ -477,4 +478,129 @@ fn spilled_sessions_answer_catch_up_without_restoring() {
     assert_eq!(srv.manager_stats().restores, restores + 1);
     assert_eq!(srv.stats(quiet).wait().unwrap().wal_replayed, 20);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The observability acceptance gate: after an injected mid-stream
+/// failure, the flight recorder must reconstruct the *full* lifecycle of
+/// a command — enqueue → dequeue (dwell) → checkout → solve → reply —
+/// ordered by nanosecond stamp, and the hub must have captured an
+/// automatic post-mortem dump at the moment the command failed.
+#[test]
+fn trace_dump_reconstructs_command_lifecycle_after_injected_failure() {
+    use hnd_service::{CommandKind, EventKind};
+
+    // One worker + serial waits: every command drains alone, so each gets
+    // its own Checkout event tagged with its own seq.
+    let srv = SessionServer::new(ServerOpts {
+        workers: 1,
+        engine: opts(),
+        ..Default::default()
+    });
+    let id = srv.create_session(6, 5, &[2; 5]).unwrap();
+    srv.submit(id, staircase(6, 5)).wait().unwrap();
+    srv.ranking(id).wait().unwrap();
+
+    // Injected failure: an out-of-roster user mid-stream.
+    let err = srv.submit(id, vec![(100, 0, Some(0))]).wait().unwrap_err();
+    assert!(matches!(
+        err,
+        ServerError::Response(ResponseError::IndexOutOfBounds { user: 100, .. })
+    ));
+
+    // The hub captured a post-mortem dump at the failure, containing the
+    // failed submit's not-ok reply. Recording happens *before* the reply
+    // is sent, so the dump is guaranteed visible the moment `wait`
+    // returned — no settling needed.
+    let post_mortem = srv
+        .last_error_trace()
+        .expect("no post-mortem dump captured");
+    assert!(!post_mortem.is_empty());
+    let failed_reply = post_mortem
+        .workers
+        .iter()
+        .flat_map(|w| &w.events)
+        .find(|e| {
+            matches!(
+                e.kind,
+                EventKind::Reply {
+                    cmd: CommandKind::Submit,
+                    ok: false,
+                    ..
+                }
+            )
+        })
+        .expect("post-mortem holds the failed submit's reply");
+    // Optional CI artifact: serialize the post-mortem next to the build.
+    if let Ok(path) = std::env::var("TRACE_DUMP_OUT") {
+        std::fs::write(&path, post_mortem.to_json()).expect("write trace artifact");
+    }
+
+    // On-demand dump: reconstruct the successful ranking command's
+    // lifecycle across rings by its seq.
+    let dump = srv.trace_dump();
+    let ranking_seq = dump
+        .workers
+        .iter()
+        .flat_map(|w| &w.events)
+        .find(|e| {
+            matches!(
+                e.kind,
+                EventKind::Enqueue {
+                    cmd: CommandKind::Ranking
+                }
+            )
+        })
+        .expect("client ring holds the ranking enqueue")
+        .seq;
+    let lifecycle = dump.command_events(ranking_seq);
+    let names: Vec<&str> = lifecycle.iter().map(|e| e.kind.name()).collect();
+    // Full lifecycle in stamp order: enqueue (client ring), checkout (the
+    // worker takes the engine before draining), dequeue with dwell, solve
+    // start/end, ok reply (worker ring). Backend patch/rebuild events may
+    // interleave between dequeue and the solve depending on slack state.
+    let pos = |name: &str| {
+        names
+            .iter()
+            .position(|n| *n == name)
+            .unwrap_or_else(|| panic!("lifecycle missing {name}: {names:?}"))
+    };
+    assert_eq!(names[0], "enqueue", "lifecycle: {names:?}");
+    assert!(pos("enqueue") < pos("checkout"), "lifecycle: {names:?}");
+    assert!(pos("checkout") < pos("dequeue"), "lifecycle: {names:?}");
+    assert!(pos("dequeue") < pos("solve_start"), "lifecycle: {names:?}");
+    assert!(
+        pos("solve_start") < pos("solve_end"),
+        "lifecycle: {names:?}"
+    );
+    assert_eq!(*names.last().unwrap(), "reply", "lifecycle: {names:?}");
+    assert!(
+        lifecycle.windows(2).all(|w| w[0].at_ns <= w[1].at_ns),
+        "stamps are nondecreasing"
+    );
+    assert!(lifecycle.iter().all(|e| e.session == id));
+    match lifecycle.last().unwrap().kind {
+        EventKind::Reply { ok, e2e_ns, .. } => {
+            assert!(ok);
+            assert!(e2e_ns > 0, "end-to-end latency was measured");
+        }
+        _ => unreachable!(),
+    }
+    // The failed command's seq is strictly after the ranking's.
+    assert!(failed_reply.seq > ranking_seq);
+
+    // Telemetry off: the recorder stays empty and dumps are None.
+    let quiet = SessionServer::new(ServerOpts {
+        workers: 1,
+        engine: opts(),
+        telemetry: false,
+        ..Default::default()
+    });
+    let qid = quiet.create_session(4, 3, &[2; 3]).unwrap();
+    quiet.submit(qid, staircase(4, 3)).wait().unwrap();
+    let _ = quiet
+        .submit(qid, vec![(99, 0, Some(0))])
+        .wait()
+        .unwrap_err();
+    assert!(quiet.trace_dump().is_empty());
+    assert!(quiet.last_error_trace().is_none());
 }

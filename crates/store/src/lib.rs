@@ -39,7 +39,9 @@ pub use store::{RecoveryReport, RecoverySource, SessionStore, StoreOpts, StoreSt
 pub use wal::FlushPolicy;
 
 use hnd_response::ResponseError;
+use hnd_telemetry::{Stage, TelemetryHub};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Errors from the durable tier.
 #[derive(Debug)]
@@ -128,9 +130,26 @@ pub(crate) struct Counters {
     damage_crc: AtomicU64,
     damage_malformed: AtomicU64,
     snapshot_failures: AtomicU64,
+    /// Telemetry hub installed by the serving layer (write-once so handles
+    /// cloned before attachment still observe it). Absent/disabled hubs
+    /// make the stage-timing helpers no-ops.
+    telemetry: OnceLock<Arc<TelemetryHub>>,
 }
 
 impl Counters {
+    /// Installs the serving layer's telemetry hub (first caller wins).
+    pub(crate) fn set_telemetry(&self, hub: Arc<TelemetryHub>) {
+        let _ = self.telemetry.set(hub);
+    }
+    /// The hub, when installed and actively recording.
+    pub(crate) fn telemetry(&self) -> Option<&Arc<TelemetryHub>> {
+        self.telemetry.get().filter(|h| h.enabled())
+    }
+    pub(crate) fn record_stage(&self, stage: Stage, ns: u64) {
+        if let Some(hub) = self.telemetry() {
+            hub.record_stage(stage, ns);
+        }
+    }
     pub(crate) fn bump_frames(&self, edits: u64) {
         self.frames_appended.fetch_add(1, Ordering::Relaxed);
         self.edits_appended.fetch_add(edits, Ordering::Relaxed);

@@ -171,6 +171,14 @@ impl SessionStore {
         self.counters.snapshot()
     }
 
+    /// Installs the serving layer's telemetry hub: WAL appends and fsyncs
+    /// start feeding the `wal_append`/`fsync` stage histograms. Write-once
+    /// (a second call is ignored); absent or disabled hubs cost one branch
+    /// per append.
+    pub fn attach_telemetry(&self, hub: std::sync::Arc<hnd_telemetry::TelemetryHub>) {
+        self.counters.set_telemetry(hub);
+    }
+
     fn handle(&self, id: u64) -> Option<Arc<Mutex<SessionFiles>>> {
         if let Some(h) = self.sessions.lock().unwrap().get(&id) {
             return Some(Arc::clone(h));

@@ -226,8 +226,17 @@ impl SessionWal {
         if edits.is_empty() {
             return Ok(());
         }
+        // Time the frame write only when a telemetry hub is recording —
+        // the clock reads are not free on the group-commit fast path.
+        let started = counters.telemetry().map(|_| std::time::Instant::now());
         self.file
             .write_all(&frame::envelope(&frame::encode_edits(from_version, edits)))?;
+        if let Some(started) = started {
+            counters.record_stage(
+                hnd_telemetry::Stage::WalAppend,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
         self.tail_version += edits.len() as u64;
         self.unsynced += 1;
         counters.bump_frames(edits.len() as u64);
@@ -252,7 +261,14 @@ impl SessionWal {
     }
 
     fn sync(&mut self, counters: &Counters) -> Result<(), StoreError> {
+        let started = counters.telemetry().map(|_| std::time::Instant::now());
         self.file.sync_data()?;
+        if let Some(started) = started {
+            counters.record_stage(
+                hnd_telemetry::Stage::Fsync,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
         self.unsynced = 0;
         counters.bump_fsyncs();
         Ok(())

@@ -1,0 +1,321 @@
+//! Log-bucketed latency histograms (HDR-style, fixed-size, mergeable).
+//!
+//! A [`LatencyHistogram`] is a fixed array of [`BUCKETS`] atomic slots:
+//! values below `2^SUB_BITS` map to exact unit buckets, larger values to
+//! one of `2^SUB_BITS` sub-buckets per power-of-two octave — so relative
+//! resolution is bounded by `2^-SUB_BITS` (12.5%) at any magnitude, the
+//! whole `u64` nanosecond range fits in ~4 KiB, and recording is two
+//! relaxed atomic adds plus a min/max update: wait-free, allocation-free,
+//! shareable across threads by `&` reference. [`HistogramData`] is the
+//! plain (non-atomic) snapshot used for merging across workers and for
+//! percentile extraction; [`HistogramData::percentile`] walks the bucket
+//! prefix sums and returns the **upper bound** of the bucket holding the
+//! requested rank, so reported percentiles never understate the latency
+//! and overstate it by at most one part in `2^SUB_BITS` (the property the
+//! proptests in `tests/histogram_props.rs` pin against exact sorts).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: `2^SUB_BITS` buckets per power-of-two octave.
+pub const SUB_BITS: u32 = 3;
+
+/// Buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` range.
+pub const BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS) + SUB;
+
+/// The bucket index a value lands in. Values below `2^SUB_BITS` map
+/// exactly; larger values keep their top `SUB_BITS + 1` significant bits.
+pub fn bucket_of(value: u64) -> usize {
+    if value < SUB as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let sub = ((value >> (msb - SUB_BITS)) as usize) - SUB;
+    (((msb - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+}
+
+/// `(low, high)` inclusive value bounds of bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB {
+        return (index as u64, index as u64);
+    }
+    let block = (index >> SUB_BITS) as u32;
+    let msb = block + SUB_BITS - 1;
+    let sub = (index & (SUB - 1)) as u64;
+    let width = 1u64 << (msb - SUB_BITS);
+    let low = (1u64 << msb) + sub * width;
+    // Associate as `low + (width - 1)`: the top bucket's high edge is
+    // exactly `u64::MAX`, so `low + width` would wrap.
+    (low, low + (width - 1))
+}
+
+/// A thread-safe log-bucketed histogram of nanosecond durations. All
+/// fields are atomics, so recorders share it by `&` reference; recording
+/// never locks and never allocates.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration. Wait-free: two relaxed adds plus a
+    /// min/max fold; no allocation, no lock.
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.min.fetch_min(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Recorded samples so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A plain copy of the current state (concurrent recorders may land
+    /// between field loads; each bucket count is individually exact).
+    pub fn snapshot(&self) -> HistogramData {
+        HistogramData {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain (non-atomic) histogram snapshot: the merge and
+/// percentile-extraction representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Per-bucket sample counts ([`BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all recorded durations.
+    pub sum: u64,
+    /// Smallest recorded duration (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded duration.
+    pub max: u64,
+}
+
+impl Default for HistogramData {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramData {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramData {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records into the plain representation (test/offline use; the
+    /// serving path records into [`LatencyHistogram`]).
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_of(ns)] += 1;
+        self.count += 1;
+        // Saturate rather than wrap (or panic in debug): ~585 years of
+        // summed latency is out of scope for a mean.
+        self.sum = self.sum.saturating_add(ns);
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Folds `other` into `self`. Element-wise addition, so merging is
+    /// associative and commutative (pinned by proptest) — per-worker
+    /// histograms combine into fleet totals in any order.
+    pub fn merge(&mut self, other: &HistogramData) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a conservative upper bound:
+    /// the high edge of the bucket containing the rank-`ceil(q·count)`
+    /// sample, clamped to the exact observed `max`. At least the true
+    /// quantile, at most `2^-SUB_BITS` above it. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(index).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean recorded duration (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The fixed percentile summary every exposition surface reports.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean_ns: self.mean(),
+            min_ns: if self.count == 0 { 0 } else { self.min },
+            max_ns: self.max,
+            p50_ns: self.percentile(0.50),
+            p90_ns: self.percentile(0.90),
+            p99_ns: self.percentile(0.99),
+            p999_ns: self.percentile(0.999),
+        }
+    }
+}
+
+/// The percentile summary of one histogram (what [`crate::MetricsSnapshot`]
+/// and the bench JSON columns carry).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean nanoseconds.
+    pub mean_ns: f64,
+    /// Exact minimum.
+    pub min_ns: u64,
+    /// Exact maximum.
+    pub max_ns: u64,
+    /// Median upper bound.
+    pub p50_ns: u64,
+    /// 90th-percentile upper bound.
+    pub p90_ns: u64,
+    /// 99th-percentile upper bound.
+    pub p99_ns: u64,
+    /// 99.9th-percentile upper bound.
+    pub p999_ns: u64,
+}
+
+impl serde::Serialize for HistogramSummary {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("count".into(), serde::Value::Int(self.count as i64)),
+            ("mean_ns".into(), serde::Value::Float(self.mean_ns)),
+            ("min_ns".into(), serde::Value::Int(self.min_ns as i64)),
+            ("max_ns".into(), serde::Value::Int(self.max_ns as i64)),
+            ("p50_ns".into(), serde::Value::Int(self.p50_ns as i64)),
+            ("p90_ns".into(), serde::Value::Int(self.p90_ns as i64)),
+            ("p99_ns".into(), serde::Value::Int(self.p99_ns as i64)),
+            ("p999_ns".into(), serde::Value::Int(self.p999_ns as i64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_map_exactly() {
+        for v in 0..SUB as u64 {
+            let idx = bucket_of(v);
+            assert_eq!(bucket_bounds(idx), (v, v));
+        }
+        // The first octave past the linear range is still exact
+        // (sub-bucket width 1).
+        for v in SUB as u64..(2 * SUB as u64) {
+            assert_eq!(bucket_bounds(bucket_of(v)), (v, v));
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        // Consecutive buckets abut: high(i) + 1 == low(i + 1).
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_bounds(i).1 + 1, bucket_bounds(i + 1).0, "gap at {i}");
+        }
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_bound_an_exact_sort() {
+        let h = LatencyHistogram::new();
+        let values: Vec<u64> = (0..1000).map(|i| (i * i) % 90_000 + 3).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let data = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact =
+                sorted[((q * sorted.len() as f64).ceil() as usize - 1).min(sorted.len() - 1)];
+            let approx = data.percentile(q);
+            assert!(approx >= exact, "p{q}: {approx} < exact {exact}");
+            assert!(
+                approx <= exact + exact / SUB as u64 + 1,
+                "p{q}: {approx} too far above {exact}"
+            );
+        }
+        assert_eq!(data.percentile(1.0), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_the_sum_of_parts() {
+        let mut a = HistogramData::empty();
+        let mut b = HistogramData::empty();
+        for v in [1u64, 5, 900, 1_000_000] {
+            a.record(v);
+        }
+        for v in [2u64, 70_000] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count, 6);
+        assert_eq!(merged.min, 1);
+        assert_eq!(merged.max, 1_000_000);
+        assert_eq!(merged.sum, a.sum + b.sum);
+    }
+}

@@ -1,0 +1,125 @@
+//! Properties of the log-bucketed latency histogram, checked against the
+//! exact (sort-based) statistics of random samples: merge behaves like a
+//! lattice join, percentile estimates stay inside the bucket's relative
+//! error bound, and bucket boundaries land in their own bucket.
+
+use hnd_telemetry::{bucket_bounds, bucket_of, HistogramData, BUCKETS, SUB_BITS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The histogram's worst-case relative overestimate: a value is reported
+/// as its bucket's upper bound, at most `2^-SUB_BITS` (12.5%) above it.
+fn bound_above(exact: u64) -> u64 {
+    exact + (exact >> SUB_BITS) + 1
+}
+
+/// Exact nearest-rank percentile of a sorted sample.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn record_all(values: &[u64]) -> HistogramData {
+    let mut h = HistogramData::empty();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Latency-shaped samples: log-uniform-ish magnitudes (a uniform draw
+/// right-shifted by a uniform amount), so every octave of the histogram —
+/// sub-µs fast path through pathological stragglers — gets exercised.
+fn sample_strategy() -> impl Strategy<Value = Vec<u64>> {
+    // Shift ≥ 8 caps single values at 2^56 ns (~2.3 years), so ≤ 100
+    // samples can never saturate the running sum and the mean stays exact.
+    vec(
+        (8u32..64, 1u64..u64::MAX).prop_map(|(shift, raw)| (raw >> shift).max(1)),
+        1..100,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn percentiles_bound_the_exact_sample_statistics(values in sample_strategy()) {
+        let h = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let approx = h.percentile(q);
+            let exact = exact_percentile(&sorted, q);
+            // Never an underestimate, never more than one sub-bucket's
+            // relative width above the exact order statistic.
+            prop_assert!(approx >= exact,
+                "q={q}: approx {approx} < exact {exact}");
+            prop_assert!(approx <= bound_above(exact),
+                "q={q}: approx {approx} exceeds {exact} by more than 2^-{SUB_BITS}");
+        }
+        // The extremes are tracked exactly, not by bucket.
+        prop_assert_eq!(h.percentile(1.0), *sorted.last().unwrap());
+        let s = h.summary();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.min_ns, sorted[0]);
+        prop_assert_eq!(s.max_ns, *sorted.last().unwrap());
+        // The mean is exact (tracked as a running sum, not from buckets).
+        let exact_mean = values.iter().map(|&v| v as u128).sum::<u128>() as f64
+            / values.len() as f64;
+        prop_assert!((s.mean_ns - exact_mean).abs() <= exact_mean * 1e-9 + 1e-9);
+    }
+
+    #[test]
+    fn merge_is_associative_commutative_and_sample_exact(
+        a in sample_strategy(),
+        b in sample_strategy(),
+        c in sample_strategy(),
+    ) {
+        let (ha, hb, hc) = (record_all(&a), record_all(&b), record_all(&c));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+
+        // a ∪ b == b ∪ a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merging equals recording the concatenated sample directly.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &record_all(&all));
+
+        // The identity element: merging an empty histogram changes nothing.
+        let mut with_empty = left.clone();
+        with_empty.merge(&HistogramData::empty());
+        prop_assert_eq!(&with_empty, &left);
+    }
+
+    #[test]
+    fn bucket_boundary_values_stay_in_their_own_bucket(index in 0usize..BUCKETS) {
+        let (low, high) = bucket_bounds(index);
+        prop_assert_eq!(bucket_of(low), index, "lower bound {low}");
+        prop_assert_eq!(bucket_of(high), index, "upper bound {high}");
+        // One past the upper bound spills into the next bucket (except at
+        // the top of the u64 range, where there is no next).
+        if high < u64::MAX {
+            prop_assert_eq!(bucket_of(high + 1), index + 1);
+        }
+        // Recording exactly the boundary reports at most the bucket top.
+        let mut h = HistogramData::empty();
+        h.record(low);
+        prop_assert_eq!(h.percentile(0.5), low, "p50 of a single value is exact via max clamp");
+    }
+}

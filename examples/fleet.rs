@@ -192,4 +192,64 @@ fn main() {
         "fleet stats: {} evictions, {} rehydrations",
         stats.evictions, stats.rehydrations
     );
+
+    print_metrics(&srv.metrics());
+}
+
+/// Renders the unified metrics snapshot: one row per instrumented stage
+/// (tail percentiles straight from the telemetry hub's log-bucketed
+/// histograms), then the fleet-level counters and derived ratios.
+fn print_metrics(snap: &hitsndiffs::telemetry::MetricsSnapshot) {
+    let us = |ns: u64| ns as f64 / 1e3;
+    println!("\nmetrics snapshot ── per-stage latency (µs)");
+    println!(
+        "  {:<11} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "stage", "count", "p50", "p90", "p99", "p999", "max"
+    );
+    for s in &snap.stages {
+        let h = &s.summary;
+        println!(
+            "  {:<11} {:>8} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            s.stage,
+            h.count,
+            us(h.p50_ns),
+            us(h.p90_ns),
+            us(h.p99_ns),
+            us(h.p999_ns),
+            us(h.max_ns)
+        );
+    }
+    let c = |name: &str| snap.get_counter(name).unwrap_or(0);
+    println!(
+        "  commands: {} enqueued, {} ok / {} err replies, {} served direct from logs",
+        c("telemetry_commands_enqueued"),
+        c("telemetry_replies_ok"),
+        c("telemetry_replies_err"),
+        c("telemetry_direct_serves"),
+    );
+    let solves = c("engine_warm_solves") + c("engine_cold_solves") + c("engine_sharded_solves");
+    let skipped = c("engine_skipped_solves");
+    let ratio = |part: u64, whole: u64| {
+        if whole == 0 {
+            0.0
+        } else {
+            100.0 * part as f64 / whole as f64
+        }
+    };
+    println!(
+        "  solves: {} warm, {} cold, {} skipped outright ({:.1}% of certified reads), \
+         {} early-terminated",
+        c("engine_warm_solves"),
+        c("engine_cold_solves"),
+        skipped,
+        ratio(skipped, solves + skipped),
+        c("engine_early_terminations"),
+    );
+    println!(
+        "  lifecycle: {} evictions ({:.1}% spilled to disk), {} rehydrations, {} restores",
+        c("manager_evictions"),
+        ratio(c("manager_spills"), c("manager_evictions")),
+        c("manager_rehydrations"),
+        c("manager_restores"),
+    );
 }

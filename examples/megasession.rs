@@ -194,4 +194,55 @@ fn main() {
         "equivalence: sharded vs unsharded max score diff {max_diff:.2e} over {} users",
         a.len()
     );
+
+    print_metrics(&srv.metrics());
+}
+
+/// Renders the unified metrics snapshot: one row per instrumented stage
+/// (tail percentiles from the telemetry hub's log-bucketed histograms),
+/// then the counters that tell the sharded-vs-single story.
+fn print_metrics(snap: &hitsndiffs::telemetry::MetricsSnapshot) {
+    let us = |ns: u64| ns as f64 / 1e3;
+    println!("\nmetrics snapshot ── per-stage latency (µs)");
+    println!(
+        "  {:<11} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "stage", "count", "p50", "p90", "p99", "p999", "max"
+    );
+    for s in &snap.stages {
+        let h = &s.summary;
+        println!(
+            "  {:<11} {:>8} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            s.stage,
+            h.count,
+            us(h.p50_ns),
+            us(h.p90_ns),
+            us(h.p99_ns),
+            us(h.p999_ns),
+            us(h.max_ns)
+        );
+    }
+    let c = |name: &str| snap.get_counter(name).unwrap_or(0);
+    println!(
+        "  commands: {} enqueued, {} ok / {} err replies",
+        c("telemetry_commands_enqueued"),
+        c("telemetry_replies_ok"),
+        c("telemetry_replies_err"),
+    );
+    let solves = c("engine_warm_solves") + c("engine_cold_solves") + c("engine_sharded_solves");
+    let skipped = c("engine_skipped_solves");
+    let skip_pct = if solves + skipped == 0 {
+        0.0
+    } else {
+        100.0 * skipped as f64 / (solves + skipped) as f64
+    };
+    println!(
+        "  solves: {} warm, {} cold, {} sharded, {} skipped ({skip_pct:.1}%), \
+         {} delta applies, {} rebuilds",
+        c("engine_warm_solves"),
+        c("engine_cold_solves"),
+        c("engine_sharded_solves"),
+        skipped,
+        c("engine_delta_applies"),
+        c("engine_rebuilds"),
+    );
 }

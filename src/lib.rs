@@ -28,6 +28,9 @@
 //!   per-host measurements,
 //! * [`shard`] — sharded spectral execution (user-range matrix shards
 //!   with composable kernels for huge sessions),
+//! * [`telemetry`] — the observability layer: flight-recorder trace rings,
+//!   log-bucketed latency histograms (p50/p90/p99/p999), and the unified
+//!   [`telemetry::MetricsSnapshot`] registry,
 //! * [`linalg`] — the from-scratch numerical substrate.
 //!
 //! ## Quickstart
@@ -67,6 +70,7 @@ pub use hnd_response as response;
 pub use hnd_service as service;
 pub use hnd_shard as shard;
 pub use hnd_store as store;
+pub use hnd_telemetry as telemetry;
 
 /// Convenience prelude with the types most programs need.
 pub mod prelude {

@@ -32,8 +32,24 @@ pub struct BenchResult {
     pub mean_ns: f64,
     /// Fastest sample, nanoseconds per iteration.
     pub min_ns: f64,
+    /// 50th-percentile sample, nanoseconds per iteration.
+    pub p50_ns: f64,
+    /// 90th-percentile sample, nanoseconds per iteration.
+    pub p90_ns: f64,
+    /// 99th-percentile sample, nanoseconds per iteration.
+    pub p99_ns: f64,
+    /// 99.9th-percentile sample, nanoseconds per iteration.
+    pub p999_ns: f64,
     /// Samples collected.
     pub samples: usize,
+}
+
+/// The `q`-quantile of an ascending-sorted sample set (nearest-rank).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((q * sorted.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[idx]
 }
 
 /// The benchmark driver.
@@ -96,11 +112,15 @@ impl Criterion {
                 let mut out = String::from("[\n");
                 for (i, r) in self.results.iter().enumerate() {
                     out.push_str(&format!(
-                        "  {{\"id\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
+                        "  {{\"id\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"p50_ns\": {:.1}, \"p90_ns\": {:.1}, \"p99_ns\": {:.1}, \"p999_ns\": {:.1}, \"samples\": {}}}{}\n",
                         r.id,
                         r.median_ns,
                         r.mean_ns,
                         r.min_ns,
+                        r.p50_ns,
+                        r.p90_ns,
+                        r.p99_ns,
+                        r.p999_ns,
                         r.samples,
                         if i + 1 == self.results.len() { "" } else { "," }
                     ));
@@ -231,11 +251,13 @@ impl BenchmarkGroup<'_> {
         let median = samples_ns[samples_ns.len() / 2];
         let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
         let min = samples_ns[0];
+        let p99 = quantile(&samples_ns, 0.99);
         println!(
-            "{id:<50} median {:>12} mean {:>12} min {:>12} ({} samples)",
+            "{id:<50} median {:>12} mean {:>12} min {:>12} p99 {:>12} ({} samples)",
             fmt_ns(median),
             fmt_ns(mean),
             fmt_ns(min),
+            fmt_ns(p99),
             samples_ns.len()
         );
         self.criterion.results.push(BenchResult {
@@ -243,6 +265,10 @@ impl BenchmarkGroup<'_> {
             median_ns: median,
             mean_ns: mean,
             min_ns: min,
+            p50_ns: quantile(&samples_ns, 0.50),
+            p90_ns: quantile(&samples_ns, 0.90),
+            p99_ns: p99,
+            p999_ns: quantile(&samples_ns, 0.999),
             samples: samples_ns.len(),
         });
     }
