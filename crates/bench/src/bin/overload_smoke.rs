@@ -1,0 +1,265 @@
+//! Overload smoke: drive a small server at ~2× its admission capacity
+//! and assert the overload contract — the CI resilience gate.
+//!
+//! Four producer threads pipeline commands (no waiting between issues)
+//! into a 2-worker server with a 32-deep per-session mailbox and a
+//! 128-command global in-flight budget, roughly twice what the workers
+//! drain in the producers' issue window. The gate then asserts:
+//!
+//! * **Shedding happened** — the server refused work instead of queueing
+//!   without bound: some commands resolved `ServerError::Overloaded`
+//!   (with a sane `retry_after_ms` hint), and the telemetry counter
+//!   `telemetry_commands_shed` agrees.
+//! * **Zero lost accepted commands** — every reply resolves (no hangs,
+//!   no dropped channels): accepted = issued − shed, every accepted
+//!   command returned `Ok`, and per session the highest acknowledged
+//!   submit version is exactly the final log version — nothing
+//!   acknowledged went missing, nothing unacknowledged was counted.
+//! * **Served state is the replay of the log** — each session's final
+//!   ranking is bit-identical to a fresh engine over its own log.
+//! * **Accepted p99 within budget** — overload is isolated to the shed
+//!   commands: the p99 client-observed latency of *accepted* commands
+//!   stays under `OVERLOAD_SMOKE_BUDGET_MS` (default 2000 ms; the bound
+//!   proves bounded queues, not raw speed).
+//!
+//! Exit code 0 on success, 1 on any violation.
+
+use hnd_service::{
+    EngineOpts, RankingEngine, ServerError, ServerOpts, SessionServer, SolverKind, SolverOpts,
+};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 2;
+const SESSIONS: usize = 4;
+const USERS: usize = 16;
+const ITEMS: usize = 10;
+const PRODUCERS: usize = 4;
+const OPS_PER_PRODUCER: usize = 300;
+const MAILBOX_CAP: usize = 32;
+const MAX_INFLIGHT: usize = 128;
+
+fn opts() -> EngineOpts {
+    EngineOpts {
+        solver: SolverKind::Power,
+        solver_opts: SolverOpts {
+            orient: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("OVERLOAD_SMOKE_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(2000);
+    Duration::from_millis(ms)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("overload_smoke: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Sign-invariant distance between normalized score vectors (warm-started
+/// solves agree with a cold replay to solver tolerance, not bitwise).
+fn score_distance(a: &[f64], b: &[f64]) -> f64 {
+    let norm = |v: &[f64]| {
+        let n = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+        v.iter().map(|x| x / n).collect::<Vec<f64>>()
+    };
+    let (a, b) = (norm(a), norm(b));
+    let direct: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum::<f64>();
+    let flipped: f64 = a.iter().zip(&b).map(|(x, y)| (x + y).powi(2)).sum::<f64>();
+    direct.min(flipped).sqrt()
+}
+
+/// A pipelined command awaiting its reply: session index, issue stamp,
+/// and either a submit handle or a ranking handle.
+type Pending = (
+    usize,
+    Instant,
+    Result<hnd_service::Reply<u64>, hnd_service::Reply<hnd_service::Ranking>>,
+);
+
+/// One producer's tally: client-observed latencies of accepted commands,
+/// shed count, per-session max acknowledged submit version, and any
+/// unexpected error.
+#[derive(Default)]
+struct Tally {
+    accepted_latencies: Vec<Duration>,
+    shed: u64,
+    max_acked: Vec<u64>,
+    unexpected: Vec<String>,
+}
+
+fn main() -> ExitCode {
+    let srv = SessionServer::new(ServerOpts {
+        workers: WORKERS,
+        idle_threshold: None,
+        engine: opts(),
+        mailbox_cap: MAILBOX_CAP,
+        max_inflight: MAX_INFLIGHT,
+        ..Default::default()
+    });
+    let ids: Vec<_> = (0..SESSIONS)
+        .map(|_| {
+            srv.create_session(USERS, ITEMS, &[2; ITEMS])
+                .expect("create session")
+        })
+        .collect();
+    // Seed every session with a well-conditioned staircase so rankings
+    // under load are real solves, then let the storm begin.
+    for &id in &ids {
+        let staircase: Vec<_> = (0..USERS)
+            .flat_map(|u| (0..ITEMS).map(move |i| (u, i, Some(u16::from(u * ITEMS > i * USERS)))))
+            .collect();
+        srv.submit(id, staircase).wait().expect("seed session");
+    }
+
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let srv = &srv;
+                let ids = &ids;
+                scope.spawn(move || {
+                    let mut state = 0xCAFEu64.wrapping_add((p as u64) << 17);
+                    let mut next = move || {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        state >> 11
+                    };
+                    // Pipeline: issue everything, then wait everything.
+                    let mut pending: Vec<Pending> = Vec::with_capacity(OPS_PER_PRODUCER);
+                    for _ in 0..OPS_PER_PRODUCER {
+                        let s = (next() % SESSIONS as u64) as usize;
+                        let issued = Instant::now();
+                        if next() % 100 < 70 {
+                            let u = (next() % USERS as u64) as usize;
+                            let i = (next() % ITEMS as u64) as usize;
+                            let c = (next() % 2) as u16;
+                            pending.push((
+                                s,
+                                issued,
+                                Ok(srv.submit(ids[s], vec![(u, i, Some(c))])),
+                            ));
+                        } else {
+                            pending.push((s, issued, Err(srv.ranking(ids[s]))));
+                        }
+                    }
+                    let mut tally = Tally {
+                        max_acked: vec![0; SESSIONS],
+                        ..Default::default()
+                    };
+                    for (s, issued, reply) in pending {
+                        let outcome = match reply {
+                            Ok(submit) => submit.wait().map(|version| {
+                                tally.max_acked[s] = tally.max_acked[s].max(version);
+                            }),
+                            Err(ranking) => ranking.wait().map(|_| ()),
+                        };
+                        match outcome {
+                            Ok(()) => tally.accepted_latencies.push(issued.elapsed()),
+                            Err(ServerError::Overloaded { retry_after_ms }) => {
+                                tally.shed += 1;
+                                if !(1..=10_000).contains(&retry_after_ms) {
+                                    tally
+                                        .unexpected
+                                        .push(format!("insane retry hint {retry_after_ms}ms"));
+                                }
+                            }
+                            Err(e) => tally.unexpected.push(e.to_string()),
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let issued = (PRODUCERS * OPS_PER_PRODUCER) as u64;
+    let shed: u64 = tallies.iter().map(|t| t.shed).sum();
+    let accepted: u64 = tallies
+        .iter()
+        .map(|t| t.accepted_latencies.len() as u64)
+        .sum();
+    let unexpected: Vec<&String> = tallies.iter().flat_map(|t| &t.unexpected).collect();
+    println!(
+        "overload_smoke: issued {issued}, accepted {accepted}, shed {shed} ({:.1}%)",
+        100.0 * shed as f64 / issued as f64
+    );
+
+    if !unexpected.is_empty() {
+        return fail(&format!(
+            "{} accepted commands failed or hung: {:?} …",
+            unexpected.len(),
+            &unexpected[..unexpected.len().min(5)]
+        ));
+    }
+    if accepted + shed != issued {
+        return fail(&format!(
+            "lost commands: accepted {accepted} + shed {shed} != issued {issued}"
+        ));
+    }
+    if shed == 0 {
+        return fail("2× saturation never shed — admission control is inert");
+    }
+    let metrics = srv.metrics();
+    let counted = metrics.get_counter("telemetry_commands_shed").unwrap_or(0);
+    if counted < shed {
+        return fail(&format!(
+            "telemetry undercounts shed commands: counter {counted} < observed {shed}"
+        ));
+    }
+
+    // Nothing acknowledged went missing: the highest acked version per
+    // session is exactly the final log version.
+    for (s, &id) in ids.iter().enumerate() {
+        let log = srv.session_log(id).wait().expect("final log read");
+        let max_acked = tallies.iter().map(|t| t.max_acked[s]).max().unwrap_or(0);
+        if max_acked != log.version() {
+            return fail(&format!(
+                "session {s}: max acked v{max_acked} != final log v{} — acknowledged work lost",
+                log.version()
+            ));
+        }
+        let served = srv.ranking(id).wait().expect("final ranking");
+        let replayed = RankingEngine::from_log(log, opts())
+            .expect("replay engine")
+            .current_ranking()
+            .expect("replay ranking");
+        let dist = score_distance(&served.scores, &replayed.scores);
+        if dist > 1e-2 {
+            return fail(&format!(
+                "session {s}: served ranking diverged from the replay of its own log (distance {dist:.2e})"
+            ));
+        }
+    }
+
+    let mut latencies: Vec<Duration> = tallies
+        .iter()
+        .flat_map(|t| t.accepted_latencies.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let p99 = latencies[(latencies.len() * 99) / 100 - 1];
+    let budget = budget();
+    println!(
+        "overload_smoke: accepted p99 {:.1}ms (budget {:.0}ms)",
+        p99.as_secs_f64() * 1e3,
+        budget.as_secs_f64() * 1e3
+    );
+    if p99 > budget {
+        return fail(&format!(
+            "accepted p99 {:.1}ms exceeds budget {:.0}ms",
+            p99.as_secs_f64() * 1e3,
+            budget.as_secs_f64() * 1e3
+        ));
+    }
+
+    println!("overload_smoke: ok — shed fast, served everything it accepted");
+    ExitCode::SUCCESS
+}

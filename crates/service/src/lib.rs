@@ -91,6 +91,36 @@
 //! failing. `tests/failure_injection.rs` pins restart and catch-up
 //! equivalence; the crash/corruption battery lives in `hnd-store` itself.
 //!
+//! ## Overload & fault resilience
+//!
+//! The server is load-shedding, deadline-aware, and panic-isolating:
+//!
+//! * **Admission control** — per-session mailboxes are bounded
+//!   ([`ServerOpts::mailbox_cap`]) and a global in-flight budget
+//!   ([`ServerOpts::max_inflight`]) caps admitted-unfinished commands.
+//!   Rejected commands fail *fast* with
+//!   [`ServerError::Overloaded`] carrying a `retry_after_ms` hint derived
+//!   from the live command-stage latency histogram. Shedding is
+//!   priority-aware: mutating and bulk commands shed first (at ⅞ of the
+//!   budget), cheap reads shed only at the hard cap, and `Close` is never
+//!   shed.
+//! * **Deadlines** — any command can carry a [`Deadline`] (see
+//!   [`SessionServer::with_deadline`]); expired commands are dropped at
+//!   dequeue with [`ServerError::DeadlineExceeded`] instead of wasting a
+//!   solve, and [`Reply::wait_timeout`] bounds the client's wait.
+//! * **Panic isolation** — a panic while a worker drives a session
+//!   poisons *only that session*: its slot is quarantined (later commands
+//!   get [`ServerError::Quarantined`]), its durable log is salvaged, all
+//!   other sessions keep serving bit-identical results, and
+//!   [`SessionServer::revive_session`] rebuilds the session from its log.
+//! * **Chaos-tested durability** — the store layer accepts a
+//!   deterministic seed-driven [`FaultPlan`] injecting transient / hard /
+//!   torn faults per I/O class; transients are absorbed by bounded
+//!   exponential backoff (retries counted in [`StoreStats`]). The chaos
+//!   battery (`tests/resilience.rs`, `hnd-store/tests/chaos_proptests.rs`)
+//!   proves every fault schedule ends bit-identical to a fault-free run or
+//!   in counted, typed errors — never a hang, never silent loss.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -118,8 +148,10 @@ pub mod session;
 
 pub use cache::{CachedSolve, WarmStartCache};
 pub use engine::{EngineOpts, EngineStats, QueryTier, RankingEngine, COARSE_MAX_ITER};
-pub use server::{Reply, ServerError, ServerOpts, ServerSnapshot, SessionServer};
-pub use session::{Checkout, ManagerStats, SessionId, SessionManager};
+pub use server::{
+    Deadline, DeadlineClient, Reply, ServerError, ServerOpts, ServerSnapshot, SessionServer,
+};
+pub use session::{Checkout, ManagerStats, SessionError, SessionId, SessionManager};
 
 // Re-export the building blocks callers configure the service with.
 pub use hnd_core::{SolveOutcome, SolveState, SolverKind, SolverOpts, SpectralSolver, Target};
@@ -130,7 +162,8 @@ pub use hnd_response::{
 };
 pub use hnd_shard::ShardPlan;
 pub use hnd_store::{
-    FlushPolicy, RecoveryReport, RecoverySource, SessionStore, StoreError, StoreOpts, StoreStats,
+    FaultKind, FaultOp, FaultPlan, FlushPolicy, RecoveryReport, RecoverySource, SessionStore,
+    StoreError, StoreOpts, StoreStats, MAX_TRANSIENT_RETRIES,
 };
 pub use hnd_telemetry::{
     CheckoutKind, CommandKind, EventKind, HistogramSummary, MetricsSnapshot, SkipRefusal,

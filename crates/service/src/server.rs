@@ -31,7 +31,32 @@
 //!   one worker running fully serial kernels.
 //! * **Replies.** Every call returns a [`Reply`] immediately; [`Reply::wait`]
 //!   blocks for the result. Pipelining (enqueue many, wait later) is how
-//!   batch clients get throughput.
+//!   batch clients get throughput. [`Reply::wait_settled`] additionally
+//!   blocks until the worker checked the session back in — the barrier
+//!   tests and orderly teardowns need before observing manager state.
+//! * **Overload.** Admission control is enforced at enqueue:
+//!   [`ServerOpts::mailbox_cap`] bounds each session's queue and
+//!   [`ServerOpts::max_inflight`] bounds the server-wide count of
+//!   admitted, unfinished commands. A full server sheds with
+//!   [`ServerError::Overloaded`] (carrying a retry hint derived from the
+//!   observed median command latency) instead of queueing unboundedly.
+//!   Shedding is priority-aware: mutating/bulk commands (`submit`,
+//!   `catch_up`, `session_log`) shed first at ~7/8 of the global budget,
+//!   cheap certified reads (`ranking`, `top_k`, `rank_of`, `stats`,
+//!   `snapshot`) only at the full budget, and `close_session` is never
+//!   shed (it frees capacity).
+//! * **Deadlines.** [`SessionServer::with_deadline`] stamps commands with
+//!   a [`Deadline`]; a worker drops a command whose deadline passed while
+//!   it sat queued ([`ServerError::DeadlineExceeded`], counted and
+//!   trace-recorded) rather than spending a solve on a reply nobody is
+//!   waiting for.
+//! * **Panic isolation.** A panic while executing a command poisons *only
+//!   its session*: the worker survives, salvages what it can of the
+//!   session's log, and the manager quarantines the session. Later
+//!   commands fail fast with [`ServerError::Quarantined`]; the durable
+//!   log is untouched, and [`SessionServer::revive_session`] rebuilds the
+//!   session from it. Other sessions' rankings are bit-identical to a run
+//!   without the panic.
 //! * **Eviction.** The manager's idle policy (logical-clock ticks, see
 //!   [`SessionManager::set_idle_threshold`]) sweeps at check-ins on an
 //!   amortized stride; checked-out (busy) sessions are never evicted, and
@@ -46,7 +71,7 @@
 //!   late commands with [`ServerError::Terminated`], and joins the pool.
 
 use crate::engine::{EngineOpts, EngineStats, RankingEngine};
-use crate::session::{Checkout, ManagerStats, SessionId, SessionManager};
+use crate::session::{Checkout, ManagerStats, SessionError, SessionId, SessionManager};
 use hnd_linalg::parallel;
 use hnd_response::{
     rank_many, RankError, Ranking, ResponseDelta, ResponseError, ResponseLog, ResponseMatrix,
@@ -57,10 +82,11 @@ use hnd_telemetry::{
     TelemetryHub, TraceDump,
 };
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`SessionServer`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,6 +116,15 @@ pub struct ServerOpts {
     /// round. Off, every record site is a single branch and the trace
     /// rings hold no memory.
     pub telemetry: bool,
+    /// Most commands one session's mailbox may hold; enqueues beyond it
+    /// shed with [`ServerError::Overloaded`]. `0` (the default) =
+    /// unbounded — the pre-admission-control behaviour.
+    pub mailbox_cap: usize,
+    /// Most admitted-but-unfinished commands server-wide (queued in any
+    /// mailbox or drained into a worker's pass). Low-priority commands
+    /// shed at `cap − cap/8`, cheap reads at `cap`; `close_session` is
+    /// always admitted. `0` (the default) = unbounded.
+    pub max_inflight: usize,
 }
 
 impl Default for ServerOpts {
@@ -100,6 +135,8 @@ impl Default for ServerOpts {
             engine: EngineOpts::default(),
             cold_batch: 0,
             telemetry: true,
+            mailbox_cap: 0,
+            max_inflight: 0,
         }
     }
 }
@@ -136,6 +173,20 @@ pub enum ServerError {
     /// `hnd_store::StoreError` wraps `std::io::Error`, which is neither
     /// `Clone` nor `PartialEq`).
     Store(String),
+    /// Admission control shed the command: the session's mailbox or the
+    /// server-wide in-flight budget is full. Back off for roughly
+    /// `retry_after_ms` (the observed median command latency — the time
+    /// one queued slot takes to clear) and retry.
+    Overloaded {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The command's [`Deadline`] passed while it sat queued; it was
+    /// dropped at dequeue without executing.
+    DeadlineExceeded,
+    /// The session was poisoned by a panic and sits in quarantine; revive
+    /// it from its durable log with [`SessionServer::revive_session`].
+    Quarantined(SessionId),
     /// The server is shutting down (or a worker died mid-request).
     Terminated,
 }
@@ -147,6 +198,11 @@ impl std::fmt::Display for ServerError {
             ServerError::Response(e) => write!(f, "{e}"),
             ServerError::Rank(e) => write!(f, "{e}"),
             ServerError::Store(detail) => write!(f, "{detail}"),
+            ServerError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after ~{retry_after_ms}ms")
+            }
+            ServerError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
+            ServerError::Quarantined(id) => write!(f, "session {id} is quarantined"),
             ServerError::Terminated => write!(f, "server terminated"),
         }
     }
@@ -166,22 +222,101 @@ impl From<RankError> for ServerError {
     }
 }
 
+impl From<SessionError> for ServerError {
+    fn from(e: SessionError) -> Self {
+        match e {
+            SessionError::Unknown(id) => ServerError::UnknownSession(id),
+            SessionError::Quarantined(id) => ServerError::Quarantined(id),
+            SessionError::Response(e) => ServerError::Response(e),
+            SessionError::Rank(e) => ServerError::Rank(e),
+            SessionError::Store(detail) => ServerError::Store(detail),
+            // Checkout-discipline violations never escape the server's
+            // single-writer protocol; surface them as internal errors.
+            other => ServerError::Store(other.to_string()),
+        }
+    }
+}
+
+/// A per-command execution deadline, resolved against the queue: a worker
+/// drops (never executes) a command whose deadline passed while it waited
+/// in its mailbox, failing its reply with
+/// [`ServerError::DeadlineExceeded`]. [`Deadline::NONE`] — the default for
+/// every plain [`SessionServer`] method — never expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// No deadline: the command waits as long as it takes.
+    pub const NONE: Deadline = Deadline(None);
+
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Deadline(Instant::now().checked_add(budget))
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(at: Instant) -> Self {
+        Deadline(Some(at))
+    }
+
+    /// `true` once the deadline has passed.
+    pub fn expired(self) -> bool {
+        self.0.is_some_and(|at| Instant::now() > at)
+    }
+
+    /// Nanoseconds past the deadline (0 when unexpired or `NONE`).
+    fn late_ns(self) -> u64 {
+        self.0.map_or(0, |at| {
+            Instant::now().saturating_duration_since(at).as_nanos() as u64
+        })
+    }
+}
+
 /// A pending server reply. Obtain the value with [`Reply::wait`]; holding
 /// several replies before waiting pipelines commands through the pool.
 #[derive(Debug)]
 pub struct Reply<V> {
     rx: Receiver<Result<V, ServerError>>,
+    settled: Receiver<()>,
 }
 
 impl<V> Reply<V> {
-    fn pair() -> (Sender<Result<V, ServerError>>, Self) {
+    fn pair() -> (Sender<Result<V, ServerError>>, Sender<()>, Self) {
         let (tx, rx) = channel();
-        (tx, Reply { rx })
+        let (settle, settled) = channel();
+        (tx, settle, Reply { rx, settled })
     }
 
     /// Blocks until the command has been processed.
     pub fn wait(self) -> Result<V, ServerError> {
         self.rx.recv().unwrap_or(Err(ServerError::Terminated))
+    }
+
+    /// Blocks until the command has been processed, but at most `timeout`.
+    /// `None` means the reply has not resolved yet — the command is still
+    /// queued or executing, and the `Reply` stays valid for another wait.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<V, ServerError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Err(ServerError::Terminated)),
+        }
+    }
+
+    /// Like [`Reply::wait`], but additionally blocks until the worker that
+    /// processed the command has checked the session back into the
+    /// manager. `wait` returns at execution time — *before* check-in — so
+    /// manager-level state (eviction flags, [`ManagerStats`], quarantine)
+    /// observed right after a plain `wait` can race the check-in;
+    /// `wait_settled` closes that window. Commands that never reach a
+    /// worker (rejected, shed, served directly off the durable log) settle
+    /// immediately.
+    pub fn wait_settled(self) -> Result<V, ServerError> {
+        let result = self.rx.recv().unwrap_or(Err(ServerError::Terminated));
+        // Resolves on the worker's post-check-in send, or on disconnect
+        // when the command never reached a worker.
+        let _ = self.settled.recv();
+        result
     }
 }
 
@@ -200,6 +335,9 @@ enum Command {
     Snapshot(Sender<Result<ServerSnapshot, ServerError>>),
     SessionLog(Sender<Result<ResponseLog, ServerError>>),
     Close(Sender<Result<(), ServerError>>),
+    /// Test-only: panics inside the worker's execution guard, exercising
+    /// the quarantine path end to end.
+    InjectPanic(Sender<Result<(), ServerError>>),
 }
 
 impl Command {
@@ -224,7 +362,21 @@ impl Command {
             Command::Snapshot(_) => CommandKind::Snapshot,
             Command::SessionLog(_) => CommandKind::SessionLog,
             Command::Close(_) => CommandKind::Close,
+            Command::InjectPanic(_) => CommandKind::Inject,
         }
+    }
+
+    /// Whether admission control may shed this command early (at
+    /// `cap − cap/8` of the global budget). Cheap certified reads shed
+    /// last; `Close` is never shed at all (it *frees* capacity).
+    fn sheds_early(&self) -> bool {
+        matches!(
+            self,
+            Command::Submit(..)
+                | Command::CatchUp(..)
+                | Command::SessionLog(_)
+                | Command::InjectPanic(_)
+        )
     }
 
     /// Resolves the command's reply with `err` without executing it.
@@ -239,6 +391,7 @@ impl Command {
             Command::Snapshot(tx) => drop(tx.send(Err(err))),
             Command::SessionLog(tx) => drop(tx.send(Err(err))),
             Command::Close(tx) => drop(tx.send(Err(err))),
+            Command::InjectPanic(tx) => drop(tx.send(Err(err))),
         }
     }
 
@@ -343,6 +496,14 @@ impl Command {
                 record(true);
                 let _ = tx.send(Ok(()));
             }
+            Command::InjectPanic(tx) => {
+                // The reply channel dies with the unwind: the injecting
+                // caller's `wait` resolves `Terminated`, every *later*
+                // command on the session gets `Quarantined`.
+                record(false);
+                drop(tx);
+                panic!("injected worker panic");
+            }
         }
     }
 }
@@ -351,6 +512,11 @@ impl Command {
 /// enqueue time (`seq`/`at_ns` are zero with telemetry off).
 struct Queued {
     cmd: Command,
+    /// Checked at dequeue: expired commands are dropped, not executed.
+    deadline: Deadline,
+    /// Fired (or dropped) once the session is checked back in — the
+    /// [`Reply::wait_settled`] barrier.
+    settle: Sender<()>,
     /// Hub-global command sequence number (links the client ring's
     /// `Enqueue` event to the worker ring's lifecycle events).
     seq: u64,
@@ -367,16 +533,43 @@ struct Mailbox {
     enqueued: bool,
 }
 
+impl Mailbox {
+    fn empty() -> Self {
+        Mailbox {
+            queue: VecDeque::new(),
+            busy: false,
+            enqueued: false,
+        }
+    }
+}
+
 struct Inner {
     mgr: SessionManager,
     mailboxes: BTreeMap<SessionId, Mailbox>,
     ready: VecDeque<SessionId>,
+    /// Admitted commands not yet finished: queued in any mailbox or
+    /// drained into a worker's pass. Decremented at check-in (and on every
+    /// reject of an already-admitted command), so it bounds work in the
+    /// system, not just queue depth.
+    inflight: u64,
     shutdown: bool,
 }
 
 struct Shared {
     state: Mutex<Inner>,
     work: Condvar,
+}
+
+/// How one session's pass through a worker ended.
+enum Outcome {
+    /// Commands executed; the engine comes back (or the session closed).
+    Done {
+        engine: Box<RankingEngine>,
+        close: bool,
+    },
+    /// A command panicked (or rehydration failed): quarantine the session,
+    /// preserving whatever log the worker could salvage from the engine.
+    Quarantine { salvage: Option<ResponseLog> },
 }
 
 /// The concurrent session server: a worker pool draining per-session
@@ -387,6 +580,33 @@ pub struct SessionServer {
     handles: Vec<JoinHandle<()>>,
     workers: usize,
     hub: Arc<TelemetryHub>,
+    mailbox_cap: usize,
+    max_inflight: usize,
+}
+
+/// Suppresses stderr noise from the *injected* test panic (and only it):
+/// the quarantine batteries fire `inject_panic` on purpose, and the
+/// default hook's backtrace spam would drown their output. Real panics
+/// still reach the previously installed hook. Installed once per process,
+/// the first time a server starts.
+fn install_panic_filter() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("injected worker panic"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("injected worker panic"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
 }
 
 impl SessionServer {
@@ -407,6 +627,7 @@ impl SessionServer {
     }
 
     fn start(opts: ServerOpts, mut mgr: SessionManager) -> Self {
+        install_panic_filter();
         let total = parallel::threads();
         // The single resolution point for the HND_THREADS convention —
         // benches/examples sizing their own pools go through it too.
@@ -433,22 +654,14 @@ impl SessionServer {
         let mailboxes: BTreeMap<SessionId, Mailbox> = mgr
             .session_ids()
             .into_iter()
-            .map(|id| {
-                (
-                    id,
-                    Mailbox {
-                        queue: VecDeque::new(),
-                        busy: false,
-                        enqueued: false,
-                    },
-                )
-            })
+            .map(|id| (id, Mailbox::empty()))
             .collect();
         let shared = Arc::new(Shared {
             state: Mutex::new(Inner {
                 mgr,
                 mailboxes,
                 ready: VecDeque::new(),
+                inflight: 0,
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -470,6 +683,8 @@ impl SessionServer {
             handles,
             workers,
             hub,
+            mailbox_cap: opts.mailbox_cap,
+            max_inflight: opts.max_inflight,
         }
     }
 
@@ -498,14 +713,7 @@ impl SessionServer {
             return Err(ServerError::Terminated);
         }
         let id = st.mgr.create_session(n_users, n_items, options_per_item)?;
-        st.mailboxes.insert(
-            id,
-            Mailbox {
-                queue: VecDeque::new(),
-                busy: false,
-                enqueued: false,
-            },
-        );
+        st.mailboxes.insert(id, Mailbox::empty());
         Ok(id)
     }
 
@@ -517,14 +725,7 @@ impl SessionServer {
             return Err(ServerError::Terminated);
         }
         let id = st.mgr.create_session_from_log(log)?;
-        st.mailboxes.insert(
-            id,
-            Mailbox {
-                queue: VecDeque::new(),
-                busy: false,
-                enqueued: false,
-            },
-        );
+        st.mailboxes.insert(id, Mailbox::empty());
         Ok(id)
     }
 
@@ -559,7 +760,7 @@ impl SessionServer {
     }
 
     /// Flight-records a command rejected before reaching a worker
-    /// (unknown session, shutdown).
+    /// (unknown session, shutdown, quarantine, shed).
     fn record_reject(&self, id: SessionId, seq: u64, at_ns: u64, kind: CommandKind) {
         if !self.hub.enabled() {
             return;
@@ -578,7 +779,19 @@ impl SessionServer {
         self.hub.bump(Counter::RepliesErr);
     }
 
-    fn enqueue(&self, id: SessionId, cmd: Command) {
+    /// The shed reply's retry hint: the `Command` stage's median
+    /// end-to-end latency — roughly the time one queued slot takes to
+    /// clear — clamped to `[1ms, 10s]`; `1ms` before any command has
+    /// completed (or with telemetry off).
+    fn retry_after_hint_ms(&self) -> u64 {
+        let data = self.hub.stage_data(Stage::Command);
+        if data.count == 0 {
+            return 1;
+        }
+        (data.summary().p50_ns / 1_000_000).clamp(1, 10_000)
+    }
+
+    fn enqueue(&self, id: SessionId, cmd: Command, deadline: Deadline, settle: Sender<()>) {
         let st = self.lock();
         // Stamp the command for the flight recorder before anything can
         // serve it; with telemetry off both stamps are zero and no event
@@ -613,7 +826,7 @@ impl SessionServer {
             .mailboxes
             .get(&id)
             .is_some_and(|mb| mb.queue.is_empty() && !mb.busy);
-        if quiescent {
+        if quiescent && !st.mgr.is_quarantined(id) {
             // A *spilled* session has nothing in memory at all: log reads
             // go straight to the store's files (clone the Arc, drop the
             // lock, read disk unlocked) — rehydrating an engine to answer
@@ -642,7 +855,19 @@ impl SessionServer {
                             self.record_direct(id, seq, at_ns, CommandKind::SessionLog, ok);
                             return;
                         }
-                        other => return self.enqueue_locked(st, id, other, seq, at_ns),
+                        other => {
+                            return self.enqueue_locked(
+                                st,
+                                id,
+                                Queued {
+                                    cmd: other,
+                                    deadline,
+                                    settle,
+                                    seq,
+                                    at_ns,
+                                },
+                            )
+                        }
                     }
                 }
             }
@@ -684,38 +909,110 @@ impl SessionServer {
                     other => {
                         // Engine-bound command: fall through to the mailbox
                         // (the worker rehydrates).
-                        return self.enqueue_locked(st, id, other, seq, at_ns);
+                        return self.enqueue_locked(
+                            st,
+                            id,
+                            Queued {
+                                cmd: other,
+                                deadline,
+                                settle,
+                                seq,
+                                at_ns,
+                            },
+                        );
                     }
                 }
             }
         }
-        self.enqueue_locked(st, id, cmd, seq, at_ns)
+        self.enqueue_locked(
+            st,
+            id,
+            Queued {
+                cmd,
+                deadline,
+                settle,
+                seq,
+                at_ns,
+            },
+        )
     }
 
-    fn enqueue_locked(
-        &self,
-        mut st: std::sync::MutexGuard<'_, Inner>,
-        id: SessionId,
-        cmd: Command,
-        seq: u64,
-        at_ns: u64,
-    ) {
-        match st.mailboxes.get_mut(&id) {
-            None => {
+    fn enqueue_locked(&self, mut st: std::sync::MutexGuard<'_, Inner>, id: SessionId, q: Queued) {
+        let Queued { seq, at_ns, .. } = q;
+        let kind = q.cmd.kind();
+        if !st.mailboxes.contains_key(&id) {
+            drop(st);
+            q.cmd.reject(ServerError::UnknownSession(id));
+            self.record_reject(id, seq, at_ns, kind);
+            return;
+        }
+        // Fail fast on a poisoned session: its worker pass already
+        // rejected everything queued, and nothing new may join until
+        // `revive_session` rebuilds it from the durable log.
+        if st.mgr.is_quarantined(id) {
+            drop(st);
+            q.cmd.reject(ServerError::Quarantined(id));
+            self.record_reject(id, seq, at_ns, kind);
+            return;
+        }
+        // Admission control. `Close` is always admitted — it frees
+        // capacity, and refusing it would wedge an overloaded server.
+        if !matches!(q.cmd, Command::Close(_)) {
+            let mailbox_full = self.mailbox_cap != 0
+                && st.mailboxes.get(&id).expect("checked above").queue.len() >= self.mailbox_cap;
+            let budget_full = self.max_inflight != 0 && {
+                let cap = self.max_inflight as u64;
+                // Mutating/bulk commands shed first: the last 1/8 of the
+                // budget is reserved for the cheap certified reads that
+                // callers poll under load.
+                let threshold = if q.cmd.sheds_early() {
+                    cap - cap / 8
+                } else {
+                    cap
+                };
+                st.inflight >= threshold.max(1)
+            };
+            if mailbox_full || budget_full {
+                let inflight = st.inflight;
                 drop(st);
-                let kind = cmd.kind();
-                cmd.reject(ServerError::UnknownSession(id));
-                self.record_reject(id, seq, at_ns, kind);
-            }
-            Some(mailbox) => {
-                mailbox.queue.push_back(Queued { cmd, seq, at_ns });
-                if !mailbox.busy && !mailbox.enqueued {
-                    mailbox.enqueued = true;
-                    st.ready.push_back(id);
-                    drop(st);
-                    self.shared.work.notify_one();
+                if self.hub.enabled() {
+                    self.hub.record(
+                        self.hub.client_ring(),
+                        id,
+                        seq,
+                        EventKind::Shed {
+                            cmd: kind,
+                            inflight,
+                        },
+                    );
+                    self.hub.bump(Counter::CommandsShed);
                 }
+                let retry_after_ms = self.retry_after_hint_ms();
+                q.cmd.reject(ServerError::Overloaded { retry_after_ms });
+                self.record_reject(id, seq, at_ns, kind);
+                return;
             }
+        }
+        st.inflight += 1;
+        let mailbox = st.mailboxes.get_mut(&id).expect("checked above");
+        mailbox.queue.push_back(q);
+        if !mailbox.busy && !mailbox.enqueued {
+            mailbox.enqueued = true;
+            st.ready.push_back(id);
+            drop(st);
+            self.shared.work.notify_one();
+        }
+    }
+
+    /// A client handle whose commands all carry `deadline`: a worker drops
+    /// any of them whose deadline passed while queued
+    /// ([`ServerError::DeadlineExceeded`]) instead of executing it. The
+    /// plain [`SessionServer`] methods are equivalent to
+    /// `with_deadline(Deadline::NONE)`.
+    pub fn with_deadline(&self, deadline: Deadline) -> DeadlineClient<'_> {
+        DeadlineClient {
+            srv: self,
+            deadline,
         }
     }
 
@@ -726,17 +1023,13 @@ impl SessionServer {
         id: SessionId,
         responses: impl IntoIterator<Item = (usize, usize, Option<u16>)>,
     ) -> Reply<u64> {
-        let (tx, reply) = Reply::pair();
-        self.enqueue(id, Command::Submit(responses.into_iter().collect(), tx));
-        reply
+        self.with_deadline(Deadline::NONE).submit(id, responses)
     }
 
     /// The session's current ranking (cache hit, incremental delta+warm
     /// solve, or cold rehydration solve — whatever the engine needs).
     pub fn ranking(&self, id: SessionId) -> Reply<Ranking> {
-        let (tx, reply) = Reply::pair();
-        self.enqueue(id, Command::Ranking(tx));
-        reply
+        self.with_deadline(Deadline::NONE).ranking(id)
     }
 
     /// The session's best `k` users as `(user, score)` pairs at the
@@ -744,16 +1037,12 @@ impl SessionServer {
     /// the top-`k` set and order are certified decided, or is skipped
     /// outright when the pending wave provably cannot change them.
     pub fn top_k(&self, id: SessionId, k: usize) -> Reply<Vec<(usize, f64)>> {
-        let (tx, reply) = Reply::pair();
-        self.enqueue(id, Command::TopK(k, tx));
-        reply
+        self.with_deadline(Deadline::NONE).top_k(id, k)
     }
 
     /// `user`'s current rank (0 = best) at the certified tier.
     pub fn rank_of(&self, id: SessionId, user: usize) -> Reply<usize> {
-        let (tx, reply) = Reply::pair();
-        self.enqueue(id, Command::RankOf(user, tx));
-        reply
+        self.with_deadline(Deadline::NONE).rank_of(id, user)
     }
 
     /// The compacted delta from a client's cached version to the session's
@@ -761,16 +1050,13 @@ impl SessionServer {
     /// [`ResponseMatrix::apply_delta`](hnd_response::ResponseMatrix::apply_delta)
     /// to resync in one step.
     pub fn catch_up(&self, id: SessionId, from_version: u64) -> Reply<ResponseDelta> {
-        let (tx, reply) = Reply::pair();
-        self.enqueue(id, Command::CatchUp(from_version, tx));
-        reply
+        self.with_deadline(Deadline::NONE)
+            .catch_up(id, from_version)
     }
 
     /// The session's serving counters.
     pub fn stats(&self, id: SessionId) -> Reply<EngineStats> {
-        let (tx, reply) = Reply::pair();
-        self.enqueue(id, Command::Stats(tx));
-        reply
+        self.with_deadline(Deadline::NONE).stats(id)
     }
 
     /// Every layer's counters in one ordered reply — engine, manager
@@ -778,25 +1064,51 @@ impl SessionServer {
     /// telemetry hub's per-stage latency summaries. Rides the session's
     /// mailbox, so it observes exactly the commands enqueued before it.
     pub fn snapshot(&self, id: SessionId) -> Reply<ServerSnapshot> {
-        let (tx, reply) = Reply::pair();
-        self.enqueue(id, Command::Snapshot(tx));
-        reply
+        self.with_deadline(Deadline::NONE).snapshot(id)
     }
 
     /// A clone of the session's durable log (the serial-replay oracle of
     /// the concurrency tests; also the handoff format for re-sharding).
     pub fn session_log(&self, id: SessionId) -> Reply<ResponseLog> {
-        let (tx, reply) = Reply::pair();
-        self.enqueue(id, Command::SessionLog(tx));
-        reply
+        self.with_deadline(Deadline::NONE).session_log(id)
     }
 
     /// Closes the session after the commands already queued ahead of it;
-    /// later commands fail with [`ServerError::UnknownSession`].
+    /// later commands fail with [`ServerError::UnknownSession`]. Never
+    /// shed by admission control.
     pub fn close_session(&self, id: SessionId) -> Reply<()> {
-        let (tx, reply) = Reply::pair();
-        self.enqueue(id, Command::Close(tx));
+        let (tx, settle, reply) = Reply::pair();
+        self.enqueue(id, Command::Close(tx), Deadline::NONE, settle);
         reply
+    }
+
+    /// Test-only: makes the session's worker panic mid-command,
+    /// exercising panic isolation and quarantine end to end. The reply
+    /// resolves [`ServerError::Terminated`] (its channel dies with the
+    /// unwind); every later command gets [`ServerError::Quarantined`].
+    #[doc(hidden)]
+    pub fn inject_panic(&self, id: SessionId) -> Reply<()> {
+        let (tx, settle, reply) = Reply::pair();
+        self.enqueue(id, Command::InjectPanic(tx), Deadline::NONE, settle);
+        reply
+    }
+
+    /// `true` when the session exists and is quarantined (poisoned by a
+    /// panic, serving only [`ServerError::Quarantined`]).
+    pub fn is_quarantined(&self, id: SessionId) -> bool {
+        self.lock().mgr.is_quarantined(id)
+    }
+
+    /// Revives a quarantined session from its durable state (the salvaged
+    /// log, or snapshot + WAL replay through the store) and returns the
+    /// restored version. The session comes back evicted: its next
+    /// engine-bound command rehydrates it cold, exactly like a restart.
+    pub fn revive_session(&self, id: SessionId) -> Result<u64, ServerError> {
+        let mut st = self.lock();
+        if st.shutdown {
+            return Err(ServerError::Terminated);
+        }
+        Ok(st.mgr.revive_session(id)?)
     }
 
     /// Runs the idle-eviction sweep now (it also runs at every check-in);
@@ -812,7 +1124,7 @@ impl SessionServer {
     }
 
     /// Fleet lifecycle counters (evictions, rehydrations, spills,
-    /// restores, store errors).
+    /// restores, store errors, quarantines, revivals).
     pub fn manager_stats(&self) -> ManagerStats {
         self.lock().mgr.stats()
     }
@@ -869,6 +1181,8 @@ impl SessionServer {
         snap.counter("manager_spills", manager.spills);
         snap.counter("manager_restores", manager.restores);
         snap.counter("manager_store_errors", manager.store_errors);
+        snap.counter("manager_quarantines", manager.quarantines);
+        snap.counter("manager_revivals", manager.revivals);
         if let Some(store) = store {
             snap.counter("store_frames_appended", store.frames_appended);
             snap.counter("store_edits_appended", store.edits_appended);
@@ -879,6 +1193,13 @@ impl SessionServer {
             snap.counter("store_replayed_edits", store.replayed_edits);
             snap.counter("store_damaged_frames", store.damaged_frames());
             snap.counter("store_snapshot_failures", store.snapshot_failures);
+            snap.counter("store_retries_append", store.retries_append);
+            snap.counter("store_retries_fsync", store.retries_fsync);
+            snap.counter("store_retries_read", store.retries_read);
+            snap.counter("store_retries_snapshot", store.retries_snapshot);
+            snap.counter("store_faults_transient", store.faults_transient);
+            snap.counter("store_faults_hard", store.faults_hard);
+            snap.counter("store_faults_torn", store.faults_torn);
         }
         self.hub.fill(&mut snap);
         snap
@@ -919,6 +1240,92 @@ impl SessionServer {
     /// `true` when no sessions exist.
     pub fn is_empty(&self) -> bool {
         self.lock().mgr.is_empty()
+    }
+}
+
+/// A borrowed [`SessionServer`] handle that stamps every command with one
+/// [`Deadline`]; see [`SessionServer::with_deadline`].
+#[derive(Clone, Copy)]
+pub struct DeadlineClient<'a> {
+    srv: &'a SessionServer,
+    deadline: Deadline,
+}
+
+impl DeadlineClient<'_> {
+    /// [`SessionServer::submit`] under this client's deadline.
+    pub fn submit(
+        &self,
+        id: SessionId,
+        responses: impl IntoIterator<Item = (usize, usize, Option<u16>)>,
+    ) -> Reply<u64> {
+        let (tx, settle, reply) = Reply::pair();
+        self.srv.enqueue(
+            id,
+            Command::Submit(responses.into_iter().collect(), tx),
+            self.deadline,
+            settle,
+        );
+        reply
+    }
+
+    /// [`SessionServer::ranking`] under this client's deadline.
+    pub fn ranking(&self, id: SessionId) -> Reply<Ranking> {
+        let (tx, settle, reply) = Reply::pair();
+        self.srv
+            .enqueue(id, Command::Ranking(tx), self.deadline, settle);
+        reply
+    }
+
+    /// [`SessionServer::top_k`] under this client's deadline.
+    pub fn top_k(&self, id: SessionId, k: usize) -> Reply<Vec<(usize, f64)>> {
+        let (tx, settle, reply) = Reply::pair();
+        self.srv
+            .enqueue(id, Command::TopK(k, tx), self.deadline, settle);
+        reply
+    }
+
+    /// [`SessionServer::rank_of`] under this client's deadline.
+    pub fn rank_of(&self, id: SessionId, user: usize) -> Reply<usize> {
+        let (tx, settle, reply) = Reply::pair();
+        self.srv
+            .enqueue(id, Command::RankOf(user, tx), self.deadline, settle);
+        reply
+    }
+
+    /// [`SessionServer::catch_up`] under this client's deadline.
+    pub fn catch_up(&self, id: SessionId, from_version: u64) -> Reply<ResponseDelta> {
+        let (tx, settle, reply) = Reply::pair();
+        self.srv.enqueue(
+            id,
+            Command::CatchUp(from_version, tx),
+            self.deadline,
+            settle,
+        );
+        reply
+    }
+
+    /// [`SessionServer::stats`] under this client's deadline.
+    pub fn stats(&self, id: SessionId) -> Reply<EngineStats> {
+        let (tx, settle, reply) = Reply::pair();
+        self.srv
+            .enqueue(id, Command::Stats(tx), self.deadline, settle);
+        reply
+    }
+
+    /// [`SessionServer::snapshot`] under this client's deadline.
+    pub fn snapshot(&self, id: SessionId) -> Reply<ServerSnapshot> {
+        let (tx, settle, reply) = Reply::pair();
+        self.srv
+            .enqueue(id, Command::Snapshot(tx), self.deadline, settle);
+        reply
+    }
+
+    /// [`SessionServer::session_log`] under this client's deadline.
+    pub fn session_log(&self, id: SessionId) -> Reply<ResponseLog> {
+        let (tx, settle, reply) = Reply::pair();
+        self.srv
+            .enqueue(id, Command::SessionLog(tx), self.deadline, settle);
+        reply
     }
 }
 
@@ -972,13 +1379,15 @@ fn collect_cold_batch(
         mailbox.enqueued = false;
         let commands: Vec<Queued> = mailbox.queue.drain(..).collect();
         match st.mgr.checkout(id) {
-            Some(checkout) => {
+            Ok(checkout) => {
                 st.mailboxes.get_mut(&id).expect("checked above").busy = true;
                 batch.push((id, commands, checkout));
             }
-            None => {
+            Err(e) => {
+                st.inflight = st.inflight.saturating_sub(commands.len() as u64);
+                let err = ServerError::from(e);
                 for q in commands {
-                    q.cmd.reject(ServerError::UnknownSession(id));
+                    q.cmd.reject(err.clone());
                 }
             }
         }
@@ -1025,7 +1434,7 @@ fn worker_loop(
                     // back its log so the O(nnz) rehydration build runs
                     // outside the lock — the mutex guards bookkeeping only.
                     match st.mgr.checkout(id) {
-                        Some(checkout) => {
+                        Ok(checkout) => {
                             st.mailboxes
                                 .get_mut(&id)
                                 .expect("mailbox checked above")
@@ -1046,11 +1455,14 @@ fn worker_loop(
                             }
                             break 'acquire (batch, opts, mgr_stats);
                         }
-                        None => {
-                            // The manager no longer knows the id (closed
-                            // concurrently): fail the batch, keep popping.
+                        Err(e) => {
+                            // The manager cannot serve the id (closed
+                            // concurrently, quarantined, restore failed):
+                            // fail the drained batch, keep popping.
+                            st.inflight = st.inflight.saturating_sub(commands.len() as u64);
+                            let err = ServerError::from(e);
                             for q in commands {
-                                q.cmd.reject(ServerError::UnknownSession(id));
+                                q.cmd.reject(err.clone());
                             }
                         }
                     }
@@ -1067,6 +1479,10 @@ fn worker_loop(
         let enabled = hub.enabled();
         let mut items: Vec<(SessionId, Vec<Queued>, RankingEngine)> =
             Vec::with_capacity(batch.len());
+        // Sessions whose rehydration build failed or panicked: their
+        // durable state is still on disk (salvage `None`) — quarantine
+        // them at check-in instead of taking the worker down.
+        let mut broken: Vec<(SessionId, Vec<Queued>)> = Vec::new();
         let mut cold: Vec<usize> = Vec::new();
         let batched = batch.len() > 1;
         for (id, commands, checkout) in batch {
@@ -1074,7 +1490,10 @@ fn worker_loop(
             // a trace reader can tie the rebuild to the command that paid
             // for it.
             let seq0 = commands.first().map_or(0, |q| q.seq);
-            let mut engine = match checkout {
+            let kind0 = commands
+                .first()
+                .map_or(CommandKind::Close, |q| q.cmd.kind());
+            let (engine, was_cold) = match checkout {
                 Checkout::Live(engine) => {
                     if enabled {
                         hub.record(
@@ -1087,16 +1506,15 @@ fn worker_loop(
                             },
                         );
                     }
-                    *engine
+                    (Some(*engine), false)
                 }
                 Checkout::Rehydrate(log) => {
-                    if batched {
-                        cold.push(items.len());
-                    }
                     let started = Instant::now();
-                    let engine = RankingEngine::from_log(log, engine_opts)
-                        .expect("rehydration from a previously valid log");
-                    if enabled {
+                    let built = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        RankingEngine::from_log(log, engine_opts)
+                    }));
+                    let engine = built.ok().and_then(Result::ok);
+                    if engine.is_some() && enabled {
                         hub.record(
                             ring,
                             id,
@@ -1108,17 +1526,18 @@ fn worker_loop(
                         );
                         hub.record_stage(Stage::Restore, started.elapsed().as_nanos() as u64);
                     }
-                    engine
+                    (engine, true)
                 }
                 Checkout::Restore { log, replayed } => {
-                    if batched {
-                        cold.push(items.len());
-                    }
                     let started = Instant::now();
-                    let mut engine = RankingEngine::from_log(log, engine_opts)
-                        .expect("rehydration from a previously valid log");
-                    engine.record_wal_replay(replayed);
-                    if enabled {
+                    let built = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        RankingEngine::from_log(log, engine_opts)
+                    }));
+                    let engine = built.ok().and_then(Result::ok).map(|mut engine| {
+                        engine.record_wal_replay(replayed);
+                        engine
+                    });
+                    if engine.is_some() && enabled {
                         hub.record(
                             ring,
                             id,
@@ -1130,127 +1549,255 @@ fn worker_loop(
                         );
                         hub.record_stage(Stage::Restore, started.elapsed().as_nanos() as u64);
                     }
-                    engine
+                    (engine, true)
                 }
             };
-            // (Re)install the probe every checkout: the engine may have
-            // last run on a different worker's ring.
-            engine.set_probe(enabled.then(|| Probe::new(hub.clone(), ring, id)));
-            items.push((id, commands, engine));
-        }
-        let (finished, store_errors) = parallel::with_threads(inner_threads, || {
-            // Batched pass: one rank_many over the cold engines' matrices,
-            // results seeded so the queued ranking commands hit the cache.
-            // A failed slot just falls through to the per-command solve
-            // (which reports the error to its own caller).
-            if !cold.is_empty() {
-                let solver = engine_opts.solver.build(engine_opts.solver_opts);
-                let matrices: Vec<&ResponseMatrix> =
-                    cold.iter().map(|&i| items[i].2.matrix()).collect();
-                let solved = rank_many(solver.as_ranker(), &matrices);
-                for (&i, result) in cold.iter().zip(solved) {
-                    if let Ok(ranking) = result {
-                        items[i].2.seed_solution(ranking);
+            match engine {
+                Some(mut engine) => {
+                    // Cold indices are assigned only after a successful
+                    // build so a broken session never corrupts the
+                    // batched-solve index set.
+                    if batched && was_cold {
+                        cold.push(items.len());
                     }
+                    // (Re)install the probe every checkout: the engine may
+                    // have last run on a different worker's ring.
+                    engine.set_probe(enabled.then(|| Probe::new(hub.clone(), ring, id)));
+                    items.push((id, commands, engine));
+                }
+                None => {
+                    if enabled {
+                        hub.record(ring, id, seq0, EventKind::Quarantine { cmd: kind0 });
+                        hub.bump(Counter::SessionsQuarantined);
+                        hub.capture_error();
+                    }
+                    broken.push((id, commands));
                 }
             }
-            let mut finished: Vec<(SessionId, RankingEngine, bool)> =
-                Vec::with_capacity(items.len());
-            let mut store_errors = 0u64;
-            for (id, commands, mut engine) in items {
-                let mut close = false;
-                for q in commands {
-                    let Queued { cmd, seq, at_ns } = q;
-                    if close {
-                        // Ordered after a Close in the same batch: the
-                        // session is already logically gone.
-                        cmd.reject(ServerError::UnknownSession(id));
-                        continue;
+        }
+        let (mut finished, store_errors, mut consumed) =
+            parallel::with_threads(inner_threads, || {
+                // Batched pass: one rank_many over the cold engines' matrices,
+                // results seeded so the queued ranking commands hit the cache.
+                // A failed slot just falls through to the per-command solve
+                // (which reports the error to its own caller).
+                if !cold.is_empty() {
+                    let solver = engine_opts.solver.build(engine_opts.solver_opts);
+                    let matrices: Vec<&ResponseMatrix> =
+                        cold.iter().map(|&i| items[i].2.matrix()).collect();
+                    let solved = rank_many(solver.as_ranker(), &matrices);
+                    for (&i, result) in cold.iter().zip(solved) {
+                        if let Ok(ranking) = result {
+                            items[i].2.seed_solution(ranking);
+                        }
                     }
-                    let kind = cmd.kind();
-                    if enabled {
-                        let dwell_ns = hub.now_ns().saturating_sub(at_ns);
-                        hub.record(
-                            ring,
-                            id,
+                }
+                let mut finished: Vec<(SessionId, Outcome, Vec<Sender<()>>)> =
+                    Vec::with_capacity(items.len());
+                let mut store_errors = 0u64;
+                let mut consumed = 0u64;
+                for (id, commands, mut engine) in items {
+                    consumed += commands.len() as u64;
+                    let mut close = false;
+                    let mut settles: Vec<Sender<()>> = Vec::with_capacity(commands.len());
+                    let mut panicked = false;
+                    let mut iter = commands.into_iter();
+                    for q in iter.by_ref() {
+                        let Queued {
+                            cmd,
+                            deadline,
+                            settle,
                             seq,
-                            EventKind::Dequeue {
-                                cmd: kind,
-                                dwell_ns,
-                            },
-                        );
-                        hub.record_stage(Stage::QueueWait, dwell_ns);
-                        engine.set_probe_seq(seq);
-                    }
-                    // Recording runs inside `execute`, before the reply is
-                    // sent: once a client's `wait` returns, the command is
-                    // already visible to `metrics()`/`trace_dump()`.
-                    let record = |ok: bool| {
+                            at_ns,
+                        } = q;
+                        if close {
+                            // Ordered after a Close in the same batch: the
+                            // session is already logically gone.
+                            cmd.reject(ServerError::UnknownSession(id));
+                            continue;
+                        }
+                        let kind = cmd.kind();
+                        // Deadline check at dequeue: a command nobody is
+                        // waiting for anymore is dropped, not executed —
+                        // under overload this converts queue debt into fast
+                        // failures instead of late useless solves.
+                        if deadline.expired() {
+                            if enabled {
+                                hub.record(
+                                    ring,
+                                    id,
+                                    seq,
+                                    EventKind::Expired {
+                                        cmd: kind,
+                                        late_ns: deadline.late_ns(),
+                                    },
+                                );
+                                hub.bump(Counter::CommandsExpired);
+                                hub.bump(Counter::RepliesErr);
+                            }
+                            cmd.reject(ServerError::DeadlineExceeded);
+                            continue;
+                        }
                         if enabled {
-                            let e2e_ns = hub.now_ns().saturating_sub(at_ns);
+                            let dwell_ns = hub.now_ns().saturating_sub(at_ns);
                             hub.record(
                                 ring,
                                 id,
                                 seq,
-                                EventKind::Reply {
+                                EventKind::Dequeue {
                                     cmd: kind,
-                                    ok,
-                                    e2e_ns,
+                                    dwell_ns,
                                 },
                             );
-                            hub.record_stage(Stage::Command, e2e_ns);
-                            hub.bump(if ok {
-                                Counter::RepliesOk
-                            } else {
-                                Counter::RepliesErr
-                            });
-                            if !ok {
-                                hub.capture_error();
+                            hub.record_stage(Stage::QueueWait, dwell_ns);
+                            engine.set_probe_seq(seq);
+                        }
+                        // Recording runs inside `execute`, before the reply is
+                        // sent: once a client's `wait` returns, the command is
+                        // already visible to `metrics()`/`trace_dump()`.
+                        let record = |ok: bool| {
+                            if enabled {
+                                let e2e_ns = hub.now_ns().saturating_sub(at_ns);
+                                hub.record(
+                                    ring,
+                                    id,
+                                    seq,
+                                    EventKind::Reply {
+                                        cmd: kind,
+                                        ok,
+                                        e2e_ns,
+                                    },
+                                );
+                                hub.record_stage(Stage::Command, e2e_ns);
+                                hub.bump(if ok {
+                                    Counter::RepliesOk
+                                } else {
+                                    Counter::RepliesErr
+                                });
+                                if !ok {
+                                    hub.capture_error();
+                                }
+                            }
+                        };
+                        // The panic guard: an unwinding command must not take
+                        // the worker (and every other session's mailbox) down
+                        // with it. The engine may be mid-mutation — quarantine
+                        // the session, never reuse the engine.
+                        let guarded = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            cmd.execute(
+                                id,
+                                &mut engine,
+                                store.as_deref(),
+                                &mut store_errors,
+                                &mut close,
+                                mgr_stats,
+                                &hub,
+                                &record,
+                            );
+                        }));
+                        match guarded {
+                            Ok(()) => settles.push(settle),
+                            Err(_) => {
+                                if enabled {
+                                    hub.record(ring, id, seq, EventKind::Quarantine { cmd: kind });
+                                    hub.bump(Counter::SessionsQuarantined);
+                                    hub.capture_error();
+                                }
+                                // Settle with the rest so wait_settled on the
+                                // injecting command observes the quarantine.
+                                settles.push(settle);
+                                panicked = true;
+                                break;
                             }
                         }
-                    };
-                    cmd.execute(
-                        id,
-                        &mut engine,
-                        store.as_deref(),
-                        &mut store_errors,
-                        &mut close,
-                        mgr_stats,
-                        &hub,
-                        &record,
-                    );
+                    }
+                    if panicked {
+                        // Everything queued behind the panic fails fast.
+                        for q in iter {
+                            q.cmd.reject(ServerError::Quarantined(id));
+                        }
+                        // Salvage the log out of the poisoned engine — the
+                        // committed prefix survives a mid-submit panic
+                        // structurally valid. If even that unwinds, the store
+                        // tier still holds the durable copy.
+                        let salvage =
+                            std::panic::catch_unwind(AssertUnwindSafe(move || engine.into_log()))
+                                .ok();
+                        finished.push((id, Outcome::Quarantine { salvage }, settles));
+                    } else {
+                        finished.push((
+                            id,
+                            Outcome::Done {
+                                engine: Box::new(engine),
+                                close,
+                            },
+                            settles,
+                        ));
+                    }
                 }
-                finished.push((id, engine, close));
+                (finished, store_errors, consumed)
+            });
+        // Fold rehydration failures in as salvage-free quarantines; their
+        // replies resolve here (outside the lock), their sessions
+        // transition at check-in below.
+        for (id, commands) in broken {
+            consumed += commands.len() as u64;
+            for q in commands {
+                q.cmd.reject(ServerError::Quarantined(id));
             }
-            (finished, store_errors)
-        });
+            finished.push((id, Outcome::Quarantine { salvage: None }, Vec::new()));
+        }
 
         // Check back in.
         let mut st = shared.state.lock().expect("server state poisoned");
         if store_errors > 0 {
             st.mgr.note_store_errors(store_errors);
         }
+        let mut dropped = 0u64;
         let mut notify = false;
-        for (id, engine, close) in finished {
-            if close {
-                st.mgr.drop_session(id);
-                if let Some(mailbox) = st.mailboxes.remove(&id) {
-                    for q in mailbox.queue {
-                        q.cmd.reject(ServerError::UnknownSession(id));
+        for (id, outcome, settles) in finished {
+            match outcome {
+                Outcome::Done { engine, close } => {
+                    if close {
+                        st.mgr.drop_session(id);
+                        if let Some(mailbox) = st.mailboxes.remove(&id) {
+                            dropped += mailbox.queue.len() as u64;
+                            for q in mailbox.queue {
+                                q.cmd.reject(ServerError::UnknownSession(id));
+                            }
+                        }
+                    } else {
+                        st.mgr
+                            .put_engine(id, *engine)
+                            .expect("worker holds this session's checkout");
+                        if let Some(mailbox) = st.mailboxes.get_mut(&id) {
+                            mailbox.busy = false;
+                            if !mailbox.queue.is_empty() && !mailbox.enqueued {
+                                mailbox.enqueued = true;
+                                st.ready.push_back(id);
+                                notify = true;
+                            }
+                        }
                     }
                 }
-            } else {
-                st.mgr.put_engine(id, engine);
-                if let Some(mailbox) = st.mailboxes.get_mut(&id) {
-                    mailbox.busy = false;
-                    if !mailbox.queue.is_empty() && !mailbox.enqueued {
-                        mailbox.enqueued = true;
-                        st.ready.push_back(id);
-                        notify = true;
+                Outcome::Quarantine { salvage } => {
+                    st.mgr.quarantine_session(id, salvage);
+                    if let Some(mailbox) = st.mailboxes.get_mut(&id) {
+                        mailbox.busy = false;
+                        dropped += mailbox.queue.len() as u64;
+                        for q in mailbox.queue.drain(..) {
+                            q.cmd.reject(ServerError::Quarantined(id));
+                        }
                     }
                 }
             }
+            // The wait_settled barrier: the session's state transition
+            // above is visible before any of its clients proceed.
+            for settle in settles {
+                let _ = settle.send(());
+            }
         }
+        st.inflight = st.inflight.saturating_sub(consumed + dropped);
         drop(st);
         if notify {
             shared.work.notify_all();
@@ -1396,6 +1943,144 @@ mod tests {
         assert!(!srv.is_evicted(quiet));
         assert_eq!(srv.manager_stats().rehydrations, base + 1);
         assert_eq!(head.len(), after.len());
+    }
+
+    #[test]
+    fn expired_deadline_drops_at_dequeue() {
+        let srv = server(1);
+        let id = srv.create_session(5, 4, &[2; 4]).unwrap();
+        // A deadline already in the past: the worker must drop it unserved.
+        let past = Deadline::at(Instant::now() - Duration::from_millis(5));
+        let late = srv.with_deadline(past).ranking(id);
+        assert_eq!(late.wait().unwrap_err(), ServerError::DeadlineExceeded);
+        // The session itself is unharmed…
+        srv.submit(id, staircase(5)).wait().unwrap();
+        assert_eq!(srv.ranking(id).wait().unwrap().len(), 5);
+        // …and Deadline::NONE never expires.
+        assert!(!Deadline::NONE.expired());
+    }
+
+    #[test]
+    fn wait_timeout_resolves_or_times_out() {
+        let srv = server(2);
+        let id = srv.create_session(4, 3, &[2; 3]).unwrap();
+        let reply = srv.submit(id, vec![(0, 0, Some(0))]);
+        // The command resolves within a generous bounded wait…
+        let mut out = None;
+        for _ in 0..200 {
+            out = reply.wait_timeout(Duration::from_millis(50));
+            if out.is_some() {
+                break;
+            }
+        }
+        assert_eq!(out.unwrap().unwrap(), 1);
+        // …and an instant timeout on a never-resolving reply returns None.
+        let (_tx, _settle, pending) = Reply::<u64>::pair();
+        assert!(pending.wait_timeout(Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn mailbox_cap_sheds_with_retry_hint() {
+        // One worker and a cap-1 mailbox: a deep pipeline must shed.
+        let srv = SessionServer::new(ServerOpts {
+            workers: 1,
+            mailbox_cap: 1,
+            engine: EngineOpts {
+                solver: SolverKind::Power,
+                solver_opts: SolverOpts {
+                    orient: false,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let id = srv.create_session(5, 4, &[2; 4]).unwrap();
+        let replies: Vec<Reply<u64>> = (0..64)
+            .map(|k| srv.submit(id, vec![(k % 5, k % 4, Some(0))]))
+            .collect();
+        let mut shed = 0;
+        for reply in replies {
+            match reply.wait() {
+                Ok(_) => {}
+                Err(ServerError::Overloaded { retry_after_ms }) => {
+                    assert!((1..=10_000).contains(&retry_after_ms));
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(shed > 0, "cap-1 mailbox under a 64-deep pipeline must shed");
+        // Close is exempt from admission control.
+        srv.close_session(id).wait().unwrap();
+    }
+
+    #[test]
+    fn panic_quarantines_only_its_session() {
+        let srv = server(2);
+        let healthy = srv.create_session(6, 5, &[2; 5]).unwrap();
+        let doomed = srv.create_session(6, 5, &[2; 5]).unwrap();
+        srv.submit(healthy, staircase(6)).wait().unwrap();
+        srv.submit(doomed, staircase(6)).wait().unwrap();
+        let before = srv.ranking(healthy).wait().unwrap();
+
+        // Panic mid-command: the injecting reply's channel dies with the
+        // unwind; wait_settled returns only after the quarantine landed.
+        assert_eq!(
+            srv.inject_panic(doomed).wait_settled().unwrap_err(),
+            ServerError::Terminated
+        );
+        assert!(srv.is_quarantined(doomed));
+        assert_eq!(
+            srv.ranking(doomed).wait().unwrap_err(),
+            ServerError::Quarantined(doomed)
+        );
+        assert_eq!(srv.manager_stats().quarantines, 1);
+
+        // The healthy session is bit-identical to before the panic.
+        let after = srv.ranking(healthy).wait().unwrap();
+        assert_eq!(before.scores, after.scores);
+
+        // Revive from the salvaged log: full state back, serving again.
+        let version = srv.revive_session(doomed).unwrap();
+        assert_eq!(version, 30);
+        assert!(!srv.is_quarantined(doomed));
+        assert_eq!(srv.ranking(doomed).wait().unwrap().len(), 6);
+        assert_eq!(srv.manager_stats().revivals, 1);
+    }
+
+    #[test]
+    fn wait_settled_observes_check_in() {
+        let srv = SessionServer::new(ServerOpts {
+            workers: 1,
+            idle_threshold: Some(1),
+            engine: EngineOpts {
+                solver: SolverKind::Power,
+                solver_opts: SolverOpts {
+                    orient: false,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let idle = srv.create_session(5, 4, &[2; 4]).unwrap();
+        let busy = srv.create_session(5, 4, &[2; 4]).unwrap();
+        // After wait_settled the engine is back in the manager — not
+        // CheckedOut — so once the clock advances past the threshold an
+        // explicit sweep evicts it deterministically (a plain `wait`
+        // races the check-in here and would make this assertion flaky).
+        srv.submit(idle, staircase(5)).wait_settled().unwrap();
+        srv.submit(busy, vec![(0, 0, Some(0))])
+            .wait_settled()
+            .unwrap();
+        // (The amortized sweep at the second check-in may beat the
+        // explicit call to it — either way the idle session must be out.)
+        let evicted = srv.evict_idle();
+        assert!(
+            evicted.contains(&idle) || srv.is_evicted(idle),
+            "settled session must be evictable"
+        );
     }
 
     #[test]

@@ -50,6 +50,66 @@ use std::sync::Arc;
 /// Identifies a session within a [`SessionManager`].
 pub type SessionId = u64;
 
+/// Typed errors from [`SessionManager`]'s public surface — the manager
+/// never panics on id-lifecycle mistakes; callers get one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// No session with this id exists.
+    Unknown(SessionId),
+    /// The session's engine is checked out to a worker; the synchronous
+    /// paths cannot serve it and a second checkout is rejected.
+    CheckedOut(SessionId),
+    /// The session was quarantined after a panic; only
+    /// [`SessionManager::revive_session`] can bring it back.
+    Quarantined(SessionId),
+    /// [`SessionManager::revive_session`] on a session that is not
+    /// quarantined.
+    NotQuarantined(SessionId),
+    /// [`SessionManager::put_engine`] without a matching checkout — a
+    /// caller bug that would silently fork session state.
+    NotCheckedOut(SessionId),
+    /// The session's log rejected an edit batch.
+    Response(ResponseError),
+    /// A solve failed.
+    Rank(RankError),
+    /// The durable store failed (restore, revive).
+    Store(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Unknown(id) => write!(f, "unknown session {id}"),
+            SessionError::CheckedOut(id) => write!(f, "session {id} is checked out"),
+            SessionError::Quarantined(id) => write!(f, "session {id} is quarantined"),
+            SessionError::NotQuarantined(id) => write!(f, "session {id} is not quarantined"),
+            SessionError::NotCheckedOut(id) => {
+                write!(
+                    f,
+                    "put_engine without a matching take_engine for session {id}"
+                )
+            }
+            SessionError::Response(e) => write!(f, "{e}"),
+            SessionError::Rank(e) => write!(f, "{e}"),
+            SessionError::Store(msg) => write!(f, "store failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ResponseError> for SessionError {
+    fn from(e: ResponseError) -> Self {
+        SessionError::Response(e)
+    }
+}
+
+impl From<RankError> for SessionError {
+    fn from(e: RankError) -> Self {
+        SessionError::Rank(e)
+    }
+}
+
 /// One session's representation: live (engine resident), evicted (durable
 /// log only), or checked out to a worker.
 enum SessionState {
@@ -67,6 +127,12 @@ enum SessionState {
     /// Engine temporarily owned by a caller of
     /// [`SessionManager::take_engine`].
     CheckedOut,
+    /// Poisoned by a panic during command execution. The durable state is
+    /// preserved — `log` holds the salvaged ledger when the store could
+    /// not absorb it (or none is attached); otherwise the store's
+    /// snapshot + WAL pair is the session. Every touch is refused until
+    /// [`SessionManager::revive_session`].
+    Quarantined(Option<Box<ResponseLog>>),
 }
 
 struct SessionSlot {
@@ -118,6 +184,10 @@ pub struct ManagerStats {
     /// spill keeps the log resident, a failed sync is retried by the next
     /// one, and every failure lands here instead of on a client.
     pub store_errors: u64,
+    /// Sessions poisoned by a panic and moved to quarantine.
+    pub quarantines: u64,
+    /// Quarantined sessions successfully revived from durable state.
+    pub revivals: u64,
 }
 
 /// Owns and refreshes a fleet of incremental ranking sessions.
@@ -392,6 +462,16 @@ impl SessionManager {
                 .and_then(|s| s.load(id).ok())
                 .map(|(log, _)| log),
             SessionState::CheckedOut => None,
+            // Quarantine preserves the ledger: salvaged in memory, or on
+            // disk behind the attached store.
+            SessionState::Quarantined(ref log) => match log {
+                Some(log) => Some((**log).clone()),
+                None => self
+                    .store
+                    .as_ref()
+                    .and_then(|s| s.load(id).ok())
+                    .map(|(log, _)| log),
+            },
         }
     }
 
@@ -399,14 +479,18 @@ impl SessionManager {
     /// version. Rehydrates an evicted session first.
     ///
     /// # Errors
-    /// [`ResponseError`] from the session's log; unknown ids panic (the
-    /// caller owns the id lifecycle).
+    /// [`SessionError::Response`] when the log rejects the batch;
+    /// [`SessionError::Unknown`] / [`SessionError::CheckedOut`] /
+    /// [`SessionError::Quarantined`] on id-lifecycle misses.
     pub fn submit_responses(
         &mut self,
         id: SessionId,
         responses: impl IntoIterator<Item = (usize, usize, Option<u16>)>,
-    ) -> Result<u64, ResponseError> {
-        let result = self.live_engine_mut(id).submit_responses(responses);
+    ) -> Result<u64, SessionError> {
+        let result = self
+            .live_engine_mut(id)?
+            .submit_responses(responses)
+            .map_err(SessionError::from);
         if result.is_ok() {
             self.sync_to_store(id);
         }
@@ -436,15 +520,18 @@ impl SessionManager {
     /// The current ranking of one session (cache hit, or incremental
     /// delta+warm solve). Rehydrates an evicted session first (that solve
     /// runs cold — acceleration state is not durable).
-    pub fn current_ranking(&mut self, id: SessionId) -> Result<Ranking, RankError> {
-        let result = self.live_engine_mut(id).current_ranking();
+    pub fn current_ranking(&mut self, id: SessionId) -> Result<Ranking, SessionError> {
+        let result = self
+            .live_engine_mut(id)?
+            .current_ranking()
+            .map_err(SessionError::from);
         self.run_idle_policy();
         result
     }
 
     /// Rehydrates (if needed) and mutably borrows the engine of `id`,
-    /// bumping its touch time. Panics on unknown or checked-out ids.
-    fn live_engine_mut(&mut self, id: SessionId) -> &mut RankingEngine {
+    /// bumping its touch time.
+    fn live_engine_mut(&mut self, id: SessionId) -> Result<&mut RankingEngine, SessionError> {
         let now = self.tick();
         self.live_engine_mut_at(id, now)
     }
@@ -454,10 +541,17 @@ impl SessionManager {
     /// how many sessions it refreshes (per-session ticks would inflate the
     /// clock and let the trailing idle sweep evict sessions the pass
     /// itself just refreshed).
-    fn live_engine_mut_at(&mut self, id: SessionId, now: u64) -> &mut RankingEngine {
+    fn live_engine_mut_at(
+        &mut self,
+        id: SessionId,
+        now: u64,
+    ) -> Result<&mut RankingEngine, SessionError> {
         let store = self.store.clone();
         let (rehydrated, restored) = {
-            let slot = self.sessions.get_mut(&id).expect("unknown session id");
+            let slot = self
+                .sessions
+                .get_mut(&id)
+                .ok_or(SessionError::Unknown(id))?;
             slot.last_touch = now;
             match slot.state {
                 SessionState::Live(_) => (false, false),
@@ -473,23 +567,28 @@ impl SessionManager {
                     (true, false)
                 }
                 SessionState::Spilled => {
-                    // The synchronous serving path has no error channel
-                    // for storage loss; unrecoverable durable state is a
-                    // deployment-fatal condition here. The concurrent
-                    // server goes through `checkout`, which degrades
-                    // gracefully instead.
-                    let (log, report) = store
+                    // Unrecoverable durable state degrades to a typed
+                    // error; the slot stays spilled so a later repair of
+                    // the files can still revive the session.
+                    let loaded = store
                         .as_ref()
                         .expect("spilled session without an attached store")
-                        .load(id)
-                        .expect("restore from the durable store");
+                        .load(id);
+                    let (log, report) = match loaded {
+                        Ok(ok) => ok,
+                        Err(e) => {
+                            self.stats.store_errors += 1;
+                            return Err(SessionError::Store(e.to_string()));
+                        }
+                    };
                     let mut engine = RankingEngine::from_log(log, self.opts)
                         .expect("rehydration from a previously valid log");
                     engine.record_wal_replay(report.replayed_edits);
                     slot.state = SessionState::Live(Box::new(engine));
                     (true, true)
                 }
-                SessionState::CheckedOut => panic!("session {id} is checked out"),
+                SessionState::CheckedOut => return Err(SessionError::CheckedOut(id)),
+                SessionState::Quarantined(_) => return Err(SessionError::Quarantined(id)),
             }
         };
         if rehydrated {
@@ -498,13 +597,8 @@ impl SessionManager {
         if restored {
             self.stats.restores += 1;
         }
-        match self
-            .sessions
-            .get_mut(&id)
-            .expect("unknown session id")
-            .state
-        {
-            SessionState::Live(ref mut engine) => engine,
+        match self.sessions.get_mut(&id).expect("slot exists").state {
+            SessionState::Live(ref mut engine) => Ok(engine),
             _ => unreachable!("slot was made live above"),
         }
     }
@@ -512,10 +606,14 @@ impl SessionManager {
     /// Moves a session's engine out of its slot (rehydrating first if
     /// evicted), leaving the slot "checked out": no eviction, no second
     /// checkout, no synchronous serving until [`Self::put_engine`].
-    /// Returns `None` for unknown or already-checked-out sessions.
-    pub fn take_engine(&mut self, id: SessionId) -> Option<RankingEngine> {
+    ///
+    /// # Errors
+    /// [`SessionError::Unknown`], [`SessionError::CheckedOut`],
+    /// [`SessionError::Quarantined`], or [`SessionError::Store`] when a
+    /// spilled session's durable state cannot be loaded.
+    pub fn take_engine(&mut self, id: SessionId) -> Result<RankingEngine, SessionError> {
         let opts = self.opts;
-        Some(match self.checkout(id)? {
+        Ok(match self.checkout(id)? {
             Checkout::Live(engine) => *engine,
             Checkout::Rehydrate(log) => {
                 RankingEngine::from_log(log, opts).expect("rehydration from a previously valid log")
@@ -536,19 +634,31 @@ impl SessionManager {
     /// [`Self::engine_opts`], then [`Self::put_engine`] as usual). The
     /// rehydration is counted here — taking the log commits the caller to
     /// the rebuild.
-    pub fn checkout(&mut self, id: SessionId) -> Option<Checkout> {
+    ///
+    /// # Errors
+    /// [`SessionError::Unknown`], [`SessionError::CheckedOut`],
+    /// [`SessionError::Quarantined`], or [`SessionError::Store`] when a
+    /// spilled session's durable state cannot be loaded (the slot stays
+    /// spilled; a later repair of the files can still revive it).
+    pub fn checkout(&mut self, id: SessionId) -> Result<Checkout, SessionError> {
         let now = self.tick();
         let store = self.store.clone();
-        let slot = self.sessions.get_mut(&id)?;
+        let slot = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(SessionError::Unknown(id))?;
         if matches!(slot.state, SessionState::CheckedOut) {
-            return None;
+            return Err(SessionError::CheckedOut(id));
+        }
+        if matches!(slot.state, SessionState::Quarantined(_)) {
+            return Err(SessionError::Quarantined(id));
         }
         slot.last_touch = now;
         match std::mem::replace(&mut slot.state, SessionState::CheckedOut) {
-            SessionState::Live(engine) => Some(Checkout::Live(engine)),
+            SessionState::Live(engine) => Ok(Checkout::Live(engine)),
             SessionState::Evicted(log) => {
                 self.stats.rehydrations += 1;
-                Some(Checkout::Rehydrate(log))
+                Ok(Checkout::Rehydrate(log))
             }
             SessionState::Spilled => {
                 let store = store.expect("spilled session without an attached store");
@@ -556,23 +666,25 @@ impl SessionManager {
                     Ok((log, report)) => {
                         self.stats.rehydrations += 1;
                         self.stats.restores += 1;
-                        Some(Checkout::Restore {
+                        Ok(Checkout::Restore {
                             log,
                             replayed: report.replayed_edits,
                         })
                     }
-                    Err(_) => {
+                    Err(e) => {
                         // Unrecoverable durable state: the slot stays
                         // spilled (a later repair of the files can still
-                        // revive it) and the caller sees "unavailable".
+                        // revive it) and the caller sees the failure.
                         self.stats.store_errors += 1;
                         self.sessions.get_mut(&id).expect("slot exists").state =
                             SessionState::Spilled;
-                        None
+                        Err(SessionError::Store(e.to_string()))
                     }
                 }
             }
-            SessionState::CheckedOut => unreachable!("rejected above"),
+            SessionState::CheckedOut | SessionState::Quarantined(_) => {
+                unreachable!("rejected above")
+            }
         }
     }
 
@@ -589,28 +701,123 @@ impl SessionManager {
         self.opts
     }
 
-    /// Returns a checked-out engine to its slot. Returns `false` (and
-    /// drops the engine) when the session was closed in the meantime.
+    /// Returns a checked-out engine to its slot. `Ok(false)` (engine
+    /// dropped) when the session was closed in the meantime.
     ///
-    /// # Panics
-    /// Panics if the slot is not checked out — pairing a `put` with a
-    /// missing `take` is a caller bug that would silently fork session
-    /// state.
-    pub fn put_engine(&mut self, id: SessionId, engine: RankingEngine) -> bool {
+    /// # Errors
+    /// [`SessionError::NotCheckedOut`] if the slot is not checked out —
+    /// pairing a `put` with a missing `take` is a caller bug that would
+    /// silently fork session state. The engine is dropped.
+    pub fn put_engine(
+        &mut self,
+        id: SessionId,
+        engine: RankingEngine,
+    ) -> Result<bool, SessionError> {
         let now = self.tick();
         match self.sessions.get_mut(&id) {
             Some(slot) => {
-                assert!(
-                    matches!(slot.state, SessionState::CheckedOut),
-                    "put_engine without a matching take_engine for session {id}"
-                );
+                if !matches!(slot.state, SessionState::CheckedOut) {
+                    return Err(SessionError::NotCheckedOut(id));
+                }
                 slot.state = SessionState::Live(Box::new(engine));
                 slot.last_touch = now;
                 self.run_idle_policy();
-                true
+                Ok(true)
             }
-            None => false,
+            None => Ok(false),
         }
+    }
+
+    /// `true` when the session exists and is quarantined.
+    pub fn is_quarantined(&self, id: SessionId) -> bool {
+        matches!(
+            self.sessions.get(&id),
+            Some(SessionSlot {
+                state: SessionState::Quarantined(_),
+                ..
+            })
+        )
+    }
+
+    /// Moves a checked-out session to quarantine after a panic poisoned
+    /// its engine. `salvage` is whatever committed ledger the caller
+    /// could recover from the wreck (logs are edit-atomic, so a salvaged
+    /// log is always structurally valid); with a store attached it is
+    /// spilled so the durable tier holds the latest committed state, and
+    /// kept in memory only if that spill fails. Returns `false` when the
+    /// session is unknown or not checked out.
+    pub fn quarantine_session(&mut self, id: SessionId, salvage: Option<ResponseLog>) -> bool {
+        let store = self.store.clone();
+        let Some(slot) = self.sessions.get_mut(&id) else {
+            return false;
+        };
+        if !matches!(slot.state, SessionState::CheckedOut) {
+            return false;
+        }
+        let kept = match (salvage, &store) {
+            (Some(log), Some(store)) => {
+                if store.spill(id, &log).is_ok() {
+                    None
+                } else {
+                    // Failed spill: keep the salvage resident rather than
+                    // lose committed edits the WAL never saw.
+                    self.stats.store_errors += 1;
+                    Some(Box::new(log))
+                }
+            }
+            (salvage, _) => salvage.map(Box::new),
+        };
+        self.sessions.get_mut(&id).expect("slot exists").state = SessionState::Quarantined(kept);
+        self.stats.quarantines += 1;
+        true
+    }
+
+    /// Rebuilds a quarantined session's slot from its preserved state —
+    /// the salvaged ledger, or the attached store's snapshot + WAL pair —
+    /// leaving it evicted (the next touch rehydrates and solves cold).
+    /// Returns the recovered version.
+    ///
+    /// # Errors
+    /// [`SessionError::NotQuarantined`] / [`SessionError::Unknown`] on
+    /// lifecycle misses; [`SessionError::Store`] when the durable load
+    /// fails (the session stays quarantined — retryable).
+    pub fn revive_session(&mut self, id: SessionId) -> Result<u64, SessionError> {
+        let store = self.store.clone();
+        let Some(slot) = self.sessions.get_mut(&id) else {
+            return Err(SessionError::Unknown(id));
+        };
+        if !matches!(slot.state, SessionState::Quarantined(_)) {
+            return Err(SessionError::NotQuarantined(id));
+        }
+        let SessionState::Quarantined(salvage) =
+            std::mem::replace(&mut slot.state, SessionState::CheckedOut)
+        else {
+            unreachable!("checked above")
+        };
+        // The slot sits CheckedOut while we decide — no serving race.
+        let log = match salvage {
+            Some(log) => *log,
+            None => match store.as_ref().map(|s| s.load(id)) {
+                Some(Ok((log, _))) => log,
+                Some(Err(e)) => {
+                    self.stats.store_errors += 1;
+                    self.sessions.get_mut(&id).expect("slot exists").state =
+                        SessionState::Quarantined(None);
+                    return Err(SessionError::Store(e.to_string()));
+                }
+                None => {
+                    self.sessions.get_mut(&id).expect("slot exists").state =
+                        SessionState::Quarantined(None);
+                    return Err(SessionError::Store(
+                        "quarantined session has no salvaged log and no store".into(),
+                    ));
+                }
+            },
+        };
+        let version = log.version();
+        self.sessions.get_mut(&id).expect("slot exists").state = SessionState::Evicted(log);
+        self.stats.revivals += 1;
+        Ok(version)
     }
 
     /// Applies the configured idle policy (no-op without a threshold).
@@ -738,6 +945,7 @@ impl SessionManager {
             for (id, result) in cold_ids.into_iter().zip(solved) {
                 if let Ok(ranking) = &result {
                     self.live_engine_mut_at(id, now)
+                        .expect("partitioned as live above")
                         .seed_solution(ranking.clone());
                 }
                 results.push((id, result));
@@ -747,7 +955,10 @@ impl SessionManager {
         // Phase 3: warm sessions ride their incremental path (a handful of
         // iterations each on an already-patched kernel context).
         for id in warm_ids {
-            let result = self.live_engine_mut_at(id, now).current_ranking();
+            let result = self
+                .live_engine_mut_at(id, now)
+                .expect("partitioned as live above")
+                .current_ranking();
             results.push((id, result));
         }
 
@@ -925,19 +1136,91 @@ mod tests {
         mgr.set_idle_threshold(Some(1));
         let id = mgr.create_session(4, 3, &[2; 3]).unwrap();
         let mut engine = mgr.take_engine(id).unwrap();
-        assert!(mgr.take_engine(id).is_none(), "double checkout rejected");
+        assert!(
+            matches!(mgr.take_engine(id), Err(SessionError::CheckedOut(_))),
+            "double checkout rejected"
+        );
         assert!(mgr.session(id).is_none());
         assert!(mgr.session_log(id).is_none());
         assert!(!mgr.evict_session(id), "checked-out session never evicts");
         assert!(mgr.evict_idle().is_empty());
 
         engine.submit_responses(staircase_responses(4)).unwrap();
-        assert!(mgr.put_engine(id, engine));
+        assert!(mgr.put_engine(id, engine).unwrap());
         assert_eq!(mgr.session(id).unwrap().version(), 12);
+
+        // A put without a matching take is a typed error, not a panic.
+        let extra = RankingEngine::new(4, 3, &[2; 3], mgr.engine_opts()).unwrap();
+        assert!(matches!(
+            mgr.put_engine(id, extra),
+            Err(SessionError::NotCheckedOut(_))
+        ));
 
         // Check-in onto a closed session drops the engine quietly.
         let engine = mgr.take_engine(id).unwrap();
         assert!(mgr.drop_session(id));
-        assert!(!mgr.put_engine(id, engine));
+        assert!(!mgr.put_engine(id, engine).unwrap());
+    }
+
+    #[test]
+    fn unknown_ids_are_typed_errors_not_panics() {
+        let mut mgr = manager();
+        assert!(matches!(
+            mgr.submit_responses(99, [(0, 0, Some(1))]),
+            Err(SessionError::Unknown(99))
+        ));
+        assert!(matches!(
+            mgr.current_ranking(99),
+            Err(SessionError::Unknown(99))
+        ));
+        assert!(matches!(
+            mgr.take_engine(99),
+            Err(SessionError::Unknown(99))
+        ));
+        assert!(matches!(
+            mgr.revive_session(99),
+            Err(SessionError::Unknown(99))
+        ));
+    }
+
+    #[test]
+    fn quarantine_preserves_state_and_revive_restores_it() {
+        let mut mgr = manager();
+        let id = mgr.create_session(5, 4, &[2; 4]).unwrap();
+        mgr.submit_responses(id, staircase_responses(5)).unwrap();
+        let before = mgr.current_ranking(id).unwrap();
+        let committed = mgr.session_log(id).unwrap();
+
+        // A worker checks the engine out, panics, and salvages the log.
+        let engine = mgr.take_engine(id).unwrap();
+        let salvage = engine.into_log();
+        assert!(mgr.quarantine_session(id, Some(salvage)));
+        assert!(mgr.is_quarantined(id));
+        assert_eq!(mgr.stats().quarantines, 1);
+
+        // Every touch is refused while quarantined…
+        assert!(matches!(
+            mgr.submit_responses(id, [(0, 0, Some(1))]),
+            Err(SessionError::Quarantined(_))
+        ));
+        assert!(matches!(
+            mgr.checkout(id),
+            Err(SessionError::Quarantined(_))
+        ));
+        assert!(!mgr.evict_session(id), "quarantined sessions never evict");
+        // …but the committed ledger is preserved and readable.
+        assert_eq!(mgr.session_log(id).unwrap().version(), committed.version());
+
+        // Revive rebuilds from the preserved log, bit-identically.
+        let version = mgr.revive_session(id).unwrap();
+        assert_eq!(version, committed.version());
+        assert!(!mgr.is_quarantined(id));
+        assert_eq!(mgr.stats().revivals, 1);
+        let after = mgr.current_ranking(id).unwrap();
+        assert_eq!(before.scores, after.scores, "bitwise-identical recovery");
+        assert!(matches!(
+            mgr.revive_session(id),
+            Err(SessionError::NotQuarantined(_))
+        ));
     }
 }

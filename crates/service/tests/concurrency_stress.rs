@@ -202,25 +202,24 @@ fn storm_with_telemetry_off() {
     run_storm_with(0xA11CE, false);
 }
 
-/// Runs a seeded schedule serially (every command awaited before the
+/// Runs a seeded schedule serially (every command settled before the
 /// next) so the command order is a total order, and returns every
 /// session's final score vector. With the interleaving pinned, the
 /// server's output is a pure function of the schedule — which is exactly
 /// what lets the test below compare telemetry-on against telemetry-off
 /// bitwise.
 ///
-/// Eviction stays out of this schedule deliberately: `Reply::wait`
-/// resolves when the worker *sends* the reply, a moment before it checks
-/// the engine back in, so an eviction sweep races with the check-in even
-/// under a serially-awaited schedule — whether a session gets evicted
-/// (and therefore re-solved cold) is timing-dependent in either telemetry
-/// mode. The storm tests above cover eviction with
-/// interleaving-independent assertions; this one pins every input so the
-/// bits must match.
+/// Eviction is **on** here: `Reply::wait_settled` blocks until the worker
+/// has checked the session back in, so the manager's logical clock — and
+/// with it every eviction decision — is a deterministic function of the
+/// schedule alone. (Plain `Reply::wait` resolves a moment *before*
+/// check-in, which is why this schedule historically had to keep eviction
+/// disabled.) Evicted sessions re-solve cold, and those cold solves must
+/// also be bit-identical across telemetry modes.
 fn serial_schedule_scores(seed: u64, telemetry: bool) -> Vec<Vec<u64>> {
     let srv = SessionServer::new(ServerOpts {
         workers: WORKERS,
-        idle_threshold: None,
+        idle_threshold: Some(40),
         engine: opts(),
         telemetry,
         ..Default::default()
@@ -245,20 +244,25 @@ fn serial_schedule_scores(seed: u64, telemetry: bool) -> Vec<Vec<u64>> {
                         (u, i, Some(seeded_answer(&mut rng, u, i, k)))
                     })
                     .collect();
-                srv.submit(sid, batch).wait().unwrap();
+                srv.submit(sid, batch).wait_settled().unwrap();
             }
             60..=84 => {
-                srv.ranking(sid).wait().unwrap();
+                srv.ranking(sid).wait_settled().unwrap();
             }
+            85..=94 => {
+                srv.catch_up(sid, 0).wait_settled().unwrap();
+            }
+            // 5%: an explicit eviction sweep — deterministic now that
+            // every preceding command has settled through check-in.
             _ => {
-                srv.catch_up(sid, 0).wait().unwrap();
+                srv.evict_idle();
             }
         }
     }
     ids.iter()
         .map(|&sid| {
             srv.ranking(sid)
-                .wait()
+                .wait_settled()
                 .unwrap()
                 .scores
                 .iter()

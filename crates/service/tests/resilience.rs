@@ -1,0 +1,413 @@
+//! Resilience acceptance battery: deterministic chaos under the durable
+//! tier, and worker-panic quarantine.
+//!
+//! * **Chaos sweep** — a seeded [`FaultPlan`] under the store, a serial
+//!   seeded schedule on top. Every schedule must *terminate* with every
+//!   command either served or failed with a typed error; sessions whose
+//!   commands all succeeded must end **bit-identical** to the fault-free
+//!   reference run; every injected fault must show up in the store's
+//!   counters. Never a hang, never silent loss.
+//! * **Panic isolation** — a mid-stream injected worker panic quarantines
+//!   exactly one session: every *other* session's final ranking is
+//!   bit-identical to an uninjected run of the same schedule, and
+//!   [`SessionServer::revive_session`] restores the victim to its exact
+//!   pre-panic committed state (proptested).
+
+use hnd_service::{
+    EngineOpts, FaultKind, FaultPlan, FlushPolicy, RankingEngine, ServerError, ServerOpts,
+    SessionServer, SessionStore, SolverKind, SolverOpts, StoreOpts,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const SESSIONS: usize = 4;
+const USERS: usize = 12;
+const ITEMS: usize = 8;
+const OPS: usize = 120;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let k = UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("hnd-resilience-{}-{tag}-{k}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Deterministic LCG stream: the seeded schedule generator.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn opts() -> EngineOpts {
+    EngineOpts {
+        solver: SolverKind::Power,
+        solver_opts: SolverOpts {
+            orient: false,
+            ..Default::default()
+        },
+        // Aggressive in-memory retention forces catch-up to read the WAL —
+        // the read-class fault paths stay exercised.
+        history_retention: Some(4),
+        ..Default::default()
+    }
+}
+
+/// Ability-structured seeded answer: keeps the instances well-conditioned.
+fn seeded_answer(rng: &mut Lcg, user: usize, item: usize) -> u16 {
+    let correct = (item % 2) as u16;
+    let ability = user as f64 / USERS as f64;
+    if (rng.below(1000) as f64) / 1000.0 < 0.2 + 0.7 * ability {
+        correct
+    } else {
+        1 - correct
+    }
+}
+
+/// Everything observable about one serial chaos run.
+struct ChaosRun {
+    /// Final per-session ranking: score bits, or the error's display.
+    finals: Vec<Result<Vec<u64>, String>>,
+    /// Per-session command errors, in schedule order.
+    errors: Vec<Vec<String>>,
+    injected: u64,
+    injected_hard_or_torn: u64,
+    store_faults: u64,
+    store_retries: u64,
+}
+
+/// Drives the seeded serial schedule against a store-backed server, with
+/// an optional chaos plan installed after session creation (so the fleet
+/// always exists; everything after runs under fire). Serial `wait_settled`
+/// calls mean one command in flight at a time — the store's global fault
+/// occurrence numbering is a function of the schedule alone.
+fn serial_chaos_run(tag: &str, schedule_seed: u64, chaos: Option<(u64, f64)>) -> ChaosRun {
+    let dir = temp_dir(tag);
+    let store = Arc::new(
+        SessionStore::open(
+            &dir,
+            StoreOpts {
+                flush: FlushPolicy::EveryCommit,
+                snapshot_every: 4,
+            },
+        )
+        .unwrap(),
+    );
+    let srv = SessionServer::with_store(
+        ServerOpts {
+            workers: 2,
+            idle_threshold: None,
+            engine: opts(),
+            ..Default::default()
+        },
+        Arc::clone(&store),
+    );
+    let ids: Vec<_> = (0..SESSIONS)
+        .map(|_| srv.create_session(USERS, ITEMS, &[2; ITEMS]).unwrap())
+        .collect();
+    let plan = chaos.map(|(seed, intensity)| {
+        let plan = Arc::new(FaultPlan::seeded(seed, intensity));
+        store.inject_faults(Arc::clone(&plan));
+        plan
+    });
+
+    let mut errors: Vec<Vec<String>> = vec![Vec::new(); SESSIONS];
+    let mut rng = Lcg(schedule_seed);
+    for _ in 0..OPS {
+        let idx = rng.below(SESSIONS as u64) as usize;
+        let sid = ids[idx];
+        let outcome: Result<(), ServerError> = match rng.below(100) {
+            0..=59 => {
+                let batch: Vec<(usize, usize, Option<u16>)> = (0..1 + rng.below(4))
+                    .map(|_| {
+                        let u = rng.below(USERS as u64) as usize;
+                        let i = rng.below(ITEMS as u64) as usize;
+                        (u, i, Some(seeded_answer(&mut rng, u, i)))
+                    })
+                    .collect();
+                srv.submit(sid, batch).wait_settled().map(|_| ())
+            }
+            60..=84 => srv.ranking(sid).wait_settled().map(|_| ()),
+            _ => srv.catch_up(sid, 0).wait_settled().map(|_| ()),
+        };
+        if let Err(e) = outcome {
+            errors[idx].push(e.to_string());
+        }
+    }
+
+    let finals = ids
+        .iter()
+        .map(|&sid| {
+            srv.ranking(sid)
+                .wait_settled()
+                .map(|r| r.scores.iter().map(|s| s.to_bits()).collect())
+                .map_err(|e| e.to_string())
+        })
+        .collect();
+
+    // Post-mortem artifact for CI: the most recent failed command's trace.
+    if plan.is_some() {
+        if let (Ok(path), Some(dump)) = (std::env::var("TRACE_DUMP_OUT"), srv.last_error_trace()) {
+            std::fs::write(&path, dump.to_json()).expect("write trace artifact");
+        }
+    }
+
+    let stats = srv.store_stats().expect("store-backed server");
+    let run = ChaosRun {
+        finals,
+        errors,
+        injected: plan.as_ref().map_or(0, |p| p.total_injected()),
+        injected_hard_or_torn: plan.as_ref().map_or(0, |p| {
+            p.injected(FaultKind::Hard) + p.injected(FaultKind::Torn)
+        }),
+        store_faults: stats.faults_injected(),
+        store_retries: stats.retries(),
+    };
+    drop(srv);
+    std::fs::remove_dir_all(&dir).ok();
+    run
+}
+
+/// The chaos battery: a sweep of seeds × intensities. Each schedule must
+/// end bit-identical to the fault-free reference *or* in counted, typed
+/// errors — and the zero-intensity corner must be exactly the reference.
+#[test]
+fn chaos_sweep_ends_bitwise_identical_or_counted() {
+    const SCHEDULE: u64 = 0xD15EA5E;
+    let reference = serial_chaos_run("ref", SCHEDULE, None);
+    assert_eq!(reference.injected, 0);
+    assert_eq!(reference.store_faults, 0);
+    for (s, errs) in reference.errors.iter().enumerate() {
+        assert!(errs.is_empty(), "fault-free session {s} errored: {errs:?}");
+    }
+
+    for chaos_seed in [7u64, 1881] {
+        for intensity in [0.0, 0.02, 0.08] {
+            let tag = format!("chaos-{chaos_seed}-{}", (intensity * 100.0) as u32);
+            let run = serial_chaos_run(&tag, SCHEDULE, Some((chaos_seed, intensity)));
+
+            // Every injected fault is visible in the store's counters.
+            assert_eq!(
+                run.store_faults, run.injected,
+                "{tag}: injected faults must all be counted"
+            );
+            // Hard/torn faults can't vanish: some command saw an error.
+            let total_errors: usize = run.errors.iter().map(Vec::len).sum();
+            if run.injected_hard_or_torn > 0 {
+                assert!(
+                    total_errors > 0,
+                    "{tag}: {} hard/torn faults but zero surfaced errors",
+                    run.injected_hard_or_torn
+                );
+            }
+            // Transients were absorbed, and absorbed means retried.
+            assert!(
+                run.store_retries >= run.injected - run.injected_hard_or_torn,
+                "{tag}: transient faults must be retried"
+            );
+
+            // Sessions whose every command succeeded are bit-identical to
+            // the reference — faults elsewhere in the fleet are invisible.
+            for s in 0..SESSIONS {
+                if run.errors[s].is_empty() {
+                    assert_eq!(
+                        run.finals[s], reference.finals[s],
+                        "{tag}: untouched session {s} diverged from fault-free run"
+                    );
+                }
+            }
+            if run.injected == 0 {
+                for s in 0..SESSIONS {
+                    assert_eq!(run.finals[s], reference.finals[s]);
+                }
+            }
+        }
+    }
+}
+
+/// Chaos runs are *deterministic*: the same (schedule, seed, intensity)
+/// replayed twice produces the same per-session outcomes and the same
+/// errors in the same order.
+#[test]
+fn chaos_runs_are_reproducible() {
+    let a = serial_chaos_run("repro-a", 0xFACADE, Some((99, 0.06)));
+    let b = serial_chaos_run("repro-b", 0xFACADE, Some((99, 0.06)));
+    assert_eq!(a.injected, b.injected);
+    assert_eq!(a.errors, b.errors);
+    assert_eq!(a.finals, b.finals);
+    assert_eq!(a.store_retries, b.store_retries);
+}
+
+/// Runs the panic-acceptance schedule and returns every session's final
+/// ranking (bits or error string) plus the server for follow-up checks.
+fn panic_schedule(inject: bool) -> (SessionServer, Vec<hnd_service::SessionId>) {
+    let srv = SessionServer::new(ServerOpts {
+        workers: 2,
+        idle_threshold: None,
+        engine: opts(),
+        ..Default::default()
+    });
+    let ids: Vec<_> = (0..SESSIONS)
+        .map(|_| srv.create_session(USERS, ITEMS, &[2; ITEMS]).unwrap())
+        .collect();
+    let victim = ids[SESSIONS - 1];
+    let mut rng = Lcg(0xACCE55);
+    for op in 0..OPS {
+        if inject && op == OPS / 2 {
+            let err = srv.inject_panic(victim).wait_settled().unwrap_err();
+            assert!(matches!(err, ServerError::Terminated));
+            assert!(srv.is_quarantined(victim));
+        }
+        let idx = rng.below(SESSIONS as u64) as usize;
+        let sid = ids[idx];
+        let outcome: Result<(), ServerError> = match rng.below(100) {
+            0..=69 => {
+                let batch: Vec<(usize, usize, Option<u16>)> = (0..1 + rng.below(4))
+                    .map(|_| {
+                        let u = rng.below(USERS as u64) as usize;
+                        let i = rng.below(ITEMS as u64) as usize;
+                        (u, i, Some(seeded_answer(&mut rng, u, i)))
+                    })
+                    .collect();
+                srv.submit(sid, batch).wait_settled().map(|_| ())
+            }
+            _ => srv.ranking(sid).wait_settled().map(|_| ()),
+        };
+        match outcome {
+            Ok(()) => {}
+            // After the injection, the victim's commands fail closed.
+            Err(ServerError::Quarantined(q)) => {
+                assert!(inject && q == victim, "unexpected quarantine of {q}");
+            }
+            Err(e) => panic!("schedule op {op} failed: {e}"),
+        }
+    }
+    (srv, ids)
+}
+
+/// The acceptance gate: a mid-stream worker panic leaves every *other*
+/// session's final ranking bit-identical to an uninjected run of the same
+/// schedule — and the victim, once revived, serves exactly the serial
+/// replay of its own salvaged log.
+#[test]
+fn mid_stream_panic_leaves_other_sessions_bitwise_identical() {
+    let (clean_srv, clean_ids) = panic_schedule(false);
+    let (srv, ids) = panic_schedule(true);
+    let victim = ids[SESSIONS - 1];
+
+    for s in 0..SESSIONS - 1 {
+        let clean = clean_srv.ranking(clean_ids[s]).wait_settled().unwrap();
+        let poisoned = srv.ranking(ids[s]).wait_settled().unwrap();
+        let (a, b): (Vec<u64>, Vec<u64>) = (
+            clean.scores.iter().map(|x| x.to_bits()).collect(),
+            poisoned.scores.iter().map(|x| x.to_bits()).collect(),
+        );
+        assert_eq!(a, b, "session {s} diverged after an unrelated panic");
+    }
+
+    // The victim is quarantined, counted, and revivable.
+    assert!(srv.is_quarantined(victim));
+    assert!(matches!(
+        srv.ranking(victim).wait_settled(),
+        Err(ServerError::Quarantined(_))
+    ));
+    assert_eq!(srv.manager_stats().quarantines, 1);
+    let version = srv.revive_session(victim).unwrap();
+    assert!(!srv.is_quarantined(victim));
+    assert_eq!(srv.manager_stats().revivals, 1);
+
+    // Revived state is the serial replay of the salvaged log.
+    let log = srv.session_log(victim).wait_settled().unwrap();
+    assert_eq!(log.version(), version);
+    let served = srv.ranking(victim).wait_settled().unwrap();
+    let replayed = RankingEngine::from_log(log, opts())
+        .unwrap()
+        .current_ranking()
+        .unwrap();
+    assert_eq!(served.scores, replayed.scores);
+}
+
+/// Proptest: quarantine + revive restores the victim's *exact* pre-panic
+/// committed state (same version, bitwise-identical ranking), and a
+/// bystander session never notices.
+fn pre_panic_stream() -> impl Strategy<Value = (u64, usize)> {
+    (1u64..u64::MAX, 2usize..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn revive_restores_exact_pre_panic_state((seed, batches) in pre_panic_stream()) {
+        let srv = SessionServer::new(ServerOpts {
+            workers: 2,
+            idle_threshold: None,
+            engine: opts(),
+            ..Default::default()
+        });
+        let victim = srv.create_session(USERS, ITEMS, &[2; ITEMS]).unwrap();
+        let witness = srv.create_session(USERS, ITEMS, &[2; ITEMS]).unwrap();
+        let mut rng = Lcg(seed);
+        for _ in 0..batches {
+            for &sid in &[victim, witness] {
+                let batch: Vec<(usize, usize, Option<u16>)> = (0..2 + rng.below(5))
+                    .map(|_| {
+                        let u = rng.below(USERS as u64) as usize;
+                        let i = rng.below(ITEMS as u64) as usize;
+                        (u, i, Some(seeded_answer(&mut rng, u, i)))
+                    })
+                    .collect();
+                srv.submit(sid, batch).wait_settled().unwrap();
+            }
+        }
+        let before_version = srv.session_log(victim).wait_settled().unwrap().version();
+        let before = srv.ranking(victim).wait_settled().unwrap();
+        let witness_before = srv.ranking(witness).wait_settled().unwrap();
+
+        let err = srv.inject_panic(victim).wait_settled().unwrap_err();
+        prop_assert!(matches!(err, ServerError::Terminated));
+        prop_assert!(srv.is_quarantined(victim));
+        prop_assert!(matches!(
+            srv.submit(victim, vec![(0, 0, Some(0))]).wait_settled(),
+            Err(ServerError::Quarantined(_))
+        ));
+
+        // Revive lands on the exact committed version…
+        let version = srv.revive_session(victim).unwrap();
+        prop_assert_eq!(version, before_version);
+        // …and serves the exact pre-panic bits, while the witness never
+        // wavered.
+        let after = srv.ranking(victim).wait_settled().unwrap();
+        prop_assert_eq!(before.scores, after.scores);
+        let witness_after = srv.ranking(witness).wait_settled().unwrap();
+        prop_assert_eq!(witness_before.scores, witness_after.scores);
+
+        // The revived session keeps serving the stream.
+        srv.submit(victim, vec![(0, 0, Some(1))]).wait_settled().unwrap();
+        prop_assert_eq!(srv.ranking(victim).wait_settled().unwrap().len(), USERS);
+    }
+}
+
+/// Guard against a trivially-green battery: at the sweep's top intensity
+/// the plan genuinely bites, including faults the retry loop can't absorb.
+#[test]
+fn chaos_sweep_top_intensity_actually_injects() {
+    let run = serial_chaos_run("bite", 0xD15EA5E, Some((7, 0.08)));
+    assert!(run.injected > 0, "top-intensity sweep never injected");
+    assert!(
+        run.injected_hard_or_torn > 0,
+        "sweep should exercise hard/torn faults, got only transients"
+    );
+    assert!(run.errors.iter().map(Vec::len).sum::<usize>() > 0);
+}

@@ -1,0 +1,294 @@
+//! Deterministic fault injection under the durable tier.
+//!
+//! A [`FaultPlan`] sits beneath every store I/O class (WAL append, fsync,
+//! snapshot write, WAL/snapshot read) and decides, per *occurrence* of
+//! each operation, whether that call fails — and how:
+//!
+//! * [`FaultKind::Transient`] — an `EINTR`-style hiccup. The store retries
+//!   with bounded exponential backoff ([`backoff`], at most
+//!   [`MAX_TRANSIENT_RETRIES`] retries per call) and counts the retry in
+//!   [`StoreStats`](crate::StoreStats).
+//! * [`FaultKind::Hard`] — the call fails outright (`EIO`-style); the
+//!   error surfaces to the caller as [`StoreError::Io`](crate::StoreError).
+//! * [`FaultKind::Torn`] — a write lands partially before failing. Only
+//!   meaningful for WAL appends (half an envelope reaches the file; the
+//!   WAL truncates the garbage before the next append, and a cold reopen
+//!   truncates it at scan). For reads and the already-atomic snapshot
+//!   write path it degrades to [`FaultKind::Hard`].
+//!
+//! Two modes:
+//!
+//! * **Seeded** ([`FaultPlan::seeded`]) — each decision is a pure hash of
+//!   `(seed, op, occurrence#)`, so the schedule is a function of the call
+//!   sequence alone: the same workload replayed against the same seed sees
+//!   the *same* faults regardless of wall clock or thread timing per
+//!   session (per-session single-writer keeps each session's op sequence
+//!   deterministic). This is the chaos-battery mode.
+//! * **Scripted** ([`FaultPlan::scripted`]) — an explicit
+//!   `(op, occurrence#) → kind` table for pinpoint tests ("fail the 3rd
+//!   fsync, hard").
+//!
+//! The plan keeps per-kind injection counts and an order-independent XOR
+//! [`fingerprint`](FaultPlan::fingerprint) of every injected fault, so a
+//! determinism proptest can assert two runs saw bitwise-identical fault
+//! schedules without recording them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Transient faults are retried at most this many times per call before
+/// the call fails with the transient error.
+pub const MAX_TRANSIENT_RETRIES: u32 = 3;
+
+/// The store I/O classes a [`FaultPlan`] can inject into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultOp {
+    /// A WAL edit-frame append (`write(2)`).
+    Append,
+    /// A WAL durability sync (`fdatasync`).
+    Fsync,
+    /// A binary snapshot write (tmp + rename).
+    SnapshotWrite,
+    /// A WAL read pass (load, catch-up, range query, adoption).
+    WalRead,
+    /// A snapshot read (load).
+    SnapshotRead,
+}
+
+impl FaultOp {
+    /// Every op class, in counter order.
+    pub const ALL: [FaultOp; 5] = [
+        FaultOp::Append,
+        FaultOp::Fsync,
+        FaultOp::SnapshotWrite,
+        FaultOp::WalRead,
+        FaultOp::SnapshotRead,
+    ];
+
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOp::Append => "append",
+            FaultOp::Fsync => "fsync",
+            FaultOp::SnapshotWrite => "snapshot_write",
+            FaultOp::WalRead => "wal_read",
+            FaultOp::SnapshotRead => "snapshot_read",
+        }
+    }
+}
+
+/// How an injected fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// `EINTR`-style: fails once, succeeds on retry.
+    Transient,
+    /// `EIO`-style: the call fails; retrying is pointless.
+    Hard,
+    /// The write lands partially before failing (appends only; degrades
+    /// to [`FaultKind::Hard`] elsewhere).
+    Torn,
+}
+
+impl FaultKind {
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Hard => "hard",
+            FaultKind::Torn => "torn",
+        }
+    }
+}
+
+/// SplitMix64: the decision hash. Pure, so a schedule is a function of
+/// `(seed, op, occurrence)` alone.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+enum Mode {
+    Seeded {
+        seed: u64,
+        /// Injection probability in parts-per-million of each occurrence.
+        intensity_ppm: u64,
+    },
+    Scripted {
+        faults: BTreeMap<(FaultOp, u64), FaultKind>,
+    },
+}
+
+/// A deterministic fault schedule installed under a
+/// [`SessionStore`](crate::SessionStore) via
+/// [`SessionStore::inject_faults`](crate::SessionStore::inject_faults).
+pub struct FaultPlan {
+    mode: Mode,
+    /// Per-[`FaultOp`] occurrence counters (how many times each op class
+    /// has consulted the plan).
+    occurrences: [AtomicU64; 5],
+    /// Per-[`FaultKind`] injected counts.
+    injected: [AtomicU64; 3],
+    /// XOR of a hash of every injected `(op, occurrence, kind)` — an
+    /// order-independent schedule fingerprint.
+    fingerprint: AtomicU64,
+}
+
+impl FaultPlan {
+    fn with_mode(mode: Mode) -> Self {
+        FaultPlan {
+            mode,
+            occurrences: std::array::from_fn(|_| AtomicU64::new(0)),
+            injected: std::array::from_fn(|_| AtomicU64::new(0)),
+            fingerprint: AtomicU64::new(0),
+        }
+    }
+
+    /// A seeded plan injecting a fault into roughly `intensity` of all
+    /// store I/O calls (clamped to `[0, 1]`). Kind split: ~60% transient,
+    /// ~25% hard, ~15% torn.
+    pub fn seeded(seed: u64, intensity: f64) -> Self {
+        let ppm = (intensity.clamp(0.0, 1.0) * 1_000_000.0) as u64;
+        Self::with_mode(Mode::Seeded {
+            seed,
+            intensity_ppm: ppm,
+        })
+    }
+
+    /// A scripted plan: fault exactly the listed `(op, occurrence)` calls
+    /// (occurrence numbers are zero-based per op class).
+    pub fn scripted(faults: impl IntoIterator<Item = (FaultOp, u64, FaultKind)>) -> Self {
+        Self::with_mode(Mode::Scripted {
+            faults: faults
+                .into_iter()
+                .map(|(op, n, kind)| ((op, n), kind))
+                .collect(),
+        })
+    }
+
+    /// Consults the plan for the next occurrence of `op`. `Some(kind)`
+    /// means the call must fail that way. Torn degrades to hard for
+    /// non-append ops at the injection site, not here.
+    pub fn next(&self, op: FaultOp) -> Option<FaultKind> {
+        let occurrence = self.occurrences[op as usize].fetch_add(1, Ordering::Relaxed);
+        let kind = match &self.mode {
+            Mode::Seeded {
+                seed,
+                intensity_ppm,
+            } => {
+                let h = splitmix64(
+                    seed ^ splitmix64((op as u64) << 32 | 0xc4a5) ^ splitmix64(occurrence),
+                );
+                if h % 1_000_000 >= *intensity_ppm {
+                    return None;
+                }
+                match (h >> 32) % 100 {
+                    0..=59 => FaultKind::Transient,
+                    60..=84 => FaultKind::Hard,
+                    _ => FaultKind::Torn,
+                }
+            }
+            Mode::Scripted { faults } => *faults.get(&(op, occurrence))?,
+        };
+        self.injected[kind as usize].fetch_add(1, Ordering::Relaxed);
+        let stamp =
+            splitmix64(((op as u64) << 56) ^ (occurrence << 8) ^ (kind as u64) ^ 0x51ab_c0de);
+        self.fingerprint.fetch_xor(stamp, Ordering::Relaxed);
+        Some(kind)
+    }
+
+    /// How many faults of `kind` this plan has injected so far.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total injected faults of any kind.
+    pub fn total_injected(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Order-independent XOR fingerprint of every injected fault — equal
+    /// fingerprints + equal per-kind counts ⇒ identical schedules.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint.load(Ordering::Relaxed)
+    }
+}
+
+/// Bounded exponential backoff before retrying a transient fault:
+/// 50µs · 2^attempt, capped at ~3.2ms.
+pub fn backoff(attempt: u32) {
+    std::thread::sleep(std::time::Duration::from_micros(50u64 << attempt.min(6)));
+}
+
+/// The injected-fault `io::Error` for `kind` at `op` (transient maps to
+/// `ErrorKind::Interrupted`, everything else to `ErrorKind::Other`).
+pub(crate) fn fault_error(op: FaultOp, kind: FaultKind) -> std::io::Error {
+    match kind {
+        FaultKind::Transient => std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            format!("injected transient {} fault (retries exhausted)", op.name()),
+        ),
+        FaultKind::Hard => std::io::Error::other(format!("injected hard {} fault", op.name())),
+        FaultKind::Torn => std::io::Error::other(format!("injected torn {} fault", op.name())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(plan: &FaultPlan, per_op: u64) -> Vec<(FaultOp, u64, Option<FaultKind>)> {
+        let mut out = Vec::new();
+        for op in FaultOp::ALL {
+            for n in 0..per_op {
+                out.push((op, n, plan.next(op)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        let a = FaultPlan::seeded(42, 0.2);
+        let b = FaultPlan::seeded(42, 0.2);
+        assert_eq!(drain(&a, 200), drain(&b, 200));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.total_injected() > 0, "20% over 1000 calls injects");
+        for kind in [FaultKind::Transient, FaultKind::Hard, FaultKind::Torn] {
+            assert_eq!(a.injected(kind), b.injected(kind));
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = FaultPlan::seeded(1, 0.3);
+        let b = FaultPlan::seeded(2, 0.3);
+        assert_ne!(drain(&a, 200), drain(&b, 200));
+    }
+
+    #[test]
+    fn zero_intensity_never_injects() {
+        let plan = FaultPlan::seeded(7, 0.0);
+        assert!(drain(&plan, 100).iter().all(|(_, _, f)| f.is_none()));
+        assert_eq!(plan.fingerprint(), 0);
+    }
+
+    #[test]
+    fn scripted_hits_exact_occurrences() {
+        let plan = FaultPlan::scripted([
+            (FaultOp::Fsync, 2, FaultKind::Hard),
+            (FaultOp::Append, 0, FaultKind::Torn),
+        ]);
+        assert_eq!(plan.next(FaultOp::Append), Some(FaultKind::Torn));
+        assert_eq!(plan.next(FaultOp::Append), None);
+        assert_eq!(plan.next(FaultOp::Fsync), None);
+        assert_eq!(plan.next(FaultOp::Fsync), None);
+        assert_eq!(plan.next(FaultOp::Fsync), Some(FaultKind::Hard));
+        assert_eq!(plan.total_injected(), 2);
+    }
+}

@@ -28,11 +28,13 @@
 //! [`hnd_service`]: ../hnd_service/index.html
 //! [`ResponseEdit`]: hnd_response::ResponseEdit
 
+pub mod chaos;
 mod frame;
 mod snapshot;
 mod store;
 mod wal;
 
+pub use chaos::{FaultKind, FaultOp, FaultPlan, MAX_TRANSIENT_RETRIES};
 pub use frame::{crc32, DamageKind, WAL_MAGIC};
 pub use snapshot::SNAP_MAGIC;
 pub use store::{RecoveryReport, RecoverySource, SessionStore, StoreOpts, StoreStats};
@@ -130,10 +132,19 @@ pub(crate) struct Counters {
     damage_crc: AtomicU64,
     damage_malformed: AtomicU64,
     snapshot_failures: AtomicU64,
+    retries_append: AtomicU64,
+    retries_fsync: AtomicU64,
+    retries_read: AtomicU64,
+    retries_snapshot: AtomicU64,
+    faults_transient: AtomicU64,
+    faults_hard: AtomicU64,
+    faults_torn: AtomicU64,
     /// Telemetry hub installed by the serving layer (write-once so handles
     /// cloned before attachment still observe it). Absent/disabled hubs
     /// make the stage-timing helpers no-ops.
     telemetry: OnceLock<Arc<TelemetryHub>>,
+    /// Chaos fault schedule, if one was injected (tests/batteries only).
+    chaos: OnceLock<Arc<FaultPlan>>,
 }
 
 impl Counters {
@@ -170,6 +181,33 @@ impl Counters {
     pub(crate) fn bump_snapshot_failures(&self) {
         self.snapshot_failures.fetch_add(1, Ordering::Relaxed);
     }
+    /// Installs a chaos fault schedule (first caller wins).
+    pub(crate) fn set_chaos(&self, plan: Arc<FaultPlan>) {
+        let _ = self.chaos.set(plan);
+    }
+    /// Consults the chaos plan for the next occurrence of `op`, counting
+    /// any injected fault by kind. `None` when no plan is installed or the
+    /// schedule lets this call through.
+    pub(crate) fn fault(&self, op: FaultOp) -> Option<FaultKind> {
+        let kind = self.chaos.get()?.next(op)?;
+        let slot = match kind {
+            FaultKind::Transient => &self.faults_transient,
+            FaultKind::Hard => &self.faults_hard,
+            FaultKind::Torn => &self.faults_torn,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+        Some(kind)
+    }
+    /// Counts one transient-fault retry against `op`'s class.
+    pub(crate) fn bump_retry(&self, op: FaultOp) {
+        let slot = match op {
+            FaultOp::Append => &self.retries_append,
+            FaultOp::Fsync => &self.retries_fsync,
+            FaultOp::WalRead | FaultOp::SnapshotRead => &self.retries_read,
+            FaultOp::SnapshotWrite => &self.retries_snapshot,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
     pub(crate) fn record_damage(&self, kind: DamageKind) {
         let slot = match kind {
             DamageKind::ZeroLengthTail => &self.damage_zero_tail,
@@ -193,6 +231,13 @@ impl Counters {
             damage_crc: self.damage_crc.load(Ordering::Relaxed),
             damage_malformed: self.damage_malformed.load(Ordering::Relaxed),
             snapshot_failures: self.snapshot_failures.load(Ordering::Relaxed),
+            retries_append: self.retries_append.load(Ordering::Relaxed),
+            retries_fsync: self.retries_fsync.load(Ordering::Relaxed),
+            retries_read: self.retries_read.load(Ordering::Relaxed),
+            retries_snapshot: self.retries_snapshot.load(Ordering::Relaxed),
+            faults_transient: self.faults_transient.load(Ordering::Relaxed),
+            faults_hard: self.faults_hard.load(Ordering::Relaxed),
+            faults_torn: self.faults_torn.load(Ordering::Relaxed),
         }
     }
 }

@@ -8,6 +8,7 @@
 //! still takes the per-session lock so read paths (catch-up ranges,
 //! stats) are safe against it.
 
+use crate::chaos::{self, FaultKind, FaultOp, FaultPlan, MAX_TRANSIENT_RETRIES};
 use crate::snapshot::{read_snapshot, write_snapshot};
 use crate::wal::{read_wal, FlushPolicy, SessionWal};
 use crate::{Counters, StoreError};
@@ -66,12 +67,36 @@ pub struct StoreStats {
     pub damage_malformed: u64,
     /// Snapshots that failed CRC/parse and were bypassed at load.
     pub snapshot_failures: u64,
+    /// Transient WAL-append faults absorbed by retry.
+    pub retries_append: u64,
+    /// Transient fsync faults absorbed by retry.
+    pub retries_fsync: u64,
+    /// Transient WAL/snapshot read faults absorbed by retry.
+    pub retries_read: u64,
+    /// Transient snapshot-write faults absorbed by retry.
+    pub retries_snapshot: u64,
+    /// Injected transient faults (chaos plans only).
+    pub faults_transient: u64,
+    /// Injected hard faults (chaos plans only).
+    pub faults_hard: u64,
+    /// Injected torn writes (chaos plans only).
+    pub faults_torn: u64,
 }
 
 impl StoreStats {
     /// Total damaged-tail events of any kind.
     pub fn damaged_frames(&self) -> u64 {
         self.damage_zero_tail + self.damage_torn + self.damage_crc + self.damage_malformed
+    }
+
+    /// Total transient faults absorbed by retry, across all op classes.
+    pub fn retries(&self) -> u64 {
+        self.retries_append + self.retries_fsync + self.retries_read + self.retries_snapshot
+    }
+
+    /// Total chaos-injected faults of any kind.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_transient + self.faults_hard + self.faults_torn
     }
 }
 
@@ -179,6 +204,64 @@ impl SessionStore {
         self.counters.set_telemetry(hub);
     }
 
+    /// Installs a deterministic chaos [`FaultPlan`] under every I/O path
+    /// of this store: appends, fsyncs, snapshot writes, and WAL/snapshot
+    /// reads consult the plan per call and fail as it dictates, with
+    /// transients absorbed by bounded-backoff retry (counted in
+    /// [`StoreStats`]). Write-once (a second plan is ignored). Intended
+    /// for the chaos battery; production stores never install one.
+    pub fn inject_faults(&self, plan: Arc<FaultPlan>) {
+        self.counters.set_chaos(plan);
+    }
+
+    /// Consults the chaos plan for a read-class op, absorbing transients
+    /// by retry. Returns `Err` for a hard (or retry-exhausted) fault —
+    /// the whole read fails, as a failing device would make it.
+    fn read_gate(&self, op: FaultOp) -> Result<(), StoreError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.counters.fault(op) {
+                None => return Ok(()),
+                Some(FaultKind::Transient) if attempt < MAX_TRANSIENT_RETRIES => {
+                    self.counters.bump_retry(op);
+                    chaos::backoff(attempt);
+                    attempt += 1;
+                }
+                Some(kind @ FaultKind::Transient) => {
+                    return Err(chaos::fault_error(op, kind).into());
+                }
+                // Torn is meaningless for reads; degrade to hard.
+                Some(_) => return Err(chaos::fault_error(op, FaultKind::Hard).into()),
+            }
+        }
+    }
+
+    /// Writes `log`'s snapshot behind the chaos gate. Torn degrades to
+    /// hard: the snapshot path is already atomic (tmp + fsync + rename),
+    /// so a failed write of any kind leaves the previous snapshot intact.
+    fn write_snapshot_guarded(&self, id: u64, log: &ResponseLog) -> Result<(), StoreError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.counters.fault(FaultOp::SnapshotWrite) {
+                None => break,
+                Some(FaultKind::Transient) if attempt < MAX_TRANSIENT_RETRIES => {
+                    self.counters.bump_retry(FaultOp::SnapshotWrite);
+                    chaos::backoff(attempt);
+                    attempt += 1;
+                }
+                Some(kind @ FaultKind::Transient) => {
+                    return Err(chaos::fault_error(FaultOp::SnapshotWrite, kind).into());
+                }
+                Some(_) => {
+                    return Err(chaos::fault_error(FaultOp::SnapshotWrite, FaultKind::Hard).into());
+                }
+            }
+        }
+        write_snapshot(&snap_path(&self.dir, id), log)?;
+        self.counters.bump_snapshots();
+        Ok(())
+    }
+
     fn handle(&self, id: u64) -> Option<Arc<Mutex<SessionFiles>>> {
         if let Some(h) = self.sessions.lock().unwrap().get(&id) {
             return Some(Arc::clone(h));
@@ -197,6 +280,7 @@ impl SessionStore {
     }
 
     fn open_existing(&self, id: u64) -> Result<SessionFiles, StoreError> {
+        self.read_gate(FaultOp::WalRead)?;
         let (wal, contents) = SessionWal::open(&wal_path(&self.dir, id), self.opts.flush)?;
         for &kind in &contents.damage {
             self.counters.record_damage(kind);
@@ -223,8 +307,7 @@ impl SessionStore {
             log.options(),
             log.version(),
         )?;
-        write_snapshot(&snap_path(&self.dir, id), log)?;
-        self.counters.bump_snapshots();
+        self.write_snapshot_guarded(id, log)?;
         self.dormant.lock().unwrap().remove(&id);
         self.sessions.lock().unwrap().insert(
             id,
@@ -269,16 +352,19 @@ impl SessionStore {
         } else {
             // Gap (history truncated past the WAL tail) or regression (a
             // re-registered roster): rebase on a fresh snapshot.
-            write_snapshot(&snap_path(&self.dir, id), log)?;
-            self.counters.bump_snapshots();
+            self.write_snapshot_guarded(id, log)?;
             files.snapshot_version = head;
             files.wal.rotate(head, &self.counters)?;
             0
         };
         if files.wal.tail_version - files.snapshot_version >= self.opts.snapshot_every {
-            write_snapshot(&snap_path(&self.dir, id), log)?;
-            self.counters.bump_snapshots();
-            files.snapshot_version = head;
+            // The periodic snapshot only bounds replay work — the edits
+            // above are already in the WAL, so a failure here degrades
+            // (counted) instead of failing an otherwise durable commit.
+            match self.write_snapshot_guarded(id, log) {
+                Ok(()) => files.snapshot_version = head,
+                Err(_) => self.counters.bump_snapshot_failures(),
+            }
         }
         Ok(shipped)
     }
@@ -319,6 +405,7 @@ impl SessionStore {
             return Err(StoreError::UnknownSession { id });
         }
         let _guard = handle.as_ref().map(|h| h.lock().unwrap());
+        self.read_gate(FaultOp::WalRead)?;
         // Read the WAL from disk rather than trusting in-memory state:
         // this is the same path a post-crash process takes. A WAL too
         // mangled to even read (lost magic/header) degrades to
@@ -343,6 +430,7 @@ impl SessionStore {
             .map(|c| c.damage.clone())
             .unwrap_or_else(|| vec![crate::DamageKind::Malformed]);
 
+        self.read_gate(FaultOp::SnapshotRead)?;
         let (mut log, source) = match read_snapshot(&snap_path(&self.dir, id)) {
             Ok(log) => (log, RecoverySource::Snapshot),
             Err(snap_err) => {
@@ -410,6 +498,7 @@ impl SessionStore {
     ) -> Result<Vec<ResponseEdit>, StoreError> {
         let handle = self.handle(id).ok_or(StoreError::UnknownSession { id })?;
         let _guard = handle.lock().unwrap();
+        self.read_gate(FaultOp::WalRead)?;
         let contents = read_wal(&wal_path(&self.dir, id))?;
         if from > to || from < contents.base_version || to > contents.tail_version {
             return Err(StoreError::RangeUnavailable {
@@ -441,6 +530,7 @@ impl SessionStore {
     pub fn catch_up(&self, id: u64, from: u64) -> Result<ResponseDelta, StoreError> {
         let handle = self.handle(id).ok_or(StoreError::UnknownSession { id })?;
         let _guard = handle.lock().unwrap();
+        self.read_gate(FaultOp::WalRead)?;
         let contents = read_wal(&wal_path(&self.dir, id))?;
         let head = contents.tail_version;
         if from < contents.base_version || from > head {

@@ -13,6 +13,7 @@
 //! damaged or non-chaining tail to the last valid frame boundary —
 //! recovery work happens once, at open, never on the append path.
 
+use crate::chaos::{self, FaultKind, FaultOp, MAX_TRANSIENT_RETRIES};
 use crate::frame::{self, DamageKind, Frame};
 use crate::{Counters, StoreError};
 use hnd_response::ResponseEdit;
@@ -140,6 +141,12 @@ pub(crate) struct SessionWal {
     pub tail_version: u64,
     /// Appends since the last sync (group-commit debt).
     unsynced: u32,
+    /// Byte length of the valid frame prefix — where the next append
+    /// belongs, and where a repair truncates to.
+    good_len: u64,
+    /// A failed append may have left partial bytes past `good_len`; the
+    /// next append truncates them first so torn garbage is never built on.
+    needs_repair: bool,
 }
 
 impl SessionWal {
@@ -168,6 +175,7 @@ impl SessionWal {
         )))?;
         file.sync_all()?;
         sync_dir(path.parent().unwrap_or(Path::new(".")))?;
+        let good_len = file.metadata()?.len();
         Ok(SessionWal {
             path: path.to_path_buf(),
             file,
@@ -178,6 +186,8 @@ impl SessionWal {
             base_version,
             tail_version: base_version,
             unsynced: 0,
+            good_len,
+            needs_repair: false,
         })
     }
 
@@ -205,9 +215,22 @@ impl SessionWal {
                 base_version: contents.base_version,
                 tail_version: contents.tail_version,
                 unsynced: 0,
+                good_len: contents.valid_len,
+                needs_repair: false,
             },
             contents,
         ))
+    }
+
+    /// Truncates any partial bytes a failed append left past the valid
+    /// prefix, so the next frame lands on a clean boundary.
+    fn repair(&mut self) -> Result<(), StoreError> {
+        if self.needs_repair {
+            self.file.set_len(self.good_len)?;
+            self.file.seek(SeekFrom::Start(self.good_len))?;
+            self.needs_repair = false;
+        }
+        Ok(())
     }
 
     /// Appends one committed batch. `from_version` must equal the current
@@ -226,17 +249,46 @@ impl SessionWal {
         if edits.is_empty() {
             return Ok(());
         }
+        self.repair()?;
+        let payload = frame::envelope(&frame::encode_edits(from_version, edits));
+        let mut attempt = 0u32;
+        loop {
+            match counters.fault(FaultOp::Append) {
+                None => break,
+                Some(FaultKind::Transient) if attempt < MAX_TRANSIENT_RETRIES => {
+                    counters.bump_retry(FaultOp::Append);
+                    chaos::backoff(attempt);
+                    attempt += 1;
+                }
+                Some(kind @ FaultKind::Transient) | Some(kind @ FaultKind::Hard) => {
+                    return Err(chaos::fault_error(FaultOp::Append, kind).into());
+                }
+                Some(FaultKind::Torn) => {
+                    // Half the envelope reaches the file before the
+                    // "device" gives up: exactly the tear the frame
+                    // scanner's truncation recovery exists for.
+                    let cut = (payload.len() / 2).max(1);
+                    let _ = self.file.write_all(&payload[..cut]);
+                    self.needs_repair = true;
+                    return Err(chaos::fault_error(FaultOp::Append, FaultKind::Torn).into());
+                }
+            }
+        }
         // Time the frame write only when a telemetry hub is recording —
         // the clock reads are not free on the group-commit fast path.
         let started = counters.telemetry().map(|_| std::time::Instant::now());
-        self.file
-            .write_all(&frame::envelope(&frame::encode_edits(from_version, edits)))?;
+        if let Err(e) = self.file.write_all(&payload) {
+            // A real short write may have landed partial bytes too.
+            self.needs_repair = true;
+            return Err(e.into());
+        }
         if let Some(started) = started {
             counters.record_stage(
                 hnd_telemetry::Stage::WalAppend,
                 started.elapsed().as_nanos() as u64,
             );
         }
+        self.good_len += payload.len() as u64;
         self.tail_version += edits.len() as u64;
         self.unsynced += 1;
         counters.bump_frames(edits.len() as u64);
@@ -261,6 +313,24 @@ impl SessionWal {
     }
 
     fn sync(&mut self, counters: &Counters) -> Result<(), StoreError> {
+        let mut attempt = 0u32;
+        loop {
+            match counters.fault(FaultOp::Fsync) {
+                None => break,
+                Some(FaultKind::Transient) if attempt < MAX_TRANSIENT_RETRIES => {
+                    counters.bump_retry(FaultOp::Fsync);
+                    chaos::backoff(attempt);
+                    attempt += 1;
+                }
+                // Torn is meaningless for fsync; degrade to hard.
+                Some(FaultKind::Transient) => {
+                    return Err(chaos::fault_error(FaultOp::Fsync, FaultKind::Transient).into());
+                }
+                Some(_) => {
+                    return Err(chaos::fault_error(FaultOp::Fsync, FaultKind::Hard).into());
+                }
+            }
+        }
         let started = counters.telemetry().map(|_| std::time::Instant::now());
         self.file.sync_data()?;
         if let Some(started) = started {
@@ -294,11 +364,13 @@ impl SessionWal {
         std::fs::rename(&tmp, &self.path)?;
         sync_dir(self.path.parent().unwrap_or(Path::new(".")))?;
         let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
-        file.seek(SeekFrom::End(0))?;
+        let end = file.seek(SeekFrom::End(0))?;
         self.file = file;
         self.base_version = new_base;
         self.tail_version = new_base;
         self.unsynced = 0;
+        self.good_len = end;
+        self.needs_repair = false;
         counters.bump_rotations();
         Ok(())
     }

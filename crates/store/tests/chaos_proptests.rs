@@ -1,0 +1,214 @@
+//! Chaos determinism property tests: a seeded [`FaultPlan`] must make the
+//! *entire* faulted execution a pure function of `(seed, intensity,
+//! workload)` — the same workload driven twice against the same seed sees
+//! the same faults at the same occurrences, produces byte-identical
+//! on-disk state, returns the same errors in the same order, and recovers
+//! to the same committed prefix, bit for bit.
+//!
+//! The companion guarantee is *no silent loss*: however the schedule
+//! faulted, a fault-free reopen recovers every acknowledged commit, and
+//! the recovered state is exactly some committed prefix of the stream.
+
+use hnd_response::ResponseLog;
+use hnd_store::{FaultPlan, FlushPolicy, SessionStore, StoreOpts, StoreStats};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// One write in a generated stream: `(user, item, choice)`.
+type Write = (usize, usize, Option<u16>);
+
+/// A generated roster + edit stream: `(m, n, options, batches)`.
+type EditStream = (usize, usize, Vec<u16>, Vec<Vec<Write>>);
+
+const SESSION: u64 = 11;
+const ID_HEX: &str = "000000000000000b";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let k = UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("hnd-chaos-prop-{}-{tag}-{k}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Small rosters, a handful of batches — enough occurrences per I/O class
+/// for the plan to bite at the tested intensities.
+fn edit_stream() -> impl Strategy<Value = EditStream> {
+    (2usize..=5, 1usize..=3).prop_flat_map(|(m, n)| {
+        let options = proptest::collection::vec(2u16..=4, n);
+        options.prop_flat_map(move |opts| {
+            let cell = (0..m, 0..n);
+            let batch = proptest::collection::vec(
+                cell.prop_flat_map(move |(u, i)| {
+                    (Just(u), Just(i), proptest::option::weighted(0.8, 0..4u16))
+                }),
+                1..5,
+            );
+            let opts2 = opts.clone();
+            (
+                Just(m),
+                Just(n),
+                Just(opts),
+                proptest::collection::vec(batch, 2..6).prop_map(move |batches| {
+                    batches
+                        .into_iter()
+                        .map(|b| {
+                            b.into_iter()
+                                .map(|(u, i, c)| (u, i, c.map(|o| o % opts2[i])))
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                }),
+            )
+        })
+    })
+}
+
+/// Everything observable about one faulted run, in deterministic order.
+#[derive(Debug, PartialEq)]
+struct ChaosOutcome {
+    fingerprint: u64,
+    injected: (u64, u64, u64),
+    stats: StoreStats,
+    /// Per-batch sync result: `Ok(version)` or the error's display string.
+    syncs: Vec<Result<u64, String>>,
+    /// A load attempted *under* the plan (read faults may hit it).
+    faulted_load: Result<u64, String>,
+    wal_bytes: Vec<u8>,
+    snap_bytes: Vec<u8>,
+    /// Fault-free recovery: `(version, matrix)` of the reopened session.
+    recovered: (u64, Vec<Vec<Option<u16>>>),
+}
+
+/// Drives the full workload against a freshly chaos-injected store and
+/// returns every observable outcome. The registration happens *before*
+/// the plan is installed so the session always exists; everything after
+/// runs under fire.
+fn run_chaos(
+    tag: &str,
+    seed: u64,
+    intensity: f64,
+    (m, _n, options, batches): &EditStream,
+) -> ChaosOutcome {
+    let dir = temp_dir(tag);
+    let plan = Arc::new(FaultPlan::seeded(seed, intensity));
+    let mut log = ResponseLog::new(*m, options.len(), options).unwrap();
+    let (syncs, faulted_load, stats) = {
+        let store = SessionStore::open(
+            &dir,
+            StoreOpts {
+                flush: FlushPolicy::EveryCommit,
+                snapshot_every: 4,
+            },
+        )
+        .unwrap();
+        store.register(SESSION, &log).unwrap();
+        store.inject_faults(Arc::clone(&plan));
+
+        let mut syncs = Vec::new();
+        for batch in batches {
+            for &(u, i, c) in batch {
+                log.set(u, i, c).unwrap();
+            }
+            syncs.push(
+                store
+                    .sync_from(SESSION, &log)
+                    .map(|_| log.version())
+                    .map_err(|e| e.to_string()),
+            );
+        }
+        let faulted_load = store
+            .load(SESSION)
+            .map(|(l, _)| l.version())
+            .map_err(|e| e.to_string());
+        (syncs, faulted_load, store.stats())
+    };
+
+    let wal_bytes = std::fs::read(dir.join(format!("sess-{ID_HEX}.wal"))).unwrap();
+    let snap_bytes = std::fs::read(dir.join(format!("sess-{ID_HEX}.snap"))).unwrap();
+
+    // Fault-free reopen: whatever the chaos did, recovery must land on a
+    // committed prefix.
+    let clean = SessionStore::open(&dir, StoreOpts::default()).unwrap();
+    let (recovered_log, report) = clean.load(SESSION).unwrap();
+    assert_eq!(report.recovered_version, recovered_log.version());
+    let matrix = (0..recovered_log.n_users())
+        .map(|u| recovered_log.user_row(u).to_vec())
+        .collect();
+
+    let outcome = ChaosOutcome {
+        fingerprint: plan.fingerprint(),
+        injected: (
+            plan.injected(hnd_store::FaultKind::Transient),
+            plan.injected(hnd_store::FaultKind::Hard),
+            plan.injected(hnd_store::FaultKind::Torn),
+        ),
+        stats,
+        syncs,
+        faulted_load,
+        wal_bytes,
+        snap_bytes,
+        recovered: (recovered_log.version(), matrix),
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    outcome
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same seed ⇒ same faults ⇒ bitwise-identical everything: schedule
+    /// fingerprint, per-kind counts, per-batch errors, on-disk bytes, and
+    /// the recovered state.
+    #[test]
+    fn same_seed_same_faults_same_recovery(
+        stream in edit_stream(),
+        seed in 0u64..u64::MAX,
+        intensity in 0.0f64..0.30,
+    ) {
+        let a = run_chaos("a", seed, intensity, &stream);
+        let b = run_chaos("b", seed, intensity, &stream);
+        prop_assert_eq!(a, b);
+    }
+
+    /// No silent loss: every *acknowledged* sync survives a fault-free
+    /// reopen, and the recovered state is exactly the committed stream at
+    /// the recovered version.
+    #[test]
+    fn acknowledged_commits_survive_chaos(
+        stream in edit_stream(),
+        seed in 0u64..u64::MAX,
+        intensity in 0.0f64..0.30,
+    ) {
+        let outcome = run_chaos("loss", seed, intensity, &stream);
+        let acked = outcome
+            .syncs
+            .iter()
+            .filter_map(|r| r.as_ref().ok().copied())
+            .max()
+            .unwrap_or(0);
+        let (recovered_version, ref matrix) = outcome.recovered;
+        prop_assert!(
+            recovered_version >= acked,
+            "acknowledged version {acked} lost: recovered only {recovered_version}"
+        );
+
+        // The recovered matrix is the oracle's state at that version.
+        let (m, _n, ref options, ref batches) = stream;
+        let mut oracle = ResponseLog::new(m, options.len(), options).unwrap();
+        'outer: for batch in batches {
+            for &(u, i, c) in batch {
+                if oracle.version() == recovered_version {
+                    break 'outer;
+                }
+                oracle.set(u, i, c).unwrap();
+            }
+        }
+        prop_assert_eq!(oracle.version(), recovered_version, "recovered mid-nothing");
+        let oracle_matrix: Vec<Vec<Option<u16>>> = (0..oracle.n_users())
+            .map(|u| oracle.user_row(u).to_vec())
+            .collect();
+        prop_assert_eq!(matrix, &oracle_matrix);
+    }
+}

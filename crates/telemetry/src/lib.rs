@@ -111,15 +111,24 @@ pub enum Counter {
     DirectServes,
     /// Error trace dumps captured automatically.
     ErrorDumps,
+    /// Commands rejected at admission (mailbox or in-flight budget full).
+    CommandsShed,
+    /// Commands dropped at dequeue because their deadline had passed.
+    CommandsExpired,
+    /// Sessions quarantined after a panic during command execution.
+    SessionsQuarantined,
 }
 
 impl Counter {
-    const ALL: [Counter; 5] = [
+    const ALL: [Counter; 8] = [
         Counter::CommandsEnqueued,
         Counter::RepliesOk,
         Counter::RepliesErr,
         Counter::DirectServes,
         Counter::ErrorDumps,
+        Counter::CommandsShed,
+        Counter::CommandsExpired,
+        Counter::SessionsQuarantined,
     ];
 
     /// Stable snake_case name (text-exposition key suffix).
@@ -130,6 +139,9 @@ impl Counter {
             Counter::RepliesErr => "replies_err",
             Counter::DirectServes => "direct_serves",
             Counter::ErrorDumps => "error_dumps",
+            Counter::CommandsShed => "commands_shed",
+            Counter::CommandsExpired => "commands_expired",
+            Counter::SessionsQuarantined => "sessions_quarantined",
         }
     }
 }
@@ -142,7 +154,7 @@ pub struct TelemetryHub {
     enabled: bool,
     epoch: Instant,
     stages: [LatencyHistogram; 8],
-    counters: [AtomicU64; 5],
+    counters: [AtomicU64; 8],
     rings: Vec<Mutex<EventRing>>,
     seq: AtomicU64,
     last_error: Mutex<Option<TraceDump>>,

@@ -33,6 +33,8 @@ pub enum CommandKind {
     SessionLog,
     /// `close_session`.
     Close,
+    /// Test-only fault injection (`inject_panic`).
+    Inject,
 }
 
 impl CommandKind {
@@ -48,6 +50,7 @@ impl CommandKind {
             CommandKind::Snapshot => "snapshot",
             CommandKind::SessionLog => "session_log",
             CommandKind::Close => "close",
+            CommandKind::Inject => "inject",
         }
     }
 }
@@ -173,6 +176,25 @@ pub enum EventKind {
         /// End-to-end latency from enqueue.
         e2e_ns: u64,
     },
+    /// Admission control rejected the command (mailbox or budget full).
+    Shed {
+        /// The command.
+        cmd: CommandKind,
+        /// Commands in flight across the server when it was shed.
+        inflight: u64,
+    },
+    /// The command's deadline had passed when a worker dequeued it.
+    Expired {
+        /// The command.
+        cmd: CommandKind,
+        /// Nanoseconds past the deadline at dequeue.
+        late_ns: u64,
+    },
+    /// A panic during command execution quarantined the session.
+    Quarantine {
+        /// The command that panicked.
+        cmd: CommandKind,
+    },
 }
 
 impl EventKind {
@@ -190,6 +212,9 @@ impl EventKind {
             EventKind::SkipRefuse { .. } => "skip_refuse",
             EventKind::WalAppend { .. } => "wal_append",
             EventKind::Reply { .. } => "reply",
+            EventKind::Shed { .. } => "shed",
+            EventKind::Expired { .. } => "expired",
+            EventKind::Quarantine { .. } => "quarantine",
         }
     }
 }
@@ -352,6 +377,17 @@ impl Serialize for TraceEvent {
                 fields.push(("cmd".into(), Value::String(cmd.name().into())));
                 fields.push(("ok".into(), Value::Bool(ok)));
                 fields.push(("e2e_ns".into(), int(e2e_ns)));
+            }
+            EventKind::Shed { cmd, inflight } => {
+                fields.push(("cmd".into(), Value::String(cmd.name().into())));
+                fields.push(("inflight".into(), int(inflight)));
+            }
+            EventKind::Expired { cmd, late_ns } => {
+                fields.push(("cmd".into(), Value::String(cmd.name().into())));
+                fields.push(("late_ns".into(), int(late_ns)));
+            }
+            EventKind::Quarantine { cmd } => {
+                fields.push(("cmd".into(), Value::String(cmd.name().into())));
             }
         }
         Value::Object(fields)

@@ -193,6 +193,23 @@ fn main() {
         stats.evictions, stats.rehydrations
     );
 
+    // Deadline-aware reads: a client that would rather skip a refresh
+    // than wait attaches a deadline; an already-expired one is dropped at
+    // dequeue (no solve wasted) and fails with a typed error.
+    let impatient = srv
+        .with_deadline(hitsndiffs::service::Deadline::within(
+            std::time::Duration::ZERO,
+        ))
+        .ranking(ids[0])
+        .wait();
+    println!(
+        "deadlines: zero-budget ranking read resolved '{}' without a solve",
+        match impatient {
+            Err(e) => e.to_string(),
+            Ok(_) => "served in time".to_string(),
+        }
+    );
+
     print_metrics(&srv.metrics());
 }
 
@@ -252,4 +269,30 @@ fn print_metrics(snap: &hitsndiffs::telemetry::MetricsSnapshot) {
         c("manager_rehydrations"),
         c("manager_restores"),
     );
+    println!(
+        "  resilience: {} shed, {} expired at dequeue, {} quarantined / {} revived",
+        c("telemetry_commands_shed"),
+        c("telemetry_commands_expired"),
+        c("manager_quarantines"),
+        c("manager_revivals"),
+    );
+    // Store retry/fault counters exist only on store-backed fleets.
+    if snap.get_counter("store_frames_appended").is_some() {
+        println!(
+            "  store: {} retries absorbed (append {} / fsync {} / read {} / snapshot {}), \
+             {} faults injected ({} transient, {} hard, {} torn)",
+            c("store_retries_append")
+                + c("store_retries_fsync")
+                + c("store_retries_read")
+                + c("store_retries_snapshot"),
+            c("store_retries_append"),
+            c("store_retries_fsync"),
+            c("store_retries_read"),
+            c("store_retries_snapshot"),
+            c("store_faults_transient") + c("store_faults_hard") + c("store_faults_torn"),
+            c("store_faults_transient"),
+            c("store_faults_hard"),
+            c("store_faults_torn"),
+        );
+    }
 }
